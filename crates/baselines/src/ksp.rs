@@ -1,0 +1,217 @@
+//! Shared k-shortest-simple-path machinery (Yen's algorithm on hop counts).
+//!
+//! Both adapted comparators need "give me the next shortest simple s-t path not seen yet"
+//! as a primitive. On unweighted graphs the path cost is the hop count, so the spur
+//! shortest-path queries inside Yen's algorithm are plain BFS runs with edge/vertex
+//! removals expressed as filter sets.
+
+use hcsp_graph::{DiGraph, Direction, VertexId};
+use std::collections::{BinaryHeap, HashSet, VecDeque};
+
+/// Hop length of the shortest `s → t` path avoiding `banned_vertices` and `banned_edges`,
+/// together with the path itself; `None` when no such path exists.
+pub fn shortest_path_hops(
+    graph: &DiGraph,
+    s: VertexId,
+    t: VertexId,
+    banned_vertices: &HashSet<VertexId>,
+    banned_edges: &HashSet<(VertexId, VertexId)>,
+) -> Option<Vec<VertexId>> {
+    if banned_vertices.contains(&s) || banned_vertices.contains(&t) {
+        return None;
+    }
+    if s == t {
+        return Some(vec![s]);
+    }
+    let n = graph.num_vertices();
+    if s.index() >= n || t.index() >= n {
+        return None;
+    }
+    let mut parent: Vec<Option<VertexId>> = vec![None; n];
+    let mut visited = vec![false; n];
+    let mut queue = VecDeque::new();
+    visited[s.index()] = true;
+    queue.push_back(s);
+    while let Some(u) = queue.pop_front() {
+        for &w in graph.neighbors(u, Direction::Forward) {
+            if visited[w.index()]
+                || banned_vertices.contains(&w)
+                || banned_edges.contains(&(u, w))
+            {
+                continue;
+            }
+            visited[w.index()] = true;
+            parent[w.index()] = Some(u);
+            if w == t {
+                // Reconstruct.
+                let mut path = vec![t];
+                let mut cur = t;
+                while let Some(p) = parent[cur.index()] {
+                    path.push(p);
+                    cur = p;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            queue.push_back(w);
+        }
+    }
+    None
+}
+
+/// A candidate path ordered by (hop count, lexicographic vertex sequence) so the heap pops
+/// candidates deterministically in non-decreasing length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Candidate {
+    path: Vec<VertexId>,
+}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap: invert so shorter (then lexicographically smaller)
+        // paths pop first.
+        other
+            .path
+            .len()
+            .cmp(&self.path.len())
+            .then_with(|| other.path.cmp(&self.path))
+    }
+}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Yen's algorithm generating simple `s → t` paths in non-decreasing hop count, stopping
+/// once the next path would exceed `max_hops` (the HC-s-t adaptation: keep generating
+/// "until reaching the hop constraint") or once `limit` paths have been produced.
+pub fn yen_k_shortest(
+    graph: &DiGraph,
+    s: VertexId,
+    t: VertexId,
+    max_hops: u32,
+    limit: usize,
+) -> Vec<Vec<VertexId>> {
+    let mut results: Vec<Vec<VertexId>> = Vec::new();
+    let empty_v: HashSet<VertexId> = HashSet::new();
+    let empty_e: HashSet<(VertexId, VertexId)> = HashSet::new();
+    let Some(first) = shortest_path_hops(graph, s, t, &empty_v, &empty_e) else {
+        return results;
+    };
+    if (first.len() - 1) as u32 > max_hops {
+        return results;
+    }
+    results.push(first);
+
+    let mut candidates: BinaryHeap<Candidate> = BinaryHeap::new();
+    let mut seen: HashSet<Vec<VertexId>> = HashSet::new();
+    seen.insert(results[0].clone());
+
+    while results.len() < limit {
+        let previous = results.last().expect("at least one accepted path").clone();
+        // Deviate at every spur position of the previously accepted path.
+        for spur_idx in 0..previous.len() - 1 {
+            let spur_node = previous[spur_idx];
+            let root: Vec<VertexId> = previous[..=spur_idx].to_vec();
+
+            // Ban edges used by already-accepted paths sharing this root prefix, so the
+            // spur path cannot rediscover them.
+            let mut banned_edges: HashSet<(VertexId, VertexId)> = HashSet::new();
+            for accepted in &results {
+                if accepted.len() > spur_idx && accepted[..=spur_idx] == root[..] {
+                    banned_edges.insert((accepted[spur_idx], accepted[spur_idx + 1]));
+                }
+            }
+            // Ban root vertices (except the spur node) to keep the total path simple.
+            let banned_vertices: HashSet<VertexId> =
+                root[..spur_idx].iter().copied().collect();
+
+            if let Some(spur) =
+                shortest_path_hops(graph, spur_node, t, &banned_vertices, &banned_edges)
+            {
+                let mut total = root.clone();
+                total.extend_from_slice(&spur[1..]);
+                if (total.len() - 1) as u32 <= max_hops && seen.insert(total.clone()) {
+                    candidates.push(Candidate { path: total });
+                }
+            }
+        }
+        match candidates.pop() {
+            Some(c) => results.push(c.path),
+            None => break,
+        }
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcsp_graph::generators::regular::{complete, grid, layered_dag};
+
+    fn v(x: u32) -> VertexId {
+        VertexId(x)
+    }
+
+    #[test]
+    fn shortest_path_respects_bans() {
+        let g = grid(3, 3);
+        let p = shortest_path_hops(&g, v(0), v(8), &HashSet::new(), &HashSet::new()).unwrap();
+        assert_eq!(p.len() - 1, 4);
+        assert_eq!(p[0], v(0));
+        assert_eq!(*p.last().unwrap(), v(8));
+
+        // Ban the first edge of that path: a different shortest path must be found.
+        let mut banned_e = HashSet::new();
+        banned_e.insert((p[0], p[1]));
+        let q = shortest_path_hops(&g, v(0), v(8), &HashSet::new(), &banned_e).unwrap();
+        assert_eq!(q.len() - 1, 4);
+        assert_ne!(q[1], p[1]);
+
+        // Banning the target makes it unreachable.
+        let mut banned_v = HashSet::new();
+        banned_v.insert(v(8));
+        assert!(shortest_path_hops(&g, v(0), v(8), &banned_v, &HashSet::new()).is_none());
+        // Trivial s == t path.
+        assert_eq!(
+            shortest_path_hops(&g, v(3), v(3), &HashSet::new(), &HashSet::new()).unwrap(),
+            vec![v(3)]
+        );
+    }
+
+    #[test]
+    fn yen_enumerates_paths_in_length_order() {
+        let g = complete(5);
+        let paths = yen_k_shortest(&g, v(0), v(4), 4, 100);
+        // All simple paths 0 -> 4 in K5: lengths 1 (1), 2 (3), 3 (6), 4 (6) = 16 total.
+        assert_eq!(paths.len(), 16);
+        let lengths: Vec<usize> = paths.iter().map(|p| p.len() - 1).collect();
+        assert!(lengths.windows(2).all(|w| w[0] <= w[1]), "not sorted: {lengths:?}");
+        // No duplicates.
+        let unique: HashSet<_> = paths.iter().cloned().collect();
+        assert_eq!(unique.len(), paths.len());
+    }
+
+    #[test]
+    fn yen_respects_hop_limit_and_result_limit() {
+        let g = complete(5);
+        let within_2 = yen_k_shortest(&g, v(0), v(4), 2, 100);
+        assert_eq!(within_2.len(), 4);
+        assert!(within_2.iter().all(|p| p.len() - 1 <= 2));
+        let capped = yen_k_shortest(&g, v(0), v(4), 4, 3);
+        assert_eq!(capped.len(), 3);
+    }
+
+    #[test]
+    fn yen_handles_unreachable_and_dag_cases() {
+        let g = layered_dag(2, 2);
+        let sink = VertexId::new(g.num_vertices() - 1);
+        assert!(yen_k_shortest(&g, sink, v(0), 5, 10).is_empty());
+        let paths = yen_k_shortest(&g, v(0), sink, 5, 100);
+        assert_eq!(paths.len(), 4, "2 layers of width 2 give 4 source-sink paths");
+        // If the shortest path already violates the hop bound, nothing is returned.
+        assert!(yen_k_shortest(&g, v(0), sink, 2, 10).is_empty());
+    }
+}

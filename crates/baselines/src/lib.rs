@@ -1,0 +1,66 @@
+//! # hcsp-baselines
+//!
+//! The two k-shortest-path comparators of Exp-6 (Fig. 12 of the paper), adapted to
+//! HC-s-t path enumeration exactly as the paper describes: *"we adapt them to the problem
+//! of HC-s-t path enumeration by ignoring their similarity constraint and keeping
+//! generating the path results until reaching the hop constraint."*
+//!
+//! * [`dksp::DkSp`] — the diversified top-k route planning algorithm of Luo et al.
+//!   (ref. \[34\]), reduced to its path-generation core: repeated shortest-path deviations
+//!   à la Yen, with the diversity filter disabled and `k = ∞` (generation stops when the
+//!   next candidate exceeds the hop constraint).
+//! * [`onepass::OnePass`] — the k-shortest-paths-with-limited-overlap algorithm of
+//!   Chondrogiannis et al. (ref. \[35\]), likewise with the overlap constraint disabled:
+//!   a label-expanding search that grows every partial path ordered by length, emitting
+//!   complete s-t paths in non-decreasing hop count.
+//!
+//! Neither algorithm exploits Lemma 3.1's distance pruning or any cross-query sharing,
+//! which is precisely why the paper reports them more than two orders of magnitude slower
+//! than `BatchEnum+`; the benches in `hcsp-bench` reproduce that gap's *shape*.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dksp;
+pub mod ksp;
+pub mod onepass;
+
+pub use dksp::DkSp;
+pub use ksp::{shortest_path_hops, yen_k_shortest};
+pub use onepass::OnePass;
+
+use hcsp_core::{EnumStats, PathQuery, PathSink};
+use hcsp_graph::DiGraph;
+
+/// Common interface of the adapted KSP comparators, mirroring the batch entry points of
+/// the main algorithms so the experiment harness can drive them interchangeably.
+pub trait KspEnumerator {
+    /// Human-readable name used in experiment output.
+    fn name(&self) -> &'static str;
+
+    /// Enumerates all HC-s-t paths of one query, streaming them into `sink` under `query_id`.
+    fn enumerate<S: PathSink>(
+        &self,
+        graph: &DiGraph,
+        query: &PathQuery,
+        query_id: usize,
+        sink: &mut S,
+    );
+
+    /// Processes a batch sequentially (neither comparator shares work across queries).
+    fn run_batch<S: PathSink>(
+        &self,
+        graph: &DiGraph,
+        queries: &[PathQuery],
+        sink: &mut S,
+    ) -> EnumStats {
+        let mut stats = EnumStats::new(queries.len());
+        let start = std::time::Instant::now();
+        for (id, q) in queries.iter().enumerate() {
+            self.enumerate(graph, q, id, sink);
+        }
+        stats.add_stage(hcsp_core::Stage::Enumeration, start.elapsed());
+        sink.finish();
+        stats
+    }
+}

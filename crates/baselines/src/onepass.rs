@@ -1,0 +1,169 @@
+//! `OnePass` — k-shortest paths with limited overlap (ref. \[35\]) adapted to HC-s-t
+//! enumeration.
+//!
+//! The original OnePass grows partial paths ("labels") from `s` in a single best-first
+//! sweep, pruning a label when its overlap with already-reported paths exceeds the
+//! similarity threshold. With the similarity constraint dropped (as the paper's adaptation
+//! prescribes), what remains is a best-first label expansion over simple paths ordered by
+//! hop count that emits every s-t path not exceeding the hop constraint. Unlike the
+//! index-pruned algorithms it expands labels with no dead-end pruning whatsoever, which is
+//! what makes it orders of magnitude slower on large graphs (Fig. 12).
+
+use crate::KspEnumerator;
+use hcsp_core::{PathQuery, PathSink};
+use hcsp_graph::{DiGraph, Direction, VertexId};
+use std::collections::BinaryHeap;
+
+/// The adapted OnePass enumerator.
+#[derive(Debug, Clone, Copy)]
+pub struct OnePass {
+    /// Safety cap on the number of emitted paths per query.
+    pub max_results_per_query: usize,
+    /// Safety cap on expanded labels per query (guards against dense-graph blow-ups).
+    pub max_labels_per_query: usize,
+}
+
+impl Default for OnePass {
+    fn default() -> Self {
+        OnePass { max_results_per_query: 1_000_000, max_labels_per_query: 50_000_000 }
+    }
+}
+
+/// A partial path label ordered by (hop count, lexicographic sequence) for the best-first
+/// queue (min-heap behaviour on a max-heap via reversed comparison).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Label {
+    path: Vec<VertexId>,
+}
+
+impl Ord for Label {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.path.len().cmp(&self.path.len()).then_with(|| other.path.cmp(&self.path))
+    }
+}
+
+impl PartialOrd for Label {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl KspEnumerator for OnePass {
+    fn name(&self) -> &'static str {
+        "OnePass"
+    }
+
+    fn enumerate<S: PathSink>(
+        &self,
+        graph: &DiGraph,
+        query: &PathQuery,
+        query_id: usize,
+        sink: &mut S,
+    ) {
+        if query.source.index() >= graph.num_vertices()
+            || query.target.index() >= graph.num_vertices()
+        {
+            return;
+        }
+        let mut heap: BinaryHeap<Label> = BinaryHeap::new();
+        heap.push(Label { path: vec![query.source] });
+        let mut emitted = 0usize;
+        let mut expanded = 0usize;
+
+        while let Some(Label { path }) = heap.pop() {
+            expanded += 1;
+            if expanded > self.max_labels_per_query || emitted >= self.max_results_per_query {
+                break;
+            }
+            let last = *path.last().expect("labels are non-empty");
+            if last == query.target {
+                sink.accept(query_id, &path);
+                emitted += 1;
+                // A simple path cannot be extended past its target vertex and come back,
+                // so this label is final.
+                continue;
+            }
+            if (path.len() - 1) as u32 >= query.hop_limit {
+                continue;
+            }
+            for &w in graph.neighbors(last, Direction::Forward) {
+                if path.contains(&w) {
+                    continue;
+                }
+                let mut next = Vec::with_capacity(path.len() + 1);
+                next.extend_from_slice(&path);
+                next.push(w);
+                heap.push(Label { path: next });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcsp_core::bruteforce::enumerate_reference;
+    use hcsp_core::{CollectSink, CountSink};
+    use hcsp_graph::generators::erdos_renyi::gnm_random;
+    use hcsp_graph::generators::regular::{complete, cycle, grid};
+
+    #[test]
+    fn matches_reference_enumeration() {
+        let g = grid(3, 4);
+        let queries = vec![PathQuery::new(0u32, 11u32, 6), PathQuery::new(3u32, 8u32, 5)];
+        let mut sink = CollectSink::new(queries.len());
+        OnePass::default().run_batch(&g, &queries, &mut sink);
+        for (i, q) in queries.iter().enumerate() {
+            assert_eq!(sink.paths(i).len(), enumerate_reference(&g, q).len(), "query {q}");
+        }
+    }
+
+    #[test]
+    fn emits_paths_in_non_decreasing_hop_order() {
+        let g = complete(5);
+        let q = PathQuery::new(0u32, 4u32, 4);
+        let mut order: Vec<usize> = Vec::new();
+        let mut sink = hcsp_core::CallbackSink::new(|_, p: &[VertexId]| order.push(p.len() - 1));
+        OnePass::default().enumerate(&g, &q, 0, &mut sink);
+        assert!(order.windows(2).all(|w| w[0] <= w[1]), "not sorted: {order:?}");
+        assert_eq!(order.len(), enumerate_reference(&g, &q).len());
+    }
+
+    #[test]
+    fn matches_reference_on_random_graphs() {
+        for seed in 5..8 {
+            let g = gnm_random(50, 260, seed).unwrap();
+            let q = PathQuery::new(2u32, 33u32, 4);
+            let mut sink = CountSink::new(1);
+            OnePass::default().run_batch(&g, &[q], &mut sink);
+            assert_eq!(sink.count(0) as usize, enumerate_reference(&g, &q).len());
+        }
+    }
+
+    #[test]
+    fn caps_bound_the_work() {
+        let g = complete(7);
+        let q = PathQuery::new(0u32, 6u32, 6);
+        let mut sink = CountSink::new(1);
+        OnePass { max_results_per_query: 5, max_labels_per_query: 1_000_000 }
+            .run_batch(&g, &[q], &mut sink);
+        assert_eq!(sink.count(0), 5);
+
+        let mut tight = CountSink::new(1);
+        OnePass { max_results_per_query: 1_000, max_labels_per_query: 3 }
+            .run_batch(&g, &[q], &mut tight);
+        assert!(tight.count(0) <= 3);
+        assert_eq!(OnePass::default().name(), "OnePass");
+    }
+
+    #[test]
+    fn unreachable_and_out_of_range_queries_produce_nothing() {
+        let g = cycle(4);
+        let mut sink = CountSink::new(2);
+        // Out of range target.
+        OnePass::default().enumerate(&g, &PathQuery::new(0u32, 99u32, 3), 0, &mut sink);
+        // Reachable but beyond the hop constraint.
+        OnePass::default().enumerate(&g, &PathQuery::new(0u32, 3u32, 2), 1, &mut sink);
+        assert_eq!(sink.total(), 0);
+    }
+}

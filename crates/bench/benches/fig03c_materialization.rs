@@ -1,0 +1,47 @@
+//! Fig. 3 (c): enumeration from scratch vs retrieving/scanning materialised results.
+//!
+//! The paper observes a gap of roughly three orders of magnitude between the two, which is
+//! the motivation for sharing materialised HC-s path results across queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcsp_bench::BenchConfig;
+use hcsp_core::materialize::materialize_batch;
+use hcsp_core::SearchOrder;
+use hcsp_workload::random_query_set;
+
+fn bench_materialization_gap(c: &mut Criterion) {
+    let config = BenchConfig::quick();
+    let mut group = c.benchmark_group("fig03c");
+    for &dataset in &config.datasets {
+        let graph = dataset.build(config.scale);
+        let queries = random_query_set(&graph, config.query_spec());
+        if queries.is_empty() {
+            continue;
+        }
+        // Side 1: enumerate (and materialise) the batch from scratch.
+        group.bench_with_input(
+            BenchmarkId::new("enumerate", dataset),
+            &(&graph, &queries),
+            |b, (graph, queries)| {
+                b.iter(|| materialize_batch(graph, queries, SearchOrder::DistanceThenDegree));
+            },
+        );
+        // Side 2: retrieve + scan already-materialised results.
+        let (materialized, _) = materialize_batch(&graph, &queries, SearchOrder::DistanceThenDegree);
+        group.bench_with_input(
+            BenchmarkId::new("scan_materialized", dataset),
+            &materialized,
+            |b, materialized| {
+                b.iter(|| materialized.scan_all());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_materialization_gap
+}
+criterion_main!(benches);

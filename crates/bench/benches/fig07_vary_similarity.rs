@@ -1,0 +1,41 @@
+//! Fig. 7 (Exp-1): processing time when varying the query-set similarity.
+//!
+//! The key claim: as the constructed similarity grows, `BatchEnum(+)` pulls away from
+//! `BasicEnum(+)` (ideally towards the 1/(1−µ) speed-up limit), while at zero similarity
+//! the overhead of sharing stays negligible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcsp_bench::harness::time_algorithm;
+use hcsp_bench::BenchConfig;
+use hcsp_core::Algorithm;
+use hcsp_workload::similar_query_set;
+
+fn bench_similarity_sweep(c: &mut Criterion) {
+    let config = BenchConfig::quick();
+    let dataset = config.datasets[0];
+    let graph = dataset.build(config.scale);
+    let mut group = c.benchmark_group(format!("fig07/{dataset}"));
+    for similarity in [0.0, 0.4, 0.8] {
+        let queries = similar_query_set(&graph, config.query_spec(), similarity);
+        if queries.is_empty() {
+            continue;
+        }
+        for algorithm in [Algorithm::BasicEnumPlus, Algorithm::BatchEnumPlus] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{algorithm}"), format!("sim={similarity:.1}")),
+                &(&graph, &queries),
+                |b, (graph, queries)| {
+                    b.iter(|| time_algorithm(graph, queries, algorithm, 0.5));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_similarity_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Fig. 8 (Exp-2): processing time when varying the query-set size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcsp_bench::harness::time_algorithm;
+use hcsp_bench::BenchConfig;
+use hcsp_core::Algorithm;
+use hcsp_workload::random_query_set;
+
+fn bench_query_set_size_sweep(c: &mut Criterion) {
+    let config = BenchConfig::quick();
+    let dataset = config.datasets[0];
+    let graph = dataset.build(config.scale);
+    let mut group = c.benchmark_group(format!("fig08/{dataset}"));
+    for size in [10usize, 20, 40] {
+        let queries = random_query_set(&graph, config.with_query_set_size(size).query_spec());
+        if queries.is_empty() {
+            continue;
+        }
+        for algorithm in [Algorithm::PathEnum, Algorithm::BasicEnumPlus, Algorithm::BatchEnumPlus] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{algorithm}"), format!("|Q|={size}")),
+                &(&graph, &queries),
+                |b, (graph, queries)| {
+                    b.iter(|| time_algorithm(graph, queries, algorithm, 0.5));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_query_set_size_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Fig. 9 (Exp-3): time decomposition of BatchEnum+.
+//!
+//! Benchmarks each stage of the pipeline in isolation (index construction, clustering,
+//! common HC-s path query detection) alongside the full run, so the relative stage costs
+//! the paper reports can be checked directly from the Criterion output.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcsp_bench::BenchConfig;
+use hcsp_core::clustering::cluster_queries;
+use hcsp_core::detection::detect_cluster;
+use hcsp_core::query::BatchSummary;
+use hcsp_core::sharing_graph::SharingGraph;
+use hcsp_core::similarity::{QueryNeighborhood, SimilarityMatrix};
+use hcsp_core::{Algorithm, BatchEngine, CountSink, PathQuery};
+use hcsp_index::BatchIndex;
+use hcsp_workload::random_query_set;
+
+fn bench_stage_decomposition(c: &mut Criterion) {
+    let config = BenchConfig::quick();
+    let dataset = config.datasets[0];
+    let graph = dataset.build(config.scale);
+    let queries = random_query_set(&graph, config.query_spec());
+    if queries.is_empty() {
+        return;
+    }
+    let summary = BatchSummary::of(&queries);
+    let mut group = c.benchmark_group(format!("fig09/{dataset}"));
+
+    group.bench_function(BenchmarkId::new("stage", "BuildIndex"), |b| {
+        b.iter(|| {
+            BatchIndex::build(&graph, &summary.sources, &summary.targets, summary.max_hop_limit)
+        });
+    });
+
+    let index = BatchIndex::build(&graph, &summary.sources, &summary.targets, summary.max_hop_limit);
+    group.bench_function(BenchmarkId::new("stage", "ClusterQuery"), |b| {
+        b.iter(|| {
+            let neighborhoods: Vec<QueryNeighborhood> =
+                queries.iter().map(|q| QueryNeighborhood::from_index(&index, q)).collect();
+            let matrix = SimilarityMatrix::compute(&neighborhoods);
+            cluster_queries(&matrix, 0.5)
+        });
+    });
+
+    let neighborhoods: Vec<QueryNeighborhood> =
+        queries.iter().map(|q| QueryNeighborhood::from_index(&index, q)).collect();
+    let matrix = SimilarityMatrix::compute(&neighborhoods);
+    let clusters = cluster_queries(&matrix, 0.5);
+    group.bench_function(BenchmarkId::new("stage", "IdentifySubquery"), |b| {
+        b.iter(|| {
+            let mut total_nodes = 0usize;
+            for cluster in &clusters {
+                let cluster_queries_list: Vec<(usize, PathQuery)> =
+                    cluster.iter().map(|&qid| (qid, queries[qid])).collect();
+                let mut sharing = SharingGraph::new();
+                detect_cluster(&graph, &index, &cluster_queries_list, &mut sharing);
+                total_nodes += sharing.len();
+            }
+            total_nodes
+        });
+    });
+
+    group.bench_function(BenchmarkId::new("stage", "FullRun"), |b| {
+        b.iter(|| {
+            let mut sink = CountSink::new(queries.len());
+            BatchEngine::with_algorithm(Algorithm::BatchEnumPlus)
+                .run_with_sink(&graph, &queries, &mut sink);
+            sink.total()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_stage_decomposition
+}
+criterion_main!(benches);

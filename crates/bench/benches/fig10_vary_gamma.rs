@@ -1,0 +1,35 @@
+//! Fig. 10 (Exp-4): impact of the clustering threshold γ on BatchEnum+.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcsp_bench::harness::time_algorithm;
+use hcsp_bench::BenchConfig;
+use hcsp_core::Algorithm;
+use hcsp_workload::similar_query_set;
+
+fn bench_gamma_sweep(c: &mut Criterion) {
+    let config = BenchConfig::quick();
+    let dataset = config.datasets[0];
+    let graph = dataset.build(config.scale);
+    let queries = similar_query_set(&graph, config.query_spec(), 0.5);
+    if queries.is_empty() {
+        return;
+    }
+    let mut group = c.benchmark_group(format!("fig10/{dataset}"));
+    for gamma in [0.1, 0.3, 0.5, 0.7, 0.9, 1.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("gamma={gamma:.1}")),
+            &gamma,
+            |b, &gamma| {
+                b.iter(|| time_algorithm(&graph, &queries, Algorithm::BatchEnumPlus, gamma));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_gamma_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Fig. 11 (Exp-5): scalability over sampled subgraphs of the largest analog (Twitter-like).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcsp_bench::harness::time_algorithm;
+use hcsp_bench::BenchConfig;
+use hcsp_core::Algorithm;
+use hcsp_graph::sampling::sample_vertices;
+use hcsp_workload::{random_query_set, Dataset};
+
+fn bench_scalability(c: &mut Criterion) {
+    let config = BenchConfig::quick();
+    let graph = Dataset::TW.build(config.scale);
+    let mut group = c.benchmark_group("fig11/TW");
+    for ratio in [0.2, 0.6, 1.0] {
+        let sampled = sample_vertices(&graph, ratio, config.seed).expect("valid ratio");
+        let queries = random_query_set(&sampled.graph, config.query_spec());
+        if queries.is_empty() {
+            continue;
+        }
+        for algorithm in [Algorithm::BasicEnumPlus, Algorithm::BatchEnumPlus] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{algorithm}"), format!("{:.0}%", ratio * 100.0)),
+                &(&sampled.graph, &queries),
+                |b, (graph, queries)| {
+                    b.iter(|| time_algorithm(graph, queries, algorithm, 0.5));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_scalability
+}
+criterion_main!(benches);

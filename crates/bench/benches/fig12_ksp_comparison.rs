@@ -1,0 +1,50 @@
+//! Fig. 12 (Exp-6): comparison with the adapted k-shortest-path algorithms DkSP and
+//! OnePass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcsp_baselines::{DkSp, KspEnumerator, OnePass};
+use hcsp_bench::harness::time_algorithm;
+use hcsp_bench::BenchConfig;
+use hcsp_core::{Algorithm, CountSink};
+use hcsp_workload::{random_query_set, QuerySetSpec};
+
+fn bench_ksp_comparison(c: &mut Criterion) {
+    let config = BenchConfig::quick();
+    let dataset = config.datasets[0];
+    let graph = dataset.build(config.scale);
+    // Small batch (the KSP comparators are orders of magnitude slower) with the paper's
+    // k ∈ [3, 7] range clamped to the configured maximum.
+    let spec = QuerySetSpec::new(10, config.seed).with_hops(3, config.k_max);
+    let queries = random_query_set(&graph, spec);
+    if queries.is_empty() {
+        return;
+    }
+    let mut group = c.benchmark_group(format!("fig12/{dataset}"));
+
+    group.bench_function(BenchmarkId::new("algorithm", "DkSP"), |b| {
+        b.iter(|| {
+            let mut sink = CountSink::new(queries.len());
+            DkSp::default().run_batch(&graph, &queries, &mut sink);
+            sink.total()
+        });
+    });
+    group.bench_function(BenchmarkId::new("algorithm", "OnePass"), |b| {
+        b.iter(|| {
+            let mut sink = CountSink::new(queries.len());
+            OnePass::default().run_batch(&graph, &queries, &mut sink);
+            sink.total()
+        });
+    });
+    group.bench_function(BenchmarkId::new("algorithm", "BatchEnum+"), |b| {
+        b.iter(|| time_algorithm(&graph, &queries, Algorithm::BatchEnumPlus, 0.5));
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ksp_comparison
+}
+criterion_main!(benches);

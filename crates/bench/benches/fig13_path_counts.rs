@@ -1,0 +1,36 @@
+//! Fig. 13 (Exp-7): enumeration cost (and result count) as the hop constraint k grows.
+//!
+//! The paper reports the average number of HC-s-t paths per query for k ∈ [3, 7]; the
+//! benchmark measures the enumeration time of the same sweep (the count itself is printed
+//! by `experiments exp7`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcsp_bench::harness::time_algorithm;
+use hcsp_bench::BenchConfig;
+use hcsp_core::Algorithm;
+use hcsp_workload::{random_query_set, QuerySetSpec};
+
+fn bench_path_count_sweep(c: &mut Criterion) {
+    let config = BenchConfig::quick();
+    let dataset = config.datasets[0];
+    let graph = dataset.build(config.scale);
+    let mut group = c.benchmark_group(format!("fig13/{dataset}"));
+    for k in [3u32, 4, 5] {
+        let spec = QuerySetSpec::new(10, config.seed.wrapping_add(k as u64)).with_hops(k, k);
+        let queries = random_query_set(&graph, spec);
+        if queries.is_empty() {
+            continue;
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(format!("k={k}")), &queries, |b, queries| {
+            b.iter(|| time_algorithm(&graph, queries, Algorithm::BatchEnumPlus, 0.5));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_path_count_sweep
+}
+criterion_main!(benches);

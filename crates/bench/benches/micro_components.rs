@@ -1,0 +1,103 @@
+//! Component micro-benchmarks: the building blocks whose costs the design decisions in
+//! DESIGN.md reason about (multi-source BFS vs repeated single-source BFS, the ⊕ join,
+//! similarity matrix construction, clustering, and the path arena).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcsp_bench::BenchConfig;
+use hcsp_core::clustering::cluster_queries;
+use hcsp_core::concat::concatenate;
+use hcsp_core::query::BatchSummary;
+use hcsp_core::similarity::{QueryNeighborhood, SimilarityMatrix};
+use hcsp_core::{PathQuery, PathSet};
+use hcsp_graph::traversal::bfs_distances_bounded;
+use hcsp_graph::{Direction, VertexId};
+use hcsp_index::{multi_source_bfs, BatchIndex};
+use hcsp_workload::random_query_set;
+
+fn bench_components(c: &mut Criterion) {
+    let config = BenchConfig::quick();
+    let dataset = config.datasets[0];
+    let graph = dataset.build(config.scale);
+    let queries = random_query_set(&graph, config.query_spec());
+    if queries.is_empty() {
+        return;
+    }
+    let summary = BatchSummary::of(&queries);
+
+    // Index construction: bit-parallel MS-BFS vs one BFS per root.
+    let mut group = c.benchmark_group("micro/index");
+    group.bench_function(BenchmarkId::new("msbfs", "batched"), |b| {
+        b.iter(|| {
+            multi_source_bfs(&graph, &summary.sources, Direction::Forward, summary.max_hop_limit)
+        });
+    });
+    group.bench_function(BenchmarkId::new("msbfs", "one_bfs_per_root"), |b| {
+        b.iter(|| {
+            summary
+                .sources
+                .iter()
+                .map(|&s| {
+                    bfs_distances_bounded(&graph, s, Direction::Forward, summary.max_hop_limit)
+                        .len()
+                })
+                .sum::<usize>()
+        });
+    });
+    group.finish();
+
+    // Similarity matrix + clustering.
+    let index = BatchIndex::build(&graph, &summary.sources, &summary.targets, summary.max_hop_limit);
+    let neighborhoods: Vec<QueryNeighborhood> =
+        queries.iter().map(|q| QueryNeighborhood::from_index(&index, q)).collect();
+    let mut group = c.benchmark_group("micro/clustering");
+    group.bench_function("similarity_matrix", |b| {
+        b.iter(|| SimilarityMatrix::compute(&neighborhoods));
+    });
+    let matrix = SimilarityMatrix::compute(&neighborhoods);
+    group.bench_function("cluster_queries", |b| {
+        b.iter(|| cluster_queries(&matrix, 0.5));
+    });
+    group.finish();
+
+    // The ⊕ join on synthetic prefix sets.
+    let mut forward = PathSet::new();
+    let mut backward = PathSet::new();
+    for i in 0..300u32 {
+        forward.push_slice(&[VertexId(0), VertexId(1000 + i), VertexId(i % 50)]);
+        backward.push_slice(&[VertexId(1), VertexId(2000 + i), VertexId(i % 50)]);
+    }
+    let mut group = c.benchmark_group("micro/join");
+    group.bench_function("concatenate_300x300", |b| {
+        b.iter(|| concatenate(&forward, &backward, 6));
+    });
+    group.finish();
+
+    // Path arena throughput.
+    let mut group = c.benchmark_group("micro/pathset");
+    group.bench_function("push_10k_paths", |b| {
+        let path: Vec<VertexId> = (0..6).map(VertexId).collect();
+        b.iter(|| {
+            let mut set = PathSet::with_capacity(10_000, 6);
+            for _ in 0..10_000 {
+                set.push_slice(&path);
+            }
+            set.len()
+        });
+    });
+    group.finish();
+
+    // Keep the query type in use so the workload generation cost is visible too.
+    let mut group = c.benchmark_group("micro/workload");
+    group.bench_function("random_query_set", |b| {
+        b.iter(|| random_query_set(&graph, config.query_spec()).len());
+    });
+    let _: Vec<PathQuery> = queries;
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_components
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Table I: analog dataset generation and statistics.
+//!
+//! Benchmarks how long each analog dataset takes to generate and to characterise; the
+//! `experiments table1` binary prints the actual Table I rows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcsp_bench::BenchConfig;
+use hcsp_graph::GraphStats;
+
+fn bench_datasets(c: &mut Criterion) {
+    let config = BenchConfig::quick();
+    let mut group = c.benchmark_group("table1/generate_and_stats");
+    for &dataset in &config.datasets {
+        group.bench_with_input(BenchmarkId::from_parameter(dataset), &dataset, |b, &d| {
+            b.iter(|| {
+                let graph = d.build(config.scale);
+                GraphStats::compute(&graph)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_datasets
+}
+criterion_main!(benches);

@@ -1,0 +1,157 @@
+//! Experiment driver: regenerates every table and figure of the paper's evaluation.
+//!
+//! ```bash
+//! # run everything with the default (laptop-friendly) configuration
+//! cargo run -p hcsp-bench --bin experiments --release -- all
+//!
+//! # a single experiment, a subset of datasets, a bigger scale
+//! cargo run -p hcsp-bench --bin experiments --release -- exp1 --datasets EP,SL --scale small
+//! ```
+//!
+//! Experiments: `table1`, `fig3c`, `exp1` … `exp7`, `ablation-order`, `ablation-cluster`,
+//! `all`. Options: `--scale tiny|small|medium|large`, `--datasets A,B,...`,
+//! `--queries N`, `--kmin K`, `--kmax K` (the same knobs are also available through the
+//! `HCSP_BENCH_*` environment variables).
+
+use hcsp_bench::harness;
+use hcsp_bench::BenchConfig;
+use hcsp_workload::{Dataset, DatasetScale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_usage();
+        return;
+    }
+    let (experiments, config) = match parse(&args) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("error: {message}\n");
+            print_usage();
+            std::process::exit(2);
+        }
+    };
+
+    println!(
+        "# configuration: scale={:?} datasets={:?} queries={} k={}..{}\n",
+        config.scale,
+        config.datasets.iter().map(|d| d.to_string()).collect::<Vec<_>>(),
+        config.query_set_size,
+        config.k_min,
+        config.k_max
+    );
+
+    for experiment in &experiments {
+        run_experiment(experiment, &config);
+    }
+}
+
+fn run_experiment(experiment: &str, config: &BenchConfig) {
+    let start = std::time::Instant::now();
+    match experiment {
+        "table1" => println!("{}", harness::table1(config)),
+        "fig3c" => println!("{}", harness::fig3c_materialization(config)),
+        "exp1" => println!(
+            "{}",
+            harness::exp1_vary_similarity(config, &[0.0, 0.2, 0.4, 0.6, 0.8, 0.9])
+        ),
+        "exp2" => {
+            let base = config.query_set_size.max(20);
+            let sizes: Vec<usize> = (1..=5).map(|i| base * i).collect();
+            println!("{}", harness::exp2_vary_query_set_size(config, &sizes));
+        }
+        "exp3" => println!("{}", harness::exp3_decomposition(config)),
+        "exp4" => println!(
+            "{}",
+            harness::exp4_vary_gamma(config, &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0])
+        ),
+        "exp5" => println!("{}", harness::exp5_scalability(config, &[0.2, 0.4, 0.6, 0.8, 1.0])),
+        "exp6" => println!("{}", harness::exp6_ksp_comparison(config)),
+        "exp7" => println!("{}", harness::exp7_path_counts(config, &[3, 4, 5, 6, 7])),
+        "ablation-order" => println!("{}", harness::ablation_search_order(config)),
+        "ablation-cluster" => println!("{}", harness::ablation_clustering(config)),
+        other => {
+            eprintln!("error: unknown experiment {other:?}");
+            print_usage();
+            std::process::exit(2);
+        }
+    }
+    println!("# {experiment} finished in {:.1}s\n", start.elapsed().as_secs_f64());
+}
+
+fn parse(args: &[String]) -> Result<(Vec<String>, BenchConfig), String> {
+    let mut config = BenchConfig::full();
+    let mut experiments: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        let take_value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i).cloned().ok_or_else(|| format!("{arg} expects a value"))
+        };
+        match arg.as_str() {
+            "--scale" => {
+                config.scale = match take_value(&mut i)?.to_ascii_lowercase().as_str() {
+                    "tiny" => DatasetScale::Tiny,
+                    "small" => DatasetScale::Small,
+                    "medium" => DatasetScale::Medium,
+                    "large" => DatasetScale::Large,
+                    other => return Err(format!("unknown scale {other:?}")),
+                };
+            }
+            "--datasets" => {
+                let list = take_value(&mut i)?;
+                let datasets: Result<Vec<Dataset>, _> =
+                    list.split(',').map(|s| s.trim().parse()).collect();
+                config.datasets = datasets?;
+            }
+            "--queries" => {
+                config.query_set_size =
+                    take_value(&mut i)?.parse().map_err(|_| "--queries expects a number".to_string())?;
+            }
+            "--kmin" => {
+                config.k_min =
+                    take_value(&mut i)?.parse().map_err(|_| "--kmin expects a number".to_string())?;
+            }
+            "--kmax" => {
+                config.k_max =
+                    take_value(&mut i)?.parse().map_err(|_| "--kmax expects a number".to_string())?;
+            }
+            "all" => {
+                experiments = vec![
+                    "table1",
+                    "fig3c",
+                    "exp1",
+                    "exp2",
+                    "exp3",
+                    "exp4",
+                    "exp5",
+                    "exp6",
+                    "exp7",
+                    "ablation-order",
+                    "ablation-cluster",
+                ]
+                .into_iter()
+                .map(String::from)
+                .collect();
+            }
+            name if !name.starts_with('-') => experiments.push(name.to_string()),
+            other => return Err(format!("unknown option {other:?}")),
+        }
+        i += 1;
+    }
+    if experiments.is_empty() {
+        experiments.push("table1".to_string());
+    }
+    config.k_max = config.k_max.max(config.k_min);
+    Ok((experiments, config))
+}
+
+fn print_usage() {
+    println!(
+        "usage: experiments [EXPERIMENT ...] [--scale tiny|small|medium|large] \
+         [--datasets EP,SL,...] [--queries N] [--kmin K] [--kmax K]\n\
+         experiments: table1 fig3c exp1 exp2 exp3 exp4 exp5 exp6 exp7 \
+         ablation-order ablation-cluster all"
+    );
+}

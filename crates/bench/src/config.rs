@@ -1,0 +1,139 @@
+//! Benchmark configuration.
+//!
+//! The paper's full evaluation runs 100–500 queries against twelve graphs of up to 1.8 B
+//! edges; the harness scales that down so the complete suite finishes on a laptop, while
+//! every knob can be turned back up through environment variables:
+//!
+//! * `HCSP_BENCH_SCALE` — `tiny` | `small` | `medium` | `large` (default `tiny` for
+//!   `cargo bench`, `small` for the `experiments` binary).
+//! * `HCSP_BENCH_DATASETS` — comma-separated dataset codes (default: the smoke subset for
+//!   `cargo bench`, all twelve for the `experiments` binary).
+//! * `HCSP_BENCH_QUERIES` — query-set size (default 20 for `cargo bench`, 100 otherwise).
+//! * `HCSP_BENCH_KMIN` / `HCSP_BENCH_KMAX` — hop-constraint range (default 3–4 at tiny
+//!   scale, 4–7 otherwise, mirroring the paper's default of 4–7).
+
+use hcsp_workload::{Dataset, DatasetScale};
+
+/// Harness configuration shared by the `experiments` binary and the Criterion benches.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Dataset analog scale.
+    pub scale: DatasetScale,
+    /// Datasets to run on.
+    pub datasets: Vec<Dataset>,
+    /// Number of queries per batch.
+    pub query_set_size: usize,
+    /// Smallest hop constraint.
+    pub k_min: u32,
+    /// Largest hop constraint.
+    pub k_max: u32,
+    /// Base RNG seed for query generation.
+    pub seed: u64,
+}
+
+impl BenchConfig {
+    /// The quick configuration used by `cargo bench`: smoke datasets at tiny scale.
+    pub fn quick() -> Self {
+        BenchConfig {
+            scale: DatasetScale::Tiny,
+            datasets: Dataset::SMOKE.to_vec(),
+            query_set_size: 20,
+            k_min: 3,
+            k_max: 4,
+            seed: 42,
+        }
+        .apply_env()
+    }
+
+    /// The fuller configuration used by the `experiments` binary: all twelve datasets at
+    /// small scale with the paper's default workload shape.
+    pub fn full() -> Self {
+        BenchConfig {
+            scale: DatasetScale::Small,
+            datasets: Dataset::ALL.to_vec(),
+            query_set_size: 100,
+            k_min: 4,
+            k_max: 7,
+            seed: 42,
+        }
+        .apply_env()
+    }
+
+    /// Applies environment-variable overrides.
+    pub fn apply_env(mut self) -> Self {
+        if let Ok(scale) = std::env::var("HCSP_BENCH_SCALE") {
+            self.scale = match scale.to_ascii_lowercase().as_str() {
+                "tiny" => DatasetScale::Tiny,
+                "small" => DatasetScale::Small,
+                "medium" => DatasetScale::Medium,
+                "large" => DatasetScale::Large,
+                other => {
+                    eprintln!("warning: unknown HCSP_BENCH_SCALE {other:?}, keeping default");
+                    self.scale
+                }
+            };
+        }
+        if let Ok(datasets) = std::env::var("HCSP_BENCH_DATASETS") {
+            let parsed: Vec<Dataset> =
+                datasets.split(',').filter_map(|s| s.trim().parse().ok()).collect();
+            if !parsed.is_empty() {
+                self.datasets = parsed;
+            }
+        }
+        if let Ok(size) = std::env::var("HCSP_BENCH_QUERIES") {
+            if let Ok(size) = size.parse() {
+                self.query_set_size = size;
+            }
+        }
+        if let Ok(k) = std::env::var("HCSP_BENCH_KMIN") {
+            if let Ok(k) = k.parse() {
+                self.k_min = k;
+            }
+        }
+        if let Ok(k) = std::env::var("HCSP_BENCH_KMAX") {
+            if let Ok(k) = k.parse() {
+                self.k_max = k;
+            }
+        }
+        self.k_max = self.k_max.max(self.k_min);
+        self
+    }
+
+    /// The query-set specification corresponding to this configuration.
+    pub fn query_spec(&self) -> hcsp_workload::QuerySetSpec {
+        hcsp_workload::QuerySetSpec::new(self.query_set_size, self.seed)
+            .with_hops(self.k_min, self.k_max)
+    }
+
+    /// A copy with a different query-set size (Exp-2 size sweep).
+    pub fn with_query_set_size(&self, size: usize) -> Self {
+        BenchConfig { query_set_size: size, ..self.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_and_full_have_sane_defaults() {
+        let quick = BenchConfig::quick();
+        assert!(!quick.datasets.is_empty());
+        assert!(quick.query_set_size > 0);
+        assert!(quick.k_min <= quick.k_max);
+
+        let full = BenchConfig::full();
+        assert_eq!(full.datasets.len(), 12);
+        assert_eq!(full.query_set_size, 100);
+        assert_eq!((full.k_min, full.k_max), (4, 7));
+    }
+
+    #[test]
+    fn query_spec_reflects_config() {
+        let config = BenchConfig::quick().with_query_set_size(7);
+        let spec = config.query_spec();
+        assert_eq!(spec.size, 7);
+        assert_eq!(spec.k_min, config.k_min);
+        assert_eq!(spec.k_max, config.k_max);
+    }
+}

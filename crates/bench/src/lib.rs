@@ -1,0 +1,30 @@
+//! # hcsp-bench
+//!
+//! The benchmark harness regenerating every table and figure of the paper's evaluation
+//! (§V). The heavy lifting lives in [`harness`]; the Criterion benches under `benches/`
+//! and the `experiments` binary are thin wrappers around it, so the same code paths are
+//! measured interactively (`cargo run -p hcsp-bench --bin experiments --release`) and via
+//! `cargo bench`.
+//!
+//! | Paper artifact | Harness entry point | Bench target |
+//! |----------------|---------------------|--------------|
+//! | Table I        | [`harness::table1`] | `table1_datasets` |
+//! | Fig. 3 (c)     | [`harness::fig3c_materialization`] | `fig03c_materialization` |
+//! | Fig. 7 / Exp-1 | [`harness::exp1_vary_similarity`] | `fig07_vary_similarity` |
+//! | Fig. 8 / Exp-2 | [`harness::exp2_vary_query_set_size`] | `fig08_vary_query_set_size` |
+//! | Fig. 9 / Exp-3 | [`harness::exp3_decomposition`] | `fig09_decomposition` |
+//! | Fig. 10 / Exp-4| [`harness::exp4_vary_gamma`] | `fig10_vary_gamma` |
+//! | Fig. 11 / Exp-5| [`harness::exp5_scalability`] | `fig11_scalability` |
+//! | Fig. 12 / Exp-6| [`harness::exp6_ksp_comparison`] | `fig12_ksp_comparison` |
+//! | Fig. 13 / Exp-7| [`harness::exp7_path_counts`] | `fig13_path_counts` |
+//! | Design ablations | [`harness::ablation_search_order`], [`harness::ablation_clustering`] | `micro_components` |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod harness;
+pub mod report;
+
+pub use config::BenchConfig;
+pub use report::Table;

@@ -1,0 +1,136 @@
+//! Plain-text table rendering for experiment output.
+//!
+//! The harness prints each experiment as a fixed-width table (one row per dataset /
+//! parameter value, one column per algorithm or sub-measurement), matching the series the
+//! paper's figures plot.
+
+use std::fmt;
+
+/// A simple fixed-width table: a header row plus data rows of equal arity.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row (must match the header arity).
+    pub fn push_row(&mut self, row: Vec<String>) {
+        debug_assert_eq!(row.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Access to the raw rows (used by tests).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Renders the table as CSV (header + rows), convenient for plotting scripts.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Column widths from header and contents.
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let render_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut parts = Vec::with_capacity(cells.len());
+            for (i, cell) in cells.iter().enumerate() {
+                parts.push(format!("{:>width$}", cell, width = widths[i]));
+            }
+            writeln!(f, "{}", parts.join("  "))
+        };
+        render_row(f, &self.header)?;
+        for row in &self.rows {
+            render_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a duration in seconds with sensible precision for experiment tables.
+pub fn fmt_seconds(seconds: f64) -> String {
+    if seconds < 0.001 {
+        format!("{:.6}", seconds)
+    } else if seconds < 1.0 {
+        format!("{:.4}", seconds)
+    } else {
+        format!("{:.3}", seconds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_title_header_and_rows() {
+        let mut t = Table::new("Fig. X", &["dataset", "time(s)"]);
+        t.push_row(vec!["EP".into(), "0.123".into()]);
+        t.push_row(vec!["TW".into(), "10.5".into()]);
+        let text = t.to_string();
+        assert!(text.contains("== Fig. X =="));
+        assert!(text.contains("dataset"));
+        assert!(text.contains("EP"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.title(), "Fig. X");
+        assert_eq!(t.rows()[1][1], "10.5");
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn seconds_formatting_adapts_precision() {
+        assert_eq!(fmt_seconds(0.0000123), "0.000012");
+        assert_eq!(fmt_seconds(0.1234), "0.1234");
+        assert_eq!(fmt_seconds(12.3456), "12.346");
+    }
+}

@@ -1,0 +1,534 @@
+//! `BatchEnum` — the paper's contributed batch algorithm (Algorithm 4, §IV-C).
+//!
+//! The pipeline per batch is:
+//!
+//! 1. **BuildIndex** — one two-sided multi-source BFS index for the whole batch.
+//! 2. **ClusterQuery** — hierarchical clustering of the queries by neighbourhood
+//!    similarity (Algorithm 2) with threshold γ.
+//! 3. **IdentifySubquery** — per cluster, common HC-s path query detection on `G` and
+//!    `G^r` (Algorithm 3), producing the query sharing graph Ψ.
+//! 4. **Enumeration** — the nodes of Ψ are evaluated in topological order: each HC-s path
+//!    query is materialised once (splicing the cached results of its providers instead of
+//!    re-exploring), and each HC-s-t query is answered by concatenating the cached results
+//!    of its two half queries with `⊕`. Cache entries are evicted as soon as their last
+//!    user has been processed.
+
+use crate::cache::ResultCache;
+use crate::clustering::cluster_queries;
+use crate::concat::concatenate_with;
+use crate::detection::detect_cluster;
+use crate::path::PathSet;
+use crate::query::{BatchSummary, HcsQuery, PathQuery, QueryId};
+use crate::search_order::SearchOrder;
+use crate::sharing_graph::{AnchorSlack, NodeId, QueryNode, SharingGraph};
+use crate::similarity::{QueryNeighborhood, SimilarityMatrix};
+use crate::sink::PathSink;
+use crate::stats::{EnumStats, SearchCounters, Stage};
+use hcsp_graph::{DiGraph, VertexId};
+use hcsp_index::BatchIndex;
+use std::time::Instant;
+
+/// Default clustering threshold used by the paper's experiments ("We set the default value
+/// of γ to 0.5").
+pub const DEFAULT_GAMMA: f64 = 0.5;
+
+/// Configuration of the shared batch algorithm.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchEnum {
+    /// Neighbour expansion order; [`SearchOrder::DistanceThenDegree`] yields `BatchEnum+`.
+    pub order: SearchOrder,
+    /// Clustering threshold γ ∈ [0, 1]. γ = 1 disables clustering (every query alone).
+    pub gamma: f64,
+}
+
+impl Default for BatchEnum {
+    fn default() -> Self {
+        BatchEnum { order: SearchOrder::default(), gamma: DEFAULT_GAMMA }
+    }
+}
+
+impl BatchEnum {
+    /// Creates the algorithm with an explicit search order and γ.
+    pub fn new(order: SearchOrder, gamma: f64) -> Self {
+        BatchEnum { order, gamma }
+    }
+
+    /// Processes a batch of queries, streaming every result path into `sink`.
+    pub fn run_batch<S: PathSink>(
+        &self,
+        graph: &DiGraph,
+        queries: &[PathQuery],
+        sink: &mut S,
+    ) -> EnumStats {
+        let mut stats = EnumStats::new(queries.len());
+        if queries.is_empty() {
+            sink.finish();
+            return stats;
+        }
+
+        // Stage 1: BuildIndex (Alg. 4 lines 1-2).
+        let start = Instant::now();
+        let summary = BatchSummary::of(queries);
+        let index =
+            BatchIndex::build(graph, &summary.sources, &summary.targets, summary.max_hop_limit);
+        stats.add_stage(Stage::BuildIndex, start.elapsed());
+
+        // Stage 2: ClusterQuery (Alg. 4 line 3 / Alg. 2).
+        let start = Instant::now();
+        let neighborhoods: Vec<QueryNeighborhood> =
+            queries.iter().map(|q| QueryNeighborhood::from_index(&index, q)).collect();
+        let matrix = SimilarityMatrix::compute(&neighborhoods);
+        let clusters = cluster_queries(&matrix, self.gamma);
+        stats.num_clusters = clusters.len();
+        stats.add_stage(Stage::ClusterQuery, start.elapsed());
+
+        // Stages 3-4 per cluster (Alg. 4 lines 4-16).
+        for cluster in &clusters {
+            self.process_cluster(graph, &index, queries, cluster, sink, &mut stats);
+        }
+        sink.finish();
+        stats
+    }
+
+    /// Detects and evaluates one cluster of queries.
+    pub(crate) fn process_cluster<S: PathSink>(
+        &self,
+        graph: &DiGraph,
+        index: &BatchIndex,
+        queries: &[PathQuery],
+        cluster: &[QueryId],
+        sink: &mut S,
+        stats: &mut EnumStats,
+    ) {
+        // Stage 3: IdentifySubquery.
+        let start = Instant::now();
+        let cluster_queries_list: Vec<(QueryId, PathQuery)> =
+            cluster.iter().map(|&qid| (qid, queries[qid])).collect();
+        let mut sharing = SharingGraph::new();
+        let outcome = detect_cluster(graph, index, &cluster_queries_list, &mut sharing);
+        stats.num_shared_subqueries += outcome.dominating_created;
+        let slacks = sharing.anchor_slacks(queries);
+        let order = sharing.topological_order();
+        stats.add_stage(Stage::IdentifySubquery, start.elapsed());
+
+        // Stage 4: Enumeration in topological order with the shared result cache.
+        let start = Instant::now();
+        let mut cache = ResultCache::new(sharing.len());
+        let mut counters = SearchCounters::default();
+        for &node_id in &order {
+            match *sharing.node(node_id) {
+                QueryNode::Hcs(hcs) => {
+                    let paths = self.materialize_node(
+                        graph,
+                        index,
+                        &sharing,
+                        node_id,
+                        hcs,
+                        &slacks[node_id],
+                        &cache,
+                        &mut counters,
+                    );
+                    cache.insert(node_id, paths, sharing.users(node_id).len());
+                }
+                QueryNode::Full(qid) => {
+                    self.answer_query(
+                        &sharing, node_id, qid, &queries[qid], &cache, sink, &mut counters,
+                    );
+                }
+            }
+            // Alg. 4 lines 14-16: this node has consumed its providers; evict exhausted ones.
+            for &(provider, _) in sharing.providers(node_id) {
+                cache.release(provider);
+            }
+        }
+        stats.peak_cached_results = stats.peak_cached_results.max(cache.peak_resident());
+        stats.counters.merge(&counters);
+        stats.add_stage(Stage::Enumeration, start.elapsed());
+    }
+
+    /// Materialises one HC-s path query node: every simple path from its root within its
+    /// budget that can still serve at least one dependent HC-s-t query, splicing cached
+    /// provider results whenever the search reaches a provider's root.
+    #[allow(clippy::too_many_arguments)]
+    fn materialize_node(
+        &self,
+        graph: &DiGraph,
+        index: &BatchIndex,
+        sharing: &SharingGraph,
+        node_id: NodeId,
+        hcs: HcsQuery,
+        slacks: &[AnchorSlack],
+        cache: &ResultCache,
+        counters: &mut SearchCounters,
+    ) -> PathSet {
+        let mut out = PathSet::new();
+        let mut stack: Vec<VertexId> = Vec::with_capacity(hcs.budget as usize + 1);
+        stack.push(hcs.root);
+        // Pre-resolve "which provider is rooted at vertex w" once: the lookup happens for
+        // every candidate neighbour of every expansion, and half queries of large clusters
+        // can have hundreds of providers.
+        let mut providers_by_root: Vec<(VertexId, NodeId, HcsQuery)> = sharing
+            .providers(node_id)
+            .iter()
+            .filter_map(|&(p, _)| sharing.node(p).as_hcs().map(|q| (q.root, p, *q)))
+            .collect();
+        providers_by_root.sort_by_key(|&(root, _, q)| (root, std::cmp::Reverse(q.budget)));
+        providers_by_root.dedup_by_key(|&mut (root, _, _)| root);
+        self.extend_shared(
+            graph,
+            index,
+            sharing,
+            hcs,
+            slacks,
+            &providers_by_root,
+            cache,
+            &mut stack,
+            &mut out,
+            counters,
+        );
+        out
+    }
+
+    /// Recursive shared prefix extension (the `Search` procedure of Algorithm 4).
+    #[allow(clippy::too_many_arguments)]
+    fn extend_shared(
+        &self,
+        graph: &DiGraph,
+        index: &BatchIndex,
+        sharing: &SharingGraph,
+        hcs: HcsQuery,
+        slacks: &[AnchorSlack],
+        providers_by_root: &[(VertexId, NodeId, HcsQuery)],
+        cache: &ResultCache,
+        stack: &mut Vec<VertexId>,
+        out: &mut PathSet,
+        counters: &mut SearchCounters,
+    ) {
+        counters.expanded_vertices += 1;
+        counters.stored_prefixes += 1;
+        out.push_slice(stack);
+
+        let current_hops = (stack.len() - 1) as u32;
+        if current_hops >= hcs.budget {
+            return;
+        }
+        let last = *stack.last().expect("prefix never empty");
+        let remaining_after = hcs.budget - current_hops - 1;
+
+        let mut candidates: Vec<VertexId> = Vec::new();
+        for &w in graph.neighbors(last, hcs.direction) {
+            counters.scanned_edges += 1;
+            let new_len = current_hops + 1;
+            if !Self::is_useful(index, hcs, slacks, w, new_len) {
+                counters.pruned_edges += 1;
+                continue;
+            }
+            if stack.contains(&w) {
+                continue;
+            }
+            candidates.push(w);
+        }
+        if let Some(first_anchor) = slacks.first() {
+            self.order.arrange(&mut candidates, graph, index, first_anchor.anchor, hcs.direction);
+        }
+
+        for w in candidates {
+            // Splice the cached results of a provider rooted at w when its budget covers
+            // everything this prefix still needs (Alg. 4 lines 22-23).
+            if let Ok(slot) = providers_by_root.binary_search_by_key(&w, |&(root, _, _)| root) {
+                let (_, provider, provider_query) = providers_by_root[slot];
+                if provider_query.covers_budget(remaining_after) {
+                    if let Some(cached) = cache.get(provider) {
+                        counters.cache_splices += 1;
+                        for suffix in cached.iter() {
+                            if (suffix.len() - 1) as u32 > remaining_after {
+                                continue;
+                            }
+                            if suffix.iter().any(|v| stack.contains(v)) {
+                                continue;
+                            }
+                            counters.stored_prefixes += 1;
+                            out.push_concat(stack, suffix);
+                        }
+                        continue;
+                    }
+                }
+            }
+            stack.push(w);
+            self.extend_shared(
+                graph,
+                index,
+                sharing,
+                hcs,
+                slacks,
+                providers_by_root,
+                cache,
+                stack,
+                out,
+                counters,
+            );
+            stack.pop();
+        }
+    }
+
+    /// Lemma 3.1 pruning generalised to a shared HC-s path query: an extension to `w` of
+    /// `new_len` hops is useful when at least one dependent HC-s-t query can still complete
+    /// a path through it within its own hop constraint.
+    fn is_useful(
+        index: &BatchIndex,
+        hcs: HcsQuery,
+        slacks: &[AnchorSlack],
+        w: VertexId,
+        new_len: u32,
+    ) -> bool {
+        if slacks.is_empty() {
+            return true;
+        }
+        slacks.iter().any(|constraint| {
+            let dist = index.dist_towards(hcs.direction, w, constraint.anchor);
+            dist != hcsp_index::INF && new_len.saturating_add(dist) <= constraint.slack
+        })
+    }
+
+    /// Answers one HC-s-t query by joining the cached results of its two half queries
+    /// (Alg. 4 lines 11-13).
+    #[allow(clippy::too_many_arguments)]
+    fn answer_query<S: PathSink>(
+        &self,
+        sharing: &SharingGraph,
+        node_id: NodeId,
+        qid: QueryId,
+        query: &PathQuery,
+        cache: &ResultCache,
+        sink: &mut S,
+        counters: &mut SearchCounters,
+    ) {
+        let mut forward: Option<&PathSet> = None;
+        let mut backward: Option<&PathSet> = None;
+        for &(provider, _) in sharing.providers(node_id) {
+            if let Some(hcs) = sharing.node(provider).as_hcs() {
+                match hcs.direction {
+                    hcsp_graph::Direction::Forward => forward = cache.get(provider),
+                    hcsp_graph::Direction::Backward => backward = cache.get(provider),
+                }
+            }
+        }
+        let (Some(forward), Some(backward)) = (forward, backward) else {
+            debug_assert!(false, "half queries of q{qid} must be materialised before the query");
+            return;
+        };
+        let join = concatenate_with(forward, backward, query.hop_limit, |path| {
+            sink.accept(qid, path);
+        });
+        counters.produced_paths += join.produced as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basic_enum::BasicEnum;
+    use crate::bruteforce::{canonical, enumerate_reference};
+    use crate::sink::{CollectSink, CountSink};
+    use hcsp_graph::generators::erdos_renyi::gnm_random;
+    use hcsp_graph::generators::preferential::{preferential_attachment, PreferentialConfig};
+    use hcsp_graph::generators::regular::{complete, grid, layered_dag};
+    use hcsp_graph::GraphBuilder;
+
+    /// The paper's Fig. 1 graph (same edge set as the detection tests).
+    fn paper_graph() -> DiGraph {
+        let edges: &[(u32, u32)] = &[
+            (0, 1),
+            (0, 4),
+            (2, 1),
+            (2, 4),
+            (5, 1),
+            (1, 7),
+            (1, 8),
+            (7, 10),
+            (7, 8),
+            (10, 12),
+            (12, 11),
+            (12, 13),
+            (4, 9),
+            (9, 3),
+            (9, 15),
+            (9, 8),
+            (3, 6),
+            (15, 6),
+            (6, 11),
+            (6, 13),
+            (6, 14),
+        ];
+        let mut b = GraphBuilder::new();
+        for &(u, v) in edges {
+            b.add_edge(VertexId(u), VertexId(v));
+        }
+        b.reserve_vertices(16);
+        b.build()
+    }
+
+    fn paper_queries() -> Vec<PathQuery> {
+        vec![
+            PathQuery::new(0u32, 11u32, 5),
+            PathQuery::new(2u32, 13u32, 5),
+            PathQuery::new(5u32, 12u32, 5),
+            PathQuery::new(4u32, 14u32, 4),
+            PathQuery::new(9u32, 14u32, 3),
+        ]
+    }
+
+    fn assert_matches_reference(
+        graph: &DiGraph,
+        queries: &[PathQuery],
+        order: SearchOrder,
+        gamma: f64,
+    ) {
+        let mut sink = CollectSink::new(queries.len());
+        BatchEnum::new(order, gamma).run_batch(graph, queries, &mut sink);
+        for (id, query) in queries.iter().enumerate() {
+            let expected = canonical(enumerate_reference(graph, query));
+            let got = canonical(sink.paths(id).to_paths());
+            assert_eq!(got, expected, "query {query} (order {order:?}, gamma {gamma})");
+        }
+    }
+
+    #[test]
+    fn paper_example_queries_match_reference() {
+        let g = paper_graph();
+        let queries = paper_queries();
+        for gamma in [0.0, 0.5, 0.8, 1.0] {
+            assert_matches_reference(&g, &queries, SearchOrder::VertexId, gamma);
+            assert_matches_reference(&g, &queries, SearchOrder::DistanceThenDegree, gamma);
+        }
+    }
+
+    #[test]
+    fn paper_example_q0_has_three_paths() {
+        let g = paper_graph();
+        let mut sink = CollectSink::new(5);
+        BatchEnum::default().run_batch(&g, &paper_queries(), &mut sink);
+        let q0_paths = canonical(sink.paths(0).to_paths());
+        assert_eq!(q0_paths.len(), 3, "Example 2.1: q0 has exactly three HC-s-t paths");
+        let as_ids: Vec<Vec<u32>> = q0_paths
+            .iter()
+            .map(|p| p.vertices().iter().map(|v| v.raw()).collect())
+            .collect();
+        assert!(as_ids.contains(&vec![0, 1, 7, 10, 12, 11]));
+        assert!(as_ids.contains(&vec![0, 4, 9, 3, 6, 11]));
+        assert!(as_ids.contains(&vec![0, 4, 9, 15, 6, 11]));
+    }
+
+    #[test]
+    fn matches_basic_enum_on_structured_graphs() {
+        for (graph, queries) in [
+            (grid(4, 4), vec![
+                PathQuery::new(0u32, 15u32, 6),
+                PathQuery::new(1u32, 15u32, 6),
+                PathQuery::new(0u32, 14u32, 6),
+                PathQuery::new(4u32, 15u32, 5),
+            ]),
+            (layered_dag(3, 3), vec![
+                PathQuery::new(0u32, 10u32, 4),
+                PathQuery::new(0u32, 10u32, 6),
+                PathQuery::new(1u32, 10u32, 3),
+            ]),
+            (complete(6), vec![
+                PathQuery::new(0u32, 5u32, 3),
+                PathQuery::new(1u32, 5u32, 3),
+                PathQuery::new(0u32, 4u32, 4),
+            ]),
+        ] {
+            let mut batch_sink = CountSink::new(queries.len());
+            BatchEnum::default().run_batch(&graph, &queries, &mut batch_sink);
+            let mut basic_sink = CountSink::new(queries.len());
+            BasicEnum::default().run_batch(&graph, &queries, &mut basic_sink);
+            assert_eq!(batch_sink.counts(), basic_sink.counts());
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_random_graphs_with_overlapping_queries() {
+        for seed in 0..3 {
+            let g = gnm_random(70, 420, seed).unwrap();
+            // Queries deliberately share sources/targets to trigger sharing.
+            let queries = vec![
+                PathQuery::new(0u32, 30u32, 5),
+                PathQuery::new(0u32, 31u32, 5),
+                PathQuery::new(1u32, 30u32, 4),
+                PathQuery::new(1u32, 31u32, 5),
+                PathQuery::new(2u32, 32u32, 4),
+            ];
+            assert_matches_reference(&g, &queries, SearchOrder::VertexId, 0.5);
+            assert_matches_reference(&g, &queries, SearchOrder::DistanceThenDegree, 0.3);
+        }
+    }
+
+    #[test]
+    fn sharing_is_detected_for_similar_queries() {
+        let g = paper_graph();
+        let queries = paper_queries();
+        let mut sink = CountSink::new(queries.len());
+        let stats = BatchEnum::new(SearchOrder::VertexId, 0.5).run_batch(&g, &queries, &mut sink);
+        assert!(stats.num_clusters < queries.len(), "similar queries must be clustered");
+        assert!(stats.num_shared_subqueries > 0, "dominating HC-s path queries must be found");
+        assert!(stats.counters.cache_splices > 0, "cached results must actually be reused");
+        assert!(stats.peak_cached_results > 0);
+    }
+
+    #[test]
+    fn gamma_one_disables_clustering_but_stays_correct() {
+        let g = paper_graph();
+        let queries = paper_queries();
+        let mut sink = CountSink::new(queries.len());
+        let stats =
+            BatchEnum::new(SearchOrder::VertexId, 1.0).run_batch(&g, &queries, &mut sink);
+        assert_eq!(stats.num_clusters, queries.len());
+        // Still correct.
+        let mut reference = CountSink::new(queries.len());
+        BasicEnum::default().run_batch(&g, &queries, &mut reference);
+        assert_eq!(sink.counts(), reference.counts());
+    }
+
+    #[test]
+    fn duplicate_queries_share_everything() {
+        let g = preferential_attachment(PreferentialConfig {
+            num_vertices: 200,
+            edges_per_vertex: 3,
+            reciprocity: 0.3,
+            seed: 7,
+        })
+        .unwrap();
+        let queries = vec![PathQuery::new(0u32, 50u32, 4); 4];
+        let mut sink = CountSink::new(queries.len());
+        let stats = BatchEnum::default().run_batch(&g, &queries, &mut sink);
+        // All four queries produce identical counts.
+        let c = sink.count(0);
+        assert!(sink.counts().iter().all(|&x| x == c));
+        // They collapse onto a single pair of half queries, so at most one cluster exists.
+        assert_eq!(stats.num_clusters, 1);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let g = complete(4);
+        let mut sink = CountSink::new(0);
+        let stats = BatchEnum::default().run_batch(&g, &[], &mut sink);
+        assert_eq!(stats.num_queries, 0);
+        assert_eq!(stats.total_time(), std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn stage_decomposition_covers_all_four_stages() {
+        let g = paper_graph();
+        let queries = paper_queries();
+        let mut sink = CountSink::new(queries.len());
+        let stats = BatchEnum::default().run_batch(&g, &queries, &mut sink);
+        for stage in Stage::ALL {
+            assert!(
+                stats.stage_time(stage) > std::time::Duration::ZERO,
+                "stage {stage} must be timed"
+            );
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Reference enumerator used only for correctness testing and tiny examples.
+//!
+//! A plain depth-first backtracking enumeration with no index and no pruning beyond the
+//! hop bound and the simple-path constraint. Exponentially slower than the real
+//! algorithms, but its output is trivially correct, which makes it the oracle for the
+//! integration and property tests ("all algorithms return exactly the brute-force set").
+
+use crate::path::Path;
+use crate::query::PathQuery;
+use hcsp_graph::{DiGraph, Direction, VertexId};
+
+/// Enumerates every simple path from `query.source` to `query.target` with at most
+/// `query.hop_limit` hops by naive backtracking DFS.
+pub fn enumerate_reference(graph: &DiGraph, query: &PathQuery) -> Vec<Path> {
+    let mut results = Vec::new();
+    if query.source.index() >= graph.num_vertices() || query.target.index() >= graph.num_vertices()
+    {
+        return results;
+    }
+    let mut stack = vec![query.source];
+    dfs(graph, query, &mut stack, &mut results);
+    results
+}
+
+fn dfs(graph: &DiGraph, query: &PathQuery, stack: &mut Vec<VertexId>, results: &mut Vec<Path>) {
+    let last = *stack.last().expect("stack never empty");
+    if last == query.target {
+        results.push(Path::new(stack.clone()));
+        // A simple path may not revisit the target, so stop extending here.
+        return;
+    }
+    if (stack.len() - 1) as u32 >= query.hop_limit {
+        return;
+    }
+    for &w in graph.neighbors(last, Direction::Forward) {
+        if stack.contains(&w) {
+            continue;
+        }
+        stack.push(w);
+        dfs(graph, query, stack, results);
+        stack.pop();
+    }
+}
+
+/// Sorted canonical form of a path list, convenient for set equality assertions in tests.
+pub fn canonical(mut paths: Vec<Path>) -> Vec<Path> {
+    paths.sort();
+    paths.dedup();
+    paths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcsp_graph::generators::regular::{complete, cycle, layered_dag};
+
+    fn count(graph: &DiGraph, s: u32, t: u32, k: u32) -> usize {
+        enumerate_reference(graph, &PathQuery::new(s, t, k)).len()
+    }
+
+    #[test]
+    fn layered_dag_has_width_pow_layers_paths() {
+        let g = layered_dag(3, 2);
+        let sink = (g.num_vertices() - 1) as u32;
+        assert_eq!(count(&g, 0, sink, 4), 8);
+        assert_eq!(count(&g, 0, sink, 3), 0, "paths need 4 hops");
+        assert_eq!(count(&g, 0, sink, 10), 8, "larger k admits no extra simple paths");
+    }
+
+    #[test]
+    fn cycle_has_exactly_one_path_per_direction() {
+        let g = cycle(5);
+        assert_eq!(count(&g, 0, 3, 5), 1);
+        assert_eq!(count(&g, 0, 3, 2), 0);
+    }
+
+    #[test]
+    fn complete_graph_path_counts_match_closed_form() {
+        // In K4, simple paths from s to t of length exactly l pass through l-1 of the 2
+        // remaining vertices in order: counts are 1 (l=1), 2 (l=2), 2 (l=3).
+        let g = complete(4);
+        assert_eq!(count(&g, 0, 3, 1), 1);
+        assert_eq!(count(&g, 0, 3, 2), 3);
+        assert_eq!(count(&g, 0, 3, 3), 5);
+    }
+
+    #[test]
+    fn source_equals_target_returns_trivial_path() {
+        let g = complete(3);
+        let paths = enumerate_reference(&g, &PathQuery::new(1u32, 1u32, 4));
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].hops(), 0);
+    }
+
+    #[test]
+    fn out_of_range_endpoints_return_empty() {
+        let g = complete(3);
+        assert_eq!(count(&g, 0, 9, 3), 0);
+        assert_eq!(count(&g, 9, 0, 3), 0);
+    }
+
+    #[test]
+    fn every_result_is_simple_and_within_bound() {
+        let g = complete(5);
+        let q = PathQuery::new(0u32, 4u32, 3);
+        for p in enumerate_reference(&g, &q) {
+            assert!(p.is_simple());
+            assert!(p.hops() as u32 <= q.hop_limit);
+            assert_eq!(p.first(), q.source);
+            assert_eq!(p.last(), q.target);
+        }
+    }
+
+    #[test]
+    fn canonical_sorts_and_dedups() {
+        let a = Path::new(vec![VertexId(0), VertexId(1)]);
+        let b = Path::new(vec![VertexId(0), VertexId(2)]);
+        let out = canonical(vec![b.clone(), a.clone(), a.clone()]);
+        assert_eq!(out, vec![a, b]);
+    }
+}

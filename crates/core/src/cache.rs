@@ -1,0 +1,179 @@
+//! The materialised-result cache `R` of Algorithm 4.
+//!
+//! Every HC-s path query node of Ψ is enumerated exactly once and its paths are kept in
+//! the cache until the last user has consumed them (Alg. 4 lines 14–16): the cache tracks
+//! a remaining-user count per entry and evicts eagerly, so peak memory is proportional to
+//! the "frontier" of the topological evaluation rather than to the whole batch.
+
+use crate::path::PathSet;
+use crate::sharing_graph::NodeId;
+
+/// Reference-counted cache of materialised HC-s path query results, keyed by Ψ node id.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    entries: Vec<Option<CacheEntry>>,
+    resident: usize,
+    peak_resident: usize,
+    total_inserted: usize,
+    evicted: usize,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    paths: PathSet,
+    remaining_users: usize,
+}
+
+impl ResultCache {
+    /// Creates a cache able to hold results for `num_nodes` Ψ nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        let mut entries = Vec::with_capacity(num_nodes);
+        entries.resize_with(num_nodes, || None);
+        ResultCache { entries, ..Default::default() }
+    }
+
+    /// Inserts the materialised results of `node`, to be consumed by `num_users` users.
+    ///
+    /// Entries with zero users are dropped immediately (they can never be read again).
+    pub fn insert(&mut self, node: NodeId, paths: PathSet, num_users: usize) {
+        if node >= self.entries.len() {
+            self.entries.resize_with(node + 1, || None);
+        }
+        self.total_inserted += 1;
+        if num_users == 0 {
+            self.evicted += 1;
+            return;
+        }
+        debug_assert!(self.entries[node].is_none(), "node {node} materialised twice");
+        self.entries[node] = Some(CacheEntry { paths, remaining_users: num_users });
+        self.resident += 1;
+        self.peak_resident = self.peak_resident.max(self.resident);
+    }
+
+    /// The cached paths of `node`, if resident.
+    pub fn get(&self, node: NodeId) -> Option<&PathSet> {
+        self.entries.get(node).and_then(|e| e.as_ref()).map(|e| &e.paths)
+    }
+
+    /// Whether `node` currently has resident results.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.get(node).is_some()
+    }
+
+    /// Signals that one user of `node` has finished consuming its results; evicts the
+    /// entry when the last user is done. Returns `true` if the entry was evicted.
+    pub fn release(&mut self, node: NodeId) -> bool {
+        let Some(slot) = self.entries.get_mut(node) else { return false };
+        let Some(entry) = slot.as_mut() else { return false };
+        entry.remaining_users = entry.remaining_users.saturating_sub(1);
+        if entry.remaining_users == 0 {
+            *slot = None;
+            self.resident -= 1;
+            self.evicted += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of entries currently resident.
+    pub fn resident(&self) -> usize {
+        self.resident
+    }
+
+    /// Highest number of simultaneously resident entries observed.
+    pub fn peak_resident(&self) -> usize {
+        self.peak_resident
+    }
+
+    /// Number of entries ever inserted.
+    pub fn total_inserted(&self) -> usize {
+        self.total_inserted
+    }
+
+    /// Number of entries evicted (including zero-user immediate drops).
+    pub fn evicted(&self) -> usize {
+        self.evicted
+    }
+
+    /// Total number of paths currently resident (memory pressure metric).
+    pub fn resident_paths(&self) -> usize {
+        self.entries.iter().flatten().map(|e| e.paths.len()).sum()
+    }
+
+    /// Approximate heap footprint of the resident results in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.entries.iter().flatten().map(|e| e.paths.heap_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcsp_graph::VertexId;
+
+    fn path_set(paths: &[&[u32]]) -> PathSet {
+        let mut set = PathSet::new();
+        for p in paths {
+            let vs: Vec<VertexId> = p.iter().map(|&x| VertexId(x)).collect();
+            set.push_slice(&vs);
+        }
+        set
+    }
+
+    #[test]
+    fn insert_get_release_cycle() {
+        let mut cache = ResultCache::new(4);
+        cache.insert(2, path_set(&[&[1, 2], &[1, 3]]), 2);
+        assert!(cache.contains(2));
+        assert_eq!(cache.get(2).unwrap().len(), 2);
+        assert_eq!(cache.resident(), 1);
+        assert_eq!(cache.resident_paths(), 2);
+        assert!(cache.heap_bytes() > 0);
+
+        assert!(!cache.release(2), "first release keeps the entry");
+        assert!(cache.contains(2));
+        assert!(cache.release(2), "second release evicts");
+        assert!(!cache.contains(2));
+        assert_eq!(cache.resident(), 0);
+        assert_eq!(cache.evicted(), 1);
+        assert_eq!(cache.peak_resident(), 1);
+    }
+
+    #[test]
+    fn zero_user_entries_are_dropped_immediately() {
+        let mut cache = ResultCache::new(2);
+        cache.insert(0, path_set(&[&[1]]), 0);
+        assert!(!cache.contains(0));
+        assert_eq!(cache.total_inserted(), 1);
+        assert_eq!(cache.evicted(), 1);
+        assert_eq!(cache.peak_resident(), 0);
+    }
+
+    #[test]
+    fn peak_tracks_simultaneous_residency() {
+        let mut cache = ResultCache::new(3);
+        cache.insert(0, path_set(&[&[1]]), 1);
+        cache.insert(1, path_set(&[&[2]]), 1);
+        assert_eq!(cache.peak_resident(), 2);
+        cache.release(0);
+        cache.insert(2, path_set(&[&[3]]), 1);
+        assert_eq!(cache.resident(), 2);
+        assert_eq!(cache.peak_resident(), 2);
+    }
+
+    #[test]
+    fn release_of_missing_entries_is_harmless() {
+        let mut cache = ResultCache::new(1);
+        assert!(!cache.release(0));
+        assert!(!cache.release(99));
+        assert_eq!(cache.get(99), None);
+    }
+
+    #[test]
+    fn cache_grows_for_out_of_range_nodes() {
+        let mut cache = ResultCache::new(1);
+        cache.insert(7, path_set(&[&[4, 5]]), 1);
+        assert!(cache.contains(7));
+    }
+}

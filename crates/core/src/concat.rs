@@ -1,0 +1,201 @@
+//! The path concatenation operator `⊕` (Definition 3.1).
+//!
+//! The bidirectional search produces a set of forward prefixes `P_f` (paths from `s` on
+//! `G`) and a set of backward prefixes `P_b` (paths from `t` on `G^r`). `P_f ⊕ P_b` hash
+//! joins the two sets on their shared end vertex and keeps exactly the simple joined paths
+//! within the hop constraint.
+//!
+//! ## Canonical split
+//!
+//! Both halves contain prefixes of *every* length up to their budget, so a single result
+//! path of length `L` could be reassembled from several `(prefix, suffix)` splits. To
+//! report every HC-s-t path exactly once, the join only accepts the canonical split in
+//! which the forward half carries `⌈L/2⌉` hops — i.e. `forward.hops() − backward.hops() ∈
+//! {0, 1}`. Every valid result path has such a split within the budgets `⌈k/2⌉ / ⌊k/2⌋`,
+//! and it has only one.
+
+use crate::path::{vertices_are_distinct, Path, PathSet};
+use hcsp_graph::VertexId;
+use std::collections::HashMap;
+
+/// Statistics of one join, used by instrumentation and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JoinStats {
+    /// Number of `(forward, backward)` candidate pairs that shared a join vertex.
+    pub candidate_pairs: usize,
+    /// Candidates rejected because the split was not canonical or exceeded the hop limit.
+    pub rejected_split: usize,
+    /// Candidates rejected because the joined path repeated a vertex.
+    pub rejected_not_simple: usize,
+    /// Number of result paths produced.
+    pub produced: usize,
+}
+
+/// Joins forward and backward prefix sets into complete HC-s-t paths.
+///
+/// * `forward` — paths starting at `s`, oriented along `G` (first vertex is `s`).
+/// * `backward` — paths starting at `t`, oriented along `G^r` (first vertex is `t`); their
+///   reversal is the suffix of the result path.
+/// * `hop_limit` — the query's hop constraint `k`.
+///
+/// Every produced path starts at `s`, ends at `t`, is simple, and has at most `hop_limit`
+/// hops. Paths are emitted through `emit`, which receives the full vertex sequence.
+pub fn concatenate_with<F>(
+    forward: &PathSet,
+    backward: &PathSet,
+    hop_limit: u32,
+    mut emit: F,
+) -> JoinStats
+where
+    F: FnMut(&[VertexId]),
+{
+    let mut stats = JoinStats::default();
+    if forward.is_empty() || backward.is_empty() {
+        return stats;
+    }
+
+    // Hash the (smaller in expectation) backward side on its end vertex.
+    let mut by_join_vertex: HashMap<VertexId, Vec<usize>> = HashMap::new();
+    for (idx, suffix) in backward.iter().enumerate() {
+        let join_vertex = *suffix.last().expect("paths are non-empty");
+        by_join_vertex.entry(join_vertex).or_default().push(idx);
+    }
+
+    let mut assembled: Vec<VertexId> = Vec::with_capacity(hop_limit as usize + 1);
+    for prefix in forward.iter() {
+        let join_vertex = *prefix.last().expect("paths are non-empty");
+        let Some(candidates) = by_join_vertex.get(&join_vertex) else { continue };
+        let forward_hops = (prefix.len() - 1) as u32;
+        for &suffix_idx in candidates {
+            let suffix = backward.get(suffix_idx);
+            stats.candidate_pairs += 1;
+            let backward_hops = (suffix.len() - 1) as u32;
+            let total = forward_hops + backward_hops;
+            let canonical = forward_hops >= backward_hops && forward_hops - backward_hops <= 1;
+            if !canonical || total > hop_limit {
+                stats.rejected_split += 1;
+                continue;
+            }
+            assembled.clear();
+            assembled.extend_from_slice(prefix);
+            // The suffix is oriented from t towards the join vertex; skip the shared join
+            // vertex and append the rest reversed.
+            assembled.extend(suffix[..suffix.len() - 1].iter().rev().copied());
+            if !vertices_are_distinct(&assembled) {
+                stats.rejected_not_simple += 1;
+                continue;
+            }
+            stats.produced += 1;
+            emit(&assembled);
+        }
+    }
+    stats
+}
+
+/// Convenience wrapper collecting the joined paths into a [`PathSet`].
+pub fn concatenate(forward: &PathSet, backward: &PathSet, hop_limit: u32) -> (PathSet, JoinStats) {
+    let mut out = PathSet::new();
+    let stats = concatenate_with(forward, backward, hop_limit, |p| out.push_slice(p));
+    (out, stats)
+}
+
+/// Convenience wrapper returning owned [`Path`] values (tests and examples).
+pub fn concatenate_to_paths(forward: &PathSet, backward: &PathSet, hop_limit: u32) -> Vec<Path> {
+    let (set, _) = concatenate(forward, backward, hop_limit);
+    set.to_paths()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: u32) -> VertexId {
+        VertexId(x)
+    }
+
+    fn set(paths: &[&[u32]]) -> PathSet {
+        let mut s = PathSet::new();
+        for p in paths {
+            let vs: Vec<VertexId> = p.iter().map(|&x| VertexId(x)).collect();
+            s.push_slice(&vs);
+        }
+        s
+    }
+
+    #[test]
+    fn joins_on_shared_end_vertex() {
+        // Forward prefixes from s = 0, backward prefixes from t = 5 (in Gr orientation).
+        let forward = set(&[&[0], &[0, 1], &[0, 1, 2]]);
+        let backward = set(&[&[5], &[5, 4], &[5, 4, 2]]);
+        let (result, stats) = concatenate(&forward, &backward, 4);
+        let paths = result.to_paths();
+        // Canonical splits: (0,1,2)+(5,4,2) -> 0,1,2,4,5 with fwd=2,bwd=2.
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].vertices(), &[v(0), v(1), v(2), v(4), v(5)]);
+        assert_eq!(stats.produced, 1);
+    }
+
+    #[test]
+    fn canonical_split_prevents_duplicates() {
+        // Path 0 -> 1 -> 2 -> 3 of length 3 could be split (0,1)+(3,2,1) or (0,1,2)+(3,2).
+        let forward = set(&[&[0], &[0, 1], &[0, 1, 2]]);
+        let backward = set(&[&[3], &[3, 2], &[3, 2, 1]]);
+        let paths = concatenate_to_paths(&forward, &backward, 3);
+        assert_eq!(paths.len(), 1, "each result path must be produced exactly once");
+        assert_eq!(paths[0].vertices(), &[v(0), v(1), v(2), v(3)]);
+    }
+
+    #[test]
+    fn hop_limit_filters_long_paths() {
+        let forward = set(&[&[0, 1, 2]]);
+        let backward = set(&[&[5, 4, 2]]);
+        assert_eq!(concatenate_to_paths(&forward, &backward, 4).len(), 1);
+        assert_eq!(concatenate_to_paths(&forward, &backward, 3).len(), 0);
+    }
+
+    #[test]
+    fn non_simple_joins_are_rejected() {
+        // Forward 0 -> 1 -> 2, backward (from t=3) 3 -> 1 -> 2: joined path repeats 1.
+        let forward = set(&[&[0, 1, 2]]);
+        let backward = set(&[&[3, 1, 2]]);
+        let (result, stats) = concatenate(&forward, &backward, 5);
+        assert!(result.is_empty());
+        assert_eq!(stats.rejected_not_simple, 1);
+    }
+
+    #[test]
+    fn zero_hop_halves_support_short_paths() {
+        // Path of length 1: s = 0, t = 1. Forward (0,1) joins with backward (1).
+        let forward = set(&[&[0], &[0, 1]]);
+        let backward = set(&[&[1]]);
+        let paths = concatenate_to_paths(&forward, &backward, 1);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].vertices(), &[v(0), v(1)]);
+    }
+
+    #[test]
+    fn trivial_query_s_equals_t() {
+        let forward = set(&[&[7]]);
+        let backward = set(&[&[7]]);
+        let paths = concatenate_to_paths(&forward, &backward, 3);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].vertices(), &[v(7)]);
+    }
+
+    #[test]
+    fn empty_sides_produce_nothing() {
+        let forward = set(&[&[0, 1]]);
+        let empty = PathSet::new();
+        assert_eq!(concatenate(&forward, &empty, 5).0.len(), 0);
+        assert_eq!(concatenate(&empty, &forward, 5).0.len(), 0);
+    }
+
+    #[test]
+    fn stats_count_candidates_and_rejections() {
+        let forward = set(&[&[0, 1], &[0, 2, 1]]);
+        let backward = set(&[&[3, 1], &[3, 4, 1]]);
+        let (_, stats) = concatenate(&forward, &backward, 10);
+        assert_eq!(stats.candidate_pairs, 4);
+        assert_eq!(stats.produced + stats.rejected_split + stats.rejected_not_simple, 4);
+    }
+}

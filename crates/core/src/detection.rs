@@ -1,0 +1,351 @@
+//! `DetectCommonQuery` — common HC-s path query detection (Algorithm 3, Phase 2 of §IV-B).
+//!
+//! Within one query cluster and one search direction, the detection simulates the first
+//! hops of every half query *level-synchronously*: at each remaining-hop-budget level it
+//! records which half queries (or previously detected dominating queries) are currently
+//! extending which vertex. When several of them meet at the same vertex with the same
+//! remaining budget, their continuations are identical and a *dominating HC-s path query*
+//! rooted at that vertex is created; the original queries become its users in Ψ. When a
+//! query's extension runs into the root of an already-identified HC-s path query whose
+//! budget covers the remaining need, a reuse edge is added instead of extending further
+//! (the second observation of §IV-B, illustrated by `q_{v12,1,Gr}` vs `q_{v12,2,Gr}`).
+//!
+//! The simulation is restricted to the vertices that can still contribute to at least one
+//! query of the cluster (the union of the anchor-side index neighbourhoods), so its cost
+//! stays proportional to the index size, matching the paper's claim that IdentifySubquery
+//! time is dominated by BFS-scale work (Exp-3).
+
+use crate::query::{HcsQuery, PathQuery, QueryId};
+use crate::sharing_graph::{NodeId, SharingGraph};
+use hcsp_graph::{DiGraph, Direction, VertexId};
+use hcsp_index::BatchIndex;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Summary of one detection run (one cluster, one direction), used by stats and tests.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DetectionOutcome {
+    /// Dominating HC-s path queries newly created by this run.
+    pub dominating_created: usize,
+    /// Reuse edges added towards already-identified HC-s path queries.
+    pub reuse_edges: usize,
+    /// Number of (vertex, level) cells the simulation touched.
+    pub cells_visited: usize,
+}
+
+/// Runs Algorithm 3 for one cluster of queries in one direction, extending `sharing`.
+///
+/// `cluster` carries `(query id, query)` pairs; the full-query nodes and the trivial half
+/// query edges (Alg. 3 lines 2–4) are created here as well, so a caller only needs to call
+/// this twice (forward + backward) per cluster and then evaluate Ψ.
+pub fn detect_common_queries(
+    graph: &DiGraph,
+    index: &BatchIndex,
+    cluster: &[(QueryId, PathQuery)],
+    dir: Direction,
+    sharing: &mut SharingGraph,
+) -> DetectionOutcome {
+    let mut outcome = DetectionOutcome::default();
+    if cluster.is_empty() {
+        return outcome;
+    }
+
+    // The set of vertices that can still matter for any query of the cluster: within the
+    // hop bound of at least one anchor on the pruning side. Extensions outside this set can
+    // never produce a useful prefix, so the simulation skips them.
+    let mut useful: BTreeSet<VertexId> = BTreeSet::new();
+    for (_, q) in cluster {
+        let anchor = q.anchor(dir);
+        let reachable = match dir {
+            Direction::Forward => index.gamma_backward(anchor, q.hop_limit),
+            Direction::Backward => index.gamma_forward(anchor, q.hop_limit),
+        };
+        useful.extend(reachable);
+    }
+
+    // Lines 2-4: every query contributes its half query as the initial extension of its
+    // root; the half query node provides for the full query node with offset 0.
+    let k_max = cluster.iter().map(|(_, q)| q.budget(dir)).max().unwrap_or(0);
+    // pending[b] holds the half-query nodes that become active once the level reaches
+    // their own budget b.
+    let mut pending: Vec<Vec<(VertexId, NodeId)>> = vec![Vec::new(); k_max as usize + 1];
+    for &(qid, ref q) in cluster {
+        let full_node = sharing.add_full_query(qid);
+        let half = q.half_query(dir);
+        let half_node = sharing.add_hcs_query(half);
+        sharing.add_dependency(half_node, full_node, 0);
+        pending[half.budget as usize].push((half.root, half_node));
+    }
+
+    // root_query[v] = the most recently identified HC-s path query node rooted at v (MQ).
+    let mut root_query: BTreeMap<VertexId, NodeId> = BTreeMap::new();
+    for level in (0..=k_max).rev() {
+        for &(root, node) in &pending[level as usize] {
+            root_query.insert(root, node);
+        }
+    }
+
+    // active[v] = nodes whose enumeration currently sits at v with the current remaining
+    // budget. Initialised per level from `pending`.
+    let mut active: BTreeMap<VertexId, BTreeSet<NodeId>> = BTreeMap::new();
+
+    let mut remaining = k_max;
+    loop {
+        // Activate the half queries whose budget equals the current remaining budget.
+        for &(root, node) in &pending[remaining as usize] {
+            active.entry(root).or_default().insert(node);
+        }
+
+        // Lines 7-19: detect convergence per vertex and elect a representative.
+        let mut representatives: BTreeMap<VertexId, NodeId> = BTreeMap::new();
+        for (&vertex, nodes) in &active {
+            outcome.cells_visited += 1;
+            debug_assert!(!nodes.is_empty());
+            if nodes.len() == 1 {
+                representatives.insert(vertex, *nodes.iter().next().unwrap());
+                continue;
+            }
+            // Several queries share all continuations from `vertex` with `remaining` hops:
+            // represent them by the dominating HC-s path query q_{vertex, remaining, dir}.
+            let dominating = HcsQuery::new(vertex, remaining, dir);
+            let existed = sharing.find_hcs(&dominating).is_some();
+            let dom_node = sharing.add_hcs_query(dominating);
+            if !existed {
+                outcome.dominating_created += 1;
+            }
+            for &user in nodes {
+                if user != dom_node {
+                    let user_budget = sharing
+                        .node(user)
+                        .as_hcs()
+                        .expect("active nodes are HC-s path queries")
+                        .budget;
+                    sharing.add_dependency(dom_node, user, user_budget - remaining);
+                }
+            }
+            representatives.insert(vertex, dom_node);
+            root_query.insert(vertex, dom_node);
+        }
+
+        if remaining == 0 {
+            break;
+        }
+
+        // Lines 20-24: extend every representative by one hop.
+        let mut next_active: BTreeMap<VertexId, BTreeSet<NodeId>> = BTreeMap::new();
+        for (&vertex, &rep) in &representatives {
+            let rep_budget =
+                sharing.node(rep).as_hcs().expect("representatives are HC-s path queries").budget;
+            for &next in graph.neighbors(vertex, dir) {
+                if !useful.contains(&next) {
+                    continue;
+                }
+                // If an HC-s path query rooted at `next` already covers the remaining need,
+                // reuse it instead of extending (second observation of §IV-B).
+                let reusable = root_query.get(&next).copied().filter(|&candidate| {
+                    candidate != rep
+                        && sharing
+                            .node(candidate)
+                            .as_hcs()
+                            .map(|q| q.covers_budget(remaining.saturating_sub(1)))
+                            .unwrap_or(false)
+                });
+                if let Some(provider) = reusable {
+                    let offset = rep_budget - (remaining - 1);
+                    if sharing.add_dependency(provider, rep, offset) {
+                        outcome.reuse_edges += 1;
+                        continue;
+                    }
+                    // The edge would have created a cycle; fall through and keep extending.
+                }
+                next_active.entry(next).or_default().insert(rep);
+            }
+        }
+
+        active = next_active;
+        remaining -= 1;
+        if active.is_empty() && pending[..=remaining as usize].iter().all(Vec::is_empty) {
+            break;
+        }
+    }
+
+    outcome
+}
+
+/// Detection entry point used by `BatchEnum`: runs both directions for one cluster.
+pub fn detect_cluster(
+    graph: &DiGraph,
+    index: &BatchIndex,
+    cluster: &[(QueryId, PathQuery)],
+    sharing: &mut SharingGraph,
+) -> DetectionOutcome {
+    let mut total = detect_common_queries(graph, index, cluster, Direction::Forward, sharing);
+    let backward = detect_common_queries(graph, index, cluster, Direction::Backward, sharing);
+    total.dominating_created += backward.dominating_created;
+    total.reuse_edges += backward.reuse_edges;
+    total.cells_visited += backward.cells_visited;
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::BatchSummary;
+    use crate::sharing_graph::QueryNode;
+    use hcsp_graph::generators::regular::{complete, grid};
+    use hcsp_graph::GraphBuilder;
+
+    fn build_index(graph: &DiGraph, queries: &[PathQuery]) -> BatchIndex {
+        let summary = BatchSummary::of(queries);
+        BatchIndex::build(graph, &summary.sources, &summary.targets, summary.max_hop_limit)
+    }
+
+    fn cluster_of(queries: &[PathQuery]) -> Vec<(QueryId, PathQuery)> {
+        queries.iter().copied().enumerate().collect()
+    }
+
+    /// The running example of the paper (Fig. 1): 16 vertices, the edges drawn in the
+    /// figure.
+    fn paper_graph() -> DiGraph {
+        let edges: &[(u32, u32)] = &[
+            (0, 1),
+            (0, 4),
+            (2, 1),
+            (2, 4),
+            (5, 1),
+            (1, 7),
+            (1, 8),
+            (7, 10),
+            (7, 8),
+            (10, 12),
+            (12, 11),
+            (12, 13),
+            (4, 9),
+            (9, 3),
+            (9, 15),
+            (9, 8),
+            (3, 6),
+            (15, 6),
+            (6, 11),
+            (6, 13),
+            (6, 14),
+        ];
+        let mut b = GraphBuilder::new();
+        for &(u, v) in edges {
+            b.add_edge(VertexId(u), VertexId(v));
+        }
+        b.reserve_vertices(16);
+        b.build()
+    }
+
+    #[test]
+    fn converging_queries_create_a_dominating_query() {
+        // Paper Example 4.2, cluster {q0, q1, q2} on G: q0(v0,v11,5), q1(v2,v13,5),
+        // q2(v5,v12,5). All three reach v1 after one hop with the same remaining budget,
+        // so q_{v1,2,G} must be detected; q0 and q1 also converge on v4, giving q_{v4,2,G}.
+        let g = paper_graph();
+        let queries = vec![
+            PathQuery::new(0u32, 11u32, 5),
+            PathQuery::new(2u32, 13u32, 5),
+            PathQuery::new(5u32, 12u32, 5),
+        ];
+        let index = build_index(&g, &queries);
+        let mut sharing = SharingGraph::new();
+        let outcome = detect_common_queries(
+            &g,
+            &index,
+            &cluster_of(&queries),
+            Direction::Forward,
+            &mut sharing,
+        );
+        assert!(outcome.dominating_created >= 2, "{outcome:?}");
+        let dom_v1 = sharing.find_hcs(&HcsQuery::new(1u32, 2, Direction::Forward));
+        let dom_v4 = sharing.find_hcs(&HcsQuery::new(4u32, 2, Direction::Forward));
+        assert!(dom_v1.is_some(), "q_{{v1,2,G}} must be detected");
+        assert!(dom_v4.is_some(), "q_{{v4,2,G}} must be detected");
+        // q_{v1,2,G} provides for all three initial half queries.
+        assert_eq!(sharing.users(dom_v1.unwrap()).len(), 3);
+        assert_eq!(sharing.users(dom_v4.unwrap()).len(), 2);
+    }
+
+    #[test]
+    fn backward_detection_finds_shared_target_side_queries() {
+        // Paper Fig. 5 (b): q0, q1, q2 on Gr converge on v12 after one hop from v11 / v13.
+        let g = paper_graph();
+        let queries = vec![
+            PathQuery::new(0u32, 11u32, 5),
+            PathQuery::new(2u32, 13u32, 5),
+            PathQuery::new(5u32, 12u32, 5),
+        ];
+        let index = build_index(&g, &queries);
+        let mut sharing = SharingGraph::new();
+        detect_common_queries(&g, &index, &cluster_of(&queries), Direction::Backward, &mut sharing);
+        // Either the dominating q_{v12,1,Gr} is created or the existing half query
+        // q_{v12,2,Gr} (from q2) is reused; both forms of sharing are acceptable, but at
+        // least one sharing edge towards a v12-rooted provider must exist.
+        let reused = sharing
+            .nodes()
+            .filter_map(|(id, n)| n.as_hcs().map(|q| (id, *q)))
+            .filter(|(_, q)| q.root == VertexId(12) && q.direction == Direction::Backward)
+            .any(|(id, _)| !sharing.users(id).is_empty());
+        assert!(reused, "target-side sharing through v12 must be detected");
+    }
+
+    #[test]
+    fn detection_builds_a_processable_dag() {
+        let g = paper_graph();
+        let queries = vec![
+            PathQuery::new(0u32, 11u32, 5),
+            PathQuery::new(2u32, 13u32, 5),
+            PathQuery::new(5u32, 12u32, 5),
+            PathQuery::new(4u32, 14u32, 4),
+            PathQuery::new(9u32, 14u32, 3),
+        ];
+        let index = build_index(&g, &queries);
+        let mut sharing = SharingGraph::new();
+        detect_cluster(&g, &index, &cluster_of(&queries), &mut sharing);
+        let order = sharing.topological_order();
+        assert_eq!(order.len(), sharing.len());
+        // Every full query node has exactly two providers: its forward and backward halves.
+        for (id, node) in sharing.nodes() {
+            if matches!(node, QueryNode::Full(_)) {
+                assert_eq!(sharing.providers(id).len(), 2, "full query {id} providers");
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_queries_share_nothing() {
+        // Two far-apart corners of a grid: no common computation exists.
+        let g = grid(6, 6);
+        let queries = vec![PathQuery::new(0u32, 7u32, 2), PathQuery::new(28u32, 35u32, 2)];
+        let index = build_index(&g, &queries);
+        let mut sharing = SharingGraph::new();
+        let outcome = detect_cluster(&g, &index, &cluster_of(&queries), &mut sharing);
+        assert_eq!(outcome.dominating_created, 0);
+        // Only the 2 full nodes + 4 half nodes exist.
+        assert_eq!(sharing.len(), 6);
+    }
+
+    #[test]
+    fn identical_queries_collapse_onto_the_same_half_nodes() {
+        let g = complete(6);
+        let queries = vec![PathQuery::new(0u32, 5u32, 4), PathQuery::new(0u32, 5u32, 4)];
+        let index = build_index(&g, &queries);
+        let mut sharing = SharingGraph::new();
+        detect_cluster(&g, &index, &cluster_of(&queries), &mut sharing);
+        // 2 full nodes share one forward half and one backward half (plus any detected
+        // dominating queries).
+        let forward_half = sharing.find_hcs(&HcsQuery::new(0u32, 2, Direction::Forward)).unwrap();
+        assert_eq!(sharing.users(forward_half).len(), 2);
+    }
+
+    #[test]
+    fn empty_cluster_is_a_noop() {
+        let g = complete(3);
+        let index = build_index(&g, &[PathQuery::new(0u32, 1u32, 2)]);
+        let mut sharing = SharingGraph::new();
+        let outcome = detect_common_queries(&g, &index, &[], Direction::Forward, &mut sharing);
+        assert_eq!(outcome, DetectionOutcome::default());
+        assert!(sharing.is_empty());
+    }
+}

@@ -1,0 +1,253 @@
+//! The user-facing batch engine: algorithm selection, configuration, and result assembly.
+//!
+//! The engine wraps the five algorithms compared throughout the paper's evaluation
+//! (`PathEnum`, `BasicEnum`, `BasicEnum+`, `BatchEnum`, `BatchEnum+`) behind one entry
+//! point, so examples, integration tests, and the experiment harness all drive the exact
+//! same code paths.
+
+use crate::basic_enum::BasicEnum;
+use crate::batch_enum::{BatchEnum, DEFAULT_GAMMA};
+use crate::path::PathSet;
+use crate::pathenum::PathEnum;
+use crate::query::PathQuery;
+use crate::search_order::SearchOrder;
+use crate::sink::{CollectSink, CountSink, PathSink};
+use crate::stats::EnumStats;
+use hcsp_graph::DiGraph;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The algorithms evaluated in the paper (§V "Algorithms").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// State-of-the-art single-query algorithm, one isolated run per query.
+    PathEnum,
+    /// Algorithm 1: shared multi-source BFS index, independent per-query enumeration.
+    BasicEnum,
+    /// `BasicEnum` with the optimized search order.
+    BasicEnumPlus,
+    /// Algorithm 4: clustering + HC-s path query sharing.
+    BatchEnum,
+    /// `BatchEnum` with the optimized search order.
+    BatchEnumPlus,
+}
+
+impl Algorithm {
+    /// All algorithms in the order the paper's figures list them.
+    pub const ALL: [Algorithm; 5] = [
+        Algorithm::PathEnum,
+        Algorithm::BasicEnum,
+        Algorithm::BasicEnumPlus,
+        Algorithm::BatchEnum,
+        Algorithm::BatchEnumPlus,
+    ];
+
+    /// The search order the algorithm uses.
+    pub fn search_order(self) -> SearchOrder {
+        match self {
+            Algorithm::PathEnum | Algorithm::BasicEnum | Algorithm::BatchEnum => {
+                SearchOrder::VertexId
+            }
+            Algorithm::BasicEnumPlus | Algorithm::BatchEnumPlus => SearchOrder::DistanceThenDegree,
+        }
+    }
+
+    /// Whether the algorithm performs HC-s path query sharing.
+    pub fn shares_computation(self) -> bool {
+        matches!(self, Algorithm::BatchEnum | Algorithm::BatchEnumPlus)
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Algorithm::PathEnum => "PathEnum",
+            Algorithm::BasicEnum => "BasicEnum",
+            Algorithm::BasicEnumPlus => "BasicEnum+",
+            Algorithm::BatchEnum => "BatchEnum",
+            Algorithm::BatchEnumPlus => "BatchEnum+",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Builder-configured batch query engine.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchEngine {
+    algorithm: Algorithm,
+    gamma: f64,
+}
+
+impl Default for BatchEngine {
+    fn default() -> Self {
+        BatchEngine { algorithm: Algorithm::BatchEnumPlus, gamma: DEFAULT_GAMMA }
+    }
+}
+
+/// Builder for [`BatchEngine`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchEngineBuilder {
+    algorithm: Option<Algorithm>,
+    gamma: Option<f64>,
+}
+
+impl BatchEngineBuilder {
+    /// Selects the algorithm (default: `BatchEnum+`).
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = Some(algorithm);
+        self
+    }
+
+    /// Sets the clustering threshold γ (default 0.5; only used by the sharing algorithms).
+    pub fn gamma(mut self, gamma: f64) -> Self {
+        self.gamma = Some(gamma);
+        self
+    }
+
+    /// Finalises the engine.
+    pub fn build(self) -> BatchEngine {
+        BatchEngine {
+            algorithm: self.algorithm.unwrap_or(Algorithm::BatchEnumPlus),
+            gamma: self.gamma.unwrap_or(DEFAULT_GAMMA).clamp(0.0, 1.0),
+        }
+    }
+}
+
+/// The outcome of a batch run when results are collected.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// The result paths of every query, in batch order.
+    pub paths: Vec<PathSet>,
+    /// Run statistics (stage timings, counters, clustering info).
+    pub stats: EnumStats,
+}
+
+impl BatchOutcome {
+    /// Number of result paths of query `i`.
+    pub fn count(&self, i: usize) -> usize {
+        self.paths[i].len()
+    }
+
+    /// Total number of result paths across the batch.
+    pub fn total(&self) -> usize {
+        self.paths.iter().map(PathSet::len).sum()
+    }
+}
+
+impl BatchEngine {
+    /// Starts building an engine.
+    pub fn builder() -> BatchEngineBuilder {
+        BatchEngineBuilder::default()
+    }
+
+    /// Convenience constructor with an explicit algorithm and the default γ.
+    pub fn with_algorithm(algorithm: Algorithm) -> Self {
+        BatchEngine { algorithm, gamma: DEFAULT_GAMMA }
+    }
+
+    /// The configured algorithm.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// The configured clustering threshold.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Runs the batch, streaming every result path into a caller-provided sink.
+    pub fn run_with_sink<S: PathSink>(
+        &self,
+        graph: &DiGraph,
+        queries: &[PathQuery],
+        sink: &mut S,
+    ) -> EnumStats {
+        match self.algorithm {
+            Algorithm::PathEnum => {
+                PathEnum::new(self.algorithm.search_order()).run_batch(graph, queries, sink)
+            }
+            Algorithm::BasicEnum | Algorithm::BasicEnumPlus => {
+                BasicEnum::new(self.algorithm.search_order()).run_batch(graph, queries, sink)
+            }
+            Algorithm::BatchEnum | Algorithm::BatchEnumPlus => {
+                BatchEnum::new(self.algorithm.search_order(), self.gamma)
+                    .run_batch(graph, queries, sink)
+            }
+        }
+    }
+
+    /// Runs the batch and collects every result path.
+    pub fn run(&self, graph: &DiGraph, queries: &[PathQuery]) -> BatchOutcome {
+        let mut sink = CollectSink::new(queries.len());
+        let stats = self.run_with_sink(graph, queries, &mut sink);
+        BatchOutcome { paths: sink.into_inner(), stats }
+    }
+
+    /// Runs the batch counting results only (the mode used by the timing experiments,
+    /// where materialising every path of every query would dominate memory).
+    pub fn run_counting(&self, graph: &DiGraph, queries: &[PathQuery]) -> (Vec<u64>, EnumStats) {
+        let mut sink = CountSink::new(queries.len());
+        let stats = self.run_with_sink(graph, queries, &mut sink);
+        (sink.counts().to_vec(), stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bruteforce::enumerate_reference;
+    use hcsp_graph::generators::regular::{complete, grid};
+
+    #[test]
+    fn all_algorithms_agree_on_counts() {
+        let g = grid(4, 4);
+        let queries = vec![
+            PathQuery::new(0u32, 15u32, 6),
+            PathQuery::new(1u32, 15u32, 6),
+            PathQuery::new(0u32, 11u32, 5),
+        ];
+        let reference: Vec<u64> =
+            queries.iter().map(|q| enumerate_reference(&g, q).len() as u64).collect();
+        for algorithm in Algorithm::ALL {
+            let engine = BatchEngine::with_algorithm(algorithm);
+            let (counts, stats) = engine.run_counting(&g, &queries);
+            assert_eq!(counts, reference, "algorithm {algorithm}");
+            assert_eq!(stats.num_queries, 3);
+        }
+    }
+
+    #[test]
+    fn builder_configures_algorithm_and_gamma() {
+        let engine =
+            BatchEngine::builder().algorithm(Algorithm::BatchEnum).gamma(0.25).build();
+        assert_eq!(engine.algorithm(), Algorithm::BatchEnum);
+        assert!((engine.gamma() - 0.25).abs() < 1e-12);
+        // Gamma is clamped into [0, 1].
+        assert_eq!(BatchEngine::builder().gamma(7.0).build().gamma(), 1.0);
+        let default_engine = BatchEngine::default();
+        assert_eq!(default_engine.algorithm(), Algorithm::BatchEnumPlus);
+    }
+
+    #[test]
+    fn run_collects_full_paths() {
+        let g = complete(5);
+        let queries = vec![PathQuery::new(0u32, 4u32, 3)];
+        let outcome = BatchEngine::with_algorithm(Algorithm::BatchEnumPlus).run(&g, &queries);
+        assert_eq!(outcome.count(0), enumerate_reference(&g, &queries[0]).len());
+        assert_eq!(outcome.total(), outcome.count(0));
+        for p in outcome.paths[0].iter() {
+            assert_eq!(p.first(), Some(&hcsp_graph::VertexId(0)));
+            assert_eq!(p.last(), Some(&hcsp_graph::VertexId(4)));
+        }
+    }
+
+    #[test]
+    fn algorithm_metadata() {
+        assert_eq!(Algorithm::BatchEnumPlus.to_string(), "BatchEnum+");
+        assert_eq!(Algorithm::PathEnum.search_order(), SearchOrder::VertexId);
+        assert_eq!(Algorithm::BasicEnumPlus.search_order(), SearchOrder::DistanceThenDegree);
+        assert!(Algorithm::BatchEnum.shares_computation());
+        assert!(!Algorithm::BasicEnum.shares_computation());
+        assert_eq!(Algorithm::ALL.len(), 5);
+    }
+}

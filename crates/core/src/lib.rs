@@ -1,0 +1,66 @@
+//! # hcsp-core
+//!
+//! Batch hop-constrained s-t simple path (HC-s-t path) query processing, reproducing
+//! *"Batch Hop-Constrained s-t Simple Path Query Processing in Large Graphs"* (ICDE 2024).
+//!
+//! Given an unweighted directed graph `G` and a batch of queries `Q = {q(s, t, k)}`, each
+//! asking for every simple path from `s` to `t` with at most `k` hops, the crate provides:
+//!
+//! * [`pathenum::PathEnum`] — the state-of-the-art single-query algorithm (§III, ref. \[15\]):
+//!   index-pruned bidirectional DFS + hash-join concatenation `⊕`.
+//! * [`basic_enum::BasicEnum`] — Algorithm 1: the batch baseline that shares only the
+//!   multi-source BFS index across queries.
+//! * [`batch_enum::BatchEnum`] — Algorithm 4, the paper's contribution: queries are
+//!   clustered by neighbourhood similarity (Algorithm 2), common *HC-s path queries* are
+//!   detected per cluster (Algorithm 3) and recorded in the query sharing graph Ψ, and the
+//!   enumeration evaluates Ψ in topological order, materialising every shared sub-query
+//!   once and splicing it into every dependent query.
+//! * [`engine::BatchEngine`] — a facade selecting between the five evaluated variants
+//!   (`PathEnum`, `BasicEnum`, `BasicEnum+`, `BatchEnum`, `BatchEnum+`).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use hcsp_core::{Algorithm, BatchEngine, PathQuery};
+//! use hcsp_graph::DiGraph;
+//!
+//! // A diamond with two parallel 2-hop routes.
+//! let g = DiGraph::from_edge_list(4, &[(0, 1), (1, 3), (0, 2), (2, 3)]).unwrap();
+//! let queries = vec![PathQuery::new(0u32, 3u32, 3)];
+//! let outcome = BatchEngine::with_algorithm(Algorithm::BatchEnumPlus).run(&g, &queries);
+//! assert_eq!(outcome.count(0), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod basic_enum;
+pub mod batch_enum;
+pub mod bruteforce;
+pub mod cache;
+pub mod clustering;
+pub mod concat;
+pub mod detection;
+pub mod engine;
+pub mod materialize;
+pub mod parallel;
+pub mod path;
+pub mod pathenum;
+pub mod query;
+pub mod search;
+pub mod search_order;
+pub mod sharing_graph;
+pub mod similarity;
+pub mod sink;
+pub mod stats;
+
+pub use basic_enum::BasicEnum;
+pub use batch_enum::{BatchEnum, DEFAULT_GAMMA};
+pub use engine::{Algorithm, BatchEngine, BatchOutcome};
+pub use parallel::{ParallelBasicEnum, ParallelBatchEnum, Parallelism};
+pub use path::{Path, PathSet};
+pub use pathenum::PathEnum;
+pub use query::{BatchSummary, HcsQuery, PathQuery, QueryId};
+pub use search_order::SearchOrder;
+pub use sink::{CallbackSink, CollectSink, CountSink, PathSink};
+pub use stats::{EnumStats, SearchCounters, Stage};

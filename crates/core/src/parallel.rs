@@ -1,0 +1,437 @@
+//! Intra-batch parallelism: the "just use more workers" alternative.
+//!
+//! The paper's Challenges section notes that a batch could simply be processed "using the
+//! state-of-the-art HC-s-t path enumeration algorithm sequentially or deploy more servers
+//! to process these queries in parallel", and argues that doing so misses the common
+//! computation across queries. This module implements that alternative faithfully so it
+//! can be measured: queries (or whole clusters) are distributed over worker threads, each
+//! worker runs the *non-shared* per-query enumeration against the shared index, and the
+//! results are merged. It also provides a parallel wrapper around `BatchEnum` that
+//! processes independent clusters concurrently — sharing within a cluster, parallelism
+//! across clusters — which is the natural combination of the two ideas.
+//!
+//! Threads are spawned with `crossbeam::scope` (no `'static` bound on the graph) and the
+//! shared sink is protected by a `parking_lot::Mutex`; workers buffer locally and flush
+//! per query to keep contention negligible.
+
+use crate::basic_enum::BasicEnum;
+use crate::batch_enum::BatchEnum;
+use crate::clustering::cluster_queries;
+use crate::pathenum::PathEnum;
+use crate::query::{BatchSummary, PathQuery, QueryId};
+use crate::search_order::SearchOrder;
+use crate::similarity::{QueryNeighborhood, SimilarityMatrix};
+use crate::sink::{CollectSink, PathSink};
+use crate::stats::{EnumStats, Stage};
+use hcsp_graph::DiGraph;
+use hcsp_index::BatchIndex;
+use parking_lot::Mutex;
+use std::time::Instant;
+
+/// How many worker threads a parallel runner uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parallelism {
+    /// Use the number of available CPU cores (as reported by the standard library).
+    Auto,
+    /// Use exactly this many workers (values of 0 are treated as 1).
+    Fixed(usize),
+}
+
+impl Parallelism {
+    /// Resolves to a concrete worker count.
+    pub fn workers(self) -> usize {
+        match self {
+            Parallelism::Auto => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            Parallelism::Fixed(n) => n.max(1),
+        }
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::Auto
+    }
+}
+
+/// A thread-safe sink adapter: workers lock, flush one query's buffered paths, unlock.
+struct SharedSink<'a, S: PathSink> {
+    inner: Mutex<&'a mut S>,
+}
+
+impl<'a, S: PathSink> SharedSink<'a, S> {
+    fn new(inner: &'a mut S) -> Self {
+        SharedSink { inner: Mutex::new(inner) }
+    }
+
+    fn flush(&self, query: QueryId, paths: &crate::path::PathSet) {
+        let mut guard = self.inner.lock();
+        for p in paths.iter() {
+            guard.accept(query, p);
+        }
+    }
+}
+
+/// The "more servers" baseline: every query is enumerated independently (PathEnum against
+/// a shared index, exactly like `BasicEnum`), but queries are spread over worker threads.
+///
+/// No computation is shared beyond the index, so the total CPU *work* equals `BasicEnum`'s;
+/// only the wall-clock time shrinks, and only as long as the per-query costs are balanced.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelBasicEnum {
+    /// Neighbour expansion order for the per-query searches.
+    pub order: SearchOrder,
+    /// Worker thread count.
+    pub parallelism: Parallelism,
+}
+
+impl Default for ParallelBasicEnum {
+    fn default() -> Self {
+        ParallelBasicEnum { order: SearchOrder::default(), parallelism: Parallelism::Auto }
+    }
+}
+
+impl ParallelBasicEnum {
+    /// Creates the runner with an explicit search order and worker count.
+    pub fn new(order: SearchOrder, parallelism: Parallelism) -> Self {
+        ParallelBasicEnum { order, parallelism }
+    }
+
+    /// Processes the batch, streaming results (in arbitrary inter-query order) into `sink`.
+    pub fn run_batch<S: PathSink + Send>(
+        &self,
+        graph: &DiGraph,
+        queries: &[PathQuery],
+        sink: &mut S,
+    ) -> EnumStats {
+        let mut stats = EnumStats::new(queries.len());
+        stats.num_clusters = queries.len();
+        if queries.is_empty() {
+            sink.finish();
+            return stats;
+        }
+
+        let start = Instant::now();
+        let summary = BatchSummary::of(queries);
+        let index =
+            BatchIndex::build(graph, &summary.sources, &summary.targets, summary.max_hop_limit);
+        stats.add_stage(Stage::BuildIndex, start.elapsed());
+
+        let start = Instant::now();
+        let workers = self.parallelism.workers().min(queries.len().max(1));
+        let next_query = std::sync::atomic::AtomicUsize::new(0);
+        let shared = SharedSink::new(sink);
+        let collected_stats: Mutex<Vec<EnumStats>> = Mutex::new(Vec::new());
+
+        crossbeam::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| {
+                    let per_query = PathEnum::new(self.order);
+                    let mut local_stats = EnumStats::new(0);
+                    loop {
+                        let qid = next_query.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if qid >= queries.len() {
+                            break;
+                        }
+                        let mut local = CollectSink::new(1);
+                        per_query.run_with_index(
+                            graph,
+                            &index,
+                            &queries[qid],
+                            0,
+                            &mut local,
+                            &mut local_stats,
+                        );
+                        shared.flush(qid, local.paths(0));
+                    }
+                    collected_stats.lock().push(local_stats);
+                });
+            }
+        })
+        .expect("worker threads must not panic");
+
+        drop(shared);
+        for worker_stats in collected_stats.into_inner() {
+            stats.counters.merge(&worker_stats.counters);
+        }
+        stats.add_stage(Stage::Enumeration, start.elapsed());
+        sink.finish();
+        stats
+    }
+}
+
+/// Parallel `BatchEnum`: clusters are detected exactly as in the sequential algorithm and
+/// then evaluated concurrently, one worker per cluster at a time. Sharing happens *inside*
+/// a cluster (where the common computation lives); across clusters there is nothing to
+/// share, so they parallelise embarrassingly.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelBatchEnum {
+    /// Neighbour expansion order.
+    pub order: SearchOrder,
+    /// Clustering threshold γ.
+    pub gamma: f64,
+    /// Worker thread count.
+    pub parallelism: Parallelism,
+}
+
+impl Default for ParallelBatchEnum {
+    fn default() -> Self {
+        ParallelBatchEnum {
+            order: SearchOrder::default(),
+            gamma: crate::batch_enum::DEFAULT_GAMMA,
+            parallelism: Parallelism::Auto,
+        }
+    }
+}
+
+impl ParallelBatchEnum {
+    /// Creates the runner.
+    pub fn new(order: SearchOrder, gamma: f64, parallelism: Parallelism) -> Self {
+        ParallelBatchEnum { order, gamma, parallelism }
+    }
+
+    /// Processes the batch, streaming results into `sink`.
+    pub fn run_batch<S: PathSink + Send>(
+        &self,
+        graph: &DiGraph,
+        queries: &[PathQuery],
+        sink: &mut S,
+    ) -> EnumStats {
+        let mut stats = EnumStats::new(queries.len());
+        if queries.is_empty() {
+            sink.finish();
+            return stats;
+        }
+
+        // Index + clustering are identical to the sequential BatchEnum.
+        let start = Instant::now();
+        let summary = BatchSummary::of(queries);
+        let index =
+            BatchIndex::build(graph, &summary.sources, &summary.targets, summary.max_hop_limit);
+        stats.add_stage(Stage::BuildIndex, start.elapsed());
+
+        let start = Instant::now();
+        let neighborhoods: Vec<QueryNeighborhood> =
+            queries.iter().map(|q| QueryNeighborhood::from_index(&index, q)).collect();
+        let matrix = SimilarityMatrix::compute(&neighborhoods);
+        let clusters = cluster_queries(&matrix, self.gamma);
+        stats.num_clusters = clusters.len();
+        stats.add_stage(Stage::ClusterQuery, start.elapsed());
+
+        // Evaluate clusters concurrently; each worker runs the sequential shared pipeline
+        // on its cluster (detection + topological enumeration) and flushes per query.
+        let start = Instant::now();
+        let workers = self.parallelism.workers().min(clusters.len().max(1));
+        let next_cluster = std::sync::atomic::AtomicUsize::new(0);
+        let shared = SharedSink::new(sink);
+        let collected_stats: Mutex<Vec<EnumStats>> = Mutex::new(Vec::new());
+
+        crossbeam::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| {
+                    let sequential = BatchEnum::new(self.order, 1.0);
+                    let mut worker_stats = EnumStats::new(0);
+                    loop {
+                        let c = next_cluster.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if c >= clusters.len() {
+                            break;
+                        }
+                        let cluster_queries: Vec<PathQuery> =
+                            clusters[c].iter().map(|&qid| queries[qid]).collect();
+                        // Run the whole shared pipeline on just this cluster. γ = 1 inside
+                        // the worker keeps the cluster as a single group (it has already
+                        // been formed by the outer clustering) without re-clustering cost.
+                        let mut local = CollectSink::new(cluster_queries.len());
+                        let cluster_stats = sequential.run_cluster_for_parallel(
+                            graph,
+                            &index,
+                            &cluster_queries,
+                            &mut local,
+                        );
+                        worker_stats.merge(&cluster_stats);
+                        for (offset, &qid) in clusters[c].iter().enumerate() {
+                            shared.flush(qid, local.paths(offset));
+                        }
+                    }
+                    collected_stats.lock().push(worker_stats);
+                });
+            }
+        })
+        .expect("worker threads must not panic");
+
+        drop(shared);
+        for worker_stats in collected_stats.into_inner() {
+            stats.counters.merge(&worker_stats.counters);
+            stats.num_shared_subqueries += worker_stats.num_shared_subqueries;
+            stats.peak_cached_results =
+                stats.peak_cached_results.max(worker_stats.peak_cached_results);
+            stats.add_stage(Stage::IdentifySubquery, worker_stats.stage_time(Stage::IdentifySubquery));
+        }
+        stats.add_stage(Stage::Enumeration, start.elapsed());
+        sink.finish();
+        stats
+    }
+}
+
+impl BatchEnum {
+    /// Evaluates one pre-formed cluster against an existing index (used by the parallel
+    /// wrapper): detection + shared enumeration, but no index build and no re-clustering.
+    pub(crate) fn run_cluster_for_parallel<S: PathSink>(
+        &self,
+        graph: &DiGraph,
+        index: &BatchIndex,
+        queries: &[PathQuery],
+        sink: &mut S,
+    ) -> EnumStats {
+        let mut stats = EnumStats::new(queries.len());
+        let cluster: Vec<QueryId> = (0..queries.len()).collect();
+        self.process_cluster(graph, index, queries, &cluster, sink, &mut stats);
+        stats
+    }
+}
+
+/// Convenience comparison record used by the parallelism ablation: the same batch timed
+/// sequentially and with a given worker count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParallelComparison {
+    /// Wall-clock seconds of the sequential run.
+    pub sequential_seconds: f64,
+    /// Wall-clock seconds of the parallel run.
+    pub parallel_seconds: f64,
+    /// Number of worker threads used by the parallel run.
+    pub workers: usize,
+}
+
+impl ParallelComparison {
+    /// Observed speed-up (sequential / parallel).
+    pub fn speedup(&self) -> f64 {
+        if self.parallel_seconds <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.sequential_seconds / self.parallel_seconds
+    }
+}
+
+/// Times `BasicEnum` sequentially vs [`ParallelBasicEnum`] with `workers` threads on the
+/// same batch (results are counted, not collected).
+pub fn compare_parallel_basic(
+    graph: &DiGraph,
+    queries: &[PathQuery],
+    order: SearchOrder,
+    workers: usize,
+) -> ParallelComparison {
+    use crate::sink::CountSink;
+
+    let start = Instant::now();
+    let mut sequential_sink = CountSink::new(queries.len());
+    BasicEnum::new(order).run_batch(graph, queries, &mut sequential_sink);
+    let sequential_seconds = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let mut parallel_sink = CountSink::new(queries.len());
+    ParallelBasicEnum::new(order, Parallelism::Fixed(workers))
+        .run_batch(graph, queries, &mut parallel_sink);
+    let parallel_seconds = start.elapsed().as_secs_f64();
+
+    debug_assert_eq!(sequential_sink.counts(), parallel_sink.counts());
+    ParallelComparison { sequential_seconds, parallel_seconds, workers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bruteforce::enumerate_reference;
+    use crate::sink::CountSink;
+    use hcsp_graph::generators::erdos_renyi::gnm_random;
+    use hcsp_graph::generators::regular::{complete, grid};
+
+    fn reference_counts(graph: &DiGraph, queries: &[PathQuery]) -> Vec<u64> {
+        queries.iter().map(|q| enumerate_reference(graph, q).len() as u64).collect()
+    }
+
+    #[test]
+    fn parallel_basic_matches_reference() {
+        let g = grid(4, 4);
+        let queries = vec![
+            PathQuery::new(0u32, 15u32, 6),
+            PathQuery::new(1u32, 15u32, 6),
+            PathQuery::new(0u32, 14u32, 6),
+            PathQuery::new(4u32, 15u32, 5),
+            PathQuery::new(0u32, 11u32, 5),
+        ];
+        for workers in [1, 2, 4] {
+            let mut sink = CountSink::new(queries.len());
+            let stats = ParallelBasicEnum::new(SearchOrder::VertexId, Parallelism::Fixed(workers))
+                .run_batch(&g, &queries, &mut sink);
+            assert_eq!(sink.counts(), reference_counts(&g, &queries), "workers = {workers}");
+            assert_eq!(stats.num_queries, queries.len());
+            assert!(stats.counters.produced_paths > 0);
+        }
+    }
+
+    #[test]
+    fn parallel_batch_matches_reference() {
+        for seed in 0..2 {
+            let g = gnm_random(70, 400, seed).unwrap();
+            let queries = vec![
+                PathQuery::new(0u32, 30u32, 5),
+                PathQuery::new(0u32, 31u32, 5),
+                PathQuery::new(1u32, 30u32, 4),
+                PathQuery::new(2u32, 40u32, 4),
+                PathQuery::new(3u32, 41u32, 5),
+                PathQuery::new(3u32, 42u32, 4),
+            ];
+            for workers in [1, 3] {
+                let mut sink = CountSink::new(queries.len());
+                let stats = ParallelBatchEnum::new(
+                    SearchOrder::DistanceThenDegree,
+                    0.4,
+                    Parallelism::Fixed(workers),
+                )
+                .run_batch(&g, &queries, &mut sink);
+                assert_eq!(sink.counts(), reference_counts(&g, &queries), "workers = {workers}");
+                assert!(stats.num_clusters >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_collect_sink_receives_every_path() {
+        let g = complete(6);
+        let queries = vec![PathQuery::new(0u32, 5u32, 3), PathQuery::new(1u32, 4u32, 3)];
+        let mut sink = crate::sink::CollectSink::new(queries.len());
+        ParallelBasicEnum::new(SearchOrder::VertexId, Parallelism::Fixed(2))
+            .run_batch(&g, &queries, &mut sink);
+        let reference = reference_counts(&g, &queries);
+        for (i, &expected) in reference.iter().enumerate() {
+            assert_eq!(sink.paths(i).len() as u64, expected);
+            for p in sink.paths(i).iter() {
+                assert_eq!(p[0], queries[i].source);
+                assert_eq!(*p.last().unwrap(), queries[i].target);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batches_and_degenerate_worker_counts() {
+        let g = complete(3);
+        let mut sink = CountSink::new(0);
+        let stats = ParallelBasicEnum::default().run_batch(&g, &[], &mut sink);
+        assert_eq!(stats.num_queries, 0);
+        let stats = ParallelBatchEnum::default().run_batch(&g, &[], &mut sink);
+        assert_eq!(stats.num_queries, 0);
+        assert_eq!(Parallelism::Fixed(0).workers(), 1);
+        assert!(Parallelism::Auto.workers() >= 1);
+        assert_eq!(Parallelism::default(), Parallelism::Auto);
+    }
+
+    #[test]
+    fn comparison_reports_consistent_numbers() {
+        let g = grid(4, 4);
+        let queries = vec![PathQuery::new(0u32, 15u32, 6), PathQuery::new(1u32, 15u32, 6)];
+        let cmp = compare_parallel_basic(&g, &queries, SearchOrder::VertexId, 2);
+        assert_eq!(cmp.workers, 2);
+        assert!(cmp.sequential_seconds >= 0.0);
+        assert!(cmp.parallel_seconds >= 0.0);
+        assert!(cmp.speedup() > 0.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! `PathEnum` — the state-of-the-art single-query algorithm (§III, ref. [15]).
+//!
+//! Each query is processed in isolation: a per-query index is built with two bounded BFS
+//! runs (from `s` on `G` and from `t` on `G^r`), the two index-pruned half searches are
+//! run, and the halves are joined by `⊕`. This is the per-query building block reused by
+//! `BasicEnum`, and the first baseline of every experiment.
+
+use crate::concat::concatenate_with;
+use crate::query::{PathQuery, QueryId};
+use crate::search::SearchContext;
+use crate::search_order::SearchOrder;
+use crate::sink::PathSink;
+use crate::stats::{EnumStats, SearchCounters, Stage};
+use hcsp_graph::{DiGraph, Direction};
+use hcsp_index::BatchIndex;
+use std::time::Instant;
+
+/// Configuration of the single-query algorithm.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PathEnum {
+    /// Neighbour expansion order (the "+" variants use [`SearchOrder::DistanceThenDegree`]).
+    pub order: SearchOrder,
+}
+
+impl PathEnum {
+    /// Creates the algorithm with the given search order.
+    pub fn new(order: SearchOrder) -> Self {
+        PathEnum { order }
+    }
+
+    /// Processes one query in isolation: builds the per-query index and enumerates.
+    ///
+    /// Results are streamed into `sink` under query id `query_id`.
+    pub fn run_single<S: PathSink>(
+        &self,
+        graph: &DiGraph,
+        query: &PathQuery,
+        query_id: QueryId,
+        sink: &mut S,
+        stats: &mut EnumStats,
+    ) {
+        let start = Instant::now();
+        let index = BatchIndex::build(graph, &[query.source], &[query.target], query.hop_limit);
+        stats.add_stage(Stage::BuildIndex, start.elapsed());
+        self.run_with_index(graph, &index, query, query_id, sink, stats);
+    }
+
+    /// Processes one query against an already-built (possibly shared) index.
+    pub fn run_with_index<S: PathSink>(
+        &self,
+        graph: &DiGraph,
+        index: &BatchIndex,
+        query: &PathQuery,
+        query_id: QueryId,
+        sink: &mut S,
+        stats: &mut EnumStats,
+    ) {
+        let start = Instant::now();
+        let mut counters = SearchCounters::default();
+        let ctx = SearchContext::new(graph, index, self.order);
+        let forward = ctx.enumerate_half(query, Direction::Forward, &mut counters);
+        let backward = ctx.enumerate_half(query, Direction::Backward, &mut counters);
+        let join = concatenate_with(&forward, &backward, query.hop_limit, |path| {
+            sink.accept(query_id, path);
+        });
+        counters.produced_paths += join.produced as u64;
+        stats.counters.merge(&counters);
+        stats.add_stage(Stage::Enumeration, start.elapsed());
+    }
+
+    /// Processes a whole batch by running every query independently (the `PathEnum` row of
+    /// the experiments: no shared index, no shared computation).
+    pub fn run_batch<S: PathSink>(
+        &self,
+        graph: &DiGraph,
+        queries: &[PathQuery],
+        sink: &mut S,
+    ) -> EnumStats {
+        let mut stats = EnumStats::new(queries.len());
+        stats.num_clusters = queries.len();
+        for (id, query) in queries.iter().enumerate() {
+            self.run_single(graph, query, id, sink, &mut stats);
+        }
+        sink.finish();
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bruteforce::{canonical, enumerate_reference};
+    use crate::path::Path;
+    use crate::sink::{CollectSink, CountSink};
+    use hcsp_graph::generators::erdos_renyi::gnm_random;
+    use hcsp_graph::generators::regular::{complete, cycle, grid, layered_dag};
+
+    fn run_collect(graph: &DiGraph, query: PathQuery, order: SearchOrder) -> Vec<Path> {
+        let mut sink = CollectSink::new(1);
+        let algo = PathEnum::new(order);
+        algo.run_batch(graph, &[query], &mut sink);
+        sink.paths(0).to_paths()
+    }
+
+    fn assert_matches_reference(graph: &DiGraph, query: PathQuery) {
+        let expected = canonical(enumerate_reference(graph, &query));
+        for order in [SearchOrder::VertexId, SearchOrder::DistanceThenDegree] {
+            let got = canonical(run_collect(graph, query, order));
+            assert_eq!(got, expected, "query {query} with order {order:?}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_structured_graphs() {
+        let dag = layered_dag(3, 3);
+        let sink_v = (dag.num_vertices() - 1) as u32;
+        assert_matches_reference(&dag, PathQuery::new(0u32, sink_v, 4));
+        assert_matches_reference(&dag, PathQuery::new(0u32, sink_v, 6));
+
+        let g = grid(3, 4);
+        assert_matches_reference(&g, PathQuery::new(0u32, 11u32, 5));
+        assert_matches_reference(&g, PathQuery::new(0u32, 11u32, 7));
+
+        let k5 = complete(5);
+        assert_matches_reference(&k5, PathQuery::new(0u32, 4u32, 4));
+
+        let c6 = cycle(6);
+        assert_matches_reference(&c6, PathQuery::new(2u32, 5u32, 6));
+        assert_matches_reference(&c6, PathQuery::new(2u32, 5u32, 2));
+    }
+
+    #[test]
+    fn matches_reference_on_random_graphs() {
+        for seed in 0..4 {
+            let g = gnm_random(60, 300, seed).unwrap();
+            for (s, t, k) in [(0u32, 7u32, 4u32), (3, 20, 5), (11, 55, 6)] {
+                assert_matches_reference(&g, PathQuery::new(s, t, k));
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_queries_return_empty() {
+        let g = layered_dag(2, 2);
+        // The sink cannot reach the source.
+        let q = PathQuery::new((g.num_vertices() - 1) as u32, 0u32, 6);
+        assert!(run_collect(&g, q, SearchOrder::VertexId).is_empty());
+    }
+
+    #[test]
+    fn hop_limit_one_returns_only_direct_edges() {
+        let g = complete(4);
+        let paths = run_collect(&g, PathQuery::new(0u32, 3u32, 1), SearchOrder::VertexId);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].hops(), 1);
+    }
+
+    #[test]
+    fn batch_runs_accumulate_stats() {
+        let g = complete(5);
+        let queries = vec![PathQuery::new(0u32, 4u32, 3), PathQuery::new(1u32, 2u32, 3)];
+        let mut sink = CountSink::new(queries.len());
+        let stats = PathEnum::default().run_batch(&g, &queries, &mut sink);
+        assert_eq!(stats.num_queries, 2);
+        assert!(stats.counters.produced_paths >= 2);
+        assert_eq!(stats.counters.produced_paths, sink.total());
+        assert!(stats.stage_time(Stage::BuildIndex) > std::time::Duration::ZERO);
+        assert!(stats.stage_time(Stage::Enumeration) > std::time::Duration::ZERO);
+    }
+}

@@ -1,0 +1,224 @@
+//! The index-pruned half search shared by every enumeration algorithm.
+//!
+//! `Search` in Algorithm 1 (and its shared-cache variant in Algorithm 4) enumerates every
+//! simple prefix path starting at a root vertex, bounded by a hop budget, pruning each
+//! candidate extension `v''` with Lemma 3.1: a prefix of `l` hops ending just before `v''`
+//! is only worth extending when `l + 1 + dist(v'', anchor) ≤ k`, where the anchor is the
+//! query target for a forward search and the query source for a backward search.
+
+use crate::path::PathSet;
+use crate::query::PathQuery;
+use crate::search_order::SearchOrder;
+use crate::stats::SearchCounters;
+use hcsp_graph::{DiGraph, Direction, VertexId};
+use hcsp_index::BatchIndex;
+
+/// Shared, immutable context of one half search.
+pub struct SearchContext<'a> {
+    /// The graph being traversed.
+    pub graph: &'a DiGraph,
+    /// The batch distance index used for pruning.
+    pub index: &'a BatchIndex,
+    /// Neighbour expansion order (plain vs "+" variants).
+    pub order: SearchOrder,
+}
+
+impl<'a> SearchContext<'a> {
+    /// Creates a context.
+    pub fn new(graph: &'a DiGraph, index: &'a BatchIndex, order: SearchOrder) -> Self {
+        SearchContext { graph, index, order }
+    }
+
+    /// Enumerates every simple prefix of the half search of `query` in direction `dir`
+    /// and stores it (all lengths `0..=budget`) into the returned [`PathSet`].
+    ///
+    /// This is `Search(G, P_f, q.s, q.t, ⌈q.k/2⌉)` / `Search(G^r, P_b, q.t, q.s, ⌊q.k/2⌋)`
+    /// of Algorithm 1, with the pruning test applied against the full hop constraint
+    /// `q.k` exactly as in Example 3.1.
+    pub fn enumerate_half(
+        &self,
+        query: &PathQuery,
+        dir: Direction,
+        counters: &mut SearchCounters,
+    ) -> PathSet {
+        let root = query.root(dir);
+        let anchor = query.anchor(dir);
+        let budget = query.budget(dir);
+        let hop_limit = query.hop_limit;
+        let mut prefixes = PathSet::new();
+        let mut stack: Vec<VertexId> = Vec::with_capacity(budget as usize + 1);
+        stack.push(root);
+        self.extend_prefix(
+            &mut stack,
+            dir,
+            anchor,
+            budget,
+            hop_limit,
+            &mut prefixes,
+            counters,
+        );
+        prefixes
+    }
+
+    /// Recursive prefix extension. `stack` holds the current prefix (root first).
+    fn extend_prefix(
+        &self,
+        stack: &mut Vec<VertexId>,
+        dir: Direction,
+        anchor: VertexId,
+        budget: u32,
+        hop_limit: u32,
+        prefixes: &mut PathSet,
+        counters: &mut SearchCounters,
+    ) {
+        counters.expanded_vertices += 1;
+        counters.stored_prefixes += 1;
+        prefixes.push_slice(stack);
+
+        let current_hops = (stack.len() - 1) as u32;
+        if current_hops >= budget {
+            return;
+        }
+        let last = *stack.last().expect("prefix is never empty");
+        let mut candidates: Vec<VertexId> = Vec::new();
+        for &w in self.graph.neighbors(last, dir) {
+            counters.scanned_edges += 1;
+            let new_len = current_hops + 1;
+            let remaining = self.index.dist_towards(dir, w, anchor);
+            // Lemma 3.1: the prefix must still be completable within the hop limit.
+            if remaining == hcsp_index::INF || new_len.saturating_add(remaining) > hop_limit {
+                counters.pruned_edges += 1;
+                continue;
+            }
+            if stack.contains(&w) {
+                continue;
+            }
+            candidates.push(w);
+        }
+        self.order.arrange(&mut candidates, self.graph, self.index, anchor, dir);
+        for w in candidates {
+            stack.push(w);
+            self.extend_prefix(stack, dir, anchor, budget, hop_limit, prefixes, counters);
+            stack.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcsp_graph::generators::regular::{complete, grid, layered_dag, path};
+    use hcsp_graph::DiGraph;
+
+    fn v(x: u32) -> VertexId {
+        VertexId(x)
+    }
+
+    fn index_for(graph: &DiGraph, q: &PathQuery) -> BatchIndex {
+        BatchIndex::build(graph, &[q.source], &[q.target], q.hop_limit)
+    }
+
+    #[test]
+    fn forward_half_enumerates_all_useful_prefixes() {
+        // Path graph 0 -> 1 -> 2 -> 3 -> 4, query (0, 4, 4): forward budget 2.
+        let g = path(5);
+        let q = PathQuery::new(0u32, 4u32, 4);
+        let index = index_for(&g, &q);
+        let ctx = SearchContext::new(&g, &index, SearchOrder::VertexId);
+        let mut counters = SearchCounters::default();
+        let prefixes = ctx.enumerate_half(&q, Direction::Forward, &mut counters);
+        let collected: Vec<Vec<VertexId>> = prefixes.iter().map(|p| p.to_vec()).collect();
+        assert_eq!(collected, vec![vec![v(0)], vec![v(0), v(1)], vec![v(0), v(1), v(2)]]);
+        assert_eq!(counters.stored_prefixes, 3);
+    }
+
+    #[test]
+    fn backward_half_walks_the_reverse_graph() {
+        let g = path(5);
+        let q = PathQuery::new(0u32, 4u32, 4);
+        let index = index_for(&g, &q);
+        let ctx = SearchContext::new(&g, &index, SearchOrder::VertexId);
+        let mut counters = SearchCounters::default();
+        let prefixes = ctx.enumerate_half(&q, Direction::Backward, &mut counters);
+        let collected: Vec<Vec<VertexId>> = prefixes.iter().map(|p| p.to_vec()).collect();
+        assert_eq!(collected, vec![vec![v(4)], vec![v(4), v(3)], vec![v(4), v(3), v(2)]]);
+    }
+
+    #[test]
+    fn pruning_skips_branches_that_cannot_reach_the_anchor() {
+        // Grid 3x3, query from corner 0 to corner 8 with k = 4 (the Manhattan distance):
+        // every explored prefix must stay on a shortest path.
+        let g = grid(3, 3);
+        let q = PathQuery::new(0u32, 8u32, 4);
+        let index = index_for(&g, &q);
+        let ctx = SearchContext::new(&g, &index, SearchOrder::VertexId);
+        let mut counters = SearchCounters::default();
+        let prefixes = ctx.enumerate_half(&q, Direction::Forward, &mut counters);
+        for p in prefixes.iter() {
+            let hops = (p.len() - 1) as u32;
+            let end = *p.last().unwrap();
+            assert!(hops + index.dist_to_target(end, v(8)) <= 4, "useless prefix {p:?}");
+        }
+        assert!(counters.pruned_edges == 0, "every grid edge stays useful at k = exact distance");
+    }
+
+    #[test]
+    fn pruning_counts_hopeless_edges() {
+        // Query with k strictly smaller than the distance: everything is pruned after the root.
+        let g = path(6);
+        let q = PathQuery::new(0u32, 5u32, 3);
+        let index = index_for(&g, &q);
+        let ctx = SearchContext::new(&g, &index, SearchOrder::VertexId);
+        let mut counters = SearchCounters::default();
+        let prefixes = ctx.enumerate_half(&q, Direction::Forward, &mut counters);
+        assert_eq!(prefixes.len(), 1, "only the root prefix survives");
+        assert_eq!(counters.pruned_edges, 1);
+    }
+
+    #[test]
+    fn simple_prefix_constraint_avoids_revisits() {
+        // Complete graph: prefixes may never repeat a vertex.
+        let g = complete(5);
+        let q = PathQuery::new(0u32, 1u32, 4);
+        let index = index_for(&g, &q);
+        let ctx = SearchContext::new(&g, &index, SearchOrder::VertexId);
+        let mut counters = SearchCounters::default();
+        let prefixes = ctx.enumerate_half(&q, Direction::Forward, &mut counters);
+        for p in prefixes.iter() {
+            assert!(crate::path::vertices_are_distinct(p));
+        }
+    }
+
+    #[test]
+    fn both_orders_enumerate_the_same_prefix_set() {
+        let g = layered_dag(3, 3);
+        let sink_vertex = VertexId::new(g.num_vertices() - 1);
+        let q = PathQuery::new(0u32, sink_vertex.raw(), 5);
+        let index = index_for(&g, &q);
+        let mut c1 = SearchCounters::default();
+        let mut c2 = SearchCounters::default();
+        let plain = SearchContext::new(&g, &index, SearchOrder::VertexId)
+            .enumerate_half(&q, Direction::Forward, &mut c1);
+        let optimized = SearchContext::new(&g, &index, SearchOrder::DistanceThenDegree)
+            .enumerate_half(&q, Direction::Forward, &mut c2);
+        let mut a: Vec<Vec<VertexId>> = plain.iter().map(|p| p.to_vec()).collect();
+        let mut b: Vec<Vec<VertexId>> = optimized.iter().map(|p| p.to_vec()).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert_eq!(c1.stored_prefixes, c2.stored_prefixes);
+    }
+
+    #[test]
+    fn zero_budget_query_yields_only_the_root() {
+        let g = path(3);
+        // k = 1: backward budget is 0.
+        let q = PathQuery::new(0u32, 1u32, 1);
+        let index = index_for(&g, &q);
+        let ctx = SearchContext::new(&g, &index, SearchOrder::VertexId);
+        let mut counters = SearchCounters::default();
+        let prefixes = ctx.enumerate_half(&q, Direction::Backward, &mut counters);
+        assert_eq!(prefixes.len(), 1);
+        assert_eq!(prefixes.get(0), &[v(1)]);
+    }
+}

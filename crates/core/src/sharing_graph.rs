@@ -1,0 +1,427 @@
+//! The query sharing graph Ψ (Definition 4.7).
+//!
+//! Ψ is a DAG whose nodes are either original HC-s-t path queries or (shared / dominating)
+//! HC-s path queries, and whose edges record "the user node can reuse the provider node's
+//! materialised results". Edges are oriented **provider → user**, so a topological order
+//! of Ψ materialises every provider before any of its users — exactly the evaluation order
+//! of Algorithm 4.
+//!
+//! Each dependency edge additionally stores the *offset*: the number of hops the user has
+//! already consumed (counting from the root of the HC-s-t query it ultimately serves) when
+//! the provider's paths are spliced in. The offset is what translates a query's hop
+//! constraint into the *slack* available to a deeply shared HC-s path query, which in turn
+//! drives the Lemma 3.1 pruning inside the shared enumeration.
+
+use crate::query::{HcsQuery, PathQuery, QueryId};
+use hcsp_graph::VertexId;
+use std::collections::HashMap;
+
+/// Index of a node inside a [`SharingGraph`].
+pub type NodeId = usize;
+
+/// A node of Ψ: either an original HC-s-t path query (a pure consumer) or an HC-s path
+/// query whose results are materialised and shared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryNode {
+    /// An original HC-s-t path query, identified by its position in the batch.
+    Full(QueryId),
+    /// An HC-s path query (either the half query of some HC-s-t query or a detected
+    /// dominating query).
+    Hcs(HcsQuery),
+}
+
+impl QueryNode {
+    /// The HC-s path query if this node is one.
+    pub fn as_hcs(&self) -> Option<&HcsQuery> {
+        match self {
+            QueryNode::Hcs(q) => Some(q),
+            QueryNode::Full(_) => None,
+        }
+    }
+}
+
+/// An edge of Ψ: `user` reuses `provider`'s results after consuming `offset` hops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dependency {
+    /// The node whose materialised results are reused.
+    pub provider: NodeId,
+    /// The node that reuses them.
+    pub user: NodeId,
+    /// Hops consumed by the ultimate HC-s-t query before the provider's paths begin,
+    /// measured relative to the *user*'s own root (`user.budget − remaining budget at the
+    /// splice point`).
+    pub offset: u32,
+}
+
+/// A pruning constraint attached to a shared HC-s path query: a path of `len` hops ending
+/// at vertex `x` is worth keeping only if `len + dist(x, anchor) ≤ slack` for at least one
+/// of the query's anchors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnchorSlack {
+    /// The vertex the dependent HC-s-t query is heading towards (its target for forward
+    /// HC-s path queries, its source for backward ones).
+    pub anchor: VertexId,
+    /// Maximum value of `len + dist(x, anchor)` still useful to that dependent query.
+    pub slack: u32,
+}
+
+/// The query sharing graph Ψ.
+#[derive(Debug, Clone, Default)]
+pub struct SharingGraph {
+    nodes: Vec<QueryNode>,
+    /// Outgoing edges per node: users of this provider (with offsets).
+    users: Vec<Vec<(NodeId, u32)>>,
+    /// Incoming edges per node: providers of this user (with offsets).
+    providers: Vec<Vec<(NodeId, u32)>>,
+    /// Lookup of HC-s path query nodes by value (dedup).
+    hcs_lookup: HashMap<HcsQuery, NodeId>,
+    /// Lookup of full query nodes by query id.
+    full_lookup: HashMap<QueryId, NodeId>,
+}
+
+impl SharingGraph {
+    /// Creates an empty sharing graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node value.
+    pub fn node(&self, id: NodeId) -> &QueryNode {
+        &self.nodes[id]
+    }
+
+    /// All nodes with their ids.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &QueryNode)> + '_ {
+        self.nodes.iter().enumerate()
+    }
+
+    /// Number of HC-s path query nodes (shared sub-queries + initial half queries).
+    pub fn num_hcs_nodes(&self) -> usize {
+        self.nodes.iter().filter(|n| matches!(n, QueryNode::Hcs(_))).count()
+    }
+
+    /// Adds (or returns the existing) node for an original HC-s-t path query.
+    pub fn add_full_query(&mut self, query: QueryId) -> NodeId {
+        if let Some(&id) = self.full_lookup.get(&query) {
+            return id;
+        }
+        let id = self.push_node(QueryNode::Full(query));
+        self.full_lookup.insert(query, id);
+        id
+    }
+
+    /// Adds (or returns the existing) node for an HC-s path query.
+    pub fn add_hcs_query(&mut self, query: HcsQuery) -> NodeId {
+        if let Some(&id) = self.hcs_lookup.get(&query) {
+            return id;
+        }
+        let id = self.push_node(QueryNode::Hcs(query));
+        self.hcs_lookup.insert(query, id);
+        id
+    }
+
+    /// Looks up the node of an HC-s path query if it exists.
+    pub fn find_hcs(&self, query: &HcsQuery) -> Option<NodeId> {
+        self.hcs_lookup.get(query).copied()
+    }
+
+    /// Looks up the node of a full query if it exists.
+    pub fn find_full(&self, query: QueryId) -> Option<NodeId> {
+        self.full_lookup.get(&query).copied()
+    }
+
+    fn push_node(&mut self, node: QueryNode) -> NodeId {
+        let id = self.nodes.len();
+        self.nodes.push(node);
+        self.users.push(Vec::new());
+        self.providers.push(Vec::new());
+        id
+    }
+
+    /// Adds a dependency edge `provider → user` with the given offset.
+    ///
+    /// Self-dependencies and exact duplicates are ignored. Returns `false` (and adds
+    /// nothing) if the edge would create a cycle, which keeps Ψ a DAG by construction.
+    pub fn add_dependency(&mut self, provider: NodeId, user: NodeId, offset: u32) -> bool {
+        if provider == user {
+            return false;
+        }
+        if self.users[provider].iter().any(|&(u, o)| u == user && o == offset) {
+            return true;
+        }
+        if !self.edge_is_trivially_acyclic(provider, user) && self.reaches(user, provider) {
+            // provider is reachable from user: adding provider -> user would close a cycle.
+            return false;
+        }
+        self.users[provider].push((user, offset));
+        self.providers[user].push((provider, offset));
+        true
+    }
+
+    /// Cheap structural argument that `provider → user` cannot close a cycle, avoiding the
+    /// graph walk of [`SharingGraph::reaches`] for the overwhelmingly common edge shapes:
+    /// HC-s-t query nodes never have outgoing edges (nothing reuses *their* results), and a
+    /// provider that has no providers of its own cannot be the endpoint of any existing
+    /// `user ⇒ provider` path, so no edge towards it can be part of a cycle. Freshly
+    /// detected dominating queries fall into the second category, which covers the bulk of
+    /// the edges inserted during detection.
+    fn edge_is_trivially_acyclic(&self, provider: NodeId, user: NodeId) -> bool {
+        matches!(self.nodes[user], QueryNode::Full(_)) || self.providers[provider].is_empty()
+    }
+
+    /// Whether `to` is reachable from `from` following provider → user edges.
+    fn reaches(&self, from: NodeId, to: NodeId) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut visited = vec![false; self.nodes.len()];
+        let mut stack = vec![from];
+        visited[from] = true;
+        while let Some(n) = stack.pop() {
+            for &(u, _) in &self.users[n] {
+                if u == to {
+                    return true;
+                }
+                if !visited[u] {
+                    visited[u] = true;
+                    stack.push(u);
+                }
+            }
+        }
+        false
+    }
+
+    /// Users (dependants) of a node, with offsets.
+    pub fn users(&self, id: NodeId) -> &[(NodeId, u32)] {
+        &self.users[id]
+    }
+
+    /// Providers of a node, with offsets.
+    pub fn providers(&self, id: NodeId) -> &[(NodeId, u32)] {
+        &self.providers[id]
+    }
+
+    /// The providers of `user` that are HC-s path queries rooted at `root` (the splice
+    /// lookup performed at every expansion step of the shared enumeration).
+    pub fn provider_rooted_at(&self, user: NodeId, root: VertexId) -> Option<(NodeId, HcsQuery)> {
+        self.providers[user]
+            .iter()
+            .filter_map(|&(p, _)| self.nodes[p].as_hcs().map(|q| (p, *q)))
+            .filter(|(_, q)| q.root == root)
+            .max_by_key(|(_, q)| q.budget)
+    }
+
+    /// A topological order of Ψ: every provider appears before all of its users.
+    ///
+    /// The order is deterministic (Kahn's algorithm with the smallest ready node first).
+    pub fn topological_order(&self) -> Vec<NodeId> {
+        let n = self.nodes.len();
+        let mut indegree: Vec<usize> = (0..n).map(|id| self.providers[id].len()).collect();
+        let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<NodeId>> = (0..n)
+            .filter(|&id| indegree[id] == 0)
+            .map(std::cmp::Reverse)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(std::cmp::Reverse(node)) = ready.pop() {
+            order.push(node);
+            for &(user, _) in &self.users[node] {
+                indegree[user] -= 1;
+                if indegree[user] == 0 {
+                    ready.push(std::cmp::Reverse(user));
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), n, "Ψ must be acyclic by construction");
+        order
+    }
+
+    /// Computes, for every HC-s path node, the anchor/slack constraints induced by the
+    /// HC-s-t queries that (transitively) depend on it.
+    ///
+    /// For a full query `q` with half query `h` in direction `d`, `h` receives the pair
+    /// `(q.anchor(d), q.hop_limit)`. A provider `p` reached from user `u` through an edge
+    /// with offset `o` receives every pair of `u` with its slack reduced by `o` (keeping,
+    /// per anchor, the largest slack — the union of usefulness conditions).
+    pub fn anchor_slacks(&self, queries: &[PathQuery]) -> Vec<Vec<AnchorSlack>> {
+        let mut slacks: Vec<HashMap<VertexId, u32>> = vec![HashMap::new(); self.nodes.len()];
+
+        // Seed the half-query nodes from their full-query users.
+        for (id, node) in self.nodes.iter().enumerate() {
+            if let QueryNode::Hcs(hcs) = node {
+                for &(user, _) in &self.users[id] {
+                    if let QueryNode::Full(qid) = self.nodes[user] {
+                        let q = &queries[qid];
+                        let anchor = q.anchor(hcs.direction);
+                        let entry = slacks[id].entry(anchor).or_insert(0);
+                        *entry = (*entry).max(q.hop_limit);
+                    }
+                }
+            }
+        }
+
+        // Propagate from users to providers: reverse topological order visits users first.
+        let order = self.topological_order();
+        for &node in order.iter().rev() {
+            if self.nodes[node].as_hcs().is_none() {
+                continue;
+            }
+            let node_slacks: Vec<(VertexId, u32)> =
+                slacks[node].iter().map(|(&a, &s)| (a, s)).collect();
+            for &(provider, offset) in &self.providers[node] {
+                if self.nodes[provider].as_hcs().is_none() {
+                    continue;
+                }
+                for &(anchor, slack) in &node_slacks {
+                    let propagated = slack.saturating_sub(offset);
+                    let entry = slacks[provider].entry(anchor).or_insert(0);
+                    *entry = (*entry).max(propagated);
+                }
+            }
+        }
+
+        slacks
+            .into_iter()
+            .map(|m| {
+                let mut v: Vec<AnchorSlack> =
+                    m.into_iter().map(|(anchor, slack)| AnchorSlack { anchor, slack }).collect();
+                v.sort_by_key(|a| (a.anchor, a.slack));
+                v
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcsp_graph::Direction;
+
+    fn hcs(root: u32, budget: u32, dir: Direction) -> HcsQuery {
+        HcsQuery::new(root, budget, dir)
+    }
+
+    #[test]
+    fn nodes_are_deduplicated() {
+        let mut g = SharingGraph::new();
+        let a = g.add_hcs_query(hcs(1, 3, Direction::Forward));
+        let b = g.add_hcs_query(hcs(1, 3, Direction::Forward));
+        let c = g.add_hcs_query(hcs(1, 2, Direction::Forward));
+        let f1 = g.add_full_query(0);
+        let f2 = g.add_full_query(0);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(f1, f2);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.num_hcs_nodes(), 2);
+        assert_eq!(g.find_hcs(&hcs(1, 3, Direction::Forward)), Some(a));
+        assert_eq!(g.find_full(0), Some(f1));
+        assert_eq!(g.find_full(9), None);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn dependencies_reject_cycles_and_self_edges() {
+        let mut g = SharingGraph::new();
+        let a = g.add_hcs_query(hcs(1, 3, Direction::Forward));
+        let b = g.add_hcs_query(hcs(2, 2, Direction::Forward));
+        let c = g.add_hcs_query(hcs(3, 1, Direction::Forward));
+        assert!(!g.add_dependency(a, a, 0));
+        assert!(g.add_dependency(a, b, 1));
+        assert!(g.add_dependency(b, c, 1));
+        // c -> a would close the cycle a -> b -> c -> a.
+        assert!(!g.add_dependency(c, a, 2));
+        // duplicate edges are accepted but not double-inserted.
+        assert!(g.add_dependency(a, b, 1));
+        assert_eq!(g.users(a).len(), 1);
+        assert_eq!(g.providers(b).len(), 1);
+    }
+
+    #[test]
+    fn topological_order_puts_providers_first() {
+        let mut g = SharingGraph::new();
+        let full = g.add_full_query(0);
+        let half = g.add_hcs_query(hcs(0, 3, Direction::Forward));
+        let dom = g.add_hcs_query(hcs(5, 2, Direction::Forward));
+        g.add_dependency(half, full, 0);
+        g.add_dependency(dom, half, 1);
+        let order = g.topological_order();
+        let pos = |n: NodeId| order.iter().position(|&x| x == n).unwrap();
+        assert!(pos(dom) < pos(half));
+        assert!(pos(half) < pos(full));
+        assert_eq!(order.len(), 3);
+    }
+
+    #[test]
+    fn provider_rooted_at_picks_largest_budget() {
+        let mut g = SharingGraph::new();
+        let user = g.add_hcs_query(hcs(0, 4, Direction::Forward));
+        let small = g.add_hcs_query(hcs(7, 1, Direction::Forward));
+        let large = g.add_hcs_query(hcs(7, 3, Direction::Forward));
+        let other = g.add_hcs_query(hcs(9, 3, Direction::Forward));
+        g.add_dependency(small, user, 3);
+        g.add_dependency(large, user, 1);
+        g.add_dependency(other, user, 1);
+        let (found, q) = g.provider_rooted_at(user, VertexId(7)).unwrap();
+        assert_eq!(found, large);
+        assert_eq!(q.budget, 3);
+        assert!(g.provider_rooted_at(user, VertexId(42)).is_none());
+    }
+
+    #[test]
+    fn anchor_slacks_propagate_through_offsets() {
+        // Full query q0(s=0, t=9, k=5): forward half (0,3,G). A dominating query (4,2,G)
+        // provides for the half with offset 1.
+        let queries = vec![PathQuery::new(0u32, 9u32, 5)];
+        let mut g = SharingGraph::new();
+        let full = g.add_full_query(0);
+        let half = g.add_hcs_query(hcs(0, 3, Direction::Forward));
+        let dom = g.add_hcs_query(hcs(4, 2, Direction::Forward));
+        g.add_dependency(half, full, 0);
+        g.add_dependency(dom, half, 1);
+
+        let slacks = g.anchor_slacks(&queries);
+        assert_eq!(slacks[half], vec![AnchorSlack { anchor: VertexId(9), slack: 5 }]);
+        assert_eq!(slacks[dom], vec![AnchorSlack { anchor: VertexId(9), slack: 4 }]);
+        assert!(slacks[full].is_empty());
+    }
+
+    #[test]
+    fn anchor_slacks_keep_the_loosest_constraint_per_anchor() {
+        // Two queries with the same target but different k share a dominating provider.
+        let queries = vec![PathQuery::new(0u32, 9u32, 4), PathQuery::new(1u32, 9u32, 6)];
+        let mut g = SharingGraph::new();
+        let f0 = g.add_full_query(0);
+        let f1 = g.add_full_query(1);
+        let h0 = g.add_hcs_query(hcs(0, 2, Direction::Forward));
+        let h1 = g.add_hcs_query(hcs(1, 3, Direction::Forward));
+        let dom = g.add_hcs_query(hcs(5, 2, Direction::Forward));
+        g.add_dependency(h0, f0, 0);
+        g.add_dependency(h1, f1, 0);
+        g.add_dependency(dom, h0, 0);
+        g.add_dependency(dom, h1, 1);
+        let slacks = g.anchor_slacks(&queries);
+        // Via h0: slack 4 - 0 = 4; via h1: slack 6 - 1 = 5; the larger one wins.
+        assert_eq!(slacks[dom], vec![AnchorSlack { anchor: VertexId(9), slack: 5 }]);
+    }
+
+    #[test]
+    fn backward_half_uses_the_source_as_anchor() {
+        let queries = vec![PathQuery::new(3u32, 8u32, 5)];
+        let mut g = SharingGraph::new();
+        let full = g.add_full_query(0);
+        let half = g.add_hcs_query(hcs(8, 2, Direction::Backward));
+        g.add_dependency(half, full, 0);
+        let slacks = g.anchor_slacks(&queries);
+        assert_eq!(slacks[half], vec![AnchorSlack { anchor: VertexId(3), slack: 5 }]);
+    }
+}

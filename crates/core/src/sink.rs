@@ -1,0 +1,180 @@
+//! Output sinks for enumerated HC-s-t paths.
+//!
+//! The paper's experiments never materialise the full result set of the largest queries
+//! (it can exceed 10^10 paths, Fig. 13); they measure enumeration throughput. A
+//! [`PathSink`] lets callers choose between collecting paths, counting them, or streaming
+//! them to a callback, all through the same enumeration code path.
+
+use crate::path::PathSet;
+use crate::query::QueryId;
+use hcsp_graph::VertexId;
+
+/// Receives every result path of every query of a batch.
+pub trait PathSink {
+    /// Called once per enumerated HC-s-t path with the originating query and the full
+    /// vertex sequence (from `s` to `t`).
+    fn accept(&mut self, query: QueryId, path: &[VertexId]);
+
+    /// Called when the batch finishes; default is a no-op.
+    fn finish(&mut self) {}
+}
+
+/// Counts results per query without storing them.
+#[derive(Debug, Default, Clone)]
+pub struct CountSink {
+    counts: Vec<u64>,
+}
+
+impl CountSink {
+    /// Creates a counter for `num_queries` queries.
+    pub fn new(num_queries: usize) -> Self {
+        CountSink { counts: vec![0; num_queries] }
+    }
+
+    /// Number of paths reported for `query`.
+    pub fn count(&self, query: QueryId) -> u64 {
+        self.counts.get(query).copied().unwrap_or(0)
+    }
+
+    /// Per-query counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total across all queries.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+impl PathSink for CountSink {
+    fn accept(&mut self, query: QueryId, _path: &[VertexId]) {
+        if query >= self.counts.len() {
+            self.counts.resize(query + 1, 0);
+        }
+        self.counts[query] += 1;
+    }
+}
+
+/// Collects the full result paths per query into [`PathSet`] arenas.
+#[derive(Debug, Default, Clone)]
+pub struct CollectSink {
+    per_query: Vec<PathSet>,
+}
+
+impl CollectSink {
+    /// Creates a collector for `num_queries` queries.
+    pub fn new(num_queries: usize) -> Self {
+        CollectSink { per_query: vec![PathSet::new(); num_queries] }
+    }
+
+    /// The collected paths of `query`.
+    pub fn paths(&self, query: QueryId) -> &PathSet {
+        &self.per_query[query]
+    }
+
+    /// All per-query path sets.
+    pub fn all(&self) -> &[PathSet] {
+        &self.per_query
+    }
+
+    /// Total number of collected paths.
+    pub fn total(&self) -> usize {
+        self.per_query.iter().map(PathSet::len).sum()
+    }
+
+    /// Consumes the sink and returns the per-query path sets.
+    pub fn into_inner(self) -> Vec<PathSet> {
+        self.per_query
+    }
+}
+
+impl PathSink for CollectSink {
+    fn accept(&mut self, query: QueryId, path: &[VertexId]) {
+        if query >= self.per_query.len() {
+            self.per_query.resize(query + 1, PathSet::new());
+        }
+        self.per_query[query].push_slice(path);
+    }
+}
+
+/// Streams every path to a closure (e.g. for writing to a file or a fraud alert queue).
+pub struct CallbackSink<F: FnMut(QueryId, &[VertexId])> {
+    callback: F,
+}
+
+impl<F: FnMut(QueryId, &[VertexId])> CallbackSink<F> {
+    /// Wraps a closure as a sink.
+    pub fn new(callback: F) -> Self {
+        CallbackSink { callback }
+    }
+}
+
+impl<F: FnMut(QueryId, &[VertexId])> PathSink for CallbackSink<F> {
+    fn accept(&mut self, query: QueryId, path: &[VertexId]) {
+        (self.callback)(query, path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(ids: &[u32]) -> Vec<VertexId> {
+        ids.iter().map(|&x| VertexId(x)).collect()
+    }
+
+    #[test]
+    fn count_sink_counts_per_query() {
+        let mut sink = CountSink::new(2);
+        sink.accept(0, &v(&[1, 2]));
+        sink.accept(0, &v(&[1, 3]));
+        sink.accept(1, &v(&[4, 5]));
+        sink.finish();
+        assert_eq!(sink.count(0), 2);
+        assert_eq!(sink.count(1), 1);
+        assert_eq!(sink.count(7), 0);
+        assert_eq!(sink.total(), 3);
+        assert_eq!(sink.counts(), &[2, 1]);
+    }
+
+    #[test]
+    fn count_sink_grows_on_demand() {
+        let mut sink = CountSink::default();
+        sink.accept(3, &v(&[1]));
+        assert_eq!(sink.count(3), 1);
+        assert_eq!(sink.count(0), 0);
+    }
+
+    #[test]
+    fn collect_sink_stores_paths() {
+        let mut sink = CollectSink::new(1);
+        sink.accept(0, &v(&[0, 1, 2]));
+        sink.accept(0, &v(&[0, 3, 2]));
+        assert_eq!(sink.paths(0).len(), 2);
+        assert_eq!(sink.total(), 2);
+        assert_eq!(sink.all().len(), 1);
+        assert_eq!(sink.paths(0).get(1), v(&[0, 3, 2]).as_slice());
+        let inner = sink.into_inner();
+        assert_eq!(inner.len(), 1);
+    }
+
+    #[test]
+    fn collect_sink_grows_on_demand() {
+        let mut sink = CollectSink::default();
+        sink.accept(2, &v(&[5, 6]));
+        assert_eq!(sink.paths(2).len(), 1);
+        assert_eq!(sink.paths(0).len(), 0);
+    }
+
+    #[test]
+    fn callback_sink_invokes_closure() {
+        let mut seen = Vec::new();
+        {
+            let mut sink = CallbackSink::new(|q, p: &[VertexId]| seen.push((q, p.len())));
+            sink.accept(0, &v(&[1, 2, 3]));
+            sink.accept(5, &v(&[9]));
+        }
+        assert_eq!(seen, vec![(0, 3), (5, 1)]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Instrumentation: per-stage wall-clock timings and traversal counters.
+//!
+//! Exp-3 of the paper (Fig. 9) decomposes the total processing time of `BatchEnum+` into
+//! `BuildIndex`, `ClusterQuery`, `IdentifySubquery` and `Enumeration`. Every run of every
+//! algorithm in this workspace fills an [`EnumStats`] so that decomposition is a
+//! by-product of normal execution rather than a special instrumented mode.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Duration;
+
+/// The processing stages distinguished by the time-decomposition experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Stage {
+    /// Multi-source BFS index construction (Alg. 1 / Alg. 4, lines 1–2).
+    BuildIndex,
+    /// Hierarchical query clustering (Alg. 2).
+    ClusterQuery,
+    /// Common HC-s path query detection (Alg. 3), including building Ψ.
+    IdentifySubquery,
+    /// Path enumeration and concatenation (the remainder of Alg. 1 / Alg. 4).
+    Enumeration,
+}
+
+impl Stage {
+    /// All stages in report order.
+    pub const ALL: [Stage; 4] =
+        [Stage::BuildIndex, Stage::ClusterQuery, Stage::IdentifySubquery, Stage::Enumeration];
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Stage::BuildIndex => "BuildIndex",
+            Stage::ClusterQuery => "ClusterQuery",
+            Stage::IdentifySubquery => "IdentifySubquery",
+            Stage::Enumeration => "Enumeration",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Low-level traversal counters accumulated during the half searches and joins.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchCounters {
+    /// Vertices expanded (recursion entries) during the DFS half searches.
+    pub expanded_vertices: u64,
+    /// Edges examined while expanding.
+    pub scanned_edges: u64,
+    /// Edges skipped by the Lemma 3.1 distance pruning.
+    pub pruned_edges: u64,
+    /// Prefix paths materialised into `P_f` / `P_b` or into the shared cache.
+    pub stored_prefixes: u64,
+    /// Prefix splices served from the shared HC-s path cache (BatchEnum only).
+    pub cache_splices: u64,
+    /// Complete HC-s-t paths produced.
+    pub produced_paths: u64,
+}
+
+impl SearchCounters {
+    /// Adds another counter set into this one.
+    pub fn merge(&mut self, other: &SearchCounters) {
+        self.expanded_vertices += other.expanded_vertices;
+        self.scanned_edges += other.scanned_edges;
+        self.pruned_edges += other.pruned_edges;
+        self.stored_prefixes += other.stored_prefixes;
+        self.cache_splices += other.cache_splices;
+        self.produced_paths += other.produced_paths;
+    }
+}
+
+/// Complete statistics of one batch run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnumStats {
+    /// Wall-clock time per stage (absent stages were not executed by the algorithm).
+    stage_times: Vec<(Stage, Duration)>,
+    /// Traversal counters.
+    pub counters: SearchCounters,
+    /// Number of queries in the batch.
+    pub num_queries: usize,
+    /// Number of query clusters formed (1 per query when clustering is not used).
+    pub num_clusters: usize,
+    /// Number of common (dominating) HC-s path queries detected.
+    pub num_shared_subqueries: usize,
+    /// Peak number of HC-s path results resident in the cache at any point.
+    pub peak_cached_results: usize,
+}
+
+impl EnumStats {
+    /// Creates empty statistics for a batch of `num_queries` queries.
+    pub fn new(num_queries: usize) -> Self {
+        EnumStats { num_queries, ..Default::default() }
+    }
+
+    /// Records (accumulates) time spent in a stage.
+    pub fn add_stage(&mut self, stage: Stage, elapsed: Duration) {
+        if let Some(entry) = self.stage_times.iter_mut().find(|(s, _)| *s == stage) {
+            entry.1 += elapsed;
+        } else {
+            self.stage_times.push((stage, elapsed));
+        }
+    }
+
+    /// Time spent in a stage (zero if the stage never ran).
+    pub fn stage_time(&self, stage: Stage) -> Duration {
+        self.stage_times
+            .iter()
+            .find(|(s, _)| *s == stage)
+            .map(|(_, d)| *d)
+            .unwrap_or_default()
+    }
+
+    /// Sum of all recorded stage times.
+    pub fn total_time(&self) -> Duration {
+        self.stage_times.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Formats the Fig. 9 style decomposition as `stage=seconds` pairs.
+    pub fn decomposition_row(&self) -> String {
+        Stage::ALL
+            .iter()
+            .map(|&s| format!("{}={:.6}s", s, self.stage_time(s).as_secs_f64()))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Merges the statistics of another run (used when an algorithm processes clusters or
+    /// directions separately and the per-part stats are combined).
+    pub fn merge(&mut self, other: &EnumStats) {
+        for &(stage, d) in &other.stage_times {
+            self.add_stage(stage, d);
+        }
+        self.counters.merge(&other.counters);
+        self.num_clusters += other.num_clusters;
+        self.num_shared_subqueries += other.num_shared_subqueries;
+        self.peak_cached_results = self.peak_cached_results.max(other.peak_cached_results);
+    }
+}
+
+/// Small helper measuring a closure's wall-clock time and attributing it to a stage.
+pub fn timed<T>(stats: &mut EnumStats, stage: Stage, f: impl FnOnce() -> T) -> T {
+    let start = std::time::Instant::now();
+    let out = f();
+    stats.add_stage(stage, start.elapsed());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_times_accumulate() {
+        let mut s = EnumStats::new(10);
+        s.add_stage(Stage::BuildIndex, Duration::from_millis(5));
+        s.add_stage(Stage::BuildIndex, Duration::from_millis(7));
+        s.add_stage(Stage::Enumeration, Duration::from_millis(100));
+        assert_eq!(s.stage_time(Stage::BuildIndex), Duration::from_millis(12));
+        assert_eq!(s.stage_time(Stage::ClusterQuery), Duration::ZERO);
+        assert_eq!(s.total_time(), Duration::from_millis(112));
+        assert_eq!(s.num_queries, 10);
+    }
+
+    #[test]
+    fn merge_combines_counters_and_times() {
+        let mut a = EnumStats::new(5);
+        a.add_stage(Stage::Enumeration, Duration::from_millis(10));
+        a.counters.produced_paths = 3;
+        a.peak_cached_results = 2;
+
+        let mut b = EnumStats::new(5);
+        b.add_stage(Stage::Enumeration, Duration::from_millis(20));
+        b.add_stage(Stage::ClusterQuery, Duration::from_millis(1));
+        b.counters.produced_paths = 4;
+        b.num_shared_subqueries = 6;
+        b.peak_cached_results = 9;
+
+        a.merge(&b);
+        assert_eq!(a.stage_time(Stage::Enumeration), Duration::from_millis(30));
+        assert_eq!(a.stage_time(Stage::ClusterQuery), Duration::from_millis(1));
+        assert_eq!(a.counters.produced_paths, 7);
+        assert_eq!(a.num_shared_subqueries, 6);
+        assert_eq!(a.peak_cached_results, 9);
+    }
+
+    #[test]
+    fn timed_attributes_elapsed_time() {
+        let mut s = EnumStats::new(1);
+        let out = timed(&mut s, Stage::IdentifySubquery, || 21 * 2);
+        assert_eq!(out, 42);
+        assert!(s.stage_time(Stage::IdentifySubquery) >= Duration::ZERO);
+        assert!(s.decomposition_row().contains("IdentifySubquery="));
+    }
+
+    #[test]
+    fn counters_merge() {
+        let mut a = SearchCounters { expanded_vertices: 1, scanned_edges: 2, ..Default::default() };
+        let b = SearchCounters { expanded_vertices: 10, pruned_edges: 5, cache_splices: 1, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.expanded_vertices, 11);
+        assert_eq!(a.scanned_edges, 2);
+        assert_eq!(a.pruned_edges, 5);
+        assert_eq!(a.cache_splices, 1);
+    }
+
+    #[test]
+    fn stage_display_names() {
+        let names: Vec<String> = Stage::ALL.iter().map(|s| s.to_string()).collect();
+        assert_eq!(names, vec!["BuildIndex", "ClusterQuery", "IdentifySubquery", "Enumeration"]);
+    }
+}

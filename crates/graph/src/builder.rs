@@ -1,0 +1,156 @@
+//! Incremental graph construction.
+
+use crate::digraph::DiGraph;
+use crate::error::GraphError;
+use crate::vertex::VertexId;
+use crate::Result;
+
+/// Incremental builder producing a [`DiGraph`].
+///
+/// The builder accumulates edges (optionally rejecting self loops), grows the vertex count
+/// on demand, and defers sorting/deduplication to the final CSR construction, so insertion
+/// is amortised O(1).
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    num_vertices: usize,
+    edges: Vec<(VertexId, VertexId)>,
+    skip_self_loops: bool,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder with pre-reserved capacity for `num_vertices` vertices and
+    /// `num_edges` edges.
+    pub fn with_capacity(num_vertices: usize, num_edges: usize) -> Self {
+        GraphBuilder {
+            num_vertices,
+            edges: Vec::with_capacity(num_edges),
+            skip_self_loops: false,
+        }
+    }
+
+    /// When enabled, `add_edge` silently drops edges of the form `(v, v)`.
+    ///
+    /// Self loops can never occur on a simple path with at least one hop, so dropping them
+    /// at build time slightly shrinks the CSR without changing any query answer.
+    pub fn skip_self_loops(mut self, skip: bool) -> Self {
+        self.skip_self_loops = skip;
+        self
+    }
+
+    /// Ensures the graph has at least `n` vertices.
+    pub fn reserve_vertices(&mut self, n: usize) {
+        self.num_vertices = self.num_vertices.max(n);
+    }
+
+    /// Current number of vertices (grows as edges touching new ids are added).
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of edges added so far (before deduplication).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a directed edge, growing the vertex count to cover both endpoints.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) {
+        if self.skip_self_loops && u == v {
+            return;
+        }
+        self.num_vertices = self.num_vertices.max(u.index() + 1).max(v.index() + 1);
+        self.edges.push((u, v));
+    }
+
+    /// Adds a directed edge given raw `u32` endpoints, validating against overflow.
+    pub fn add_edge_raw(&mut self, u: u32, v: u32) -> Result<()> {
+        let (u, v) = (VertexId(u), VertexId(v));
+        if u.index() >= u32::MAX as usize || v.index() >= u32::MAX as usize {
+            return Err(GraphError::TooManyVertices(u.index().max(v.index())));
+        }
+        self.add_edge(u, v);
+        Ok(())
+    }
+
+    /// Adds every edge from an iterator.
+    pub fn extend_edges<I>(&mut self, edges: I)
+    where
+        I: IntoIterator<Item = (VertexId, VertexId)>,
+    {
+        for (u, v) in edges {
+            self.add_edge(u, v);
+        }
+    }
+
+    /// Finalises the builder into an immutable [`DiGraph`] (sorting and deduplicating).
+    pub fn build(self) -> DiGraph {
+        DiGraph::from_csr_edges(self.num_vertices, &self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: u32) -> VertexId {
+        VertexId(x)
+    }
+
+    #[test]
+    fn builder_grows_vertex_count() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(v(0), v(5));
+        b.add_edge(v(2), v(1));
+        assert_eq!(b.num_vertices(), 6);
+        assert_eq!(b.num_edges(), 2);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(v(0), v(5)));
+    }
+
+    #[test]
+    fn reserve_vertices_allows_isolated_tail() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(v(0), v(1));
+        b.reserve_vertices(10);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.out_degree(v(9)), 0);
+    }
+
+    #[test]
+    fn self_loops_can_be_skipped() {
+        let mut keep = GraphBuilder::new();
+        keep.add_edge(v(1), v(1));
+        assert_eq!(keep.build().num_edges(), 1);
+
+        let mut skip = GraphBuilder::new().skip_self_loops(true);
+        skip.add_edge(v(1), v(1));
+        skip.add_edge(v(0), v(1));
+        let g = skip.build();
+        assert_eq!(g.num_edges(), 1);
+        assert!(!g.has_edge(v(1), v(1)));
+    }
+
+    #[test]
+    fn extend_edges_matches_repeated_add() {
+        let mut a = GraphBuilder::new();
+        a.extend_edges([(v(0), v(1)), (v(1), v(2))]);
+        let mut b = GraphBuilder::new();
+        b.add_edge(v(0), v(1));
+        b.add_edge(v(1), v(2));
+        assert_eq!(a.build(), b.build());
+    }
+
+    #[test]
+    fn with_capacity_starts_with_given_vertices() {
+        let b = GraphBuilder::with_capacity(7, 10);
+        assert_eq!(b.num_vertices(), 7);
+        assert_eq!(b.build().num_vertices(), 7);
+    }
+}

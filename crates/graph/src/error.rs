@@ -1,0 +1,92 @@
+//! Error types for graph construction and IO.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced while building, loading, or storing graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge references a vertex id `>= n`.
+    VertexOutOfBounds {
+        /// The offending vertex id.
+        vertex: u32,
+        /// The number of vertices in the graph being built.
+        num_vertices: usize,
+    },
+    /// The number of vertices exceeds what a `u32` id can address.
+    TooManyVertices(usize),
+    /// A text edge list contained a line that could not be parsed.
+    ParseEdge {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// The offending content (truncated).
+        content: String,
+    },
+    /// The binary format header did not match.
+    InvalidBinaryFormat(String),
+    /// Underlying IO failure.
+    Io(io::Error),
+    /// A generator or sampler was given inconsistent parameters.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfBounds { vertex, num_vertices } => write!(
+                f,
+                "edge references vertex {vertex} but the graph has only {num_vertices} vertices"
+            ),
+            GraphError::TooManyVertices(n) => {
+                write!(f, "{n} vertices exceed the 32-bit vertex id space")
+            }
+            GraphError::ParseEdge { line, content } => {
+                write!(f, "cannot parse edge on line {line}: {content:?}")
+            }
+            GraphError::InvalidBinaryFormat(msg) => write!(f, "invalid binary graph: {msg}"),
+            GraphError::Io(e) => write!(f, "io error: {e}"),
+            GraphError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphError {
+    fn from(e: io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::VertexOutOfBounds { vertex: 10, num_vertices: 5 };
+        assert!(e.to_string().contains("vertex 10"));
+        assert!(e.to_string().contains("5 vertices"));
+
+        let e = GraphError::ParseEdge { line: 3, content: "a b".into() };
+        assert!(e.to_string().contains("line 3"));
+
+        let e = GraphError::InvalidParameter("p must be in [0,1]".into());
+        assert!(e.to_string().contains("p must be"));
+    }
+
+    #[test]
+    fn io_error_is_wrapped_with_source() {
+        use std::error::Error;
+        let e: GraphError = io::Error::new(io::ErrorKind::NotFound, "missing").into();
+        assert!(e.to_string().contains("missing"));
+        assert!(e.source().is_some());
+    }
+}

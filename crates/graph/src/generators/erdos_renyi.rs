@@ -1,0 +1,107 @@
+//! Erdős–Rényi random directed graphs.
+
+use crate::builder::GraphBuilder;
+use crate::digraph::DiGraph;
+use crate::error::GraphError;
+use crate::generators::random_vertex;
+use crate::Result;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a `G(n, m)` directed graph: `m` edges drawn uniformly at random (without self
+/// loops; parallel edges collapse during CSR construction, so the final edge count can be
+/// slightly below `m` on dense parameterisations).
+pub fn gnm_random(n: usize, m: usize, seed: u64) -> Result<DiGraph> {
+    if n == 0 && m > 0 {
+        return Err(GraphError::InvalidParameter("cannot place edges in an empty graph".into()));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_capacity(n, m).skip_self_loops(true);
+    builder.reserve_vertices(n);
+    if n > 1 {
+        let mut placed = 0usize;
+        // Allow a bounded number of retries so extremely dense requests still terminate.
+        let mut attempts = 0usize;
+        let max_attempts = m.saturating_mul(4).max(16);
+        while placed < m && attempts < max_attempts {
+            attempts += 1;
+            let u = random_vertex(&mut rng, n);
+            let v = random_vertex(&mut rng, n);
+            if u == v {
+                continue;
+            }
+            builder.add_edge(u, v);
+            placed += 1;
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Generates a `G(n, p)` directed graph: every ordered pair `(u, v)`, `u != v`, becomes an
+/// edge independently with probability `p`.
+///
+/// Intended for small graphs (tests, examples); for large sparse graphs use [`gnm_random`],
+/// which is `O(m)` instead of `O(n^2)`.
+pub fn gnp_random(n: usize, p: f64, seed: u64) -> Result<DiGraph> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(GraphError::InvalidParameter(format!("p must be in [0,1], got {p}")));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_capacity(n, ((n * n) as f64 * p) as usize);
+    builder.reserve_vertices(n);
+    for u in 0..n {
+        for v in 0..n {
+            if u != v && rng.gen_bool(p) {
+                builder.add_edge(crate::VertexId::new(u), crate::VertexId::new(v));
+            }
+        }
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnm_has_requested_shape() {
+        let g = gnm_random(100, 500, 7).unwrap();
+        assert_eq!(g.num_vertices(), 100);
+        // Duplicates may collapse but the count must stay close to the request.
+        assert!(g.num_edges() > 400 && g.num_edges() <= 500, "edges = {}", g.num_edges());
+        // No self loops.
+        assert!(g.edges().all(|(u, v)| u != v));
+    }
+
+    #[test]
+    fn gnm_is_deterministic_per_seed() {
+        let a = gnm_random(50, 200, 42).unwrap();
+        let b = gnm_random(50, 200, 42).unwrap();
+        let c = gnm_random(50, 200, 43).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gnm_rejects_edges_on_empty_graph() {
+        assert!(gnm_random(0, 5, 1).is_err());
+        assert_eq!(gnm_random(0, 0, 1).unwrap().num_vertices(), 0);
+        // A single vertex cannot host non-loop edges; generator still terminates.
+        assert_eq!(gnm_random(1, 10, 1).unwrap().num_edges(), 0);
+    }
+
+    #[test]
+    fn gnp_density_tracks_p() {
+        let sparse = gnp_random(60, 0.01, 3).unwrap();
+        let dense = gnp_random(60, 0.3, 3).unwrap();
+        assert!(dense.num_edges() > sparse.num_edges());
+        assert!(gnp_random(10, 1.5, 0).is_err());
+        assert!(gnp_random(10, -0.1, 0).is_err());
+    }
+
+    #[test]
+    fn gnp_p_one_is_complete() {
+        let g = gnp_random(8, 1.0, 9).unwrap();
+        assert_eq!(g.num_edges(), 8 * 7);
+    }
+}

@@ -1,0 +1,51 @@
+//! Deterministic random and regular graph generators.
+//!
+//! The paper evaluates on twelve real-world graphs downloaded from SNAP, LAW and
+//! NetworkRepository (Table I). Those downloads are not available in this environment, so
+//! the workload crate synthesises *analog* graphs with the same qualitative shape
+//! (skewed degree distribution, comparable average degree, same relative size ordering)
+//! from the generators in this module. All generators take an explicit seed and are fully
+//! deterministic.
+//!
+//! * [`erdos_renyi`] — `G(n, m)` uniform random directed graphs (low skew, e.g. WikiTalk-like
+//!   average degree).
+//! * [`preferential`] — directed Barabási–Albert-style preferential attachment (heavy-tailed
+//!   in-degree, the dominant shape of the social networks in Table I).
+//! * [`small_world`] — directed Watts–Strogatz ring rewiring (high clustering, web-graph-like
+//!   local structure).
+//! * [`regular`] — deterministic families (path, cycle, complete, grid, star, layered DAG)
+//!   used heavily by unit tests and examples.
+
+pub mod erdos_renyi;
+pub mod preferential;
+pub mod regular;
+pub mod small_world;
+
+pub use erdos_renyi::{gnm_random, gnp_random};
+pub use preferential::preferential_attachment;
+pub use regular::{complete, cycle, grid, layered_dag, path, star};
+pub use small_world::small_world;
+
+use crate::vertex::VertexId;
+use rand::Rng;
+
+/// Draws a random vertex id in `[0, n)`.
+pub(crate) fn random_vertex<R: Rng>(rng: &mut R, n: usize) -> VertexId {
+    VertexId::new(rng.gen_range(0..n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_vertex_is_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let v = random_vertex(&mut rng, 17);
+            assert!(v.index() < 17);
+        }
+    }
+}

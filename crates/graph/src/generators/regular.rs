@@ -1,0 +1,175 @@
+//! Deterministic regular graph families.
+//!
+//! These structured graphs have path counts that are easy to reason about by hand, which
+//! makes them the backbone of the unit/integration test suites: a layered DAG has exactly
+//! `w^(l-1)` s-t paths, a complete digraph has `sum_{i} P(n-2, i)` bounded-length simple
+//! paths, a cycle has exactly one, and so on.
+
+use crate::builder::GraphBuilder;
+use crate::digraph::DiGraph;
+use crate::vertex::VertexId;
+
+/// Directed path `0 -> 1 -> … -> n-1`.
+pub fn path(n: usize) -> DiGraph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    b.reserve_vertices(n);
+    for i in 1..n {
+        b.add_edge(VertexId::new(i - 1), VertexId::new(i));
+    }
+    b.build()
+}
+
+/// Directed cycle `0 -> 1 -> … -> n-1 -> 0`.
+pub fn cycle(n: usize) -> DiGraph {
+    let mut b = GraphBuilder::with_capacity(n, n);
+    b.reserve_vertices(n);
+    if n >= 2 {
+        for i in 0..n {
+            b.add_edge(VertexId::new(i), VertexId::new((i + 1) % n));
+        }
+    }
+    b.build()
+}
+
+/// Complete digraph on `n` vertices (every ordered pair distinct vertices).
+pub fn complete(n: usize) -> DiGraph {
+    let mut b = GraphBuilder::with_capacity(n, n * n.saturating_sub(1));
+    b.reserve_vertices(n);
+    for u in 0..n {
+        for v in 0..n {
+            if u != v {
+                b.add_edge(VertexId::new(u), VertexId::new(v));
+            }
+        }
+    }
+    b.build()
+}
+
+/// `rows × cols` grid with edges pointing right and down (a DAG).
+///
+/// Vertex `(r, c)` has id `r * cols + c`.
+pub fn grid(rows: usize, cols: usize) -> DiGraph {
+    let n = rows * cols;
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    b.reserve_vertices(n);
+    for r in 0..rows {
+        for c in 0..cols {
+            let id = VertexId::new(r * cols + c);
+            if c + 1 < cols {
+                b.add_edge(id, VertexId::new(r * cols + c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(id, VertexId::new((r + 1) * cols + c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Star graph: the hub (vertex 0) points to every leaf and every leaf points back.
+pub fn star(leaves: usize) -> DiGraph {
+    let n = leaves + 1;
+    let mut b = GraphBuilder::with_capacity(n, 2 * leaves);
+    b.reserve_vertices(n);
+    for leaf in 1..n {
+        b.add_edge(VertexId::new(0), VertexId::new(leaf));
+        b.add_edge(VertexId::new(leaf), VertexId::new(0));
+    }
+    b.build()
+}
+
+/// Layered DAG: `layers` layers of `width` vertices, a dedicated source before the first
+/// layer and a dedicated sink after the last, with complete bipartite connections between
+/// consecutive layers.
+///
+/// The number of source→sink simple paths is exactly `width^layers`, and every such path
+/// has `layers + 1` hops — a precise ground truth for enumeration tests.
+pub fn layered_dag(layers: usize, width: usize) -> DiGraph {
+    let n = layers * width + 2;
+    let source = VertexId::new(0);
+    let sink = VertexId::new(n - 1);
+    let vertex_at = |layer: usize, pos: usize| VertexId::new(1 + layer * width + pos);
+    let mut b = GraphBuilder::with_capacity(n, width * width * layers + 2 * width);
+    b.reserve_vertices(n);
+    if layers == 0 || width == 0 {
+        b.add_edge(source, sink);
+        return b.build();
+    }
+    for pos in 0..width {
+        b.add_edge(source, vertex_at(0, pos));
+        b.add_edge(vertex_at(layers - 1, pos), sink);
+    }
+    for layer in 1..layers {
+        for from in 0..width {
+            for to in 0..width {
+                b.add_edge(vertex_at(layer - 1, from), vertex_at(layer, to));
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::Direction;
+    use crate::traversal::{hop_distance, reachable_count};
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(hop_distance(&g, VertexId(0), VertexId(4)), Some(4));
+        assert_eq!(hop_distance(&g, VertexId(4), VertexId(0)), None);
+        assert_eq!(path(0).num_vertices(), 0);
+        assert_eq!(path(1).num_edges(), 0);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(6);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(hop_distance(&g, VertexId(3), VertexId(2)), Some(5));
+        assert_eq!(reachable_count(&g, VertexId(0), Direction::Forward), 6);
+        // A single vertex cannot form a directed cycle without a self loop.
+        assert_eq!(cycle(1).num_edges(), 0);
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(5);
+        assert_eq!(g.num_edges(), 20);
+        assert!(g.vertices().all(|v| g.out_degree(v) == 4 && g.in_degree(v) == 4));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        // Horizontal: 3 rows * 3, vertical: 2 rows * 4.
+        assert_eq!(g.num_edges(), 9 + 8);
+        // Manhattan distance from corner to corner.
+        assert_eq!(hop_distance(&g, VertexId(0), VertexId(11)), Some(5));
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(4);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 8);
+        assert_eq!(g.out_degree(VertexId(0)), 4);
+        assert_eq!(g.in_degree(VertexId(0)), 4);
+    }
+
+    #[test]
+    fn layered_dag_shape() {
+        let g = layered_dag(3, 2);
+        assert_eq!(g.num_vertices(), 3 * 2 + 2);
+        let sink = VertexId::new(g.num_vertices() - 1);
+        assert_eq!(hop_distance(&g, VertexId(0), sink), Some(4));
+        // Degenerate widths collapse to a single source->sink edge.
+        let tiny = layered_dag(0, 3);
+        assert_eq!(tiny.num_edges(), 1);
+    }
+}

@@ -1,0 +1,95 @@
+//! Directed Watts–Strogatz small-world generator.
+//!
+//! Web graphs like BerkStan and Web-uk-2005 have strong local structure (pages link to
+//! nearby pages on the same host) plus a sprinkling of long-range links. A directed ring
+//! lattice with random rewiring reproduces that mixture and produces the long shortest
+//! paths / high clustering regime that distinguishes web graphs from social graphs.
+
+use crate::builder::GraphBuilder;
+use crate::digraph::DiGraph;
+use crate::error::GraphError;
+use crate::vertex::VertexId;
+use crate::Result;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a directed small-world graph.
+///
+/// Each vertex `i` initially points to its `k` clockwise ring successors
+/// `i+1, …, i+k (mod n)`; each such edge is then rewired to a uniformly random target with
+/// probability `beta`.
+pub fn small_world(n: usize, k: usize, beta: f64, seed: u64) -> Result<DiGraph> {
+    if !(0.0..=1.0).contains(&beta) {
+        return Err(GraphError::InvalidParameter(format!("beta must be in [0,1], got {beta}")));
+    }
+    if n > 0 && k >= n {
+        return Err(GraphError::InvalidParameter(format!(
+            "ring degree k={k} must be smaller than n={n}"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_capacity(n, n * k).skip_self_loops(true);
+    builder.reserve_vertices(n);
+    for i in 0..n {
+        for j in 1..=k {
+            let source = VertexId::new(i);
+            let ring_target = VertexId::new((i + j) % n);
+            let target = if rng.gen_bool(beta) {
+                // Rewire: pick any vertex other than the source.
+                let mut t = rng.gen_range(0..n);
+                if t == i {
+                    t = (t + 1) % n;
+                }
+                VertexId::new(t)
+            } else {
+                ring_target
+            };
+            builder.add_edge(source, target);
+        }
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::Direction;
+    use crate::traversal::{bfs_distances, UNREACHED};
+
+    #[test]
+    fn zero_beta_is_a_pure_ring() {
+        let g = small_world(10, 2, 0.0, 1).unwrap();
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.num_edges(), 20);
+        assert!(g.has_edge(VertexId(0), VertexId(1)));
+        assert!(g.has_edge(VertexId(0), VertexId(2)));
+        assert!(g.has_edge(VertexId(9), VertexId(0)));
+        // The ring is strongly connected.
+        let d = bfs_distances(&g, VertexId(0), Direction::Forward);
+        assert!(d.iter().all(|&x| x != UNREACHED));
+    }
+
+    #[test]
+    fn rewiring_changes_the_graph_but_not_edge_budget_much() {
+        let ring = small_world(200, 3, 0.0, 5).unwrap();
+        let rewired = small_world(200, 3, 0.5, 5).unwrap();
+        assert_ne!(ring, rewired);
+        // Rewiring can only lose edges through dedup collisions, never add.
+        assert!(rewired.num_edges() <= ring.num_edges());
+        assert!(rewired.num_edges() > ring.num_edges() / 2);
+        assert!(rewired.edges().all(|(u, v)| u != v));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(small_world(64, 4, 0.3, 7).unwrap(), small_world(64, 4, 0.3, 7).unwrap());
+        assert_ne!(small_world(64, 4, 0.3, 7).unwrap(), small_world(64, 4, 0.3, 8).unwrap());
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(small_world(10, 2, 1.5, 0).is_err());
+        assert!(small_world(10, 10, 0.1, 0).is_err());
+        assert_eq!(small_world(0, 0, 0.0, 0).unwrap().num_vertices(), 0);
+    }
+}

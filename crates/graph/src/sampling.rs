@@ -1,0 +1,182 @@
+//! Induced-subgraph sampling for the scalability experiment (Exp-5 / Fig. 11).
+//!
+//! The paper samples 20 %–100 % of the vertices (and, analogously, edges) of the two
+//! billion-scale graphs and measures processing time on the induced subgraphs. Sampled
+//! vertices are relabelled densely so the result is again a standalone [`DiGraph`]; the
+//! mapping back to the original ids is returned alongside.
+
+use crate::builder::GraphBuilder;
+use crate::digraph::DiGraph;
+use crate::error::GraphError;
+use crate::vertex::VertexId;
+use crate::Result;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// The result of a sampling operation: the induced subgraph plus the id mapping.
+#[derive(Debug, Clone)]
+pub struct SampledGraph {
+    /// The induced subgraph with densely relabelled vertices.
+    pub graph: DiGraph,
+    /// `original_of[new_id] = old_id` in the source graph.
+    pub original_of: Vec<VertexId>,
+    /// `new_of[old_id] = Some(new_id)` for kept vertices.
+    pub new_of: Vec<Option<VertexId>>,
+}
+
+impl SampledGraph {
+    /// Maps a vertex of the sampled graph back to the original graph.
+    pub fn to_original(&self, v: VertexId) -> VertexId {
+        self.original_of[v.index()]
+    }
+
+    /// Maps an original vertex into the sampled graph if it was kept.
+    pub fn to_sampled(&self, v: VertexId) -> Option<VertexId> {
+        self.new_of[v.index()]
+    }
+}
+
+/// Samples `ratio` of the vertices uniformly at random and returns the induced subgraph.
+///
+/// `ratio` must lie in `(0, 1]`; `1.0` returns a relabel-identity copy, which is convenient
+/// for sweeping 20 %, 40 %, …, 100 % with one code path as Fig. 11 does.
+pub fn sample_vertices(graph: &DiGraph, ratio: f64, seed: u64) -> Result<SampledGraph> {
+    if !(ratio > 0.0 && ratio <= 1.0) {
+        return Err(GraphError::InvalidParameter(format!("ratio must be in (0,1], got {ratio}")));
+    }
+    let n = graph.num_vertices();
+    let keep = ((n as f64 * ratio).round() as usize).clamp(usize::from(n > 0), n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ids: Vec<VertexId> = graph.vertices().collect();
+    ids.shuffle(&mut rng);
+    ids.truncate(keep);
+    ids.sort_unstable();
+    build_induced(graph, &ids)
+}
+
+/// Samples `ratio` of the edges uniformly at random; the vertex set is unchanged.
+pub fn sample_edges(graph: &DiGraph, ratio: f64, seed: u64) -> Result<DiGraph> {
+    if !(ratio > 0.0 && ratio <= 1.0) {
+        return Err(GraphError::InvalidParameter(format!("ratio must be in (0,1], got {ratio}")));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_capacity(
+        graph.num_vertices(),
+        (graph.num_edges() as f64 * ratio) as usize + 1,
+    );
+    builder.reserve_vertices(graph.num_vertices());
+    for (u, v) in graph.edges() {
+        if rng.gen_bool(ratio) {
+            builder.add_edge(u, v);
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Builds the subgraph induced by an explicit (sorted, deduplicated) vertex list.
+pub fn build_induced(graph: &DiGraph, kept: &[VertexId]) -> Result<SampledGraph> {
+    for &v in kept {
+        if v.index() >= graph.num_vertices() {
+            return Err(GraphError::VertexOutOfBounds {
+                vertex: v.raw(),
+                num_vertices: graph.num_vertices(),
+            });
+        }
+    }
+    let mut new_of: Vec<Option<VertexId>> = vec![None; graph.num_vertices()];
+    let mut original_of = Vec::with_capacity(kept.len());
+    for (new_id, &old) in kept.iter().enumerate() {
+        new_of[old.index()] = Some(VertexId::new(new_id));
+        original_of.push(old);
+    }
+    let mut builder = GraphBuilder::with_capacity(kept.len(), graph.num_edges());
+    builder.reserve_vertices(kept.len());
+    for &old_u in kept {
+        let Some(new_u) = new_of[old_u.index()] else { continue };
+        for &old_v in graph.out_neighbors(old_u) {
+            if let Some(new_v) = new_of[old_v.index()] {
+                builder.add_edge(new_u, new_v);
+            }
+        }
+    }
+    Ok(SampledGraph { graph: builder.build(), original_of, new_of })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::regular::{complete, grid};
+
+    #[test]
+    fn full_ratio_preserves_structure() {
+        let g = grid(4, 4);
+        let s = sample_vertices(&g, 1.0, 3).unwrap();
+        assert_eq!(s.graph.num_vertices(), g.num_vertices());
+        assert_eq!(s.graph.num_edges(), g.num_edges());
+        // Identity relabelling because kept ids are sorted.
+        for v in g.vertices() {
+            assert_eq!(s.to_original(v), v);
+            assert_eq!(s.to_sampled(v), Some(v));
+        }
+    }
+
+    #[test]
+    fn half_ratio_halves_vertices() {
+        let g = complete(40);
+        let s = sample_vertices(&g, 0.5, 9).unwrap();
+        assert_eq!(s.graph.num_vertices(), 20);
+        // Induced complete subgraph stays complete.
+        assert_eq!(s.graph.num_edges(), 20 * 19);
+    }
+
+    #[test]
+    fn induced_edges_map_back_to_original_edges() {
+        let g = grid(5, 5);
+        let s = sample_vertices(&g, 0.6, 11).unwrap();
+        for (u, v) in s.graph.edges() {
+            assert!(g.has_edge(s.to_original(u), s.to_original(v)));
+        }
+    }
+
+    #[test]
+    fn edge_sampling_keeps_vertex_count() {
+        let g = complete(20);
+        let sampled = sample_edges(&g, 0.3, 5).unwrap();
+        assert_eq!(sampled.num_vertices(), 20);
+        assert!(sampled.num_edges() < g.num_edges());
+        assert!(sampled.num_edges() > 0);
+        for (u, v) in sampled.edges() {
+            assert!(g.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn invalid_ratios_are_rejected() {
+        let g = complete(5);
+        assert!(sample_vertices(&g, 0.0, 1).is_err());
+        assert!(sample_vertices(&g, 1.5, 1).is_err());
+        assert!(sample_edges(&g, -0.2, 1).is_err());
+    }
+
+    #[test]
+    fn build_induced_validates_vertices() {
+        let g = complete(4);
+        assert!(build_induced(&g, &[VertexId(9)]).is_err());
+        let s = build_induced(&g, &[VertexId(1), VertexId(3)]).unwrap();
+        assert_eq!(s.graph.num_vertices(), 2);
+        assert_eq!(s.graph.num_edges(), 2);
+        assert_eq!(s.to_original(VertexId(0)), VertexId(1));
+        assert_eq!(s.to_sampled(VertexId(3)), Some(VertexId(1)));
+        assert_eq!(s.to_sampled(VertexId(0)), None);
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let g = grid(6, 6);
+        assert_eq!(
+            sample_vertices(&g, 0.4, 77).unwrap().original_of,
+            sample_vertices(&g, 0.4, 77).unwrap().original_of
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! # hcsp
+//!
+//! Batch hop-constrained s-t simple path query processing in large graphs — a Rust
+//! reproduction of the ICDE 2024 paper of the same name.
+//!
+//! This facade crate re-exports the whole workspace behind a single dependency:
+//!
+//! * [`graph`] — directed CSR graphs, generators, IO, sampling ([`hcsp_graph`]).
+//! * [`index`] — bounded-distance multi-source BFS index ([`hcsp_index`]).
+//! * [`core`] — the enumeration algorithms: `PathEnum`, `BasicEnum(+)`, `BatchEnum(+)`
+//!   ([`hcsp_core`]).
+//! * [`baselines`] — the adapted k-shortest-path comparators `DkSP` and `OnePass`
+//!   ([`hcsp_baselines`]).
+//! * [`workload`] — the Table I dataset analogs and query-set generators
+//!   ([`hcsp_workload`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hcsp::prelude::*;
+//!
+//! // Build a graph (here: a tiny synthetic social network), pose a batch of queries and
+//! // run the shared batch algorithm.
+//! let graph = hcsp::workload::Dataset::EP.build(hcsp::workload::DatasetScale::Tiny);
+//! let queries = hcsp::workload::random_query_set(
+//!     &graph,
+//!     hcsp::workload::QuerySetSpec::new(10, 7).with_hops(3, 4),
+//! );
+//! let engine = BatchEngine::builder().algorithm(Algorithm::BatchEnumPlus).gamma(0.5).build();
+//! let outcome = engine.run(&graph, &queries);
+//! assert_eq!(outcome.paths.len(), queries.len());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+/// Directed-graph substrate (re-export of `hcsp-graph`).
+pub mod graph {
+    pub use hcsp_graph::*;
+}
+
+/// Bounded-distance index (re-export of `hcsp-index`).
+pub mod index {
+    pub use hcsp_index::*;
+}
+
+/// Enumeration algorithms (re-export of `hcsp-core`).
+pub mod core {
+    pub use hcsp_core::*;
+}
+
+/// Adapted KSP comparators (re-export of `hcsp-baselines`).
+pub mod baselines {
+    pub use hcsp_baselines::*;
+}
+
+/// Dataset analogs and query generators (re-export of `hcsp-workload`).
+pub mod workload {
+    pub use hcsp_workload::*;
+}
+
+/// The most commonly used items, for `use hcsp::prelude::*`.
+pub mod prelude {
+    pub use hcsp_core::{
+        Algorithm, BatchEngine, BatchOutcome, CallbackSink, CollectSink, CountSink, EnumStats,
+        Path, PathQuery, PathSet, PathSink, SearchOrder, Stage,
+    };
+    pub use hcsp_graph::{DiGraph, Direction, GraphBuilder, VertexId};
+    pub use hcsp_index::BatchIndex;
+}
+
+pub use hcsp_core::{Algorithm, BatchEngine, PathQuery};
+pub use hcsp_graph::{DiGraph, VertexId};
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_exposes_the_full_pipeline() {
+        let graph = DiGraph::from_edge_list(4, &[(0, 1), (1, 3), (0, 2), (2, 3)]).unwrap();
+        let queries = vec![PathQuery::new(0u32, 3u32, 3)];
+        for algorithm in Algorithm::ALL {
+            let outcome = BatchEngine::with_algorithm(algorithm).run(&graph, &queries);
+            assert_eq!(outcome.count(0), 2, "{algorithm}");
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! The per-batch distance index used by every enumeration algorithm.
+//!
+//! For a batch of queries `Q`, let `S = ∪ q.s` and `T = ∪ q.t`. The index stores
+//!
+//! * `dist_G(s, v)` for every `s ∈ S` and every `v` within the hop bound (a forward
+//!   multi-source BFS from `S` on `G`), and
+//! * `dist_G(v, t)` for every `t ∈ T` and every `v` within the hop bound (a backward
+//!   multi-source BFS from `T`, i.e. a forward BFS on `G^r`).
+//!
+//! These are exactly the quantities needed by Lemma 3.1's pruning rule, and their support
+//! sets are the hop-constrained neighbourhoods Γ(q) / Γr(q) reused for query clustering
+//! (Def. 4.4): the index is built once per batch and shared by every downstream stage.
+
+use crate::msbfs::multi_source_bfs;
+use crate::sparse_map::SparseDistanceMap;
+use crate::INF;
+use hcsp_graph::{DiGraph, Direction, VertexId};
+use std::time::{Duration, Instant};
+
+/// Distances from one batch of roots, keyed by root vertex.
+///
+/// The number of distinct roots equals the number of distinct query endpoints (at most a
+/// few hundred in the paper's workloads), so a sorted association list with binary-search
+/// lookup is both compact and dependency-free.
+#[derive(Debug, Clone, Default)]
+pub struct DistanceIndex {
+    roots: Vec<VertexId>,
+    maps: Vec<SparseDistanceMap>,
+    bound: u32,
+}
+
+impl DistanceIndex {
+    /// Builds the index for `roots` by a bounded multi-source BFS in direction `dir`.
+    ///
+    /// With `dir == Forward` the entry for root `s` maps `v ↦ dist_G(s, v)`;
+    /// with `dir == Backward` the entry for root `t` maps `v ↦ dist_G(v, t)`.
+    pub fn build(graph: &DiGraph, roots: &[VertexId], dir: Direction, bound: u32) -> (Self, usize) {
+        let mut unique: Vec<VertexId> = roots.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        let result = multi_source_bfs(graph, &unique, dir, bound);
+        let index = DistanceIndex { roots: unique, maps: result.maps, bound };
+        (index, result.visited_pairs)
+    }
+
+    /// The hop bound the index was built with.
+    pub fn bound(&self) -> u32 {
+        self.bound
+    }
+
+    /// Number of roots in the index.
+    pub fn num_roots(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// The sparse distance map of `root`, if `root` is indexed.
+    pub fn map_of(&self, root: VertexId) -> Option<&SparseDistanceMap> {
+        self.roots.binary_search(&root).ok().map(|i| &self.maps[i])
+    }
+
+    /// Bounded distance between `root` and `v` (`INF` when out of range or not indexed).
+    #[inline]
+    pub fn distance(&self, root: VertexId, v: VertexId) -> u32 {
+        self.map_of(root).map_or(INF, |m| m.distance_or_inf(v))
+    }
+
+    /// The vertices within `k` hops of `root`, i.e. Γ(root, k); empty if not indexed.
+    ///
+    /// `k` is clamped to the index bound, mirroring the paper's reuse of index entries for
+    /// the clustering neighbourhoods.
+    pub fn neighborhood(&self, root: VertexId, k: u32) -> Vec<VertexId> {
+        match self.map_of(root) {
+            None => Vec::new(),
+            Some(map) => map.iter().filter(|&(_, d)| d <= k).map(|(v, _)| v).collect(),
+        }
+    }
+
+    /// Total number of `(root, vertex)` entries stored.
+    pub fn total_entries(&self) -> usize {
+        self.maps.iter().map(SparseDistanceMap::len).sum()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.roots.len() * std::mem::size_of::<VertexId>()
+            + self.maps.iter().map(SparseDistanceMap::heap_bytes).sum::<usize>()
+    }
+}
+
+/// Timing and size statistics of an index build, feeding the `BuildIndex` bar of the
+/// time-decomposition experiment (Fig. 9).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IndexStats {
+    /// Wall-clock time of the two multi-source BFS runs.
+    pub build_time: Duration,
+    /// Total `(root, vertex)` visitation events during both BFS runs.
+    pub visited_pairs: usize,
+    /// Number of stored `(root, vertex)` distance entries.
+    pub stored_entries: usize,
+}
+
+/// The complete two-sided index for a batch: source side (`dist_G(s, ·)`) and target side
+/// (`dist_G(·, t)`).
+#[derive(Debug, Clone, Default)]
+pub struct BatchIndex {
+    sources: DistanceIndex,
+    targets: DistanceIndex,
+    stats: IndexStats,
+}
+
+impl BatchIndex {
+    /// Builds both index sides with bound `k_max` (the largest hop constraint in the batch).
+    pub fn build(graph: &DiGraph, sources: &[VertexId], targets: &[VertexId], k_max: u32) -> Self {
+        let start = Instant::now();
+        let (source_index, visited_s) = DistanceIndex::build(graph, sources, Direction::Forward, k_max);
+        let (target_index, visited_t) = DistanceIndex::build(graph, targets, Direction::Backward, k_max);
+        let stats = IndexStats {
+            build_time: start.elapsed(),
+            visited_pairs: visited_s + visited_t,
+            stored_entries: source_index.total_entries() + target_index.total_entries(),
+        };
+        BatchIndex { sources: source_index, targets: target_index, stats }
+    }
+
+    /// `dist_G(s, v)` (or `INF`), i.e. the hop distance used to prune the *backward* search.
+    #[inline]
+    pub fn dist_from_source(&self, s: VertexId, v: VertexId) -> u32 {
+        self.sources.distance(s, v)
+    }
+
+    /// `dist_G(v, t)` (or `INF`), i.e. the hop distance used to prune the *forward* search.
+    #[inline]
+    pub fn dist_to_target(&self, v: VertexId, t: VertexId) -> u32 {
+        self.targets.distance(t, v)
+    }
+
+    /// Distance towards the query "anchor" in the given search direction: a forward search
+    /// towards target `anchor` uses `dist_G(v, anchor)`, a backward search towards source
+    /// `anchor` uses `dist_G(anchor, v)`.
+    #[inline]
+    pub fn dist_towards(&self, dir: Direction, v: VertexId, anchor: VertexId) -> u32 {
+        match dir {
+            Direction::Forward => self.dist_to_target(v, anchor),
+            Direction::Backward => self.dist_from_source(anchor, v),
+        }
+    }
+
+    /// Γ(q): vertices reachable from `s` within `k` hops on `G`.
+    pub fn gamma_forward(&self, s: VertexId, k: u32) -> Vec<VertexId> {
+        self.sources.neighborhood(s, k)
+    }
+
+    /// Γr(q): vertices reachable from `t` within `k` hops on `G^r`.
+    pub fn gamma_backward(&self, t: VertexId, k: u32) -> Vec<VertexId> {
+        self.targets.neighborhood(t, k)
+    }
+
+    /// The source-side distance index.
+    pub fn source_index(&self) -> &DistanceIndex {
+        &self.sources
+    }
+
+    /// The target-side distance index.
+    pub fn target_index(&self) -> &DistanceIndex {
+        &self.targets
+    }
+
+    /// Build statistics (time, traversal work, stored entries).
+    pub fn stats(&self) -> &IndexStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcsp_graph::generators::regular::{grid, layered_dag, path};
+    use hcsp_graph::traversal::{bfs_distances, UNREACHED};
+
+    fn v(x: u32) -> VertexId {
+        VertexId(x)
+    }
+
+    #[test]
+    fn batch_index_matches_reference_bfs() {
+        let g = grid(5, 5);
+        let sources = vec![v(0), v(6)];
+        let targets = vec![v(24), v(12)];
+        let index = BatchIndex::build(&g, &sources, &targets, 6);
+
+        for &s in &sources {
+            let reference = bfs_distances(&g, s, Direction::Forward);
+            for vertex in g.vertices() {
+                let expected = if reference[vertex.index()] <= 6 { reference[vertex.index()] } else { UNREACHED };
+                assert_eq!(index.dist_from_source(s, vertex), expected);
+            }
+        }
+        for &t in &targets {
+            let reference = bfs_distances(&g, t, Direction::Backward);
+            for vertex in g.vertices() {
+                let expected = if reference[vertex.index()] <= 6 { reference[vertex.index()] } else { UNREACHED };
+                assert_eq!(index.dist_to_target(vertex, t), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn dist_towards_selects_the_right_side() {
+        let g = path(5);
+        let index = BatchIndex::build(&g, &[v(0)], &[v(4)], 10);
+        assert_eq!(index.dist_towards(Direction::Forward, v(1), v(4)), 3);
+        assert_eq!(index.dist_towards(Direction::Backward, v(1), v(0)), 1);
+    }
+
+    #[test]
+    fn unindexed_roots_report_infinity() {
+        let g = path(4);
+        let index = BatchIndex::build(&g, &[v(0)], &[v(3)], 5);
+        assert_eq!(index.dist_from_source(v(2), v(3)), INF);
+        assert_eq!(index.dist_to_target(v(0), v(1)), INF);
+        assert!(index.source_index().map_of(v(2)).is_none());
+    }
+
+    #[test]
+    fn bound_truncates_far_vertices() {
+        let g = path(10);
+        let index = BatchIndex::build(&g, &[v(0)], &[v(9)], 3);
+        assert_eq!(index.dist_from_source(v(0), v(3)), 3);
+        assert_eq!(index.dist_from_source(v(0), v(4)), INF);
+        assert_eq!(index.dist_to_target(v(6), v(9)), 3);
+        assert_eq!(index.dist_to_target(v(5), v(9)), INF);
+    }
+
+    #[test]
+    fn gamma_respects_per_query_k() {
+        let g = grid(4, 4);
+        let index = BatchIndex::build(&g, &[v(0)], &[v(15)], 6);
+        let gamma2 = index.gamma_forward(v(0), 2);
+        let gamma6 = index.gamma_forward(v(0), 6);
+        assert!(gamma2.len() < gamma6.len());
+        assert!(gamma2.contains(&v(0)));
+        assert!(gamma2.contains(&v(5)));
+        assert!(!gamma2.contains(&v(15)));
+        let gamma_back = index.gamma_backward(v(15), 2);
+        assert!(gamma_back.contains(&v(10)));
+        assert!(!gamma_back.contains(&v(0)));
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let g = layered_dag(3, 4);
+        let index = BatchIndex::build(&g, &[v(0)], &[VertexId::new(g.num_vertices() - 1)], 4);
+        assert!(index.stats().stored_entries > 0);
+        assert!(index.stats().visited_pairs >= index.stats().stored_entries);
+        assert!(index.source_index().heap_bytes() > 0);
+        assert_eq!(index.source_index().bound(), 4);
+        assert_eq!(index.source_index().num_roots(), 1);
+    }
+
+    #[test]
+    fn duplicate_roots_are_deduplicated() {
+        let g = path(5);
+        let (index, _) = DistanceIndex::build(&g, &[v(0), v(0), v(1)], Direction::Forward, 4);
+        assert_eq!(index.num_roots(), 2);
+        assert_eq!(index.distance(v(0), v(4)), 4);
+        assert_eq!(index.neighborhood(v(7), 2), Vec::<VertexId>::new());
+    }
+}

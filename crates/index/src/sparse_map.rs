@@ -1,0 +1,155 @@
+//! Sparse per-root distance maps.
+//!
+//! For hop bounds of 3–7 the vertices within distance `k` of a root are typically a small
+//! fraction of `V`, so the index stores them as a sorted `(vertex, distance)` array:
+//! lookups are `O(log |Γ|)`, iteration is cache-friendly, and memory is proportional to the
+//! neighbourhood actually reached instead of `O(|V|)` per root.
+
+use hcsp_graph::VertexId;
+
+/// A sorted sparse map from vertex to bounded hop distance.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SparseDistanceMap {
+    entries: Vec<(VertexId, u32)>,
+}
+
+impl SparseDistanceMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a map from unsorted `(vertex, distance)` pairs (deduplicating by minimum
+    /// distance, which is what a BFS frontier union requires).
+    pub fn from_pairs(mut pairs: Vec<(VertexId, u32)>) -> Self {
+        pairs.sort_unstable_by_key(|&(v, d)| (v, d));
+        pairs.dedup_by_key(|&mut (v, _)| v);
+        SparseDistanceMap { entries: pairs }
+    }
+
+    /// Number of vertices with a recorded (finite) distance.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no vertex is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Bounded distance of `v`, or `None` when the vertex is farther than the bound
+    /// (the paper treats those as distance ∞).
+    #[inline]
+    pub fn get(&self, v: VertexId) -> Option<u32> {
+        self.entries
+            .binary_search_by_key(&v, |&(vertex, _)| vertex)
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+
+    /// Distance with ∞ mapped to `u32::MAX`, convenient for arithmetic pruning checks.
+    #[inline]
+    pub fn distance_or_inf(&self, v: VertexId) -> u32 {
+        self.get(v).unwrap_or(crate::INF)
+    }
+
+    /// Whether `v` lies within the bound.
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.get(v).is_some()
+    }
+
+    /// Iterates `(vertex, distance)` pairs in increasing vertex order.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, u32)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// The vertices recorded in this map (the hop-constrained neighbourhood Γ).
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.entries.iter().map(|&(v, _)| v)
+    }
+
+    /// Size of the intersection of the vertex sets of two maps.
+    ///
+    /// Used by the query-similarity measure µ (Def. 4.5): `|Γ(qA) ∩ Γ(qB)|`.
+    pub fn intersection_size(&self, other: &SparseDistanceMap) -> usize {
+        let mut a = self.entries.iter().peekable();
+        let mut b = other.entries.iter().peekable();
+        let mut count = 0;
+        while let (Some(&&(va, _)), Some(&&(vb, _))) = (a.peek(), b.peek()) {
+            match va.cmp(&vb) {
+                std::cmp::Ordering::Less => {
+                    a.next();
+                }
+                std::cmp::Ordering::Greater => {
+                    b.next();
+                }
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    a.next();
+                    b.next();
+                }
+            }
+        }
+        count
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.entries.len() * std::mem::size_of::<(VertexId, u32)>()
+    }
+}
+
+impl FromIterator<(VertexId, u32)> for SparseDistanceMap {
+    fn from_iter<T: IntoIterator<Item = (VertexId, u32)>>(iter: T) -> Self {
+        SparseDistanceMap::from_pairs(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: u32) -> VertexId {
+        VertexId(x)
+    }
+
+    #[test]
+    fn from_pairs_sorts_and_keeps_minimum_distance() {
+        let m = SparseDistanceMap::from_pairs(vec![(v(5), 2), (v(1), 1), (v(5), 1), (v(3), 0)]);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.get(v(5)), Some(1));
+        assert_eq!(m.get(v(1)), Some(1));
+        assert_eq!(m.get(v(3)), Some(0));
+        assert_eq!(m.get(v(2)), None);
+        assert!(m.contains(v(1)));
+        assert!(!m.contains(v(9)));
+        assert_eq!(m.distance_or_inf(v(9)), u32::MAX);
+    }
+
+    #[test]
+    fn iteration_is_sorted_by_vertex() {
+        let m: SparseDistanceMap = vec![(v(9), 3), (v(2), 1), (v(4), 2)].into_iter().collect();
+        let order: Vec<_> = m.vertices().collect();
+        assert_eq!(order, vec![v(2), v(4), v(9)]);
+        assert_eq!(m.iter().count(), 3);
+    }
+
+    #[test]
+    fn intersection_size_counts_common_vertices() {
+        let a: SparseDistanceMap = vec![(v(1), 1), (v(2), 1), (v(3), 2)].into_iter().collect();
+        let b: SparseDistanceMap = vec![(v(2), 4), (v(3), 1), (v(7), 1)].into_iter().collect();
+        assert_eq!(a.intersection_size(&b), 2);
+        assert_eq!(b.intersection_size(&a), 2);
+        assert_eq!(a.intersection_size(&SparseDistanceMap::new()), 0);
+    }
+
+    #[test]
+    fn empty_map_behaviour() {
+        let m = SparseDistanceMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+        assert_eq!(m.get(v(0)), None);
+        assert_eq!(m.heap_bytes(), 0);
+    }
+}

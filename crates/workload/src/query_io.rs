@@ -1,0 +1,135 @@
+//! Query-set serialisation.
+//!
+//! Experiments should be replayable: a generated query batch can be written to a plain
+//! text file (`s t k` per line, `#` comments allowed) and read back later, so a slow run
+//! can be repeated on the exact same workload or shared alongside experiment results.
+
+use hcsp_core::PathQuery;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Errors produced while reading a query-set file.
+#[derive(Debug)]
+pub enum QueryIoError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// A line could not be parsed as `s t k`.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Offending content (truncated).
+        content: String,
+    },
+}
+
+impl std::fmt::Display for QueryIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryIoError::Io(e) => write!(f, "io error: {e}"),
+            QueryIoError::Parse { line, content } => {
+                write!(f, "cannot parse query on line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryIoError {}
+
+impl From<std::io::Error> for QueryIoError {
+    fn from(e: std::io::Error) -> Self {
+        QueryIoError::Io(e)
+    }
+}
+
+/// Writes a query set as `s t k` lines with a small header comment.
+pub fn write_queries<W: Write>(queries: &[PathQuery], mut writer: W) -> Result<(), QueryIoError> {
+    writeln!(writer, "# HC-s-t path query set: {} queries (source target hop_limit)", queries.len())?;
+    for q in queries {
+        writeln!(writer, "{} {} {}", q.source.raw(), q.target.raw(), q.hop_limit)?;
+    }
+    Ok(())
+}
+
+/// Reads a query set written by [`write_queries`] (or by hand).
+pub fn read_queries<R: Read>(reader: R) -> Result<Vec<PathQuery>, QueryIoError> {
+    let mut queries = Vec::new();
+    for (line_no, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>| -> Option<u32> { tok.and_then(|t| t.parse().ok()) };
+        match (parse(it.next()), parse(it.next()), parse(it.next())) {
+            (Some(s), Some(t), Some(k)) => queries.push(PathQuery::new(s, t, k)),
+            _ => {
+                return Err(QueryIoError::Parse {
+                    line: line_no + 1,
+                    content: trimmed.chars().take(64).collect(),
+                })
+            }
+        }
+    }
+    Ok(queries)
+}
+
+/// Writes a query set to a file path.
+pub fn write_queries_file<P: AsRef<Path>>(queries: &[PathQuery], path: P) -> Result<(), QueryIoError> {
+    let file = std::fs::File::create(path)?;
+    write_queries(queries, file)
+}
+
+/// Reads a query set from a file path.
+pub fn read_queries_file<P: AsRef<Path>>(path: P) -> Result<Vec<PathQuery>, QueryIoError> {
+    read_queries(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<PathQuery> {
+        vec![PathQuery::new(0u32, 11u32, 5), PathQuery::new(2u32, 13u32, 5), PathQuery::new(9u32, 14u32, 3)]
+    }
+
+    #[test]
+    fn round_trip_through_memory() {
+        let queries = sample();
+        let mut buffer = Vec::new();
+        write_queries(&queries, &mut buffer).unwrap();
+        let back = read_queries(buffer.as_slice()).unwrap();
+        assert_eq!(back, queries);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# header\n\n0 1 4\n  2 3 5 \n";
+        let queries = read_queries(text.as_bytes()).unwrap();
+        assert_eq!(queries.len(), 2);
+        assert_eq!(queries[1], PathQuery::new(2u32, 3u32, 5));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let text = "0 1 4\nbroken line\n";
+        match read_queries(text.as_bytes()) {
+            Err(QueryIoError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        let missing = read_queries("1 2\n".as_bytes());
+        assert!(missing.is_err());
+        assert!(!format!("{}", missing.unwrap_err()).is_empty());
+    }
+
+    #[test]
+    fn round_trip_through_files() {
+        let dir = std::env::temp_dir().join("hcsp_query_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("queries.txt");
+        let queries = sample();
+        write_queries_file(&queries, &path).unwrap();
+        assert_eq!(read_queries_file(&path).unwrap(), queries);
+        assert!(read_queries_file(dir.join("missing.txt")).is_err());
+    }
+}
