@@ -23,7 +23,9 @@ pub struct DkSp {
 
 impl Default for DkSp {
     fn default() -> Self {
-        DkSp { max_results_per_query: 1_000_000 }
+        DkSp {
+            max_results_per_query: 1_000_000,
+        }
     }
 }
 
@@ -63,8 +65,11 @@ mod tests {
     #[test]
     fn matches_reference_enumeration() {
         let g = grid(3, 4);
-        let queries =
-            vec![PathQuery::new(0u32, 11u32, 5), PathQuery::new(0u32, 11u32, 7), PathQuery::new(1u32, 10u32, 5)];
+        let queries = vec![
+            PathQuery::new(0u32, 11u32, 5),
+            PathQuery::new(0u32, 11u32, 7),
+            PathQuery::new(1u32, 10u32, 5),
+        ];
         let mut sink = CollectSink::new(queries.len());
         DkSp::default().run_batch(&g, &queries, &mut sink);
         for (i, q) in queries.iter().enumerate() {
@@ -93,7 +98,10 @@ mod tests {
         let g = complete(7);
         let q = PathQuery::new(0u32, 6u32, 5);
         let mut sink = CountSink::new(1);
-        DkSp { max_results_per_query: 10 }.run_batch(&g, &[q], &mut sink);
+        DkSp {
+            max_results_per_query: 10,
+        }
+        .run_batch(&g, &[q], &mut sink);
         assert_eq!(sink.count(0), 10);
         assert_eq!(DkSp::default().name(), "DkSP");
     }

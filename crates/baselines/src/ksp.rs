@@ -34,9 +34,7 @@ pub fn shortest_path_hops(
     queue.push_back(s);
     while let Some(u) = queue.pop_front() {
         for &w in graph.neighbors(u, Direction::Forward) {
-            if visited[w.index()]
-                || banned_vertices.contains(&w)
-                || banned_edges.contains(&(u, w))
+            if visited[w.index()] || banned_vertices.contains(&w) || banned_edges.contains(&(u, w))
             {
                 continue;
             }
@@ -125,8 +123,7 @@ pub fn yen_k_shortest(
                 }
             }
             // Ban root vertices (except the spur node) to keep the total path simple.
-            let banned_vertices: HashSet<VertexId> =
-                root[..spur_idx].iter().copied().collect();
+            let banned_vertices: HashSet<VertexId> = root[..spur_idx].iter().copied().collect();
 
             if let Some(spur) =
                 shortest_path_hops(graph, spur_node, t, &banned_vertices, &banned_edges)
@@ -188,7 +185,10 @@ mod tests {
         // All simple paths 0 -> 4 in K5: lengths 1 (1), 2 (3), 3 (6), 4 (6) = 16 total.
         assert_eq!(paths.len(), 16);
         let lengths: Vec<usize> = paths.iter().map(|p| p.len() - 1).collect();
-        assert!(lengths.windows(2).all(|w| w[0] <= w[1]), "not sorted: {lengths:?}");
+        assert!(
+            lengths.windows(2).all(|w| w[0] <= w[1]),
+            "not sorted: {lengths:?}"
+        );
         // No duplicates.
         let unique: HashSet<_> = paths.iter().cloned().collect();
         assert_eq!(unique.len(), paths.len());
@@ -210,7 +210,11 @@ mod tests {
         let sink = VertexId::new(g.num_vertices() - 1);
         assert!(yen_k_shortest(&g, sink, v(0), 5, 10).is_empty());
         let paths = yen_k_shortest(&g, v(0), sink, 5, 100);
-        assert_eq!(paths.len(), 4, "2 layers of width 2 give 4 source-sink paths");
+        assert_eq!(
+            paths.len(),
+            4,
+            "2 layers of width 2 give 4 source-sink paths"
+        );
         // If the shortest path already violates the hop bound, nothing is returned.
         assert!(yen_k_shortest(&g, v(0), sink, 2, 10).is_empty());
     }

@@ -25,7 +25,10 @@ pub struct OnePass {
 
 impl Default for OnePass {
     fn default() -> Self {
-        OnePass { max_results_per_query: 1_000_000, max_labels_per_query: 50_000_000 }
+        OnePass {
+            max_results_per_query: 1_000_000,
+            max_labels_per_query: 50_000_000,
+        }
     }
 }
 
@@ -38,7 +41,11 @@ struct Label {
 
 impl Ord for Label {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        other.path.len().cmp(&self.path.len()).then_with(|| other.path.cmp(&self.path))
+        other
+            .path
+            .len()
+            .cmp(&self.path.len())
+            .then_with(|| other.path.cmp(&self.path))
     }
 }
 
@@ -66,7 +73,9 @@ impl KspEnumerator for OnePass {
             return;
         }
         let mut heap: BinaryHeap<Label> = BinaryHeap::new();
-        heap.push(Label { path: vec![query.source] });
+        heap.push(Label {
+            path: vec![query.source],
+        });
         let mut emitted = 0usize;
         let mut expanded = 0usize;
 
@@ -110,11 +119,18 @@ mod tests {
     #[test]
     fn matches_reference_enumeration() {
         let g = grid(3, 4);
-        let queries = vec![PathQuery::new(0u32, 11u32, 6), PathQuery::new(3u32, 8u32, 5)];
+        let queries = vec![
+            PathQuery::new(0u32, 11u32, 6),
+            PathQuery::new(3u32, 8u32, 5),
+        ];
         let mut sink = CollectSink::new(queries.len());
         OnePass::default().run_batch(&g, &queries, &mut sink);
         for (i, q) in queries.iter().enumerate() {
-            assert_eq!(sink.paths(i).len(), enumerate_reference(&g, q).len(), "query {q}");
+            assert_eq!(
+                sink.paths(i).len(),
+                enumerate_reference(&g, q).len(),
+                "query {q}"
+            );
         }
     }
 
@@ -125,7 +141,10 @@ mod tests {
         let mut order: Vec<usize> = Vec::new();
         let mut sink = hcsp_core::CallbackSink::new(|_, p: &[VertexId]| order.push(p.len() - 1));
         OnePass::default().enumerate(&g, &q, 0, &mut sink);
-        assert!(order.windows(2).all(|w| w[0] <= w[1]), "not sorted: {order:?}");
+        assert!(
+            order.windows(2).all(|w| w[0] <= w[1]),
+            "not sorted: {order:?}"
+        );
         assert_eq!(order.len(), enumerate_reference(&g, &q).len());
     }
 
@@ -145,13 +164,19 @@ mod tests {
         let g = complete(7);
         let q = PathQuery::new(0u32, 6u32, 6);
         let mut sink = CountSink::new(1);
-        OnePass { max_results_per_query: 5, max_labels_per_query: 1_000_000 }
-            .run_batch(&g, &[q], &mut sink);
+        OnePass {
+            max_results_per_query: 5,
+            max_labels_per_query: 1_000_000,
+        }
+        .run_batch(&g, &[q], &mut sink);
         assert_eq!(sink.count(0), 5);
 
         let mut tight = CountSink::new(1);
-        OnePass { max_results_per_query: 1_000, max_labels_per_query: 3 }
-            .run_batch(&g, &[q], &mut tight);
+        OnePass {
+            max_results_per_query: 1_000,
+            max_labels_per_query: 3,
+        }
+        .run_batch(&g, &[q], &mut tight);
         assert!(tight.count(0) <= 3);
         assert_eq!(OnePass::default().name(), "OnePass");
     }

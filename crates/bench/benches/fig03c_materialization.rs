@@ -27,7 +27,8 @@ fn bench_materialization_gap(c: &mut Criterion) {
             },
         );
         // Side 2: retrieve + scan already-materialised results.
-        let (materialized, _) = materialize_batch(&graph, &queries, SearchOrder::DistanceThenDegree);
+        let (materialized, _) =
+            materialize_batch(&graph, &queries, SearchOrder::DistanceThenDegree);
         group.bench_with_input(
             BenchmarkId::new("scan_materialized", dataset),
             &materialized,

@@ -16,7 +16,11 @@ fn bench_query_set_size_sweep(c: &mut Criterion) {
         if queries.is_empty() {
             continue;
         }
-        for algorithm in [Algorithm::PathEnum, Algorithm::BasicEnumPlus, Algorithm::BatchEnumPlus] {
+        for algorithm in [
+            Algorithm::PathEnum,
+            Algorithm::BasicEnumPlus,
+            Algorithm::BatchEnumPlus,
+        ] {
             group.bench_with_input(
                 BenchmarkId::new(format!("{algorithm}"), format!("|Q|={size}")),
                 &(&graph, &queries),

@@ -28,22 +28,36 @@ fn bench_stage_decomposition(c: &mut Criterion) {
 
     group.bench_function(BenchmarkId::new("stage", "BuildIndex"), |b| {
         b.iter(|| {
-            BatchIndex::build(&graph, &summary.sources, &summary.targets, summary.max_hop_limit)
+            BatchIndex::build(
+                &graph,
+                &summary.sources,
+                &summary.targets,
+                summary.max_hop_limit,
+            )
         });
     });
 
-    let index = BatchIndex::build(&graph, &summary.sources, &summary.targets, summary.max_hop_limit);
+    let index = BatchIndex::build(
+        &graph,
+        &summary.sources,
+        &summary.targets,
+        summary.max_hop_limit,
+    );
     group.bench_function(BenchmarkId::new("stage", "ClusterQuery"), |b| {
         b.iter(|| {
-            let neighborhoods: Vec<QueryNeighborhood> =
-                queries.iter().map(|q| QueryNeighborhood::from_index(&index, q)).collect();
+            let neighborhoods: Vec<QueryNeighborhood> = queries
+                .iter()
+                .map(|q| QueryNeighborhood::from_index(&index, q))
+                .collect();
             let matrix = SimilarityMatrix::compute(&neighborhoods);
             cluster_queries(&matrix, 0.5)
         });
     });
 
-    let neighborhoods: Vec<QueryNeighborhood> =
-        queries.iter().map(|q| QueryNeighborhood::from_index(&index, q)).collect();
+    let neighborhoods: Vec<QueryNeighborhood> = queries
+        .iter()
+        .map(|q| QueryNeighborhood::from_index(&index, q))
+        .collect();
     let matrix = SimilarityMatrix::compute(&neighborhoods);
     let clusters = cluster_queries(&matrix, 0.5);
     group.bench_function(BenchmarkId::new("stage", "IdentifySubquery"), |b| {

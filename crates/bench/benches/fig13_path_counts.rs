@@ -21,9 +21,13 @@ fn bench_path_count_sweep(c: &mut Criterion) {
         if queries.is_empty() {
             continue;
         }
-        group.bench_with_input(BenchmarkId::from_parameter(format!("k={k}")), &queries, |b, queries| {
-            b.iter(|| time_algorithm(&graph, queries, Algorithm::BatchEnumPlus, 0.5));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("k={k}")),
+            &queries,
+            |b, queries| {
+                b.iter(|| time_algorithm(&graph, queries, Algorithm::BatchEnumPlus, 0.5));
+            },
+        );
     }
     group.finish();
 }

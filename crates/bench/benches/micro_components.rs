@@ -28,7 +28,12 @@ fn bench_components(c: &mut Criterion) {
     let mut group = c.benchmark_group("micro/index");
     group.bench_function(BenchmarkId::new("msbfs", "batched"), |b| {
         b.iter(|| {
-            multi_source_bfs(&graph, &summary.sources, Direction::Forward, summary.max_hop_limit)
+            multi_source_bfs(
+                &graph,
+                &summary.sources,
+                Direction::Forward,
+                summary.max_hop_limit,
+            )
         });
     });
     group.bench_function(BenchmarkId::new("msbfs", "one_bfs_per_root"), |b| {
@@ -46,9 +51,16 @@ fn bench_components(c: &mut Criterion) {
     group.finish();
 
     // Similarity matrix + clustering.
-    let index = BatchIndex::build(&graph, &summary.sources, &summary.targets, summary.max_hop_limit);
-    let neighborhoods: Vec<QueryNeighborhood> =
-        queries.iter().map(|q| QueryNeighborhood::from_index(&index, q)).collect();
+    let index = BatchIndex::build(
+        &graph,
+        &summary.sources,
+        &summary.targets,
+        summary.max_hop_limit,
+    );
+    let neighborhoods: Vec<QueryNeighborhood> = queries
+        .iter()
+        .map(|q| QueryNeighborhood::from_index(&index, q))
+        .collect();
     let mut group = c.benchmark_group("micro/clustering");
     group.bench_function("similarity_matrix", |b| {
         b.iter(|| SimilarityMatrix::compute(&neighborhoods));

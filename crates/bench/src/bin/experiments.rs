@@ -35,7 +35,11 @@ fn main() {
     println!(
         "# configuration: scale={:?} datasets={:?} queries={} k={}..{}\n",
         config.scale,
-        config.datasets.iter().map(|d| d.to_string()).collect::<Vec<_>>(),
+        config
+            .datasets
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>(),
         config.query_set_size,
         config.k_min,
         config.k_max
@@ -65,7 +69,10 @@ fn run_experiment(experiment: &str, config: &BenchConfig) {
             "{}",
             harness::exp4_vary_gamma(config, &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0])
         ),
-        "exp5" => println!("{}", harness::exp5_scalability(config, &[0.2, 0.4, 0.6, 0.8, 1.0])),
+        "exp5" => println!(
+            "{}",
+            harness::exp5_scalability(config, &[0.2, 0.4, 0.6, 0.8, 1.0])
+        ),
         "exp6" => println!("{}", harness::exp6_ksp_comparison(config)),
         "exp7" => println!("{}", harness::exp7_path_counts(config, &[3, 4, 5, 6, 7])),
         "ablation-order" => println!("{}", harness::ablation_search_order(config)),
@@ -76,7 +83,10 @@ fn run_experiment(experiment: &str, config: &BenchConfig) {
             std::process::exit(2);
         }
     }
-    println!("# {experiment} finished in {:.1}s\n", start.elapsed().as_secs_f64());
+    println!(
+        "# {experiment} finished in {:.1}s\n",
+        start.elapsed().as_secs_f64()
+    );
 }
 
 fn parse(args: &[String]) -> Result<(Vec<String>, BenchConfig), String> {
@@ -87,7 +97,9 @@ fn parse(args: &[String]) -> Result<(Vec<String>, BenchConfig), String> {
         let arg = &args[i];
         let take_value = |i: &mut usize| -> Result<String, String> {
             *i += 1;
-            args.get(*i).cloned().ok_or_else(|| format!("{arg} expects a value"))
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{arg} expects a value"))
         };
         match arg.as_str() {
             "--scale" => {
@@ -106,16 +118,19 @@ fn parse(args: &[String]) -> Result<(Vec<String>, BenchConfig), String> {
                 config.datasets = datasets?;
             }
             "--queries" => {
-                config.query_set_size =
-                    take_value(&mut i)?.parse().map_err(|_| "--queries expects a number".to_string())?;
+                config.query_set_size = take_value(&mut i)?
+                    .parse()
+                    .map_err(|_| "--queries expects a number".to_string())?;
             }
             "--kmin" => {
-                config.k_min =
-                    take_value(&mut i)?.parse().map_err(|_| "--kmin expects a number".to_string())?;
+                config.k_min = take_value(&mut i)?
+                    .parse()
+                    .map_err(|_| "--kmin expects a number".to_string())?;
             }
             "--kmax" => {
-                config.k_max =
-                    take_value(&mut i)?.parse().map_err(|_| "--kmax expects a number".to_string())?;
+                config.k_max = take_value(&mut i)?
+                    .parse()
+                    .map_err(|_| "--kmax expects a number".to_string())?;
             }
             "all" => {
                 experiments = vec![

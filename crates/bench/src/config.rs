@@ -74,8 +74,10 @@ impl BenchConfig {
             };
         }
         if let Ok(datasets) = std::env::var("HCSP_BENCH_DATASETS") {
-            let parsed: Vec<Dataset> =
-                datasets.split(',').filter_map(|s| s.trim().parse().ok()).collect();
+            let parsed: Vec<Dataset> = datasets
+                .split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .collect();
             if !parsed.is_empty() {
                 self.datasets = parsed;
             }
@@ -107,7 +109,10 @@ impl BenchConfig {
 
     /// A copy with a different query-set size (Exp-2 size sweep).
     pub fn with_query_set_size(&self, size: usize) -> Self {
-        BenchConfig { query_set_size: size, ..self.clone() }
+        BenchConfig {
+            query_set_size: size,
+            ..self.clone()
+        }
     }
 }
 

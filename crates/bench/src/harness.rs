@@ -25,7 +25,10 @@ pub fn time_algorithm(
     algorithm: Algorithm,
     gamma: f64,
 ) -> (f64, u64, EnumStats) {
-    let engine = BatchEngine::builder().algorithm(algorithm).gamma(gamma).build();
+    let engine = BatchEngine::builder()
+        .algorithm(algorithm)
+        .gamma(gamma)
+        .build();
     let mut sink = CountSink::new(queries.len());
     let start = Instant::now();
     let stats = engine.run_with_sink(graph, queries, &mut sink);
@@ -35,9 +38,16 @@ pub fn time_algorithm(
 /// Measured average pairwise similarity µ_Q of a query set (the x-axis of Fig. 7).
 pub fn measured_similarity(graph: &DiGraph, queries: &[PathQuery]) -> f64 {
     let summary = BatchSummary::of(queries);
-    let index = BatchIndex::build(graph, &summary.sources, &summary.targets, summary.max_hop_limit);
-    let neighborhoods: Vec<QueryNeighborhood> =
-        queries.iter().map(|q| QueryNeighborhood::from_index(&index, q)).collect();
+    let index = BatchIndex::build(
+        graph,
+        &summary.sources,
+        &summary.targets,
+        summary.max_hop_limit,
+    );
+    let neighborhoods: Vec<QueryNeighborhood> = queries
+        .iter()
+        .map(|q| QueryNeighborhood::from_index(&index, q))
+        .collect();
     SimilarityMatrix::compute(&neighborhoods).average()
 }
 
@@ -46,7 +56,16 @@ pub fn measured_similarity(graph: &DiGraph, queries: &[PathQuery]) -> f64 {
 pub fn table1(config: &BenchConfig) -> Table {
     let mut table = Table::new(
         "Table I: dataset statistics (analog vs paper original)",
-        &["dataset", "|V|", "|E|", "d_avg", "d_max", "paper |V|", "paper |E|", "paper d_avg"],
+        &[
+            "dataset",
+            "|V|",
+            "|E|",
+            "d_avg",
+            "d_max",
+            "paper |V|",
+            "paper |E|",
+            "paper d_avg",
+        ],
     );
     for &dataset in &config.datasets {
         let (_, stats) = dataset.build_with_stats(config.scale);
@@ -79,7 +98,8 @@ pub fn fig3c_materialization(config: &BenchConfig) -> Table {
             continue;
         }
         let start = Instant::now();
-        let (materialized, _) = materialize_batch(&graph, &queries, SearchOrder::DistanceThenDegree);
+        let (materialized, _) =
+            materialize_batch(&graph, &queries, SearchOrder::DistanceThenDegree);
         let enumerate_per_query = start.elapsed().as_secs_f64() / queries.len() as f64;
 
         // Scan the materialised results several times so very fast scans stay measurable.
@@ -93,7 +113,11 @@ pub fn fig3c_materialization(config: &BenchConfig) -> Table {
         let scan_per_query =
             start.elapsed().as_secs_f64() / (repeats * queries.len().max(1)) as f64;
 
-        let ratio = if scan_per_query > 0.0 { enumerate_per_query / scan_per_query } else { f64::INFINITY };
+        let ratio = if scan_per_query > 0.0 {
+            enumerate_per_query / scan_per_query
+        } else {
+            f64::INFINITY
+        };
         table.push_row(vec![
             dataset.to_string(),
             queries.len().to_string(),
@@ -166,7 +190,15 @@ pub fn exp1_vary_similarity(config: &BenchConfig, similarities: &[f64]) -> Table
 pub fn exp2_vary_query_set_size(config: &BenchConfig, sizes: &[usize]) -> Table {
     let mut table = Table::new(
         "Fig. 8 (Exp-2): processing time vs query set size",
-        &["dataset", "|Q|", "PathEnum(s)", "BasicEnum(s)", "BasicEnum+(s)", "BatchEnum(s)", "BatchEnum+(s)"],
+        &[
+            "dataset",
+            "|Q|",
+            "PathEnum(s)",
+            "BasicEnum(s)",
+            "BasicEnum+(s)",
+            "BatchEnum(s)",
+            "BatchEnum+(s)",
+        ],
     );
     for &dataset in &config.datasets {
         let graph = dataset.build(config.scale);
@@ -190,7 +222,14 @@ pub fn exp2_vary_query_set_size(config: &BenchConfig, sizes: &[usize]) -> Table 
 pub fn exp3_decomposition(config: &BenchConfig) -> Table {
     let mut table = Table::new(
         "Fig. 9 (Exp-3): BatchEnum+ processing time decomposition (seconds)",
-        &["dataset", "BuildIndex", "ClusterQuery", "IdentifySubquery", "Enumeration", "total"],
+        &[
+            "dataset",
+            "BuildIndex",
+            "ClusterQuery",
+            "IdentifySubquery",
+            "Enumeration",
+            "total",
+        ],
     );
     for &dataset in &config.datasets {
         let graph = dataset.build(config.scale);
@@ -215,7 +254,13 @@ pub fn exp3_decomposition(config: &BenchConfig) -> Table {
 pub fn exp4_vary_gamma(config: &BenchConfig, gammas: &[f64]) -> Table {
     let mut table = Table::new(
         "Fig. 10 (Exp-4): BatchEnum+ processing time vs clustering threshold gamma",
-        &["dataset", "gamma", "time(s)", "clusters", "shared_subqueries"],
+        &[
+            "dataset",
+            "gamma",
+            "time(s)",
+            "clusters",
+            "shared_subqueries",
+        ],
     );
     for &dataset in &config.datasets {
         let graph = dataset.build(config.scale);
@@ -226,7 +271,8 @@ pub fn exp4_vary_gamma(config: &BenchConfig, gammas: &[f64]) -> Table {
             continue;
         }
         for &gamma in gammas {
-            let (secs, _, stats) = time_algorithm(&graph, &queries, Algorithm::BatchEnumPlus, gamma);
+            let (secs, _, stats) =
+                time_algorithm(&graph, &queries, Algorithm::BatchEnumPlus, gamma);
             table.push_row(vec![
                 dataset.to_string(),
                 format!("{gamma:.1}"),
@@ -243,7 +289,14 @@ pub fn exp4_vary_gamma(config: &BenchConfig, gammas: &[f64]) -> Table {
 pub fn exp5_scalability(config: &BenchConfig, ratios: &[f64]) -> Table {
     let mut table = Table::new(
         "Fig. 11 (Exp-5): processing time vs sampled graph size",
-        &["dataset", "vertex_ratio", "BasicEnum(s)", "BasicEnum+(s)", "BatchEnum(s)", "BatchEnum+(s)"],
+        &[
+            "dataset",
+            "vertex_ratio",
+            "BasicEnum(s)",
+            "BasicEnum+(s)",
+            "BatchEnum(s)",
+            "BatchEnum+(s)",
+        ],
     );
     // The paper uses the two largest graphs (TW and FS); fall back to the two largest
     // configured datasets when those are not selected.
@@ -259,7 +312,9 @@ pub fn exp5_scalability(config: &BenchConfig, ratios: &[f64]) -> Table {
     for dataset in datasets {
         let graph = dataset.build(config.scale);
         for &ratio in ratios {
-            let Ok(sampled) = sample_vertices(&graph, ratio, config.seed) else { continue };
+            let Ok(sampled) = sample_vertices(&graph, ratio, config.seed) else {
+                continue;
+            };
             let queries = random_query_set(&sampled.graph, config.query_spec());
             if queries.is_empty() {
                 continue;
@@ -284,7 +339,13 @@ pub fn exp5_scalability(config: &BenchConfig, ratios: &[f64]) -> Table {
 pub fn exp6_ksp_comparison(config: &BenchConfig) -> Table {
     let mut table = Table::new(
         "Fig. 12 (Exp-6): adapted KSP algorithms vs BatchEnum+",
-        &["dataset", "queries", "DkSP(s)", "OnePass(s)", "BatchEnum+(s)"],
+        &[
+            "dataset",
+            "queries",
+            "DkSP(s)",
+            "OnePass(s)",
+            "BatchEnum+(s)",
+        ],
     );
     for &dataset in &config.datasets {
         let graph = dataset.build(config.scale);
@@ -360,7 +421,13 @@ pub fn exp7_path_counts(config: &BenchConfig, ks: &[u32]) -> Table {
 pub fn ablation_search_order(config: &BenchConfig) -> Table {
     let mut table = Table::new(
         "Ablation: optimized search order",
-        &["dataset", "BasicEnum(s)", "BasicEnum+(s)", "BatchEnum(s)", "BatchEnum+(s)"],
+        &[
+            "dataset",
+            "BasicEnum(s)",
+            "BasicEnum+(s)",
+            "BatchEnum(s)",
+            "BatchEnum+(s)",
+        ],
     );
     for &dataset in &config.datasets {
         let graph = dataset.build(config.scale);
@@ -388,7 +455,13 @@ pub fn ablation_search_order(config: &BenchConfig) -> Table {
 pub fn ablation_clustering(config: &BenchConfig) -> Table {
     let mut table = Table::new(
         "Ablation: clustering threshold (off / default / aggressive)",
-        &["dataset", "gamma=1.0(s)", "gamma=0.5(s)", "gamma=0.1(s)", "clusters@0.5"],
+        &[
+            "dataset",
+            "gamma=1.0(s)",
+            "gamma=0.5(s)",
+            "gamma=0.1(s)",
+            "clusters@0.5",
+        ],
     );
     for &dataset in &config.datasets {
         let graph = dataset.build(config.scale);
@@ -440,7 +513,10 @@ mod tests {
         for row in t.rows() {
             let enumerate: f64 = row[2].parse().unwrap();
             let scan: f64 = row[3].parse().unwrap();
-            assert!(enumerate > scan, "enumeration must cost more than scanning: {row:?}");
+            assert!(
+                enumerate > scan,
+                "enumeration must cost more than scanning: {row:?}"
+            );
         }
     }
 
@@ -478,7 +554,10 @@ mod tests {
     #[test]
     fn timing_helper_reports_counts_and_stats() {
         let graph = Dataset::EP.build(DatasetScale::Tiny);
-        let queries = random_query_set(&graph, hcsp_workload::QuerySetSpec::new(5, 3).with_hops(3, 3));
+        let queries = random_query_set(
+            &graph,
+            hcsp_workload::QuerySetSpec::new(5, 3).with_hops(3, 3),
+        );
         let (secs, total, stats) = time_algorithm(&graph, &queries, Algorithm::BatchEnumPlus, 0.5);
         assert!(secs >= 0.0);
         assert_eq!(stats.num_queries, queries.len());

@@ -44,8 +44,12 @@ impl BasicEnum {
         // Lines 1-2: shared index from the union of sources and targets.
         let start = Instant::now();
         let summary = BatchSummary::of(queries);
-        let index =
-            BatchIndex::build(graph, &summary.sources, &summary.targets, summary.max_hop_limit);
+        let index = BatchIndex::build(
+            graph,
+            &summary.sources,
+            &summary.targets,
+            summary.max_hop_limit,
+        );
         stats.add_stage(Stage::BuildIndex, start.elapsed());
 
         // Lines 3-8: each query runs the bidirectional search against the shared index.
@@ -60,7 +64,12 @@ impl BasicEnum {
     /// Builds the shared index only (exposed for benchmarks that time stages separately).
     pub fn build_index(&self, graph: &DiGraph, queries: &[PathQuery]) -> BatchIndex {
         let summary = BatchSummary::of(queries);
-        BatchIndex::build(graph, &summary.sources, &summary.targets, summary.max_hop_limit)
+        BatchIndex::build(
+            graph,
+            &summary.sources,
+            &summary.targets,
+            summary.max_hop_limit,
+        )
     }
 }
 
@@ -119,8 +128,9 @@ mod tests {
             seed: 2,
         })
         .unwrap();
-        let queries: Vec<PathQuery> =
-            (0..10).map(|i| PathQuery::new(i as u32, (i + 37) as u32 % 300, 4)).collect();
+        let queries: Vec<PathQuery> = (0..10)
+            .map(|i| PathQuery::new(i as u32, (i + 37) as u32 % 300, 4))
+            .collect();
 
         let mut basic_sink = CountSink::new(queries.len());
         BasicEnum::default().run_batch(&g, &queries, &mut basic_sink);
@@ -143,7 +153,10 @@ mod tests {
     #[test]
     fn index_is_built_once_for_the_whole_batch() {
         let g = grid(4, 4);
-        let queries = vec![PathQuery::new(0u32, 15u32, 6), PathQuery::new(1u32, 15u32, 6)];
+        let queries = vec![
+            PathQuery::new(0u32, 15u32, 6),
+            PathQuery::new(1u32, 15u32, 6),
+        ];
         let mut sink = CountSink::new(2);
         let stats = BasicEnum::default().run_batch(&g, &queries, &mut sink);
         // One BuildIndex stage entry covering both queries; enumeration covers both too.

@@ -43,7 +43,10 @@ pub struct BatchEnum {
 
 impl Default for BatchEnum {
     fn default() -> Self {
-        BatchEnum { order: SearchOrder::default(), gamma: DEFAULT_GAMMA }
+        BatchEnum {
+            order: SearchOrder::default(),
+            gamma: DEFAULT_GAMMA,
+        }
     }
 }
 
@@ -69,14 +72,20 @@ impl BatchEnum {
         // Stage 1: BuildIndex (Alg. 4 lines 1-2).
         let start = Instant::now();
         let summary = BatchSummary::of(queries);
-        let index =
-            BatchIndex::build(graph, &summary.sources, &summary.targets, summary.max_hop_limit);
+        let index = BatchIndex::build(
+            graph,
+            &summary.sources,
+            &summary.targets,
+            summary.max_hop_limit,
+        );
         stats.add_stage(Stage::BuildIndex, start.elapsed());
 
         // Stage 2: ClusterQuery (Alg. 4 line 3 / Alg. 2).
         let start = Instant::now();
-        let neighborhoods: Vec<QueryNeighborhood> =
-            queries.iter().map(|q| QueryNeighborhood::from_index(&index, q)).collect();
+        let neighborhoods: Vec<QueryNeighborhood> = queries
+            .iter()
+            .map(|q| QueryNeighborhood::from_index(&index, q))
+            .collect();
         let matrix = SimilarityMatrix::compute(&neighborhoods);
         let clusters = cluster_queries(&matrix, self.gamma);
         stats.num_clusters = clusters.len();
@@ -132,7 +141,13 @@ impl BatchEnum {
                 }
                 QueryNode::Full(qid) => {
                     self.answer_query(
-                        &sharing, node_id, qid, &queries[qid], &cache, sink, &mut counters,
+                        &sharing,
+                        node_id,
+                        qid,
+                        &queries[qid],
+                        &cache,
+                        sink,
+                        &mut counters,
                     );
                 }
             }
@@ -190,7 +205,7 @@ impl BatchEnum {
     }
 
     /// Recursive shared prefix extension (the `Search` procedure of Algorithm 4).
-    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments, clippy::only_used_in_recursion)]
     fn extend_shared(
         &self,
         graph: &DiGraph,
@@ -229,7 +244,13 @@ impl BatchEnum {
             candidates.push(w);
         }
         if let Some(first_anchor) = slacks.first() {
-            self.order.arrange(&mut candidates, graph, index, first_anchor.anchor, hcs.direction);
+            self.order.arrange(
+                &mut candidates,
+                graph,
+                index,
+                first_anchor.anchor,
+                hcs.direction,
+            );
         }
 
         for w in candidates {
@@ -314,7 +335,10 @@ impl BatchEnum {
             }
         }
         let (Some(forward), Some(backward)) = (forward, backward) else {
-            debug_assert!(false, "half queries of q{qid} must be materialised before the query");
+            debug_assert!(
+                false,
+                "half queries of q{qid} must be materialised before the query"
+            );
             return;
         };
         let join = concatenate_with(forward, backward, query.hop_limit, |path| {
@@ -389,7 +413,10 @@ mod tests {
         for (id, query) in queries.iter().enumerate() {
             let expected = canonical(enumerate_reference(graph, query));
             let got = canonical(sink.paths(id).to_paths());
-            assert_eq!(got, expected, "query {query} (order {order:?}, gamma {gamma})");
+            assert_eq!(
+                got, expected,
+                "query {query} (order {order:?}, gamma {gamma})"
+            );
         }
     }
 
@@ -409,7 +436,11 @@ mod tests {
         let mut sink = CollectSink::new(5);
         BatchEnum::default().run_batch(&g, &paper_queries(), &mut sink);
         let q0_paths = canonical(sink.paths(0).to_paths());
-        assert_eq!(q0_paths.len(), 3, "Example 2.1: q0 has exactly three HC-s-t paths");
+        assert_eq!(
+            q0_paths.len(),
+            3,
+            "Example 2.1: q0 has exactly three HC-s-t paths"
+        );
         let as_ids: Vec<Vec<u32>> = q0_paths
             .iter()
             .map(|p| p.vertices().iter().map(|v| v.raw()).collect())
@@ -422,22 +453,31 @@ mod tests {
     #[test]
     fn matches_basic_enum_on_structured_graphs() {
         for (graph, queries) in [
-            (grid(4, 4), vec![
-                PathQuery::new(0u32, 15u32, 6),
-                PathQuery::new(1u32, 15u32, 6),
-                PathQuery::new(0u32, 14u32, 6),
-                PathQuery::new(4u32, 15u32, 5),
-            ]),
-            (layered_dag(3, 3), vec![
-                PathQuery::new(0u32, 10u32, 4),
-                PathQuery::new(0u32, 10u32, 6),
-                PathQuery::new(1u32, 10u32, 3),
-            ]),
-            (complete(6), vec![
-                PathQuery::new(0u32, 5u32, 3),
-                PathQuery::new(1u32, 5u32, 3),
-                PathQuery::new(0u32, 4u32, 4),
-            ]),
+            (
+                grid(4, 4),
+                vec![
+                    PathQuery::new(0u32, 15u32, 6),
+                    PathQuery::new(1u32, 15u32, 6),
+                    PathQuery::new(0u32, 14u32, 6),
+                    PathQuery::new(4u32, 15u32, 5),
+                ],
+            ),
+            (
+                layered_dag(3, 3),
+                vec![
+                    PathQuery::new(0u32, 10u32, 4),
+                    PathQuery::new(0u32, 10u32, 6),
+                    PathQuery::new(1u32, 10u32, 3),
+                ],
+            ),
+            (
+                complete(6),
+                vec![
+                    PathQuery::new(0u32, 5u32, 3),
+                    PathQuery::new(1u32, 5u32, 3),
+                    PathQuery::new(0u32, 4u32, 4),
+                ],
+            ),
         ] {
             let mut batch_sink = CountSink::new(queries.len());
             BatchEnum::default().run_batch(&graph, &queries, &mut batch_sink);
@@ -470,9 +510,18 @@ mod tests {
         let queries = paper_queries();
         let mut sink = CountSink::new(queries.len());
         let stats = BatchEnum::new(SearchOrder::VertexId, 0.5).run_batch(&g, &queries, &mut sink);
-        assert!(stats.num_clusters < queries.len(), "similar queries must be clustered");
-        assert!(stats.num_shared_subqueries > 0, "dominating HC-s path queries must be found");
-        assert!(stats.counters.cache_splices > 0, "cached results must actually be reused");
+        assert!(
+            stats.num_clusters < queries.len(),
+            "similar queries must be clustered"
+        );
+        assert!(
+            stats.num_shared_subqueries > 0,
+            "dominating HC-s path queries must be found"
+        );
+        assert!(
+            stats.counters.cache_splices > 0,
+            "cached results must actually be reused"
+        );
         assert!(stats.peak_cached_results > 0);
     }
 
@@ -481,8 +530,7 @@ mod tests {
         let g = paper_graph();
         let queries = paper_queries();
         let mut sink = CountSink::new(queries.len());
-        let stats =
-            BatchEnum::new(SearchOrder::VertexId, 1.0).run_batch(&g, &queries, &mut sink);
+        let stats = BatchEnum::new(SearchOrder::VertexId, 1.0).run_batch(&g, &queries, &mut sink);
         assert_eq!(stats.num_clusters, queries.len());
         // Still correct.
         let mut reference = CountSink::new(queries.len());

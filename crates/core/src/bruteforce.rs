@@ -64,7 +64,11 @@ mod tests {
         let sink = (g.num_vertices() - 1) as u32;
         assert_eq!(count(&g, 0, sink, 4), 8);
         assert_eq!(count(&g, 0, sink, 3), 0, "paths need 4 hops");
-        assert_eq!(count(&g, 0, sink, 10), 8, "larger k admits no extra simple paths");
+        assert_eq!(
+            count(&g, 0, sink, 10),
+            8,
+            "larger k admits no extra simple paths"
+        );
     }
 
     #[test]

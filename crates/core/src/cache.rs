@@ -29,7 +29,10 @@ impl ResultCache {
     pub fn new(num_nodes: usize) -> Self {
         let mut entries = Vec::with_capacity(num_nodes);
         entries.resize_with(num_nodes, || None);
-        ResultCache { entries, ..Default::default() }
+        ResultCache {
+            entries,
+            ..Default::default()
+        }
     }
 
     /// Inserts the materialised results of `node`, to be consumed by `num_users` users.
@@ -44,15 +47,24 @@ impl ResultCache {
             self.evicted += 1;
             return;
         }
-        debug_assert!(self.entries[node].is_none(), "node {node} materialised twice");
-        self.entries[node] = Some(CacheEntry { paths, remaining_users: num_users });
+        debug_assert!(
+            self.entries[node].is_none(),
+            "node {node} materialised twice"
+        );
+        self.entries[node] = Some(CacheEntry {
+            paths,
+            remaining_users: num_users,
+        });
         self.resident += 1;
         self.peak_resident = self.peak_resident.max(self.resident);
     }
 
     /// The cached paths of `node`, if resident.
     pub fn get(&self, node: NodeId) -> Option<&PathSet> {
-        self.entries.get(node).and_then(|e| e.as_ref()).map(|e| &e.paths)
+        self.entries
+            .get(node)
+            .and_then(|e| e.as_ref())
+            .map(|e| &e.paths)
     }
 
     /// Whether `node` currently has resident results.
@@ -63,8 +75,12 @@ impl ResultCache {
     /// Signals that one user of `node` has finished consuming its results; evicts the
     /// entry when the last user is done. Returns `true` if the entry was evicted.
     pub fn release(&mut self, node: NodeId) -> bool {
-        let Some(slot) = self.entries.get_mut(node) else { return false };
-        let Some(entry) = slot.as_mut() else { return false };
+        let Some(slot) = self.entries.get_mut(node) else {
+            return false;
+        };
+        let Some(entry) = slot.as_mut() else {
+            return false;
+        };
         entry.remaining_users = entry.remaining_users.saturating_sub(1);
         if entry.remaining_users == 0 {
             *slot = None;
@@ -103,7 +119,11 @@ impl ResultCache {
 
     /// Approximate heap footprint of the resident results in bytes.
     pub fn heap_bytes(&self) -> usize {
-        self.entries.iter().flatten().map(|e| e.paths.heap_bytes()).sum()
+        self.entries
+            .iter()
+            .flatten()
+            .map(|e| e.paths.heap_bytes())
+            .sum()
     }
 }
 

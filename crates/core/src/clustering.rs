@@ -29,7 +29,7 @@ pub fn cluster_queries(matrix: &SimilarityMatrix, gamma: f64) -> Clusters {
         for i in 0..clusters.len() {
             for j in (i + 1)..clusters.len() {
                 let sim = group_similarity(matrix, &clusters[i], &clusters[j]);
-                if best.map_or(true, |(_, _, s)| sim > s) {
+                if best.is_none_or(|(_, _, s)| sim > s) {
                     best = Some((i, j, sim));
                 }
             }
@@ -78,7 +78,11 @@ mod tests {
     #[test]
     fn similar_queries_merge_dissimilar_stay_apart() {
         // Queries 0 and 1 share everything; query 2 shares nothing.
-        let ns = vec![nbh(&[1, 2, 3], &[9]), nbh(&[1, 2, 3], &[9]), nbh(&[50], &[60])];
+        let ns = vec![
+            nbh(&[1, 2, 3], &[9]),
+            nbh(&[1, 2, 3], &[9]),
+            nbh(&[50], &[60]),
+        ];
         let matrix = SimilarityMatrix::compute(&ns);
         let clusters = cluster_queries(&matrix, 0.8);
         assert_eq!(clusters, vec![vec![0, 1], vec![2]]);
@@ -98,7 +102,11 @@ mod tests {
     #[test]
     fn gamma_zero_merges_any_overlap() {
         // Chain of pairwise overlaps: 0-1 overlap, 1-2 overlap, 0-2 none.
-        let ns = vec![nbh(&[1, 2], &[10, 11]), nbh(&[2, 3], &[11, 12]), nbh(&[3, 4], &[12, 13])];
+        let ns = vec![
+            nbh(&[1, 2], &[10, 11]),
+            nbh(&[2, 3], &[11, 12]),
+            nbh(&[3, 4], &[12, 13]),
+        ];
         let matrix = SimilarityMatrix::compute(&ns);
         let clusters = cluster_queries(&matrix, 0.0);
         // Everything with positive transitive similarity collapses into one cluster.

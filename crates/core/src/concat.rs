@@ -64,7 +64,9 @@ where
     let mut assembled: Vec<VertexId> = Vec::with_capacity(hop_limit as usize + 1);
     for prefix in forward.iter() {
         let join_vertex = *prefix.last().expect("paths are non-empty");
-        let Some(candidates) = by_join_vertex.get(&join_vertex) else { continue };
+        let Some(candidates) = by_join_vertex.get(&join_vertex) else {
+            continue;
+        };
         let forward_hops = (prefix.len() - 1) as u32;
         for &suffix_idx in candidates {
             let suffix = backward.get(suffix_idx);
@@ -141,7 +143,11 @@ mod tests {
         let forward = set(&[&[0], &[0, 1], &[0, 1, 2]]);
         let backward = set(&[&[3], &[3, 2], &[3, 2, 1]]);
         let paths = concatenate_to_paths(&forward, &backward, 3);
-        assert_eq!(paths.len(), 1, "each result path must be produced exactly once");
+        assert_eq!(
+            paths.len(),
+            1,
+            "each result path must be produced exactly once"
+        );
         assert_eq!(paths[0].vertices(), &[v(0), v(1), v(2), v(3)]);
     }
 
@@ -196,6 +202,9 @@ mod tests {
         let backward = set(&[&[3, 1], &[3, 4, 1]]);
         let (_, stats) = concatenate(&forward, &backward, 10);
         assert_eq!(stats.candidate_pairs, 4);
-        assert_eq!(stats.produced + stats.rejected_split + stats.rejected_not_simple, 4);
+        assert_eq!(
+            stats.produced + stats.rejected_split + stats.rejected_not_simple,
+            4
+        );
     }
 }

@@ -64,7 +64,11 @@ pub fn detect_common_queries(
 
     // Lines 2-4: every query contributes its half query as the initial extension of its
     // root; the half query node provides for the full query node with offset 0.
-    let k_max = cluster.iter().map(|(_, q)| q.budget(dir)).max().unwrap_or(0);
+    let k_max = cluster
+        .iter()
+        .map(|(_, q)| q.budget(dir))
+        .max()
+        .unwrap_or(0);
     // pending[b] holds the half-query nodes that become active once the level reaches
     // their own budget b.
     let mut pending: Vec<Vec<(VertexId, NodeId)>> = vec![Vec::new(); k_max as usize + 1];
@@ -133,8 +137,11 @@ pub fn detect_common_queries(
         // Lines 20-24: extend every representative by one hop.
         let mut next_active: BTreeMap<VertexId, BTreeSet<NodeId>> = BTreeMap::new();
         for (&vertex, &rep) in &representatives {
-            let rep_budget =
-                sharing.node(rep).as_hcs().expect("representatives are HC-s path queries").budget;
+            let rep_budget = sharing
+                .node(rep)
+                .as_hcs()
+                .expect("representatives are HC-s path queries")
+                .budget;
             for &next in graph.neighbors(vertex, dir) {
                 if !useful.contains(&next) {
                     continue;
@@ -196,7 +203,12 @@ mod tests {
 
     fn build_index(graph: &DiGraph, queries: &[PathQuery]) -> BatchIndex {
         let summary = BatchSummary::of(queries);
-        BatchIndex::build(graph, &summary.sources, &summary.targets, summary.max_hop_limit)
+        BatchIndex::build(
+            graph,
+            &summary.sources,
+            &summary.targets,
+            summary.max_hop_limit,
+        )
     }
 
     fn cluster_of(queries: &[PathQuery]) -> Vec<(QueryId, PathQuery)> {
@@ -278,7 +290,13 @@ mod tests {
         ];
         let index = build_index(&g, &queries);
         let mut sharing = SharingGraph::new();
-        detect_common_queries(&g, &index, &cluster_of(&queries), Direction::Backward, &mut sharing);
+        detect_common_queries(
+            &g,
+            &index,
+            &cluster_of(&queries),
+            Direction::Backward,
+            &mut sharing,
+        );
         // Either the dominating q_{v12,1,Gr} is created or the existing half query
         // q_{v12,2,Gr} (from q2) is reused; both forms of sharing are acceptable, but at
         // least one sharing edge towards a v12-rooted provider must exist.
@@ -317,7 +335,10 @@ mod tests {
     fn disjoint_queries_share_nothing() {
         // Two far-apart corners of a grid: no common computation exists.
         let g = grid(6, 6);
-        let queries = vec![PathQuery::new(0u32, 7u32, 2), PathQuery::new(28u32, 35u32, 2)];
+        let queries = vec![
+            PathQuery::new(0u32, 7u32, 2),
+            PathQuery::new(28u32, 35u32, 2),
+        ];
         let index = build_index(&g, &queries);
         let mut sharing = SharingGraph::new();
         let outcome = detect_cluster(&g, &index, &cluster_of(&queries), &mut sharing);
@@ -335,7 +356,9 @@ mod tests {
         detect_cluster(&g, &index, &cluster_of(&queries), &mut sharing);
         // 2 full nodes share one forward half and one backward half (plus any detected
         // dominating queries).
-        let forward_half = sharing.find_hcs(&HcsQuery::new(0u32, 2, Direction::Forward)).unwrap();
+        let forward_half = sharing
+            .find_hcs(&HcsQuery::new(0u32, 2, Direction::Forward))
+            .unwrap();
         assert_eq!(sharing.users(forward_half).len(), 2);
     }
 

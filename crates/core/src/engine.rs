@@ -80,7 +80,10 @@ pub struct BatchEngine {
 
 impl Default for BatchEngine {
     fn default() -> Self {
-        BatchEngine { algorithm: Algorithm::BatchEnumPlus, gamma: DEFAULT_GAMMA }
+        BatchEngine {
+            algorithm: Algorithm::BatchEnumPlus,
+            gamma: DEFAULT_GAMMA,
+        }
     }
 }
 
@@ -142,7 +145,10 @@ impl BatchEngine {
 
     /// Convenience constructor with an explicit algorithm and the default γ.
     pub fn with_algorithm(algorithm: Algorithm) -> Self {
-        BatchEngine { algorithm, gamma: DEFAULT_GAMMA }
+        BatchEngine {
+            algorithm,
+            gamma: DEFAULT_GAMMA,
+        }
     }
 
     /// The configured algorithm.
@@ -180,7 +186,10 @@ impl BatchEngine {
     pub fn run(&self, graph: &DiGraph, queries: &[PathQuery]) -> BatchOutcome {
         let mut sink = CollectSink::new(queries.len());
         let stats = self.run_with_sink(graph, queries, &mut sink);
-        BatchOutcome { paths: sink.into_inner(), stats }
+        BatchOutcome {
+            paths: sink.into_inner(),
+            stats,
+        }
     }
 
     /// Runs the batch counting results only (the mode used by the timing experiments,
@@ -206,8 +215,10 @@ mod tests {
             PathQuery::new(1u32, 15u32, 6),
             PathQuery::new(0u32, 11u32, 5),
         ];
-        let reference: Vec<u64> =
-            queries.iter().map(|q| enumerate_reference(&g, q).len() as u64).collect();
+        let reference: Vec<u64> = queries
+            .iter()
+            .map(|q| enumerate_reference(&g, q).len() as u64)
+            .collect();
         for algorithm in Algorithm::ALL {
             let engine = BatchEngine::with_algorithm(algorithm);
             let (counts, stats) = engine.run_counting(&g, &queries);
@@ -218,8 +229,10 @@ mod tests {
 
     #[test]
     fn builder_configures_algorithm_and_gamma() {
-        let engine =
-            BatchEngine::builder().algorithm(Algorithm::BatchEnum).gamma(0.25).build();
+        let engine = BatchEngine::builder()
+            .algorithm(Algorithm::BatchEnum)
+            .gamma(0.25)
+            .build();
         assert_eq!(engine.algorithm(), Algorithm::BatchEnum);
         assert!((engine.gamma() - 0.25).abs() < 1e-12);
         // Gamma is clamped into [0, 1].
@@ -245,7 +258,10 @@ mod tests {
     fn algorithm_metadata() {
         assert_eq!(Algorithm::BatchEnumPlus.to_string(), "BatchEnum+");
         assert_eq!(Algorithm::PathEnum.search_order(), SearchOrder::VertexId);
-        assert_eq!(Algorithm::BasicEnumPlus.search_order(), SearchOrder::DistanceThenDegree);
+        assert_eq!(
+            Algorithm::BasicEnumPlus.search_order(),
+            SearchOrder::DistanceThenDegree
+        );
         assert!(Algorithm::BatchEnum.shares_computation());
         assert!(!Algorithm::BasicEnum.shares_computation());
         assert_eq!(Algorithm::ALL.len(), 5);

@@ -88,7 +88,12 @@ pub fn materialize_batch(
 ) -> (MaterializedResults, EnumStats) {
     let mut sink = CollectSink::new(queries.len());
     let stats = BasicEnum::new(order).run_batch(graph, queries, &mut sink);
-    (MaterializedResults { per_query: sink.into_inner() }, stats)
+    (
+        MaterializedResults {
+            per_query: sink.into_inner(),
+        },
+        stats,
+    )
 }
 
 #[cfg(test)]
@@ -101,10 +106,16 @@ mod tests {
     fn materialized_counts_match_reference() {
         let g = layered_dag(3, 2);
         let sink_v = (g.num_vertices() - 1) as u32;
-        let queries = vec![PathQuery::new(0u32, sink_v, 4), PathQuery::new(0u32, sink_v, 3)];
+        let queries = vec![
+            PathQuery::new(0u32, sink_v, 4),
+            PathQuery::new(0u32, sink_v, 3),
+        ];
         let (mat, stats) = materialize_batch(&g, &queries, SearchOrder::DistanceThenDegree);
         assert_eq!(mat.num_queries(), 2);
-        assert_eq!(mat.paths(0).len(), enumerate_reference(&g, &queries[0]).len());
+        assert_eq!(
+            mat.paths(0).len(),
+            enumerate_reference(&g, &queries[0]).len()
+        );
         assert_eq!(mat.paths(1).len(), 0);
         assert_eq!(mat.total_paths(), 8);
         assert_eq!(stats.counters.produced_paths, 8);

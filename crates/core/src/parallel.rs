@@ -10,7 +10,7 @@
 //! processes independent clusters concurrently — sharing within a cluster, parallelism
 //! across clusters — which is the natural combination of the two ideas.
 //!
-//! Threads are spawned with `crossbeam::scope` (no `'static` bound on the graph) and the
+//! Threads are spawned with `std::thread::scope` (no `'static` bound on the graph) and the
 //! shared sink is protected by a `parking_lot::Mutex`; workers buffer locally and flush
 //! per query to keep contention negligible.
 
@@ -29,9 +29,10 @@ use parking_lot::Mutex;
 use std::time::Instant;
 
 /// How many worker threads a parallel runner uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Parallelism {
     /// Use the number of available CPU cores (as reported by the standard library).
+    #[default]
     Auto,
     /// Use exactly this many workers (values of 0 are treated as 1).
     Fixed(usize),
@@ -41,15 +42,11 @@ impl Parallelism {
     /// Resolves to a concrete worker count.
     pub fn workers(self) -> usize {
         match self {
-            Parallelism::Auto => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
             Parallelism::Fixed(n) => n.max(1),
         }
-    }
-}
-
-impl Default for Parallelism {
-    fn default() -> Self {
-        Parallelism::Auto
     }
 }
 
@@ -60,7 +57,9 @@ struct SharedSink<'a, S: PathSink> {
 
 impl<'a, S: PathSink> SharedSink<'a, S> {
     fn new(inner: &'a mut S) -> Self {
-        SharedSink { inner: Mutex::new(inner) }
+        SharedSink {
+            inner: Mutex::new(inner),
+        }
     }
 
     fn flush(&self, query: QueryId, paths: &crate::path::PathSet) {
@@ -86,7 +85,10 @@ pub struct ParallelBasicEnum {
 
 impl Default for ParallelBasicEnum {
     fn default() -> Self {
-        ParallelBasicEnum { order: SearchOrder::default(), parallelism: Parallelism::Auto }
+        ParallelBasicEnum {
+            order: SearchOrder::default(),
+            parallelism: Parallelism::Auto,
+        }
     }
 }
 
@@ -112,8 +114,12 @@ impl ParallelBasicEnum {
 
         let start = Instant::now();
         let summary = BatchSummary::of(queries);
-        let index =
-            BatchIndex::build(graph, &summary.sources, &summary.targets, summary.max_hop_limit);
+        let index = BatchIndex::build(
+            graph,
+            &summary.sources,
+            &summary.targets,
+            summary.max_hop_limit,
+        );
         stats.add_stage(Stage::BuildIndex, start.elapsed());
 
         let start = Instant::now();
@@ -122,9 +128,9 @@ impl ParallelBasicEnum {
         let shared = SharedSink::new(sink);
         let collected_stats: Mutex<Vec<EnumStats>> = Mutex::new(Vec::new());
 
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|_| {
+                scope.spawn(|| {
                     let per_query = PathEnum::new(self.order);
                     let mut local_stats = EnumStats::new(0);
                     loop {
@@ -146,10 +152,8 @@ impl ParallelBasicEnum {
                     collected_stats.lock().push(local_stats);
                 });
             }
-        })
-        .expect("worker threads must not panic");
+        });
 
-        drop(shared);
         for worker_stats in collected_stats.into_inner() {
             stats.counters.merge(&worker_stats.counters);
         }
@@ -186,7 +190,11 @@ impl Default for ParallelBatchEnum {
 impl ParallelBatchEnum {
     /// Creates the runner.
     pub fn new(order: SearchOrder, gamma: f64, parallelism: Parallelism) -> Self {
-        ParallelBatchEnum { order, gamma, parallelism }
+        ParallelBatchEnum {
+            order,
+            gamma,
+            parallelism,
+        }
     }
 
     /// Processes the batch, streaming results into `sink`.
@@ -205,13 +213,19 @@ impl ParallelBatchEnum {
         // Index + clustering are identical to the sequential BatchEnum.
         let start = Instant::now();
         let summary = BatchSummary::of(queries);
-        let index =
-            BatchIndex::build(graph, &summary.sources, &summary.targets, summary.max_hop_limit);
+        let index = BatchIndex::build(
+            graph,
+            &summary.sources,
+            &summary.targets,
+            summary.max_hop_limit,
+        );
         stats.add_stage(Stage::BuildIndex, start.elapsed());
 
         let start = Instant::now();
-        let neighborhoods: Vec<QueryNeighborhood> =
-            queries.iter().map(|q| QueryNeighborhood::from_index(&index, q)).collect();
+        let neighborhoods: Vec<QueryNeighborhood> = queries
+            .iter()
+            .map(|q| QueryNeighborhood::from_index(&index, q))
+            .collect();
         let matrix = SimilarityMatrix::compute(&neighborhoods);
         let clusters = cluster_queries(&matrix, self.gamma);
         stats.num_clusters = clusters.len();
@@ -225,9 +239,9 @@ impl ParallelBatchEnum {
         let shared = SharedSink::new(sink);
         let collected_stats: Mutex<Vec<EnumStats>> = Mutex::new(Vec::new());
 
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|_| {
+                scope.spawn(|| {
                     let sequential = BatchEnum::new(self.order, 1.0);
                     let mut worker_stats = EnumStats::new(0);
                     loop {
@@ -255,16 +269,18 @@ impl ParallelBatchEnum {
                     collected_stats.lock().push(worker_stats);
                 });
             }
-        })
-        .expect("worker threads must not panic");
+        });
 
-        drop(shared);
         for worker_stats in collected_stats.into_inner() {
             stats.counters.merge(&worker_stats.counters);
             stats.num_shared_subqueries += worker_stats.num_shared_subqueries;
-            stats.peak_cached_results =
-                stats.peak_cached_results.max(worker_stats.peak_cached_results);
-            stats.add_stage(Stage::IdentifySubquery, worker_stats.stage_time(Stage::IdentifySubquery));
+            stats.peak_cached_results = stats
+                .peak_cached_results
+                .max(worker_stats.peak_cached_results);
+            stats.add_stage(
+                Stage::IdentifySubquery,
+                worker_stats.stage_time(Stage::IdentifySubquery),
+            );
         }
         stats.add_stage(Stage::Enumeration, start.elapsed());
         sink.finish();
@@ -328,12 +344,19 @@ pub fn compare_parallel_basic(
 
     let start = Instant::now();
     let mut parallel_sink = CountSink::new(queries.len());
-    ParallelBasicEnum::new(order, Parallelism::Fixed(workers))
-        .run_batch(graph, queries, &mut parallel_sink);
+    ParallelBasicEnum::new(order, Parallelism::Fixed(workers)).run_batch(
+        graph,
+        queries,
+        &mut parallel_sink,
+    );
     let parallel_seconds = start.elapsed().as_secs_f64();
 
     debug_assert_eq!(sequential_sink.counts(), parallel_sink.counts());
-    ParallelComparison { sequential_seconds, parallel_seconds, workers }
+    ParallelComparison {
+        sequential_seconds,
+        parallel_seconds,
+        workers,
+    }
 }
 
 #[cfg(test)]
@@ -345,7 +368,10 @@ mod tests {
     use hcsp_graph::generators::regular::{complete, grid};
 
     fn reference_counts(graph: &DiGraph, queries: &[PathQuery]) -> Vec<u64> {
-        queries.iter().map(|q| enumerate_reference(graph, q).len() as u64).collect()
+        queries
+            .iter()
+            .map(|q| enumerate_reference(graph, q).len() as u64)
+            .collect()
     }
 
     #[test]
@@ -362,7 +388,11 @@ mod tests {
             let mut sink = CountSink::new(queries.len());
             let stats = ParallelBasicEnum::new(SearchOrder::VertexId, Parallelism::Fixed(workers))
                 .run_batch(&g, &queries, &mut sink);
-            assert_eq!(sink.counts(), reference_counts(&g, &queries), "workers = {workers}");
+            assert_eq!(
+                sink.counts(),
+                reference_counts(&g, &queries),
+                "workers = {workers}"
+            );
             assert_eq!(stats.num_queries, queries.len());
             assert!(stats.counters.produced_paths > 0);
         }
@@ -388,7 +418,11 @@ mod tests {
                     Parallelism::Fixed(workers),
                 )
                 .run_batch(&g, &queries, &mut sink);
-                assert_eq!(sink.counts(), reference_counts(&g, &queries), "workers = {workers}");
+                assert_eq!(
+                    sink.counts(),
+                    reference_counts(&g, &queries),
+                    "workers = {workers}"
+                );
                 assert!(stats.num_clusters >= 1);
             }
         }
@@ -427,7 +461,10 @@ mod tests {
     #[test]
     fn comparison_reports_consistent_numbers() {
         let g = grid(4, 4);
-        let queries = vec![PathQuery::new(0u32, 15u32, 6), PathQuery::new(1u32, 15u32, 6)];
+        let queries = vec![
+            PathQuery::new(0u32, 15u32, 6),
+            PathQuery::new(1u32, 15u32, 6),
+        ];
         let cmp = compare_parallel_basic(&g, &queries, SearchOrder::VertexId, 2);
         assert_eq!(cmp.workers, 2);
         assert!(cmp.sequential_seconds >= 0.0);

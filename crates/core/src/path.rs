@@ -24,7 +24,10 @@ impl Path {
     /// Panics (in debug builds) if the sequence is empty; a path always has at least its
     /// start vertex.
     pub fn new(vertices: Vec<VertexId>) -> Self {
-        debug_assert!(!vertices.is_empty(), "a path must contain at least one vertex");
+        debug_assert!(
+            !vertices.is_empty(),
+            "a path must contain at least one vertex"
+        );
         Path { vertices }
     }
 
@@ -116,14 +119,20 @@ pub struct PathSet {
 impl PathSet {
     /// Creates an empty set.
     pub fn new() -> Self {
-        PathSet { buffer: Vec::new(), offsets: vec![0] }
+        PathSet {
+            buffer: Vec::new(),
+            offsets: vec![0],
+        }
     }
 
     /// Creates an empty set with room for roughly `paths` paths of `avg_len` vertices.
     pub fn with_capacity(paths: usize, avg_len: usize) -> Self {
         let mut offsets = Vec::with_capacity(paths + 1);
         offsets.push(0);
-        PathSet { buffer: Vec::with_capacity(paths * avg_len), offsets }
+        PathSet {
+            buffer: Vec::with_capacity(paths * avg_len),
+            offsets,
+        }
     }
 
     /// Number of stored paths.

@@ -24,7 +24,11 @@ pub struct PathQuery {
 impl PathQuery {
     /// Creates a query from raw ids.
     pub fn new(source: impl Into<VertexId>, target: impl Into<VertexId>, hop_limit: u32) -> Self {
-        PathQuery { source: source.into(), target: target.into(), hop_limit }
+        PathQuery {
+            source: source.into(),
+            target: target.into(),
+            hop_limit,
+        }
     }
 
     /// Hop budget of the forward half of the bidirectional search, `⌈k/2⌉`.
@@ -70,7 +74,11 @@ impl PathQuery {
     /// The HC-s path query representing this query's half search in direction `dir`
     /// (`q_{s,⌈k/2⌉,G}` or `q_{t,⌊k/2⌋,G^r}`).
     pub fn half_query(&self, dir: Direction) -> HcsQuery {
-        HcsQuery { root: self.root(dir), budget: self.budget(dir), direction: dir }
+        HcsQuery {
+            root: self.root(dir),
+            budget: self.budget(dir),
+            direction: dir,
+        }
     }
 }
 
@@ -96,7 +104,11 @@ pub struct HcsQuery {
 impl HcsQuery {
     /// Creates an HC-s path query.
     pub fn new(root: impl Into<VertexId>, budget: u32, direction: Direction) -> Self {
-        HcsQuery { root: root.into(), budget, direction }
+        HcsQuery {
+            root: root.into(),
+            budget,
+            direction,
+        }
     }
 
     /// HC-s path query domination `≺` (Definition 4.3): `self ≺ other` when `self` is
@@ -151,7 +163,11 @@ impl BatchSummary {
         targets.sort_unstable();
         targets.dedup();
         let max_hop_limit = queries.iter().map(|q| q.hop_limit).max().unwrap_or(0);
-        BatchSummary { sources, targets, max_hop_limit }
+        BatchSummary {
+            sources,
+            targets,
+            max_hop_limit,
+        }
     }
 }
 

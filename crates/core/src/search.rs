@@ -26,7 +26,11 @@ pub struct SearchContext<'a> {
 impl<'a> SearchContext<'a> {
     /// Creates a context.
     pub fn new(graph: &'a DiGraph, index: &'a BatchIndex, order: SearchOrder) -> Self {
-        SearchContext { graph, index, order }
+        SearchContext {
+            graph,
+            index,
+            order,
+        }
     }
 
     /// Enumerates every simple prefix of the half search of `query` in direction `dir`
@@ -61,6 +65,7 @@ impl<'a> SearchContext<'a> {
     }
 
     /// Recursive prefix extension. `stack` holds the current prefix (root first).
+    #[allow(clippy::too_many_arguments)]
     fn extend_prefix(
         &self,
         stack: &mut Vec<VertexId>,
@@ -95,7 +100,8 @@ impl<'a> SearchContext<'a> {
             }
             candidates.push(w);
         }
-        self.order.arrange(&mut candidates, self.graph, self.index, anchor, dir);
+        self.order
+            .arrange(&mut candidates, self.graph, self.index, anchor, dir);
         for w in candidates {
             stack.push(w);
             self.extend_prefix(stack, dir, anchor, budget, hop_limit, prefixes, counters);
@@ -128,7 +134,10 @@ mod tests {
         let mut counters = SearchCounters::default();
         let prefixes = ctx.enumerate_half(&q, Direction::Forward, &mut counters);
         let collected: Vec<Vec<VertexId>> = prefixes.iter().map(|p| p.to_vec()).collect();
-        assert_eq!(collected, vec![vec![v(0)], vec![v(0), v(1)], vec![v(0), v(1), v(2)]]);
+        assert_eq!(
+            collected,
+            vec![vec![v(0)], vec![v(0), v(1)], vec![v(0), v(1), v(2)]]
+        );
         assert_eq!(counters.stored_prefixes, 3);
     }
 
@@ -141,7 +150,10 @@ mod tests {
         let mut counters = SearchCounters::default();
         let prefixes = ctx.enumerate_half(&q, Direction::Backward, &mut counters);
         let collected: Vec<Vec<VertexId>> = prefixes.iter().map(|p| p.to_vec()).collect();
-        assert_eq!(collected, vec![vec![v(4)], vec![v(4), v(3)], vec![v(4), v(3), v(2)]]);
+        assert_eq!(
+            collected,
+            vec![vec![v(4)], vec![v(4), v(3)], vec![v(4), v(3), v(2)]]
+        );
     }
 
     #[test]
@@ -157,9 +169,15 @@ mod tests {
         for p in prefixes.iter() {
             let hops = (p.len() - 1) as u32;
             let end = *p.last().unwrap();
-            assert!(hops + index.dist_to_target(end, v(8)) <= 4, "useless prefix {p:?}");
+            assert!(
+                hops + index.dist_to_target(end, v(8)) <= 4,
+                "useless prefix {p:?}"
+            );
         }
-        assert!(counters.pruned_edges == 0, "every grid edge stays useful at k = exact distance");
+        assert!(
+            counters.pruned_edges == 0,
+            "every grid edge stays useful at k = exact distance"
+        );
     }
 
     #[test]
@@ -197,8 +215,11 @@ mod tests {
         let index = index_for(&g, &q);
         let mut c1 = SearchCounters::default();
         let mut c2 = SearchCounters::default();
-        let plain = SearchContext::new(&g, &index, SearchOrder::VertexId)
-            .enumerate_half(&q, Direction::Forward, &mut c1);
+        let plain = SearchContext::new(&g, &index, SearchOrder::VertexId).enumerate_half(
+            &q,
+            Direction::Forward,
+            &mut c1,
+        );
         let optimized = SearchContext::new(&g, &index, SearchOrder::DistanceThenDegree)
             .enumerate_half(&q, Direction::Forward, &mut c2);
         let mut a: Vec<Vec<VertexId>> = plain.iter().map(|p| p.to_vec()).collect();

@@ -42,7 +42,11 @@ impl SearchOrder {
             }
             SearchOrder::DistanceThenDegree => {
                 candidates.sort_by_key(|&w| {
-                    (index.dist_towards(dir, w, anchor), graph.degree(w, dir) as u32, w.raw())
+                    (
+                        index.dist_towards(dir, w, anchor),
+                        graph.degree(w, dir) as u32,
+                        w.raw(),
+                    )
                 });
             }
         }
@@ -79,9 +83,21 @@ mod tests {
         let g = grid(3, 3);
         let index = BatchIndex::build(&g, &[VertexId(0)], &[VertexId(8)], 6);
         let mut c = vec![VertexId(1), VertexId(5), VertexId(3), VertexId(7)];
-        SearchOrder::DistanceThenDegree.arrange(&mut c, &g, &index, VertexId(8), Direction::Forward);
-        let dist: Vec<u32> = c.iter().map(|&w| index.dist_to_target(w, VertexId(8))).collect();
-        assert!(dist.windows(2).all(|w| w[0] <= w[1]), "distances not ascending: {dist:?}");
+        SearchOrder::DistanceThenDegree.arrange(
+            &mut c,
+            &g,
+            &index,
+            VertexId(8),
+            Direction::Forward,
+        );
+        let dist: Vec<u32> = c
+            .iter()
+            .map(|&w| index.dist_to_target(w, VertexId(8)))
+            .collect();
+        assert!(
+            dist.windows(2).all(|w| w[0] <= w[1]),
+            "distances not ascending: {dist:?}"
+        );
     }
 
     #[test]
@@ -92,7 +108,13 @@ mod tests {
         let index = BatchIndex::build(&g, &[VertexId(0)], &[VertexId(8)], 6);
         let mut c = vec![VertexId(8), VertexId(0)];
         // dist(8 -> 8) = 0, dist(0 -> 8) = 4, so 8 first.
-        SearchOrder::DistanceThenDegree.arrange(&mut c, &g, &index, VertexId(8), Direction::Forward);
+        SearchOrder::DistanceThenDegree.arrange(
+            &mut c,
+            &g,
+            &index,
+            VertexId(8),
+            Direction::Forward,
+        );
         assert_eq!(c[0], VertexId(8));
     }
 

@@ -107,7 +107,10 @@ impl SharingGraph {
 
     /// Number of HC-s path query nodes (shared sub-queries + initial half queries).
     pub fn num_hcs_nodes(&self) -> usize {
-        self.nodes.iter().filter(|n| matches!(n, QueryNode::Hcs(_))).count()
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, QueryNode::Hcs(_)))
+            .count()
     }
 
     /// Adds (or returns the existing) node for an original HC-s-t path query.
@@ -156,7 +159,10 @@ impl SharingGraph {
         if provider == user {
             return false;
         }
-        if self.users[provider].iter().any(|&(u, o)| u == user && o == offset) {
+        if self.users[provider]
+            .iter()
+            .any(|&(u, o)| u == user && o == offset)
+        {
             return true;
         }
         if !self.edge_is_trivially_acyclic(provider, user) && self.reaches(user, provider) {
@@ -292,8 +298,10 @@ impl SharingGraph {
         slacks
             .into_iter()
             .map(|m| {
-                let mut v: Vec<AnchorSlack> =
-                    m.into_iter().map(|(anchor, slack)| AnchorSlack { anchor, slack }).collect();
+                let mut v: Vec<AnchorSlack> = m
+                    .into_iter()
+                    .map(|(anchor, slack)| AnchorSlack { anchor, slack })
+                    .collect();
                 v.sort_by_key(|a| (a.anchor, a.slack));
                 v
             })
@@ -390,8 +398,20 @@ mod tests {
         g.add_dependency(dom, half, 1);
 
         let slacks = g.anchor_slacks(&queries);
-        assert_eq!(slacks[half], vec![AnchorSlack { anchor: VertexId(9), slack: 5 }]);
-        assert_eq!(slacks[dom], vec![AnchorSlack { anchor: VertexId(9), slack: 4 }]);
+        assert_eq!(
+            slacks[half],
+            vec![AnchorSlack {
+                anchor: VertexId(9),
+                slack: 5
+            }]
+        );
+        assert_eq!(
+            slacks[dom],
+            vec![AnchorSlack {
+                anchor: VertexId(9),
+                slack: 4
+            }]
+        );
         assert!(slacks[full].is_empty());
     }
 
@@ -411,7 +431,13 @@ mod tests {
         g.add_dependency(dom, h1, 1);
         let slacks = g.anchor_slacks(&queries);
         // Via h0: slack 4 - 0 = 4; via h1: slack 6 - 1 = 5; the larger one wins.
-        assert_eq!(slacks[dom], vec![AnchorSlack { anchor: VertexId(9), slack: 5 }]);
+        assert_eq!(
+            slacks[dom],
+            vec![AnchorSlack {
+                anchor: VertexId(9),
+                slack: 5
+            }]
+        );
     }
 
     #[test]
@@ -422,6 +448,12 @@ mod tests {
         let half = g.add_hcs_query(hcs(8, 2, Direction::Backward));
         g.add_dependency(half, full, 0);
         let slacks = g.anchor_slacks(&queries);
-        assert_eq!(slacks[half], vec![AnchorSlack { anchor: VertexId(3), slack: 5 }]);
+        assert_eq!(
+            slacks[half],
+            vec![AnchorSlack {
+                anchor: VertexId(3),
+                slack: 5
+            }]
+        );
     }
 }

@@ -14,8 +14,8 @@
 //! if both intersections are empty µ = 0; if exactly one is empty its term contributes 0.
 
 use crate::query::PathQuery;
-use hcsp_index::{BatchIndex, SparseDistanceMap};
 use hcsp_graph::VertexId;
+use hcsp_index::{BatchIndex, SparseDistanceMap};
 
 /// The two hop-constrained neighbourhoods of one query, stored as sorted vertex sets with
 /// their sizes. Intersections are computed by linear merges over the sorted sets.
@@ -43,8 +43,16 @@ impl QueryNeighborhood {
     /// Builds a neighbourhood from raw sparse maps (useful in tests).
     pub fn from_maps(forward: &SparseDistanceMap, backward: &SparseDistanceMap, k: u32) -> Self {
         QueryNeighborhood {
-            forward: forward.iter().filter(|&(_, d)| d <= k).map(|(v, _)| v).collect(),
-            backward: backward.iter().filter(|&(_, d)| d <= k).map(|(v, _)| v).collect(),
+            forward: forward
+                .iter()
+                .filter(|&(_, d)| d <= k)
+                .map(|(v, _)| v)
+                .collect(),
+            backward: backward
+                .iter()
+                .filter(|&(_, d)| d <= k)
+                .map(|(v, _)| v)
+                .collect(),
         }
     }
 }
@@ -194,7 +202,10 @@ mod tests {
     }
 
     fn nbh(fwd: &[u32], bwd: &[u32]) -> QueryNeighborhood {
-        QueryNeighborhood { forward: v(fwd), backward: v(bwd) }
+        QueryNeighborhood {
+            forward: v(fwd),
+            backward: v(bwd),
+        }
     }
 
     #[test]

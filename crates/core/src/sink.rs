@@ -28,7 +28,9 @@ pub struct CountSink {
 impl CountSink {
     /// Creates a counter for `num_queries` queries.
     pub fn new(num_queries: usize) -> Self {
-        CountSink { counts: vec![0; num_queries] }
+        CountSink {
+            counts: vec![0; num_queries],
+        }
     }
 
     /// Number of paths reported for `query`.
@@ -65,7 +67,9 @@ pub struct CollectSink {
 impl CollectSink {
     /// Creates a collector for `num_queries` queries.
     pub fn new(num_queries: usize) -> Self {
-        CollectSink { per_query: vec![PathSet::new(); num_queries] }
+        CollectSink {
+            per_query: vec![PathSet::new(); num_queries],
+        }
     }
 
     /// The collected paths of `query`.

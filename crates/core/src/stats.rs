@@ -24,8 +24,12 @@ pub enum Stage {
 
 impl Stage {
     /// All stages in report order.
-    pub const ALL: [Stage; 4] =
-        [Stage::BuildIndex, Stage::ClusterQuery, Stage::IdentifySubquery, Stage::Enumeration];
+    pub const ALL: [Stage; 4] = [
+        Stage::BuildIndex,
+        Stage::ClusterQuery,
+        Stage::IdentifySubquery,
+        Stage::Enumeration,
+    ];
 }
 
 impl fmt::Display for Stage {
@@ -89,7 +93,10 @@ pub struct EnumStats {
 impl EnumStats {
     /// Creates empty statistics for a batch of `num_queries` queries.
     pub fn new(num_queries: usize) -> Self {
-        EnumStats { num_queries, ..Default::default() }
+        EnumStats {
+            num_queries,
+            ..Default::default()
+        }
     }
 
     /// Records (accumulates) time spent in a stage.
@@ -194,8 +201,17 @@ mod tests {
 
     #[test]
     fn counters_merge() {
-        let mut a = SearchCounters { expanded_vertices: 1, scanned_edges: 2, ..Default::default() };
-        let b = SearchCounters { expanded_vertices: 10, pruned_edges: 5, cache_splices: 1, ..Default::default() };
+        let mut a = SearchCounters {
+            expanded_vertices: 1,
+            scanned_edges: 2,
+            ..Default::default()
+        };
+        let b = SearchCounters {
+            expanded_vertices: 10,
+            pruned_edges: 5,
+            cache_splices: 1,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.expanded_vertices, 11);
         assert_eq!(a.scanned_edges, 2);
@@ -206,6 +222,14 @@ mod tests {
     #[test]
     fn stage_display_names() {
         let names: Vec<String> = Stage::ALL.iter().map(|s| s.to_string()).collect();
-        assert_eq!(names, vec!["BuildIndex", "ClusterQuery", "IdentifySubquery", "Enumeration"]);
+        assert_eq!(
+            names,
+            vec![
+                "BuildIndex",
+                "ClusterQuery",
+                "IdentifySubquery",
+                "Enumeration"
+            ]
+        );
     }
 }

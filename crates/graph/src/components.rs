@@ -165,7 +165,11 @@ impl DegreeHistogram {
         let mut buckets: Vec<usize> = Vec::new();
         for v in graph.vertices() {
             let degree = graph.degree(v, dir);
-            let bucket = if degree <= 1 { 0 } else { (usize::BITS - 1 - degree.leading_zeros()) as usize };
+            let bucket = if degree <= 1 {
+                0
+            } else {
+                (usize::BITS - 1 - degree.leading_zeros()) as usize
+            };
             if bucket >= buckets.len() {
                 buckets.resize(bucket + 1, 0);
             }
@@ -187,7 +191,9 @@ impl DegreeHistogram {
         if total == 0 || self.buckets.len() < 4 {
             return 0.0;
         }
-        let tail: usize = self.buckets[self.buckets.len().saturating_sub(2)..].iter().sum();
+        let tail: usize = self.buckets[self.buckets.len().saturating_sub(2)..]
+            .iter()
+            .sum();
         tail as f64 / total as f64
     }
 }
@@ -242,7 +248,10 @@ mod tests {
     #[test]
     fn star_and_complete_are_strongly_connected() {
         assert_eq!(strongly_connected_components(&star(5)).num_components(), 1);
-        assert_eq!(strongly_connected_components(&complete(4)).num_components(), 1);
+        assert_eq!(
+            strongly_connected_components(&complete(4)).num_components(),
+            1
+        );
     }
 
     #[test]
@@ -260,7 +269,11 @@ mod tests {
         let hist = DegreeHistogram::compute(&g, Direction::Forward);
         assert_eq!(hist.total(), 9);
         assert_eq!(hist.buckets[0], 8, "eight leaves with out-degree 1");
-        assert_eq!(*hist.buckets.last().unwrap(), 1, "one hub with out-degree 8");
+        assert_eq!(
+            *hist.buckets.last().unwrap(),
+            1,
+            "one hub with out-degree 8"
+        );
     }
 
     #[test]
@@ -289,6 +302,10 @@ mod tests {
         })
         .unwrap();
         let wcc = weakly_connected_components(&social);
-        assert!(wcc.largest_ratio() > 0.95, "ratio = {}", wcc.largest_ratio());
+        assert!(
+            wcc.largest_ratio() > 0.95,
+            "ratio = {}",
+            wcc.largest_ratio()
+        );
     }
 }

@@ -29,7 +29,10 @@ impl CsrAdjacency {
         let mut targets = Vec::with_capacity(total);
         offsets.push(0u64);
         for list in lists {
-            debug_assert!(list.windows(2).all(|w| w[0] < w[1]), "neighbour lists must be strictly sorted");
+            debug_assert!(
+                list.windows(2).all(|w| w[0] < w[1]),
+                "neighbour lists must be strictly sorted"
+            );
             targets.extend_from_slice(list);
             offsets.push(targets.len() as u64);
         }
@@ -75,7 +78,10 @@ impl CsrAdjacency {
             }
             offsets.push(dedup_targets.len() as u64);
         }
-        CsrAdjacency { offsets, targets: dedup_targets }
+        CsrAdjacency {
+            offsets,
+            targets: dedup_targets,
+        }
     }
 
     /// Number of vertices.

@@ -11,9 +11,7 @@ use crate::Result;
 /// The paper's bidirectional enumeration runs a forward search from `s` on `G` and a
 /// backward search from `t` on `G^r`; passing a `Direction` instead of materialising `G^r`
 /// keeps a single copy of the graph in memory.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum Direction {
     /// Follow out-edges (a traversal on `G`).
     Forward,
@@ -63,7 +61,10 @@ impl DiGraph {
         let mut builder = GraphBuilder::with_capacity(num_vertices, edges.len());
         for &(u, v) in edges {
             if u as usize >= num_vertices || v as usize >= num_vertices {
-                return Err(GraphError::VertexOutOfBounds { vertex: u.max(v), num_vertices });
+                return Err(GraphError::VertexOutOfBounds {
+                    vertex: u.max(v),
+                    num_vertices,
+                });
             }
             builder.add_edge_raw(u, v)?;
         }
@@ -89,13 +90,21 @@ impl DiGraph {
         let reversed: Vec<(VertexId, VertexId)> = edges.iter().map(|&(u, v)| (v, u)).collect();
         let inn = CsrAdjacency::from_edges(num_vertices, &reversed);
         let num_edges = out.num_edges();
-        DiGraph { out, inn, num_edges }
+        DiGraph {
+            out,
+            inn,
+            num_edges,
+        }
     }
 
     /// Reconstructs a graph from two pre-built CSR halves (binary loader path).
     pub(crate) fn from_parts(out: CsrAdjacency, inn: CsrAdjacency) -> Self {
         let num_edges = out.num_edges();
-        DiGraph { out, inn, num_edges }
+        DiGraph {
+            out,
+            inn,
+            num_edges,
+        }
     }
 
     /// Number of vertices `|V|`.
@@ -180,7 +189,11 @@ impl DiGraph {
     /// Algorithms should prefer [`DiGraph::neighbors`] with [`Direction::Backward`]; this
     /// method exists for tests and for comparators that insist on a concrete graph value.
     pub fn reversed(&self) -> DiGraph {
-        DiGraph { out: self.inn.clone(), inn: self.out.clone(), num_edges: self.num_edges }
+        DiGraph {
+            out: self.inn.clone(),
+            inn: self.out.clone(),
+            num_edges: self.num_edges,
+        }
     }
 
     /// The out-adjacency half (exposed for serialisation).
@@ -256,7 +269,10 @@ mod tests {
     #[test]
     fn out_of_bounds_edge_is_rejected() {
         let err = DiGraph::from_edge_list(2, &[(0, 5)]).unwrap_err();
-        assert!(matches!(err, GraphError::VertexOutOfBounds { vertex: 5, .. }));
+        assert!(matches!(
+            err,
+            GraphError::VertexOutOfBounds { vertex: 5, .. }
+        ));
         let err = DiGraph::from_edges(2, &[(v(3), v(0))]).unwrap_err();
         assert!(matches!(err, GraphError::VertexOutOfBounds { .. }));
     }

@@ -33,7 +33,10 @@ pub enum GraphError {
 impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GraphError::VertexOutOfBounds { vertex, num_vertices } => write!(
+            GraphError::VertexOutOfBounds {
+                vertex,
+                num_vertices,
+            } => write!(
                 f,
                 "edge references vertex {vertex} but the graph has only {num_vertices} vertices"
             ),
@@ -71,11 +74,17 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = GraphError::VertexOutOfBounds { vertex: 10, num_vertices: 5 };
+        let e = GraphError::VertexOutOfBounds {
+            vertex: 10,
+            num_vertices: 5,
+        };
         assert!(e.to_string().contains("vertex 10"));
         assert!(e.to_string().contains("5 vertices"));
 
-        let e = GraphError::ParseEdge { line: 3, content: "a b".into() };
+        let e = GraphError::ParseEdge {
+            line: 3,
+            content: "a b".into(),
+        };
         assert!(e.to_string().contains("line 3"));
 
         let e = GraphError::InvalidParameter("p must be in [0,1]".into());

@@ -13,7 +13,9 @@ use rand::{Rng, SeedableRng};
 /// slightly below `m` on dense parameterisations).
 pub fn gnm_random(n: usize, m: usize, seed: u64) -> Result<DiGraph> {
     if n == 0 && m > 0 {
-        return Err(GraphError::InvalidParameter("cannot place edges in an empty graph".into()));
+        return Err(GraphError::InvalidParameter(
+            "cannot place edges in an empty graph".into(),
+        ));
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut builder = GraphBuilder::with_capacity(n, m).skip_self_loops(true);
@@ -44,7 +46,9 @@ pub fn gnm_random(n: usize, m: usize, seed: u64) -> Result<DiGraph> {
 /// which is `O(m)` instead of `O(n^2)`.
 pub fn gnp_random(n: usize, p: f64, seed: u64) -> Result<DiGraph> {
     if !(0.0..=1.0).contains(&p) {
-        return Err(GraphError::InvalidParameter(format!("p must be in [0,1], got {p}")));
+        return Err(GraphError::InvalidParameter(format!(
+            "p must be in [0,1], got {p}"
+        )));
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut builder = GraphBuilder::with_capacity(n, ((n * n) as f64 * p) as usize);
@@ -68,7 +72,11 @@ mod tests {
         let g = gnm_random(100, 500, 7).unwrap();
         assert_eq!(g.num_vertices(), 100);
         // Duplicates may collapse but the count must stay close to the request.
-        assert!(g.num_edges() > 400 && g.num_edges() <= 500, "edges = {}", g.num_edges());
+        assert!(
+            g.num_edges() > 400 && g.num_edges() <= 500,
+            "edges = {}",
+            g.num_edges()
+        );
         // No self loops.
         assert!(g.edges().all(|(u, v)| u != v));
     }

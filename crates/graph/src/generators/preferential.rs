@@ -32,7 +32,12 @@ pub struct PreferentialConfig {
 
 impl Default for PreferentialConfig {
     fn default() -> Self {
-        PreferentialConfig { num_vertices: 1000, edges_per_vertex: 4, reciprocity: 0.3, seed: 0 }
+        PreferentialConfig {
+            num_vertices: 1000,
+            edges_per_vertex: 4,
+            reciprocity: 0.3,
+            seed: 0,
+        }
     }
 }
 
@@ -42,14 +47,21 @@ impl Default for PreferentialConfig {
 /// per incident edge, so sampling an element uniformly is sampling proportionally to
 /// degree — the standard `O(m)` BA construction.
 pub fn preferential_attachment(config: PreferentialConfig) -> Result<DiGraph> {
-    let PreferentialConfig { num_vertices, edges_per_vertex, reciprocity, seed } = config;
+    let PreferentialConfig {
+        num_vertices,
+        edges_per_vertex,
+        reciprocity,
+        seed,
+    } = config;
     if !(0.0..=1.0).contains(&reciprocity) {
         return Err(GraphError::InvalidParameter(format!(
             "reciprocity must be in [0,1], got {reciprocity}"
         )));
     }
     if num_vertices > 0 && edges_per_vertex == 0 {
-        return Err(GraphError::InvalidParameter("edges_per_vertex must be >= 1".into()));
+        return Err(GraphError::InvalidParameter(
+            "edges_per_vertex must be >= 1".into(),
+        ));
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut builder =
@@ -122,17 +134,34 @@ mod tests {
         let stats = GraphStats::compute(&g);
         // Scale-free graphs have hubs: the attachment targets accumulate in-degree far
         // beyond the average total degree.
-        assert!(stats.max_in_degree as f64 > 4.0 * stats.avg_degree, "{stats:?}");
-        assert!(stats.max_degree as f64 > 4.0 * stats.avg_degree, "{stats:?}");
+        assert!(
+            stats.max_in_degree as f64 > 4.0 * stats.avg_degree,
+            "{stats:?}"
+        );
+        assert!(
+            stats.max_degree as f64 > 4.0 * stats.avg_degree,
+            "{stats:?}"
+        );
         assert!(g.num_edges() >= 2000 * 5 / 2);
     }
 
     #[test]
     fn deterministic_per_seed() {
-        let cfg = PreferentialConfig { num_vertices: 300, edges_per_vertex: 3, reciprocity: 0.5, seed: 9 };
-        assert_eq!(preferential_attachment(cfg).unwrap(), preferential_attachment(cfg).unwrap());
+        let cfg = PreferentialConfig {
+            num_vertices: 300,
+            edges_per_vertex: 3,
+            reciprocity: 0.5,
+            seed: 9,
+        };
+        assert_eq!(
+            preferential_attachment(cfg).unwrap(),
+            preferential_attachment(cfg).unwrap()
+        );
         let other = PreferentialConfig { seed: 10, ..cfg };
-        assert_ne!(preferential_attachment(cfg).unwrap(), preferential_attachment(other).unwrap());
+        assert_ne!(
+            preferential_attachment(cfg).unwrap(),
+            preferential_attachment(other).unwrap()
+        );
     }
 
     #[test]

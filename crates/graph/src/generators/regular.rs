@@ -140,7 +140,9 @@ mod tests {
     fn complete_shape() {
         let g = complete(5);
         assert_eq!(g.num_edges(), 20);
-        assert!(g.vertices().all(|v| g.out_degree(v) == 4 && g.in_degree(v) == 4));
+        assert!(g
+            .vertices()
+            .all(|v| g.out_degree(v) == 4 && g.in_degree(v) == 4));
     }
 
     #[test]

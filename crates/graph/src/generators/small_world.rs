@@ -20,7 +20,9 @@ use rand::{Rng, SeedableRng};
 /// probability `beta`.
 pub fn small_world(n: usize, k: usize, beta: f64, seed: u64) -> Result<DiGraph> {
     if !(0.0..=1.0).contains(&beta) {
-        return Err(GraphError::InvalidParameter(format!("beta must be in [0,1], got {beta}")));
+        return Err(GraphError::InvalidParameter(format!(
+            "beta must be in [0,1], got {beta}"
+        )));
     }
     if n > 0 && k >= n {
         return Err(GraphError::InvalidParameter(format!(
@@ -82,8 +84,14 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        assert_eq!(small_world(64, 4, 0.3, 7).unwrap(), small_world(64, 4, 0.3, 7).unwrap());
-        assert_ne!(small_world(64, 4, 0.3, 7).unwrap(), small_world(64, 4, 0.3, 8).unwrap());
+        assert_eq!(
+            small_world(64, 4, 0.3, 7).unwrap(),
+            small_world(64, 4, 0.3, 7).unwrap()
+        );
+        assert_ne!(
+            small_world(64, 4, 0.3, 7).unwrap(),
+            small_world(64, 4, 0.3, 8).unwrap()
+        );
     }
 
     #[test]

@@ -51,7 +51,12 @@ pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<DiGraph> {
 
 /// Writes the graph as a `u v` edge list with a small header comment.
 pub fn write_edge_list<W: Write>(graph: &DiGraph, mut writer: W) -> Result<()> {
-    writeln!(writer, "# directed graph: {} vertices, {} edges", graph.num_vertices(), graph.num_edges())?;
+    writeln!(
+        writer,
+        "# directed graph: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    )?;
     for (u, v) in graph.edges() {
         writeln!(writer, "{} {}", u.raw(), v.raw())?;
     }
@@ -63,7 +68,9 @@ pub fn to_binary(graph: &DiGraph) -> Bytes {
     let out = graph.out_adjacency();
     let inn = graph.in_adjacency();
     let mut buf = BytesMut::with_capacity(
-        BINARY_MAGIC.len() + 16 + (out.offsets().len() + inn.offsets().len()) * 8
+        BINARY_MAGIC.len()
+            + 16
+            + (out.offsets().len() + inn.offsets().len()) * 8
             + (out.targets().len() + inn.targets().len()) * 4,
     );
     buf.put_slice(BINARY_MAGIC);

@@ -48,7 +48,11 @@ impl GraphStats {
                 isolated += 1;
             }
         }
-        let avg_degree = if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 };
+        let avg_degree = if n == 0 {
+            0.0
+        } else {
+            2.0 * m as f64 / n as f64
+        };
         GraphStats {
             num_vertices: n,
             num_edges: m,
@@ -92,7 +96,8 @@ pub fn bounded_reachability_ratio(
         if s == t {
             continue;
         }
-        let reached = traversal::bfs_visit_bounded(graph, s, Direction::Forward, max_hops, &mut scratch);
+        let reached =
+            traversal::bfs_visit_bounded(graph, s, Direction::Forward, max_hops, &mut scratch);
         if reached.iter().any(|&(v, _)| v == t) {
             hits += 1;
         }
@@ -156,10 +161,19 @@ mod tests {
     fn reachability_ratio_bounds() {
         let g = complete(10);
         let r = bounded_reachability_ratio(&g, 1, 200, 1);
-        assert!(r > 0.8, "complete graph should be almost fully 1-hop reachable, got {r}");
+        assert!(
+            r > 0.8,
+            "complete graph should be almost fully 1-hop reachable, got {r}"
+        );
         let p = path(50);
         let r2 = bounded_reachability_ratio(&p, 2, 200, 1);
-        assert!(r2 < 0.3, "long path should have low 2-hop reachability, got {r2}");
-        assert_eq!(bounded_reachability_ratio(&DiGraph::from_edge_list(1, &[]).unwrap(), 3, 10, 0), 0.0);
+        assert!(
+            r2 < 0.3,
+            "long path should have low 2-hop reachability, got {r2}"
+        );
+        assert_eq!(
+            bounded_reachability_ratio(&DiGraph::from_edge_list(1, &[]).unwrap(), 3, 10, 0),
+            0.0
+        );
     }
 }

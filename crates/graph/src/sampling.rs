@@ -43,7 +43,9 @@ impl SampledGraph {
 /// for sweeping 20 %, 40 %, …, 100 % with one code path as Fig. 11 does.
 pub fn sample_vertices(graph: &DiGraph, ratio: f64, seed: u64) -> Result<SampledGraph> {
     if !(ratio > 0.0 && ratio <= 1.0) {
-        return Err(GraphError::InvalidParameter(format!("ratio must be in (0,1], got {ratio}")));
+        return Err(GraphError::InvalidParameter(format!(
+            "ratio must be in (0,1], got {ratio}"
+        )));
     }
     let n = graph.num_vertices();
     let keep = ((n as f64 * ratio).round() as usize).clamp(usize::from(n > 0), n);
@@ -58,7 +60,9 @@ pub fn sample_vertices(graph: &DiGraph, ratio: f64, seed: u64) -> Result<Sampled
 /// Samples `ratio` of the edges uniformly at random; the vertex set is unchanged.
 pub fn sample_edges(graph: &DiGraph, ratio: f64, seed: u64) -> Result<DiGraph> {
     if !(ratio > 0.0 && ratio <= 1.0) {
-        return Err(GraphError::InvalidParameter(format!("ratio must be in (0,1], got {ratio}")));
+        return Err(GraphError::InvalidParameter(format!(
+            "ratio must be in (0,1], got {ratio}"
+        )));
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut builder = GraphBuilder::with_capacity(
@@ -93,14 +97,20 @@ pub fn build_induced(graph: &DiGraph, kept: &[VertexId]) -> Result<SampledGraph>
     let mut builder = GraphBuilder::with_capacity(kept.len(), graph.num_edges());
     builder.reserve_vertices(kept.len());
     for &old_u in kept {
-        let Some(new_u) = new_of[old_u.index()] else { continue };
+        let Some(new_u) = new_of[old_u.index()] else {
+            continue;
+        };
         for &old_v in graph.out_neighbors(old_u) {
             if let Some(new_v) = new_of[old_v.index()] {
                 builder.add_edge(new_u, new_v);
             }
         }
     }
-    Ok(SampledGraph { graph: builder.build(), original_of, new_of })
+    Ok(SampledGraph {
+        graph: builder.build(),
+        original_of,
+        new_of,
+    })
 }
 
 #[cfg(test)]

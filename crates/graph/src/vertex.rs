@@ -25,7 +25,10 @@ impl VertexId {
     /// Panics if `index` does not fit in a `u32`.
     #[inline]
     pub fn new(index: usize) -> Self {
-        debug_assert!(index <= u32::MAX as usize, "vertex index {index} overflows u32");
+        debug_assert!(
+            index <= u32::MAX as usize,
+            "vertex index {index} overflows u32"
+        );
         VertexId(index as u32)
     }
 

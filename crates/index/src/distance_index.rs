@@ -39,7 +39,11 @@ impl DistanceIndex {
         unique.sort_unstable();
         unique.dedup();
         let result = multi_source_bfs(graph, &unique, dir, bound);
-        let index = DistanceIndex { roots: unique, maps: result.maps, bound };
+        let index = DistanceIndex {
+            roots: unique,
+            maps: result.maps,
+            bound,
+        };
         (index, result.visited_pairs)
     }
 
@@ -71,7 +75,11 @@ impl DistanceIndex {
     pub fn neighborhood(&self, root: VertexId, k: u32) -> Vec<VertexId> {
         match self.map_of(root) {
             None => Vec::new(),
-            Some(map) => map.iter().filter(|&(_, d)| d <= k).map(|(v, _)| v).collect(),
+            Some(map) => map
+                .iter()
+                .filter(|&(_, d)| d <= k)
+                .map(|(v, _)| v)
+                .collect(),
         }
     }
 
@@ -83,7 +91,11 @@ impl DistanceIndex {
     /// Approximate heap footprint in bytes.
     pub fn heap_bytes(&self) -> usize {
         self.roots.len() * std::mem::size_of::<VertexId>()
-            + self.maps.iter().map(SparseDistanceMap::heap_bytes).sum::<usize>()
+            + self
+                .maps
+                .iter()
+                .map(SparseDistanceMap::heap_bytes)
+                .sum::<usize>()
     }
 }
 
@@ -112,14 +124,20 @@ impl BatchIndex {
     /// Builds both index sides with bound `k_max` (the largest hop constraint in the batch).
     pub fn build(graph: &DiGraph, sources: &[VertexId], targets: &[VertexId], k_max: u32) -> Self {
         let start = Instant::now();
-        let (source_index, visited_s) = DistanceIndex::build(graph, sources, Direction::Forward, k_max);
-        let (target_index, visited_t) = DistanceIndex::build(graph, targets, Direction::Backward, k_max);
+        let (source_index, visited_s) =
+            DistanceIndex::build(graph, sources, Direction::Forward, k_max);
+        let (target_index, visited_t) =
+            DistanceIndex::build(graph, targets, Direction::Backward, k_max);
         let stats = IndexStats {
             build_time: start.elapsed(),
             visited_pairs: visited_s + visited_t,
             stored_entries: source_index.total_entries() + target_index.total_entries(),
         };
-        BatchIndex { sources: source_index, targets: target_index, stats }
+        BatchIndex {
+            sources: source_index,
+            targets: target_index,
+            stats,
+        }
     }
 
     /// `dist_G(s, v)` (or `INF`), i.e. the hop distance used to prune the *backward* search.
@@ -191,14 +209,22 @@ mod tests {
         for &s in &sources {
             let reference = bfs_distances(&g, s, Direction::Forward);
             for vertex in g.vertices() {
-                let expected = if reference[vertex.index()] <= 6 { reference[vertex.index()] } else { UNREACHED };
+                let expected = if reference[vertex.index()] <= 6 {
+                    reference[vertex.index()]
+                } else {
+                    UNREACHED
+                };
                 assert_eq!(index.dist_from_source(s, vertex), expected);
             }
         }
         for &t in &targets {
             let reference = bfs_distances(&g, t, Direction::Backward);
             for vertex in g.vertices() {
-                let expected = if reference[vertex.index()] <= 6 { reference[vertex.index()] } else { UNREACHED };
+                let expected = if reference[vertex.index()] <= 6 {
+                    reference[vertex.index()]
+                } else {
+                    UNREACHED
+                };
                 assert_eq!(index.dist_to_target(vertex, t), expected);
             }
         }

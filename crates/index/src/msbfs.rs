@@ -24,7 +24,10 @@ pub struct MsBfsResult {
 impl MsBfsResult {
     /// The distance map of a given root, if that root was part of the run.
     pub fn map_of(&self, root: VertexId) -> Option<&SparseDistanceMap> {
-        self.roots.iter().position(|&r| r == root).map(|i| &self.maps[i])
+        self.roots
+            .iter()
+            .position(|&r| r == root)
+            .map(|i| &self.maps[i])
     }
 }
 
@@ -48,7 +51,8 @@ pub fn multi_source_bfs(
     unique_roots.sort_unstable();
     unique_roots.dedup();
 
-    let mut unique_maps: Vec<(VertexId, SparseDistanceMap)> = Vec::with_capacity(unique_roots.len());
+    let mut unique_maps: Vec<(VertexId, SparseDistanceMap)> =
+        Vec::with_capacity(unique_roots.len());
     for chunk in unique_roots.chunks(64) {
         let chunk_maps = ms_bfs_chunk(graph, chunk, dir, max_hops, &mut visited_pairs);
         unique_maps.extend(chunk.iter().copied().zip(chunk_maps));
@@ -62,7 +66,11 @@ pub fn multi_source_bfs(
             .unwrap_or_default();
         maps.push(map);
     }
-    MsBfsResult { maps, roots: roots.to_vec(), visited_pairs }
+    MsBfsResult {
+        maps,
+        roots: roots.to_vec(),
+        visited_pairs,
+    }
 }
 
 /// Advances one batch of at most 64 roots.
@@ -118,7 +126,10 @@ fn ms_bfs_chunk(
         frontier = next;
     }
 
-    collected.into_iter().map(SparseDistanceMap::from_pairs).collect()
+    collected
+        .into_iter()
+        .map(SparseDistanceMap::from_pairs)
+        .collect()
 }
 
 /// Merges frontier entries sharing a vertex by OR-ing their masks, keeping the frontier

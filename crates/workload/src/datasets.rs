@@ -269,8 +269,14 @@ mod tests {
         let (_, da) = Dataset::DA.build_with_stats(DatasetScale::Tiny);
         let (_, wt) = Dataset::WT.build_with_stats(DatasetScale::Tiny);
         let (_, bk) = Dataset::BK.build_with_stats(DatasetScale::Tiny);
-        assert!(uk.avg_degree > 4.0 * wt.avg_degree, "UK {uk:?} vs WT {wt:?}");
-        assert!(da.avg_degree > 4.0 * bk.avg_degree, "DA {da:?} vs BK {bk:?}");
+        assert!(
+            uk.avg_degree > 4.0 * wt.avg_degree,
+            "UK {uk:?} vs WT {wt:?}"
+        );
+        assert!(
+            da.avg_degree > 4.0 * bk.avg_degree,
+            "DA {da:?} vs BK {bk:?}"
+        );
     }
 
     #[test]

@@ -43,9 +43,19 @@ impl From<std::io::Error> for QueryIoError {
 
 /// Writes a query set as `s t k` lines with a small header comment.
 pub fn write_queries<W: Write>(queries: &[PathQuery], mut writer: W) -> Result<(), QueryIoError> {
-    writeln!(writer, "# HC-s-t path query set: {} queries (source target hop_limit)", queries.len())?;
+    writeln!(
+        writer,
+        "# HC-s-t path query set: {} queries (source target hop_limit)",
+        queries.len()
+    )?;
     for q in queries {
-        writeln!(writer, "{} {} {}", q.source.raw(), q.target.raw(), q.hop_limit)?;
+        writeln!(
+            writer,
+            "{} {} {}",
+            q.source.raw(),
+            q.target.raw(),
+            q.hop_limit
+        )?;
     }
     Ok(())
 }
@@ -75,7 +85,10 @@ pub fn read_queries<R: Read>(reader: R) -> Result<Vec<PathQuery>, QueryIoError> 
 }
 
 /// Writes a query set to a file path.
-pub fn write_queries_file<P: AsRef<Path>>(queries: &[PathQuery], path: P) -> Result<(), QueryIoError> {
+pub fn write_queries_file<P: AsRef<Path>>(
+    queries: &[PathQuery],
+    path: P,
+) -> Result<(), QueryIoError> {
     let file = std::fs::File::create(path)?;
     write_queries(queries, file)
 }
@@ -90,7 +103,11 @@ mod tests {
     use super::*;
 
     fn sample() -> Vec<PathQuery> {
-        vec![PathQuery::new(0u32, 11u32, 5), PathQuery::new(2u32, 13u32, 5), PathQuery::new(9u32, 14u32, 3)]
+        vec![
+            PathQuery::new(0u32, 11u32, 5),
+            PathQuery::new(2u32, 13u32, 5),
+            PathQuery::new(9u32, 14u32, 3),
+        ]
     }
 
     #[test]

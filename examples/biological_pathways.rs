@@ -25,10 +25,16 @@ fn main() {
     // Panel of substance pairs: a few "signal" substances against a few "response"
     // substances, with a hop constraint of 5 interactions.
     let hop_limit = 5;
-    let signals: Vec<VertexId> =
-        network.vertices().filter(|v| v.raw() % 97 == 3).take(4).collect();
-    let responses: Vec<VertexId> =
-        network.vertices().filter(|v| v.raw() % 89 == 7).take(4).collect();
+    let signals: Vec<VertexId> = network
+        .vertices()
+        .filter(|v| v.raw() % 97 == 3)
+        .take(4)
+        .collect();
+    let responses: Vec<VertexId> = network
+        .vertices()
+        .filter(|v| v.raw() % 89 == 7)
+        .take(4)
+        .collect();
     let mut queries = Vec::new();
     let mut pairs = Vec::new();
     for &s in &signals {
@@ -39,9 +45,15 @@ fn main() {
             }
         }
     }
-    println!("pathway panel: {} substance pairs, k = {hop_limit}", queries.len());
+    println!(
+        "pathway panel: {} substance pairs, k = {hop_limit}",
+        queries.len()
+    );
 
-    let engine = BatchEngine::builder().algorithm(Algorithm::BatchEnumPlus).gamma(0.4).build();
+    let engine = BatchEngine::builder()
+        .algorithm(Algorithm::BatchEnumPlus)
+        .gamma(0.4)
+        .build();
     let outcome = engine.run(&network, &queries);
 
     println!("\npathways found per pair:");

@@ -47,10 +47,14 @@ fn main() {
 
     // Screening transaction (from -> to) = enumerate HC paths to -> from in the existing
     // network; each result path plus the new edge is a cycle of length <= k + 1.
-    let queries: Vec<PathQuery> =
-        burst.iter().map(|t| PathQuery::new(t.to, t.from, hop_limit)).collect();
+    let queries: Vec<PathQuery> = burst
+        .iter()
+        .map(|t| PathQuery::new(t.to, t.from, hop_limit))
+        .collect();
 
-    let engine = BatchEngine::builder().algorithm(Algorithm::BatchEnumPlus).build();
+    let engine = BatchEngine::builder()
+        .algorithm(Algorithm::BatchEnumPlus)
+        .build();
     let outcome = engine.run(&network, &queries);
 
     let mut flagged = 0usize;

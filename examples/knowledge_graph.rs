@@ -40,7 +40,11 @@ impl PairFeatures {
 fn main() {
     // The Baidu-baike analog stands in for an encyclopedia-derived knowledge graph.
     let kg = Dataset::BK.build(DatasetScale::Tiny);
-    println!("knowledge graph: {} entities, {} relations", kg.num_vertices(), kg.num_edges());
+    println!(
+        "knowledge graph: {} entities, {} relations",
+        kg.num_vertices(),
+        kg.num_edges()
+    );
 
     // Candidate entity pairs to score: pairs around a few hub entities (the realistic
     // completion workload — many candidates share one endpoint).
@@ -56,17 +60,30 @@ fn main() {
             candidates.push((hub, candidate));
         }
     }
-    let queries: Vec<PathQuery> =
-        candidates.iter().map(|&(a, b)| PathQuery::new(a, b, hop_limit)).collect();
-    println!("scoring {} candidate pairs with k = {hop_limit}", queries.len());
+    let queries: Vec<PathQuery> = candidates
+        .iter()
+        .map(|&(a, b)| PathQuery::new(a, b, hop_limit))
+        .collect();
+    println!(
+        "scoring {} candidate pairs with k = {hop_limit}",
+        queries.len()
+    );
 
     // Extract features with a streaming sink: only per-length counts are kept, never the
     // paths themselves.
-    let mut features: Vec<PairFeatures> =
-        vec![PairFeatures { paths_by_length: vec![0; hop_limit as usize + 1] }; queries.len()];
+    let mut features: Vec<PairFeatures> = vec![
+        PairFeatures {
+            paths_by_length: vec![0; hop_limit as usize + 1]
+        };
+        queries.len()
+    ];
     {
-        let mut sink = FeatureSink { features: &mut features };
-        let engine = BatchEngine::builder().algorithm(Algorithm::BatchEnumPlus).build();
+        let mut sink = FeatureSink {
+            features: &mut features,
+        };
+        let engine = BatchEngine::builder()
+            .algorithm(Algorithm::BatchEnumPlus)
+            .build();
         let stats = engine.run_with_sink(&kg, &queries, &mut sink);
         println!(
             "feature extraction: clusters={} shared_subqueries={} time={:.3?}",
@@ -77,8 +94,11 @@ fn main() {
     }
 
     // Report the most promising candidate relations.
-    let mut ranked: Vec<(usize, f64)> =
-        features.iter().enumerate().map(|(i, f)| (i, f.score())).collect();
+    let mut ranked: Vec<(usize, f64)> = features
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (i, f.score()))
+        .collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     println!("\ntop candidate relations by path-count score:");
     for &(i, score) in ranked.iter().take(8) {

@@ -32,7 +32,11 @@ fn main() {
         (6, 14),
     ];
     let graph = DiGraph::from_edge_list(16, edges).expect("valid edge list");
-    println!("graph: {} vertices, {} edges", graph.num_vertices(), graph.num_edges());
+    println!(
+        "graph: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
 
     // The batch of queries from Fig. 1.
     let queries = vec![
@@ -44,8 +48,10 @@ fn main() {
     ];
 
     // Run the contributed algorithm and print every result path.
-    let engine =
-        BatchEngine::builder().algorithm(Algorithm::BatchEnumPlus).gamma(0.5).build();
+    let engine = BatchEngine::builder()
+        .algorithm(Algorithm::BatchEnumPlus)
+        .gamma(0.5)
+        .build();
     let outcome = engine.run(&graph, &queries);
 
     for (id, query) in queries.iter().enumerate() {

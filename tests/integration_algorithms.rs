@@ -13,27 +13,43 @@ use hcsp_graph::generators::regular::{complete, cycle, grid, layered_dag};
 /// Runs a batch through one engine algorithm and returns per-query canonical path lists.
 fn run_engine(graph: &DiGraph, queries: &[PathQuery], algorithm: Algorithm) -> Vec<Vec<Path>> {
     let outcome = BatchEngine::with_algorithm(algorithm).run(graph, queries);
-    outcome.paths.iter().map(|set| canonical(set.to_paths())).collect()
+    outcome
+        .paths
+        .iter()
+        .map(|set| canonical(set.to_paths()))
+        .collect()
 }
 
 /// Runs a batch through one KSP comparator and returns per-query canonical path lists.
 fn run_ksp<E: KspEnumerator>(graph: &DiGraph, queries: &[PathQuery], algo: &E) -> Vec<Vec<Path>> {
     let mut sink = CollectSink::new(queries.len());
     algo.run_batch(graph, queries, &mut sink);
-    (0..queries.len()).map(|i| canonical(sink.paths(i).to_paths())).collect()
+    (0..queries.len())
+        .map(|i| canonical(sink.paths(i).to_paths()))
+        .collect()
 }
 
 /// Asserts that every algorithm agrees with the brute-force reference on this batch.
 fn assert_all_algorithms_agree(graph: &DiGraph, queries: &[PathQuery]) {
-    let reference: Vec<Vec<Path>> =
-        queries.iter().map(|q| canonical(enumerate_reference(graph, q))).collect();
+    let reference: Vec<Vec<Path>> = queries
+        .iter()
+        .map(|q| canonical(enumerate_reference(graph, q)))
+        .collect();
 
     for algorithm in Algorithm::ALL {
         let got = run_engine(graph, queries, algorithm);
         assert_eq!(got, reference, "{algorithm} disagrees with the reference");
     }
-    assert_eq!(run_ksp(graph, queries, &DkSp::default()), reference, "DkSP disagrees");
-    assert_eq!(run_ksp(graph, queries, &OnePass::default()), reference, "OnePass disagrees");
+    assert_eq!(
+        run_ksp(graph, queries, &DkSp::default()),
+        reference,
+        "DkSP disagrees"
+    );
+    assert_eq!(
+        run_ksp(graph, queries, &OnePass::default()),
+        reference,
+        "OnePass disagrees"
+    );
 }
 
 #[test]
@@ -73,7 +89,11 @@ fn all_algorithms_agree_on_structured_graphs() {
     let c8 = cycle(8);
     assert_all_algorithms_agree(
         &c8,
-        &[PathQuery::new(0u32, 5u32, 7), PathQuery::new(2u32, 1u32, 8), PathQuery::new(3u32, 3u32, 4)],
+        &[
+            PathQuery::new(0u32, 5u32, 7),
+            PathQuery::new(2u32, 1u32, 8),
+            PathQuery::new(3u32, 3u32, 4),
+        ],
     );
 }
 
@@ -119,8 +139,8 @@ fn engine_algorithms_agree_on_dataset_analogs() {
         // Spot-check three queries against the brute-force reference.
         for q in queries.iter().take(3) {
             let expected = enumerate_reference(&graph, q).len() as u64;
-            let (counts, _) = BatchEngine::with_algorithm(Algorithm::BatchEnumPlus)
-                .run_counting(&graph, &[*q]);
+            let (counts, _) =
+                BatchEngine::with_algorithm(Algorithm::BatchEnumPlus).run_counting(&graph, &[*q]);
             assert_eq!(counts[0], expected, "{dataset}: {q}");
         }
     }
@@ -162,6 +182,10 @@ fn hop_limit_edge_cases() {
     // k = 1 (direct edges only) exercises the ⌊k/2⌋ = 0 backward budget.
     assert_all_algorithms_agree(
         &k5,
-        &[PathQuery::new(0u32, 1u32, 1), PathQuery::new(0u32, 2u32, 2), PathQuery::new(3u32, 4u32, 1)],
+        &[
+            PathQuery::new(0u32, 1u32, 1),
+            PathQuery::new(0u32, 2u32, 2),
+            PathQuery::new(3u32, 4u32, 1),
+        ],
     );
 }

@@ -38,7 +38,12 @@ fn every_emitted_path_is_a_valid_answer() {
             assert!(hcsp::core::path::vertices_are_distinct(path));
             // Every consecutive pair must be a real edge of the graph.
             for w in path.windows(2) {
-                assert!(graph.has_edge(w[0], w[1]), "missing edge {} -> {}", w[0], w[1]);
+                assert!(
+                    graph.has_edge(w[0], w[1]),
+                    "missing edge {} -> {}",
+                    w[0],
+                    w[1]
+                );
             }
         }
     }
@@ -49,17 +54,28 @@ fn stats_decomposition_matches_algorithm_structure() {
     let (graph, queries) = small_workload();
 
     // PathEnum / BasicEnum never cluster or detect sub-queries.
-    let (_, basic) = BatchEngine::with_algorithm(Algorithm::BasicEnumPlus).run_counting(&graph, &queries);
-    assert_eq!(basic.stage_time(Stage::ClusterQuery), std::time::Duration::ZERO);
-    assert_eq!(basic.stage_time(Stage::IdentifySubquery), std::time::Duration::ZERO);
+    let (_, basic) =
+        BatchEngine::with_algorithm(Algorithm::BasicEnumPlus).run_counting(&graph, &queries);
+    assert_eq!(
+        basic.stage_time(Stage::ClusterQuery),
+        std::time::Duration::ZERO
+    );
+    assert_eq!(
+        basic.stage_time(Stage::IdentifySubquery),
+        std::time::Duration::ZERO
+    );
     assert!(basic.stage_time(Stage::BuildIndex) > std::time::Duration::ZERO);
     assert!(basic.stage_time(Stage::Enumeration) > std::time::Duration::ZERO);
     assert_eq!(basic.num_shared_subqueries, 0);
 
     // BatchEnum+ exercises all four stages.
-    let (_, batch) = BatchEngine::with_algorithm(Algorithm::BatchEnumPlus).run_counting(&graph, &queries);
+    let (_, batch) =
+        BatchEngine::with_algorithm(Algorithm::BatchEnumPlus).run_counting(&graph, &queries);
     for stage in Stage::ALL {
-        assert!(batch.stage_time(stage) > std::time::Duration::ZERO, "stage {stage}");
+        assert!(
+            batch.stage_time(stage) > std::time::Duration::ZERO,
+            "stage {stage}"
+        );
     }
     assert!(batch.total_time() >= batch.stage_time(Stage::Enumeration));
     assert!(!batch.decomposition_row().is_empty());
@@ -69,7 +85,8 @@ fn stats_decomposition_matches_algorithm_structure() {
 fn materialisation_results_match_live_enumeration() {
     let (graph, queries) = small_workload();
     let (materialized, _) = materialize_batch(&graph, &queries, SearchOrder::DistanceThenDegree);
-    let (counts, _) = BatchEngine::with_algorithm(Algorithm::PathEnum).run_counting(&graph, &queries);
+    let (counts, _) =
+        BatchEngine::with_algorithm(Algorithm::PathEnum).run_counting(&graph, &queries);
     assert_eq!(materialized.num_queries(), queries.len());
     for (i, &c) in counts.iter().enumerate() {
         assert_eq!(materialized.paths(i).len() as u64, c, "query {i}");
@@ -83,9 +100,14 @@ fn materialisation_results_match_live_enumeration() {
 #[test]
 fn gamma_sweep_preserves_results() {
     let (graph, queries) = small_workload();
-    let reference = BatchEngine::with_algorithm(Algorithm::BasicEnum).run_counting(&graph, &queries).0;
+    let reference = BatchEngine::with_algorithm(Algorithm::BasicEnum)
+        .run_counting(&graph, &queries)
+        .0;
     for gamma in [0.1, 0.3, 0.5, 0.7, 0.9, 1.0] {
-        let engine = BatchEngine::builder().algorithm(Algorithm::BatchEnumPlus).gamma(gamma).build();
+        let engine = BatchEngine::builder()
+            .algorithm(Algorithm::BatchEnumPlus)
+            .gamma(gamma)
+            .build();
         let (counts, stats) = engine.run_counting(&graph, &queries);
         assert_eq!(counts, reference, "gamma {gamma}");
         assert!(stats.num_clusters >= 1 && stats.num_clusters <= queries.len());
@@ -98,8 +120,7 @@ fn sampled_subgraphs_are_valid_inputs() {
     let graph = Dataset::TW.build(DatasetScale::Tiny);
     for ratio in [0.4, 0.7, 1.0] {
         let sampled = sample_vertices(&graph, ratio, 9).unwrap();
-        let queries =
-            random_query_set(&sampled.graph, QuerySetSpec::new(8, 11).with_hops(3, 4));
+        let queries = random_query_set(&sampled.graph, QuerySetSpec::new(8, 11).with_hops(3, 4));
         if queries.is_empty() {
             continue;
         }
@@ -119,9 +140,11 @@ fn callback_sink_streams_all_results() {
     let mut streamed = 0u64;
     {
         let mut sink = CallbackSink::new(|_, _: &[VertexId]| streamed += 1);
-        BatchEngine::with_algorithm(Algorithm::BatchEnum).run_with_sink(&graph, &queries, &mut sink);
+        BatchEngine::with_algorithm(Algorithm::BatchEnum)
+            .run_with_sink(&graph, &queries, &mut sink);
     }
-    let (counts, _) = BatchEngine::with_algorithm(Algorithm::BatchEnum).run_counting(&graph, &queries);
+    let (counts, _) =
+        BatchEngine::with_algorithm(Algorithm::BatchEnum).run_counting(&graph, &queries);
     assert_eq!(streamed, counts.iter().sum::<u64>());
 }
 
@@ -130,8 +153,12 @@ fn larger_batches_on_multiple_datasets_stay_consistent() {
     for dataset in [Dataset::WT, Dataset::LJ] {
         let graph = dataset.build(DatasetScale::Tiny);
         let queries = random_query_set(&graph, QuerySetSpec::new(25, 17).with_hops(3, 5));
-        let a = BatchEngine::with_algorithm(Algorithm::BasicEnum).run_counting(&graph, &queries).0;
-        let b = BatchEngine::with_algorithm(Algorithm::BatchEnumPlus).run_counting(&graph, &queries).0;
+        let a = BatchEngine::with_algorithm(Algorithm::BasicEnum)
+            .run_counting(&graph, &queries)
+            .0;
+        let b = BatchEngine::with_algorithm(Algorithm::BatchEnumPlus)
+            .run_counting(&graph, &queries)
+            .0;
         assert_eq!(a, b, "{dataset}");
     }
 }

@@ -1,0 +1,143 @@
+//! Seeded-determinism smoke tests for the four graph generator families.
+//!
+//! The workspace's RNG stack (the vendored `rand` with `StdRng`) promises that
+//! a fixed seed produces a byte-for-byte identical stream; these tests pin the
+//! consequence the rest of the system depends on — same seed, same graph —
+//! plus the basic shape guarantees each generator documents. Benchmarks,
+//! dataset analogs, and the regression suites all assume this reproducibility.
+
+use hcsp::graph::generators::erdos_renyi::{gnm_random, gnp_random};
+use hcsp::graph::generators::preferential::{preferential_attachment, PreferentialConfig};
+use hcsp::graph::generators::small_world::small_world;
+use hcsp::prelude::*;
+
+fn edge_list(g: &DiGraph) -> Vec<(u32, u32)> {
+    g.edges().map(|(u, v)| (u.raw(), v.raw())).collect()
+}
+
+#[test]
+fn erdos_renyi_gnm_is_seed_deterministic_and_in_spec() {
+    let a = gnm_random(120, 600, 2024).unwrap();
+    let b = gnm_random(120, 600, 2024).unwrap();
+    let other = gnm_random(120, 600, 2025).unwrap();
+
+    assert_eq!(
+        edge_list(&a),
+        edge_list(&b),
+        "same seed must give identical edge lists"
+    );
+    assert_ne!(
+        edge_list(&a),
+        edge_list(&other),
+        "different seeds should diverge"
+    );
+
+    assert_eq!(a.num_vertices(), 120);
+    // Parallel draws collapse in CSR construction, so the count may dip
+    // slightly below the request but never exceed it.
+    assert!(
+        a.num_edges() <= 600 && a.num_edges() > 500,
+        "edges = {}",
+        a.num_edges()
+    );
+    assert!(
+        a.edges().all(|(u, v)| u != v),
+        "G(n,m) must not contain self loops"
+    );
+}
+
+#[test]
+fn erdos_renyi_gnp_is_seed_deterministic_and_in_spec() {
+    let a = gnp_random(80, 0.05, 7).unwrap();
+    let b = gnp_random(80, 0.05, 7).unwrap();
+    let other = gnp_random(80, 0.05, 8).unwrap();
+
+    assert_eq!(edge_list(&a), edge_list(&b));
+    assert_ne!(edge_list(&a), edge_list(&other));
+
+    assert_eq!(a.num_vertices(), 80);
+    // Binomial(80*79, 0.05) has mean 316 and sigma ~17.3; +/- 6 sigma bounds
+    // make a false failure astronomically unlikely while still catching a
+    // broken probability mapping.
+    let edges = a.num_edges();
+    assert!(
+        (212..=420).contains(&edges),
+        "edges = {edges} far from E = 316"
+    );
+    assert!(a.edges().all(|(u, v)| u != v));
+}
+
+#[test]
+fn preferential_attachment_is_seed_deterministic_and_in_spec() {
+    let config = PreferentialConfig {
+        num_vertices: 300,
+        edges_per_vertex: 4,
+        reciprocity: 0.3,
+        seed: 99,
+    };
+    let a = preferential_attachment(config).unwrap();
+    let b = preferential_attachment(config).unwrap();
+    let other = preferential_attachment(PreferentialConfig {
+        seed: 100,
+        ..config
+    })
+    .unwrap();
+
+    assert_eq!(edge_list(&a), edge_list(&b));
+    assert_ne!(edge_list(&a), edge_list(&other));
+
+    assert_eq!(a.num_vertices(), 300);
+    // Every arriving vertex contributes up to `edges_per_vertex` out-edges
+    // plus reciprocal edges with probability 0.3; duplicates collapse.
+    let max_edges = 300 * 4 * 2;
+    assert!(
+        a.num_edges() > 300 && a.num_edges() <= max_edges,
+        "edges = {}",
+        a.num_edges()
+    );
+    assert!(a.edges().all(|(u, v)| u != v));
+}
+
+#[test]
+fn small_world_is_seed_deterministic_and_in_spec() {
+    let a = small_world(150, 4, 0.2, 5).unwrap();
+    let b = small_world(150, 4, 0.2, 5).unwrap();
+    let other = small_world(150, 4, 0.2, 6).unwrap();
+
+    assert_eq!(edge_list(&a), edge_list(&b));
+    assert_ne!(edge_list(&a), edge_list(&other));
+
+    assert_eq!(a.num_vertices(), 150);
+    // The ring lattice places exactly n*k edges; rewiring can only collapse
+    // duplicates, never add.
+    assert!(
+        a.num_edges() <= 150 * 4 && a.num_edges() > 150 * 3,
+        "edges = {}",
+        a.num_edges()
+    );
+    assert!(
+        a.edges().all(|(u, v)| u != v),
+        "rewiring must not create self loops"
+    );
+}
+
+#[test]
+fn zero_beta_small_world_is_exactly_the_ring_lattice() {
+    // With no rewiring the generator is fully structural: no randomness should
+    // leak into the output at all, whatever the seed.
+    let a = small_world(40, 3, 0.0, 1).unwrap();
+    let b = small_world(40, 3, 0.0, 999).unwrap();
+    assert_eq!(edge_list(&a), edge_list(&b));
+    assert_eq!(a.num_edges(), 40 * 3);
+}
+
+#[test]
+fn generator_streams_are_independent_of_call_order() {
+    // Each generator seeds its own StdRng, so interleaving calls must not
+    // perturb any of them (a regression here would mean hidden global state).
+    let solo = gnm_random(60, 200, 11).unwrap();
+    let _noise = small_world(30, 2, 0.5, 77).unwrap();
+    let _more_noise = gnp_random(25, 0.2, 78).unwrap();
+    let interleaved = gnm_random(60, 200, 11).unwrap();
+    assert_eq!(edge_list(&solo), edge_list(&interleaved));
+}

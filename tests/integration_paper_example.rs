@@ -57,7 +57,10 @@ fn paper_queries() -> Vec<PathQuery> {
 }
 
 fn path_ids(paths: &[Path]) -> Vec<Vec<u32>> {
-    paths.iter().map(|p| p.vertices().iter().map(|v| v.raw()).collect()).collect()
+    paths
+        .iter()
+        .map(|p| p.vertices().iter().map(|v| v.raw()).collect())
+        .collect()
 }
 
 #[test]
@@ -113,9 +116,16 @@ fn example_4_1_clustering_splits_queries_into_two_groups() {
     let g = paper_graph();
     let queries = paper_queries();
     let summary = BatchSummary::of(&queries);
-    let index = BatchIndex::build(&g, &summary.sources, &summary.targets, summary.max_hop_limit);
-    let neighborhoods: Vec<QueryNeighborhood> =
-        queries.iter().map(|q| QueryNeighborhood::from_index(&index, q)).collect();
+    let index = BatchIndex::build(
+        &g,
+        &summary.sources,
+        &summary.targets,
+        summary.max_hop_limit,
+    );
+    let neighborhoods: Vec<QueryNeighborhood> = queries
+        .iter()
+        .map(|q| QueryNeighborhood::from_index(&index, q))
+        .collect();
     let matrix = SimilarityMatrix::compute(&neighborhoods);
 
     // Example 4.1: µ(q3, q4) = 1 — q4's neighbourhoods are contained in q3's.
@@ -124,7 +134,11 @@ fn example_4_1_clustering_splits_queries_into_two_groups() {
     assert!(matrix.get(0, 1) > 0.8, "µ(q0, q1) = {}", matrix.get(0, 1));
 
     let clusters = cluster_queries(&matrix, 0.8);
-    assert_eq!(clusters, vec![vec![0, 1, 2], vec![3, 4]], "Example 4.1 clustering at γ = 0.8");
+    assert_eq!(
+        clusters,
+        vec![vec![0, 1, 2], vec![3, 4]],
+        "Example 4.1 clustering at γ = 0.8"
+    );
 }
 
 #[test]
@@ -132,11 +146,15 @@ fn example_4_2_detects_the_dominating_queries_of_figure_6() {
     let g = paper_graph();
     let queries = paper_queries();
     let summary = BatchSummary::of(&queries);
-    let index = BatchIndex::build(&g, &summary.sources, &summary.targets, summary.max_hop_limit);
+    let index = BatchIndex::build(
+        &g,
+        &summary.sources,
+        &summary.targets,
+        summary.max_hop_limit,
+    );
 
     // Cluster C0 = {q0, q1, q2} on G.
-    let cluster: Vec<(usize, PathQuery)> =
-        vec![(0, queries[0]), (1, queries[1]), (2, queries[2])];
+    let cluster: Vec<(usize, PathQuery)> = vec![(0, queries[0]), (1, queries[1]), (2, queries[2])];
     let mut sharing = SharingGraph::new();
     detect_common_queries(&g, &index, &cluster, Direction::Forward, &mut sharing);
 
@@ -153,7 +171,9 @@ fn example_4_2_detects_the_dominating_queries_of_figure_6() {
     // Ψ is evaluated providers-first.
     let order = sharing.topological_order();
     let pos = |n| order.iter().position(|&x| x == n).unwrap();
-    let half_q0 = sharing.find_hcs(&HcsQuery::new(0u32, 3, Direction::Forward)).unwrap();
+    let half_q0 = sharing
+        .find_hcs(&HcsQuery::new(0u32, 3, Direction::Forward))
+        .unwrap();
     assert!(pos(dom_v1) < pos(half_q0));
     assert!(pos(dom_v4) < pos(half_q0));
 }
@@ -167,10 +187,16 @@ fn example_4_3_shared_enumeration_reuses_cached_results() {
         .gamma(0.8)
         .build()
         .run_counting(&g, &queries);
-    assert_eq!(counts.iter().sum::<u64>() >= 6, true);
+    assert!(counts.iter().sum::<u64>() >= 6);
     assert!(stats.num_clusters <= 3, "similar queries must be grouped");
-    assert!(stats.num_shared_subqueries >= 2, "at least q_{{v1,2,G}} and q_{{v4,2,G}}");
-    assert!(stats.counters.cache_splices > 0, "cached HC-s path results must be spliced");
+    assert!(
+        stats.num_shared_subqueries >= 2,
+        "at least q_{{v1,2,G}} and q_{{v4,2,G}}"
+    );
+    assert!(
+        stats.counters.cache_splices > 0,
+        "cached HC-s path results must be spliced"
+    );
     // The computation-sharing variant must expand fewer vertices than the baseline.
     let (_, basic_stats) =
         BatchEngine::with_algorithm(Algorithm::BasicEnum).run_counting(&g, &queries);

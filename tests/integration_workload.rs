@@ -1,12 +1,10 @@
 //! Workload-level integration tests: dataset analogs, query generators and the
 //! experiment-harness building blocks working together.
 
-use hcsp::core::similarity::{QueryNeighborhood, SimilarityMatrix};
 use hcsp::core::query::BatchSummary;
+use hcsp::core::similarity::{QueryNeighborhood, SimilarityMatrix};
 use hcsp::prelude::*;
-use hcsp::workload::{
-    random_query_set, similar_query_set, Dataset, DatasetScale, QuerySetSpec,
-};
+use hcsp::workload::{random_query_set, similar_query_set, Dataset, DatasetScale, QuerySetSpec};
 use hcsp_graph::traversal::reaches_within;
 use hcsp_graph::GraphStats;
 
@@ -18,7 +16,10 @@ fn every_dataset_analog_supports_the_default_workload() {
         assert!(stats.num_edges > 0, "{dataset} must not be empty");
 
         let queries = random_query_set(&graph, QuerySetSpec::new(5, 23).with_hops(3, 4));
-        assert!(!queries.is_empty(), "{dataset} must admit reachable query pairs");
+        assert!(
+            !queries.is_empty(),
+            "{dataset} must admit reachable query pairs"
+        );
         for q in &queries {
             assert!(reaches_within(&graph, q.source, q.target, q.hop_limit));
         }
@@ -49,7 +50,10 @@ fn similarity_controlled_sets_drive_more_sharing() {
     let low = similar_query_set(&graph, spec, 0.0);
     let high = similar_query_set(&graph, spec, 0.9);
 
-    let shared = BatchEngine::builder().algorithm(Algorithm::BatchEnumPlus).gamma(0.5).build();
+    let shared = BatchEngine::builder()
+        .algorithm(Algorithm::BatchEnumPlus)
+        .gamma(0.5)
+        .build();
     let unshared = BatchEngine::with_algorithm(Algorithm::BasicEnumPlus);
     let (_, stats_low) = shared.run_counting(&graph, &low);
     let (_, stats_high) = shared.run_counting(&graph, &high);
@@ -66,8 +70,8 @@ fn similarity_controlled_sets_drive_more_sharing() {
     // batch is more similar.
     let (_, base_low) = unshared.run_counting(&graph, &low);
     let (_, base_high) = unshared.run_counting(&graph, &high);
-    let ratio_low =
-        stats_low.counters.expanded_vertices as f64 / base_low.counters.expanded_vertices.max(1) as f64;
+    let ratio_low = stats_low.counters.expanded_vertices as f64
+        / base_low.counters.expanded_vertices.max(1) as f64;
     let ratio_high = stats_high.counters.expanded_vertices as f64
         / base_high.counters.expanded_vertices.max(1) as f64;
     assert!(
@@ -84,22 +88,36 @@ fn measured_similarity_tracks_the_generator_knob() {
     for target in [0.0, 0.4, 0.8] {
         let queries = similar_query_set(&graph, spec, target);
         let summary = BatchSummary::of(&queries);
-        let index =
-            BatchIndex::build(&graph, &summary.sources, &summary.targets, summary.max_hop_limit);
-        let neighborhoods: Vec<QueryNeighborhood> =
-            queries.iter().map(|q| QueryNeighborhood::from_index(&index, q)).collect();
+        let index = BatchIndex::build(
+            &graph,
+            &summary.sources,
+            &summary.targets,
+            summary.max_hop_limit,
+        );
+        let neighborhoods: Vec<QueryNeighborhood> = queries
+            .iter()
+            .map(|q| QueryNeighborhood::from_index(&index, q))
+            .collect();
         measured.push(SimilarityMatrix::compute(&neighborhoods).average());
     }
-    assert!(measured[0] < measured[1] && measured[1] < measured[2], "{measured:?}");
+    assert!(
+        measured[0] < measured[1] && measured[1] < measured[2],
+        "{measured:?}"
+    );
 }
 
 #[test]
 fn correctness_holds_on_similarity_controlled_batches() {
     let graph = Dataset::EP.build(DatasetScale::Tiny);
     let queries = similar_query_set(&graph, QuerySetSpec::new(12, 19).with_hops(3, 4), 0.7);
-    let reference =
-        BatchEngine::with_algorithm(Algorithm::PathEnum).run_counting(&graph, &queries).0;
-    for algorithm in [Algorithm::BasicEnum, Algorithm::BatchEnum, Algorithm::BatchEnumPlus] {
+    let reference = BatchEngine::with_algorithm(Algorithm::PathEnum)
+        .run_counting(&graph, &queries)
+        .0;
+    for algorithm in [
+        Algorithm::BasicEnum,
+        Algorithm::BatchEnum,
+        Algorithm::BatchEnumPlus,
+    ] {
         let (counts, _) = BatchEngine::with_algorithm(algorithm).run_counting(&graph, &queries);
         assert_eq!(counts, reference, "{algorithm}");
     }
@@ -116,6 +134,9 @@ fn path_counts_grow_with_the_hop_constraint() {
             BatchEngine::with_algorithm(Algorithm::BatchEnumPlus).run_counting(&graph, &queries);
         totals.push(counts.iter().sum::<u64>());
     }
-    assert!(totals[0] <= totals[1] && totals[1] <= totals[2], "{totals:?}");
+    assert!(
+        totals[0] <= totals[1] && totals[1] <= totals[2],
+        "{totals:?}"
+    );
     assert!(totals[2] > 0);
 }

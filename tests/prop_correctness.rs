@@ -25,8 +25,11 @@ fn graph_strategy() -> impl Strategy<Value = DiGraph> {
 
 /// Strategy: a batch of 1..=6 queries on a graph with `n` vertices.
 fn query_batch_strategy(n: usize) -> impl Strategy<Value = Vec<PathQuery>> {
-    proptest::collection::vec((0..n as u32, 0..n as u32, 1u32..=6), 1..=6)
-        .prop_map(|qs| qs.into_iter().map(|(s, t, k)| PathQuery::new(s, t, k)).collect())
+    proptest::collection::vec((0..n as u32, 0..n as u32, 1u32..=6), 1..=6).prop_map(|qs| {
+        qs.into_iter()
+            .map(|(s, t, k)| PathQuery::new(s, t, k))
+            .collect()
+    })
 }
 
 /// Strategy: a graph plus a query batch on it.

@@ -1,0 +1,358 @@
+//! Offline, API-compatible subset of `proptest` (1.x line).
+//!
+//! Covers what `tests/prop_correctness.rs` uses: range and tuple strategies,
+//! [`collection::vec`], [`Just`], `prop_map`/`prop_flat_map`, the
+//! [`proptest!`] macro with `#![proptest_config(..)]`, and the
+//! `prop_assert*` macros.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports the seed, case index, and the
+//!   assertion message, not a minimised input. The generated inputs here are
+//!   already small (≤ 28 vertices) by construction of the test strategies.
+//! * **Deterministic by default.** Every test function derives its RNG seed
+//!   from its own name (FNV-1a), so CI runs are reproducible without
+//!   regression files. Set `PROPTEST_SEED=<u64>` to explore a different
+//!   sequence, and `PROPTEST_CASES=<n>` to override the case count.
+
+#![warn(rust_2018_idioms)]
+
+use std::fmt;
+
+pub mod strategy;
+
+pub use strategy::{Just, Strategy};
+
+/// Runtime configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test function.
+    pub cases: u32,
+    /// Accepted for source compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+    /// Accepted for source compatibility; regression persistence is not
+    /// implemented (runs are deterministic instead).
+    pub failure_persistence: Option<()>,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+            failure_persistence: None,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Shorthand: default config with the given case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// A failed property: carries the `prop_assert*` message.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Build a failure from a rendered message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+pub mod test_runner {
+    //! The deterministic per-test RNG and env-var plumbing.
+
+    pub use rand::prelude::*;
+
+    /// RNG handed to strategies; one per test function run.
+    pub type TestRng = rand::rngs::StdRng;
+
+    /// Derive the seed for a test function: `PROPTEST_SEED` if set, else
+    /// FNV-1a of the test name (stable across runs and platforms).
+    pub fn seed_for(test_name: &str) -> u64 {
+        if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+            if let Ok(seed) = seed.parse() {
+                return seed;
+            }
+        }
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in test_name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
+    /// Apply the `PROPTEST_CASES` override to a configured case count.
+    pub fn effective_cases(configured: u32) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(configured)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (subset: `vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Size bounds for [`vec`]; converts from `a..b` and `a..=b`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                min: *r.start(),
+                max_inclusive: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                min: exact,
+                max_inclusive: exact,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generate vectors of values drawn from `element`, sized within `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..=self.size.max_inclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a proptest-based test usually imports.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, TestCaseError};
+}
+
+/// Define property tests. Supports the subset of the real macro's grammar this
+/// workspace uses: an optional `#![proptest_config(expr)]` header followed by
+/// `fn name(pat in strategy, ...) { body }` items carrying outer attributes
+/// (including `#[test]` itself).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (
+        ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let cases = $crate::test_runner::effective_cases(config.cases);
+                let seed = $crate::test_runner::seed_for(concat!(module_path!(), "::", stringify!($name)));
+                let mut rng =
+                    <$crate::test_runner::TestRng as $crate::test_runner::SeedableRng>::seed_from_u64(seed);
+                for case in 0..cases {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                    #[allow(unused_mut)]
+                    let mut run_case =
+                        || -> ::std::result::Result<(), $crate::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        };
+                    if let ::std::result::Result::Err(err) = run_case() {
+                        panic!(
+                            "proptest case {}/{} failed (seed {}): {}",
+                            case + 1,
+                            cases,
+                            seed,
+                            err
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fail the current case with a message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair_strategy() -> impl Strategy<Value = (u32, Vec<u32>)> {
+        (1u32..=8).prop_flat_map(|n| (Just(n), crate::collection::vec(0..n, 0..=16usize)))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 50, .. ProptestConfig::default() })]
+
+        /// Generated values respect the strategy bounds.
+        #[test]
+        fn vec_elements_stay_in_range((n, items) in pair_strategy()) {
+            prop_assert!(items.len() <= 16);
+            for &item in &items {
+                prop_assert!(item < n, "item {} out of range 0..{}", item, n);
+            }
+        }
+
+        /// Mapped strategies apply their function.
+        #[test]
+        fn map_applies(doubled in (0u32..100).prop_map(|x| x * 2)) {
+            prop_assert_eq!(doubled % 2, 0);
+            prop_assert_ne!(doubled, 1);
+        }
+
+        /// Multiple bindings plus a float range in one signature.
+        #[test]
+        fn multi_binding(x in 0usize..10, f in 0.0f64..=1.0) {
+            prop_assert!(x < 10);
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn failures_panic_with_seed() {
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 1, .. ProptestConfig::default() })]
+            #[allow(dead_code)]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 1000, "x was {}", x);
+            }
+        }
+        let outcome = std::panic::catch_unwind(always_fails);
+        let message = *outcome.unwrap_err().downcast::<String>().unwrap();
+        assert!(message.contains("seed"), "panic message: {message}");
+    }
+}

@@ -1,0 +1,73 @@
+//! Offline, API-compatible subset of `serde` (1.x line).
+//!
+//! This workspace derives `Serialize`/`Deserialize` on its value types as the
+//! public-API contract for *future* wire formats, but no in-tree code actually
+//! serialises anything (there is no `serde_json`/`bincode` in the build
+//! environment). So the traits here are pure markers, blanket-implemented for
+//! every type, and the derives (re-exported from the vendored `serde_derive`)
+//! expand to nothing. When registry access exists, swapping the real serde in
+//! is source-compatible: every `#[derive(Serialize, Deserialize)]` is already
+//! in place.
+
+#![warn(rust_2018_idioms)]
+
+/// Marker standing in for `serde::Serialize`.
+///
+/// Blanket-implemented for all types; see the crate docs for the rationale.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker standing in for `serde::Deserialize<'de>`.
+///
+/// Blanket-implemented for all types; see the crate docs for the rationale.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Mirror of `serde::de` for path compatibility.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Mirror of `serde::ser` for path compatibility.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    // The derives must parse on the shapes this workspace uses: unit enums
+    // with discriminants-by-position, tuple structs, and field structs.
+    #[derive(super::Serialize, super::Deserialize)]
+    #[allow(dead_code)]
+    struct Tuple(u32, u64);
+
+    #[derive(super::Serialize, super::Deserialize)]
+    struct Fields {
+        _a: Vec<u8>,
+        _b: Option<String>,
+    }
+
+    #[derive(super::Serialize, super::Deserialize)]
+    enum Algo {
+        _A,
+        _B,
+    }
+
+    fn assert_bounds<T: super::Serialize + super::DeserializeOwned>() {}
+
+    #[test]
+    fn derived_types_satisfy_bounds() {
+        assert_bounds::<Tuple>();
+        assert_bounds::<Fields>();
+        assert_bounds::<Algo>();
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The vendored `serde` crate blanket-implements its `Serialize`/`Deserialize`
+//! marker traits for all types (see `vendor/serde/src/lib.rs` for why that is
+//! sound here), so the derive macros only need to *exist* and expand to
+//! nothing for `#[derive(Serialize, Deserialize)]` and the occasional
+//! `#[serde(...)]` helper attribute to compile.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`; the trait impl comes from serde's blanket impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`; the trait impl comes from serde's blanket impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
