@@ -1,0 +1,91 @@
+//! Service-mode throughput: micro-batching policies vs per-query serving.
+//!
+//! The offline figures (`fig07`–`fig13`) hand a pre-assembled batch to the algorithms;
+//! this bench measures the *serving* scenario the ROADMAP targets: queries stream into a
+//! long-lived `PathService` one at a time, the admission policy forms micro-batches, and
+//! the whole stream is timed end to end (submit → every result delivered). Three policies
+//! bracket the design space:
+//!
+//! * `per_query` — deadline 0, the PathEnum-style real-time regime (no sharing),
+//! * `window` — a small size cap + deadline window (the serving sweet spot),
+//! * `one_batch` — the whole stream in a single batch (the offline regime, upper bound on
+//!   sharing).
+//!
+//! The report also prints each policy's measured sharing ratio and mean batch size once,
+//! so throughput differences can be attributed to batch formation rather than noise.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcsp_bench::BenchConfig;
+use hcsp_core::PathQuery;
+use hcsp_graph::DiGraph;
+use hcsp_service::{BatchPolicy, PathService};
+use hcsp_workload::similar_query_set;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn policies(num_queries: usize) -> Vec<(&'static str, BatchPolicy)> {
+    vec![
+        ("per_query", BatchPolicy::immediate()),
+        ("window", BatchPolicy::by_size(16, Duration::from_millis(2))),
+        (
+            "one_batch",
+            BatchPolicy::by_size(num_queries.max(1), Duration::from_millis(50)),
+        ),
+    ]
+}
+
+/// Serves the whole query stream through a fresh service and waits for every result.
+fn serve_stream(graph: &Arc<DiGraph>, queries: &[PathQuery], policy: BatchPolicy) -> u64 {
+    let service = PathService::builder()
+        .policy(policy)
+        .start(Arc::clone(graph));
+    let handles = service.submit_all(queries.iter().copied());
+    let total: u64 = handles
+        .into_iter()
+        .map(|h| h.wait().paths.len() as u64)
+        .sum();
+    service.shutdown();
+    total
+}
+
+fn bench_service_throughput(c: &mut Criterion) {
+    let config = BenchConfig::quick();
+    let dataset = config.datasets[0];
+    let graph = Arc::new(dataset.build(config.scale));
+    // A similarity-heavy stream: the regime where batch formation pays.
+    let queries = similar_query_set(&graph, config.query_spec(), 0.6);
+    if queries.is_empty() {
+        return;
+    }
+
+    // One descriptive pass outside the timer: policy -> formed batches + sharing.
+    for (name, policy) in policies(queries.len()) {
+        let service = PathService::builder()
+            .policy(policy)
+            .start(Arc::clone(&graph));
+        let handles = service.submit_all(queries.iter().copied());
+        for h in handles {
+            h.wait();
+        }
+        let stats = service.shutdown();
+        println!(
+            "service_throughput/{dataset}/{name}: batches={} mean_batch_size={:.1} \
+             sharing_ratio={:.2} mean_queue_wait={:?}",
+            stats.num_batches,
+            stats.mean_batch_size(),
+            stats.sharing_ratio(),
+            stats.mean_queue_wait(),
+        );
+    }
+
+    let mut group = c.benchmark_group(format!("service_throughput/{dataset}"));
+    for (name, policy) in policies(queries.len()) {
+        group.bench_function(BenchmarkId::new("policy", name), |b| {
+            b.iter(|| serve_stream(&graph, &queries, policy));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_service_throughput);
+criterion_main!(benches);

@@ -34,11 +34,9 @@ impl BasicEnum {
         queries: &[PathQuery],
         sink: &mut S,
     ) -> EnumStats {
-        let mut stats = EnumStats::new(queries.len());
-        stats.num_clusters = queries.len();
         if queries.is_empty() {
             sink.finish();
-            return stats;
+            return EnumStats::new(0);
         }
 
         // Lines 1-2: shared index from the union of sources and targets.
@@ -50,12 +48,31 @@ impl BasicEnum {
             &summary.targets,
             summary.max_hop_limit,
         );
-        stats.add_stage(Stage::BuildIndex, start.elapsed());
+        let build_time = start.elapsed();
 
-        // Lines 3-8: each query runs the bidirectional search against the shared index.
+        let mut stats = self.run_batch_with_index(graph, &index, queries, sink);
+        stats.add_stage(Stage::BuildIndex, build_time);
+        stats
+    }
+
+    /// Processes a batch against an already-built (possibly shared, possibly superset)
+    /// index: lines 3–8 of Algorithm 1 only.
+    ///
+    /// The index must cover the batch's endpoint sets at its largest hop constraint; a
+    /// superset index (more roots, larger bound) is fine — see
+    /// [`BatchEnum::run_batch_with_index`](crate::BatchEnum::run_batch_with_index).
+    pub fn run_batch_with_index<S: PathSink>(
+        &self,
+        graph: &DiGraph,
+        index: &BatchIndex,
+        queries: &[PathQuery],
+        sink: &mut S,
+    ) -> EnumStats {
+        let mut stats = EnumStats::new(queries.len());
+        stats.num_clusters = queries.len();
         let per_query = PathEnum::new(self.order);
         for (id, query) in queries.iter().enumerate() {
-            per_query.run_with_index(graph, &index, query, id, sink, &mut stats);
+            per_query.run_with_index(graph, index, query, id, sink, &mut stats);
         }
         sink.finish();
         stats

@@ -63,10 +63,9 @@ impl BatchEnum {
         queries: &[PathQuery],
         sink: &mut S,
     ) -> EnumStats {
-        let mut stats = EnumStats::new(queries.len());
         if queries.is_empty() {
             sink.finish();
-            return stats;
+            return EnumStats::new(0);
         }
 
         // Stage 1: BuildIndex (Alg. 4 lines 1-2).
@@ -78,13 +77,38 @@ impl BatchEnum {
             &summary.targets,
             summary.max_hop_limit,
         );
-        stats.add_stage(Stage::BuildIndex, start.elapsed());
+        let build_time = start.elapsed();
+
+        let mut stats = self.run_batch_with_index(graph, &index, queries, sink);
+        stats.add_stage(Stage::BuildIndex, build_time);
+        stats
+    }
+
+    /// Processes a batch against an already-built index (stages 2–4 only).
+    ///
+    /// The index may cover a *superset* of the batch — more roots, a larger hop bound —
+    /// which is how the long-lived serving engine reuses one index across micro-batches:
+    /// extra roots are never consulted and far entries are filtered against per-query
+    /// budgets downstream. The index must cover at least the batch's endpoint sets at
+    /// `max_hop_limit`, or results will be silently pruned.
+    pub fn run_batch_with_index<S: PathSink>(
+        &self,
+        graph: &DiGraph,
+        index: &BatchIndex,
+        queries: &[PathQuery],
+        sink: &mut S,
+    ) -> EnumStats {
+        let mut stats = EnumStats::new(queries.len());
+        if queries.is_empty() {
+            sink.finish();
+            return stats;
+        }
 
         // Stage 2: ClusterQuery (Alg. 4 line 3 / Alg. 2).
         let start = Instant::now();
         let neighborhoods: Vec<QueryNeighborhood> = queries
             .iter()
-            .map(|q| QueryNeighborhood::from_index(&index, q))
+            .map(|q| QueryNeighborhood::from_index(index, q))
             .collect();
         let matrix = SimilarityMatrix::compute(&neighborhoods);
         let clusters = cluster_queries(&matrix, self.gamma);
@@ -93,7 +117,7 @@ impl BatchEnum {
 
         // Stages 3-4 per cluster (Alg. 4 lines 4-16).
         for cluster in &clusters {
-            self.process_cluster(graph, &index, queries, cluster, sink, &mut stats);
+            self.process_cluster(graph, index, queries, cluster, sink, &mut stats);
         }
         sink.finish();
         stats

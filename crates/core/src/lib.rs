@@ -15,8 +15,12 @@
 //!   detected per cluster (Algorithm 3) and recorded in the query sharing graph Ψ, and the
 //!   enumeration evaluates Ψ in topological order, materialising every shared sub-query
 //!   once and splicing it into every dependent query.
-//! * [`engine::BatchEngine`] — a facade selecting between the five evaluated variants
-//!   (`PathEnum`, `BasicEnum`, `BasicEnum+`, `BatchEnum`, `BatchEnum+`).
+//! * [`engine::BatchEngine`] — a one-shot facade selecting between the five evaluated
+//!   variants (`PathEnum`, `BasicEnum`, `BasicEnum+`, `BatchEnum`, `BatchEnum+`).
+//! * [`engine::Engine`] — the long-lived, reusable form of the same facade: graph and
+//!   [`hcsp_index::BatchIndex`] are hoisted out of the per-batch path, the index is
+//!   extended incrementally for new endpoints and rebuilt only when the hop bound grows.
+//!   This is the building block of the micro-batching serving layer (`hcsp-service`).
 //!
 //! ## Quick example
 //!
@@ -56,11 +60,11 @@ pub mod stats;
 
 pub use basic_enum::BasicEnum;
 pub use batch_enum::{BatchEnum, DEFAULT_GAMMA};
-pub use engine::{Algorithm, BatchEngine, BatchOutcome};
+pub use engine::{Algorithm, BatchEngine, BatchOutcome, Engine, IndexReuse};
 pub use parallel::{ParallelBasicEnum, ParallelBatchEnum, Parallelism};
 pub use path::{Path, PathSet};
 pub use pathenum::PathEnum;
 pub use query::{BatchSummary, HcsQuery, PathQuery, QueryId};
 pub use search_order::SearchOrder;
 pub use sink::{CallbackSink, CollectSink, CountSink, PathSink};
-pub use stats::{EnumStats, SearchCounters, Stage};
+pub use stats::{EnumStats, MicroBatchStats, SearchCounters, ServiceStats, Stage};

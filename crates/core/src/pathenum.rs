@@ -1,4 +1,4 @@
-//! `PathEnum` — the state-of-the-art single-query algorithm (§III, ref. [15]).
+//! `PathEnum` — the state-of-the-art single-query algorithm (§III, ref. \[15\]).
 //!
 //! Each query is processed in isolation: a per-query index is built with two bounded BFS
 //! runs (from `s` on `G` and from `t` on `G^r`), the two index-pruned half searches are

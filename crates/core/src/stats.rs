@@ -131,6 +131,20 @@ impl EnumStats {
             .join(" ")
     }
 
+    /// Fraction of queries that shared a cluster with at least one other query,
+    /// `1 − |clusters| / |Q|` — the "sharing ratio" reported per micro-batch in service
+    /// mode.
+    ///
+    /// `0.0` when every query formed its own cluster (no sharing: `PathEnum`, `BasicEnum`,
+    /// or γ = 1) and approaching `1.0` when the whole batch collapsed into few clusters.
+    /// Only meaningful for runs that counted clusters; an empty batch reports `0.0`.
+    pub fn sharing_ratio(&self) -> f64 {
+        if self.num_queries == 0 {
+            return 0.0;
+        }
+        (1.0 - self.num_clusters as f64 / self.num_queries as f64).clamp(0.0, 1.0)
+    }
+
     /// Merges the statistics of another run (used when an algorithm processes clusters or
     /// directions separately and the per-part stats are combined).
     pub fn merge(&mut self, other: &EnumStats) {
@@ -141,6 +155,107 @@ impl EnumStats {
         self.num_clusters += other.num_clusters;
         self.num_shared_subqueries += other.num_shared_subqueries;
         self.peak_cached_results = self.peak_cached_results.max(other.peak_cached_results);
+    }
+}
+
+/// Service-mode instrumentation of one executed micro-batch.
+///
+/// A micro-batch is the set of queries one admission window of the serving layer closed
+/// over (see the `hcsp-service` crate); these counters are what the service throughput
+/// bench reports on top of the per-run [`EnumStats`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MicroBatchStats {
+    /// Number of queries the admission window closed over.
+    pub batch_size: usize,
+    /// Longest time any query of the batch spent waiting in the admission queue.
+    pub max_queue_wait: Duration,
+    /// Sum of admission-queue waits over the batch's queries.
+    pub total_queue_wait: Duration,
+    /// Wall-clock execution time of the micro-batch (index preparation + run).
+    pub exec_time: Duration,
+    /// The underlying batch-run statistics.
+    pub run: EnumStats,
+}
+
+impl MicroBatchStats {
+    /// Mean admission-queue wait over the batch's queries.
+    pub fn mean_queue_wait(&self) -> Duration {
+        if self.batch_size == 0 {
+            return Duration::ZERO;
+        }
+        self.total_queue_wait / self.batch_size as u32
+    }
+
+    /// The batch's sharing ratio, `1 − |clusters| / |Q|` (see [`EnumStats::sharing_ratio`]).
+    pub fn sharing_ratio(&self) -> f64 {
+        self.run.sharing_ratio()
+    }
+}
+
+/// Aggregate statistics over every micro-batch a service session executed.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServiceStats {
+    /// Number of micro-batches executed.
+    pub num_batches: usize,
+    /// Number of queries served.
+    pub num_queries: usize,
+    /// Largest micro-batch.
+    pub max_batch_size: usize,
+    /// Sum of admission-queue waits over all served queries.
+    pub total_queue_wait: Duration,
+    /// Longest admission-queue wait of any served query.
+    pub max_queue_wait: Duration,
+    /// Sum of micro-batch execution times (CPU-side service time, not wall-clock span).
+    pub total_exec_time: Duration,
+    /// Total clusters formed across micro-batches (for the aggregate sharing ratio).
+    pub num_clusters: usize,
+    /// Total HC-s-t paths delivered.
+    pub produced_paths: u64,
+}
+
+impl ServiceStats {
+    /// Folds one executed micro-batch into the aggregate.
+    pub fn record(&mut self, batch: &MicroBatchStats) {
+        self.num_batches += 1;
+        self.num_queries += batch.batch_size;
+        self.max_batch_size = self.max_batch_size.max(batch.batch_size);
+        self.total_queue_wait += batch.total_queue_wait;
+        self.max_queue_wait = self.max_queue_wait.max(batch.max_queue_wait);
+        self.total_exec_time += batch.exec_time;
+        self.num_clusters += batch.run.num_clusters;
+        self.produced_paths += batch.run.counters.produced_paths;
+    }
+
+    /// Mean number of queries per micro-batch.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.num_batches == 0 {
+            return 0.0;
+        }
+        self.num_queries as f64 / self.num_batches as f64
+    }
+
+    /// Mean admission-queue wait per served query.
+    pub fn mean_queue_wait(&self) -> Duration {
+        if self.num_queries == 0 {
+            return Duration::ZERO;
+        }
+        self.total_queue_wait / self.num_queries as u32
+    }
+
+    /// Aggregate sharing ratio, `1 − total clusters / total queries`.
+    pub fn sharing_ratio(&self) -> f64 {
+        if self.num_queries == 0 {
+            return 0.0;
+        }
+        (1.0 - self.num_clusters as f64 / self.num_queries as f64).clamp(0.0, 1.0)
+    }
+
+    /// Served queries per second over a measured wall-clock span.
+    pub fn throughput_qps(&self, elapsed: Duration) -> f64 {
+        if elapsed.is_zero() {
+            return 0.0;
+        }
+        self.num_queries as f64 / elapsed.as_secs_f64()
     }
 }
 
@@ -217,6 +332,74 @@ mod tests {
         assert_eq!(a.scanned_edges, 2);
         assert_eq!(a.pruned_edges, 5);
         assert_eq!(a.cache_splices, 1);
+    }
+
+    #[test]
+    fn sharing_ratio_bounds() {
+        let mut s = EnumStats::new(10);
+        s.num_clusters = 10;
+        assert_eq!(s.sharing_ratio(), 0.0);
+        s.num_clusters = 2;
+        assert!((s.sharing_ratio() - 0.8).abs() < 1e-12);
+        assert_eq!(EnumStats::new(0).sharing_ratio(), 0.0);
+    }
+
+    #[test]
+    fn micro_batch_stats_derive_means() {
+        let mut run = EnumStats::new(4);
+        run.num_clusters = 1;
+        run.counters.produced_paths = 12;
+        let batch = MicroBatchStats {
+            batch_size: 4,
+            max_queue_wait: Duration::from_millis(8),
+            total_queue_wait: Duration::from_millis(20),
+            exec_time: Duration::from_millis(3),
+            run,
+        };
+        assert_eq!(batch.mean_queue_wait(), Duration::from_millis(5));
+        assert!((batch.sharing_ratio() - 0.75).abs() < 1e-12);
+        assert_eq!(MicroBatchStats::default().mean_queue_wait(), Duration::ZERO);
+    }
+
+    #[test]
+    fn service_stats_aggregate_micro_batches() {
+        let mut service = ServiceStats::default();
+        assert_eq!(service.mean_batch_size(), 0.0);
+        assert_eq!(service.mean_queue_wait(), Duration::ZERO);
+        assert_eq!(service.sharing_ratio(), 0.0);
+        assert_eq!(service.throughput_qps(Duration::ZERO), 0.0);
+
+        let mut run_a = EnumStats::new(3);
+        run_a.num_clusters = 1;
+        run_a.counters.produced_paths = 5;
+        service.record(&MicroBatchStats {
+            batch_size: 3,
+            max_queue_wait: Duration::from_millis(4),
+            total_queue_wait: Duration::from_millis(9),
+            exec_time: Duration::from_millis(2),
+            run: run_a,
+        });
+        let mut run_b = EnumStats::new(1);
+        run_b.num_clusters = 1;
+        run_b.counters.produced_paths = 2;
+        service.record(&MicroBatchStats {
+            batch_size: 1,
+            max_queue_wait: Duration::from_millis(1),
+            total_queue_wait: Duration::from_millis(1),
+            exec_time: Duration::from_millis(1),
+            run: run_b,
+        });
+
+        assert_eq!(service.num_batches, 2);
+        assert_eq!(service.num_queries, 4);
+        assert_eq!(service.max_batch_size, 3);
+        assert_eq!(service.max_queue_wait, Duration::from_millis(4));
+        assert_eq!(service.total_exec_time, Duration::from_millis(3));
+        assert_eq!(service.produced_paths, 7);
+        assert_eq!(service.mean_batch_size(), 2.0);
+        assert_eq!(service.mean_queue_wait(), Duration::from_micros(2500));
+        assert!((service.sharing_ratio() - 0.5).abs() < 1e-12);
+        assert!((service.throughput_qps(Duration::from_secs(2)) - 2.0).abs() < 1e-12);
     }
 
     #[test]

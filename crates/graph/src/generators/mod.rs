@@ -11,7 +11,7 @@
 //!   average degree).
 //! * [`preferential`] — directed Barabási–Albert-style preferential attachment (heavy-tailed
 //!   in-degree, the dominant shape of the social networks in Table I).
-//! * [`small_world`] — directed Watts–Strogatz ring rewiring (high clustering, web-graph-like
+//! * [`small_world`](mod@small_world) — directed Watts–Strogatz ring rewiring (high clustering, web-graph-like
 //!   local structure).
 //! * [`regular`] — deterministic families (path, cycle, complete, grid, star, layered DAG)
 //!   used heavily by unit tests and examples.

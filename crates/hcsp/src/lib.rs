@@ -11,8 +11,10 @@
 //!   ([`hcsp_core`]).
 //! * [`baselines`] — the adapted k-shortest-path comparators `DkSP` and `OnePass`
 //!   ([`hcsp_baselines`]).
-//! * [`workload`] — the Table I dataset analogs and query-set generators
-//!   ([`hcsp_workload`]).
+//! * [`service`] — the micro-batching serving layer: a long-lived `PathService` forming
+//!   shared batches from a query stream ([`hcsp_service`]).
+//! * [`workload`] — the Table I dataset analogs, query-set generators, and open-loop
+//!   arrival processes ([`hcsp_workload`]).
 //!
 //! ## Quickstart
 //!
@@ -54,6 +56,11 @@ pub mod baselines {
     pub use hcsp_baselines::*;
 }
 
+/// Micro-batching service layer (re-export of `hcsp-service`).
+pub mod service {
+    pub use hcsp_service::*;
+}
+
 /// Dataset analogs and query generators (re-export of `hcsp-workload`).
 pub mod workload {
     pub use hcsp_workload::*;
@@ -62,11 +69,13 @@ pub mod workload {
 /// The most commonly used items, for `use hcsp::prelude::*`.
 pub mod prelude {
     pub use hcsp_core::{
-        Algorithm, BatchEngine, BatchOutcome, CallbackSink, CollectSink, CountSink, EnumStats,
-        Path, PathQuery, PathSet, PathSink, SearchOrder, Stage,
+        Algorithm, BatchEngine, BatchOutcome, CallbackSink, CollectSink, CountSink, Engine,
+        EnumStats, MicroBatchStats, Path, PathQuery, PathSet, PathSink, SearchOrder, ServiceStats,
+        Stage,
     };
     pub use hcsp_graph::{DiGraph, Direction, GraphBuilder, VertexId};
     pub use hcsp_index::BatchIndex;
+    pub use hcsp_service::{BatchPolicy, PathService};
 }
 
 pub use hcsp_core::{Algorithm, BatchEngine, PathQuery};

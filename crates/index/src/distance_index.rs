@@ -47,6 +47,54 @@ impl DistanceIndex {
         (index, result.visited_pairs)
     }
 
+    /// Extends the index with any of `roots` that are not indexed yet, running one more
+    /// bounded multi-source BFS *only* for the missing roots (at the existing bound).
+    ///
+    /// This is the incremental path of the long-lived serving mode: across micro-batches
+    /// most query endpoints repeat, so only the genuinely new roots cost BFS work. Returns
+    /// `(newly added roots, visited pairs of the incremental BFS)` — both zero when every
+    /// root is already covered.
+    pub fn extend(
+        &mut self,
+        graph: &DiGraph,
+        roots: &[VertexId],
+        dir: Direction,
+    ) -> (usize, usize) {
+        let mut missing: Vec<VertexId> = roots
+            .iter()
+            .copied()
+            .filter(|r| self.roots.binary_search(r).is_err())
+            .collect();
+        missing.sort_unstable();
+        missing.dedup();
+        if missing.is_empty() {
+            return (0, 0);
+        }
+        let result = multi_source_bfs(graph, &missing, dir, self.bound);
+        // Re-establish the sorted-roots invariant the binary-search lookups rely on.
+        let added = result.roots.len();
+        let old_roots = std::mem::take(&mut self.roots);
+        let old_maps = std::mem::take(&mut self.maps);
+        let mut merged: Vec<(VertexId, SparseDistanceMap)> = old_roots
+            .into_iter()
+            .zip(old_maps)
+            .chain(result.roots.into_iter().zip(result.maps))
+            .collect();
+        merged.sort_by_key(|&(r, _)| r);
+        (self.roots, self.maps) = merged.into_iter().unzip();
+        (added, result.visited_pairs)
+    }
+
+    /// Whether every root in `roots` is indexed.
+    pub fn covers_roots(&self, roots: &[VertexId]) -> bool {
+        roots.iter().all(|r| self.roots.binary_search(r).is_ok())
+    }
+
+    /// The indexed roots, sorted ascending.
+    pub fn roots(&self) -> &[VertexId] {
+        &self.roots
+    }
+
     /// The hop bound the index was built with.
     pub fn bound(&self) -> u32 {
         self.bound
@@ -173,6 +221,39 @@ impl BatchIndex {
         self.targets.neighborhood(t, k)
     }
 
+    /// The hop bound both sides were built with.
+    pub fn bound(&self) -> u32 {
+        self.sources.bound()
+    }
+
+    /// Whether the index can serve a batch with the given endpoint sets and largest hop
+    /// constraint without any additional BFS work.
+    ///
+    /// An index covering a *superset* of the batch's roots at a *larger* bound stays
+    /// correct: extra roots are never consulted, and pruning only compares distances
+    /// against per-query budgets, so additional far entries are filtered downstream.
+    pub fn covers(&self, sources: &[VertexId], targets: &[VertexId], k_max: u32) -> bool {
+        k_max <= self.bound()
+            && self.sources.covers_roots(sources)
+            && self.targets.covers_roots(targets)
+    }
+
+    /// Incrementally extends both sides with any missing roots at the current bound,
+    /// returning the number of newly indexed roots.
+    ///
+    /// Callers must handle bound growth separately (rebuild): entries of the existing maps
+    /// were truncated at the old bound and cannot be deepened in place. The serving-mode
+    /// engine does exactly that — extend while `k_max <= bound()`, rebuild otherwise.
+    pub fn extend(&mut self, graph: &DiGraph, sources: &[VertexId], targets: &[VertexId]) -> usize {
+        let start = Instant::now();
+        let (added_s, visited_s) = self.sources.extend(graph, sources, Direction::Forward);
+        let (added_t, visited_t) = self.targets.extend(graph, targets, Direction::Backward);
+        self.stats.build_time += start.elapsed();
+        self.stats.visited_pairs += visited_s + visited_t;
+        self.stats.stored_entries = self.sources.total_entries() + self.targets.total_entries();
+        added_s + added_t
+    }
+
     /// The source-side distance index.
     pub fn source_index(&self) -> &DistanceIndex {
         &self.sources
@@ -281,6 +362,56 @@ mod tests {
         assert!(index.source_index().heap_bytes() > 0);
         assert_eq!(index.source_index().bound(), 4);
         assert_eq!(index.source_index().num_roots(), 1);
+    }
+
+    #[test]
+    fn extend_adds_only_missing_roots() {
+        let g = grid(5, 5);
+        let mut index = BatchIndex::build(&g, &[v(0)], &[v(24)], 6);
+        assert!(index.covers(&[v(0)], &[v(24)], 6));
+        assert!(!index.covers(&[v(0), v(6)], &[v(24)], 6));
+        assert!(!index.covers(&[v(0)], &[v(24)], 7));
+
+        // Extending with an already-covered root is free.
+        assert_eq!(index.extend(&g, &[v(0)], &[v(24)]), 0);
+
+        // Extending with new roots matches a from-scratch build exactly.
+        let added = index.extend(&g, &[v(0), v(6)], &[v(24), v(12)]);
+        assert_eq!(added, 2);
+        assert!(index.covers(&[v(0), v(6)], &[v(24), v(12)], 6));
+        let fresh = BatchIndex::build(&g, &[v(0), v(6)], &[v(24), v(12)], 6);
+        for vertex in g.vertices() {
+            for &s in &[v(0), v(6)] {
+                assert_eq!(
+                    index.dist_from_source(s, vertex),
+                    fresh.dist_from_source(s, vertex)
+                );
+            }
+            for &t in &[v(24), v(12)] {
+                assert_eq!(
+                    index.dist_to_target(vertex, t),
+                    fresh.dist_to_target(vertex, t)
+                );
+            }
+        }
+        assert_eq!(index.stats().stored_entries, fresh.stats().stored_entries);
+        assert_eq!(index.source_index().roots(), &[v(0), v(6)]);
+    }
+
+    #[test]
+    fn extend_keeps_roots_sorted_for_lookup() {
+        let g = path(8);
+        let mut index = BatchIndex::build(&g, &[v(5)], &[v(7)], 7);
+        index.extend(&g, &[v(1), v(3)], &[v(7)]);
+        index.extend(&g, &[v(0)], &[v(6)]);
+        assert_eq!(
+            index.source_index().roots(),
+            &[v(0), v(1), v(3), v(5)],
+            "roots must stay sorted across extensions"
+        );
+        assert_eq!(index.dist_from_source(v(0), v(7)), 7);
+        assert_eq!(index.dist_from_source(v(3), v(6)), 3);
+        assert_eq!(index.dist_to_target(v(2), v(6)), 4);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! baseline `BasicEnum` and the contributed `BatchEnum` both build this index once per
 //! batch with **multi-source BFS** from the source set `S = ∪ q.s` and the target set
 //! `T = ∪ q.t` (Algorithm 1 / Algorithm 4, lines 1–2), following the bit-parallel MS-BFS
-//! technique of Then et al. ("The more the merrier", ref. [36]).
+//! technique of Then et al. ("The more the merrier", ref. \[36\]).
 //!
 //! Two representations are provided:
 //!

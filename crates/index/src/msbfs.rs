@@ -1,4 +1,4 @@
-//! Bit-parallel multi-source BFS ("The more the merrier", Then et al., ref. [36] of the paper).
+//! Bit-parallel multi-source BFS ("The more the merrier", Then et al., ref. \[36\] of the paper).
 //!
 //! Up to 64 BFS roots are advanced together: each vertex keeps a 64-bit `seen` mask and a
 //! 64-bit `frontier` mask, one bit per root. A single pass over the adjacency of the

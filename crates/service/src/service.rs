@@ -1,0 +1,643 @@
+//! The long-lived serving layer: accept queries one at a time, execute them in shared
+//! micro-batches.
+//!
+//! ```text
+//!  submit() ──► admission queue ──► batcher thread ──► micro-batch queue ──► worker pool
+//!     │         (mpsc channel)      closes windows       (mpsc channel)     one reusable
+//!     │                             by size/deadline                        Engine each
+//!     ▼                                                                          │
+//!  QueryHandle ◄────────────────── per-query result slots ◄────────────────── CollectSink
+//! ```
+//!
+//! Every worker owns a reusable [`Engine`], so the batch index survives across
+//! micro-batches: repeated endpoints cost no BFS work, new endpoints extend the index
+//! incrementally, and only a growing hop bound forces a rebuild. Results are routed back
+//! per query through the core [`PathSink`](hcsp_core::PathSink) abstraction
+//! ([`CollectSink`] inside the worker) and handed to the caller via [`QueryHandle`]s.
+
+use crate::policy::BatchPolicy;
+use hcsp_core::{
+    BatchEngine, CollectSink, Engine, MicroBatchStats, PathQuery, PathSet, ServiceStats,
+};
+use hcsp_graph::DiGraph;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The answer to one served query.
+#[derive(Debug)]
+pub struct QueryResult {
+    /// Every HC-s-t path of the query.
+    pub paths: PathSet,
+    /// Time the query spent in the admission queue before its micro-batch started.
+    pub queue_wait: Duration,
+    /// Size of the micro-batch the query was executed in.
+    pub batch_size: usize,
+}
+
+/// Lifecycle of a result slot.
+#[derive(Debug, Default)]
+enum SlotState {
+    /// The query is queued or executing.
+    #[default]
+    Pending,
+    /// The result is available.
+    Ready(QueryResult),
+    /// The query will never be answered (its worker panicked mid-batch).
+    Abandoned,
+}
+
+/// One-shot result slot shared between a worker and a [`QueryHandle`].
+#[derive(Debug, Default)]
+struct ResultSlot {
+    state: Mutex<SlotState>,
+    ready: Condvar,
+}
+
+impl ResultSlot {
+    fn fulfill(&self, result: QueryResult) {
+        let mut state = self.state.lock().unwrap();
+        *state = SlotState::Ready(result);
+        self.ready.notify_all();
+    }
+
+    /// Marks a still-pending slot as never-to-be-answered, waking any waiter.
+    fn abandon(&self) {
+        let mut state = self.state.lock().unwrap();
+        if matches!(*state, SlotState::Pending) {
+            *state = SlotState::Abandoned;
+            self.ready.notify_all();
+        }
+    }
+}
+
+/// A claim on the result of one submitted query.
+#[derive(Debug)]
+pub struct QueryHandle {
+    slot: Arc<ResultSlot>,
+}
+
+impl QueryHandle {
+    /// Blocks until the query's micro-batch has executed and returns the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker executing the query's micro-batch panicked (the query can
+    /// never be answered; panicking here surfaces the failure instead of hanging forever).
+    pub fn wait(self) -> QueryResult {
+        let mut state = self.slot.state.lock().unwrap();
+        loop {
+            match std::mem::take(&mut *state) {
+                SlotState::Ready(result) => return result,
+                SlotState::Abandoned => {
+                    panic!("query abandoned: the service worker executing it panicked")
+                }
+                SlotState::Pending => state = self.slot.ready.wait(state).unwrap(),
+            }
+        }
+    }
+
+    /// Whether the result is already available (non-blocking).
+    pub fn is_ready(&self) -> bool {
+        !matches!(*self.slot.state.lock().unwrap(), SlotState::Pending)
+    }
+}
+
+/// One queued query together with its arrival time and result slot.
+struct Submission {
+    query: PathQuery,
+    submitted_at: Instant,
+    slot: Arc<ResultSlot>,
+}
+
+impl Drop for Submission {
+    /// A submission dropped without [`ResultSlot::fulfill`] (worker panic unwinding the
+    /// batch, or an internal channel failure) must not leave its handle blocked forever.
+    fn drop(&mut self) {
+        self.slot.abandon();
+    }
+}
+
+/// Configures and starts a [`PathService`].
+#[derive(Debug, Clone, Copy)]
+pub struct PathServiceBuilder {
+    config: BatchEngine,
+    policy: BatchPolicy,
+    workers: usize,
+    index_root_cap: Option<usize>,
+}
+
+impl Default for PathServiceBuilder {
+    fn default() -> Self {
+        PathServiceBuilder {
+            config: BatchEngine::default(),
+            policy: BatchPolicy::default(),
+            workers: 1,
+            index_root_cap: None,
+        }
+    }
+}
+
+impl PathServiceBuilder {
+    /// The per-batch engine configuration (algorithm + γ); default `BatchEnum+`.
+    pub fn engine(mut self, config: BatchEngine) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The micro-batch admission policy.
+    pub fn policy(mut self, policy: BatchPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Number of worker threads executing micro-batches (each owns a reusable [`Engine`];
+    /// values of 0 are treated as 1). One worker guarantees micro-batches execute in
+    /// admission order.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Caps each worker's cached index at roughly `cap` roots (see
+    /// [`Engine::set_index_root_cap`]): once exceeded, the cache is dropped and rebuilt
+    /// from the next micro-batch alone. The default (`None`) keeps every endpoint ever
+    /// served indexed — fastest for a stable working set, unbounded memory for a stream
+    /// of one-off endpoints.
+    pub fn index_root_cap(mut self, cap: usize) -> Self {
+        self.index_root_cap = Some(cap);
+        self
+    }
+
+    /// Starts the service over `graph`: spawns the batcher and the worker pool.
+    pub fn start(self, graph: impl Into<Arc<DiGraph>>) -> PathService {
+        let graph = graph.into();
+        let (submit_tx, submit_rx) = mpsc::channel::<Submission>();
+        let (batch_tx, batch_rx) = mpsc::channel::<Vec<Submission>>();
+        let policy = self.policy;
+        let batcher = std::thread::spawn(move || batcher_loop(submit_rx, batch_tx, policy));
+
+        let batch_rx = Arc::new(Mutex::new(batch_rx));
+        let stats = Arc::new(Mutex::new(ServiceStats::default()));
+        let workers = (0..self.workers.max(1))
+            .map(|_| {
+                let graph = Arc::clone(&graph);
+                let batch_rx = Arc::clone(&batch_rx);
+                let stats = Arc::clone(&stats);
+                let config = self.config;
+                let root_cap = self.index_root_cap;
+                std::thread::spawn(move || worker_loop(graph, config, root_cap, batch_rx, stats))
+            })
+            .collect();
+
+        PathService {
+            graph,
+            submit_tx: Some(submit_tx),
+            batcher: Some(batcher),
+            workers,
+            stats,
+            started_at: Instant::now(),
+        }
+    }
+}
+
+/// Collects submissions into micro-batches according to the policy: a window opens when
+/// its first query arrives and closes at the size cap or the deadline, whichever first.
+fn batcher_loop(rx: Receiver<Submission>, batch_tx: Sender<Vec<Submission>>, policy: BatchPolicy) {
+    while let Ok(first) = rx.recv() {
+        let mut batch = vec![first];
+        if !policy.is_per_query() {
+            let deadline = Instant::now() + policy.max_delay;
+            while batch.len() < policy.max_batch_size {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    break;
+                }
+                match rx.recv_timeout(remaining) {
+                    Ok(submission) => batch.push(submission),
+                    Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        }
+        if batch_tx.send(batch).is_err() {
+            return;
+        }
+    }
+    // Submission side disconnected: dropping `batch_tx` lets the workers drain and exit.
+}
+
+/// Executes micro-batches on one reusable engine, routing results back per query.
+fn worker_loop(
+    graph: Arc<DiGraph>,
+    config: BatchEngine,
+    root_cap: Option<usize>,
+    batch_rx: Arc<Mutex<Receiver<Vec<Submission>>>>,
+    stats: Arc<Mutex<ServiceStats>>,
+) {
+    let mut engine = Engine::new(graph, config);
+    engine.set_index_root_cap(root_cap);
+    loop {
+        // Hold the lock only while waiting for one batch; the next worker queues on the
+        // mutex, so batches spread across the pool without a work-stealing scheduler.
+        let batch = match batch_rx.lock().unwrap().recv() {
+            Ok(batch) => batch,
+            Err(_) => return,
+        };
+
+        let exec_start = Instant::now();
+        let queries: Vec<PathQuery> = batch.iter().map(|s| s.query).collect();
+        let mut sink = CollectSink::new(queries.len());
+        // A panicking batch (e.g. a query panicking deep in the enumeration) must not
+        // kill the worker: the batch's submissions are dropped by the unwind, which
+        // abandons their slots (waking the waiters), and the worker serves on with a
+        // fresh engine — the cached index may be mid-mutation.
+        let run = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.run_with_sink(&queries, &mut sink)
+        })) {
+            Ok(run) => run,
+            Err(_) => {
+                drop(batch);
+                let mut fresh = Engine::new(engine.graph_arc(), engine.config());
+                fresh.set_index_root_cap(engine.index_root_cap());
+                engine = fresh;
+                continue;
+            }
+        };
+        let exec_time = exec_start.elapsed();
+
+        let batch_size = batch.len();
+        let mut total_queue_wait = Duration::ZERO;
+        let mut max_queue_wait = Duration::ZERO;
+        for submission in &batch {
+            let queue_wait = exec_start.saturating_duration_since(submission.submitted_at);
+            total_queue_wait += queue_wait;
+            max_queue_wait = max_queue_wait.max(queue_wait);
+        }
+
+        // Record before delivering: a caller returning from `wait()` may immediately
+        // snapshot `PathService::stats()` and must see this batch counted.
+        stats.lock().unwrap().record(&MicroBatchStats {
+            batch_size,
+            max_queue_wait,
+            total_queue_wait,
+            exec_time,
+            run,
+        });
+
+        for (submission, paths) in batch.into_iter().zip(sink.into_inner()) {
+            let queue_wait = exec_start.saturating_duration_since(submission.submitted_at);
+            submission.slot.fulfill(QueryResult {
+                paths,
+                queue_wait,
+                batch_size,
+            });
+        }
+    }
+}
+
+/// A long-lived path-query service: queries stream in one at a time, accumulate under a
+/// [`BatchPolicy`], and execute as shared micro-batches on a pool of reusable engines.
+///
+/// # Example
+///
+/// ```
+/// use hcsp_core::PathQuery;
+/// use hcsp_graph::DiGraph;
+/// use hcsp_service::{BatchPolicy, PathService};
+/// use std::time::Duration;
+///
+/// // A diamond with two parallel 2-hop routes.
+/// let graph = DiGraph::from_edge_list(4, &[(0, 1), (1, 3), (0, 2), (2, 3)]).unwrap();
+/// let service = PathService::builder()
+///     .policy(BatchPolicy::by_size(8, Duration::from_millis(2)))
+///     .start(graph);
+///
+/// // Queries are submitted one at a time; each handle waits for its own result.
+/// let handle = service.submit(PathQuery::new(0u32, 3u32, 3));
+/// let result = handle.wait();
+/// assert_eq!(result.paths.len(), 2);
+/// assert_eq!(result.paths.get(0)[0], hcsp_graph::VertexId(0));
+///
+/// let stats = service.shutdown();
+/// assert_eq!(stats.num_queries, 1);
+/// assert_eq!(stats.produced_paths, 2);
+/// ```
+#[derive(Debug)]
+pub struct PathService {
+    graph: Arc<DiGraph>,
+    submit_tx: Option<Sender<Submission>>,
+    batcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    stats: Arc<Mutex<ServiceStats>>,
+    started_at: Instant,
+}
+
+impl PathService {
+    /// Starts configuring a service.
+    pub fn builder() -> PathServiceBuilder {
+        PathServiceBuilder::default()
+    }
+
+    /// Starts a service over `graph` with default engine, policy and a single worker.
+    pub fn start(graph: impl Into<Arc<DiGraph>>) -> Self {
+        PathService::builder().start(graph)
+    }
+
+    /// Submits one query; returns a handle to wait on its result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query's endpoints are out of range for the served graph — in the
+    /// caller's thread, exactly like the offline `BatchEngine` would, rather than poisoning
+    /// a worker that is executing other users' queries.
+    pub fn submit(&self, query: PathQuery) -> QueryHandle {
+        let n = self.graph.num_vertices();
+        assert!(
+            query.source.index() < n && query.target.index() < n,
+            "{query} endpoints out of range for a graph of {n} vertices"
+        );
+        let slot = Arc::new(ResultSlot::default());
+        let submission = Submission {
+            query,
+            submitted_at: Instant::now(),
+            slot: Arc::clone(&slot),
+        };
+        self.submit_tx
+            .as_ref()
+            .expect("service is running")
+            .send(submission)
+            .expect("service threads are alive");
+        QueryHandle { slot }
+    }
+
+    /// Submits a sequence of queries back to back, returning one handle per query.
+    pub fn submit_all(&self, queries: impl IntoIterator<Item = PathQuery>) -> Vec<QueryHandle> {
+        queries.into_iter().map(|q| self.submit(q)).collect()
+    }
+
+    /// Replays an open-loop arrival schedule: sleeps until each event's offset from now,
+    /// then submits its query. Returns the handles in schedule order.
+    ///
+    /// Offsets are relative to the call, so a schedule generated by the workload crate's
+    /// arrival process replays with its intended inter-arrival gaps.
+    pub fn replay(
+        &self,
+        schedule: impl IntoIterator<Item = (Duration, PathQuery)>,
+    ) -> Vec<QueryHandle> {
+        let start = Instant::now();
+        schedule
+            .into_iter()
+            .map(|(offset, query)| {
+                let wait = offset.saturating_sub(start.elapsed());
+                if !wait.is_zero() {
+                    std::thread::sleep(wait);
+                }
+                self.submit(query)
+            })
+            .collect()
+    }
+
+    /// A snapshot of the aggregate service statistics so far.
+    pub fn stats(&self) -> ServiceStats {
+        self.stats.lock().unwrap().clone()
+    }
+
+    /// Wall-clock time since the service started (the denominator for
+    /// [`ServiceStats::throughput_qps`]).
+    pub fn uptime(&self) -> Duration {
+        self.started_at.elapsed()
+    }
+
+    /// Stops accepting queries, drains everything already submitted, joins all threads and
+    /// returns the final statistics.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.finish();
+        self.stats.lock().unwrap().clone()
+    }
+
+    fn finish(&mut self) {
+        // Dropping the submission sender unblocks the batcher, which flushes its final
+        // window and drops the batch sender, which drains the workers.
+        self.submit_tx.take();
+        if let Some(batcher) = self.batcher.take() {
+            let _ = batcher.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for PathService {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcsp_core::BatchEngine;
+    use hcsp_graph::generators::regular::{complete, grid};
+    use hcsp_graph::VertexId;
+
+    fn grid_queries() -> Vec<PathQuery> {
+        vec![
+            PathQuery::new(0u32, 15u32, 6),
+            PathQuery::new(1u32, 15u32, 6),
+            PathQuery::new(0u32, 11u32, 5),
+            PathQuery::new(4u32, 15u32, 5),
+            PathQuery::new(0u32, 15u32, 4),
+        ]
+    }
+
+    fn offline_counts(graph: &DiGraph, queries: &[PathQuery]) -> Vec<u64> {
+        let (counts, _) = BatchEngine::default().run_counting(graph, queries);
+        counts
+    }
+
+    #[test]
+    fn served_results_match_offline_batch_run() {
+        let graph = grid(4, 4);
+        let queries = grid_queries();
+        let expected = offline_counts(&graph, &queries);
+
+        let service = PathService::builder()
+            .policy(BatchPolicy::by_size(
+                queries.len(),
+                Duration::from_millis(200),
+            ))
+            .start(graph);
+        let handles = service.submit_all(queries.clone());
+        for (handle, (query, expected)) in handles.into_iter().zip(queries.iter().zip(&expected)) {
+            let result = handle.wait();
+            assert_eq!(result.paths.len() as u64, *expected, "{query}");
+            for p in result.paths.iter() {
+                assert_eq!(p[0], query.source);
+                assert_eq!(*p.last().unwrap(), query.target);
+            }
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.num_queries, queries.len());
+        assert_eq!(stats.produced_paths, expected.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn zero_deadline_serves_every_query_alone() {
+        let graph = grid(4, 4);
+        let queries = grid_queries();
+        let expected = offline_counts(&graph, &queries);
+
+        let service = PathService::builder()
+            .policy(BatchPolicy::immediate())
+            .start(graph);
+        let handles = service.submit_all(queries.clone());
+        let counts: Vec<u64> = handles
+            .into_iter()
+            .map(|h| h.wait().paths.len() as u64)
+            .collect();
+        assert_eq!(counts, expected);
+
+        let stats = service.shutdown();
+        assert_eq!(stats.num_batches, stats.num_queries, "one batch per query");
+        assert_eq!(stats.max_batch_size, 1);
+        assert_eq!(stats.sharing_ratio(), 0.0);
+    }
+
+    #[test]
+    fn size_cap_closes_the_window_early() {
+        let graph = grid(4, 4);
+        // A generous deadline: dispatch must be triggered by the size cap, not time.
+        let service = PathService::builder()
+            .policy(BatchPolicy::by_size(2, Duration::from_secs(30)))
+            .start(graph);
+        let handles = service.submit_all(grid_queries().into_iter().take(4));
+        for handle in handles {
+            let result = handle.wait();
+            assert!(result.batch_size <= 2);
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.num_queries, 4);
+        assert!(stats.num_batches >= 2);
+        assert!(stats.max_batch_size <= 2);
+    }
+
+    #[test]
+    fn multiple_workers_preserve_per_query_results() {
+        let graph = complete(6);
+        let queries: Vec<PathQuery> = (0..12).map(|i| PathQuery::new(i % 5, 5u32, 3)).collect();
+        let expected = offline_counts(&graph, &queries);
+
+        let service = PathService::builder()
+            .workers(3)
+            .policy(BatchPolicy::by_size(3, Duration::from_millis(50)))
+            .start(graph);
+        let handles = service.submit_all(queries);
+        let counts: Vec<u64> = handles
+            .into_iter()
+            .map(|h| h.wait().paths.len() as u64)
+            .collect();
+        assert_eq!(counts, expected);
+        let stats = service.shutdown();
+        assert_eq!(stats.num_queries, 12);
+    }
+
+    #[test]
+    fn shutdown_drains_pending_queries() {
+        let graph = complete(5);
+        let service = PathService::builder()
+            .policy(BatchPolicy::by_size(64, Duration::from_millis(500)))
+            .start(graph);
+        let handles = service.submit_all((0..8).map(|i| PathQuery::new(i % 4, 4u32, 3)));
+        // Shut down immediately: every already-submitted query must still be answered.
+        let stats = service.shutdown();
+        assert_eq!(stats.num_queries, 8);
+        for handle in handles {
+            assert!(handle.is_ready());
+            assert!(!handle.wait().paths.is_empty());
+        }
+    }
+
+    #[test]
+    fn replay_submits_in_schedule_order() {
+        let graph = complete(5);
+        let service = PathService::start(graph);
+        let schedule = vec![
+            (Duration::ZERO, PathQuery::new(0u32, 4u32, 2)),
+            (Duration::from_millis(1), PathQuery::new(1u32, 4u32, 2)),
+            (Duration::from_millis(2), PathQuery::new(2u32, 4u32, 3)),
+        ];
+        let handles = service.replay(schedule);
+        assert_eq!(handles.len(), 3);
+        for handle in handles {
+            let result = handle.wait();
+            assert!(result
+                .paths
+                .iter()
+                .all(|p| *p.last().unwrap() == VertexId(4)));
+        }
+        assert!(service.uptime() > Duration::ZERO);
+        assert_eq!(service.stats().num_queries, 3);
+        drop(service);
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoints out of range")]
+    fn out_of_range_query_panics_at_submit() {
+        let service = PathService::start(complete(4));
+        let _ = service.submit(PathQuery::new(99u32, 1u32, 3));
+    }
+
+    #[test]
+    fn dropped_submission_abandons_its_handle_instead_of_hanging() {
+        let slot = Arc::new(ResultSlot::default());
+        let handle = QueryHandle {
+            slot: Arc::clone(&slot),
+        };
+        let submission = Submission {
+            query: PathQuery::new(0u32, 1u32, 2),
+            submitted_at: Instant::now(),
+            slot,
+        };
+        assert!(!handle.is_ready());
+        // A worker panic unwinds the batch, dropping its submissions unfulfilled.
+        drop(submission);
+        assert!(handle.is_ready());
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle.wait()));
+        assert!(outcome.is_err(), "wait() must surface the abandonment");
+    }
+
+    #[test]
+    fn index_root_cap_is_passed_through_and_stays_correct() {
+        let graph = grid(4, 4);
+        let queries = grid_queries();
+        let expected = offline_counts(&graph, &queries);
+        let service = PathService::builder()
+            .index_root_cap(2)
+            .policy(BatchPolicy::immediate())
+            .start(graph);
+        let handles = service.submit_all(queries.clone());
+        let counts: Vec<u64> = handles
+            .into_iter()
+            .map(|h| h.wait().paths.len() as u64)
+            .collect();
+        assert_eq!(counts, expected);
+        service.shutdown();
+    }
+
+    #[test]
+    fn queue_wait_is_reported() {
+        let graph = complete(4);
+        let service = PathService::builder()
+            .policy(BatchPolicy::by_size(2, Duration::from_millis(40)))
+            .start(graph);
+        let a = service.submit(PathQuery::new(0u32, 3u32, 2));
+        let ra = a.wait();
+        // The lone query waited out (most of) the 40 ms window.
+        assert!(ra.queue_wait >= Duration::from_millis(20));
+        let stats = service.shutdown();
+        assert!(stats.max_queue_wait >= Duration::from_millis(20));
+        assert!(stats.total_exec_time > Duration::ZERO);
+    }
+}

@@ -1,9 +1,10 @@
 //! # hcsp-workload
 //!
 //! Workload layer of the reproduction: synthetic analogs of the paper's twelve evaluation
-//! datasets (Table I) and the query-set generators used by every experiment
+//! datasets (Table I), the query-set generators used by every experiment
 //! (random reachable `(s, t, k)` pairs, similarity-controlled sets for Exp-1, and size
-//! sweeps for Exp-2).
+//! sweeps for Exp-2), and the open-loop [`arrival`] processes that turn a query set into
+//! a timed stream for the micro-batching service scenarios.
 //!
 //! The real datasets (SNAP / LAW / NetworkRepository downloads, up to 1.8 B edges) are not
 //! available in this environment; [`datasets`] instead generates deterministic laptop-scale
@@ -14,10 +15,12 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod arrival;
 pub mod datasets;
 pub mod query_gen;
 pub mod query_io;
 
+pub use arrival::ArrivalProcess;
 pub use datasets::{Dataset, DatasetScale};
 pub use query_gen::{random_query_set, similar_query_set, QuerySetSpec};
 pub use query_io::{read_queries, read_queries_file, write_queries, write_queries_file};

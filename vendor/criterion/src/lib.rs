@@ -7,7 +7,10 @@
 //! median/min/max per-iteration time to stdout. No statistics engine, no
 //! plots, no `target/criterion` reports; swap in the real crate when registry
 //! access exists to get those back. Honors `--bench <filter>` style substring
-//! filters passed by `cargo bench -- <filter>`.
+//! filters passed by `cargo bench -- <filter>`, and mirrors criterion's test
+//! mode: when invoked without `--bench` (e.g. by `cargo test --benches`),
+//! every benchmark routine runs exactly once as a smoke test instead of being
+//! sampled.
 
 #![warn(rust_2018_idioms)]
 
@@ -21,6 +24,7 @@ pub struct Criterion {
     sample_size: usize,
     measurement_time: Duration,
     filter: Option<String>,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
@@ -29,10 +33,17 @@ impl Default for Criterion {
         // is not a flag (or a flag argument) is treated as a name filter,
         // mirroring criterion's CLI.
         let mut filter = None;
+        // Like the real criterion: `cargo bench` passes `--bench` and enables sampling;
+        // any other invocation (`cargo test --benches` passes nothing, `--test` forces
+        // it) runs every benchmark exactly once as a smoke test.
+        let mut bench_mode = false;
+        let mut test_mode = false;
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
             match arg.as_str() {
-                "--bench" | "--test" | "--nocapture" | "--quiet" | "-q" => {}
+                "--bench" => bench_mode = true,
+                "--test" => test_mode = true,
+                "--nocapture" | "--quiet" | "-q" => {}
                 "--sample-size" | "--measurement-time" | "--warm-up-time" => {
                     let _ = args.next();
                 }
@@ -44,6 +55,7 @@ impl Default for Criterion {
             sample_size: 20,
             measurement_time: Duration::from_millis(400),
             filter,
+            test_mode: test_mode || !bench_mode,
         }
     }
 }
@@ -89,9 +101,14 @@ impl Criterion {
             sample_size: self.sample_size,
             measurement_time: self.measurement_time,
             samples: Vec::new(),
+            test_mode: self.test_mode,
         };
         f(&mut bencher);
-        bencher.report(name);
+        if self.test_mode {
+            println!("Testing {name}: ok");
+        } else {
+            bencher.report(name);
+        }
     }
 }
 
@@ -190,12 +207,18 @@ pub struct Bencher {
     sample_size: usize,
     measurement_time: Duration,
     samples: Vec<Duration>,
+    test_mode: bool,
 }
 
 impl Bencher {
     /// Measure `routine`, running it enough times per sample to out-resolve
     /// the clock, for `sample_size` samples.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Test mode (`cargo test --benches`): one verification run, no sampling.
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
         // Warm-up + batch sizing: time one call, pick a batch so each sample
         // spans >= ~1/sample_size of the measurement budget (>= 1 iteration).
         let warm_start = Instant::now();
@@ -295,8 +318,26 @@ mod tests {
             sample_size: 2,
             measurement_time: Duration::from_millis(2),
             filter: None,
+            test_mode: false,
         };
         sample_bench(&mut criterion);
+    }
+
+    #[test]
+    fn test_mode_runs_each_routine_exactly_once() {
+        let mut criterion = Criterion {
+            sample_size: 2,
+            measurement_time: Duration::from_millis(2),
+            filter: None,
+            test_mode: true,
+        };
+        let count = std::cell::Cell::new(0u32);
+        criterion.bench_function("smoke", |b| b.iter(|| count.set(count.get() + 1)));
+        assert_eq!(
+            count.get(),
+            1,
+            "test mode must run the routine exactly once"
+        );
     }
 
     #[test]
@@ -305,6 +346,7 @@ mod tests {
             sample_size: 2,
             measurement_time: Duration::from_millis(2),
             filter: Some("definitely-not-present".into()),
+            test_mode: false,
         };
         // Routine would run forever if not filtered out; skipping proves the
         // filter path (no iter() call happens).

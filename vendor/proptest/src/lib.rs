@@ -119,7 +119,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Size bounds for [`vec`]; converts from `a..b` and `a..=b`.
+    /// Size bounds for [`vec`](fn@vec); converts from `a..b` and `a..=b`.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         min: usize,
