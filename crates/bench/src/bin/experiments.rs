@@ -6,16 +6,58 @@
 //!
 //! # a single experiment, a subset of datasets, a bigger scale
 //! cargo run -p hcsp-bench --bin experiments --release -- exp1 --datasets EP,SL --scale small
+//!
+//! # machine-readable output (one JSON document per experiment)
+//! cargo run -p hcsp-bench --bin experiments --release -- exp3 --json
+//!
+//! # the CI perf gate: quick parallel-scaling run, JSON artifact, baseline comparison
+//! cargo run -p hcsp-bench --bin experiments --release -- perf-smoke
+//! cargo run -p hcsp-bench --bin experiments --release -- perf-smoke --write-baseline
 //! ```
 //!
 //! Experiments: `table1`, `fig3c`, `exp1` … `exp7`, `ablation-order`, `ablation-cluster`,
-//! `all`. Options: `--scale tiny|small|medium|large`, `--datasets A,B,...`,
-//! `--queries N`, `--kmin K`, `--kmax K` (the same knobs are also available through the
-//! `HCSP_BENCH_*` environment variables).
+//! `parallel-scaling`, `all`, plus the `perf-smoke` gate. Options: `--scale
+//! tiny|small|medium|large`, `--datasets A,B,...`, `--queries N`, `--kmin K`, `--kmax K`,
+//! `--json`, `--threads 1,2,4`, `--batches 8,32`, `--out FILE`, `--baseline FILE`,
+//! `--tolerance 0.2`, `--write-baseline` (the same scale/dataset/query knobs are also
+//! available through the `HCSP_BENCH_*` environment variables, and the gate tolerance
+//! through `HCSP_PERF_TOLERANCE`).
 
-use hcsp_bench::harness;
-use hcsp_bench::BenchConfig;
+use hcsp_bench::report::Table;
+use hcsp_bench::{compare_throughput, harness, parse_json, BenchConfig};
 use hcsp_workload::{Dataset, DatasetScale};
+
+/// Output and perf-gate options on top of the workload configuration.
+struct CliOptions {
+    json: bool,
+    threads: Vec<usize>,
+    batches: Vec<usize>,
+    repeats: usize,
+    out: String,
+    baseline: String,
+    tolerance: f64,
+    write_baseline: bool,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        CliOptions {
+            json: false,
+            threads: vec![1, 2, 4],
+            // Batches big enough that a point measures tens of milliseconds: the 20 %
+            // regression gate needs headroom above scheduler jitter.
+            batches: vec![64, 256],
+            repeats: 3,
+            out: "BENCH_parallel_scaling.json".to_string(),
+            baseline: "bench/baseline.json".to_string(),
+            tolerance: std::env::var("HCSP_PERF_TOLERANCE")
+                .ok()
+                .and_then(|t| t.parse().ok())
+                .unwrap_or(0.2),
+            write_baseline: false,
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,7 +65,7 @@ fn main() {
         print_usage();
         return;
     }
-    let (experiments, config) = match parse(&args) {
+    let (experiments, config, options, workload_flags) = match parse(&args) {
         Ok(parsed) => parsed,
         Err(message) => {
             eprintln!("error: {message}\n");
@@ -31,6 +73,36 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    if experiments.iter().any(|e| e == "perf-smoke") {
+        // The gate runs standalone on the quick configuration (env overrides still
+        // apply) so its numbers stay comparable to the committed baseline; mixing it
+        // with other experiments or with workload flags would silently produce numbers
+        // that are not comparable, so both are rejected up front.
+        if experiments.len() > 1 {
+            eprintln!(
+                "error: perf-smoke runs standalone (requested alongside: {})",
+                experiments
+                    .iter()
+                    .filter(|e| *e != "perf-smoke")
+                    .cloned()
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            std::process::exit(2);
+        }
+        if !workload_flags.is_empty() {
+            eprintln!(
+                "error: perf-smoke ignores workload flags ({}); it always uses the quick \
+                 configuration (override via HCSP_BENCH_* environment variables so the \
+                 baseline stays comparable)",
+                workload_flags.join(", ")
+            );
+            std::process::exit(2);
+        }
+        run_perf_smoke(&options);
+        return;
+    }
 
     println!(
         "# configuration: scale={:?} datasets={:?} queries={} k={}..{}\n",
@@ -46,52 +118,154 @@ fn main() {
     );
 
     for experiment in &experiments {
-        run_experiment(experiment, &config);
+        run_experiment(experiment, &config, &options);
     }
 }
 
-fn run_experiment(experiment: &str, config: &BenchConfig) {
+/// Prints a finished table as fixed-width text or as one JSON document.
+fn emit(table: &Table, options: &CliOptions) {
+    if options.json {
+        println!("{}", table.to_json());
+    } else {
+        println!("{table}");
+    }
+}
+
+fn run_experiment(experiment: &str, config: &BenchConfig, options: &CliOptions) {
     let start = std::time::Instant::now();
-    match experiment {
-        "table1" => println!("{}", harness::table1(config)),
-        "fig3c" => println!("{}", harness::fig3c_materialization(config)),
-        "exp1" => println!(
-            "{}",
-            harness::exp1_vary_similarity(config, &[0.0, 0.2, 0.4, 0.6, 0.8, 0.9])
-        ),
+    let table = match experiment {
+        "table1" => harness::table1(config),
+        "fig3c" => harness::fig3c_materialization(config),
+        "exp1" => harness::exp1_vary_similarity(config, &[0.0, 0.2, 0.4, 0.6, 0.8, 0.9]),
         "exp2" => {
             let base = config.query_set_size.max(20);
             let sizes: Vec<usize> = (1..=5).map(|i| base * i).collect();
-            println!("{}", harness::exp2_vary_query_set_size(config, &sizes));
+            harness::exp2_vary_query_set_size(config, &sizes)
         }
-        "exp3" => println!("{}", harness::exp3_decomposition(config)),
-        "exp4" => println!(
-            "{}",
+        "exp3" => harness::exp3_decomposition(config),
+        "exp4" => {
             harness::exp4_vary_gamma(config, &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0])
-        ),
-        "exp5" => println!(
-            "{}",
-            harness::exp5_scalability(config, &[0.2, 0.4, 0.6, 0.8, 1.0])
-        ),
-        "exp6" => println!("{}", harness::exp6_ksp_comparison(config)),
-        "exp7" => println!("{}", harness::exp7_path_counts(config, &[3, 4, 5, 6, 7])),
-        "ablation-order" => println!("{}", harness::ablation_search_order(config)),
-        "ablation-cluster" => println!("{}", harness::ablation_clustering(config)),
+        }
+        "exp5" => harness::exp5_scalability(config, &[0.2, 0.4, 0.6, 0.8, 1.0]),
+        "exp6" => harness::exp6_ksp_comparison(config),
+        "exp7" => harness::exp7_path_counts(config, &[3, 4, 5, 6, 7]),
+        "ablation-order" => harness::ablation_search_order(config),
+        "ablation-cluster" => harness::ablation_clustering(config),
+        "parallel-scaling" => {
+            harness::parallel_scaling(config, &options.threads, &options.batches, options.repeats)
+        }
         other => {
             eprintln!("error: unknown experiment {other:?}");
             print_usage();
             std::process::exit(2);
         }
+    };
+    emit(&table, options);
+    if !options.json {
+        println!(
+            "# {experiment} finished in {:.1}s\n",
+            start.elapsed().as_secs_f64()
+        );
     }
-    println!(
-        "# {experiment} finished in {:.1}s\n",
-        start.elapsed().as_secs_f64()
-    );
 }
 
-fn parse(args: &[String]) -> Result<(Vec<String>, BenchConfig), String> {
+/// Wraps a scaling table into the `BENCH_parallel_scaling.json` document.
+fn scaling_document(table: &Table) -> String {
+    let table_json = table.to_json();
+    // `to_json` renders `{"title":...}`; prepend the bench identity to the same object.
+    format!(
+        "{{\"bench\":\"parallel_scaling\",\"schema_version\":1,{}",
+        &table_json[1..]
+    )
+}
+
+/// The CI perf gate: quick scaling run → JSON artifact → baseline comparison.
+fn run_perf_smoke(options: &CliOptions) {
+    let config = BenchConfig::quick();
+    println!(
+        "# perf-smoke: scale={:?} datasets={:?} threads={:?} batches={:?}",
+        config.scale,
+        config
+            .datasets
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>(),
+        options.threads,
+        options.batches
+    );
+    let table =
+        harness::parallel_scaling(&config, &options.threads, &options.batches, options.repeats);
+    emit(&table, options);
+
+    let document = scaling_document(&table);
+    if let Err(e) = std::fs::write(&options.out, &document) {
+        eprintln!("error: cannot write {}: {e}", options.out);
+        std::process::exit(1);
+    }
+    println!("# wrote {}", options.out);
+
+    if options.write_baseline {
+        if let Some(parent) = std::path::Path::new(&options.baseline).parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(&options.baseline, &document) {
+            eprintln!("error: cannot write {}: {e}", options.baseline);
+            std::process::exit(1);
+        }
+        println!("# wrote baseline {}", options.baseline);
+        return;
+    }
+
+    let baseline_text = match std::fs::read_to_string(&options.baseline) {
+        Ok(text) => text,
+        Err(_) => {
+            println!(
+                "# no baseline at {} — gate skipped (run with --write-baseline to create one)",
+                options.baseline
+            );
+            return;
+        }
+    };
+    let outcome = parse_json(&baseline_text)
+        .and_then(|baseline| {
+            parse_json(&document)
+                .and_then(|current| compare_throughput(&baseline, &current, options.tolerance))
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("error: perf comparison failed: {e}");
+            std::process::exit(1);
+        });
+    println!(
+        "# perf gate: {} points compared ({} missing from baseline), geomean throughput \
+         ratio {:.3}, tolerance {:.0}%",
+        outcome.compared,
+        outcome.missing_in_baseline,
+        outcome.geomean_ratio,
+        options.tolerance * 100.0
+    );
+    for warning in &outcome.warnings {
+        println!("#   warning (not failing): {warning}");
+    }
+    if outcome.passed() {
+        println!("# perf gate PASSED");
+    } else {
+        eprintln!("# perf gate FAILED: throughput regressed beyond tolerance");
+        for regression in &outcome.regressions {
+            eprintln!("#   {regression}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// Parse result: experiments, workload config, output/gate options, and which workload
+/// flags were explicitly passed (perf-smoke rejects those — it pins the quick config).
+type Parsed = (Vec<String>, BenchConfig, CliOptions, Vec<&'static str>);
+
+fn parse(args: &[String]) -> Result<Parsed, String> {
     let mut config = BenchConfig::full();
+    let mut options = CliOptions::default();
     let mut experiments: Vec<String> = Vec::new();
+    let mut workload_flags: Vec<&'static str> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         let arg = &args[i];
@@ -103,6 +277,7 @@ fn parse(args: &[String]) -> Result<(Vec<String>, BenchConfig), String> {
         };
         match arg.as_str() {
             "--scale" => {
+                workload_flags.push("--scale");
                 config.scale = match take_value(&mut i)?.to_ascii_lowercase().as_str() {
                     "tiny" => DatasetScale::Tiny,
                     "small" => DatasetScale::Small,
@@ -112,26 +287,51 @@ fn parse(args: &[String]) -> Result<(Vec<String>, BenchConfig), String> {
                 };
             }
             "--datasets" => {
+                workload_flags.push("--datasets");
                 let list = take_value(&mut i)?;
                 let datasets: Result<Vec<Dataset>, _> =
                     list.split(',').map(|s| s.trim().parse()).collect();
                 config.datasets = datasets?;
             }
             "--queries" => {
+                workload_flags.push("--queries");
                 config.query_set_size = take_value(&mut i)?
                     .parse()
                     .map_err(|_| "--queries expects a number".to_string())?;
             }
             "--kmin" => {
+                workload_flags.push("--kmin");
                 config.k_min = take_value(&mut i)?
                     .parse()
                     .map_err(|_| "--kmin expects a number".to_string())?;
             }
             "--kmax" => {
+                workload_flags.push("--kmax");
                 config.k_max = take_value(&mut i)?
                     .parse()
                     .map_err(|_| "--kmax expects a number".to_string())?;
             }
+            "--json" => options.json = true,
+            "--threads" => {
+                options.threads = parse_usize_list(&take_value(&mut i)?, "--threads")?;
+            }
+            "--batches" => {
+                options.batches = parse_usize_list(&take_value(&mut i)?, "--batches")?;
+            }
+            "--repeats" => {
+                options.repeats = take_value(&mut i)?
+                    .parse::<usize>()
+                    .map_err(|_| "--repeats expects a number".to_string())?
+                    .max(1);
+            }
+            "--out" => options.out = take_value(&mut i)?,
+            "--baseline" => options.baseline = take_value(&mut i)?,
+            "--tolerance" => {
+                options.tolerance = take_value(&mut i)?
+                    .parse()
+                    .map_err(|_| "--tolerance expects a number in [0, 1]".to_string())?;
+            }
+            "--write-baseline" => options.write_baseline = true,
             "all" => {
                 experiments = vec![
                     "table1",
@@ -145,6 +345,7 @@ fn parse(args: &[String]) -> Result<(Vec<String>, BenchConfig), String> {
                     "exp7",
                     "ablation-order",
                     "ablation-cluster",
+                    "parallel-scaling",
                 ]
                 .into_iter()
                 .map(String::from)
@@ -159,14 +360,27 @@ fn parse(args: &[String]) -> Result<(Vec<String>, BenchConfig), String> {
         experiments.push("table1".to_string());
     }
     config.k_max = config.k_max.max(config.k_min);
-    Ok((experiments, config))
+    Ok((experiments, config, options, workload_flags))
+}
+
+fn parse_usize_list(list: &str, flag: &str) -> Result<Vec<usize>, String> {
+    let parsed: Result<Vec<usize>, _> = list.split(',').map(|s| s.trim().parse()).collect();
+    match parsed {
+        Ok(values) if !values.is_empty() => Ok(values),
+        _ => Err(format!("{flag} expects a comma-separated list of numbers")),
+    }
 }
 
 fn print_usage() {
     println!(
         "usage: experiments [EXPERIMENT ...] [--scale tiny|small|medium|large] \
-         [--datasets EP,SL,...] [--queries N] [--kmin K] [--kmax K]\n\
+         [--datasets EP,SL,...] [--queries N] [--kmin K] [--kmax K] [--json] \
+         [--threads 1,2,4] [--batches 64,256] [--repeats N] [--out FILE] [--baseline FILE] \
+         [--tolerance 0.2] [--write-baseline]\n\
          experiments: table1 fig3c exp1 exp2 exp3 exp4 exp5 exp6 exp7 \
-         ablation-order ablation-cluster all"
+         ablation-order ablation-cluster parallel-scaling perf-smoke all\n\
+         perf-smoke: runs parallel-scaling in quick mode, writes the JSON artifact \
+         (--out) and fails when throughput regresses more than --tolerance against \
+         --baseline; --write-baseline (re)creates the baseline instead"
     );
 }

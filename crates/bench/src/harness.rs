@@ -11,7 +11,10 @@ use hcsp_baselines::{DkSp, KspEnumerator, OnePass};
 use hcsp_core::materialize::materialize_batch;
 use hcsp_core::query::BatchSummary;
 use hcsp_core::similarity::{QueryNeighborhood, SimilarityMatrix};
-use hcsp_core::{Algorithm, BatchEngine, CountSink, EnumStats, PathQuery, SearchOrder, Stage};
+use hcsp_core::{
+    Algorithm, BatchEngine, CountSink, Engine, EnumStats, Parallelism, PathQuery, SearchOrder,
+    Stage,
+};
 use hcsp_graph::sampling::sample_vertices;
 use hcsp_graph::DiGraph;
 use hcsp_index::BatchIndex;
@@ -416,6 +419,111 @@ pub fn exp7_path_counts(config: &BenchConfig, ks: &[u32]) -> Table {
     table
 }
 
+/// Parallel scaling: throughput of the cluster-sharded parallel executor across thread
+/// counts and batch sizes (the data series behind `BENCH_parallel_scaling.json`).
+///
+/// For every `dataset × batch size × thread count` combination the batch is executed
+/// `repeats` times on a fresh [`Engine`] via [`Engine::run_batch_parallel`] and the
+/// fastest run is reported (best-of-N suppresses scheduler noise, which matters for the
+/// CI regression gate; `threads = 1` is the sequential reference of the speedup column).
+/// The reported throughput includes index construction and clustering, i.e. it is
+/// end-to-end queries per second, and the result counts are cross-checked against the
+/// sequential engine — a scaling number from a lossy run would be worthless.
+pub fn parallel_scaling(
+    config: &BenchConfig,
+    thread_counts: &[usize],
+    batch_sizes: &[usize],
+    repeats: usize,
+) -> Table {
+    let mut table = Table::new(
+        "Parallel scaling: cluster-sharded BatchEnum+ across worker threads",
+        &[
+            "dataset",
+            "batch",
+            "threads",
+            "seconds",
+            "qps",
+            "speedup",
+            "sharing_ratio",
+            "paths",
+        ],
+    );
+    for &dataset in &config.datasets {
+        let graph = dataset.build(config.scale);
+        for &batch in batch_sizes {
+            let spec = hcsp_workload::QuerySetSpec::new(batch, config.seed)
+                .with_hops(config.k_min, config.k_max);
+            // A mildly similar set: sharing exists inside clusters, but the batch still
+            // splits into many clusters — the parallel units the shards are built from.
+            // (Higher similarity collapses the batch into one cluster, which measures
+            // sequential sharing, not scaling.)
+            let queries = similar_query_set(&graph, spec, 0.2);
+            if queries.is_empty() {
+                continue;
+            }
+            // The analog graphs are dense enough that clustering collapses a whole batch
+            // into one or two clusters — maximal sharing, but a single cluster is a
+            // single parallel unit. The scaling runs therefore cap the cluster size at 8
+            // queries (sharing kept within a sub-cluster, parallel slack across them);
+            // see `ParallelBatchEnum::max_cluster_size`.
+            let cluster_cap = Some(8);
+            let engine_config = BatchEngine::default();
+            let mut engine = Engine::new(graph.clone(), engine_config);
+            let (reference_counts, _) = engine.run_counting(&queries);
+
+            let mut measured: Vec<(usize, f64, f64, usize)> = Vec::new();
+            for &threads in thread_counts {
+                let mut seconds = f64::INFINITY;
+                let mut outcome = None;
+                for _ in 0..repeats.max(1) {
+                    // A fresh engine per run: every run pays the full index build, so the
+                    // thread counts compare end-to-end work, not cache luck.
+                    let mut engine = Engine::new(graph.clone(), engine_config);
+                    engine.set_parallel_cluster_cap(cluster_cap);
+                    let start = Instant::now();
+                    let run =
+                        engine.run_batch_parallel(&queries, Parallelism::Fixed(threads.max(1)));
+                    seconds = seconds.min(start.elapsed().as_secs_f64());
+                    let counts: Vec<u64> = run.paths.iter().map(|p| p.len() as u64).collect();
+                    assert_eq!(counts, reference_counts, "parallel run must be lossless");
+                    outcome = Some(run);
+                }
+                let outcome = outcome.expect("at least one repeat");
+                measured.push((
+                    threads.max(1),
+                    seconds,
+                    outcome.stats.sharing_ratio(),
+                    outcome.total(),
+                ));
+            }
+
+            // Speedup is relative to the threads = 1 measurement regardless of the order
+            // the thread counts were requested in (first measurement as a fallback when
+            // no single-threaded point was asked for).
+            let base = measured
+                .iter()
+                .find(|&&(threads, ..)| threads == 1)
+                .or(measured.first())
+                .map(|&(_, seconds, ..)| seconds)
+                .unwrap_or(1.0);
+            for (threads, seconds, sharing_ratio, total_paths) in measured {
+                let qps = queries.len() as f64 / seconds.max(1e-9);
+                table.push_row(vec![
+                    dataset.to_string(),
+                    queries.len().to_string(),
+                    threads.to_string(),
+                    format!("{seconds:.6}"),
+                    format!("{qps:.2}"),
+                    format!("{:.3}", base / seconds.max(1e-9)),
+                    format!("{sharing_ratio:.3}"),
+                    total_paths.to_string(),
+                ]);
+            }
+        }
+    }
+    table
+}
+
 /// Ablation: the effect of the optimized search order on the baseline and the shared
 /// algorithm (BasicEnum vs BasicEnum+ and BatchEnum vs BatchEnum+).
 pub fn ablation_search_order(config: &BenchConfig) -> Table {
@@ -549,6 +657,26 @@ mod tests {
         let config = test_config();
         assert_eq!(ablation_search_order(&config).len(), 2);
         assert_eq!(ablation_clustering(&config).len(), 2);
+    }
+
+    #[test]
+    fn parallel_scaling_produces_one_row_per_combination() {
+        let config = test_config();
+        let t = parallel_scaling(&config, &[1, 2], &[6], 2);
+        // 2 datasets × 1 batch size × 2 thread counts.
+        assert_eq!(t.len(), 4);
+        for row in t.rows() {
+            let threads: usize = row[2].parse().unwrap();
+            assert!(threads == 1 || threads == 2);
+            let qps: f64 = row[4].parse().unwrap();
+            assert!(qps > 0.0, "throughput must be positive: {row:?}");
+            let speedup: f64 = row[5].parse().unwrap();
+            assert!(speedup > 0.0);
+            let sharing: f64 = row[6].parse().unwrap();
+            assert!((0.0..=1.0).contains(&sharing));
+        }
+        // The threads=1 rows are the speedup reference.
+        assert_eq!(t.rows()[0][5], "1.000");
     }
 
     #[test]

@@ -24,7 +24,9 @@
 
 pub mod config;
 pub mod harness;
+pub mod perf;
 pub mod report;
 
 pub use config::BenchConfig;
-pub use report::Table;
+pub use perf::{compare_throughput, PerfComparison};
+pub use report::{parse_json, Json, Table};

@@ -1,0 +1,238 @@
+//! The throughput regression gate behind the CI `perf-smoke` job.
+//!
+//! The job runs [`crate::harness::parallel_scaling`] in quick mode, writes the result as
+//! `BENCH_parallel_scaling.json`, and compares it against the committed
+//! `bench/baseline.json` (same schema). A run *fails* the gate when
+//!
+//! * the **geometric mean** of the per-point throughput ratios (current / baseline) over
+//!   all compared `dataset × batch × threads` points drops below `1 − tolerance`, or
+//! * any **single point** drops below `1 − 2·tolerance` (a localized but severe
+//!   regression that a healthy mean could otherwise mask).
+//!
+//! Individual points between the two floors are reported as warnings but do not fail the
+//! gate on their own — single-point timing jitter on shared CI runners routinely exceeds
+//! 20 % even at best-of-N, while the geometric mean is stable. Points missing from the
+//! baseline are reported but never fail the gate (new datasets / thread counts must be
+//! land-able), and faster points are fine by definition.
+//!
+//! Baselines are machine-dependent; regenerate with
+//! `cargo run --release -p hcsp-bench --bin experiments -- perf-smoke --write-baseline`
+//! when the reference hardware changes.
+
+use crate::report::Json;
+
+/// The outcome of comparing a fresh scaling run against a baseline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PerfComparison {
+    /// Gate-failing findings: a regressed geometric mean and/or points below the severe
+    /// (2×-tolerance) floor. Empty = gate passes.
+    pub regressions: Vec<String>,
+    /// Points below the soft (1×-tolerance) floor but above the severe floor:
+    /// reported, not failing.
+    pub warnings: Vec<String>,
+    /// Geometric mean of current/baseline throughput over the compared points
+    /// (1.0 = parity; meaningless when `compared == 0`).
+    pub geomean_ratio: f64,
+    /// Points compared against a baseline entry.
+    pub compared: usize,
+    /// Points with no baseline entry (informational).
+    pub missing_in_baseline: usize,
+}
+
+impl PerfComparison {
+    /// Whether the gate passes (no aggregate regression, no severe single point).
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// The identity of one scaling point within a report.
+fn point_key(row: &Json) -> Option<String> {
+    let dataset = row.get("dataset")?.as_str()?;
+    let batch = row.get("batch")?.as_f64()?;
+    let threads = row.get("threads")?.as_f64()?;
+    Some(format!("{dataset}/batch={batch}/threads={threads}"))
+}
+
+/// Extracts `(key, qps)` pairs from a scaling report (`{"rows": [...]}`).
+fn throughput_points(report: &Json) -> Result<Vec<(String, f64)>, String> {
+    let rows = report
+        .get("rows")
+        .and_then(Json::as_array)
+        .ok_or("report has no \"rows\" array")?;
+    let mut points = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let key = point_key(row).ok_or(format!("row {i} lacks dataset/batch/threads"))?;
+        let qps = row
+            .get("qps")
+            .and_then(Json::as_f64)
+            .ok_or(format!("row {i} lacks a numeric \"qps\""))?;
+        points.push((key, qps));
+    }
+    Ok(points)
+}
+
+/// Compares `current` against `baseline` (see the module docs for the gate semantics).
+///
+/// `tolerance = 0.2` fails a >20 % geometric-mean slowdown, or any single point slower
+/// than 40 % below its baseline; single points 20–40 % below baseline become warnings.
+pub fn compare_throughput(
+    baseline: &Json,
+    current: &Json,
+    tolerance: f64,
+) -> Result<PerfComparison, String> {
+    let tolerance = tolerance.clamp(0.0, 1.0);
+    let severe_floor_factor = (1.0 - 2.0 * tolerance).max(0.0);
+    let baseline_points = throughput_points(baseline)?;
+    let current_points = throughput_points(current)?;
+    let mut comparison = PerfComparison {
+        geomean_ratio: 1.0,
+        ..PerfComparison::default()
+    };
+    let mut log_ratio_sum = 0.0;
+    for (key, qps) in &current_points {
+        let Some((_, base_qps)) = baseline_points.iter().find(|(k, _)| k == key) else {
+            comparison.missing_in_baseline += 1;
+            continue;
+        };
+        comparison.compared += 1;
+        let ratio = (qps / base_qps.max(1e-12)).max(1e-12);
+        log_ratio_sum += ratio.ln();
+        if *qps < base_qps * severe_floor_factor {
+            comparison.regressions.push(format!(
+                "{key}: {qps:.2} qps is below the severe floor {:.2} (baseline {base_qps:.2}, 2x tolerance)",
+                base_qps * severe_floor_factor
+            ));
+        } else if *qps < base_qps * (1.0 - tolerance) {
+            comparison.warnings.push(format!(
+                "{key}: {qps:.2} qps < {:.2} qps soft floor (baseline {base_qps:.2})",
+                base_qps * (1.0 - tolerance)
+            ));
+        }
+    }
+    if comparison.compared > 0 {
+        comparison.geomean_ratio = (log_ratio_sum / comparison.compared as f64).exp();
+        if comparison.geomean_ratio < 1.0 - tolerance {
+            comparison.regressions.insert(
+                0,
+                format!(
+                    "geometric-mean throughput ratio {:.3} < {:.3} (tolerance {:.0}%) over {} points",
+                    comparison.geomean_ratio,
+                    1.0 - tolerance,
+                    tolerance * 100.0,
+                    comparison.compared
+                ),
+            );
+        }
+    }
+    Ok(comparison)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::parse_json;
+
+    fn report(points: &[(&str, f64, f64, f64)]) -> Json {
+        let rows: Vec<String> = points
+            .iter()
+            .map(|(d, b, t, q)| {
+                format!("{{\"dataset\":\"{d}\",\"batch\":{b},\"threads\":{t},\"qps\":{q}}}")
+            })
+            .collect();
+        parse_json(&format!("{{\"rows\":[{}]}}", rows.join(","))).unwrap()
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let baseline = report(&[("EP", 16.0, 1.0, 100.0), ("EP", 16.0, 4.0, 300.0)]);
+        let current = report(&[("EP", 16.0, 1.0, 85.0), ("EP", 16.0, 4.0, 400.0)]);
+        let cmp = compare_throughput(&baseline, &current, 0.2).unwrap();
+        assert!(cmp.passed(), "{:?}", cmp.regressions);
+        assert_eq!(cmp.compared, 2);
+        assert_eq!(cmp.missing_in_baseline, 0);
+        assert!(cmp.warnings.is_empty());
+        assert!(cmp.geomean_ratio > 1.0);
+    }
+
+    #[test]
+    fn aggregate_regression_beyond_tolerance_fails() {
+        // Both points ~25% down: geomean ratio 0.75 < 0.8.
+        let baseline = report(&[("EP", 16.0, 1.0, 100.0), ("EP", 16.0, 4.0, 200.0)]);
+        let current = report(&[("EP", 16.0, 1.0, 75.0), ("EP", 16.0, 4.0, 150.0)]);
+        let cmp = compare_throughput(&baseline, &current, 0.2).unwrap();
+        assert!(!cmp.passed());
+        assert!(cmp.regressions[0].contains("geometric-mean"));
+        assert!((cmp.geomean_ratio - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_noisy_point_warns_but_does_not_fail() {
+        // One of four points 25% down (within 2x tolerance), rest at parity: the
+        // geomean stays above the floor, so this is jitter, not a regression.
+        let baseline = report(&[
+            ("EP", 16.0, 1.0, 100.0),
+            ("EP", 16.0, 2.0, 100.0),
+            ("EP", 16.0, 4.0, 100.0),
+            ("WT", 16.0, 1.0, 100.0),
+        ]);
+        let current = report(&[
+            ("EP", 16.0, 1.0, 75.0),
+            ("EP", 16.0, 2.0, 100.0),
+            ("EP", 16.0, 4.0, 100.0),
+            ("WT", 16.0, 1.0, 100.0),
+        ]);
+        let cmp = compare_throughput(&baseline, &current, 0.2).unwrap();
+        assert!(cmp.passed(), "{:?}", cmp.regressions);
+        assert_eq!(cmp.warnings.len(), 1);
+        assert!(cmp.warnings[0].contains("EP/batch=16/threads=1"));
+    }
+
+    #[test]
+    fn severe_single_point_regression_fails_despite_healthy_mean() {
+        // One point collapses to 10% of baseline (below the 60% severe floor at
+        // tolerance 0.2); the other points keep the geomean above the soft floor.
+        let baseline = report(&[
+            ("EP", 16.0, 1.0, 100.0),
+            ("EP", 16.0, 2.0, 100.0),
+            ("EP", 16.0, 4.0, 100.0),
+            ("WT", 16.0, 1.0, 100.0),
+            ("WT", 16.0, 2.0, 100.0),
+            ("WT", 16.0, 4.0, 100.0),
+            ("BS", 16.0, 1.0, 100.0),
+            ("BS", 16.0, 2.0, 100.0),
+        ]);
+        let current = report(&[
+            ("EP", 16.0, 1.0, 10.0),
+            ("EP", 16.0, 2.0, 110.0),
+            ("EP", 16.0, 4.0, 110.0),
+            ("WT", 16.0, 1.0, 110.0),
+            ("WT", 16.0, 2.0, 110.0),
+            ("WT", 16.0, 4.0, 110.0),
+            ("BS", 16.0, 1.0, 110.0),
+            ("BS", 16.0, 2.0, 110.0),
+        ]);
+        let cmp = compare_throughput(&baseline, &current, 0.2).unwrap();
+        assert!(!cmp.passed());
+        assert!(cmp.regressions.iter().any(|r| r.contains("severe floor")));
+    }
+
+    #[test]
+    fn points_missing_from_the_baseline_do_not_fail() {
+        let baseline = report(&[("EP", 16.0, 1.0, 100.0)]);
+        let current = report(&[("EP", 16.0, 1.0, 100.0), ("SL", 16.0, 1.0, 5.0)]);
+        let cmp = compare_throughput(&baseline, &current, 0.2).unwrap();
+        assert!(cmp.passed());
+        assert_eq!(cmp.compared, 1);
+        assert_eq!(cmp.missing_in_baseline, 1);
+    }
+
+    #[test]
+    fn malformed_reports_are_rejected() {
+        let good = report(&[("EP", 16.0, 1.0, 100.0)]);
+        let no_rows = parse_json("{}").unwrap();
+        assert!(compare_throughput(&no_rows, &good, 0.2).is_err());
+        let bad_row = parse_json("{\"rows\":[{\"dataset\":\"EP\"}]}").unwrap();
+        assert!(compare_throughput(&good, &bad_row, 0.2).is_err());
+    }
+}

@@ -1,9 +1,14 @@
-//! Plain-text table rendering for experiment output.
+//! Experiment output rendering: fixed-width tables, CSV, and machine-readable JSON.
 //!
 //! The harness prints each experiment as a fixed-width table (one row per dataset /
 //! parameter value, one column per algorithm or sub-measurement), matching the series the
-//! paper's figures plot.
+//! paper's figures plot. Every table also renders as JSON ([`Table::to_json`]) so CI jobs
+//! and plotting scripts can consume results without scraping text, and a small
+//! self-contained JSON reader ([`parse_json`]) lets the perf gate compare a fresh run
+//! against a committed baseline without external dependencies (the build environment has
+//! no crates.io access, so `serde_json` is not available).
 
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// A simple fixed-width table: a header row plus data rows of equal arity.
@@ -60,6 +65,282 @@ impl Table {
             out.push('\n');
         }
         out
+    }
+
+    /// Renders the table as a JSON document: `{"title": ..., "rows": [{col: value}]}`.
+    ///
+    /// Cells that parse as finite numbers are emitted as JSON numbers; everything else is
+    /// emitted as a string. Row objects use the header names as keys.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"title\":{},\"rows\":[",
+            json_string(&self.title)
+        ));
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            for (j, (name, cell)) in self.header.iter().zip(row).enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json_string(name));
+                out.push(':');
+                out.push_str(&json_cell(cell));
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escapes and quotes a string for JSON output.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders one table cell as a JSON value: a number when it parses as one, else a string.
+///
+/// Numbers are re-rendered from the parsed value (not echoed verbatim) so spellings Rust
+/// accepts but JSON does not — `inf`, `nan`, `5.`, `+1` — can never leak into the output.
+fn json_cell(cell: &str) -> String {
+    match cell.trim().parse::<f64>() {
+        Ok(n) if n.is_finite() => {
+            if n == n.trunc() && n.abs() < 1e15 {
+                format!("{}", n as i64)
+            } else {
+                format!("{n}")
+            }
+        }
+        _ => json_string(cell),
+    }
+}
+
+/// A parsed JSON value (the subset of JSON this workspace emits: no `\u` surrogate pairs
+/// beyond the BMP are reconstructed, numbers are `f64`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object (key order is not preserved).
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// The value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document (objects, arrays, strings, numbers, booleans, null).
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing characters at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::String(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Number)
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("invalid \\u escape at byte {}", *pos))?;
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("invalid escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte sequences pass through verbatim).
+                let tail = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                let c = tail.chars().next().expect("non-empty by construction");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Object(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        map.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Object(map));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
     }
 }
 
@@ -132,5 +413,57 @@ mod tests {
         assert_eq!(fmt_seconds(0.0000123), "0.000012");
         assert_eq!(fmt_seconds(0.1234), "0.1234");
         assert_eq!(fmt_seconds(12.3456), "12.346");
+    }
+
+    #[test]
+    fn json_rendering_types_cells() {
+        let mut t = Table::new("Quote \"me\"", &["dataset", "qps", "note"]);
+        t.push_row(vec!["EP".into(), "123.5".into(), "2.1x".into()]);
+        let json = t.to_json();
+        assert_eq!(
+            json,
+            "{\"title\":\"Quote \\\"me\\\"\",\"rows\":[{\"dataset\":\"EP\",\"qps\":123.5,\"note\":\"2.1x\"}]}"
+        );
+    }
+
+    #[test]
+    fn json_round_trips_through_the_parser() {
+        let mut t = Table::new("rt", &["a", "b"]);
+        t.push_row(vec!["x".into(), "1".into()]);
+        t.push_row(vec!["y".into(), "-2.5e3".into()]);
+        let parsed = parse_json(&t.to_json()).unwrap();
+        assert_eq!(parsed.get("title").and_then(Json::as_str), Some("rt"));
+        let rows = parsed.get("rows").and_then(Json::as_array).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("a").and_then(Json::as_str), Some("x"));
+        assert_eq!(rows[0].get("b").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(rows[1].get("b").and_then(Json::as_f64), Some(-2500.0));
+    }
+
+    #[test]
+    fn parser_handles_the_full_value_zoo() {
+        let parsed = parse_json(
+            "  {\"s\": \"a\\n\\\"b\\u0041\", \"n\": -1.5e-2, \"t\": true, \"f\": false,
+                \"z\": null, \"arr\": [1, [], {}], \"o\": {\"k\": 2}} ",
+        )
+        .unwrap();
+        assert_eq!(parsed.get("s").and_then(Json::as_str), Some("a\n\"bA"));
+        assert_eq!(parsed.get("n").and_then(Json::as_f64), Some(-0.015));
+        assert_eq!(parsed.get("t"), Some(&Json::Bool(true)));
+        assert_eq!(parsed.get("f"), Some(&Json::Bool(false)));
+        assert_eq!(parsed.get("z"), Some(&Json::Null));
+        assert_eq!(parsed.get("arr").and_then(Json::as_array).unwrap().len(), 3);
+        assert_eq!(
+            parsed
+                .get("o")
+                .and_then(|o| o.get("k"))
+                .and_then(Json::as_f64),
+            Some(2.0)
+        );
+        // Non-values are rejected, not mangled.
+        assert!(parse_json("{\"a\": }").is_err());
+        assert!(parse_json("[1, 2").is_err());
+        assert!(parse_json("true false").is_err());
+        assert!(parse_json("\"open").is_err());
     }
 }

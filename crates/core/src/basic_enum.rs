@@ -5,6 +5,7 @@
 //! Each query is then enumerated independently against the shared index with the same
 //! bidirectional search + `⊕` join as `PathEnum`.
 
+use crate::buffers::SearchBuffers;
 use crate::pathenum::PathEnum;
 use crate::query::{BatchSummary, PathQuery};
 use crate::search_order::SearchOrder;
@@ -68,11 +69,25 @@ impl BasicEnum {
         queries: &[PathQuery],
         sink: &mut S,
     ) -> EnumStats {
+        let mut buffers = SearchBuffers::for_graph(graph);
+        self.run_batch_with_index_buffered(graph, index, queries, sink, &mut buffers)
+    }
+
+    /// [`BasicEnum::run_batch_with_index`] with caller-owned, reusable [`SearchBuffers`]
+    /// (the entry point of the per-thread parallel workers).
+    pub fn run_batch_with_index_buffered<S: PathSink>(
+        &self,
+        graph: &DiGraph,
+        index: &BatchIndex,
+        queries: &[PathQuery],
+        sink: &mut S,
+        buffers: &mut SearchBuffers,
+    ) -> EnumStats {
         let mut stats = EnumStats::new(queries.len());
         stats.num_clusters = queries.len();
         let per_query = PathEnum::new(self.order);
         for (id, query) in queries.iter().enumerate() {
-            per_query.run_with_index(graph, index, query, id, sink, &mut stats);
+            per_query.run_with_index_buffered(graph, index, query, id, sink, &mut stats, buffers);
         }
         sink.finish();
         stats

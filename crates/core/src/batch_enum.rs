@@ -13,9 +13,10 @@
 //!    of its two half queries with `⊕`. Cache entries are evicted as soon as their last
 //!    user has been processed.
 
+use crate::buffers::SearchBuffers;
 use crate::cache::ResultCache;
 use crate::clustering::cluster_queries;
-use crate::concat::concatenate_with;
+use crate::concat::concatenate_scratch;
 use crate::detection::detect_cluster;
 use crate::path::PathSet;
 use crate::query::{BatchSummary, HcsQuery, PathQuery, QueryId};
@@ -115,15 +116,25 @@ impl BatchEnum {
         stats.num_clusters = clusters.len();
         stats.add_stage(Stage::ClusterQuery, start.elapsed());
 
-        // Stages 3-4 per cluster (Alg. 4 lines 4-16).
+        // Stages 3-4 per cluster (Alg. 4 lines 4-16); one buffer set for the whole batch.
+        let mut buffers = SearchBuffers::for_graph(graph);
         for cluster in &clusters {
-            self.process_cluster(graph, index, queries, cluster, sink, &mut stats);
+            self.process_cluster(
+                graph,
+                index,
+                queries,
+                cluster,
+                sink,
+                &mut stats,
+                &mut buffers,
+            );
         }
         sink.finish();
         stats
     }
 
     /// Detects and evaluates one cluster of queries.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn process_cluster<S: PathSink>(
         &self,
         graph: &DiGraph,
@@ -132,6 +143,7 @@ impl BatchEnum {
         cluster: &[QueryId],
         sink: &mut S,
         stats: &mut EnumStats,
+        buffers: &mut SearchBuffers,
     ) {
         // Stage 3: IdentifySubquery.
         let start = Instant::now();
@@ -160,6 +172,7 @@ impl BatchEnum {
                         &slacks[node_id],
                         &cache,
                         &mut counters,
+                        buffers,
                     );
                     cache.insert(node_id, paths, sharing.users(node_id).len());
                 }
@@ -172,6 +185,7 @@ impl BatchEnum {
                         &cache,
                         sink,
                         &mut counters,
+                        buffers,
                     );
                 }
             }
@@ -199,10 +213,14 @@ impl BatchEnum {
         slacks: &[AnchorSlack],
         cache: &ResultCache,
         counters: &mut SearchCounters,
+        buffers: &mut SearchBuffers,
     ) -> PathSet {
+        // The result set is cache-owned after this call, so it cannot come from the
+        // reusable buffers; the DFS state (stack, marks, candidate arena) does.
         let mut out = PathSet::new();
-        let mut stack: Vec<VertexId> = Vec::with_capacity(hcs.budget as usize + 1);
-        stack.push(hcs.root);
+        buffers.begin_traversal(graph);
+        buffers.stack.push(hcs.root);
+        buffers.marks.mark(hcs.root);
         // Pre-resolve "which provider is rooted at vertex w" once: the lookup happens for
         // every candidate neighbour of every expansion, and half queries of large clusters
         // can have hundreds of providers.
@@ -216,12 +234,11 @@ impl BatchEnum {
         self.extend_shared(
             graph,
             index,
-            sharing,
             hcs,
             slacks,
             &providers_by_root,
             cache,
-            &mut stack,
+            buffers,
             &mut out,
             counters,
         );
@@ -229,32 +246,32 @@ impl BatchEnum {
     }
 
     /// Recursive shared prefix extension (the `Search` procedure of Algorithm 4).
-    #[allow(clippy::too_many_arguments, clippy::only_used_in_recursion)]
+    /// `buffers.stack` holds the current prefix, mirrored by `buffers.marks`.
+    #[allow(clippy::too_many_arguments)]
     fn extend_shared(
         &self,
         graph: &DiGraph,
         index: &BatchIndex,
-        sharing: &SharingGraph,
         hcs: HcsQuery,
         slacks: &[AnchorSlack],
         providers_by_root: &[(VertexId, NodeId, HcsQuery)],
         cache: &ResultCache,
-        stack: &mut Vec<VertexId>,
+        buffers: &mut SearchBuffers,
         out: &mut PathSet,
         counters: &mut SearchCounters,
     ) {
         counters.expanded_vertices += 1;
         counters.stored_prefixes += 1;
-        out.push_slice(stack);
+        out.push_slice(&buffers.stack);
 
-        let current_hops = (stack.len() - 1) as u32;
+        let current_hops = (buffers.stack.len() - 1) as u32;
         if current_hops >= hcs.budget {
             return;
         }
-        let last = *stack.last().expect("prefix never empty");
+        let last = *buffers.stack.last().expect("prefix never empty");
         let remaining_after = hcs.budget - current_hops - 1;
 
-        let mut candidates: Vec<VertexId> = Vec::new();
+        let level_start = buffers.candidates.len();
         for &w in graph.neighbors(last, hcs.direction) {
             counters.scanned_edges += 1;
             let new_len = current_hops + 1;
@@ -262,14 +279,14 @@ impl BatchEnum {
                 counters.pruned_edges += 1;
                 continue;
             }
-            if stack.contains(&w) {
+            if buffers.marks.contains(w) {
                 continue;
             }
-            candidates.push(w);
+            buffers.candidates.push(w);
         }
         if let Some(first_anchor) = slacks.first() {
             self.order.arrange(
-                &mut candidates,
+                &mut buffers.candidates[level_start..],
                 graph,
                 index,
                 first_anchor.anchor,
@@ -277,7 +294,9 @@ impl BatchEnum {
             );
         }
 
-        for w in candidates {
+        let level_end = buffers.candidates.len();
+        for i in level_start..level_end {
+            let w = buffers.candidates[i];
             // Splice the cached results of a provider rooted at w when its budget covers
             // everything this prefix still needs (Alg. 4 lines 22-23).
             if let Ok(slot) = providers_by_root.binary_search_by_key(&w, |&(root, _, _)| root) {
@@ -289,31 +308,33 @@ impl BatchEnum {
                             if (suffix.len() - 1) as u32 > remaining_after {
                                 continue;
                             }
-                            if suffix.iter().any(|v| stack.contains(v)) {
+                            if suffix.iter().any(|&v| buffers.marks.contains(v)) {
                                 continue;
                             }
                             counters.stored_prefixes += 1;
-                            out.push_concat(stack, suffix);
+                            out.push_concat(&buffers.stack, suffix);
                         }
                         continue;
                     }
                 }
             }
-            stack.push(w);
+            buffers.stack.push(w);
+            buffers.marks.mark(w);
             self.extend_shared(
                 graph,
                 index,
-                sharing,
                 hcs,
                 slacks,
                 providers_by_root,
                 cache,
-                stack,
+                buffers,
                 out,
                 counters,
             );
-            stack.pop();
+            buffers.marks.unmark(w);
+            buffers.stack.pop();
         }
+        buffers.candidates.truncate(level_start);
     }
 
     /// Lemma 3.1 pruning generalised to a shared HC-s path query: an extension to `w` of
@@ -347,6 +368,7 @@ impl BatchEnum {
         cache: &ResultCache,
         sink: &mut S,
         counters: &mut SearchCounters,
+        buffers: &mut SearchBuffers,
     ) {
         let mut forward: Option<&PathSet> = None;
         let mut backward: Option<&PathSet> = None;
@@ -365,9 +387,15 @@ impl BatchEnum {
             );
             return;
         };
-        let join = concatenate_with(forward, backward, query.hop_limit, |path| {
-            sink.accept(qid, path);
-        });
+        let join = concatenate_scratch(
+            forward,
+            backward,
+            query.hop_limit,
+            &mut buffers.join,
+            |path| {
+                sink.accept(qid, path);
+            },
+        );
         counters.produced_paths += join.produced as u64;
     }
 }

@@ -1,0 +1,197 @@
+//! Reusable per-thread search buffers: the allocation-free enumeration hot path.
+//!
+//! The DFS half searches and the `⊕` join are the inner loops of every algorithm in this
+//! crate. Written naively they allocate constantly: a fresh candidate `Vec` per expanded
+//! vertex, a linear `stack.contains` scan per candidate, fresh `PathSet`s per query, and a
+//! fresh hash map per join. [`SearchBuffers`] hoists all of that state out of the hot path
+//! so a batch (or a worker thread serving many batches) allocates once and then reuses:
+//!
+//! * **Prefix stack** — the current DFS prefix, one push/pop per expansion.
+//! * **Visited marks** — an epoch-stamped `u32` array over the vertex set; membership of
+//!   the current prefix is O(1) instead of a linear stack scan, and "clearing" it for the
+//!   next traversal is a single epoch increment, not an O(|V|) wipe.
+//! * **Candidate arena** — a single flat `Vec` holding the candidate lists of *all* open
+//!   recursion levels back to back: a level records its start offset, appends its
+//!   candidates, iterates them by index, and truncates back on exit. Deeper levels only
+//!   ever append after the current level's range, so no per-level allocation is needed.
+//! * **Half-search path sets** — the forward/backward prefix sets of a query, cleared
+//!   (capacity retained) between queries instead of reallocated.
+//! * **Join scratch** — the sorted join-vertex table and the assembly buffer of the `⊕`
+//!   concatenation (see [`JoinScratch`]).
+//!
+//! Buffers are deliberately `!Sync`-by-use: every worker thread owns its own
+//! `SearchBuffers`, which is what the cluster-sharded parallel executor
+//! ([`crate::parallel`]) hands each worker.
+
+use crate::path::PathSet;
+use hcsp_graph::{DiGraph, VertexId};
+
+/// Epoch-stamped membership marks over the vertex set.
+///
+/// `mark(v)` stamps `v` with the current epoch, `contains(v)` compares stamps, and
+/// [`VisitMarks::reset`] starts a new traversal by bumping the epoch — O(1) instead of
+/// clearing the whole array. The stamp array is sized lazily to the graph.
+#[derive(Debug, Default, Clone)]
+pub struct VisitMarks {
+    stamps: Vec<u32>,
+    epoch: u32,
+}
+
+impl VisitMarks {
+    /// Starts a new traversal over a graph of `num_vertices` vertices: all marks cleared.
+    pub fn reset(&mut self, num_vertices: usize) {
+        if self.stamps.len() < num_vertices {
+            self.stamps.resize(num_vertices, 0);
+        }
+        if self.epoch == u32::MAX {
+            // Epoch wrap: wipe once every 2^32 - 1 traversals.
+            self.stamps.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// Marks `v` as a member of the current prefix.
+    #[inline]
+    pub fn mark(&mut self, v: VertexId) {
+        self.stamps[v.index()] = self.epoch;
+    }
+
+    /// Unmarks `v` (on DFS backtrack).
+    #[inline]
+    pub fn unmark(&mut self, v: VertexId) {
+        self.stamps[v.index()] = 0;
+    }
+
+    /// Whether `v` is on the current prefix.
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.stamps[v.index()] == self.epoch
+    }
+}
+
+/// Reusable scratch state of the `⊕` join (see [`crate::concat::concatenate_scratch`]).
+///
+/// The join indexes the backward prefix set by its end (join) vertex. A per-call hash map
+/// would pay an allocation per bucket; the scratch instead keeps one flat, sorted
+/// `(join_vertex, path index)` table and one assembly buffer, both reused across joins.
+#[derive(Debug, Default, Clone)]
+pub struct JoinScratch {
+    /// `(end vertex, backward path index)` pairs, sorted by end vertex (ties by index).
+    pub(crate) pairs: Vec<(VertexId, u32)>,
+    /// Assembly buffer for one joined path.
+    pub(crate) assembled: Vec<VertexId>,
+}
+
+/// Per-thread reusable buffers of the enumeration hot path.
+///
+/// Create one per worker (or per batch) and pass it to the `*_buffered` entry points of
+/// [`crate::pathenum::PathEnum`], [`crate::basic_enum::BasicEnum`] and
+/// [`crate::batch_enum::BatchEnum`]. The convenience (non-`_buffered`) entry points create
+/// a transient instance per call, which preserves their old behaviour at the old cost.
+#[derive(Debug, Default, Clone)]
+pub struct SearchBuffers {
+    /// Current DFS prefix (root first).
+    pub(crate) stack: Vec<VertexId>,
+    /// O(1) membership of the current prefix.
+    pub(crate) marks: VisitMarks,
+    /// Flat candidate arena shared by all open recursion levels.
+    pub(crate) candidates: Vec<VertexId>,
+    /// Reusable forward half-search prefix set.
+    pub(crate) forward: PathSet,
+    /// Reusable backward half-search prefix set.
+    pub(crate) backward: PathSet,
+    /// Reusable join scratch.
+    pub(crate) join: JoinScratch,
+}
+
+impl SearchBuffers {
+    /// Creates empty buffers; arrays grow lazily to the graphs they are used on.
+    pub fn new() -> Self {
+        SearchBuffers::default()
+    }
+
+    /// Creates buffers pre-sized for `graph` (avoids the first-use resize).
+    pub fn for_graph(graph: &DiGraph) -> Self {
+        let mut buffers = SearchBuffers::default();
+        buffers.marks.reset(graph.num_vertices());
+        buffers
+    }
+
+    /// Prepares the stack/marks/arena for a fresh traversal over `graph`.
+    ///
+    /// Returns with an empty stack, all marks cleared, and an empty candidate arena;
+    /// allocations are retained.
+    pub(crate) fn begin_traversal(&mut self, graph: &DiGraph) {
+        self.stack.clear();
+        self.candidates.clear();
+        self.marks.reset(graph.num_vertices());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcsp_graph::generators::regular::grid;
+
+    fn v(x: u32) -> VertexId {
+        VertexId(x)
+    }
+
+    #[test]
+    fn marks_track_membership_per_epoch() {
+        let mut marks = VisitMarks::default();
+        marks.reset(10);
+        assert!(!marks.contains(v(3)));
+        marks.mark(v(3));
+        assert!(marks.contains(v(3)));
+        marks.unmark(v(3));
+        assert!(!marks.contains(v(3)));
+
+        marks.mark(v(7));
+        marks.reset(10);
+        assert!(!marks.contains(v(7)), "reset clears all marks");
+    }
+
+    #[test]
+    fn marks_grow_with_the_graph() {
+        let mut marks = VisitMarks::default();
+        marks.reset(2);
+        marks.mark(v(1));
+        marks.reset(100);
+        marks.mark(v(99));
+        assert!(marks.contains(v(99)));
+        assert!(!marks.contains(v(1)));
+    }
+
+    #[test]
+    fn epoch_wrap_wipes_stale_stamps() {
+        let mut marks = VisitMarks {
+            stamps: vec![u32::MAX - 1; 4],
+            epoch: u32::MAX - 1,
+        };
+        // Stale stamps from the pre-wrap era must not leak into the post-wrap epoch.
+        assert!(marks.contains(v(0)));
+        marks.reset(4);
+        assert!(!marks.contains(v(0)));
+        marks.reset(4);
+        assert!(!marks.contains(v(0)));
+        marks.mark(v(2));
+        assert!(marks.contains(v(2)));
+    }
+
+    #[test]
+    fn begin_traversal_clears_state_but_keeps_capacity() {
+        let g = grid(3, 3);
+        let mut buffers = SearchBuffers::for_graph(&g);
+        buffers.stack.push(v(0));
+        buffers.candidates.extend([v(1), v(2)]);
+        buffers.marks.mark(v(0));
+        let stack_cap = buffers.stack.capacity();
+        buffers.begin_traversal(&g);
+        assert!(buffers.stack.is_empty());
+        assert!(buffers.candidates.is_empty());
+        assert!(!buffers.marks.contains(v(0)));
+        assert!(buffers.stack.capacity() >= stack_cap);
+    }
+}

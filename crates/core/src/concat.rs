@@ -14,9 +14,9 @@
 //! {0, 1}`. Every valid result path has such a split within the budgets `⌈k/2⌉ / ⌊k/2⌋`,
 //! and it has only one.
 
+use crate::buffers::JoinScratch;
 use crate::path::{vertices_are_distinct, Path, PathSet};
 use hcsp_graph::VertexId;
-use std::collections::HashMap;
 
 /// Statistics of one join, used by instrumentation and tests.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -44,6 +44,27 @@ pub fn concatenate_with<F>(
     forward: &PathSet,
     backward: &PathSet,
     hop_limit: u32,
+    emit: F,
+) -> JoinStats
+where
+    F: FnMut(&[VertexId]),
+{
+    let mut scratch = JoinScratch::default();
+    concatenate_scratch(forward, backward, hop_limit, &mut scratch, emit)
+}
+
+/// [`concatenate_with`] with caller-owned scratch: the join-vertex table and the assembly
+/// buffer are reused across calls instead of reallocated, which makes the join
+/// allocation-free on the batch hot path.
+///
+/// The backward side is indexed by a flat `(end vertex, path index)` table sorted by end
+/// vertex (ties by index, so the emission order is identical to the hash-map variant this
+/// replaces); each forward prefix then binary-searches its join-vertex range.
+pub fn concatenate_scratch<F>(
+    forward: &PathSet,
+    backward: &PathSet,
+    hop_limit: u32,
+    scratch: &mut JoinScratch,
     mut emit: F,
 ) -> JoinStats
 where
@@ -54,22 +75,23 @@ where
         return stats;
     }
 
-    // Hash the (smaller in expectation) backward side on its end vertex.
-    let mut by_join_vertex: HashMap<VertexId, Vec<usize>> = HashMap::new();
+    let JoinScratch { pairs, assembled } = scratch;
+    pairs.clear();
     for (idx, suffix) in backward.iter().enumerate() {
         let join_vertex = *suffix.last().expect("paths are non-empty");
-        by_join_vertex.entry(join_vertex).or_default().push(idx);
+        pairs.push((join_vertex, idx as u32));
     }
+    pairs.sort_unstable();
 
-    let mut assembled: Vec<VertexId> = Vec::with_capacity(hop_limit as usize + 1);
     for prefix in forward.iter() {
         let join_vertex = *prefix.last().expect("paths are non-empty");
-        let Some(candidates) = by_join_vertex.get(&join_vertex) else {
-            continue;
-        };
+        let range_start = pairs.partition_point(|&(v, _)| v < join_vertex);
         let forward_hops = (prefix.len() - 1) as u32;
-        for &suffix_idx in candidates {
-            let suffix = backward.get(suffix_idx);
+        for &(_, suffix_idx) in pairs[range_start..]
+            .iter()
+            .take_while(|&&(v, _)| v == join_vertex)
+        {
+            let suffix = backward.get(suffix_idx as usize);
             stats.candidate_pairs += 1;
             let backward_hops = (suffix.len() - 1) as u32;
             let total = forward_hops + backward_hops;
@@ -83,12 +105,12 @@ where
             // The suffix is oriented from t towards the join vertex; skip the shared join
             // vertex and append the rest reversed.
             assembled.extend(suffix[..suffix.len() - 1].iter().rev().copied());
-            if !vertices_are_distinct(&assembled) {
+            if !vertices_are_distinct(assembled) {
                 stats.rejected_not_simple += 1;
                 continue;
             }
             stats.produced += 1;
-            emit(&assembled);
+            emit(assembled);
         }
     }
     stats
@@ -194,6 +216,35 @@ mod tests {
         let empty = PathSet::new();
         assert_eq!(concatenate(&forward, &empty, 5).0.len(), 0);
         assert_eq!(concatenate(&empty, &forward, 5).0.len(), 0);
+    }
+
+    #[test]
+    fn scratch_join_matches_fresh_join_across_reuses() {
+        let mut scratch = JoinScratch::default();
+        let cases: Vec<(PathSet, PathSet, u32)> = vec![
+            (
+                set(&[&[0], &[0, 1], &[0, 1, 2]]),
+                set(&[&[5], &[5, 4], &[5, 4, 2]]),
+                4,
+            ),
+            (
+                set(&[&[0], &[0, 1], &[0, 1, 2]]),
+                set(&[&[3], &[3, 2], &[3, 2, 1]]),
+                3,
+            ),
+            (set(&[&[0, 1], &[0, 2, 1]]), set(&[&[3, 1], &[3, 4, 1]]), 10),
+        ];
+        for (forward, backward, k) in cases {
+            let mut fresh = Vec::new();
+            let fresh_stats = concatenate_with(&forward, &backward, k, |p| fresh.push(p.to_vec()));
+            let mut reused = Vec::new();
+            // Scratch reused across joins: identical paths in identical order.
+            let reused_stats = concatenate_scratch(&forward, &backward, k, &mut scratch, |p| {
+                reused.push(p.to_vec())
+            });
+            assert_eq!(reused, fresh);
+            assert_eq!(reused_stats, fresh_stats);
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use crate::basic_enum::BasicEnum;
 use crate::batch_enum::{BatchEnum, DEFAULT_GAMMA};
+use crate::parallel::{run_pathenum_parallel, ParallelBasicEnum, ParallelBatchEnum, Parallelism};
 use crate::path::PathSet;
 use crate::pathenum::PathEnum;
 use crate::query::{BatchSummary, PathQuery};
@@ -265,6 +266,7 @@ pub struct Engine {
     graph: Arc<DiGraph>,
     index: Option<BatchIndex>,
     index_root_cap: Option<usize>,
+    parallel_cluster_cap: Option<usize>,
     reuse: IndexReuse,
 }
 
@@ -276,6 +278,7 @@ impl Engine {
             graph: graph.into(),
             index: None,
             index_root_cap: None,
+            parallel_cluster_cap: None,
             reuse: IndexReuse::default(),
         }
     }
@@ -339,6 +342,19 @@ impl Engine {
     /// The configured root cap, if any.
     pub fn index_root_cap(&self) -> Option<usize> {
         self.index_root_cap
+    }
+
+    /// Caps the similarity-cluster size used by the *parallel* run paths (see
+    /// [`ParallelBatchEnum::max_cluster_size`]): oversized clusters split into bounded
+    /// sub-clusters, trading cross-split sharing for parallel slack and a bounded shared
+    /// cache. `None` (default) never splits; sequential runs are unaffected either way.
+    pub fn set_parallel_cluster_cap(&mut self, cap: Option<usize>) {
+        self.parallel_cluster_cap = cap.filter(|&c| c > 0);
+    }
+
+    /// The configured parallel cluster cap, if any.
+    pub fn parallel_cluster_cap(&self) -> Option<usize> {
+        self.parallel_cluster_cap
     }
 
     /// Makes the cached index cover `summary`, rebuilding only when the hop bound grew and
@@ -414,6 +430,67 @@ impl Engine {
                 stats.add_stage(Stage::BuildIndex, prep_time);
                 stats
             }
+        }
+    }
+
+    /// Runs one batch on the cluster-sharded parallel executor, streaming every result
+    /// path into a caller-provided sink.
+    ///
+    /// The cached index is prepared exactly as in [`Engine::run_with_sink`]; cluster
+    /// evaluation then fans out over `parallelism` worker threads (see
+    /// [`crate::parallel`]). Results are merged deterministically, so the delivered paths
+    /// — per query, including order — are identical to the sequential run.
+    /// `Parallelism::Fixed(1)` degenerates to a single worker.
+    pub fn run_parallel_with_sink<S: PathSink>(
+        &mut self,
+        queries: &[PathQuery],
+        parallelism: Parallelism,
+        sink: &mut S,
+    ) -> EnumStats {
+        if queries.is_empty() {
+            sink.finish();
+            return EnumStats::new(0);
+        }
+        let order = self.config.algorithm().search_order();
+        match self.config.algorithm() {
+            // The real-time baseline: per-query index by definition, nothing cached; the
+            // per-query index builds simply spread over the workers.
+            Algorithm::PathEnum => {
+                run_pathenum_parallel(&self.graph, queries, order, parallelism, sink)
+            }
+            algorithm => {
+                let summary = BatchSummary::of(queries);
+                let prep_time = self.ensure_index(&summary);
+                let index = self.index.as_ref().expect("ensured above");
+                let mut stats = match algorithm {
+                    Algorithm::BasicEnum | Algorithm::BasicEnumPlus => ParallelBasicEnum::new(
+                        order,
+                        parallelism,
+                    )
+                    .run_batch_with_index(&self.graph, index, queries, sink),
+                    _ => ParallelBatchEnum::new(order, self.config.gamma(), parallelism)
+                        .with_max_cluster_size(self.parallel_cluster_cap)
+                        .run_batch_with_index(&self.graph, index, queries, sink),
+                };
+                stats.add_stage(Stage::BuildIndex, prep_time);
+                stats
+            }
+        }
+    }
+
+    /// Runs one batch on `threads` worker threads and collects every result path.
+    ///
+    /// Lossless with respect to [`Engine::run`]: same paths per query, same order.
+    pub fn run_batch_parallel(
+        &mut self,
+        queries: &[PathQuery],
+        parallelism: Parallelism,
+    ) -> BatchOutcome {
+        let mut sink = CollectSink::new(queries.len());
+        let stats = self.run_parallel_with_sink(queries, parallelism, &mut sink);
+        BatchOutcome {
+            paths: sink.into_inner(),
+            stats,
         }
     }
 
@@ -583,6 +660,65 @@ mod tests {
             counts[0],
             enumerate_reference(&g, &PathQuery::new(0u32, 15u32, 6)).len() as u64
         );
+    }
+
+    #[test]
+    fn run_batch_parallel_is_lossless_for_every_algorithm() {
+        let g = grid(4, 4);
+        let queries = vec![
+            PathQuery::new(0u32, 15u32, 6),
+            PathQuery::new(1u32, 15u32, 6),
+            PathQuery::new(0u32, 14u32, 5),
+            PathQuery::new(4u32, 11u32, 5),
+        ];
+        for algorithm in Algorithm::ALL {
+            let mut sequential = Engine::with_algorithm(g.clone(), algorithm);
+            let expected = sequential.run(&queries);
+            for workers in [1, 2, 4] {
+                let mut engine = Engine::with_algorithm(g.clone(), algorithm);
+                let outcome = engine.run_batch_parallel(&queries, Parallelism::Fixed(workers));
+                // Same paths per query, same order: byte-identical to sequential.
+                assert_eq!(
+                    outcome.paths, expected.paths,
+                    "{algorithm} with {workers} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_cluster_cap_keeps_counts_lossless() {
+        let g = grid(4, 4);
+        let queries = vec![
+            PathQuery::new(0u32, 15u32, 6),
+            PathQuery::new(1u32, 15u32, 6),
+            PathQuery::new(0u32, 14u32, 5),
+            PathQuery::new(4u32, 11u32, 5),
+        ];
+        let mut engine = Engine::new(g.clone(), BatchEngine::default());
+        let expected = engine.run(&queries);
+        let mut capped = Engine::new(g, BatchEngine::default());
+        capped.set_parallel_cluster_cap(Some(1));
+        assert_eq!(capped.parallel_cluster_cap(), Some(1));
+        let outcome = capped.run_batch_parallel(&queries, Parallelism::Fixed(2));
+        let expected_counts: Vec<usize> = expected.paths.iter().map(PathSet::len).collect();
+        let counts: Vec<usize> = outcome.paths.iter().map(PathSet::len).collect();
+        assert_eq!(counts, expected_counts);
+        capped.set_parallel_cluster_cap(Some(0));
+        assert_eq!(capped.parallel_cluster_cap(), None);
+    }
+
+    #[test]
+    fn run_batch_parallel_reuses_the_cached_index() {
+        let g = grid(4, 4);
+        let mut engine = Engine::new(g, BatchEngine::default());
+        engine.run_batch_parallel(&[PathQuery::new(0u32, 15u32, 6)], Parallelism::Fixed(2));
+        assert_eq!(engine.index_reuse().rebuilds, 1);
+        // Same shape again: pure hit, parallel or not.
+        engine.run_batch_parallel(&[PathQuery::new(0u32, 15u32, 5)], Parallelism::Fixed(2));
+        assert_eq!(engine.index_reuse().hits, 1);
+        let outcome = engine.run_batch_parallel(&[], Parallelism::Fixed(2));
+        assert_eq!(outcome.total(), 0);
     }
 
     #[test]

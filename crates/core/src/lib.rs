@@ -41,6 +41,7 @@
 pub mod basic_enum;
 pub mod batch_enum;
 pub mod bruteforce;
+pub mod buffers;
 pub mod cache;
 pub mod clustering;
 pub mod concat;
@@ -60,6 +61,7 @@ pub mod stats;
 
 pub use basic_enum::BasicEnum;
 pub use batch_enum::{BatchEnum, DEFAULT_GAMMA};
+pub use buffers::{JoinScratch, SearchBuffers, VisitMarks};
 pub use engine::{Algorithm, BatchEngine, BatchOutcome, Engine, IndexReuse};
 pub use parallel::{ParallelBasicEnum, ParallelBatchEnum, Parallelism};
 pub use path::{Path, PathSet};

@@ -1,21 +1,40 @@
-//! Intra-batch parallelism: the "just use more workers" alternative.
+//! Cluster-sharded parallel batch execution.
 //!
 //! The paper's Challenges section notes that a batch could simply be processed "using the
 //! state-of-the-art HC-s-t path enumeration algorithm sequentially or deploy more servers
 //! to process these queries in parallel", and argues that doing so misses the common
-//! computation across queries. This module implements that alternative faithfully so it
-//! can be measured: queries (or whole clusters) are distributed over worker threads, each
-//! worker runs the *non-shared* per-query enumeration against the shared index, and the
-//! results are merged. It also provides a parallel wrapper around `BatchEnum` that
-//! processes independent clusters concurrently — sharing within a cluster, parallelism
-//! across clusters — which is the natural combination of the two ideas.
+//! computation across queries. This module combines the two ideas instead of opposing
+//! them: **sharing within a cluster, parallelism across clusters**. Similarity clusters
+//! (the output of [`crate::clustering`]) are the natural parallel unit — queries in
+//! different clusters share nothing, so clusters parallelise embarrassingly while every
+//! cluster still runs the full shared pipeline (detection + topological enumeration).
 //!
-//! Threads are spawned with `std::thread::scope` (no `'static` bound on the graph) and the
-//! shared sink is protected by a `parking_lot::Mutex`; workers buffer locally and flush
-//! per query to keep contention negligible.
+//! ## Execution model
+//!
+//! 1. The batch is indexed and clustered exactly as in the sequential algorithm.
+//! 2. Clusters are packed into **shards** (longest-processing-time-first over the cluster
+//!    sizes), the steal unit of the scheduler. More shards than workers keeps stealing
+//!    granular; packing the big clusters first keeps the shards balanced.
+//! 3. A [`std::thread::scope`] worker pool drains a **work-stealing deque** of shards:
+//!    each worker owns a deque seeded round-robin, pops its own front, and steals from
+//!    the back of other workers' deques when it runs dry.
+//! 4. Every worker owns one reusable [`SearchBuffers`] (the allocation-free hot path) and
+//!    buffers each cluster's results locally; after the pool joins, per-cluster results
+//!    are **merged in cluster order**, so the paths delivered per query — and their order
+//!    — are byte-identical to the sequential run, regardless of worker count or
+//!    scheduling. Counter merges are likewise ordered, making the reported `Stats`
+//!    deterministic. Stage timings: `BuildIndex`, `ClusterQuery` and `Enumeration` are
+//!    wall-clock spans of the calling thread (`Enumeration` covers the whole parallel
+//!    region, so speedup shows up there), while `IdentifySubquery` is the CPU-side total
+//!    summed over clusters, mirroring how the sequential run accumulates it.
+//!
+//! The per-cluster results are buffered in memory before the merge; for count-only
+//! workloads over astronomically large result sets prefer the sequential runner or
+//! smaller micro-batches.
 
 use crate::basic_enum::BasicEnum;
 use crate::batch_enum::BatchEnum;
+use crate::buffers::SearchBuffers;
 use crate::clustering::cluster_queries;
 use crate::pathenum::PathEnum;
 use crate::query::{BatchSummary, PathQuery, QueryId};
@@ -26,7 +45,11 @@ use crate::stats::{EnumStats, Stage};
 use hcsp_graph::DiGraph;
 use hcsp_index::BatchIndex;
 use parking_lot::Mutex;
+use std::collections::VecDeque;
 use std::time::Instant;
+
+/// How many shards each worker's deque is seeded with (steal granularity).
+const SHARDS_PER_WORKER: usize = 4;
 
 /// How many worker threads a parallel runner uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -50,22 +73,160 @@ impl Parallelism {
     }
 }
 
-/// A thread-safe sink adapter: workers lock, flush one query's buffered paths, unlock.
-struct SharedSink<'a, S: PathSink> {
-    inner: Mutex<&'a mut S>,
+/// Packs cluster indices into at most `num_shards` shards, balancing total cluster size.
+///
+/// Classic LPT (longest processing time first) greedy: clusters are considered largest
+/// first and each goes to the currently lightest shard. Cluster size is the cost proxy —
+/// enumeration cost grows with cluster size, and a deterministic proxy keeps the plan (and
+/// therefore the merge order downstream) reproducible. Every returned shard is non-empty
+/// and internally sorted, and the concatenation of all shards covers every cluster once.
+pub fn plan_shards(cluster_sizes: &[usize], num_shards: usize) -> Vec<Vec<usize>> {
+    let num_shards = num_shards.clamp(1, cluster_sizes.len().max(1));
+    let mut order: Vec<usize> = (0..cluster_sizes.len()).collect();
+    // Stable tie-break on the index keeps the plan deterministic.
+    order.sort_by_key(|&c| (std::cmp::Reverse(cluster_sizes[c]), c));
+
+    let mut shards: Vec<Vec<usize>> = vec![Vec::new(); num_shards];
+    let mut loads: Vec<usize> = vec![0; num_shards];
+    for c in order {
+        let lightest = (0..num_shards)
+            .min_by_key(|&s| (loads[s], s))
+            .expect("at least one shard");
+        shards[lightest].push(c);
+        loads[lightest] += cluster_sizes[c].max(1);
+    }
+    shards.retain(|s| !s.is_empty());
+    for shard in &mut shards {
+        shard.sort_unstable();
+    }
+    shards
 }
 
-impl<'a, S: PathSink> SharedSink<'a, S> {
-    fn new(inner: &'a mut S) -> Self {
-        SharedSink {
-            inner: Mutex::new(inner),
+/// Splits every cluster larger than `cap` into consecutive sub-clusters of at most `cap`
+/// queries, preserving within-cluster query order (so the split is deterministic).
+fn split_clusters(clusters: Vec<Vec<QueryId>>, cap: usize) -> Vec<Vec<QueryId>> {
+    let cap = cap.max(1);
+    clusters
+        .into_iter()
+        .flat_map(|cluster| {
+            cluster
+                .chunks(cap)
+                .map(<[QueryId]>::to_vec)
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// The work-stealing deque set: one deque of shard ids per worker.
+struct ShardDeques {
+    queues: Vec<Mutex<VecDeque<usize>>>,
+}
+
+impl ShardDeques {
+    /// Seeds `workers` deques round-robin with shard ids `0..num_shards`.
+    fn seed(num_shards: usize, workers: usize) -> Self {
+        let mut queues: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for shard in 0..num_shards {
+            queues[shard % workers].push_back(shard);
+        }
+        ShardDeques {
+            queues: queues.into_iter().map(Mutex::new).collect(),
         }
     }
 
-    fn flush(&self, query: QueryId, paths: &crate::path::PathSet) {
-        let mut guard = self.inner.lock();
-        for p in paths.iter() {
-            guard.accept(query, p);
+    /// Pops the next shard for `worker`: its own deque's front first, then a steal from
+    /// the back of the other deques (scanned round-robin starting after `worker`).
+    fn next(&self, worker: usize) -> Option<usize> {
+        if let Some(shard) = self.queues[worker].lock().pop_front() {
+            return Some(shard);
+        }
+        let n = self.queues.len();
+        for offset in 1..n {
+            let victim = (worker + offset) % n;
+            if let Some(shard) = self.queues[victim].lock().pop_back() {
+                return Some(shard);
+            }
+        }
+        None
+    }
+}
+
+/// One cluster's buffered outcome: its index in the batch's cluster list, the locally
+/// collected per-query paths (offsets follow the cluster's query order), and the stats of
+/// evaluating it.
+type ClusterResult = (usize, CollectSink, EnumStats);
+
+/// Runs `exec` once per cluster across a work-stealing worker pool and returns the
+/// per-cluster results **sorted by cluster index** — the deterministic merge order.
+///
+/// `exec` receives the cluster index, a local sink sized to the cluster (query offsets,
+/// not batch ids), and the worker's reusable [`SearchBuffers`]; it must behave identically
+/// to the sequential evaluation of that cluster.
+fn execute_sharded<F>(clusters: &[Vec<QueryId>], workers: usize, exec: F) -> Vec<ClusterResult>
+where
+    F: Fn(usize, &mut CollectSink, &mut SearchBuffers) -> EnumStats + Sync,
+{
+    let workers = workers.clamp(1, clusters.len().max(1));
+    let shards = plan_shards(
+        &clusters.iter().map(Vec::len).collect::<Vec<_>>(),
+        workers * SHARDS_PER_WORKER,
+    );
+    let deques = ShardDeques::seed(shards.len(), workers);
+    let collected: Mutex<Vec<ClusterResult>> = Mutex::new(Vec::with_capacity(clusters.len()));
+
+    std::thread::scope(|scope| {
+        for worker in 0..workers {
+            let shards = &shards;
+            let deques = &deques;
+            let collected = &collected;
+            let exec = &exec;
+            scope.spawn(move || {
+                let mut buffers = SearchBuffers::new();
+                let mut local: Vec<ClusterResult> = Vec::new();
+                while let Some(shard) = deques.next(worker) {
+                    for &cluster_idx in &shards[shard] {
+                        let mut sink = CollectSink::new(clusters[cluster_idx].len());
+                        let stats = exec(cluster_idx, &mut sink, &mut buffers);
+                        local.push((cluster_idx, sink, stats));
+                    }
+                }
+                collected.lock().append(&mut local);
+            });
+        }
+    });
+
+    let mut results = collected.into_inner();
+    results.sort_by_key(|&(cluster_idx, _, _)| cluster_idx);
+    results
+}
+
+/// Merges sorted per-cluster results into the caller's sink and stats, in cluster order.
+///
+/// Counters and the `IdentifySubquery` stage (a CPU-side total, exactly as the sequential
+/// algorithm accumulates it across clusters) merge here; the `Enumeration` stage is *not*
+/// summed from the per-cluster stats — with concurrent workers that would report total
+/// CPU time, up to `workers ×` the elapsed time. The callers record the wall-clock of
+/// their whole parallel region as `Enumeration` instead.
+fn merge_results<S: PathSink>(
+    clusters: &[Vec<QueryId>],
+    results: Vec<ClusterResult>,
+    stats: &mut EnumStats,
+    sink: &mut S,
+) {
+    for (cluster_idx, local, cluster_stats) in results {
+        stats.counters.merge(&cluster_stats.counters);
+        stats.num_shared_subqueries += cluster_stats.num_shared_subqueries;
+        stats.peak_cached_results = stats
+            .peak_cached_results
+            .max(cluster_stats.peak_cached_results);
+        stats.add_stage(
+            Stage::IdentifySubquery,
+            cluster_stats.stage_time(Stage::IdentifySubquery),
+        );
+        for (offset, &qid) in clusters[cluster_idx].iter().enumerate() {
+            for path in local.paths(offset).iter() {
+                sink.accept(qid, path);
+            }
         }
     }
 }
@@ -98,10 +259,37 @@ impl ParallelBasicEnum {
         ParallelBasicEnum { order, parallelism }
     }
 
-    /// Processes the batch, streaming results (in arbitrary inter-query order) into `sink`.
-    pub fn run_batch<S: PathSink + Send>(
+    /// Processes the batch, streaming results (in query order) into `sink`.
+    pub fn run_batch<S: PathSink>(
         &self,
         graph: &DiGraph,
+        queries: &[PathQuery],
+        sink: &mut S,
+    ) -> EnumStats {
+        if queries.is_empty() {
+            sink.finish();
+            return EnumStats::new(0);
+        }
+        let start = Instant::now();
+        let summary = BatchSummary::of(queries);
+        let index = BatchIndex::build(
+            graph,
+            &summary.sources,
+            &summary.targets,
+            summary.max_hop_limit,
+        );
+        let build_time = start.elapsed();
+        let mut stats = self.run_batch_with_index(graph, &index, queries, sink);
+        stats.add_stage(Stage::BuildIndex, build_time);
+        stats
+    }
+
+    /// Processes a batch against an already-built (possibly superset) index — the entry
+    /// point the long-lived [`Engine`](crate::Engine) uses with its cached index.
+    pub fn run_batch_with_index<S: PathSink>(
+        &self,
+        graph: &DiGraph,
+        index: &BatchIndex,
         queries: &[PathQuery],
         sink: &mut S,
     ) -> EnumStats {
@@ -111,62 +299,68 @@ impl ParallelBasicEnum {
             sink.finish();
             return stats;
         }
-
+        // Every query is its own "cluster": no sharing, maximal parallel slack.
         let start = Instant::now();
-        let summary = BatchSummary::of(queries);
-        let index = BatchIndex::build(
-            graph,
-            &summary.sources,
-            &summary.targets,
-            summary.max_hop_limit,
-        );
-        stats.add_stage(Stage::BuildIndex, start.elapsed());
-
-        let start = Instant::now();
-        let workers = self.parallelism.workers().min(queries.len().max(1));
-        let next_query = std::sync::atomic::AtomicUsize::new(0);
-        let shared = SharedSink::new(sink);
-        let collected_stats: Mutex<Vec<EnumStats>> = Mutex::new(Vec::new());
-
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
-                    let per_query = PathEnum::new(self.order);
-                    let mut local_stats = EnumStats::new(0);
-                    loop {
-                        let qid = next_query.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if qid >= queries.len() {
-                            break;
-                        }
-                        let mut local = CollectSink::new(1);
-                        per_query.run_with_index(
-                            graph,
-                            &index,
-                            &queries[qid],
-                            0,
-                            &mut local,
-                            &mut local_stats,
-                        );
-                        shared.flush(qid, local.paths(0));
-                    }
-                    collected_stats.lock().push(local_stats);
-                });
-            }
+        let clusters: Vec<Vec<QueryId>> = (0..queries.len()).map(|q| vec![q]).collect();
+        let per_query = PathEnum::new(self.order);
+        let results = execute_sharded(&clusters, self.parallelism.workers(), |ci, local, buf| {
+            let mut cluster_stats = EnumStats::new(1);
+            per_query.run_with_index_buffered(
+                graph,
+                index,
+                &queries[ci],
+                0,
+                local,
+                &mut cluster_stats,
+                buf,
+            );
+            cluster_stats
         });
-
-        for worker_stats in collected_stats.into_inner() {
-            stats.counters.merge(&worker_stats.counters);
-        }
+        merge_results(&clusters, results, &mut stats, sink);
         stats.add_stage(Stage::Enumeration, start.elapsed());
         sink.finish();
         stats
     }
 }
 
+/// Parallel `PathEnum`: the fully independent baseline (per-query index, per-query
+/// enumeration) spread over worker threads. This is what a serving engine runs when its
+/// configured algorithm is `PathEnum` and parallelism is requested: the per-query index
+/// builds are part of the measured work, exactly as in the sequential baseline.
+pub(crate) fn run_pathenum_parallel<S: PathSink>(
+    graph: &DiGraph,
+    queries: &[PathQuery],
+    order: SearchOrder,
+    parallelism: Parallelism,
+    sink: &mut S,
+) -> EnumStats {
+    let mut stats = EnumStats::new(queries.len());
+    stats.num_clusters = queries.len();
+    if queries.is_empty() {
+        sink.finish();
+        return stats;
+    }
+    let start = Instant::now();
+    let clusters: Vec<Vec<QueryId>> = (0..queries.len()).map(|q| vec![q]).collect();
+    let per_query = PathEnum::new(order);
+    let results = execute_sharded(&clusters, parallelism.workers(), |ci, local, buf| {
+        let mut cluster_stats = EnumStats::new(1);
+        per_query.run_single_buffered(graph, &queries[ci], 0, local, &mut cluster_stats, buf);
+        cluster_stats
+    });
+    // The per-query index builds happen inside the workers, so they are part of the
+    // parallel region's wall-clock below; they are not reported as a separate BuildIndex
+    // stage to keep the stage times a wall-clock decomposition (no double counting).
+    merge_results(&clusters, results, &mut stats, sink);
+    stats.add_stage(Stage::Enumeration, start.elapsed());
+    sink.finish();
+    stats
+}
+
 /// Parallel `BatchEnum`: clusters are detected exactly as in the sequential algorithm and
-/// then evaluated concurrently, one worker per cluster at a time. Sharing happens *inside*
-/// a cluster (where the common computation lives); across clusters there is nothing to
-/// share, so they parallelise embarrassingly.
+/// then evaluated concurrently on the cluster-sharded worker pool. Sharing happens
+/// *inside* a cluster (where the common computation lives); across clusters there is
+/// nothing to share, so they parallelise embarrassingly.
 #[derive(Debug, Clone, Copy)]
 pub struct ParallelBatchEnum {
     /// Neighbour expansion order.
@@ -175,6 +369,16 @@ pub struct ParallelBatchEnum {
     pub gamma: f64,
     /// Worker thread count.
     pub parallelism: Parallelism,
+    /// Optional cap on the size of one similarity cluster (the sharing *and* parallel
+    /// unit). Dense graphs can collapse a whole batch into a single cluster, which is
+    /// maximal sharing but zero parallel slack (one cluster = one worker) and an
+    /// unbounded shared-cache footprint. A cap splits oversized clusters into
+    /// consecutive sub-clusters of at most this many queries: sharing is kept within a
+    /// sub-cluster and given up across the split. Results stay lossless per query, but
+    /// with a cap the per-query path *order* matches a sequential run over the same
+    /// split clusters, not the uncapped sequential run. `None` (default) never splits
+    /// and preserves the byte-identical guarantee.
+    pub max_cluster_size: Option<usize>,
 }
 
 impl Default for ParallelBatchEnum {
@@ -183,24 +387,61 @@ impl Default for ParallelBatchEnum {
             order: SearchOrder::default(),
             gamma: crate::batch_enum::DEFAULT_GAMMA,
             parallelism: Parallelism::Auto,
+            max_cluster_size: None,
         }
     }
 }
 
 impl ParallelBatchEnum {
-    /// Creates the runner.
+    /// Creates the runner (no cluster-size cap).
     pub fn new(order: SearchOrder, gamma: f64, parallelism: Parallelism) -> Self {
         ParallelBatchEnum {
             order,
             gamma,
             parallelism,
+            max_cluster_size: None,
         }
     }
 
+    /// Returns the runner with a cluster-size cap (see
+    /// [`ParallelBatchEnum::max_cluster_size`]; values of 0 are treated as `None`).
+    pub fn with_max_cluster_size(mut self, cap: Option<usize>) -> Self {
+        self.max_cluster_size = cap.filter(|&c| c > 0);
+        self
+    }
+
     /// Processes the batch, streaming results into `sink`.
-    pub fn run_batch<S: PathSink + Send>(
+    pub fn run_batch<S: PathSink>(
         &self,
         graph: &DiGraph,
+        queries: &[PathQuery],
+        sink: &mut S,
+    ) -> EnumStats {
+        if queries.is_empty() {
+            sink.finish();
+            return EnumStats::new(0);
+        }
+        // Index construction is identical to the sequential BatchEnum.
+        let start = Instant::now();
+        let summary = BatchSummary::of(queries);
+        let index = BatchIndex::build(
+            graph,
+            &summary.sources,
+            &summary.targets,
+            summary.max_hop_limit,
+        );
+        let build_time = start.elapsed();
+        let mut stats = self.run_batch_with_index(graph, &index, queries, sink);
+        stats.add_stage(Stage::BuildIndex, build_time);
+        stats
+    }
+
+    /// Processes a batch against an already-built (possibly superset) index: clustering on
+    /// the calling thread, cluster evaluation on the worker pool, deterministic merge.
+    pub fn run_batch_with_index<S: PathSink>(
+        &self,
+        graph: &DiGraph,
+        index: &BatchIndex,
         queries: &[PathQuery],
         sink: &mut S,
     ) -> EnumStats {
@@ -210,78 +451,33 @@ impl ParallelBatchEnum {
             return stats;
         }
 
-        // Index + clustering are identical to the sequential BatchEnum.
-        let start = Instant::now();
-        let summary = BatchSummary::of(queries);
-        let index = BatchIndex::build(
-            graph,
-            &summary.sources,
-            &summary.targets,
-            summary.max_hop_limit,
-        );
-        stats.add_stage(Stage::BuildIndex, start.elapsed());
-
+        // Clustering is identical to the sequential BatchEnum; the optional cap then
+        // splits oversized clusters into bounded, consecutive sub-clusters.
         let start = Instant::now();
         let neighborhoods: Vec<QueryNeighborhood> = queries
             .iter()
-            .map(|q| QueryNeighborhood::from_index(&index, q))
+            .map(|q| QueryNeighborhood::from_index(index, q))
             .collect();
         let matrix = SimilarityMatrix::compute(&neighborhoods);
-        let clusters = cluster_queries(&matrix, self.gamma);
+        let mut clusters = cluster_queries(&matrix, self.gamma);
+        if let Some(cap) = self.max_cluster_size.filter(|&c| c > 0) {
+            clusters = split_clusters(clusters, cap);
+        }
         stats.num_clusters = clusters.len();
         stats.add_stage(Stage::ClusterQuery, start.elapsed());
 
-        // Evaluate clusters concurrently; each worker runs the sequential shared pipeline
-        // on its cluster (detection + topological enumeration) and flushes per query.
+        // Evaluate clusters on the sharded pool; each worker runs the sequential shared
+        // pipeline on its cluster (detection + topological enumeration). γ = 1 inside the
+        // worker keeps the cluster as a single group (it has already been formed by the
+        // outer clustering) without re-clustering cost.
         let start = Instant::now();
-        let workers = self.parallelism.workers().min(clusters.len().max(1));
-        let next_cluster = std::sync::atomic::AtomicUsize::new(0);
-        let shared = SharedSink::new(sink);
-        let collected_stats: Mutex<Vec<EnumStats>> = Mutex::new(Vec::new());
-
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
-                    let sequential = BatchEnum::new(self.order, 1.0);
-                    let mut worker_stats = EnumStats::new(0);
-                    loop {
-                        let c = next_cluster.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if c >= clusters.len() {
-                            break;
-                        }
-                        let cluster_queries: Vec<PathQuery> =
-                            clusters[c].iter().map(|&qid| queries[qid]).collect();
-                        // Run the whole shared pipeline on just this cluster. γ = 1 inside
-                        // the worker keeps the cluster as a single group (it has already
-                        // been formed by the outer clustering) without re-clustering cost.
-                        let mut local = CollectSink::new(cluster_queries.len());
-                        let cluster_stats = sequential.run_cluster_for_parallel(
-                            graph,
-                            &index,
-                            &cluster_queries,
-                            &mut local,
-                        );
-                        worker_stats.merge(&cluster_stats);
-                        for (offset, &qid) in clusters[c].iter().enumerate() {
-                            shared.flush(qid, local.paths(offset));
-                        }
-                    }
-                    collected_stats.lock().push(worker_stats);
-                });
-            }
+        let sequential = BatchEnum::new(self.order, 1.0);
+        let results = execute_sharded(&clusters, self.parallelism.workers(), |ci, local, buf| {
+            let cluster_queries_list: Vec<PathQuery> =
+                clusters[ci].iter().map(|&qid| queries[qid]).collect();
+            sequential.run_cluster_for_parallel(graph, index, &cluster_queries_list, local, buf)
         });
-
-        for worker_stats in collected_stats.into_inner() {
-            stats.counters.merge(&worker_stats.counters);
-            stats.num_shared_subqueries += worker_stats.num_shared_subqueries;
-            stats.peak_cached_results = stats
-                .peak_cached_results
-                .max(worker_stats.peak_cached_results);
-            stats.add_stage(
-                Stage::IdentifySubquery,
-                worker_stats.stage_time(Stage::IdentifySubquery),
-            );
-        }
+        merge_results(&clusters, results, &mut stats, sink);
         stats.add_stage(Stage::Enumeration, start.elapsed());
         sink.finish();
         stats
@@ -297,10 +493,11 @@ impl BatchEnum {
         index: &BatchIndex,
         queries: &[PathQuery],
         sink: &mut S,
+        buffers: &mut SearchBuffers,
     ) -> EnumStats {
         let mut stats = EnumStats::new(queries.len());
         let cluster: Vec<QueryId> = (0..queries.len()).collect();
-        self.process_cluster(graph, index, queries, &cluster, sink, &mut stats);
+        self.process_cluster(graph, index, queries, &cluster, sink, &mut stats, buffers);
         stats
     }
 }
@@ -375,6 +572,46 @@ mod tests {
     }
 
     #[test]
+    fn shard_plan_covers_every_cluster_once_and_balances() {
+        let sizes = vec![5, 1, 1, 9, 2, 2, 1, 4];
+        let shards = plan_shards(&sizes, 3);
+        assert!(shards.len() <= 3);
+        let mut seen: Vec<usize> = shards.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..sizes.len()).collect::<Vec<_>>());
+        // LPT keeps the max shard load below the trivial "all in one" bound.
+        let loads: Vec<usize> = shards
+            .iter()
+            .map(|s| s.iter().map(|&c| sizes[c]).sum())
+            .collect();
+        assert!(*loads.iter().max().unwrap() < sizes.iter().sum());
+        // Deterministic.
+        assert_eq!(shards, plan_shards(&sizes, 3));
+    }
+
+    #[test]
+    fn shard_plan_degenerate_inputs() {
+        assert_eq!(plan_shards(&[], 4), Vec::<Vec<usize>>::new());
+        assert_eq!(plan_shards(&[3], 4), vec![vec![0]]);
+        // More shards than clusters collapses to one cluster per shard.
+        let shards = plan_shards(&[1, 1, 1], 16);
+        assert_eq!(shards.len(), 3);
+    }
+
+    #[test]
+    fn shard_deques_drain_everything_with_stealing() {
+        let deques = ShardDeques::seed(10, 3);
+        // Worker 2 drains the entire set alone: its own deque first, then steals.
+        let mut seen = Vec::new();
+        while let Some(s) = deques.next(2) {
+            seen.push(s);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        assert_eq!(deques.next(0), None);
+    }
+
+    #[test]
     fn parallel_basic_matches_reference() {
         let g = grid(4, 4);
         let queries = vec![
@@ -426,6 +663,71 @@ mod tests {
                 assert!(stats.num_clusters >= 1);
             }
         }
+    }
+
+    #[test]
+    fn parallel_output_is_byte_identical_to_sequential() {
+        let g = gnm_random(60, 360, 5).unwrap();
+        let queries = vec![
+            PathQuery::new(0u32, 30u32, 5),
+            PathQuery::new(0u32, 31u32, 5),
+            PathQuery::new(1u32, 30u32, 4),
+            PathQuery::new(2u32, 31u32, 5),
+        ];
+        let mut sequential = crate::sink::CollectSink::new(queries.len());
+        let seq_stats =
+            BatchEnum::new(SearchOrder::VertexId, 0.4).run_batch(&g, &queries, &mut sequential);
+        for workers in [1, 2, 4, 8] {
+            let mut parallel = crate::sink::CollectSink::new(queries.len());
+            let par_stats =
+                ParallelBatchEnum::new(SearchOrder::VertexId, 0.4, Parallelism::Fixed(workers))
+                    .run_batch(&g, &queries, &mut parallel);
+            // Not just the same path sets: the same paths in the same order per query.
+            assert_eq!(parallel.all(), sequential.all(), "workers = {workers}");
+            assert_eq!(par_stats.counters, seq_stats.counters);
+            assert_eq!(par_stats.num_clusters, seq_stats.num_clusters);
+            assert_eq!(
+                par_stats.num_shared_subqueries,
+                seq_stats.num_shared_subqueries
+            );
+        }
+    }
+
+    #[test]
+    fn cluster_cap_splits_but_stays_lossless() {
+        let g = gnm_random(70, 400, 3).unwrap();
+        let queries: Vec<PathQuery> = (0..12)
+            .map(|i| PathQuery::new(i as u32, (30 + i / 2) as u32, 4 + (i % 2) as u32))
+            .collect();
+        let reference = reference_counts(&g, &queries);
+
+        let uncapped = ParallelBatchEnum::new(SearchOrder::VertexId, 0.4, Parallelism::Fixed(2));
+        let mut sink = CountSink::new(queries.len());
+        let uncapped_stats = uncapped.run_batch(&g, &queries, &mut sink);
+        assert_eq!(sink.counts(), reference);
+
+        let capped = uncapped.with_max_cluster_size(Some(2));
+        let mut sink = CountSink::new(queries.len());
+        let capped_stats = capped.run_batch(&g, &queries, &mut sink);
+        assert_eq!(sink.counts(), reference, "splitting must be lossless");
+        assert!(
+            capped_stats.num_clusters >= uncapped_stats.num_clusters,
+            "a cap can only increase the cluster count"
+        );
+        assert!(capped_stats.num_clusters >= queries.len() / 2);
+
+        // A zero cap means "no cap".
+        assert_eq!(capped.with_max_cluster_size(Some(0)).max_cluster_size, None);
+        assert_eq!(ParallelBatchEnum::default().max_cluster_size, None);
+    }
+
+    #[test]
+    fn split_clusters_chunks_in_order() {
+        let clusters = vec![vec![0, 1, 2, 3, 4], vec![5], vec![6, 7]];
+        assert_eq!(
+            split_clusters(clusters, 2),
+            vec![vec![0, 1], vec![2, 3], vec![4], vec![5], vec![6, 7]]
+        );
     }
 
     #[test]

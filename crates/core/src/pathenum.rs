@@ -5,7 +5,8 @@
 //! run, and the halves are joined by `⊕`. This is the per-query building block reused by
 //! `BasicEnum`, and the first baseline of every experiment.
 
-use crate::concat::concatenate_with;
+use crate::buffers::SearchBuffers;
+use crate::concat::concatenate_scratch;
 use crate::query::{PathQuery, QueryId};
 use crate::search::SearchContext;
 use crate::search_order::SearchOrder;
@@ -39,10 +40,24 @@ impl PathEnum {
         sink: &mut S,
         stats: &mut EnumStats,
     ) {
+        let mut buffers = SearchBuffers::new();
+        self.run_single_buffered(graph, query, query_id, sink, stats, &mut buffers);
+    }
+
+    /// [`PathEnum::run_single`] with caller-owned, reusable [`SearchBuffers`].
+    pub fn run_single_buffered<S: PathSink>(
+        &self,
+        graph: &DiGraph,
+        query: &PathQuery,
+        query_id: QueryId,
+        sink: &mut S,
+        stats: &mut EnumStats,
+        buffers: &mut SearchBuffers,
+    ) {
         let start = Instant::now();
         let index = BatchIndex::build(graph, &[query.source], &[query.target], query.hop_limit);
         stats.add_stage(Stage::BuildIndex, start.elapsed());
-        self.run_with_index(graph, &index, query, query_id, sink, stats);
+        self.run_with_index_buffered(graph, &index, query, query_id, sink, stats, buffers);
     }
 
     /// Processes one query against an already-built (possibly shared) index.
@@ -55,21 +70,65 @@ impl PathEnum {
         sink: &mut S,
         stats: &mut EnumStats,
     ) {
+        let mut buffers = SearchBuffers::new();
+        self.run_with_index_buffered(graph, index, query, query_id, sink, stats, &mut buffers);
+    }
+
+    /// [`PathEnum::run_with_index`] with caller-owned, reusable [`SearchBuffers`]: the
+    /// half-search prefix sets, DFS state and join scratch all come from `buffers`, so a
+    /// batch loop (or a long-lived worker) allocates nothing per query in the steady
+    /// state.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_with_index_buffered<S: PathSink>(
+        &self,
+        graph: &DiGraph,
+        index: &BatchIndex,
+        query: &PathQuery,
+        query_id: QueryId,
+        sink: &mut S,
+        stats: &mut EnumStats,
+        buffers: &mut SearchBuffers,
+    ) {
         let start = Instant::now();
         let mut counters = SearchCounters::default();
         let ctx = SearchContext::new(graph, index, self.order);
-        let forward = ctx.enumerate_half(query, Direction::Forward, &mut counters);
-        let backward = ctx.enumerate_half(query, Direction::Backward, &mut counters);
-        let join = concatenate_with(&forward, &backward, query.hop_limit, |path| {
-            sink.accept(query_id, path);
-        });
+        // The half-search result sets live in the buffers too; take them out for the
+        // duration of the run so the DFS can borrow `buffers` mutably alongside them.
+        let mut forward = std::mem::take(&mut buffers.forward);
+        let mut backward = std::mem::take(&mut buffers.backward);
+        ctx.enumerate_half_into(
+            query,
+            Direction::Forward,
+            &mut counters,
+            buffers,
+            &mut forward,
+        );
+        ctx.enumerate_half_into(
+            query,
+            Direction::Backward,
+            &mut counters,
+            buffers,
+            &mut backward,
+        );
+        let join = concatenate_scratch(
+            &forward,
+            &backward,
+            query.hop_limit,
+            &mut buffers.join,
+            |path| {
+                sink.accept(query_id, path);
+            },
+        );
+        buffers.forward = forward;
+        buffers.backward = backward;
         counters.produced_paths += join.produced as u64;
         stats.counters.merge(&counters);
         stats.add_stage(Stage::Enumeration, start.elapsed());
     }
 
     /// Processes a whole batch by running every query independently (the `PathEnum` row of
-    /// the experiments: no shared index, no shared computation).
+    /// the experiments: no shared index, no shared computation). One [`SearchBuffers`]
+    /// instance is reused across the whole batch.
     pub fn run_batch<S: PathSink>(
         &self,
         graph: &DiGraph,
@@ -78,8 +137,9 @@ impl PathEnum {
     ) -> EnumStats {
         let mut stats = EnumStats::new(queries.len());
         stats.num_clusters = queries.len();
+        let mut buffers = SearchBuffers::for_graph(graph);
         for (id, query) in queries.iter().enumerate() {
-            self.run_single(graph, query, id, sink, &mut stats);
+            self.run_single_buffered(graph, query, id, sink, &mut stats, &mut buffers);
         }
         sink.finish();
         stats

@@ -6,6 +6,7 @@
 //! is only worth extending when `l + 1 + dist(v'', anchor) ≤ k`, where the anchor is the
 //! query target for a forward search and the query source for a backward search.
 
+use crate::buffers::SearchBuffers;
 use crate::path::PathSet;
 use crate::query::PathQuery;
 use crate::search_order::SearchOrder;
@@ -36,39 +37,54 @@ impl<'a> SearchContext<'a> {
     /// Enumerates every simple prefix of the half search of `query` in direction `dir`
     /// and stores it (all lengths `0..=budget`) into the returned [`PathSet`].
     ///
-    /// This is `Search(G, P_f, q.s, q.t, ⌈q.k/2⌉)` / `Search(G^r, P_b, q.t, q.s, ⌊q.k/2⌋)`
-    /// of Algorithm 1, with the pruning test applied against the full hop constraint
-    /// `q.k` exactly as in Example 3.1.
+    /// Convenience wrapper around [`SearchContext::enumerate_half_into`] that pays for a
+    /// transient [`SearchBuffers`] per call; batch runners reuse one buffer set instead.
     pub fn enumerate_half(
         &self,
         query: &PathQuery,
         dir: Direction,
         counters: &mut SearchCounters,
     ) -> PathSet {
+        let mut buffers = SearchBuffers::new();
+        let mut prefixes = PathSet::new();
+        self.enumerate_half_into(query, dir, counters, &mut buffers, &mut prefixes);
+        prefixes
+    }
+
+    /// Enumerates every simple prefix of the half search of `query` in direction `dir`
+    /// into `prefixes` (cleared first), reusing the caller's [`SearchBuffers`].
+    ///
+    /// This is `Search(G, P_f, q.s, q.t, ⌈q.k/2⌉)` / `Search(G^r, P_b, q.t, q.s, ⌊q.k/2⌋)`
+    /// of Algorithm 1, with the pruning test applied against the full hop constraint
+    /// `q.k` exactly as in Example 3.1. The enumerated prefix set and its order are
+    /// identical to [`SearchContext::enumerate_half`]; only the allocation behaviour
+    /// differs (prefix stack, visited marks and candidate arena are reused).
+    pub fn enumerate_half_into(
+        &self,
+        query: &PathQuery,
+        dir: Direction,
+        counters: &mut SearchCounters,
+        buffers: &mut SearchBuffers,
+        prefixes: &mut PathSet,
+    ) {
         let root = query.root(dir);
         let anchor = query.anchor(dir);
         let budget = query.budget(dir);
         let hop_limit = query.hop_limit;
-        let mut prefixes = PathSet::new();
-        let mut stack: Vec<VertexId> = Vec::with_capacity(budget as usize + 1);
-        stack.push(root);
-        self.extend_prefix(
-            &mut stack,
-            dir,
-            anchor,
-            budget,
-            hop_limit,
-            &mut prefixes,
-            counters,
-        );
-        prefixes
+        prefixes.clear();
+        buffers.begin_traversal(self.graph);
+        buffers.stack.push(root);
+        buffers.marks.mark(root);
+        self.extend_prefix(buffers, dir, anchor, budget, hop_limit, prefixes, counters);
     }
 
-    /// Recursive prefix extension. `stack` holds the current prefix (root first).
+    /// Recursive prefix extension. `buffers.stack` holds the current prefix (root first),
+    /// mirrored by `buffers.marks`; each open level occupies one range of the shared
+    /// candidate arena.
     #[allow(clippy::too_many_arguments)]
     fn extend_prefix(
         &self,
-        stack: &mut Vec<VertexId>,
+        buffers: &mut SearchBuffers,
         dir: Direction,
         anchor: VertexId,
         budget: u32,
@@ -78,14 +94,16 @@ impl<'a> SearchContext<'a> {
     ) {
         counters.expanded_vertices += 1;
         counters.stored_prefixes += 1;
-        prefixes.push_slice(stack);
+        prefixes.push_slice(&buffers.stack);
 
-        let current_hops = (stack.len() - 1) as u32;
+        let current_hops = (buffers.stack.len() - 1) as u32;
         if current_hops >= budget {
             return;
         }
-        let last = *stack.last().expect("prefix is never empty");
-        let mut candidates: Vec<VertexId> = Vec::new();
+        let last = *buffers.stack.last().expect("prefix is never empty");
+        let level_start = buffers.candidates.len();
+        // CSR neighbour slices are consumed directly; surviving candidates land in this
+        // level's arena range.
         for &w in self.graph.neighbors(last, dir) {
             counters.scanned_edges += 1;
             let new_len = current_hops + 1;
@@ -95,18 +113,30 @@ impl<'a> SearchContext<'a> {
                 counters.pruned_edges += 1;
                 continue;
             }
-            if stack.contains(&w) {
+            if buffers.marks.contains(w) {
                 continue;
             }
-            candidates.push(w);
+            buffers.candidates.push(w);
         }
-        self.order
-            .arrange(&mut candidates, self.graph, self.index, anchor, dir);
-        for w in candidates {
-            stack.push(w);
-            self.extend_prefix(stack, dir, anchor, budget, hop_limit, prefixes, counters);
-            stack.pop();
+        self.order.arrange(
+            &mut buffers.candidates[level_start..],
+            self.graph,
+            self.index,
+            anchor,
+            dir,
+        );
+        let level_end = buffers.candidates.len();
+        for i in level_start..level_end {
+            // Deeper levels only append past `level_end` and truncate back, so this
+            // level's range stays valid across the recursion.
+            let w = buffers.candidates[i];
+            buffers.stack.push(w);
+            buffers.marks.mark(w);
+            self.extend_prefix(buffers, dir, anchor, budget, hop_limit, prefixes, counters);
+            buffers.marks.unmark(w);
+            buffers.stack.pop();
         }
+        buffers.candidates.truncate(level_start);
     }
 }
 
@@ -228,6 +258,31 @@ mod tests {
         b.sort();
         assert_eq!(a, b);
         assert_eq!(c1.stored_prefixes, c2.stored_prefixes);
+    }
+
+    #[test]
+    fn buffered_half_search_matches_the_transient_one_across_reuses() {
+        let g = grid(4, 4);
+        let queries = [
+            PathQuery::new(0u32, 15u32, 6),
+            PathQuery::new(1u32, 14u32, 5),
+            PathQuery::new(0u32, 15u32, 8),
+        ];
+        let mut buffers = crate::buffers::SearchBuffers::for_graph(&g);
+        let mut reused = PathSet::new();
+        for q in &queries {
+            let index = index_for(&g, q);
+            let ctx = SearchContext::new(&g, &index, SearchOrder::DistanceThenDegree);
+            for dir in [Direction::Forward, Direction::Backward] {
+                let mut c1 = SearchCounters::default();
+                let mut c2 = SearchCounters::default();
+                let transient = ctx.enumerate_half(q, dir, &mut c1);
+                // Same buffers reused across queries and directions: identical output.
+                ctx.enumerate_half_into(q, dir, &mut c2, &mut buffers, &mut reused);
+                assert_eq!(reused, transient, "query {q} dir {dir:?}");
+                assert_eq!(c1, c2);
+            }
+        }
     }
 
     #[test]

@@ -70,8 +70,8 @@ pub mod workload {
 pub mod prelude {
     pub use hcsp_core::{
         Algorithm, BatchEngine, BatchOutcome, CallbackSink, CollectSink, CountSink, Engine,
-        EnumStats, MicroBatchStats, Path, PathQuery, PathSet, PathSink, SearchOrder, ServiceStats,
-        Stage,
+        EnumStats, MicroBatchStats, ParallelBasicEnum, ParallelBatchEnum, Parallelism, Path,
+        PathQuery, PathSet, PathSink, SearchBuffers, SearchOrder, ServiceStats, Stage,
     };
     pub use hcsp_graph::{DiGraph, Direction, GraphBuilder, VertexId};
     pub use hcsp_index::BatchIndex;

@@ -17,7 +17,8 @@
 
 use crate::policy::BatchPolicy;
 use hcsp_core::{
-    BatchEngine, CollectSink, Engine, MicroBatchStats, PathQuery, PathSet, ServiceStats,
+    BatchEngine, CollectSink, Engine, MicroBatchStats, Parallelism, PathQuery, PathSet,
+    ServiceStats,
 };
 use hcsp_graph::DiGraph;
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
@@ -126,6 +127,7 @@ pub struct PathServiceBuilder {
     policy: BatchPolicy,
     workers: usize,
     index_root_cap: Option<usize>,
+    parallel_cluster_cap: Option<usize>,
 }
 
 impl Default for PathServiceBuilder {
@@ -135,9 +137,18 @@ impl Default for PathServiceBuilder {
             policy: BatchPolicy::default(),
             workers: 1,
             index_root_cap: None,
+            parallel_cluster_cap: None,
         }
     }
 }
+
+/// Default similarity-cluster cap applied when micro-batches execute in parallel
+/// (`exec_threads > 1`) and no explicit cap was configured. Micro-batching exists to form
+/// *cohesive* batches, which routinely collapse into a single similarity cluster — one
+/// cluster is one parallel unit, so without a cap the extra threads would idle. Eight
+/// queries per sub-cluster keeps strong intra-cluster sharing while giving a typical
+/// micro-batch several parallel units.
+const DEFAULT_PARALLEL_CLUSTER_CAP: usize = 8;
 
 impl PathServiceBuilder {
     /// The per-batch engine configuration (algorithm + γ); default `BatchEnum+`.
@@ -170,6 +181,15 @@ impl PathServiceBuilder {
         self
     }
 
+    /// Caps the similarity-cluster size of *parallel* micro-batch execution (see
+    /// [`Engine::set_parallel_cluster_cap`]). Only consulted when the policy's
+    /// `exec_threads > 1`; defaults to a small cap in that case so that a cohesive
+    /// micro-batch (often one big similarity cluster) still yields parallel units.
+    pub fn parallel_cluster_cap(mut self, cap: usize) -> Self {
+        self.parallel_cluster_cap = Some(cap);
+        self
+    }
+
     /// Starts the service over `graph`: spawns the batcher and the worker pool.
     pub fn start(self, graph: impl Into<Arc<DiGraph>>) -> PathService {
         let graph = graph.into();
@@ -187,7 +207,26 @@ impl PathServiceBuilder {
                 let stats = Arc::clone(&stats);
                 let config = self.config;
                 let root_cap = self.index_root_cap;
-                std::thread::spawn(move || worker_loop(graph, config, root_cap, batch_rx, stats))
+                let exec_threads = self.policy.exec_threads.max(1);
+                let cluster_cap = if exec_threads > 1 {
+                    Some(
+                        self.parallel_cluster_cap
+                            .unwrap_or(DEFAULT_PARALLEL_CLUSTER_CAP),
+                    )
+                } else {
+                    None
+                };
+                std::thread::spawn(move || {
+                    worker_loop(
+                        graph,
+                        config,
+                        root_cap,
+                        exec_threads,
+                        cluster_cap,
+                        batch_rx,
+                        stats,
+                    )
+                })
             })
             .collect();
 
@@ -228,15 +267,21 @@ fn batcher_loop(rx: Receiver<Submission>, batch_tx: Sender<Vec<Submission>>, pol
 }
 
 /// Executes micro-batches on one reusable engine, routing results back per query.
+/// `exec_threads > 1` runs each micro-batch on the cluster-sharded parallel executor,
+/// with `cluster_cap` bounding the similarity clusters so cohesive batches still split
+/// into parallel units.
 fn worker_loop(
     graph: Arc<DiGraph>,
     config: BatchEngine,
     root_cap: Option<usize>,
+    exec_threads: usize,
+    cluster_cap: Option<usize>,
     batch_rx: Arc<Mutex<Receiver<Vec<Submission>>>>,
     stats: Arc<Mutex<ServiceStats>>,
 ) {
     let mut engine = Engine::new(graph, config);
     engine.set_index_root_cap(root_cap);
+    engine.set_parallel_cluster_cap(cluster_cap);
     loop {
         // Hold the lock only while waiting for one batch; the next worker queues on the
         // mutex, so batches spread across the pool without a work-stealing scheduler.
@@ -253,13 +298,18 @@ fn worker_loop(
         // abandons their slots (waking the waiters), and the worker serves on with a
         // fresh engine — the cached index may be mid-mutation.
         let run = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            engine.run_with_sink(&queries, &mut sink)
+            if exec_threads > 1 {
+                engine.run_parallel_with_sink(&queries, Parallelism::Fixed(exec_threads), &mut sink)
+            } else {
+                engine.run_with_sink(&queries, &mut sink)
+            }
         })) {
             Ok(run) => run,
             Err(_) => {
                 drop(batch);
                 let mut fresh = Engine::new(engine.graph_arc(), engine.config());
                 fresh.set_index_root_cap(engine.index_root_cap());
+                fresh.set_parallel_cluster_cap(engine.parallel_cluster_cap());
                 engine = fresh;
                 continue;
             }
@@ -541,6 +591,36 @@ mod tests {
         assert_eq!(counts, expected);
         let stats = service.shutdown();
         assert_eq!(stats.num_queries, 12);
+    }
+
+    #[test]
+    fn parallel_exec_threads_serve_identical_results() {
+        let graph = grid(4, 4);
+        let queries = grid_queries();
+        let expected = offline_counts(&graph, &queries);
+
+        for (exec_threads, explicit_cap) in [(2, None), (4, None), (2, Some(1))] {
+            let mut builder = PathService::builder().policy(
+                BatchPolicy::by_size(queries.len(), Duration::from_millis(200))
+                    .with_exec_threads(exec_threads),
+            );
+            if let Some(cap) = explicit_cap {
+                builder = builder.parallel_cluster_cap(cap);
+            }
+            let service = builder.start(graph.clone());
+            let handles = service.submit_all(queries.clone());
+            let counts: Vec<u64> = handles
+                .into_iter()
+                .map(|h| h.wait().paths.len() as u64)
+                .collect();
+            assert_eq!(
+                counts, expected,
+                "exec_threads = {exec_threads}, cap = {explicit_cap:?}"
+            );
+            let stats = service.shutdown();
+            assert_eq!(stats.num_queries, queries.len());
+            assert_eq!(stats.produced_paths, expected.iter().sum::<u64>());
+        }
     }
 
     #[test]
