@@ -154,6 +154,7 @@ fn run_experiment(experiment: &str, config: &BenchConfig, options: &CliOptions) 
         "parallel-scaling" => {
             harness::parallel_scaling(config, &options.threads, &options.batches, options.repeats)
         }
+        "mixed-rw" => harness::mixed_read_write(config),
         other => {
             eprintln!("error: unknown experiment {other:?}");
             print_usage();
@@ -203,6 +204,21 @@ fn run_perf_smoke(options: &CliOptions) {
         std::process::exit(1);
     }
     println!("# wrote {}", options.out);
+
+    // Report-only companion: the mixed read/write scenario is recorded in its own
+    // artifact so a baseline can be set once CI has produced reference numbers, but it
+    // does NOT gate yet — no committed baseline exists to compare against.
+    let mixed = harness::mixed_read_write(&config);
+    let mixed_document = format!(
+        "{{\"bench\":\"mixed_read_write\",\"schema_version\":1,\"report_only\":true,{}",
+        &mixed.to_json()[1..]
+    );
+    let mixed_out = "BENCH_mixed_rw.json";
+    if let Err(e) = std::fs::write(mixed_out, &mixed_document) {
+        eprintln!("error: cannot write {mixed_out}: {e}");
+        std::process::exit(1);
+    }
+    println!("# wrote {mixed_out} (report-only, no gate yet)");
 
     if options.write_baseline {
         if let Some(parent) = std::path::Path::new(&options.baseline).parent() {
@@ -346,6 +362,7 @@ fn parse(args: &[String]) -> Result<Parsed, String> {
                     "ablation-order",
                     "ablation-cluster",
                     "parallel-scaling",
+                    "mixed-rw",
                 ]
                 .into_iter()
                 .map(String::from)
@@ -378,9 +395,11 @@ fn print_usage() {
          [--threads 1,2,4] [--batches 64,256] [--repeats N] [--out FILE] [--baseline FILE] \
          [--tolerance 0.2] [--write-baseline]\n\
          experiments: table1 fig3c exp1 exp2 exp3 exp4 exp5 exp6 exp7 \
-         ablation-order ablation-cluster parallel-scaling perf-smoke all\n\
+         ablation-order ablation-cluster parallel-scaling mixed-rw perf-smoke all\n\
          perf-smoke: runs parallel-scaling in quick mode, writes the JSON artifact \
          (--out) and fails when throughput regresses more than --tolerance against \
-         --baseline; --write-baseline (re)creates the baseline instead"
+         --baseline; also records the report-only mixed-rw scenario as \
+         BENCH_mixed_rw.json (no gate yet); --write-baseline (re)creates the \
+         parallel-scaling baseline instead"
     );
 }

@@ -18,8 +18,11 @@ use hcsp_core::{
 use hcsp_graph::sampling::sample_vertices;
 use hcsp_graph::DiGraph;
 use hcsp_index::BatchIndex;
-use hcsp_workload::{random_query_set, similar_query_set, Dataset};
-use std::time::Instant;
+use hcsp_workload::{
+    fold_updates, random_query_set, similar_query_set, update_stream, Dataset, StreamEvent,
+    UpdateStreamSpec,
+};
+use std::time::{Duration, Instant};
 
 /// Wall-clock seconds and statistics of one algorithm run over one batch (count-only sink).
 pub fn time_algorithm(
@@ -524,6 +527,113 @@ pub fn parallel_scaling(
     table
 }
 
+/// Mixed read/write: a reusable [`Engine`] consuming an interleaved stream of query
+/// arrivals and edge-update batches (the evolving-graph serving scenario).
+///
+/// Consecutive queries between two update events execute as one micro-batch (mirroring
+/// the service layer, where an update closes the open admission window); updates flow
+/// through [`Engine::apply_updates`], so the numbers include incremental index
+/// maintenance and the lazy dirty-root re-BFS. **Report-only for now** — the scenario has
+/// no committed baseline yet, so the perf gate records it in the uploaded artifact
+/// without comparing (a baseline can be set once CI has produced reference numbers).
+///
+/// Honesty check built in: after the stream drains, the engine's answers for a probe
+/// batch are asserted byte-identical against a fresh engine over the oracle fold of all
+/// updates — a throughput number from a drifting replica would be worthless.
+pub fn mixed_read_write(config: &BenchConfig) -> Table {
+    let mut table = Table::new(
+        "Mixed read/write: query stream interleaved with edge updates (report-only)",
+        &[
+            "dataset",
+            "queries",
+            "update_batches",
+            "mutations",
+            "query_s",
+            "update_s",
+            "qps",
+            "update_refreshes",
+            "invalidations",
+            "dirty_flushes",
+        ],
+    );
+    for &dataset in &config.datasets {
+        let graph = dataset.build(config.scale);
+        let spec = UpdateStreamSpec::new(
+            config.query_set_size,
+            (config.query_set_size / 4).max(2),
+            config.seed,
+        )
+        .with_hops(config.k_min, config.k_max)
+        .with_updates(4, 0.5);
+        let events = update_stream(&graph, spec);
+        if events.is_empty() {
+            continue;
+        }
+
+        let mut engine = Engine::new(graph.clone(), BatchEngine::default());
+        let mut pending: Vec<PathQuery> = Vec::new();
+        let mut query_time = Duration::ZERO;
+        let mut update_time = Duration::ZERO;
+        let mut queries = 0usize;
+        let mut update_batches = 0usize;
+        let mut mutations = 0usize;
+
+        let flush = |engine: &mut Engine, pending: &mut Vec<PathQuery>| {
+            if pending.is_empty() {
+                return Duration::ZERO;
+            }
+            let mut sink = CountSink::new(pending.len());
+            let start = Instant::now();
+            engine.run_with_sink(pending, &mut sink);
+            pending.clear();
+            start.elapsed()
+        };
+        for event in &events {
+            match event {
+                StreamEvent::Query(q) => {
+                    queries += 1;
+                    pending.push(*q);
+                }
+                StreamEvent::Update(batch) => {
+                    query_time += flush(&mut engine, &mut pending);
+                    update_batches += 1;
+                    mutations += batch.len();
+                    let start = Instant::now();
+                    engine.apply_updates(batch);
+                    update_time += start.elapsed();
+                }
+            }
+        }
+        query_time += flush(&mut engine, &mut pending);
+
+        // Lossless check against the oracle fold of the whole stream.
+        let oracle_graph = fold_updates(&graph, &events);
+        let probe = random_query_set(&oracle_graph, config.query_spec());
+        if !probe.is_empty() {
+            let (served, _) = engine.run_counting(&probe);
+            let mut oracle = Engine::new(oracle_graph, BatchEngine::default());
+            let (expected, _) = oracle.run_counting(&probe);
+            assert_eq!(served, expected, "evolved engine drifted from the oracle");
+        }
+
+        let reuse = engine.index_reuse();
+        let qps = queries as f64 / query_time.as_secs_f64().max(1e-9);
+        table.push_row(vec![
+            dataset.to_string(),
+            queries.to_string(),
+            update_batches.to_string(),
+            mutations.to_string(),
+            format!("{:.6}", query_time.as_secs_f64()),
+            format!("{:.6}", update_time.as_secs_f64()),
+            format!("{qps:.2}"),
+            reuse.update_refreshes.to_string(),
+            reuse.invalidations.to_string(),
+            reuse.dirty_flushes.to_string(),
+        ]);
+    }
+    table
+}
+
 /// Ablation: the effect of the optimized search order on the baseline and the shared
 /// algorithm (BasicEnum vs BasicEnum+ and BatchEnum vs BatchEnum+).
 pub fn ablation_search_order(config: &BenchConfig) -> Table {
@@ -657,6 +767,35 @@ mod tests {
         let config = test_config();
         assert_eq!(ablation_search_order(&config).len(), 2);
         assert_eq!(ablation_clustering(&config).len(), 2);
+    }
+
+    #[test]
+    fn mixed_read_write_reports_per_dataset_rows() {
+        let config = test_config();
+        let t = mixed_read_write(&config);
+        assert_eq!(t.len(), 2);
+        for row in t.rows() {
+            let queries: usize = row[1].parse().unwrap();
+            let update_batches: usize = row[2].parse().unwrap();
+            let mutations: usize = row[3].parse().unwrap();
+            assert_eq!(queries, 8);
+            assert_eq!(update_batches, 2);
+            assert_eq!(mutations, update_batches * 4);
+            let qps: f64 = row[6].parse().unwrap();
+            assert!(qps > 0.0, "throughput must be positive: {row:?}");
+            let refreshes: usize = row[7].parse().unwrap();
+            let invalidations: usize = row[8].parse().unwrap();
+            // Batches arriving before the first query find no cached index to maintain,
+            // so the maintained count is bounded by (not equal to) the batch count.
+            assert!(
+                refreshes + invalidations <= update_batches,
+                "maintenance counters exceed the update batches: {row:?}"
+            );
+            assert!(
+                refreshes > 0,
+                "the stream must exercise incremental maintenance"
+            );
+        }
     }
 
     #[test]

@@ -38,19 +38,33 @@ impl ResultCache {
     /// Inserts the materialised results of `node`, to be consumed by `num_users` users.
     ///
     /// Entries with zero users are dropped immediately (they can never be read again).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` already has resident results. Each Ψ node is materialised exactly
+    /// once by the topological evaluation (Alg. 4); a second insert means that invariant
+    /// broke upstream, and silently overwriting would both leak the first entry's
+    /// residency (corrupting `resident`/`peak_resident` accounting) and strand its
+    /// remaining users with the wrong path set. The check is a real `assert!` so release
+    /// builds fail loudly instead of serving corrupted statistics.
     pub fn insert(&mut self, node: NodeId, paths: PathSet, num_users: usize) {
         if node >= self.entries.len() {
             self.entries.resize_with(node + 1, || None);
+        }
+        if let Some(existing) = &self.entries[node] {
+            panic!(
+                "Ψ node {node} materialised twice: {} paths for {} remaining users are \
+                 already resident, refusing to overwrite with {} paths for {num_users} users",
+                existing.paths.len(),
+                existing.remaining_users,
+                paths.len(),
+            );
         }
         self.total_inserted += 1;
         if num_users == 0 {
             self.evicted += 1;
             return;
         }
-        debug_assert!(
-            self.entries[node].is_none(),
-            "node {node} materialised twice"
-        );
         self.entries[node] = Some(CacheEntry {
             paths,
             remaining_users: num_users,
@@ -188,6 +202,34 @@ mod tests {
         assert!(!cache.release(0));
         assert!(!cache.release(99));
         assert_eq!(cache.get(99), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "materialised twice")]
+    fn double_materialisation_panics_in_every_build_profile() {
+        // A plain `assert`-style check, not `debug_assert`: this test is meaningful under
+        // `--release` too, where the old guard compiled away and the second insert would
+        // silently overwrite the entry and corrupt the residency accounting.
+        let mut cache = ResultCache::new(2);
+        cache.insert(1, path_set(&[&[1, 2]]), 2);
+        cache.insert(1, path_set(&[&[3, 4]]), 1);
+    }
+
+    #[test]
+    fn accounting_survives_an_attempted_double_insert() {
+        let mut cache = ResultCache::new(2);
+        cache.insert(1, path_set(&[&[1, 2]]), 1);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.insert(1, path_set(&[&[3, 4]]), 1);
+        }));
+        assert!(outcome.is_err());
+        // The first entry is untouched and the counters did not double-count.
+        assert_eq!(cache.resident(), 1);
+        assert_eq!(cache.peak_resident(), 1);
+        assert_eq!(cache.total_inserted(), 1);
+        assert_eq!(cache.get(1).unwrap().len(), 1);
+        assert!(cache.release(1), "the original refcount still drains");
+        assert_eq!(cache.resident(), 0);
     }
 
     #[test]

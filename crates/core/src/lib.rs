@@ -62,7 +62,10 @@ pub mod stats;
 pub use basic_enum::BasicEnum;
 pub use batch_enum::{BatchEnum, DEFAULT_GAMMA};
 pub use buffers::{JoinScratch, SearchBuffers, VisitMarks};
-pub use engine::{Algorithm, BatchEngine, BatchOutcome, Engine, IndexReuse};
+pub use engine::{
+    Algorithm, BatchEngine, BatchOutcome, Engine, IndexReuse, UpdateSummary,
+    DEFAULT_UPDATE_REFRESH_CAP,
+};
 pub use parallel::{ParallelBasicEnum, ParallelBatchEnum, Parallelism};
 pub use path::{Path, PathSet};
 pub use pathenum::PathEnum;

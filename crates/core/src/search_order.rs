@@ -41,7 +41,12 @@ impl SearchOrder {
                 // CSR neighbour lists are already sorted by id; nothing to do.
             }
             SearchOrder::DistanceThenDegree => {
-                candidates.sort_by_key(|&w| {
+                // Unstable sort: this runs once per expanded vertex in the enumeration
+                // hot path, and a stable sort would allocate its merge buffer every call
+                // (defeating the buffer-reuse design of `SearchBuffers`). Safe because
+                // the key ends in `w.raw()`, a total order over the candidates — equal
+                // keys cannot occur, so stability is irrelevant to the output.
+                candidates.sort_unstable_by_key(|&w| {
                     (
                         index.dist_towards(dir, w, anchor),
                         graph.degree(w, dir) as u32,
@@ -116,6 +121,36 @@ mod tests {
             Direction::Forward,
         );
         assert_eq!(c[0], VertexId(8));
+    }
+
+    #[test]
+    fn unstable_sort_produces_the_stable_sort_order() {
+        // The arrangement key ends in the vertex id, so it is a total order and the
+        // unstable sort must produce exactly what a stable sort would — including among
+        // vertices tied on (distance, degree). A grid gives plenty of such ties.
+        let g = grid(4, 4);
+        let anchor = VertexId(15);
+        let index = BatchIndex::build(&g, &[VertexId(0)], &[anchor], 8);
+        // Every vertex, duplicated and reversed: ties and equal elements abound.
+        let mut candidates: Vec<VertexId> = (0..16).rev().map(VertexId).collect();
+        candidates.extend((0..16).map(VertexId));
+
+        let mut stable = candidates.clone();
+        stable.sort_by_key(|&w| {
+            (
+                index.dist_towards(Direction::Forward, w, anchor),
+                g.degree(w, Direction::Forward) as u32,
+                w.raw(),
+            )
+        });
+        SearchOrder::DistanceThenDegree.arrange(
+            &mut candidates,
+            &g,
+            &index,
+            anchor,
+            Direction::Forward,
+        );
+        assert_eq!(candidates, stable);
     }
 
     #[test]

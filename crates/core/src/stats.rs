@@ -211,6 +211,11 @@ pub struct ServiceStats {
     pub num_clusters: usize,
     /// Total HC-s-t paths delivered.
     pub produced_paths: u64,
+    /// Graph-update batches applied across the worker pool (each counted once, however
+    /// many worker engines replicated it).
+    pub update_batches: usize,
+    /// Individual edge mutations those batches applied (net of no-ops).
+    pub updates_applied: usize,
 }
 
 impl ServiceStats {
@@ -224,6 +229,12 @@ impl ServiceStats {
         self.total_exec_time += batch.exec_time;
         self.num_clusters += batch.run.num_clusters;
         self.produced_paths += batch.run.counters.produced_paths;
+    }
+
+    /// Folds one applied graph-update batch into the aggregate.
+    pub fn record_update(&mut self, summary: &crate::engine::UpdateSummary) {
+        self.update_batches += 1;
+        self.updates_applied += summary.applied;
     }
 
     /// Mean number of queries per micro-batch.

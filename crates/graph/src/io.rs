@@ -194,6 +194,77 @@ mod tests {
     }
 
     #[test]
+    fn binary_round_trips_the_empty_graph_exactly() {
+        let empty = DiGraph::from_edge_list(0, &[]).unwrap();
+        let bytes = to_binary(&empty);
+        let back = from_binary(&bytes).unwrap();
+        assert_eq!(back, empty);
+        assert_eq!(back.num_vertices(), 0);
+        assert_eq!(back.num_edges(), 0);
+        // Vertices-but-no-edges is a distinct shape from truly-empty; both round-trip.
+        let isolated_only = DiGraph::from_edge_list(5, &[]).unwrap();
+        let back = from_binary(&to_binary(&isolated_only)).unwrap();
+        assert_eq!(back, isolated_only);
+        assert_eq!(back.num_vertices(), 5);
+    }
+
+    #[test]
+    fn binary_round_trip_preserves_an_isolated_max_vertex() {
+        // The highest vertex id has no incident edge: its existence is carried only by
+        // the offsets array, the exact thing a truncation bug would drop.
+        let mut builder = crate::GraphBuilder::new();
+        builder.add_edge(crate::VertexId(0), crate::VertexId(1));
+        builder.reserve_vertices(8);
+        let g = builder.build();
+        assert_eq!(g.num_vertices(), 8);
+        assert_eq!(g.out_degree(crate::VertexId(7)), 0);
+
+        let back = from_binary(&to_binary(&g)).unwrap();
+        assert_eq!(back, g);
+        assert_eq!(back.num_vertices(), 8);
+        assert_eq!(back.out_degree(crate::VertexId(7)), 0);
+        assert_eq!(back.in_degree(crate::VertexId(7)), 0);
+    }
+
+    #[test]
+    fn edge_list_accepts_crlf_line_endings() {
+        let input = "# CRLF export\r\n0 1\r\n1 2\r\n\r\n2 0\r\n";
+        let g = read_edge_list(input.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g, read_edge_list("0 1\n1 2\n2 0\n".as_bytes()).unwrap());
+    }
+
+    #[test]
+    fn comment_only_files_parse_to_the_empty_graph() {
+        let input = "# nothing but comments\n% and more\n\n   \n# done\n";
+        let g = read_edge_list(input.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn parse_errors_count_comment_and_blank_lines_too() {
+        // The malformed line is line 5 of the *file* (1-based), not the 2nd edge line:
+        // comment, blank and CRLF lines must advance the reported counter.
+        let input = "# header\r\n\r\n0 1\r\n% interlude\r\nthree tokens here no\r\n1 2\r\n";
+        let err = read_edge_list(input.as_bytes()).unwrap_err();
+        match err {
+            GraphError::ParseEdge { line, content } => {
+                assert_eq!(line, 5, "1-based physical line number");
+                assert!(content.contains("three tokens"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // A lone token on the very first line reports line 1.
+        let err = read_edge_list("oops\n".as_bytes()).unwrap_err();
+        match err {
+            GraphError::ParseEdge { line, .. } => assert_eq!(line, 1),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
     fn binary_rejects_corruption() {
         let g = grid(3, 3);
         let bytes = to_binary(&g);

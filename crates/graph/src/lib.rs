@@ -11,6 +11,8 @@
 //!   out- and in-adjacency, so that traversals on the reverse graph `G^r` require no copy.
 //! * [`GraphBuilder`] — an incremental builder that deduplicates edges, drops self loops
 //!   on request and produces a [`DiGraph`].
+//! * [`DeltaGraph`] — a mutable edge-insert/delete overlay over an immutable base graph
+//!   with periodic compaction back into a fresh CSR (the dynamic-update staging layer).
 //! * [`traversal`] — BFS / bounded BFS / DFS primitives shared by the index and the
 //!   enumeration algorithms.
 //! * [`generators`] — deterministic random graph generators (Erdős–Rényi, directed
@@ -39,6 +41,7 @@
 pub mod builder;
 pub mod components;
 pub mod csr;
+pub mod delta;
 pub mod digraph;
 pub mod error;
 pub mod generators;
@@ -50,6 +53,7 @@ pub mod vertex;
 
 pub use builder::GraphBuilder;
 pub use csr::CsrAdjacency;
+pub use delta::{DeltaGraph, GraphUpdate};
 pub use digraph::{DiGraph, Direction};
 pub use error::GraphError;
 pub use properties::GraphStats;

@@ -72,10 +72,11 @@ pub mod prelude {
         Algorithm, BatchEngine, BatchOutcome, CallbackSink, CollectSink, CountSink, Engine,
         EnumStats, MicroBatchStats, ParallelBasicEnum, ParallelBatchEnum, Parallelism, Path,
         PathQuery, PathSet, PathSink, SearchBuffers, SearchOrder, ServiceStats, Stage,
+        UpdateSummary,
     };
-    pub use hcsp_graph::{DiGraph, Direction, GraphBuilder, VertexId};
+    pub use hcsp_graph::{DeltaGraph, DiGraph, Direction, GraphBuilder, GraphUpdate, VertexId};
     pub use hcsp_index::BatchIndex;
-    pub use hcsp_service::{BatchPolicy, PathService};
+    pub use hcsp_service::{BatchPolicy, PathService, UpdateHandle};
 }
 
 pub use hcsp_core::{Algorithm, BatchEngine, PathQuery};

@@ -27,6 +27,9 @@ pub struct DistanceIndex {
     roots: Vec<VertexId>,
     maps: Vec<SparseDistanceMap>,
     bound: u32,
+    /// Roots whose maps may be stale after edge deletions, sorted ascending. Keyed by
+    /// vertex id (not position) so the set survives the root reordering of `extend`.
+    dirty: Vec<VertexId>,
 }
 
 impl DistanceIndex {
@@ -43,8 +46,130 @@ impl DistanceIndex {
             roots: unique,
             maps: result.maps,
             bound,
+            dirty: Vec::new(),
         };
         (index, result.visited_pairs)
+    }
+
+    /// Orients an inserted/deleted graph edge `(u, v)` into a traversal edge for this
+    /// index's search direction: forward indices walk `u → v`, backward indices (distances
+    /// *to* a target, i.e. BFS on `G^r`) walk `v → u`.
+    #[inline]
+    fn orient(edge: (VertexId, VertexId), dir: Direction) -> (VertexId, VertexId) {
+        match dir {
+            Direction::Forward => edge,
+            Direction::Backward => (edge.1, edge.0),
+        }
+    }
+
+    /// Incrementally refreshes the index after the directed edges `edges` were *inserted*
+    /// into `graph` (which must already contain them). Returns the number of `(root,
+    /// vertex)` entries that gained a (shorter) distance.
+    ///
+    /// Insertions can only shorten bounded distances, so a relaxation pass seeded at the
+    /// new edges' heads is exact: for every root `r` with `dist(r, u)` recorded, an
+    /// inserted traversal edge `u → v` offers `dist(r, u) + 1` to `v`, and any improvement
+    /// propagates outwards by BFS. Roots currently marked dirty (pending deletions) are
+    /// skipped — their maps are rebuilt wholesale by [`DistanceIndex::flush_dirty`].
+    pub fn apply_insertions(
+        &mut self,
+        graph: &DiGraph,
+        edges: &[(VertexId, VertexId)],
+        dir: Direction,
+    ) -> usize {
+        if edges.is_empty() {
+            return 0;
+        }
+        let mut improved = 0usize;
+        let mut queue: std::collections::VecDeque<(VertexId, u32)> =
+            std::collections::VecDeque::new();
+        for (i, &root) in self.roots.iter().enumerate() {
+            if self.dirty.binary_search(&root).is_ok() {
+                continue;
+            }
+            let map = &mut self.maps[i];
+            queue.clear();
+            for &edge in edges {
+                let (from, to) = Self::orient(edge, dir);
+                if let Some(df) = map.get(from) {
+                    let cand = df.saturating_add(1);
+                    if cand <= self.bound && map.insert_min(to, cand) {
+                        improved += 1;
+                        queue.push_back((to, cand));
+                    }
+                }
+            }
+            while let Some((x, dx)) = queue.pop_front() {
+                // Stale queue entries (improved again since enqueued) must not expand.
+                if map.get(x) != Some(dx) || dx == self.bound {
+                    continue;
+                }
+                let cand = dx + 1;
+                for &w in graph.neighbors(x, dir) {
+                    if map.insert_min(w, cand) {
+                        improved += 1;
+                        queue.push_back((w, cand));
+                    }
+                }
+            }
+        }
+        improved
+    }
+
+    /// Conservatively marks roots whose maps may be stale after the directed edges
+    /// `edges` were *deleted*. Returns the number of roots newly marked dirty.
+    ///
+    /// A deletion can only invalidate `dist(r, ·)` if some shortest path from `r` used the
+    /// deleted edge, which requires `dist(r, to) == dist(r, from) + 1` for the oriented
+    /// traversal edge `from → to`. Marked roots keep serving their (possibly stale —
+    /// distances only ever *under*-estimate after a delete) entries until
+    /// [`DistanceIndex::flush_dirty`] re-BFSes them; callers must flush before relying on
+    /// the index for pruning correctness.
+    pub fn note_deletions(&mut self, edges: &[(VertexId, VertexId)], dir: Direction) -> usize {
+        if edges.is_empty() {
+            return 0;
+        }
+        let mut newly_dirty = 0usize;
+        for (i, &root) in self.roots.iter().enumerate() {
+            if self.dirty.binary_search(&root).is_ok() {
+                continue;
+            }
+            let map = &self.maps[i];
+            let affected = edges.iter().any(|&edge| {
+                let (from, to) = Self::orient(edge, dir);
+                map.get(from)
+                    .is_some_and(|df| map.distance_or_inf(to) == df.saturating_add(1))
+            });
+            if affected {
+                let pos = self.dirty.binary_search(&root).unwrap_err();
+                self.dirty.insert(pos, root);
+                newly_dirty += 1;
+            }
+        }
+        newly_dirty
+    }
+
+    /// Re-BFSes every dirty root against the current `graph`, replacing their maps.
+    /// Returns `(refreshed roots, visited pairs of the re-BFS)`.
+    pub fn flush_dirty(&mut self, graph: &DiGraph, dir: Direction) -> (usize, usize) {
+        if self.dirty.is_empty() {
+            return (0, 0);
+        }
+        let dirty = std::mem::take(&mut self.dirty);
+        let result = multi_source_bfs(graph, &dirty, dir, self.bound);
+        for (root, map) in result.roots.into_iter().zip(result.maps) {
+            let i = self
+                .roots
+                .binary_search(&root)
+                .expect("dirty roots are indexed roots");
+            self.maps[i] = map;
+        }
+        (dirty.len(), result.visited_pairs)
+    }
+
+    /// Number of roots currently marked dirty (awaiting a lazy re-BFS).
+    pub fn num_dirty(&self) -> usize {
+        self.dirty.len()
     }
 
     /// Extends the index with any of `roots` that are not indexed yet, running one more
@@ -254,6 +379,55 @@ impl BatchIndex {
         added_s + added_t
     }
 
+    /// Incrementally refreshes both sides after `edges` were inserted into `graph` (which
+    /// must already contain them). Returns the number of improved/added distance entries.
+    ///
+    /// Exact on its own: insertions only shorten distances, and the relaxation pass
+    /// computes the new fixpoint (see [`DistanceIndex::apply_insertions`]).
+    pub fn apply_insertions(&mut self, graph: &DiGraph, edges: &[(VertexId, VertexId)]) -> usize {
+        let start = Instant::now();
+        let improved = self
+            .sources
+            .apply_insertions(graph, edges, Direction::Forward)
+            + self
+                .targets
+                .apply_insertions(graph, edges, Direction::Backward);
+        self.stats.build_time += start.elapsed();
+        self.stats.stored_entries = self.sources.total_entries() + self.targets.total_entries();
+        improved
+    }
+
+    /// Conservatively marks roots possibly affected by the deletion of `edges`, deferring
+    /// the re-BFS to [`BatchIndex::flush_dirty`]. Returns the number of roots marked.
+    ///
+    /// The index is **not safe to query** between `note_deletions` and `flush_dirty`:
+    /// stale entries under-estimate distances, which breaks the Lemma 3.1 pruning bound.
+    /// The serving engine flushes lazily — right before the next batch runs.
+    pub fn note_deletions(&mut self, edges: &[(VertexId, VertexId)]) -> usize {
+        self.sources.note_deletions(edges, Direction::Forward)
+            + self.targets.note_deletions(edges, Direction::Backward)
+    }
+
+    /// Re-BFSes every dirty root of both sides against the current `graph`. Returns the
+    /// number of roots refreshed.
+    pub fn flush_dirty(&mut self, graph: &DiGraph) -> usize {
+        if self.num_dirty() == 0 {
+            return 0;
+        }
+        let start = Instant::now();
+        let (roots_s, visited_s) = self.sources.flush_dirty(graph, Direction::Forward);
+        let (roots_t, visited_t) = self.targets.flush_dirty(graph, Direction::Backward);
+        self.stats.build_time += start.elapsed();
+        self.stats.visited_pairs += visited_s + visited_t;
+        self.stats.stored_entries = self.sources.total_entries() + self.targets.total_entries();
+        roots_s + roots_t
+    }
+
+    /// Number of roots (both sides) awaiting a lazy re-BFS.
+    pub fn num_dirty(&self) -> usize {
+        self.sources.num_dirty() + self.targets.num_dirty()
+    }
+
     /// The source-side distance index.
     pub fn source_index(&self) -> &DistanceIndex {
         &self.sources
@@ -412,6 +586,176 @@ mod tests {
         assert_eq!(index.dist_from_source(v(0), v(7)), 7);
         assert_eq!(index.dist_from_source(v(3), v(6)), 3);
         assert_eq!(index.dist_to_target(v(2), v(6)), 4);
+    }
+
+    /// Asserts both sides of `index` agree with a fresh build over the same roots/bound.
+    fn assert_matches_fresh(graph: &hcsp_graph::DiGraph, index: &BatchIndex) {
+        let fresh = BatchIndex::build(
+            graph,
+            index.source_index().roots(),
+            index.target_index().roots(),
+            index.bound(),
+        );
+        for vertex in graph.vertices() {
+            for &s in index.source_index().roots() {
+                assert_eq!(
+                    index.dist_from_source(s, vertex),
+                    fresh.dist_from_source(s, vertex),
+                    "source {s} vertex {vertex}"
+                );
+            }
+            for &t in index.target_index().roots() {
+                assert_eq!(
+                    index.dist_to_target(vertex, t),
+                    fresh.dist_to_target(vertex, t),
+                    "target {t} vertex {vertex}"
+                );
+            }
+        }
+        assert_eq!(index.stats().stored_entries, fresh.stats().stored_entries);
+    }
+
+    #[test]
+    fn insertions_refresh_incrementally_to_the_fresh_fixpoint() {
+        use hcsp_graph::DeltaGraph;
+        // A long path: inserting shortcuts shortens many distances at once.
+        let g0 = path(12);
+        let mut index = BatchIndex::build(&g0, &[v(0), v(2)], &[v(11)], 9);
+
+        let inserted = vec![(v(0), v(5)), (v(5), v(11)), (v(3), v(9))];
+        let mut delta = DeltaGraph::new(g0);
+        for &(u, w) in &inserted {
+            assert!(delta.insert_edge(u, w));
+        }
+        let g1 = delta.compact();
+
+        let improved = index.apply_insertions(&g1, &inserted);
+        assert!(improved > 0, "shortcuts must improve some entries");
+        assert_eq!(index.num_dirty(), 0, "insertions never mark roots dirty");
+        assert_eq!(index.dist_from_source(v(0), v(11)), 2);
+        assert_matches_fresh(&g1, &index);
+
+        // Re-applying the same insertions is a fixpoint: nothing improves further.
+        assert_eq!(index.apply_insertions(&g1, &inserted), 0);
+    }
+
+    #[test]
+    fn insertions_reach_vertices_beyond_the_old_graph() {
+        use hcsp_graph::DeltaGraph;
+        let g0 = path(4);
+        let mut index = BatchIndex::build(&g0, &[v(0)], &[v(3)], 6);
+        // Grow the graph: 3 -> 4 -> 5 plus a back edge 5 -> 0.
+        let inserted = vec![(v(3), v(4)), (v(4), v(5)), (v(5), v(0))];
+        let mut delta = DeltaGraph::new(g0);
+        for &(u, w) in &inserted {
+            assert!(delta.insert_edge(u, w));
+        }
+        let g1 = delta.compact();
+        assert_eq!(g1.num_vertices(), 6);
+        index.apply_insertions(&g1, &inserted);
+        assert_eq!(index.dist_from_source(v(0), v(5)), 5);
+        // The back edge now gives every vertex a route *to* the old target side too.
+        assert_matches_fresh(&g1, &index);
+    }
+
+    #[test]
+    fn deletions_mark_dirty_lazily_and_flush_rebuilds() {
+        use hcsp_graph::DeltaGraph;
+        let g1 = grid(5, 5);
+        let mut index = BatchIndex::build(&g1, &[v(0), v(6)], &[v(24)], 8);
+
+        // Delete two edges on shortest routes from the indexed roots.
+        let deleted = vec![(v(0), v(1)), (v(11), v(12))];
+        let mut delta = DeltaGraph::new(g1);
+        for &(u, w) in &deleted {
+            assert!(delta.delete_edge(u, w));
+        }
+        let g2 = delta.compact();
+
+        let marked = index.note_deletions(&deleted);
+        assert!(marked > 0, "a shortest-path edge deletion must mark roots");
+        assert_eq!(index.num_dirty(), marked, "flush is deferred");
+
+        let refreshed = index.flush_dirty(&g2);
+        assert_eq!(refreshed, marked);
+        assert_eq!(index.num_dirty(), 0);
+        assert_matches_fresh(&g2, &index);
+
+        // A second flush is free.
+        assert_eq!(index.flush_dirty(&g2), 0);
+    }
+
+    #[test]
+    fn unrelated_deletions_do_not_mark_roots() {
+        let g = grid(4, 4);
+        let mut index = BatchIndex::build(&g, &[v(0)], &[v(15)], 3);
+        // Edge (14, 15) sits outside the bounded neighbourhood of source 0 at bound 3,
+        // and 14 -> 15 is a last hop whose reverse orientation (15 -> 14) is exactly one
+        // hop from target 15 — so only the target side can be affected; edge (1, 0) has
+        // dist(0, 1) = 1 but dist(0, 0) = 0 != 2, so the source side is unaffected.
+        assert_eq!(index.note_deletions(&[(v(1), v(0))]), 0);
+        assert_eq!(index.num_dirty(), 0);
+    }
+
+    #[test]
+    fn mixed_update_sequence_converges_to_fresh_build() {
+        use hcsp_graph::{DeltaGraph, GraphUpdate};
+        let g0 = grid(4, 4);
+        let mut delta = DeltaGraph::new(g0.clone());
+        let mut index = BatchIndex::build(&g0, &[v(0), v(5)], &[v(15), v(10)], 7);
+
+        let steps: Vec<Vec<GraphUpdate>> = vec![
+            vec![GraphUpdate::insert(0u32, 15u32)],
+            vec![
+                GraphUpdate::delete(0u32, 1u32),
+                GraphUpdate::insert(3u32, 0u32),
+            ],
+            vec![
+                GraphUpdate::delete(0u32, 15u32),
+                GraphUpdate::insert(12u32, 3u32),
+                GraphUpdate::delete(5u32, 6u32),
+            ],
+        ];
+        for step in &steps {
+            let inserted: Vec<_> = step
+                .iter()
+                .filter(|u| u.is_insert())
+                .map(|u| u.edge())
+                .collect();
+            let deleted: Vec<_> = step
+                .iter()
+                .filter(|u| !u.is_insert())
+                .map(|u| u.edge())
+                .collect();
+            for update in step {
+                assert!(delta.apply(update));
+            }
+            let graph = delta.compact();
+            index.note_deletions(&deleted);
+            index.apply_insertions(&graph, &inserted);
+            index.flush_dirty(&graph);
+            assert_matches_fresh(&graph, &index);
+        }
+    }
+
+    #[test]
+    fn extend_preserves_dirty_marks_across_root_merges() {
+        let g = path(8);
+        let mut index = BatchIndex::build(&g, &[v(4)], &[v(7)], 7);
+        // Deleting 4 -> 5 invalidates source root 4.
+        assert_eq!(index.note_deletions(&[(v(4), v(5))]), 2);
+        assert!(index.source_index().num_dirty() > 0);
+        // Extending with new roots re-sorts the root/map arrays; the dirty set must
+        // follow the root *ids*, not their positions.
+        let g2 = hcsp_graph::DiGraph::from_edge_list(
+            8,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (5, 6), (6, 7)],
+        )
+        .unwrap();
+        index.extend(&g2, &[v(0), v(2)], &[v(7)]);
+        let refreshed = index.flush_dirty(&g2);
+        assert_eq!(refreshed, 2);
+        assert_matches_fresh(&g2, &index);
     }
 
     #[test]

@@ -59,6 +59,28 @@ impl SparseDistanceMap {
         self.get(v).is_some()
     }
 
+    /// Records `d` for `v` if it is smaller than the stored distance (or if `v` is
+    /// absent). Returns whether the map changed.
+    ///
+    /// This is the primitive of incremental index maintenance after edge insertions:
+    /// inserts can only *shorten* bounded distances, so a minimum-merge is exact.
+    pub fn insert_min(&mut self, v: VertexId, d: u32) -> bool {
+        match self.entries.binary_search_by_key(&v, |&(vertex, _)| vertex) {
+            Ok(i) => {
+                if d < self.entries[i].1 {
+                    self.entries[i].1 = d;
+                    true
+                } else {
+                    false
+                }
+            }
+            Err(i) => {
+                self.entries.insert(i, (v, d));
+                true
+            }
+        }
+    }
+
     /// Iterates `(vertex, distance)` pairs in increasing vertex order.
     pub fn iter(&self) -> impl Iterator<Item = (VertexId, u32)> + '_ {
         self.entries.iter().copied()
@@ -142,6 +164,21 @@ mod tests {
         assert_eq!(a.intersection_size(&b), 2);
         assert_eq!(b.intersection_size(&a), 2);
         assert_eq!(a.intersection_size(&SparseDistanceMap::new()), 0);
+    }
+
+    #[test]
+    fn insert_min_only_lowers_distances() {
+        let mut m: SparseDistanceMap = vec![(v(2), 3), (v(5), 1)].into_iter().collect();
+        assert!(m.insert_min(v(2), 2), "lowering an entry changes the map");
+        assert!(!m.insert_min(v(2), 2), "equal distance is a no-op");
+        assert!(!m.insert_min(v(5), 4), "larger distance is a no-op");
+        assert!(m.insert_min(v(3), 7), "absent vertex is inserted");
+        assert_eq!(m.get(v(2)), Some(2));
+        assert_eq!(m.get(v(3)), Some(7));
+        assert_eq!(m.get(v(5)), Some(1));
+        // The sorted-by-vertex invariant survives the insertion.
+        let order: Vec<_> = m.vertices().collect();
+        assert_eq!(order, vec![v(2), v(3), v(5)]);
     }
 
     #[test]

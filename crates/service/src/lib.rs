@@ -31,7 +31,9 @@ pub mod policy;
 pub mod service;
 
 pub use policy::BatchPolicy;
-pub use service::{PathService, PathServiceBuilder, QueryHandle, QueryResult};
+pub use service::{PathService, PathServiceBuilder, QueryHandle, QueryResult, UpdateHandle};
 
-// Re-exported so service users can read the aggregate counters without naming hcsp-core.
-pub use hcsp_core::{MicroBatchStats, ServiceStats};
+// Re-exported so service users can read the aggregate counters and submit graph updates
+// without naming hcsp-core / hcsp-graph.
+pub use hcsp_core::{MicroBatchStats, ServiceStats, UpdateSummary};
+pub use hcsp_graph::GraphUpdate;

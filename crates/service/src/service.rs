@@ -14,13 +14,18 @@
 //! incrementally, and only a growing hop bound forces a rebuild. Results are routed back
 //! per query through the core [`PathSink`](hcsp_core::PathSink) abstraction
 //! ([`CollectSink`] inside the worker) and handed to the caller via [`QueryHandle`]s.
+//!
+//! Graph updates ([`PathService::update`]) travel through the *same* admission queue as
+//! queries: an update closes the open admission window and is applied to every worker
+//! engine behind a rendezvous barrier before any later micro-batch starts, so each query
+//! executes against exactly the snapshot defined by its admission order.
 
 use crate::policy::BatchPolicy;
 use hcsp_core::{
     BatchEngine, CollectSink, Engine, MicroBatchStats, Parallelism, PathQuery, PathSet,
-    ServiceStats,
+    ServiceStats, UpdateSummary,
 };
-use hcsp_graph::DiGraph;
+use hcsp_graph::{DiGraph, GraphUpdate};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -120,6 +125,183 @@ impl Drop for Submission {
     }
 }
 
+/// Lifecycle of an update slot (mirrors [`SlotState`] for graph updates).
+#[derive(Debug, Default)]
+enum UpdateState {
+    /// The update is queued or being applied.
+    #[default]
+    Pending,
+    /// Every worker engine has applied the update.
+    Ready(UpdateSummary),
+    /// The update will never complete (internal failure during dispatch).
+    Abandoned,
+}
+
+/// One-shot completion slot shared between the worker pool and an [`UpdateHandle`].
+#[derive(Debug, Default)]
+struct UpdateSlot {
+    state: Mutex<UpdateState>,
+    ready: Condvar,
+}
+
+impl UpdateSlot {
+    fn fulfill(&self, summary: UpdateSummary) {
+        let mut state = self.state.lock().unwrap();
+        if matches!(*state, UpdateState::Pending) {
+            *state = UpdateState::Ready(summary);
+            self.ready.notify_all();
+        }
+    }
+
+    fn abandon(&self) {
+        let mut state = self.state.lock().unwrap();
+        if matches!(*state, UpdateState::Pending) {
+            *state = UpdateState::Abandoned;
+            self.ready.notify_all();
+        }
+    }
+}
+
+/// A claim on the completion of one [`PathService::update`] call.
+#[derive(Debug)]
+pub struct UpdateHandle {
+    slot: Arc<UpdateSlot>,
+}
+
+impl UpdateHandle {
+    /// Blocks until every worker engine has applied the update batch and returns what the
+    /// update did (from the first worker to apply it; all workers hold identical graph
+    /// replicas, so the summaries agree).
+    ///
+    /// Once `wait` returns, every query submitted *after* the corresponding
+    /// [`PathService::update`] call executes against the updated graph — queries
+    /// submitted before it saw the old snapshot regardless.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service failed internally while dispatching the update (the update
+    /// can never complete; panicking surfaces that instead of hanging forever).
+    pub fn wait(self) -> UpdateSummary {
+        let mut state = self.slot.state.lock().unwrap();
+        loop {
+            match std::mem::take(&mut *state) {
+                UpdateState::Ready(summary) => return summary,
+                UpdateState::Abandoned => {
+                    panic!("update abandoned: the service failed while dispatching it")
+                }
+                UpdateState::Pending => state = self.slot.ready.wait(state).unwrap(),
+            }
+        }
+    }
+
+    /// Whether the update has completed (non-blocking).
+    pub fn is_ready(&self) -> bool {
+        !matches!(*self.slot.state.lock().unwrap(), UpdateState::Pending)
+    }
+}
+
+/// An update batch travelling through the admission queue.
+struct UpdateRequest {
+    updates: Arc<Vec<GraphUpdate>>,
+    slot: Arc<UpdateSlot>,
+}
+
+/// Everything that can enter the admission queue, in one serialised order: the position
+/// of an update among the queries defines which snapshot each query sees.
+enum Admission {
+    Query(Submission),
+    Update(UpdateRequest),
+}
+
+/// Rendezvous point all workers must reach before any post-update batch runs.
+///
+/// The batcher enqueues one [`WorkItem::Update`] ticket per worker. A worker that takes a
+/// ticket applies the updates to *its* engine and then blocks here until the remaining
+/// workers have done the same — because each waiting worker holds exactly one ticket and
+/// the queue is FIFO, no worker can reach a batch enqueued after the update while any
+/// pre-update batch is still executing, and no worker can take two tickets of the same
+/// update. That barrier is what makes an update a consistent snapshot boundary across a
+/// pool of replicated engines.
+struct UpdateRendezvous {
+    state: Mutex<RendezvousState>,
+    done: Condvar,
+    slot: Arc<UpdateSlot>,
+}
+
+/// Arrival bookkeeping of one update's rendezvous.
+struct RendezvousState {
+    remaining: usize,
+    /// First summary from a worker whose `apply_updates` succeeded directly.
+    trusted: Option<UpdateSummary>,
+    /// First summary from a worker that went through panic recovery — its re-apply ran
+    /// over a possibly already-swapped graph, so its `applied`/`ignored` split is not
+    /// representative. Only reported if *every* worker had to recover.
+    fallback: Option<UpdateSummary>,
+}
+
+impl UpdateRendezvous {
+    fn new(workers: usize, slot: Arc<UpdateSlot>) -> Self {
+        UpdateRendezvous {
+            state: Mutex::new(RendezvousState {
+                remaining: workers,
+                trusted: None,
+                fallback: None,
+            }),
+            done: Condvar::new(),
+            slot,
+        }
+    }
+
+    /// Reports this worker's application of the update and blocks until all have. The
+    /// last arrival records the agreed summary into `stats` and *then* fulfills the
+    /// handle — a caller returning from [`UpdateHandle::wait`] may immediately snapshot
+    /// [`PathService::stats`] and must see the update counted.
+    fn arrive(&self, summary: UpdateSummary, trusted: bool, stats: &Mutex<ServiceStats>) {
+        let mut state = self.state.lock().unwrap();
+        if trusted {
+            if state.trusted.is_none() {
+                state.trusted = Some(summary);
+            }
+        } else if state.fallback.is_none() {
+            state.fallback = Some(summary);
+        }
+        state.remaining -= 1;
+        if state.remaining == 0 {
+            let agreed = state
+                .trusted
+                .or(state.fallback)
+                .expect("at least one arrival recorded a summary");
+            stats.lock().unwrap().record_update(&agreed);
+            self.slot.fulfill(agreed);
+            self.done.notify_all();
+        } else {
+            while state.remaining > 0 {
+                state = self.done.wait(state).unwrap();
+            }
+        }
+    }
+}
+
+impl Drop for UpdateRendezvous {
+    /// Tickets dropped undelivered (service shutting down mid-dispatch) must not leave
+    /// the update handle blocked forever.
+    fn drop(&mut self) {
+        self.slot.abandon();
+    }
+}
+
+/// One ticket of an update's rendezvous (the batcher enqueues one per worker).
+struct UpdateTicket {
+    updates: Arc<Vec<GraphUpdate>>,
+    rendezvous: Arc<UpdateRendezvous>,
+}
+
+/// What the worker pool consumes: micro-batches of queries, or update tickets.
+enum WorkItem {
+    Batch(Vec<Submission>),
+    Update(UpdateTicket),
+}
+
 /// Configures and starts a [`PathService`].
 #[derive(Debug, Clone, Copy)]
 pub struct PathServiceBuilder {
@@ -193,14 +375,16 @@ impl PathServiceBuilder {
     /// Starts the service over `graph`: spawns the batcher and the worker pool.
     pub fn start(self, graph: impl Into<Arc<DiGraph>>) -> PathService {
         let graph = graph.into();
-        let (submit_tx, submit_rx) = mpsc::channel::<Submission>();
-        let (batch_tx, batch_rx) = mpsc::channel::<Vec<Submission>>();
+        let workers = self.workers.max(1);
+        let (submit_tx, submit_rx) = mpsc::channel::<Admission>();
+        let (batch_tx, batch_rx) = mpsc::channel::<WorkItem>();
         let policy = self.policy;
-        let batcher = std::thread::spawn(move || batcher_loop(submit_rx, batch_tx, policy));
+        let batcher =
+            std::thread::spawn(move || batcher_loop(submit_rx, batch_tx, policy, workers));
 
         let batch_rx = Arc::new(Mutex::new(batch_rx));
         let stats = Arc::new(Mutex::new(ServiceStats::default()));
-        let workers = (0..self.workers.max(1))
+        let workers = (0..workers)
             .map(|_| {
                 let graph = Arc::clone(&graph);
                 let batch_rx = Arc::clone(&batch_rx);
@@ -231,7 +415,7 @@ impl PathServiceBuilder {
             .collect();
 
         PathService {
-            graph,
+            num_vertices: Mutex::new(graph.num_vertices()),
             submit_tx: Some(submit_tx),
             batcher: Some(batcher),
             workers,
@@ -242,10 +426,32 @@ impl PathServiceBuilder {
 }
 
 /// Collects submissions into micro-batches according to the policy: a window opens when
-/// its first query arrives and closes at the size cap or the deadline, whichever first.
-fn batcher_loop(rx: Receiver<Submission>, batch_tx: Sender<Vec<Submission>>, policy: BatchPolicy) {
+/// its first query arrives and closes at the size cap, the deadline, **or the arrival of
+/// a graph update**, whichever first.
+///
+/// Updates are serialised against micro-batches by their admission order: an update
+/// closes the open window immediately (queries admitted before it execute against the
+/// old snapshot) and is dispatched as one rendezvous ticket per worker *before* any later
+/// window, so queries admitted after it can only execute once every worker engine has
+/// switched to the new snapshot.
+fn batcher_loop(
+    rx: Receiver<Admission>,
+    batch_tx: Sender<WorkItem>,
+    policy: BatchPolicy,
+    workers: usize,
+) {
     while let Ok(first) = rx.recv() {
+        let first = match first {
+            Admission::Update(request) => {
+                if !dispatch_update(&batch_tx, request, workers) {
+                    return;
+                }
+                continue;
+            }
+            Admission::Query(submission) => submission,
+        };
         let mut batch = vec![first];
+        let mut window_closer: Option<UpdateRequest> = None;
         if !policy.is_per_query() {
             let deadline = Instant::now() + policy.max_delay;
             while batch.len() < policy.max_batch_size {
@@ -254,16 +460,43 @@ fn batcher_loop(rx: Receiver<Submission>, batch_tx: Sender<Vec<Submission>>, pol
                     break;
                 }
                 match rx.recv_timeout(remaining) {
-                    Ok(submission) => batch.push(submission),
+                    Ok(Admission::Query(submission)) => batch.push(submission),
+                    Ok(Admission::Update(request)) => {
+                        // The update is a snapshot boundary: the window closes here so
+                        // everything already admitted runs against the old graph.
+                        window_closer = Some(request);
+                        break;
+                    }
                     Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
                 }
             }
         }
-        if batch_tx.send(batch).is_err() {
+        if batch_tx.send(WorkItem::Batch(batch)).is_err() {
             return;
+        }
+        if let Some(request) = window_closer {
+            if !dispatch_update(&batch_tx, request, workers) {
+                return;
+            }
         }
     }
     // Submission side disconnected: dropping `batch_tx` lets the workers drain and exit.
+}
+
+/// Enqueues one rendezvous ticket per worker for an update. Returns `false` when the
+/// worker pool is gone (the rendezvous' drop abandons the handle).
+fn dispatch_update(batch_tx: &Sender<WorkItem>, request: UpdateRequest, workers: usize) -> bool {
+    let rendezvous = Arc::new(UpdateRendezvous::new(workers, request.slot));
+    for _ in 0..workers {
+        let ticket = UpdateTicket {
+            updates: Arc::clone(&request.updates),
+            rendezvous: Arc::clone(&rendezvous),
+        };
+        if batch_tx.send(WorkItem::Update(ticket)).is_err() {
+            return false;
+        }
+    }
+    true
 }
 
 /// Executes micro-batches on one reusable engine, routing results back per query.
@@ -276,17 +509,50 @@ fn worker_loop(
     root_cap: Option<usize>,
     exec_threads: usize,
     cluster_cap: Option<usize>,
-    batch_rx: Arc<Mutex<Receiver<Vec<Submission>>>>,
+    batch_rx: Arc<Mutex<Receiver<WorkItem>>>,
     stats: Arc<Mutex<ServiceStats>>,
 ) {
     let mut engine = Engine::new(graph, config);
     engine.set_index_root_cap(root_cap);
     engine.set_parallel_cluster_cap(cluster_cap);
     loop {
-        // Hold the lock only while waiting for one batch; the next worker queues on the
+        // Hold the lock only while waiting for one item; the next worker queues on the
         // mutex, so batches spread across the pool without a work-stealing scheduler.
-        let batch = match batch_rx.lock().unwrap().recv() {
-            Ok(batch) => batch,
+        // The guard must be released *before* the item is processed — an update ticket
+        // blocks at a rendezvous that the sibling workers can only reach through this
+        // same mutex (a `match recv()` scrutinee would keep the guard alive across the
+        // arms and deadlock the pool).
+        let item = { batch_rx.lock().unwrap().recv() };
+        let batch = match item {
+            Ok(WorkItem::Batch(batch)) => batch,
+            Ok(WorkItem::Update(ticket)) => {
+                // Apply the update to this worker's engine replica, then wait at the
+                // rendezvous until every sibling has done the same (see
+                // `UpdateRendezvous`). A panicking apply must still arrive — a missing
+                // arrival would deadlock the whole pool — so the recovery path rebuilds
+                // a fresh engine (no cached index, nothing left to maintain) and
+                // re-applies: updates are idempotent, so re-applying over a graph the
+                // first attempt already swapped yields the same snapshot.
+                let (summary, trusted) =
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        engine.apply_updates(&ticket.updates)
+                    })) {
+                        Ok(summary) => (summary, true),
+                        Err(_) => {
+                            let mut fresh = Engine::new(engine.graph_arc(), engine.config());
+                            fresh.set_index_root_cap(engine.index_root_cap());
+                            fresh.set_parallel_cluster_cap(engine.parallel_cluster_cap());
+                            // The re-apply runs over a graph the first attempt may
+                            // already have swapped, so this summary's applied/ignored
+                            // split is untrustworthy — flag it as a fallback.
+                            let summary = fresh.apply_updates(&ticket.updates);
+                            engine = fresh;
+                            (summary, false)
+                        }
+                    };
+                ticket.rendezvous.arrive(summary, trusted, &stats);
+                continue;
+            }
             Err(_) => return,
         };
 
@@ -375,8 +641,11 @@ fn worker_loop(
 /// ```
 #[derive(Debug)]
 pub struct PathService {
-    graph: Arc<DiGraph>,
-    submit_tx: Option<Sender<Submission>>,
+    /// Current vertex-space size used for endpoint validation. Grows when updates insert
+    /// edges touching new vertex ids; the mutex is held across admission sends so the
+    /// count a `submit` validated against is consistent with the admission order.
+    num_vertices: Mutex<usize>,
+    submit_tx: Option<Sender<Admission>>,
     batcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     stats: Arc<Mutex<ServiceStats>>,
@@ -402,10 +671,13 @@ impl PathService {
     /// caller's thread, exactly like the offline `BatchEngine` would, rather than poisoning
     /// a worker that is executing other users' queries.
     pub fn submit(&self, query: PathQuery) -> QueryHandle {
-        let n = self.graph.num_vertices();
+        // The vertex-count lock is held across the send: a query validated against the
+        // grown count is guaranteed to be admitted *after* the update that grew it.
+        let n = self.num_vertices.lock().unwrap();
         assert!(
-            query.source.index() < n && query.target.index() < n,
-            "{query} endpoints out of range for a graph of {n} vertices"
+            query.source.index() < *n && query.target.index() < *n,
+            "{query} endpoints out of range for a graph of {} vertices",
+            *n
         );
         let slot = Arc::new(ResultSlot::default());
         let submission = Submission {
@@ -416,9 +688,46 @@ impl PathService {
         self.submit_tx
             .as_ref()
             .expect("service is running")
-            .send(submission)
+            .send(Admission::Query(submission))
             .expect("service threads are alive");
         QueryHandle { slot }
+    }
+
+    /// Submits a batch of graph updates (edge insertions/deletions); returns a handle
+    /// that completes once **every** worker engine has applied them.
+    ///
+    /// Updates are serialised against in-flight micro-batches by admission order: the
+    /// open admission window closes when the update arrives, queries submitted before
+    /// this call execute against the pre-update snapshot, and queries submitted after it
+    /// execute against the post-update snapshot — on every worker, because the update is
+    /// a rendezvous barrier across the pool. Insertions may grow the vertex space;
+    /// queries naming the new vertices validate from the moment this call returns.
+    ///
+    /// Results are exactly those of an offline engine over the corresponding snapshot:
+    /// the update path changes *when* queries run, never *what* they return.
+    pub fn update(&self, updates: impl Into<Vec<GraphUpdate>>) -> UpdateHandle {
+        let updates: Vec<GraphUpdate> = updates.into();
+        let slot = Arc::new(UpdateSlot::default());
+        let request = UpdateRequest {
+            updates: Arc::new(updates),
+            slot: Arc::clone(&slot),
+        };
+        // Grow the validation vertex count under the same lock that orders admission
+        // (see `submit`): inserts touching new ids make those ids addressable for every
+        // submit that observes the new count.
+        let mut n = self.num_vertices.lock().unwrap();
+        for update in request.updates.iter() {
+            if let GraphUpdate::Insert(u, v) = *update {
+                *n = (*n).max(u.index() + 1).max(v.index() + 1);
+            }
+        }
+        self.submit_tx
+            .as_ref()
+            .expect("service is running")
+            .send(Admission::Update(request))
+            .expect("service threads are alive");
+        drop(n);
+        UpdateHandle { slot }
     }
 
     /// Submits a sequence of queries back to back, returning one handle per query.
@@ -660,6 +969,142 @@ mod tests {
         assert!(service.uptime() > Duration::ZERO);
         assert_eq!(service.stats().num_queries, 3);
         drop(service);
+    }
+
+    #[test]
+    fn updates_are_snapshot_boundaries_in_admission_order() {
+        // A diamond whose second route appears only after the update.
+        let graph = DiGraph::from_edge_list(4, &[(0, 1), (1, 3)]).unwrap();
+        let q = PathQuery::new(0u32, 3u32, 3);
+        // A generous window: the pre-update query would otherwise wait out the deadline;
+        // the update must close the window instead.
+        let service = PathService::builder()
+            .policy(BatchPolicy::by_size(64, Duration::from_secs(30)))
+            .start(graph);
+        let before = service.submit(q);
+        let update = service.update(vec![
+            GraphUpdate::insert(0u32, 2u32),
+            GraphUpdate::insert(2u32, 3u32),
+        ]);
+        let after = service.submit(q);
+        // Shutdown flushes the (30 s) window holding `after`; the window holding
+        // `before` must already have been closed by the update itself.
+        let stats = service.shutdown();
+
+        let before = before.wait();
+        assert_eq!(before.paths.len(), 1, "pre-update snapshot");
+        assert_eq!(
+            before.batch_size, 1,
+            "the update must have closed the first window before `after` arrived"
+        );
+        assert_eq!(after.wait().paths.len(), 2, "post-update snapshot");
+        assert_eq!(update.wait().applied, 2);
+        assert_eq!(stats.update_batches, 1);
+        assert_eq!(stats.updates_applied, 2);
+    }
+
+    #[test]
+    fn updates_reach_every_worker_engine() {
+        let graph = DiGraph::from_edge_list(4, &[(0, 1), (1, 3)]).unwrap();
+        let q = PathQuery::new(0u32, 3u32, 3);
+        let service = PathService::builder()
+            .workers(4)
+            .policy(BatchPolicy::immediate())
+            .start(graph);
+        // Warm all workers on the old graph, then update, then hammer again: whichever
+        // worker picks a post-update query must see the new snapshot.
+        for handle in service.submit_all(std::iter::repeat_n(q, 8)) {
+            assert_eq!(handle.wait().paths.len(), 1);
+        }
+        service
+            .update(vec![
+                GraphUpdate::insert(0u32, 2u32),
+                GraphUpdate::insert(2u32, 3u32),
+            ])
+            .wait();
+        for handle in service.submit_all(std::iter::repeat_n(q, 8)) {
+            assert_eq!(handle.wait().paths.len(), 2);
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.update_batches, 1, "one update however many workers");
+    }
+
+    #[test]
+    fn update_deletions_remove_paths() {
+        let graph = grid(4, 4);
+        let q = PathQuery::new(0u32, 15u32, 6);
+        let service = PathService::builder()
+            .policy(BatchPolicy::immediate())
+            .start(graph.clone());
+        let expected_before = offline_counts(&graph, &[q])[0];
+        assert_eq!(service.submit(q).wait().paths.len() as u64, expected_before);
+
+        let mut delta = hcsp_graph::DeltaGraph::new(graph);
+        assert!(delta.delete_edge(VertexId(0), VertexId(1)));
+        let summary = service.update(vec![GraphUpdate::delete(0u32, 1u32)]).wait();
+        assert_eq!(summary.applied, 1);
+        let expected_after = offline_counts(&delta.compact(), &[q])[0];
+        assert!(expected_after < expected_before);
+        assert_eq!(service.submit(q).wait().paths.len() as u64, expected_after);
+        service.shutdown();
+    }
+
+    #[test]
+    fn updates_grow_the_vertex_space_for_validation() {
+        let graph = DiGraph::from_edge_list(2, &[(0, 1)]).unwrap();
+        let service = PathService::builder()
+            .policy(BatchPolicy::immediate())
+            .start(graph);
+        service.update(vec![GraphUpdate::insert(1u32, 2u32)]).wait();
+        // Vertex 2 did not exist at start; after the update it is addressable.
+        let result = service.submit(PathQuery::new(0u32, 2u32, 2)).wait();
+        assert_eq!(result.paths.len(), 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn noop_update_completes_with_zero_applied() {
+        let service = PathService::start(complete(3));
+        let handle = service.update(Vec::new());
+        let summary = handle.wait();
+        assert_eq!(summary, UpdateSummary::default());
+        let handle = service.update(vec![GraphUpdate::insert(0u32, 1u32)]);
+        assert_eq!(handle.wait().ignored, 1);
+        assert_eq!(service.stats().update_batches, 2);
+        service.shutdown();
+    }
+
+    #[test]
+    fn pending_updates_complete_at_shutdown() {
+        let graph = complete(4);
+        let service = PathService::builder()
+            .policy(BatchPolicy::by_size(64, Duration::from_millis(500)))
+            .start(graph);
+        let query = service.submit(PathQuery::new(0u32, 3u32, 2));
+        let update = service.update(vec![GraphUpdate::delete(0u32, 3u32)]);
+        let stats = service.shutdown();
+        assert_eq!(stats.update_batches, 1);
+        assert!(update.is_ready());
+        assert_eq!(update.wait().applied, 1);
+        // The query was admitted before the update: old snapshot (direct edge intact).
+        assert!(
+            query.wait().paths.iter().any(|p| p.len() == 2),
+            "direct 0 -> 3 path must exist pre-update"
+        );
+    }
+
+    #[test]
+    fn abandoned_update_slot_panics_instead_of_hanging() {
+        let slot = Arc::new(UpdateSlot::default());
+        let handle = UpdateHandle {
+            slot: Arc::clone(&slot),
+        };
+        assert!(!handle.is_ready());
+        let rendezvous = UpdateRendezvous::new(2, slot);
+        drop(rendezvous);
+        assert!(handle.is_ready());
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle.wait()));
+        assert!(outcome.is_err(), "wait() must surface the abandonment");
     }
 
     #[test]

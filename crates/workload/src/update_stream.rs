@@ -1,0 +1,324 @@
+//! Update-stream generation for the evolving-graph scenarios.
+//!
+//! The offline experiments run against a frozen snapshot; the dynamic-update scenarios
+//! need a *stream* in which edge insertions and deletions interleave with query arrivals.
+//! [`update_stream`] produces such a stream deterministically: update batches (a seeded
+//! insert/delete mix drawn against the graph state *at that point of the stream*) are
+//! shuffled among queries, and every query is drawn reachable on the snapshot it will
+//! actually execute against — so a correct engine must return a non-trivial answer at
+//! every step, and a cross-validation harness can fold the same events into an oracle.
+
+use hcsp_core::PathQuery;
+use hcsp_graph::traversal::VisitScratch;
+use hcsp_graph::{DeltaGraph, DiGraph, GraphUpdate, VertexId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// One event of a mixed read/write stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamEvent {
+    /// A query arrival, to be answered against the current snapshot.
+    Query(PathQuery),
+    /// A batch of edge mutations, applied atomically between queries.
+    Update(Vec<GraphUpdate>),
+}
+
+impl StreamEvent {
+    /// Whether the event is a query arrival.
+    pub fn is_query(&self) -> bool {
+        matches!(self, StreamEvent::Query(_))
+    }
+}
+
+/// Parameters of a generated mixed read/write stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpdateStreamSpec {
+    /// Number of query events.
+    pub num_queries: usize,
+    /// Number of update-batch events interleaved among the queries.
+    pub num_update_batches: usize,
+    /// Edge mutations per update batch.
+    pub updates_per_batch: usize,
+    /// Fraction of mutations that are insertions (the rest are deletions), in `[0, 1]`.
+    pub insert_fraction: f64,
+    /// Smallest hop constraint (inclusive).
+    pub k_min: u32,
+    /// Largest hop constraint (inclusive).
+    pub k_max: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for UpdateStreamSpec {
+    fn default() -> Self {
+        UpdateStreamSpec {
+            num_queries: 40,
+            num_update_batches: 10,
+            updates_per_batch: 4,
+            insert_fraction: 0.5,
+            k_min: 4,
+            k_max: 7,
+            seed: 42,
+        }
+    }
+}
+
+impl UpdateStreamSpec {
+    /// Creates a spec with the paper's default k range.
+    pub fn new(num_queries: usize, num_update_batches: usize, seed: u64) -> Self {
+        UpdateStreamSpec {
+            num_queries,
+            num_update_batches,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Overrides the hop-constraint range.
+    pub fn with_hops(mut self, k_min: u32, k_max: u32) -> Self {
+        self.k_min = k_min;
+        self.k_max = k_max.max(k_min);
+        self
+    }
+
+    /// Overrides the update-batch shape.
+    pub fn with_updates(mut self, per_batch: usize, insert_fraction: f64) -> Self {
+        self.updates_per_batch = per_batch;
+        self.insert_fraction = insert_fraction.clamp(0.0, 1.0);
+        self
+    }
+}
+
+/// Mutable mirror of the evolving edge set, supporting O(1) random picks of an existing
+/// edge (deletion candidates) and O(1) membership tests (insertion candidates).
+struct EdgePool {
+    edges: Vec<(VertexId, VertexId)>,
+    present: HashSet<(VertexId, VertexId)>,
+}
+
+impl EdgePool {
+    fn of(graph: &DiGraph) -> Self {
+        let edges: Vec<_> = graph.edges().collect();
+        let present = edges.iter().copied().collect();
+        EdgePool { edges, present }
+    }
+
+    fn insert(&mut self, e: (VertexId, VertexId)) {
+        if self.present.insert(e) {
+            self.edges.push(e);
+        }
+    }
+
+    fn remove_random(&mut self, rng: &mut StdRng) -> Option<(VertexId, VertexId)> {
+        if self.edges.is_empty() {
+            return None;
+        }
+        let i = rng.gen_range(0..self.edges.len());
+        let e = self.edges.swap_remove(i);
+        self.present.remove(&e);
+        Some(e)
+    }
+
+    fn contains(&self, e: (VertexId, VertexId)) -> bool {
+        self.present.contains(&e)
+    }
+}
+
+/// Generates a deterministic mixed read/write stream over `graph`.
+///
+/// Event positions, update contents and query endpoints are all derived from
+/// `spec.seed`. Deletions pick uniformly among the edges present at that point of the
+/// stream; insertions pick uniformly among absent non-loop pairs (the vertex set stays
+/// fixed, so any engine snapshot accepts every query of the stream). Queries are drawn
+/// reachable-within-`k` on the evolved snapshot they will execute against, mirroring the
+/// paper's query-generation rule on a moving graph. Degenerate graphs (no admissible
+/// query / no mutable edge) simply produce fewer events.
+pub fn update_stream(graph: &DiGraph, spec: UpdateStreamSpec) -> Vec<StreamEvent> {
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x5EED_CAFE);
+    let n = graph.num_vertices();
+
+    // Lay out which positions are update batches: a shuffled boolean deck.
+    let mut is_update: Vec<bool> = (0..spec.num_queries + spec.num_update_batches)
+        .map(|i| i < spec.num_update_batches)
+        .collect();
+    is_update.shuffle(&mut rng);
+
+    let mut delta = DeltaGraph::new(graph.clone());
+    let mut pool = EdgePool::of(graph);
+    let mut snapshot: Option<DiGraph> = Some(graph.clone());
+    let mut scratch = VisitScratch::new();
+    let mut events = Vec::with_capacity(is_update.len());
+
+    for update_slot in is_update {
+        if update_slot {
+            let mut batch = Vec::with_capacity(spec.updates_per_batch);
+            for _ in 0..spec.updates_per_batch {
+                let want_insert = rng.gen_range(0.0..1.0) < spec.insert_fraction;
+                if want_insert && n >= 2 {
+                    // Rejection-sample an absent non-loop pair; dense graphs may fail,
+                    // in which case the slot falls through to a deletion.
+                    let mut found = None;
+                    for _ in 0..64 {
+                        let u = VertexId::new(rng.gen_range(0..n));
+                        let v = VertexId::new(rng.gen_range(0..n));
+                        if u != v && !pool.contains((u, v)) {
+                            found = Some((u, v));
+                            break;
+                        }
+                    }
+                    if let Some((u, v)) = found {
+                        pool.insert((u, v));
+                        delta.insert_edge(u, v);
+                        batch.push(GraphUpdate::Insert(u, v));
+                        continue;
+                    }
+                }
+                if let Some((u, v)) = pool.remove_random(&mut rng) {
+                    delta.delete_edge(u, v);
+                    batch.push(GraphUpdate::Delete(u, v));
+                }
+            }
+            if !batch.is_empty() {
+                snapshot = None; // the cached compaction is stale now
+                events.push(StreamEvent::Update(batch));
+            }
+        } else {
+            let current = snapshot.get_or_insert_with(|| delta.compact());
+            if let Some((query, _)) = crate::query_gen::draw_reachable_query(
+                current,
+                spec.k_min,
+                spec.k_max,
+                &mut rng,
+                &mut scratch,
+            ) {
+                events.push(StreamEvent::Query(query));
+            }
+        }
+    }
+    events
+}
+
+/// Folds every update of a stream prefix into a fresh snapshot (the oracle view): the
+/// graph a correct engine must be serving after consuming `events`.
+pub fn fold_updates(graph: &DiGraph, events: &[StreamEvent]) -> DiGraph {
+    let mut delta = DeltaGraph::new(graph.clone());
+    for event in events {
+        if let StreamEvent::Update(batch) = event {
+            for update in batch {
+                delta.apply(update);
+            }
+        }
+    }
+    delta.compact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{Dataset, DatasetScale};
+    use hcsp_graph::traversal::reaches_within;
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let g = Dataset::EP.build(DatasetScale::Tiny);
+        let spec = UpdateStreamSpec::new(20, 6, 9).with_hops(3, 4);
+        let a = update_stream(&g, spec);
+        let b = update_stream(&g, spec);
+        assert_eq!(a, b);
+        let c = update_stream(&g, UpdateStreamSpec { seed: 10, ..spec });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn streams_have_the_requested_shape() {
+        let g = Dataset::WT.build(DatasetScale::Tiny);
+        let spec = UpdateStreamSpec::new(25, 8, 3)
+            .with_hops(3, 4)
+            .with_updates(5, 0.5);
+        let events = update_stream(&g, spec);
+        let queries = events.iter().filter(|e| e.is_query()).count();
+        let updates = events.len() - queries;
+        assert_eq!(queries, 25);
+        assert_eq!(updates, 8);
+        let mutations: usize = events
+            .iter()
+            .filter_map(|e| match e {
+                StreamEvent::Update(batch) => Some(batch.len()),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(mutations, 8 * 5);
+        // Both kinds of mutation occur at a 50/50 mix over 40 draws.
+        let inserts = events
+            .iter()
+            .filter_map(|e| match e {
+                StreamEvent::Update(batch) => Some(batch.iter().filter(|u| u.is_insert()).count()),
+                _ => None,
+            })
+            .sum::<usize>();
+        assert!(inserts > 0 && inserts < mutations);
+    }
+
+    #[test]
+    fn queries_are_reachable_on_their_snapshot_and_updates_are_applicable() {
+        let g = Dataset::EP.build(DatasetScale::Tiny);
+        let spec = UpdateStreamSpec::new(15, 6, 7)
+            .with_hops(3, 5)
+            .with_updates(4, 0.4);
+        let events = update_stream(&g, spec);
+        let mut delta = DeltaGraph::new(g.clone());
+        for (i, event) in events.iter().enumerate() {
+            match event {
+                StreamEvent::Update(batch) => {
+                    for update in batch {
+                        assert!(delta.apply(update), "event {i}: {update} must apply");
+                    }
+                }
+                StreamEvent::Query(q) => {
+                    let snapshot = delta.compact();
+                    assert!(
+                        reaches_within(&snapshot, q.source, q.target, q.hop_limit),
+                        "event {i}: {q} unreachable on its snapshot"
+                    );
+                }
+            }
+        }
+        // The oracle fold agrees with the incremental delta.
+        assert_eq!(fold_updates(&g, &events), delta.compact());
+    }
+
+    #[test]
+    fn insert_only_and_delete_only_mixes() {
+        let g = Dataset::EP.build(DatasetScale::Tiny);
+        let inserts = update_stream(
+            &g,
+            UpdateStreamSpec::new(2, 4, 1)
+                .with_hops(3, 3)
+                .with_updates(3, 1.0),
+        );
+        assert!(inserts.iter().all(|e| match e {
+            StreamEvent::Update(batch) => batch.iter().all(GraphUpdate::is_insert),
+            StreamEvent::Query(_) => true,
+        }));
+        let deletes = update_stream(
+            &g,
+            UpdateStreamSpec::new(2, 4, 1)
+                .with_hops(3, 3)
+                .with_updates(3, 0.0),
+        );
+        assert!(deletes.iter().all(|e| match e {
+            StreamEvent::Update(batch) => batch.iter().all(|u| !u.is_insert()),
+            StreamEvent::Query(_) => true,
+        }));
+    }
+
+    #[test]
+    fn degenerate_graphs_produce_short_streams() {
+        let lonely = hcsp_graph::generators::regular::path(1);
+        let events = update_stream(&lonely, UpdateStreamSpec::new(5, 2, 1));
+        // No admissible query, no insertable pair (needs n >= 2), no deletable edge.
+        assert!(events.is_empty());
+    }
+}
