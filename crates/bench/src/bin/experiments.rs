@@ -16,7 +16,9 @@
 //! ```
 //!
 //! Experiments: `table1`, `fig3c`, `exp1` … `exp7`, `ablation-order`, `ablation-cluster`,
-//! `parallel-scaling`, `all`, plus the `perf-smoke` gate. Options: `--scale
+//! `parallel-scaling`, `mixed-rw`, `result-modes`, `all`, plus the `perf-smoke` gate
+//! (parallel scaling **and** mixed read/write, each against its committed baseline).
+//! Options: `--scale
 //! tiny|small|medium|large`, `--datasets A,B,...`, `--queries N`, `--kmin K`, `--kmax K`,
 //! `--json`, `--threads 1,2,4`, `--batches 8,32`, `--out FILE`, `--baseline FILE`,
 //! `--tolerance 0.2`, `--write-baseline` (the same scale/dataset/query knobs are also
@@ -155,6 +157,7 @@ fn run_experiment(experiment: &str, config: &BenchConfig, options: &CliOptions) 
             harness::parallel_scaling(config, &options.threads, &options.batches, options.repeats)
         }
         "mixed-rw" => harness::mixed_read_write(config),
+        "result-modes" => harness::result_modes(config),
         other => {
             eprintln!("error: unknown experiment {other:?}");
             print_usage();
@@ -180,7 +183,13 @@ fn scaling_document(table: &Table) -> String {
     )
 }
 
-/// The CI perf gate: quick scaling run → JSON artifact → baseline comparison.
+/// Committed baseline of the mixed read/write scenario (gated alongside parallel
+/// scaling; regenerate with `perf-smoke --write-baseline`).
+const MIXED_BASELINE: &str = "bench/baseline_mixed_rw.json";
+
+/// The CI perf gate: quick scaling + mixed read/write runs → JSON artifacts → baseline
+/// comparisons. Both scenarios gate with the same tolerance semantics; a scenario with
+/// no committed baseline is skipped (with a note) rather than failed.
 fn run_perf_smoke(options: &CliOptions) {
     let config = BenchConfig::quick();
     println!(
@@ -197,79 +206,101 @@ fn run_perf_smoke(options: &CliOptions) {
     let table =
         harness::parallel_scaling(&config, &options.threads, &options.batches, options.repeats);
     emit(&table, options);
-
     let document = scaling_document(&table);
-    if let Err(e) = std::fs::write(&options.out, &document) {
-        eprintln!("error: cannot write {}: {e}", options.out);
-        std::process::exit(1);
-    }
-    println!("# wrote {}", options.out);
+    write_or_die(&options.out, &document);
 
-    // Report-only companion: the mixed read/write scenario is recorded in its own
-    // artifact so a baseline can be set once CI has produced reference numbers, but it
-    // does NOT gate yet — no committed baseline exists to compare against.
     let mixed = harness::mixed_read_write(&config);
     let mixed_document = format!(
-        "{{\"bench\":\"mixed_read_write\",\"schema_version\":1,\"report_only\":true,{}",
+        "{{\"bench\":\"mixed_read_write\",\"schema_version\":1,{}",
         &mixed.to_json()[1..]
     );
     let mixed_out = "BENCH_mixed_rw.json";
-    if let Err(e) = std::fs::write(mixed_out, &mixed_document) {
-        eprintln!("error: cannot write {mixed_out}: {e}");
-        std::process::exit(1);
-    }
-    println!("# wrote {mixed_out} (report-only, no gate yet)");
+    write_or_die(mixed_out, &mixed_document);
 
     if options.write_baseline {
-        if let Some(parent) = std::path::Path::new(&options.baseline).parent() {
-            let _ = std::fs::create_dir_all(parent);
-        }
-        if let Err(e) = std::fs::write(&options.baseline, &document) {
-            eprintln!("error: cannot write {}: {e}", options.baseline);
-            std::process::exit(1);
-        }
-        println!("# wrote baseline {}", options.baseline);
+        write_baseline_or_die(&options.baseline, &document);
+        write_baseline_or_die(MIXED_BASELINE, &mixed_document);
         return;
     }
 
-    let baseline_text = match std::fs::read_to_string(&options.baseline) {
+    let scaling_ok = gate_against(
+        "parallel-scaling",
+        &options.baseline,
+        &document,
+        options.tolerance,
+    );
+    let mixed_ok = gate_against(
+        "mixed-rw",
+        MIXED_BASELINE,
+        &mixed_document,
+        options.tolerance,
+    );
+    if !(scaling_ok && mixed_ok) {
+        std::process::exit(1);
+    }
+}
+
+fn write_or_die(path: &str, document: &str) {
+    if let Err(e) = std::fs::write(path, document) {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("# wrote {path}");
+}
+
+fn write_baseline_or_die(path: &str, document: &str) {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    if let Err(e) = std::fs::write(path, document) {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("# wrote baseline {path}");
+}
+
+/// Gates `document` against the baseline at `baseline_path`. Returns `false` on a
+/// failed gate; a missing baseline skips (and passes) with a note.
+fn gate_against(name: &str, baseline_path: &str, document: &str, tolerance: f64) -> bool {
+    let baseline_text = match std::fs::read_to_string(baseline_path) {
         Ok(text) => text,
         Err(_) => {
             println!(
-                "# no baseline at {} — gate skipped (run with --write-baseline to create one)",
-                options.baseline
+                "# no baseline at {baseline_path} — {name} gate skipped (run with \
+                 --write-baseline to create one)"
             );
-            return;
+            return true;
         }
     };
     let outcome = parse_json(&baseline_text)
         .and_then(|baseline| {
-            parse_json(&document)
-                .and_then(|current| compare_throughput(&baseline, &current, options.tolerance))
+            parse_json(document)
+                .and_then(|current| compare_throughput(&baseline, &current, tolerance))
         })
         .unwrap_or_else(|e| {
-            eprintln!("error: perf comparison failed: {e}");
+            eprintln!("error: {name} perf comparison failed: {e}");
             std::process::exit(1);
         });
     println!(
-        "# perf gate: {} points compared ({} missing from baseline), geomean throughput \
+        "# {name} gate: {} points compared ({} missing from baseline), geomean throughput \
          ratio {:.3}, tolerance {:.0}%",
         outcome.compared,
         outcome.missing_in_baseline,
         outcome.geomean_ratio,
-        options.tolerance * 100.0
+        tolerance * 100.0
     );
     for warning in &outcome.warnings {
         println!("#   warning (not failing): {warning}");
     }
     if outcome.passed() {
-        println!("# perf gate PASSED");
+        println!("# {name} gate PASSED");
+        true
     } else {
-        eprintln!("# perf gate FAILED: throughput regressed beyond tolerance");
+        eprintln!("# {name} gate FAILED: throughput regressed beyond tolerance");
         for regression in &outcome.regressions {
             eprintln!("#   {regression}");
         }
-        std::process::exit(1);
+        false
     }
 }
 
@@ -363,6 +394,7 @@ fn parse(args: &[String]) -> Result<Parsed, String> {
                     "ablation-cluster",
                     "parallel-scaling",
                     "mixed-rw",
+                    "result-modes",
                 ]
                 .into_iter()
                 .map(String::from)
@@ -395,11 +427,12 @@ fn print_usage() {
          [--threads 1,2,4] [--batches 64,256] [--repeats N] [--out FILE] [--baseline FILE] \
          [--tolerance 0.2] [--write-baseline]\n\
          experiments: table1 fig3c exp1 exp2 exp3 exp4 exp5 exp6 exp7 \
-         ablation-order ablation-cluster parallel-scaling mixed-rw perf-smoke all\n\
-         perf-smoke: runs parallel-scaling in quick mode, writes the JSON artifact \
-         (--out) and fails when throughput regresses more than --tolerance against \
-         --baseline; also records the report-only mixed-rw scenario as \
-         BENCH_mixed_rw.json (no gate yet); --write-baseline (re)creates the \
-         parallel-scaling baseline instead"
+         ablation-order ablation-cluster parallel-scaling mixed-rw result-modes \
+         perf-smoke all\n\
+         perf-smoke: runs parallel-scaling and mixed-rw in quick mode, writes the JSON \
+         artifacts (--out and BENCH_mixed_rw.json) and fails when either scenario's \
+         throughput regresses more than --tolerance against its committed baseline \
+         (--baseline and bench/baseline_mixed_rw.json); --write-baseline (re)creates \
+         both baselines instead"
     );
 }

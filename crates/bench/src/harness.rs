@@ -12,8 +12,8 @@ use hcsp_core::materialize::materialize_batch;
 use hcsp_core::query::BatchSummary;
 use hcsp_core::similarity::{QueryNeighborhood, SimilarityMatrix};
 use hcsp_core::{
-    Algorithm, BatchEngine, CountSink, Engine, EnumStats, Parallelism, PathQuery, SearchOrder,
-    Stage,
+    Algorithm, BatchEngine, CountSink, Engine, EnumStats, Parallelism, PathQuery, QuerySpec,
+    ResultMode, SearchOrder, Stage,
 };
 use hcsp_graph::sampling::sample_vertices;
 use hcsp_graph::DiGraph;
@@ -533,16 +533,16 @@ pub fn parallel_scaling(
 /// Consecutive queries between two update events execute as one micro-batch (mirroring
 /// the service layer, where an update closes the open admission window); updates flow
 /// through [`Engine::apply_updates`], so the numbers include incremental index
-/// maintenance and the lazy dirty-root re-BFS. **Report-only for now** — the scenario has
-/// no committed baseline yet, so the perf gate records it in the uploaded artifact
-/// without comparing (a baseline can be set once CI has produced reference numbers).
+/// maintenance and the lazy dirty-root re-BFS. Gated in CI: `perf-smoke` compares the
+/// per-dataset `qps` against the committed `bench/baseline_mixed_rw.json` with the same
+/// tolerance semantics as parallel scaling.
 ///
 /// Honesty check built in: after the stream drains, the engine's answers for a probe
 /// batch are asserted byte-identical against a fresh engine over the oracle fold of all
 /// updates — a throughput number from a drifting replica would be worthless.
 pub fn mixed_read_write(config: &BenchConfig) -> Table {
     let mut table = Table::new(
-        "Mixed read/write: query stream interleaved with edge updates (report-only)",
+        "Mixed read/write: query stream interleaved with edge updates",
         &[
             "dataset",
             "queries",
@@ -630,6 +630,104 @@ pub fn mixed_read_write(config: &BenchConfig) -> Table {
             reuse.invalidations.to_string(),
             reuse.dirty_flushes.to_string(),
         ]);
+    }
+    table
+}
+
+/// Result modes: the early-termination payoff of the typed request/response API.
+///
+/// The same dense (high-similarity) batch is executed once per [`ResultMode`] —
+/// `Collect` (full enumeration, the old one-size-fits-all semantics), `Count`,
+/// `FirstK(4)` and `Exists` — through [`Engine::run_specs`], for both the per-query
+/// (`BasicEnum+`) and the sharing (`BatchEnum+`) algorithm. `expanded` is the number of
+/// DFS vertex expansions ([`EnumStats`] search steps): the hardware-independent proof
+/// that `Exists` (answered from the index) and `FirstK` (search aborted at the k-th
+/// path) are *strictly cheaper* than full enumeration, not just faster on one box.
+///
+/// Honesty checks built in: per query, `Count` must equal the `Collect` length, `Exists`
+/// must equal `count > 0`, and the `FirstK` paths must be a prefix of the `Collect`
+/// paths — a speedup from a wrong answer would be worthless.
+pub fn result_modes(config: &BenchConfig) -> Table {
+    let mut table = Table::new(
+        "Result modes: early termination vs full enumeration",
+        &[
+            "dataset",
+            "algorithm",
+            "mode",
+            "queries",
+            "seconds",
+            "qps",
+            "expanded",
+            "produced",
+            "speedup_vs_collect",
+        ],
+    );
+    const FIRST_K: usize = 4;
+    for &dataset in &config.datasets {
+        let graph = dataset.build(config.scale);
+        // A dense, overlapping workload (the Fig. 13 regime): large result sets are
+        // exactly where stopping early pays.
+        let queries = similar_query_set(&graph, config.query_spec(), 0.5);
+        if queries.is_empty() {
+            continue;
+        }
+        for algorithm in [Algorithm::BasicEnumPlus, Algorithm::BatchEnumPlus] {
+            let run_mode = |mode: ResultMode| {
+                let specs: Vec<QuerySpec> =
+                    queries.iter().map(|&q| QuerySpec::new(q, mode)).collect();
+                // A fresh engine per mode: every run pays the full index build, so the
+                // modes compare end-to-end cost.
+                let mut engine = Engine::with_algorithm(graph.clone(), algorithm);
+                let start = Instant::now();
+                let outcome = engine.run_specs(&specs);
+                (start.elapsed().as_secs_f64(), outcome)
+            };
+            let (collect_secs, collect) = run_mode(ResultMode::Collect);
+            for (mode, label) in [
+                (ResultMode::Collect, "Collect".to_string()),
+                (ResultMode::Count, "Count".to_string()),
+                (ResultMode::FirstK(FIRST_K), format!("FirstK({FIRST_K})")),
+                (ResultMode::Exists, "Exists".to_string()),
+            ] {
+                let (secs, outcome) = if mode == ResultMode::Collect {
+                    (collect_secs, collect.clone())
+                } else {
+                    run_mode(mode)
+                };
+                // Cross-mode consistency against the full enumeration.
+                for (i, response) in outcome.responses.iter().enumerate() {
+                    let full = collect.responses[i].paths().expect("collect returns paths");
+                    match mode {
+                        ResultMode::Exists => {
+                            assert_eq!(response.exists(), !full.is_empty(), "query {i}")
+                        }
+                        ResultMode::Count => {
+                            assert_eq!(response.count(), Some(full.len() as u64), "query {i}")
+                        }
+                        ResultMode::FirstK(k) => {
+                            let first = response.paths().expect("firstk returns paths");
+                            assert_eq!(first.len(), full.len().min(k), "query {i}");
+                            for (j, p) in first.iter().enumerate() {
+                                assert_eq!(p, full.get(j), "query {i}: FirstK must prefix Collect");
+                            }
+                        }
+                        ResultMode::Collect => {}
+                    }
+                }
+                let qps = queries.len() as f64 / secs.max(1e-9);
+                table.push_row(vec![
+                    dataset.to_string(),
+                    algorithm.to_string(),
+                    label,
+                    queries.len().to_string(),
+                    format!("{secs:.6}"),
+                    format!("{qps:.2}"),
+                    outcome.stats.counters.expanded_vertices.to_string(),
+                    outcome.stats.counters.produced_paths.to_string(),
+                    format!("{:.2}x", collect_secs / secs.max(1e-9)),
+                ]);
+            }
+        }
     }
     table
 }
@@ -816,6 +914,47 @@ mod tests {
         }
         // The threads=1 rows are the speedup reference.
         assert_eq!(t.rows()[0][5], "1.000");
+    }
+
+    #[test]
+    fn result_modes_short_circuit_strictly() {
+        // A genuinely dense point (EP at k = 5..6 yields hundreds of paths per query):
+        // the regime where the early-termination claims must hold *strictly*.
+        let config = BenchConfig {
+            scale: DatasetScale::Tiny,
+            datasets: vec![Dataset::EP],
+            query_set_size: 8,
+            k_min: 5,
+            k_max: 6,
+            seed: 7,
+        };
+        let t = result_modes(&config);
+        // 1 dataset x 2 algorithms x 4 modes.
+        assert_eq!(t.len(), 8);
+        for chunk in t.rows().chunks(4) {
+            let algorithm = &chunk[0][1];
+            let expanded: Vec<u64> = chunk.iter().map(|r| r[6].parse().unwrap()).collect();
+            let (collect, count, first_k, exists) =
+                (expanded[0], expanded[1], expanded[2], expanded[3]);
+            assert!(collect > 0, "dense workload must do real search work");
+            assert_eq!(count, collect, "counting pays full enumeration");
+            assert_eq!(exists, 0, "exists probes are answered from the index");
+            assert!(
+                first_k <= collect,
+                "{algorithm}: FirstK may never cost more search steps"
+            );
+            if algorithm == "BasicEnum+" {
+                assert!(
+                    first_k < collect,
+                    "BasicEnum+: the streaming join must abort the DFS early \
+                     ({first_k} vs {collect})"
+                );
+            }
+            // Produced paths shrink with the mode's need.
+            let produced: Vec<u64> = chunk.iter().map(|r| r[7].parse().unwrap()).collect();
+            assert!(produced[2] <= produced[0]);
+            assert_eq!(produced[3], 0, "exists probes enumerate nothing");
+        }
     }
 
     #[test]

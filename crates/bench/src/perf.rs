@@ -46,12 +46,20 @@ impl PerfComparison {
     }
 }
 
-/// The identity of one scaling point within a report.
+/// The identity of one throughput point within a report: the dataset plus whichever of
+/// the `batch`/`threads` dimensions the experiment has. The parallel-scaling report keys
+/// on all three; the mixed read/write report has one row per dataset and keys on the
+/// dataset alone — both gate through the same comparison.
 fn point_key(row: &Json) -> Option<String> {
     let dataset = row.get("dataset")?.as_str()?;
-    let batch = row.get("batch")?.as_f64()?;
-    let threads = row.get("threads")?.as_f64()?;
-    Some(format!("{dataset}/batch={batch}/threads={threads}"))
+    let mut key = dataset.to_string();
+    if let Some(batch) = row.get("batch").and_then(Json::as_f64) {
+        key.push_str(&format!("/batch={batch}"));
+    }
+    if let Some(threads) = row.get("threads").and_then(Json::as_f64) {
+        key.push_str(&format!("/threads={threads}"));
+    }
+    Some(key)
 }
 
 /// Extracts `(key, qps)` pairs from a scaling report (`{"rows": [...]}`).
@@ -109,6 +117,16 @@ pub fn compare_throughput(
                 base_qps * (1.0 - tolerance)
             ));
         }
+    }
+    if comparison.compared == 0 && !baseline_points.is_empty() {
+        // Optional row dimensions (batch/threads) mean a schema drift no longer fails
+        // parsing — it would instead key every current point away from the baseline.
+        // Comparing nothing against a real baseline must fail loudly, not pass silently.
+        comparison.regressions.push(format!(
+            "no current point matched any of the {} baseline points — report schemas \
+             have diverged (regenerate the baseline or fix the point keys)",
+            baseline_points.len()
+        ));
     }
     if comparison.compared > 0 {
         comparison.geomean_ratio = (log_ratio_sum / comparison.compared as f64).exp();
@@ -225,6 +243,34 @@ mod tests {
         assert!(cmp.passed());
         assert_eq!(cmp.compared, 1);
         assert_eq!(cmp.missing_in_baseline, 1);
+    }
+
+    #[test]
+    fn zero_overlap_with_a_real_baseline_fails_the_gate() {
+        // Schema drift (e.g. a renamed column) re-keys every current point away from the
+        // baseline; that must fail, not pass with "0 points compared".
+        let baseline = report(&[("EP", 16.0, 1.0, 100.0)]);
+        let drifted = parse_json(r#"{"rows":[{"dataset":"EP","qps":100.0}]}"#).unwrap();
+        let cmp = compare_throughput(&baseline, &drifted, 0.2).unwrap();
+        assert_eq!(cmp.compared, 0);
+        assert!(!cmp.passed());
+        assert!(cmp.regressions[0].contains("schemas have diverged"));
+        // An empty baseline row set imposes nothing.
+        let empty = parse_json(r#"{"rows":[]}"#).unwrap();
+        assert!(compare_throughput(&empty, &drifted, 0.2).unwrap().passed());
+    }
+
+    #[test]
+    fn dataset_only_rows_gate_by_dataset_key() {
+        // The mixed read/write report has no batch/threads dimensions; its rows key on
+        // the dataset alone and still gate.
+        let baseline = parse_json(r#"{"rows":[{"dataset":"EP","qps":100.0}]}"#).unwrap();
+        let regressed = parse_json(r#"{"rows":[{"dataset":"EP","qps":40.0}]}"#).unwrap();
+        let cmp = compare_throughput(&baseline, &regressed, 0.2).unwrap();
+        assert!(!cmp.passed());
+        assert_eq!(cmp.compared, 1);
+        let fine = parse_json(r#"{"rows":[{"dataset":"EP","qps":95.0}]}"#).unwrap();
+        assert!(compare_throughput(&baseline, &fine, 0.2).unwrap().passed());
     }
 
     #[test]

@@ -87,7 +87,13 @@ impl BasicEnum {
         stats.num_clusters = queries.len();
         let per_query = PathEnum::new(self.order);
         for (id, query) in queries.iter().enumerate() {
-            per_query.run_with_index_buffered(graph, index, query, id, sink, &mut stats, buffers);
+            // The per-query runner consults the sink's quota itself: satisfied queries
+            // are skipped, bounded ones run the early-terminating streaming join.
+            let flow = per_query
+                .run_with_index_buffered(graph, index, query, id, sink, &mut stats, buffers);
+            if flow.stops_batch() {
+                break;
+            }
         }
         sink.finish();
         stats

@@ -23,7 +23,7 @@ use crate::query::{BatchSummary, HcsQuery, PathQuery, QueryId};
 use crate::search_order::SearchOrder;
 use crate::sharing_graph::{AnchorSlack, NodeId, QueryNode, SharingGraph};
 use crate::similarity::{QueryNeighborhood, SimilarityMatrix};
-use crate::sink::PathSink;
+use crate::sink::{PathSink, SinkFlow};
 use crate::stats::{EnumStats, SearchCounters, Stage};
 use hcsp_graph::{DiGraph, VertexId};
 use hcsp_index::BatchIndex;
@@ -119,7 +119,7 @@ impl BatchEnum {
         // Stages 3-4 per cluster (Alg. 4 lines 4-16); one buffer set for the whole batch.
         let mut buffers = SearchBuffers::for_graph(graph);
         for cluster in &clusters {
-            self.process_cluster(
+            let flow = self.process_cluster(
                 graph,
                 index,
                 queries,
@@ -128,12 +128,16 @@ impl BatchEnum {
                 &mut stats,
                 &mut buffers,
             );
+            if flow.stops_batch() {
+                break;
+            }
         }
         sink.finish();
         stats
     }
 
-    /// Detects and evaluates one cluster of queries.
+    /// Detects and evaluates one cluster of queries. Returns the batch-level control
+    /// flow ([`SinkFlow::Stop`] when the sink declared the whole batch satisfied).
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn process_cluster<S: PathSink>(
         &self,
@@ -144,7 +148,7 @@ impl BatchEnum {
         sink: &mut S,
         stats: &mut EnumStats,
         buffers: &mut SearchBuffers,
-    ) {
+    ) -> SinkFlow {
         // Stage 3: IdentifySubquery.
         let start = Instant::now();
         let cluster_queries_list: Vec<(QueryId, PathQuery)> =
@@ -156,13 +160,40 @@ impl BatchEnum {
         let order = sharing.topological_order();
         stats.add_stage(Stage::IdentifySubquery, start.elapsed());
 
+        // Early-termination support: a query the sink already declared satisfied
+        // (`remaining_quota == Some(0)`) is dropped from the cluster's work, and — by a
+        // reverse pass over the topological order — so is every HC-s path node whose
+        // only (transitive) users are satisfied queries: its materialisation would feed
+        // no one. Nodes with a mix of live and dead users still materialise in full
+        // (their slack set conservatively includes the dead queries' anchors).
+        let needed: Vec<bool> = {
+            let all_live = cluster
+                .iter()
+                .all(|&qid| sink.remaining_quota(qid) != Some(0));
+            if all_live {
+                vec![true; sharing.len()]
+            } else {
+                let mut needed = vec![false; sharing.len()];
+                for &node_id in order.iter().rev() {
+                    needed[node_id] = match *sharing.node(node_id) {
+                        QueryNode::Full(qid) => sink.remaining_quota(qid) != Some(0),
+                        QueryNode::Hcs(_) => {
+                            sharing.users(node_id).iter().any(|&(user, _)| needed[user])
+                        }
+                    };
+                }
+                needed
+            }
+        };
+
         // Stage 4: Enumeration in topological order with the shared result cache.
         let start = Instant::now();
         let mut cache = ResultCache::new(sharing.len());
         let mut counters = SearchCounters::default();
+        let mut batch_flow = SinkFlow::Continue;
         for &node_id in &order {
             match *sharing.node(node_id) {
-                QueryNode::Hcs(hcs) => {
+                QueryNode::Hcs(hcs) if needed[node_id] => {
                     let paths = self.materialize_node(
                         graph,
                         index,
@@ -176,8 +207,8 @@ impl BatchEnum {
                     );
                     cache.insert(node_id, paths, sharing.users(node_id).len());
                 }
-                QueryNode::Full(qid) => {
-                    self.answer_query(
+                QueryNode::Full(qid) if needed[node_id] => {
+                    let flow = self.answer_query(
                         &sharing,
                         node_id,
                         qid,
@@ -187,16 +218,25 @@ impl BatchEnum {
                         &mut counters,
                         buffers,
                     );
+                    batch_flow = flow.batch_flow();
                 }
+                // Skipped node: no live user anywhere downstream.
+                QueryNode::Hcs(_) | QueryNode::Full(_) => {}
             }
-            // Alg. 4 lines 14-16: this node has consumed its providers; evict exhausted ones.
+            // Alg. 4 lines 14-16: this node has consumed its providers; evict exhausted
+            // ones. Runs for skipped nodes too, so providers shared with live users keep
+            // an accurate remaining-user count (releasing an absent entry is a no-op).
             for &(provider, _) in sharing.providers(node_id) {
                 cache.release(provider);
+            }
+            if batch_flow.stops_batch() {
+                break;
             }
         }
         stats.peak_cached_results = stats.peak_cached_results.max(cache.peak_resident());
         stats.counters.merge(&counters);
         stats.add_stage(Stage::Enumeration, start.elapsed());
+        batch_flow
     }
 
     /// Materialises one HC-s path query node: every simple path from its root within its
@@ -357,7 +397,10 @@ impl BatchEnum {
     }
 
     /// Answers one HC-s-t query by joining the cached results of its two half queries
-    /// (Alg. 4 lines 11-13).
+    /// (Alg. 4 lines 11-13). The join honours sink verdicts: a `SkipQuery` the moment
+    /// the query's result mode is satisfied aborts the remaining join pairs (the
+    /// short-circuit of `Exists`/`FirstK` under the sharing algorithm, whose halves are
+    /// materialised once for the whole cluster). Returns the last verdict.
     #[allow(clippy::too_many_arguments)]
     fn answer_query<S: PathSink>(
         &self,
@@ -369,7 +412,7 @@ impl BatchEnum {
         sink: &mut S,
         counters: &mut SearchCounters,
         buffers: &mut SearchBuffers,
-    ) {
+    ) -> SinkFlow {
         let mut forward: Option<&PathSet> = None;
         let mut backward: Option<&PathSet> = None;
         for &(provider, _) in sharing.providers(node_id) {
@@ -385,18 +428,21 @@ impl BatchEnum {
                 false,
                 "half queries of q{qid} must be materialised before the query"
             );
-            return;
+            return SinkFlow::Continue;
         };
+        let mut flow = SinkFlow::Continue;
         let join = concatenate_scratch(
             forward,
             backward,
             query.hop_limit,
             &mut buffers.join,
             |path| {
-                sink.accept(qid, path);
+                flow = sink.accept(qid, path);
+                flow
             },
         );
         counters.produced_paths += join.produced as u64;
+        flow
     }
 }
 

@@ -1,8 +1,8 @@
-//! The path concatenation operator `⊕` (Definition 3.1).
+//! The path concatenation operator `⊕` (Definition 3.1), batch and streaming.
 //!
 //! The bidirectional search produces a set of forward prefixes `P_f` (paths from `s` on
-//! `G`) and a set of backward prefixes `P_b` (paths from `t` on `G^r`). `P_f ⊕ P_b` hash
-//! joins the two sets on their shared end vertex and keeps exactly the simple joined paths
+//! `G`) and a set of backward prefixes `P_b` (paths from `t` on `G^r`). `P_f ⊕ P_b` joins
+//! the two sets on their shared end vertex and keeps exactly the simple joined paths
 //! within the hop constraint.
 //!
 //! ## Canonical split
@@ -13,9 +13,21 @@
 //! which the forward half carries `⌈L/2⌉` hops — i.e. `forward.hops() − backward.hops() ∈
 //! {0, 1}`. Every valid result path has such a split within the budgets `⌈k/2⌉ / ⌊k/2⌋`,
 //! and it has only one.
+//!
+//! ## Streaming form
+//!
+//! [`concatenate_scratch`] is the batch form: both halves fully materialised, then
+//! joined. It is built from two streaming primitives — [`prepare_suffixes`] (index the
+//! backward side once) and [`join_prefix`] (join *one* forward prefix) — which the
+//! early-terminating execution path of [`crate::pathenum::PathEnum`] calls directly from
+//! inside the forward DFS: each discovered prefix is joined immediately, and the
+//! [`SinkFlow`] verdict of the sink can abort the search *before* the forward half is
+//! ever materialised. Because the batch form iterates forward prefixes in exactly the
+//! DFS discovery order, both forms emit the same paths in the same order.
 
 use crate::buffers::JoinScratch;
 use crate::path::{vertices_are_distinct, Path, PathSet};
+use crate::sink::SinkFlow;
 use hcsp_graph::VertexId;
 
 /// Statistics of one join, used by instrumentation and tests.
@@ -31,6 +43,70 @@ pub struct JoinStats {
     pub produced: usize,
 }
 
+/// Indexes the backward prefix set for joining: fills the scratch's flat
+/// `(end vertex, path index)` table, sorted by end vertex (ties by index, which pins the
+/// emission order).
+pub fn prepare_suffixes(backward: &PathSet, scratch: &mut JoinScratch) {
+    scratch.pairs.clear();
+    for (idx, suffix) in backward.iter().enumerate() {
+        let join_vertex = *suffix.last().expect("paths are non-empty");
+        scratch.pairs.push((join_vertex, idx as u32));
+    }
+    scratch.pairs.sort_unstable();
+}
+
+/// Joins one forward prefix against a backward set prepared by [`prepare_suffixes`],
+/// emitting every canonical, simple, in-budget joined path.
+///
+/// `emit` returns a [`SinkFlow`] verdict; the first non-`Continue` verdict aborts the
+/// remaining candidates of this prefix and is returned to the caller (which typically
+/// aborts the forward DFS in turn). Returns `Continue` when the prefix was exhausted.
+pub fn join_prefix<F>(
+    prefix: &[VertexId],
+    backward: &PathSet,
+    hop_limit: u32,
+    scratch: &mut JoinScratch,
+    stats: &mut JoinStats,
+    mut emit: F,
+) -> SinkFlow
+where
+    F: FnMut(&[VertexId]) -> SinkFlow,
+{
+    let JoinScratch { pairs, assembled } = scratch;
+    let join_vertex = *prefix.last().expect("paths are non-empty");
+    let range_start = pairs.partition_point(|&(v, _)| v < join_vertex);
+    let forward_hops = (prefix.len() - 1) as u32;
+    for &(_, suffix_idx) in pairs[range_start..]
+        .iter()
+        .take_while(|&&(v, _)| v == join_vertex)
+    {
+        let suffix = backward.get(suffix_idx as usize);
+        stats.candidate_pairs += 1;
+        let backward_hops = (suffix.len() - 1) as u32;
+        let total = forward_hops + backward_hops;
+        let canonical = forward_hops >= backward_hops && forward_hops - backward_hops <= 1;
+        if !canonical || total > hop_limit {
+            stats.rejected_split += 1;
+            continue;
+        }
+        assembled.clear();
+        assembled.extend_from_slice(prefix);
+        // The suffix is oriented from t towards the join vertex; skip the shared join
+        // vertex and append the rest reversed.
+        assembled.extend(suffix[..suffix.len() - 1].iter().rev().copied());
+        if !vertices_are_distinct(assembled) {
+            stats.rejected_not_simple += 1;
+            continue;
+        }
+        stats.produced += 1;
+        let flow = emit(assembled);
+        if !flow.is_continue() {
+            return flow;
+        }
+    }
+    SinkFlow::Continue
+}
+
 /// Joins forward and backward prefix sets into complete HC-s-t paths.
 ///
 /// * `forward` — paths starting at `s`, oriented along `G` (first vertex is `s`).
@@ -39,27 +115,32 @@ pub struct JoinStats {
 /// * `hop_limit` — the query's hop constraint `k`.
 ///
 /// Every produced path starts at `s`, ends at `t`, is simple, and has at most `hop_limit`
-/// hops. Paths are emitted through `emit`, which receives the full vertex sequence.
+/// hops. Paths are emitted through `emit`, which receives the full vertex sequence (and
+/// cannot terminate the join early — see [`concatenate_scratch`] for that).
 pub fn concatenate_with<F>(
     forward: &PathSet,
     backward: &PathSet,
     hop_limit: u32,
-    emit: F,
+    mut emit: F,
 ) -> JoinStats
 where
     F: FnMut(&[VertexId]),
 {
     let mut scratch = JoinScratch::default();
-    concatenate_scratch(forward, backward, hop_limit, &mut scratch, emit)
+    concatenate_scratch(forward, backward, hop_limit, &mut scratch, |path| {
+        emit(path);
+        SinkFlow::Continue
+    })
 }
 
-/// [`concatenate_with`] with caller-owned scratch: the join-vertex table and the assembly
-/// buffer are reused across calls instead of reallocated, which makes the join
-/// allocation-free on the batch hot path.
+/// [`concatenate_with`] with caller-owned scratch and an early-terminating emitter: the
+/// join-vertex table and the assembly buffer are reused across calls, and the first
+/// non-`Continue` [`SinkFlow`] verdict from `emit` aborts the remaining join work (the
+/// sink has everything it needs for this query).
 ///
 /// The backward side is indexed by a flat `(end vertex, path index)` table sorted by end
-/// vertex (ties by index, so the emission order is identical to the hash-map variant this
-/// replaces); each forward prefix then binary-searches its join-vertex range.
+/// vertex (ties by index); each forward prefix then binary-searches its join-vertex
+/// range, in the forward set's insertion (= DFS discovery) order.
 pub fn concatenate_scratch<F>(
     forward: &PathSet,
     backward: &PathSet,
@@ -68,49 +149,17 @@ pub fn concatenate_scratch<F>(
     mut emit: F,
 ) -> JoinStats
 where
-    F: FnMut(&[VertexId]),
+    F: FnMut(&[VertexId]) -> SinkFlow,
 {
     let mut stats = JoinStats::default();
     if forward.is_empty() || backward.is_empty() {
         return stats;
     }
-
-    let JoinScratch { pairs, assembled } = scratch;
-    pairs.clear();
-    for (idx, suffix) in backward.iter().enumerate() {
-        let join_vertex = *suffix.last().expect("paths are non-empty");
-        pairs.push((join_vertex, idx as u32));
-    }
-    pairs.sort_unstable();
-
+    prepare_suffixes(backward, scratch);
     for prefix in forward.iter() {
-        let join_vertex = *prefix.last().expect("paths are non-empty");
-        let range_start = pairs.partition_point(|&(v, _)| v < join_vertex);
-        let forward_hops = (prefix.len() - 1) as u32;
-        for &(_, suffix_idx) in pairs[range_start..]
-            .iter()
-            .take_while(|&&(v, _)| v == join_vertex)
-        {
-            let suffix = backward.get(suffix_idx as usize);
-            stats.candidate_pairs += 1;
-            let backward_hops = (suffix.len() - 1) as u32;
-            let total = forward_hops + backward_hops;
-            let canonical = forward_hops >= backward_hops && forward_hops - backward_hops <= 1;
-            if !canonical || total > hop_limit {
-                stats.rejected_split += 1;
-                continue;
-            }
-            assembled.clear();
-            assembled.extend_from_slice(prefix);
-            // The suffix is oriented from t towards the join vertex; skip the shared join
-            // vertex and append the rest reversed.
-            assembled.extend(suffix[..suffix.len() - 1].iter().rev().copied());
-            if !vertices_are_distinct(assembled) {
-                stats.rejected_not_simple += 1;
-                continue;
-            }
-            stats.produced += 1;
-            emit(assembled);
+        let flow = join_prefix(prefix, backward, hop_limit, scratch, &mut stats, &mut emit);
+        if !flow.is_continue() {
+            break;
         }
     }
     stats
@@ -240,11 +289,53 @@ mod tests {
             let mut reused = Vec::new();
             // Scratch reused across joins: identical paths in identical order.
             let reused_stats = concatenate_scratch(&forward, &backward, k, &mut scratch, |p| {
-                reused.push(p.to_vec())
+                reused.push(p.to_vec());
+                SinkFlow::Continue
             });
             assert_eq!(reused, fresh);
             assert_eq!(reused_stats, fresh_stats);
         }
+    }
+
+    #[test]
+    fn streaming_prefix_join_matches_the_batch_join() {
+        let forward = set(&[&[0], &[0, 1], &[0, 1, 2], &[0, 2], &[0, 2, 1]]);
+        let backward = set(&[&[3], &[3, 2], &[3, 1], &[3, 4, 1], &[3, 4, 2]]);
+        let mut batch = Vec::new();
+        let batch_stats = concatenate_with(&forward, &backward, 10, |p| batch.push(p.to_vec()));
+
+        // Streaming: prepare once, join prefix by prefix in forward insertion order.
+        let mut scratch = JoinScratch::default();
+        prepare_suffixes(&backward, &mut scratch);
+        let mut streamed = Vec::new();
+        let mut stats = JoinStats::default();
+        for prefix in forward.iter() {
+            let flow = join_prefix(prefix, &backward, 10, &mut scratch, &mut stats, |p| {
+                streamed.push(p.to_vec());
+                SinkFlow::Continue
+            });
+            assert!(flow.is_continue());
+        }
+        assert_eq!(streamed, batch, "same paths in the same order");
+        assert_eq!(stats, batch_stats);
+    }
+
+    #[test]
+    fn early_verdicts_abort_the_join() {
+        let forward = set(&[&[0, 1], &[0, 2, 1]]);
+        let backward = set(&[&[3, 1], &[3, 4, 1]]);
+        // Full join yields several paths; stop after the first.
+        let mut scratch = JoinScratch::default();
+        let mut seen = 0usize;
+        let stats = concatenate_scratch(&forward, &backward, 10, &mut scratch, |_p| {
+            seen += 1;
+            SinkFlow::SkipQuery
+        });
+        assert_eq!(seen, 1);
+        assert_eq!(stats.produced, 1);
+        let (full, full_stats) = concatenate(&forward, &backward, 10);
+        assert!(full.len() > 1);
+        assert!(stats.candidate_pairs < full_stats.candidate_pairs);
     }
 
     #[test]

@@ -7,12 +7,16 @@
 
 use crate::basic_enum::BasicEnum;
 use crate::batch_enum::{BatchEnum, DEFAULT_GAMMA};
-use crate::parallel::{run_pathenum_parallel, ParallelBasicEnum, ParallelBatchEnum, Parallelism};
+use crate::parallel::{
+    run_pathenum_parallel, run_specs_parallel_pathenum, run_specs_parallel_with_index,
+    ParallelBasicEnum, ParallelBatchEnum, Parallelism,
+};
 use crate::path::PathSet;
 use crate::pathenum::PathEnum;
 use crate::query::{BatchSummary, PathQuery};
 use crate::search_order::SearchOrder;
 use crate::sink::{CollectSink, CountSink, PathSink};
+use crate::spec::{QuerySpec, ResultMode, RoutedSink, SpecOutcome, SpecSink};
 use crate::stats::{EnumStats, Stage};
 use hcsp_graph::{DeltaGraph, DiGraph, GraphUpdate};
 use hcsp_index::BatchIndex;
@@ -203,6 +207,115 @@ impl BatchEngine {
         let stats = self.run_with_sink(graph, queries, &mut sink);
         (sink.counts().to_vec(), stats)
     }
+
+    /// Runs a batch of typed query requests and returns one typed response per spec.
+    ///
+    /// Mixed-mode batches share one index (and, for the sharing algorithms, one
+    /// clustering/detection pass); each query stops the moment its [`ResultMode`] is
+    /// satisfied — `Exists` probes are answered straight from the index whenever the
+    /// algorithm builds a shared one, `FirstK` terminates the search after `k` paths.
+    pub fn run_specs(&self, graph: &DiGraph, specs: &[QuerySpec]) -> SpecOutcome {
+        if specs.is_empty() {
+            return SpecOutcome {
+                responses: Vec::new(),
+                stats: EnumStats::new(0),
+            };
+        }
+        let mut sink = SpecSink::new(specs);
+        let stats = match self.algorithm {
+            // The real-time baseline has no shared index to probe: every spec runs the
+            // per-query pipeline (quota-aware, so bounded modes still short-circuit).
+            Algorithm::PathEnum => {
+                let queries: Vec<PathQuery> = specs.iter().map(|s| s.query).collect();
+                PathEnum::new(self.algorithm.search_order()).run_batch(graph, &queries, &mut sink)
+            }
+            _ => {
+                let start = Instant::now();
+                let queries: Vec<PathQuery> = specs.iter().map(|s| s.query).collect();
+                let summary = BatchSummary::of(&queries);
+                let index = BatchIndex::build(
+                    graph,
+                    &summary.sources,
+                    &summary.targets,
+                    summary.max_hop_limit,
+                );
+                let build_time = start.elapsed();
+                let mut stats = run_specs_with_index(self, graph, &index, specs, &mut sink);
+                stats.add_stage(Stage::BuildIndex, build_time);
+                stats
+            }
+        };
+        SpecOutcome {
+            responses: sink.into_responses(),
+            stats,
+        }
+    }
+}
+
+/// Answers every still-open `Exists` spec straight from the shared index: `dist(s, t) ≤ k`
+/// iff some simple path of at most `k` hops exists (a shortest path is always simple), and
+/// the batch index knows that distance exactly up to its bound.
+fn resolve_exists_from_index(index: &BatchIndex, sink: &mut SpecSink, specs: &[QuerySpec]) {
+    for (i, spec) in specs.iter().enumerate() {
+        if matches!(spec.mode, ResultMode::Exists) && sink.is_open(i) {
+            let d = index.dist_to_target(spec.query.source, spec.query.target);
+            sink.resolve_exists(i, d != hcsp_index::INF && d <= spec.query.hop_limit);
+        }
+    }
+}
+
+/// The spec pre-pass shared by the sequential and parallel pipelines: resolve every
+/// index-answerable `Exists` probe on `sink`, then return the **live** specs (those that
+/// still need enumeration work) together with their original positions. Both pipelines
+/// must filter identically or their byte-identical-responses guarantee breaks — which is
+/// why this exists once.
+fn filter_live_specs(
+    index: &BatchIndex,
+    sink: &mut SpecSink,
+    specs: &[QuerySpec],
+) -> (Vec<QuerySpec>, Vec<usize>) {
+    resolve_exists_from_index(index, sink, specs);
+    // Satisfied specs (index-answered Exists probes, zero-need degenerates) leave the
+    // enumeration batch entirely: they must not cost clustering or detection work.
+    let mut live: Vec<QuerySpec> = Vec::new();
+    let mut route: Vec<usize> = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        if sink.remaining_quota(i) != Some(0) {
+            live.push(*spec);
+            route.push(i);
+        }
+    }
+    (live, route)
+}
+
+/// The shared-index spec pipeline: `Exists` fast path, dead-query filtering, then the
+/// configured batch algorithm over the live remainder with id-routed delivery into the
+/// caller's [`SpecSink`]. Not used for `PathEnum` (no shared index by definition).
+fn run_specs_with_index(
+    config: &BatchEngine,
+    graph: &DiGraph,
+    index: &BatchIndex,
+    specs: &[QuerySpec],
+    sink: &mut SpecSink,
+) -> EnumStats {
+    let (live, route) = filter_live_specs(index, sink, specs);
+    let live_queries: Vec<PathQuery> = live.iter().map(|s| s.query).collect();
+    let order = config.algorithm().search_order();
+    let mut routed = RoutedSink::new(sink, &route);
+    let mut stats = match config.algorithm() {
+        Algorithm::PathEnum => unreachable!("PathEnum specs run without a shared index"),
+        Algorithm::BasicEnum | Algorithm::BasicEnumPlus => {
+            BasicEnum::new(order).run_batch_with_index(graph, index, &live_queries, &mut routed)
+        }
+        _ => BatchEnum::new(order, config.gamma()).run_batch_with_index(
+            graph,
+            index,
+            &live_queries,
+            &mut routed,
+        ),
+    };
+    stats.num_queries = specs.len();
+    stats
 }
 
 /// Index-reuse accounting of a long-lived [`Engine`].
@@ -672,6 +785,108 @@ impl Engine {
         let stats = self.run_with_sink(queries, &mut sink);
         (sink.counts().to_vec(), stats)
     }
+
+    /// Runs one batch of typed query requests against the cached index, returning one
+    /// typed response per spec (see [`QuerySpec`] / [`crate::QueryResponse`]).
+    ///
+    /// A mixed-mode batch shares a single index (and clustering pass) exactly like a
+    /// plain batch; the per-spec [`ResultMode`] only changes *when each query may stop*:
+    ///
+    /// * `Exists` is answered from the index distance without any enumeration,
+    /// * `FirstK(k)` / path budgets terminate the query the moment the sink is
+    ///   satisfied (streaming join under `BasicEnum*`, short-circuited join and dropped
+    ///   cluster work under `BatchEnum*`),
+    /// * `Count` / `Collect` run to completion.
+    pub fn run_specs(&mut self, specs: &[QuerySpec]) -> SpecOutcome {
+        if specs.is_empty() {
+            return SpecOutcome {
+                responses: Vec::new(),
+                stats: EnumStats::new(0),
+            };
+        }
+        match self.config.algorithm() {
+            // The real-time baseline: per-query index by definition, nothing cached.
+            Algorithm::PathEnum => self.config.run_specs(&self.graph, specs),
+            _ => {
+                let queries: Vec<PathQuery> = specs.iter().map(|s| s.query).collect();
+                let summary = BatchSummary::of(&queries);
+                let prep_time = self.ensure_index(&summary);
+                let index = self.index.as_ref().expect("ensured above");
+                let mut sink = SpecSink::new(specs);
+                let mut stats =
+                    run_specs_with_index(&self.config, &self.graph, index, specs, &mut sink);
+                stats.add_stage(Stage::BuildIndex, prep_time);
+                SpecOutcome {
+                    responses: sink.into_responses(),
+                    stats,
+                }
+            }
+        }
+    }
+
+    /// [`Engine::run_specs`] on the cluster-sharded parallel executor.
+    ///
+    /// Responses are identical to the sequential [`Engine::run_specs`] — same paths, same
+    /// order, same counts — for the same reason parallel plain batches are lossless:
+    /// every query lives in exactly one similarity cluster, clusters are evaluated by the
+    /// same sequential pipeline inside a worker (including each query's early
+    /// termination), and results merge in deterministic cluster order. The configured
+    /// [`Engine::set_parallel_cluster_cap`] applies as in [`Engine::run_parallel_with_sink`]
+    /// (a cap trades the byte-identical order guarantee for parallel slack, exactly as
+    /// documented there).
+    pub fn run_specs_parallel(
+        &mut self,
+        specs: &[QuerySpec],
+        parallelism: Parallelism,
+    ) -> SpecOutcome {
+        if specs.is_empty() {
+            return SpecOutcome {
+                responses: Vec::new(),
+                stats: EnumStats::new(0),
+            };
+        }
+        let order = self.config.algorithm().search_order();
+        match self.config.algorithm() {
+            Algorithm::PathEnum => {
+                let (responses, stats) =
+                    run_specs_parallel_pathenum(&self.graph, specs, order, parallelism);
+                SpecOutcome { responses, stats }
+            }
+            algorithm => {
+                let queries: Vec<PathQuery> = specs.iter().map(|s| s.query).collect();
+                let summary = BatchSummary::of(&queries);
+                let prep_time = self.ensure_index(&summary);
+                let index = self.index.as_ref().expect("ensured above");
+
+                // Exists fast path + dead-spec filtering, via the same helper as the
+                // sequential pipeline; only the live remainder reaches the worker pool.
+                let mut pre = SpecSink::new(specs);
+                let (live, route) = filter_live_specs(index, &mut pre, specs);
+                let shared = matches!(algorithm, Algorithm::BatchEnum | Algorithm::BatchEnumPlus);
+                let (live_responses, mut stats) = run_specs_parallel_with_index(
+                    &self.graph,
+                    index,
+                    &live,
+                    order,
+                    self.config.gamma(),
+                    shared,
+                    if shared {
+                        self.parallel_cluster_cap
+                    } else {
+                        None
+                    },
+                    parallelism,
+                );
+                stats.add_stage(Stage::BuildIndex, prep_time);
+                stats.num_queries = specs.len();
+                let mut responses = pre.into_responses();
+                for (idx, response) in route.into_iter().zip(live_responses) {
+                    responses[idx] = response;
+                }
+                SpecOutcome { responses, stats }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1085,6 +1300,185 @@ mod tests {
         assert_eq!(engine.algorithm(), Algorithm::BatchEnumPlus);
         assert_eq!(engine.graph().num_vertices(), 3);
         assert_eq!(engine.graph_arc().num_vertices(), 3);
+    }
+
+    #[test]
+    fn run_specs_modes_agree_with_full_enumeration() {
+        let g = grid(4, 4);
+        let queries = vec![
+            PathQuery::new(0u32, 15u32, 6),
+            PathQuery::new(1u32, 15u32, 6),
+            PathQuery::new(0u32, 11u32, 5),
+            PathQuery::new(15u32, 0u32, 4), // unreachable: grid edges only go right/down
+        ];
+        let reference: Vec<u64> = queries
+            .iter()
+            .map(|q| enumerate_reference(&g, q).len() as u64)
+            .collect();
+        for algorithm in Algorithm::ALL {
+            let mut engine = Engine::with_algorithm(g.clone(), algorithm);
+            let full = engine.run(&queries);
+
+            let exists = engine.run_specs(
+                &queries
+                    .iter()
+                    .map(|&q| QuerySpec::exists(q))
+                    .collect::<Vec<_>>(),
+            );
+            let counts = engine.run_specs(
+                &queries
+                    .iter()
+                    .map(|&q| QuerySpec::count(q))
+                    .collect::<Vec<_>>(),
+            );
+            let first2 = engine.run_specs(
+                &queries
+                    .iter()
+                    .map(|&q| QuerySpec::first_k(q, 2))
+                    .collect::<Vec<_>>(),
+            );
+            let collect = engine.run_specs(
+                &queries
+                    .iter()
+                    .map(|&q| QuerySpec::collect(q))
+                    .collect::<Vec<_>>(),
+            );
+
+            for (i, &expected) in reference.iter().enumerate() {
+                assert_eq!(
+                    exists.responses[i],
+                    crate::QueryResponse::Exists(expected > 0),
+                    "{algorithm} exists q{i}"
+                );
+                assert_eq!(
+                    counts.responses[i],
+                    crate::QueryResponse::Count(expected),
+                    "{algorithm} count q{i}"
+                );
+                // FirstK is a prefix of Collect, which equals the plain run.
+                let collected = collect.responses[i].paths().unwrap();
+                assert_eq!(collected, &full.paths[i], "{algorithm} collect q{i}");
+                let first = first2.responses[i].paths().unwrap();
+                assert_eq!(
+                    first.len() as u64,
+                    expected.min(2),
+                    "{algorithm} firstk q{i}"
+                );
+                for (j, p) in first.iter().enumerate() {
+                    assert_eq!(p, collected.get(j), "{algorithm} firstk prefix q{i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exists_probes_skip_enumeration_on_shared_index_algorithms() {
+        let g = grid(4, 4);
+        let specs: Vec<QuerySpec> = (0..4)
+            .map(|i| QuerySpec::exists(PathQuery::new(i, 15u32, 6)))
+            .collect();
+        for algorithm in [Algorithm::BasicEnumPlus, Algorithm::BatchEnumPlus] {
+            let mut engine = Engine::with_algorithm(g.clone(), algorithm);
+            let outcome = engine.run_specs(&specs);
+            assert!(outcome.responses.iter().all(|r| r.exists()), "{algorithm}");
+            assert_eq!(
+                outcome.stats.counters.expanded_vertices, 0,
+                "{algorithm}: exists probes must be answered from the index"
+            );
+            assert_eq!(outcome.stats.counters.produced_paths, 0);
+        }
+    }
+
+    #[test]
+    fn run_specs_parallel_matches_sequential_for_mixed_modes() {
+        let g = grid(4, 4);
+        let queries = [
+            PathQuery::new(0u32, 15u32, 6),
+            PathQuery::new(1u32, 15u32, 6),
+            PathQuery::new(0u32, 14u32, 5),
+            PathQuery::new(4u32, 11u32, 5),
+            PathQuery::new(2u32, 15u32, 6),
+        ];
+        let specs = vec![
+            QuerySpec::exists(queries[0]),
+            QuerySpec::count(queries[1]),
+            QuerySpec::first_k(queries[2], 3),
+            QuerySpec::collect(queries[3]),
+            QuerySpec::count(queries[4]).with_path_budget(5),
+        ];
+        for algorithm in Algorithm::ALL {
+            let mut sequential = Engine::with_algorithm(g.clone(), algorithm);
+            let expected = sequential.run_specs(&specs);
+            for workers in [1, 2, 4] {
+                let mut engine = Engine::with_algorithm(g.clone(), algorithm);
+                let outcome = engine.run_specs_parallel(&specs, Parallelism::Fixed(workers));
+                assert_eq!(
+                    outcome.responses, expected.responses,
+                    "{algorithm} with {workers} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spec_batches_reuse_the_cached_index() {
+        let g = grid(4, 4);
+        let mut engine = Engine::new(g, BatchEngine::default());
+        engine.run_specs(&[QuerySpec::collect(PathQuery::new(0u32, 15u32, 6))]);
+        assert_eq!(engine.index_reuse().rebuilds, 1);
+        // A later exists probe over the same shape is a pure index hit — and free.
+        let outcome = engine.run_specs(&[QuerySpec::exists(PathQuery::new(0u32, 15u32, 6))]);
+        assert_eq!(engine.index_reuse().hits, 1);
+        assert!(outcome.responses[0].exists());
+        assert_eq!(outcome.stats.counters.expanded_vertices, 0);
+        // Empty spec batches are no-ops.
+        assert!(engine.run_specs(&[]).responses.is_empty());
+        assert!(engine
+            .run_specs_parallel(&[], Parallelism::Fixed(2))
+            .responses
+            .is_empty());
+    }
+
+    #[test]
+    fn path_budgets_cap_every_mode() {
+        let g = complete(6);
+        let q = PathQuery::new(0u32, 5u32, 4);
+        let total = enumerate_reference(&g, &q).len() as u64;
+        assert!(total > 4);
+        let mut engine = Engine::new(g, BatchEngine::default());
+        let outcome = engine.run_specs(&[
+            QuerySpec::count(q).with_path_budget(3),
+            QuerySpec::collect(q).with_path_budget(2),
+            QuerySpec::first_k(q, 10).with_path_budget(1),
+            QuerySpec::count(q),
+        ]);
+        assert_eq!(outcome.responses[0], crate::QueryResponse::Count(3));
+        assert_eq!(outcome.responses[1].count(), Some(2));
+        assert_eq!(outcome.responses[2].count(), Some(1));
+        assert_eq!(outcome.responses[3], crate::QueryResponse::Count(total));
+    }
+
+    #[test]
+    fn one_shot_engine_run_specs_matches_the_reusable_engine() {
+        let g = grid(4, 4);
+        let specs = vec![
+            QuerySpec::exists(PathQuery::new(0u32, 15u32, 6)),
+            QuerySpec::first_k(PathQuery::new(1u32, 15u32, 6), 2),
+            QuerySpec::count(PathQuery::new(0u32, 11u32, 5)),
+        ];
+        for algorithm in Algorithm::ALL {
+            let one_shot = BatchEngine::with_algorithm(algorithm).run_specs(&g, &specs);
+            let mut reusable = Engine::with_algorithm(g.clone(), algorithm);
+            assert_eq!(
+                one_shot.responses,
+                reusable.run_specs(&specs).responses,
+                "{algorithm}"
+            );
+        }
+        assert!(BatchEngine::default()
+            .run_specs(&g, &[])
+            .responses
+            .is_empty());
     }
 
     #[test]

@@ -21,6 +21,12 @@
 //!   [`hcsp_index::BatchIndex`] are hoisted out of the per-batch path, the index is
 //!   extended incrementally for new endpoints and rebuilt only when the hop bound grows.
 //!   This is the building block of the micro-batching serving layer (`hcsp-service`).
+//! * [`spec`] — the typed request/response surface: a [`spec::QuerySpec`] pairs a query
+//!   with a [`spec::ResultMode`] (`Exists | Count | FirstK(k) | Collect`, plus an
+//!   optional path budget) and [`engine::Engine::run_specs`] /
+//!   [`engine::Engine::run_specs_parallel`] answer mixed-mode batches over one shared
+//!   index, stopping each query the moment its mode is satisfied (the [`sink::SinkFlow`]
+//!   verdicts every enumeration core honours).
 //!
 //! ## Quick example
 //!
@@ -57,6 +63,7 @@ pub mod search_order;
 pub mod sharing_graph;
 pub mod similarity;
 pub mod sink;
+pub mod spec;
 pub mod stats;
 
 pub use basic_enum::BasicEnum;
@@ -71,5 +78,6 @@ pub use path::{Path, PathSet};
 pub use pathenum::PathEnum;
 pub use query::{BatchSummary, HcsQuery, PathQuery, QueryId};
 pub use search_order::SearchOrder;
-pub use sink::{CallbackSink, CollectSink, CountSink, PathSink};
+pub use sink::{CallbackSink, CollectSink, ControlSink, CountSink, PathSink, SinkFlow};
+pub use spec::{QueryResponse, QuerySpec, ResultMode, SpecOutcome, SpecSink};
 pub use stats::{EnumStats, MicroBatchStats, SearchCounters, ServiceStats, Stage};

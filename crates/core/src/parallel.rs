@@ -40,7 +40,8 @@ use crate::pathenum::PathEnum;
 use crate::query::{BatchSummary, PathQuery, QueryId};
 use crate::search_order::SearchOrder;
 use crate::similarity::{QueryNeighborhood, SimilarityMatrix};
-use crate::sink::{CollectSink, PathSink};
+use crate::sink::{CollectSink, PathSink, SinkFlow};
+use crate::spec::{QueryResponse, QuerySpec, SpecSink};
 use crate::stats::{EnumStats, Stage};
 use hcsp_graph::DiGraph;
 use hcsp_index::BatchIndex;
@@ -117,6 +118,29 @@ fn split_clusters(clusters: Vec<Vec<QueryId>>, cap: usize) -> Vec<Vec<QueryId>> 
         .collect()
 }
 
+/// The similarity-clustering front of every sharing-mode parallel run: neighbourhoods
+/// from the index, pairwise similarity, γ-threshold clustering, then the optional
+/// cluster-size split. One helper on purpose — plain-batch and spec-mode parallel
+/// execution must cluster identically, or their "same clusters as sequential"
+/// equivalences silently diverge.
+fn cluster_with_cap(
+    index: &BatchIndex,
+    queries: &[PathQuery],
+    gamma: f64,
+    max_cluster_size: Option<usize>,
+) -> Vec<Vec<QueryId>> {
+    let neighborhoods: Vec<QueryNeighborhood> = queries
+        .iter()
+        .map(|q| QueryNeighborhood::from_index(index, q))
+        .collect();
+    let matrix = SimilarityMatrix::compute(&neighborhoods);
+    let mut clusters = cluster_queries(&matrix, gamma);
+    if let Some(cap) = max_cluster_size.filter(|&c| c > 0) {
+        clusters = split_clusters(clusters, cap);
+    }
+    clusters
+}
+
 /// The work-stealing deque set: one deque of shard ids per worker.
 struct ShardDeques {
     queues: Vec<Mutex<VecDeque<usize>>>,
@@ -159,12 +183,21 @@ type ClusterResult = (usize, CollectSink, EnumStats);
 /// Runs `exec` once per cluster across a work-stealing worker pool and returns the
 /// per-cluster results **sorted by cluster index** — the deterministic merge order.
 ///
-/// `exec` receives the cluster index, a local sink sized to the cluster (query offsets,
-/// not batch ids), and the worker's reusable [`SearchBuffers`]; it must behave identically
-/// to the sequential evaluation of that cluster.
-fn execute_sharded<F>(clusters: &[Vec<QueryId>], workers: usize, exec: F) -> Vec<ClusterResult>
+/// `make_sink` builds the cluster's local sink (query ids are cluster offsets, not batch
+/// ids); `exec` receives the cluster index, that sink, and the worker's reusable
+/// [`SearchBuffers`], and must behave identically to the sequential evaluation of the
+/// cluster. Generic over the sink type so the collect-everything runs and the
+/// early-terminating [`SpecSink`] runs share one scheduler.
+fn execute_sharded_with<L, M, F>(
+    clusters: &[Vec<QueryId>],
+    workers: usize,
+    make_sink: M,
+    exec: F,
+) -> Vec<(usize, L, EnumStats)>
 where
-    F: Fn(usize, &mut CollectSink, &mut SearchBuffers) -> EnumStats + Sync,
+    L: Send,
+    M: Fn(usize) -> L + Sync,
+    F: Fn(usize, &mut L, &mut SearchBuffers) -> EnumStats + Sync,
 {
     let workers = workers.clamp(1, clusters.len().max(1));
     let shards = plan_shards(
@@ -172,20 +205,22 @@ where
         workers * SHARDS_PER_WORKER,
     );
     let deques = ShardDeques::seed(shards.len(), workers);
-    let collected: Mutex<Vec<ClusterResult>> = Mutex::new(Vec::with_capacity(clusters.len()));
+    let collected: Mutex<Vec<(usize, L, EnumStats)>> =
+        Mutex::new(Vec::with_capacity(clusters.len()));
 
     std::thread::scope(|scope| {
         for worker in 0..workers {
             let shards = &shards;
             let deques = &deques;
             let collected = &collected;
+            let make_sink = &make_sink;
             let exec = &exec;
             scope.spawn(move || {
                 let mut buffers = SearchBuffers::new();
-                let mut local: Vec<ClusterResult> = Vec::new();
+                let mut local: Vec<(usize, L, EnumStats)> = Vec::new();
                 while let Some(shard) = deques.next(worker) {
                     for &cluster_idx in &shards[shard] {
-                        let mut sink = CollectSink::new(clusters[cluster_idx].len());
+                        let mut sink = make_sink(cluster_idx);
                         let stats = exec(cluster_idx, &mut sink, &mut buffers);
                         local.push((cluster_idx, sink, stats));
                     }
@@ -200,6 +235,20 @@ where
     results
 }
 
+/// [`execute_sharded_with`] specialised to local [`CollectSink`]s (the classic
+/// collect-everything runs).
+fn execute_sharded<F>(clusters: &[Vec<QueryId>], workers: usize, exec: F) -> Vec<ClusterResult>
+where
+    F: Fn(usize, &mut CollectSink, &mut SearchBuffers) -> EnumStats + Sync,
+{
+    execute_sharded_with(
+        clusters,
+        workers,
+        |cluster_idx| CollectSink::new(clusters[cluster_idx].len()),
+        exec,
+    )
+}
+
 /// Merges sorted per-cluster results into the caller's sink and stats, in cluster order.
 ///
 /// Counters and the `IdentifySubquery` stage (a CPU-side total, exactly as the sequential
@@ -207,11 +256,57 @@ where
 /// summed from the per-cluster stats — with concurrent workers that would report total
 /// CPU time, up to `workers ×` the elapsed time. The callers record the wall-clock of
 /// their whole parallel region as `Enumeration` instead.
+///
+/// Sink verdicts are honoured at delivery time: a `SkipQuery` drops the query's
+/// remaining buffered paths, a `Stop` ends delivery outright (the enumeration work has
+/// already happened inside the workers — these paths run through the quota-blind
+/// collect-everything pipeline — but the sink is never called past its verdict, exactly
+/// as the [`PathSink::accept`] contract promises). Stats still cover every evaluated
+/// cluster. Sinks that want the parallel *work saving* too go through the spec pipeline
+/// ([`crate::Engine::run_specs_parallel`]), where workers carry the quotas themselves.
 fn merge_results<S: PathSink>(
     clusters: &[Vec<QueryId>],
     results: Vec<ClusterResult>,
     stats: &mut EnumStats,
     sink: &mut S,
+) {
+    let mut stopped = false;
+    for (cluster_idx, local, cluster_stats) in results {
+        stats.counters.merge(&cluster_stats.counters);
+        stats.num_shared_subqueries += cluster_stats.num_shared_subqueries;
+        stats.peak_cached_results = stats
+            .peak_cached_results
+            .max(cluster_stats.peak_cached_results);
+        stats.add_stage(
+            Stage::IdentifySubquery,
+            cluster_stats.stage_time(Stage::IdentifySubquery),
+        );
+        if stopped {
+            continue;
+        }
+        'cluster: for (offset, &qid) in clusters[cluster_idx].iter().enumerate() {
+            for path in local.paths(offset).iter() {
+                match sink.accept(qid, path) {
+                    SinkFlow::Continue => {}
+                    SinkFlow::SkipQuery => break,
+                    SinkFlow::Stop => {
+                        stopped = true;
+                        break 'cluster;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Merges sorted per-cluster spec results into the caller's stats and response slots, in
+/// cluster order (the spec-mode sibling of [`merge_results`]: responses are typed values,
+/// not replayed paths — a worker-local `Count` cannot be reconstructed from paths).
+fn merge_spec_results(
+    clusters: &[Vec<QueryId>],
+    results: Vec<(usize, SpecSink, EnumStats)>,
+    stats: &mut EnumStats,
+    responses: &mut [Option<QueryResponse>],
 ) {
     for (cluster_idx, local, cluster_stats) in results {
         stats.counters.merge(&cluster_stats.counters);
@@ -223,12 +318,133 @@ fn merge_results<S: PathSink>(
             Stage::IdentifySubquery,
             cluster_stats.stage_time(Stage::IdentifySubquery),
         );
-        for (offset, &qid) in clusters[cluster_idx].iter().enumerate() {
-            for path in local.paths(offset).iter() {
-                sink.accept(qid, path);
-            }
+        for (&qid, response) in clusters[cluster_idx].iter().zip(local.into_responses()) {
+            responses[qid] = Some(response);
         }
     }
+}
+
+/// Parallel spec execution for the `PathEnum` baseline: every spec is its own cluster
+/// (per-query index, per-query enumeration), workers run the quota-aware per-query
+/// pipeline against a worker-local [`SpecSink`], so `Exists`/`FirstK` specs terminate
+/// their DFS early exactly as they would sequentially. Responses are merged in query
+/// order — identical to the sequential run.
+pub(crate) fn run_specs_parallel_pathenum(
+    graph: &DiGraph,
+    specs: &[QuerySpec],
+    order: SearchOrder,
+    parallelism: Parallelism,
+) -> (Vec<QueryResponse>, EnumStats) {
+    let mut stats = EnumStats::new(specs.len());
+    stats.num_clusters = specs.len();
+    let mut responses: Vec<Option<QueryResponse>> = vec![None; specs.len()];
+    if specs.is_empty() {
+        return (Vec::new(), stats);
+    }
+    let start = Instant::now();
+    let clusters: Vec<Vec<QueryId>> = (0..specs.len()).map(|q| vec![q]).collect();
+    let per_query = PathEnum::new(order);
+    let results = execute_sharded_with(
+        &clusters,
+        parallelism.workers(),
+        |ci| SpecSink::new(&specs[ci..=ci]),
+        |ci, local, buf| {
+            let mut cluster_stats = EnumStats::new(1);
+            per_query.run_single_buffered(
+                graph,
+                &specs[ci].query,
+                0,
+                local,
+                &mut cluster_stats,
+                buf,
+            );
+            cluster_stats
+        },
+    );
+    merge_spec_results(&clusters, results, &mut stats, &mut responses);
+    stats.add_stage(Stage::Enumeration, start.elapsed());
+    let responses = responses
+        .into_iter()
+        .map(|r| r.expect("every spec is covered by exactly one cluster"))
+        .collect();
+    (responses, stats)
+}
+
+/// Parallel spec execution against a shared (possibly superset) index.
+///
+/// `shared = false` runs the `BasicEnum` shape (one query per cluster, no sharing);
+/// `shared = true` clusters by neighbourhood similarity exactly like the sequential
+/// `BatchEnum` (γ, then the optional `max_cluster_size` split) and evaluates each
+/// cluster's full shared pipeline on the worker pool. Each worker drives a local
+/// [`SpecSink`] over its cluster's specs, so a query's early termination — join
+/// short-circuits, dropped cluster work — happens inside the worker, and the responses
+/// are byte-identical to a sequential [`crate::spec::SpecSink`] run over the same
+/// clusters (each query lives in exactly one cluster, evaluated in sequential order).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_specs_parallel_with_index(
+    graph: &DiGraph,
+    index: &BatchIndex,
+    specs: &[QuerySpec],
+    order: SearchOrder,
+    gamma: f64,
+    shared: bool,
+    max_cluster_size: Option<usize>,
+    parallelism: Parallelism,
+) -> (Vec<QueryResponse>, EnumStats) {
+    let mut stats = EnumStats::new(specs.len());
+    let mut responses: Vec<Option<QueryResponse>> = vec![None; specs.len()];
+    if specs.is_empty() {
+        return (Vec::new(), stats);
+    }
+
+    let start = Instant::now();
+    let queries: Vec<PathQuery> = specs.iter().map(|s| s.query).collect();
+    let clusters: Vec<Vec<QueryId>> = if shared {
+        cluster_with_cap(index, &queries, gamma, max_cluster_size)
+    } else {
+        (0..specs.len()).map(|q| vec![q]).collect()
+    };
+    stats.num_clusters = clusters.len();
+    stats.add_stage(Stage::ClusterQuery, start.elapsed());
+
+    let start = Instant::now();
+    let per_query = PathEnum::new(order);
+    let sequential = BatchEnum::new(order, 1.0);
+    let results = execute_sharded_with(
+        &clusters,
+        parallelism.workers(),
+        |ci| {
+            let cluster_specs: Vec<QuerySpec> =
+                clusters[ci].iter().map(|&qid| specs[qid]).collect();
+            SpecSink::new(&cluster_specs)
+        },
+        |ci, local, buf| {
+            if shared {
+                let cluster_queries_list: Vec<PathQuery> =
+                    clusters[ci].iter().map(|&qid| queries[qid]).collect();
+                sequential.run_cluster_for_parallel(graph, index, &cluster_queries_list, local, buf)
+            } else {
+                let mut cluster_stats = EnumStats::new(1);
+                per_query.run_with_index_buffered(
+                    graph,
+                    index,
+                    &queries[clusters[ci][0]],
+                    0,
+                    local,
+                    &mut cluster_stats,
+                    buf,
+                );
+                cluster_stats
+            }
+        },
+    );
+    merge_spec_results(&clusters, results, &mut stats, &mut responses);
+    stats.add_stage(Stage::Enumeration, start.elapsed());
+    let responses = responses
+        .into_iter()
+        .map(|r| r.expect("every spec is covered by exactly one cluster"))
+        .collect();
+    (responses, stats)
 }
 
 /// The "more servers" baseline: every query is enumerated independently (PathEnum against
@@ -454,15 +670,7 @@ impl ParallelBatchEnum {
         // Clustering is identical to the sequential BatchEnum; the optional cap then
         // splits oversized clusters into bounded, consecutive sub-clusters.
         let start = Instant::now();
-        let neighborhoods: Vec<QueryNeighborhood> = queries
-            .iter()
-            .map(|q| QueryNeighborhood::from_index(index, q))
-            .collect();
-        let matrix = SimilarityMatrix::compute(&neighborhoods);
-        let mut clusters = cluster_queries(&matrix, self.gamma);
-        if let Some(cap) = self.max_cluster_size.filter(|&c| c > 0) {
-            clusters = split_clusters(clusters, cap);
-        }
+        let clusters = cluster_with_cap(index, queries, self.gamma, self.max_cluster_size);
         stats.num_clusters = clusters.len();
         stats.add_stage(Stage::ClusterQuery, start.elapsed());
 
@@ -728,6 +936,42 @@ mod tests {
             split_clusters(clusters, 2),
             vec![vec![0, 1], vec![2, 3], vec![4], vec![5], vec![6, 7]]
         );
+    }
+
+    #[test]
+    fn parallel_merge_honours_sink_verdicts() {
+        let g = complete(6);
+        let queries = vec![PathQuery::new(0u32, 5u32, 3), PathQuery::new(1u32, 4u32, 3)];
+        let reference = reference_counts(&g, &queries);
+        assert!(reference.iter().all(|&c| c > 2));
+
+        // SkipQuery after 2 paths per query: each query delivers exactly 2.
+        let mut per_query = vec![0u64; queries.len()];
+        {
+            let mut sink = crate::sink::ControlSink::new(|q, _p: &[hcsp_graph::VertexId]| {
+                per_query[q] += 1;
+                if per_query[q] >= 2 {
+                    SinkFlow::SkipQuery
+                } else {
+                    SinkFlow::Continue
+                }
+            });
+            ParallelBasicEnum::new(SearchOrder::VertexId, Parallelism::Fixed(2))
+                .run_batch(&g, &queries, &mut sink);
+        }
+        assert_eq!(per_query, vec![2, 2], "no accept past a SkipQuery verdict");
+
+        // Stop after the first path: delivery ends for the whole batch.
+        let mut total = 0u64;
+        {
+            let mut sink = crate::sink::ControlSink::new(|_q, _p: &[hcsp_graph::VertexId]| {
+                total += 1;
+                SinkFlow::Stop
+            });
+            ParallelBasicEnum::new(SearchOrder::VertexId, Parallelism::Fixed(2))
+                .run_batch(&g, &queries, &mut sink);
+        }
+        assert_eq!(total, 1, "no accept past a Stop verdict");
     }
 
     #[test]

@@ -10,6 +10,7 @@ use crate::buffers::SearchBuffers;
 use crate::path::PathSet;
 use crate::query::PathQuery;
 use crate::search_order::SearchOrder;
+use crate::sink::SinkFlow;
 use crate::stats::SearchCounters;
 use hcsp_graph::{DiGraph, Direction, VertexId};
 use hcsp_index::BatchIndex;
@@ -67,38 +68,80 @@ impl<'a> SearchContext<'a> {
         buffers: &mut SearchBuffers,
         prefixes: &mut PathSet,
     ) {
+        prefixes.clear();
+        // `stored_prefixes` counts *materialised* prefixes, so it is accounted here —
+        // at the push — not inside the DFS: the streaming strategy visits prefixes
+        // without ever storing them and must not report storage work it skipped.
+        let mut stored = 0u64;
+        self.enumerate_half_with(query, dir, counters, buffers, |prefix| {
+            stored += 1;
+            prefixes.push_slice(prefix);
+            SinkFlow::Continue
+        });
+        counters.stored_prefixes += stored;
+    }
+
+    /// Streaming form of the half search: `visit` is called once per simple prefix, in
+    /// exactly the order [`SearchContext::enumerate_half_into`] stores them, and its
+    /// [`SinkFlow`] verdict can abort the DFS mid-flight (the early-termination hook of
+    /// the `Exists` / `FirstK` result modes: the prefix set is never materialised, and
+    /// the search stops the instant the downstream sink is satisfied).
+    ///
+    /// Returns the verdict that aborted the search, or `Continue` when it was exhausted.
+    /// Counters count the visited portion only, so early-terminated runs report their
+    /// genuinely smaller search effort.
+    pub fn enumerate_half_with<F>(
+        &self,
+        query: &PathQuery,
+        dir: Direction,
+        counters: &mut SearchCounters,
+        buffers: &mut SearchBuffers,
+        mut visit: F,
+    ) -> SinkFlow
+    where
+        F: FnMut(&[VertexId]) -> SinkFlow,
+    {
         let root = query.root(dir);
         let anchor = query.anchor(dir);
         let budget = query.budget(dir);
         let hop_limit = query.hop_limit;
-        prefixes.clear();
         buffers.begin_traversal(self.graph);
         buffers.stack.push(root);
         buffers.marks.mark(root);
-        self.extend_prefix(buffers, dir, anchor, budget, hop_limit, prefixes, counters);
+        self.extend_prefix(
+            buffers, dir, anchor, budget, hop_limit, &mut visit, counters,
+        )
     }
 
     /// Recursive prefix extension. `buffers.stack` holds the current prefix (root first),
     /// mirrored by `buffers.marks`; each open level occupies one range of the shared
-    /// candidate arena.
+    /// candidate arena. A non-`Continue` verdict from `visit` unwinds the recursion
+    /// immediately (the arena is not repaired level by level on that path —
+    /// [`SearchBuffers::begin_traversal`](crate::buffers::SearchBuffers) resets it before
+    /// the next traversal).
     #[allow(clippy::too_many_arguments)]
-    fn extend_prefix(
+    fn extend_prefix<F>(
         &self,
         buffers: &mut SearchBuffers,
         dir: Direction,
         anchor: VertexId,
         budget: u32,
         hop_limit: u32,
-        prefixes: &mut PathSet,
+        visit: &mut F,
         counters: &mut SearchCounters,
-    ) {
+    ) -> SinkFlow
+    where
+        F: FnMut(&[VertexId]) -> SinkFlow,
+    {
         counters.expanded_vertices += 1;
-        counters.stored_prefixes += 1;
-        prefixes.push_slice(&buffers.stack);
+        let flow = visit(&buffers.stack);
+        if !flow.is_continue() {
+            return flow;
+        }
 
         let current_hops = (buffers.stack.len() - 1) as u32;
         if current_hops >= budget {
-            return;
+            return SinkFlow::Continue;
         }
         let last = *buffers.stack.last().expect("prefix is never empty");
         let level_start = buffers.candidates.len();
@@ -132,11 +175,15 @@ impl<'a> SearchContext<'a> {
             let w = buffers.candidates[i];
             buffers.stack.push(w);
             buffers.marks.mark(w);
-            self.extend_prefix(buffers, dir, anchor, budget, hop_limit, prefixes, counters);
+            let flow = self.extend_prefix(buffers, dir, anchor, budget, hop_limit, visit, counters);
             buffers.marks.unmark(w);
             buffers.stack.pop();
+            if !flow.is_continue() {
+                return flow;
+            }
         }
         buffers.candidates.truncate(level_start);
+        SinkFlow::Continue
     }
 }
 
@@ -283,6 +330,51 @@ mod tests {
                 assert_eq!(c1, c2);
             }
         }
+    }
+
+    #[test]
+    fn streaming_half_search_aborts_and_leaves_buffers_reusable() {
+        let g = complete(5);
+        let q = PathQuery::new(0u32, 1u32, 4);
+        let index = index_for(&g, &q);
+        let ctx = SearchContext::new(&g, &index, SearchOrder::VertexId);
+        let mut c_full = SearchCounters::default();
+        let full = ctx.enumerate_half(&q, Direction::Forward, &mut c_full);
+        assert!(full.len() > 3);
+
+        // Abort after 3 visited prefixes: they match the full run's first 3, in order.
+        let mut buffers = crate::buffers::SearchBuffers::for_graph(&g);
+        let mut c_short = SearchCounters::default();
+        let mut seen: Vec<Vec<VertexId>> = Vec::new();
+        let flow =
+            ctx.enumerate_half_with(&q, Direction::Forward, &mut c_short, &mut buffers, |p| {
+                seen.push(p.to_vec());
+                if seen.len() == 3 {
+                    SinkFlow::SkipQuery
+                } else {
+                    SinkFlow::Continue
+                }
+            });
+        assert_eq!(flow, SinkFlow::SkipQuery);
+        let first_three: Vec<Vec<VertexId>> = full.iter().take(3).map(|p| p.to_vec()).collect();
+        assert_eq!(seen, first_three);
+        assert!(
+            c_short.expanded_vertices < c_full.expanded_vertices,
+            "an aborted search must report less work"
+        );
+
+        // The same buffers run a full traversal afterwards: identical output.
+        let mut reused = PathSet::new();
+        let mut c_again = SearchCounters::default();
+        ctx.enumerate_half_into(
+            &q,
+            Direction::Forward,
+            &mut c_again,
+            &mut buffers,
+            &mut reused,
+        );
+        assert_eq!(reused, full);
+        assert_eq!(c_again, c_full);
     }
 
     #[test]

@@ -1,25 +1,87 @@
-//! Output sinks for enumerated HC-s-t paths.
+//! Output sinks for enumerated HC-s-t paths, with early-termination control flow.
 //!
 //! The paper's experiments never materialise the full result set of the largest queries
 //! (it can exceed 10^10 paths, Fig. 13); they measure enumeration throughput. A
 //! [`PathSink`] lets callers choose between collecting paths, counting them, or streaming
 //! them to a callback, all through the same enumeration code path.
+//!
+//! Since the request/response redesign, `accept` returns a [`SinkFlow`] verdict: a sink
+//! that has everything it needs for a query (an `Exists` probe after the first path, a
+//! `FirstK` request after `k` paths — see [`crate::spec::SpecSink`]) answers
+//! [`SinkFlow::SkipQuery`] and the enumeration core abandons that query's remaining work
+//! immediately; [`SinkFlow::Stop`] aborts the whole batch. The companion
+//! [`PathSink::remaining_quota`] hint lets the per-query drivers pick a short-circuiting
+//! execution strategy *before* doing any work (streaming join instead of materialising
+//! both halves, or skipping a satisfied query outright).
 
 use crate::path::PathSet;
 use crate::query::QueryId;
 use hcsp_graph::VertexId;
 
+/// Control-flow verdict a [`PathSink`] returns from [`PathSink::accept`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SinkFlow {
+    /// Keep enumerating: the sink wants more results for this query.
+    #[default]
+    Continue,
+    /// This query is satisfied: drop its remaining enumeration work, continue the batch.
+    SkipQuery,
+    /// Every query is satisfied: abandon all remaining batch work.
+    Stop,
+}
+
+impl SinkFlow {
+    /// Whether enumeration for the current query should go on.
+    #[inline]
+    pub fn is_continue(self) -> bool {
+        matches!(self, SinkFlow::Continue)
+    }
+
+    /// Whether the whole batch should stop (not just the current query).
+    #[inline]
+    pub fn stops_batch(self) -> bool {
+        matches!(self, SinkFlow::Stop)
+    }
+
+    /// Collapses a per-query verdict into a batch-level one: `Stop` propagates,
+    /// `SkipQuery` is consumed (the query is done, the batch goes on).
+    #[inline]
+    pub fn batch_flow(self) -> SinkFlow {
+        match self {
+            SinkFlow::Stop => SinkFlow::Stop,
+            _ => SinkFlow::Continue,
+        }
+    }
+}
+
 /// Receives every result path of every query of a batch.
 pub trait PathSink {
     /// Called once per enumerated HC-s-t path with the originating query and the full
-    /// vertex sequence (from `s` to `t`).
-    fn accept(&mut self, query: QueryId, path: &[VertexId]);
+    /// vertex sequence (from `s` to `t`). The returned [`SinkFlow`] verdict is honoured
+    /// by every enumeration core: `SkipQuery` stops the query the moment its result mode
+    /// is satisfied, `Stop` aborts the remaining batch.
+    fn accept(&mut self, query: QueryId, path: &[VertexId]) -> SinkFlow;
+
+    /// How many more accepted paths the sink could possibly want for `query`;
+    /// `None` means unbounded (the default).
+    ///
+    /// `Some(0)` lets a driver skip the query's work entirely; any other `Some(_)`
+    /// invites a short-circuiting strategy (e.g. the streaming half-search join of
+    /// [`crate::pathenum::PathEnum`] that terminates the DFS mid-flight instead of
+    /// materialising both halves).
+    fn remaining_quota(&self, _query: QueryId) -> Option<u64> {
+        None
+    }
 
     /// Called when the batch finishes; default is a no-op.
     fn finish(&mut self) {}
 }
 
 /// Counts results per query without storing them.
+///
+/// The sink must be sized to the batch up front ([`CountSink::new`]); an out-of-range
+/// [`QueryId`] is a bug in the caller's id routing and panics instead of growing silently
+/// (silent growth historically masked query-id mix-ups in result merging).
 #[derive(Debug, Default, Clone)]
 pub struct CountSink {
     counts: Vec<u64>,
@@ -50,15 +112,22 @@ impl CountSink {
 }
 
 impl PathSink for CountSink {
-    fn accept(&mut self, query: QueryId, _path: &[VertexId]) {
-        if query >= self.counts.len() {
-            self.counts.resize(query + 1, 0);
-        }
+    fn accept(&mut self, query: QueryId, _path: &[VertexId]) -> SinkFlow {
+        debug_assert!(
+            query < self.counts.len(),
+            "query id {query} out of range for a CountSink of {} queries — size the sink \
+             to the batch up front",
+            self.counts.len()
+        );
         self.counts[query] += 1;
+        SinkFlow::Continue
     }
 }
 
 /// Collects the full result paths per query into [`PathSet`] arenas.
+///
+/// Like [`CountSink`], the sink is sized up front and panics on an out-of-range
+/// [`QueryId`] instead of growing silently.
 #[derive(Debug, Default, Clone)]
 pub struct CollectSink {
     per_query: Vec<PathSet>,
@@ -94,11 +163,15 @@ impl CollectSink {
 }
 
 impl PathSink for CollectSink {
-    fn accept(&mut self, query: QueryId, path: &[VertexId]) {
-        if query >= self.per_query.len() {
-            self.per_query.resize(query + 1, PathSet::new());
-        }
+    fn accept(&mut self, query: QueryId, path: &[VertexId]) -> SinkFlow {
+        debug_assert!(
+            query < self.per_query.len(),
+            "query id {query} out of range for a CollectSink of {} queries — size the \
+             sink to the batch up front",
+            self.per_query.len()
+        );
         self.per_query[query].push_slice(path);
+        SinkFlow::Continue
     }
 }
 
@@ -115,8 +188,29 @@ impl<F: FnMut(QueryId, &[VertexId])> CallbackSink<F> {
 }
 
 impl<F: FnMut(QueryId, &[VertexId])> PathSink for CallbackSink<F> {
-    fn accept(&mut self, query: QueryId, path: &[VertexId]) {
+    fn accept(&mut self, query: QueryId, path: &[VertexId]) -> SinkFlow {
         (self.callback)(query, path);
+        SinkFlow::Continue
+    }
+}
+
+/// Streams every path to a closure that returns its own [`SinkFlow`] verdict (the
+/// control-flow-aware sibling of [`CallbackSink`], for callers that implement custom
+/// early termination without defining a sink type).
+pub struct ControlSink<F: FnMut(QueryId, &[VertexId]) -> SinkFlow> {
+    callback: F,
+}
+
+impl<F: FnMut(QueryId, &[VertexId]) -> SinkFlow> ControlSink<F> {
+    /// Wraps a verdict-returning closure as a sink.
+    pub fn new(callback: F) -> Self {
+        ControlSink { callback }
+    }
+}
+
+impl<F: FnMut(QueryId, &[VertexId]) -> SinkFlow> PathSink for ControlSink<F> {
+    fn accept(&mut self, query: QueryId, path: &[VertexId]) -> SinkFlow {
+        (self.callback)(query, path)
     }
 }
 
@@ -131,7 +225,7 @@ mod tests {
     #[test]
     fn count_sink_counts_per_query() {
         let mut sink = CountSink::new(2);
-        sink.accept(0, &v(&[1, 2]));
+        assert_eq!(sink.accept(0, &v(&[1, 2])), SinkFlow::Continue);
         sink.accept(0, &v(&[1, 3]));
         sink.accept(1, &v(&[4, 5]));
         sink.finish();
@@ -140,20 +234,20 @@ mod tests {
         assert_eq!(sink.count(7), 0);
         assert_eq!(sink.total(), 3);
         assert_eq!(sink.counts(), &[2, 1]);
+        assert_eq!(sink.remaining_quota(0), None);
     }
 
     #[test]
-    fn count_sink_grows_on_demand() {
-        let mut sink = CountSink::default();
+    #[should_panic]
+    fn count_sink_rejects_out_of_range_ids() {
+        let mut sink = CountSink::new(2);
         sink.accept(3, &v(&[1]));
-        assert_eq!(sink.count(3), 1);
-        assert_eq!(sink.count(0), 0);
     }
 
     #[test]
     fn collect_sink_stores_paths() {
         let mut sink = CollectSink::new(1);
-        sink.accept(0, &v(&[0, 1, 2]));
+        assert_eq!(sink.accept(0, &v(&[0, 1, 2])), SinkFlow::Continue);
         sink.accept(0, &v(&[0, 3, 2]));
         assert_eq!(sink.paths(0).len(), 2);
         assert_eq!(sink.total(), 2);
@@ -164,11 +258,10 @@ mod tests {
     }
 
     #[test]
-    fn collect_sink_grows_on_demand() {
-        let mut sink = CollectSink::default();
+    #[should_panic]
+    fn collect_sink_rejects_out_of_range_ids() {
+        let mut sink = CollectSink::new(1);
         sink.accept(2, &v(&[5, 6]));
-        assert_eq!(sink.paths(2).len(), 1);
-        assert_eq!(sink.paths(0).len(), 0);
     }
 
     #[test]
@@ -180,5 +273,31 @@ mod tests {
             sink.accept(5, &v(&[9]));
         }
         assert_eq!(seen, vec![(0, 3), (5, 1)]);
+    }
+
+    #[test]
+    fn control_sink_propagates_the_closure_verdict() {
+        let mut taken = 0;
+        let mut sink = ControlSink::new(|_q, _p: &[VertexId]| {
+            taken += 1;
+            if taken >= 2 {
+                SinkFlow::SkipQuery
+            } else {
+                SinkFlow::Continue
+            }
+        });
+        assert_eq!(sink.accept(0, &v(&[1])), SinkFlow::Continue);
+        assert_eq!(sink.accept(0, &v(&[2])), SinkFlow::SkipQuery);
+    }
+
+    #[test]
+    fn flow_helpers() {
+        assert!(SinkFlow::Continue.is_continue());
+        assert!(!SinkFlow::SkipQuery.is_continue());
+        assert!(SinkFlow::Stop.stops_batch());
+        assert!(!SinkFlow::SkipQuery.stops_batch());
+        assert_eq!(SinkFlow::SkipQuery.batch_flow(), SinkFlow::Continue);
+        assert_eq!(SinkFlow::Stop.batch_flow(), SinkFlow::Stop);
+        assert_eq!(SinkFlow::default(), SinkFlow::Continue);
     }
 }

@@ -212,8 +212,13 @@ pub struct ServiceStats {
     /// Total HC-s-t paths delivered.
     pub produced_paths: u64,
     /// Graph-update batches applied across the worker pool (each counted once, however
-    /// many worker engines replicated it).
+    /// many worker engines replicated it). Consecutive update submissions sitting in the
+    /// admission queue coalesce into one batch, so this can be smaller than
+    /// [`ServiceStats::update_calls`].
     pub update_batches: usize,
+    /// Update submissions (`PathService::update` calls) absorbed by those batches;
+    /// `update_calls − update_batches` submissions were coalesced.
+    pub update_calls: usize,
     /// Individual edge mutations those batches applied (net of no-ops).
     pub updates_applied: usize,
 }
@@ -231,9 +236,11 @@ impl ServiceStats {
         self.produced_paths += batch.run.counters.produced_paths;
     }
 
-    /// Folds one applied graph-update batch into the aggregate.
-    pub fn record_update(&mut self, summary: &crate::engine::UpdateSummary) {
+    /// Folds one applied graph-update batch into the aggregate; `calls` is the number of
+    /// update submissions the batch coalesced (1 when nothing was queued behind it).
+    pub fn record_update(&mut self, summary: &crate::engine::UpdateSummary, calls: usize) {
         self.update_batches += 1;
+        self.update_calls += calls;
         self.updates_applied += summary.applied;
     }
 

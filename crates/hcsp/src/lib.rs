@@ -69,14 +69,14 @@ pub mod workload {
 /// The most commonly used items, for `use hcsp::prelude::*`.
 pub mod prelude {
     pub use hcsp_core::{
-        Algorithm, BatchEngine, BatchOutcome, CallbackSink, CollectSink, CountSink, Engine,
-        EnumStats, MicroBatchStats, ParallelBasicEnum, ParallelBatchEnum, Parallelism, Path,
-        PathQuery, PathSet, PathSink, SearchBuffers, SearchOrder, ServiceStats, Stage,
-        UpdateSummary,
+        Algorithm, BatchEngine, BatchOutcome, CallbackSink, CollectSink, ControlSink, CountSink,
+        Engine, EnumStats, MicroBatchStats, ParallelBasicEnum, ParallelBatchEnum, Parallelism,
+        Path, PathQuery, PathSet, PathSink, QueryResponse, QuerySpec, ResultMode, SearchBuffers,
+        SearchOrder, ServiceStats, SinkFlow, SpecOutcome, SpecSink, Stage, UpdateSummary,
     };
     pub use hcsp_graph::{DeltaGraph, DiGraph, Direction, GraphBuilder, GraphUpdate, VertexId};
     pub use hcsp_index::BatchIndex;
-    pub use hcsp_service::{BatchPolicy, PathService, UpdateHandle};
+    pub use hcsp_service::{BatchPolicy, PathService, SpecHandle, SpecResult, UpdateHandle};
 }
 
 pub use hcsp_core::{Algorithm, BatchEngine, PathQuery};

@@ -31,9 +31,13 @@ pub mod policy;
 pub mod service;
 
 pub use policy::BatchPolicy;
-pub use service::{PathService, PathServiceBuilder, QueryHandle, QueryResult, UpdateHandle};
+pub use service::{
+    PathService, PathServiceBuilder, QueryHandle, QueryResult, SpecHandle, SpecResult, UpdateHandle,
+};
 
-// Re-exported so service users can read the aggregate counters and submit graph updates
-// without naming hcsp-core / hcsp-graph.
-pub use hcsp_core::{MicroBatchStats, ServiceStats, UpdateSummary};
+// Re-exported so service users can build typed requests, read the aggregate counters and
+// submit graph updates without naming hcsp-core / hcsp-graph.
+pub use hcsp_core::{
+    MicroBatchStats, QueryResponse, QuerySpec, ResultMode, ServiceStats, UpdateSummary,
+};
 pub use hcsp_graph::GraphUpdate;

@@ -1,37 +1,55 @@
-//! The long-lived serving layer: accept queries one at a time, execute them in shared
-//! micro-batches.
+//! The long-lived serving layer: accept typed query requests one at a time, execute them
+//! in shared micro-batches.
 //!
 //! ```text
-//!  submit() ──► admission queue ──► batcher thread ──► micro-batch queue ──► worker pool
-//!     │         (mpsc channel)      closes windows       (mpsc channel)     one reusable
-//!     │                             by size/deadline                        Engine each
-//!     ▼                                                                          │
-//!  QueryHandle ◄────────────────── per-query result slots ◄────────────────── CollectSink
+//!  submit_spec() ─► admission queue ─► batcher thread ─► micro-batch queue ─► worker pool
+//!     │             (mpsc channel)     closes windows      (mpsc channel)    one reusable
+//!     │                                by size/deadline                      Engine each
+//!     ▼                                                                           │
+//!  SpecHandle ◄──────────────────── per-query result slots ◄──────────── Engine::run_specs
 //! ```
 //!
 //! Every worker owns a reusable [`Engine`], so the batch index survives across
 //! micro-batches: repeated endpoints cost no BFS work, new endpoints extend the index
-//! incrementally, and only a growing hop bound forces a rebuild. Results are routed back
-//! per query through the core [`PathSink`](hcsp_core::PathSink) abstraction
-//! ([`CollectSink`] inside the worker) and handed to the caller via [`QueryHandle`]s.
+//! incrementally, and only a growing hop bound forces a rebuild. Each submission is a
+//! typed [`QuerySpec`] — result mode plus optional path budget — executed through
+//! [`Engine::run_specs`], so an `Exists` probe or a `FirstK` request stops paying
+//! enumeration cost the moment it is satisfied even when it shares a micro-batch with
+//! full-enumeration queries. The classic [`PathService::submit`] surface remains as a
+//! `Collect`-mode wrapper.
 //!
 //! Graph updates ([`PathService::update`]) travel through the *same* admission queue as
 //! queries: an update closes the open admission window and is applied to every worker
 //! engine behind a rendezvous barrier before any later micro-batch starts, so each query
-//! executes against exactly the snapshot defined by its admission order.
+//! executes against exactly the snapshot defined by its admission order. Consecutive
+//! updates sitting in the queue **coalesce into a single update batch** — one window
+//! close and one rendezvous however many updates arrived back to back — which keeps
+//! micro-batches large under update-heavy traffic.
 
 use crate::policy::BatchPolicy;
 use hcsp_core::{
-    BatchEngine, CollectSink, Engine, MicroBatchStats, Parallelism, PathQuery, PathSet,
-    ServiceStats, UpdateSummary,
+    BatchEngine, Engine, MicroBatchStats, Parallelism, PathQuery, PathSet, QueryResponse,
+    QuerySpec, ServiceStats, UpdateSummary,
 };
 use hcsp_graph::{DiGraph, GraphUpdate};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// The answer to one served query.
+/// The typed answer to one served query spec.
+#[derive(Debug)]
+pub struct SpecResult {
+    /// The mode-shaped response (existence bit, count, or paths).
+    pub response: QueryResponse,
+    /// Time the query spent in the admission queue before its micro-batch started.
+    pub queue_wait: Duration,
+    /// Size of the micro-batch the query was executed in.
+    pub batch_size: usize,
+}
+
+/// The answer to one served `Collect`-mode query (the classic [`PathService::submit`]
+/// surface).
 #[derive(Debug)]
 pub struct QueryResult {
     /// Every HC-s-t path of the query.
@@ -49,12 +67,12 @@ enum SlotState {
     #[default]
     Pending,
     /// The result is available.
-    Ready(QueryResult),
+    Ready(SpecResult),
     /// The query will never be answered (its worker panicked mid-batch).
     Abandoned,
 }
 
-/// One-shot result slot shared between a worker and a [`QueryHandle`].
+/// One-shot result slot shared between a worker and a [`SpecHandle`].
 #[derive(Debug, Default)]
 struct ResultSlot {
     state: Mutex<SlotState>,
@@ -62,7 +80,7 @@ struct ResultSlot {
 }
 
 impl ResultSlot {
-    fn fulfill(&self, result: QueryResult) {
+    fn fulfill(&self, result: SpecResult) {
         let mut state = self.state.lock().unwrap();
         *state = SlotState::Ready(result);
         self.ready.notify_all();
@@ -78,20 +96,20 @@ impl ResultSlot {
     }
 }
 
-/// A claim on the result of one submitted query.
+/// A claim on the typed result of one submitted [`QuerySpec`].
 #[derive(Debug)]
-pub struct QueryHandle {
+pub struct SpecHandle {
     slot: Arc<ResultSlot>,
 }
 
-impl QueryHandle {
-    /// Blocks until the query's micro-batch has executed and returns the result.
+impl SpecHandle {
+    /// Blocks until the spec's micro-batch has executed and returns the typed result.
     ///
     /// # Panics
     ///
-    /// Panics if the worker executing the query's micro-batch panicked (the query can
+    /// Panics if the worker executing the spec's micro-batch panicked (the query can
     /// never be answered; panicking here surfaces the failure instead of hanging forever).
-    pub fn wait(self) -> QueryResult {
+    pub fn wait(self) -> SpecResult {
         let mut state = self.slot.state.lock().unwrap();
         loop {
             match std::mem::take(&mut *state) {
@@ -110,9 +128,40 @@ impl QueryHandle {
     }
 }
 
-/// One queued query together with its arrival time and result slot.
+/// A claim on the result of one submitted `Collect`-mode query (wraps a [`SpecHandle`]).
+#[derive(Debug)]
+pub struct QueryHandle {
+    inner: SpecHandle,
+}
+
+impl QueryHandle {
+    /// Blocks until the query's micro-batch has executed and returns the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker executing the query's micro-batch panicked (the query can
+    /// never be answered; panicking here surfaces the failure instead of hanging forever).
+    pub fn wait(self) -> QueryResult {
+        let result = self.inner.wait();
+        QueryResult {
+            paths: result
+                .response
+                .into_paths()
+                .expect("submit() always runs in Collect mode"),
+            queue_wait: result.queue_wait,
+            batch_size: result.batch_size,
+        }
+    }
+
+    /// Whether the result is already available (non-blocking).
+    pub fn is_ready(&self) -> bool {
+        self.inner.is_ready()
+    }
+}
+
+/// One queued query spec together with its arrival time and result slot.
 struct Submission {
-    query: PathQuery,
+    spec: QuerySpec,
     submitted_at: Instant,
     slot: Arc<ResultSlot>,
 }
@@ -169,9 +218,15 @@ pub struct UpdateHandle {
 }
 
 impl UpdateHandle {
-    /// Blocks until every worker engine has applied the update batch and returns what the
-    /// update did (from the first worker to apply it; all workers hold identical graph
-    /// replicas, so the summaries agree).
+    /// Blocks until every worker engine has applied the update batch and returns what
+    /// the **dispatched batch** did (from the first worker to apply it; all workers hold
+    /// identical graph replicas, so the summaries agree).
+    ///
+    /// Consecutive [`PathService::update`] calls sitting in the admission queue coalesce
+    /// into one dispatched batch, and every coalesced handle resolves with that batch's
+    /// *combined* summary — `applied`/`net_*` may therefore cover more mutations than
+    /// this handle's own call submitted. Per-call attribution needs a `wait()` between
+    /// the calls (which serialises them into separate batches).
     ///
     /// Once `wait` returns, every query submitted *after* the corresponding
     /// [`PathService::update`] call executes against the updated graph — queries
@@ -202,8 +257,18 @@ impl UpdateHandle {
 
 /// An update batch travelling through the admission queue.
 struct UpdateRequest {
-    updates: Arc<Vec<GraphUpdate>>,
+    updates: Vec<GraphUpdate>,
     slot: Arc<UpdateSlot>,
+}
+
+/// One or more [`UpdateRequest`]s merged into a single dispatchable batch: consecutive
+/// updates sitting in the admission queue coalesce here, so the worker pool pays one
+/// window close and one rendezvous for the whole run of updates. Every original
+/// submission keeps its own completion slot; all of them resolve with the combined
+/// batch's summary.
+struct CoalescedUpdate {
+    updates: Arc<Vec<GraphUpdate>>,
+    slots: Vec<Arc<UpdateSlot>>,
 }
 
 /// Everything that can enter the admission queue, in one serialised order: the position
@@ -225,7 +290,8 @@ enum Admission {
 struct UpdateRendezvous {
     state: Mutex<RendezvousState>,
     done: Condvar,
-    slot: Arc<UpdateSlot>,
+    /// Completion slots of every coalesced update submission the batch absorbed.
+    slots: Vec<Arc<UpdateSlot>>,
 }
 
 /// Arrival bookkeeping of one update's rendezvous.
@@ -240,7 +306,7 @@ struct RendezvousState {
 }
 
 impl UpdateRendezvous {
-    fn new(workers: usize, slot: Arc<UpdateSlot>) -> Self {
+    fn new(workers: usize, slots: Vec<Arc<UpdateSlot>>) -> Self {
         UpdateRendezvous {
             state: Mutex::new(RendezvousState {
                 remaining: workers,
@@ -248,14 +314,14 @@ impl UpdateRendezvous {
                 fallback: None,
             }),
             done: Condvar::new(),
-            slot,
+            slots,
         }
     }
 
     /// Reports this worker's application of the update and blocks until all have. The
-    /// last arrival records the agreed summary into `stats` and *then* fulfills the
-    /// handle — a caller returning from [`UpdateHandle::wait`] may immediately snapshot
-    /// [`PathService::stats`] and must see the update counted.
+    /// last arrival records the agreed summary into `stats` and *then* fulfills every
+    /// coalesced handle — a caller returning from [`UpdateHandle::wait`] may immediately
+    /// snapshot [`PathService::stats`] and must see the update counted.
     fn arrive(&self, summary: UpdateSummary, trusted: bool, stats: &Mutex<ServiceStats>) {
         let mut state = self.state.lock().unwrap();
         if trusted {
@@ -271,8 +337,13 @@ impl UpdateRendezvous {
                 .trusted
                 .or(state.fallback)
                 .expect("at least one arrival recorded a summary");
-            stats.lock().unwrap().record_update(&agreed);
-            self.slot.fulfill(agreed);
+            stats
+                .lock()
+                .unwrap()
+                .record_update(&agreed, self.slots.len());
+            for slot in &self.slots {
+                slot.fulfill(agreed);
+            }
             self.done.notify_all();
         } else {
             while state.remaining > 0 {
@@ -284,9 +355,11 @@ impl UpdateRendezvous {
 
 impl Drop for UpdateRendezvous {
     /// Tickets dropped undelivered (service shutting down mid-dispatch) must not leave
-    /// the update handle blocked forever.
+    /// any coalesced update handle blocked forever.
     fn drop(&mut self) {
-        self.slot.abandon();
+        for slot in &self.slots {
+            slot.abandon();
+        }
     }
 }
 
@@ -433,17 +506,33 @@ impl PathServiceBuilder {
 /// closes the open window immediately (queries admitted before it execute against the
 /// old snapshot) and is dispatched as one rendezvous ticket per worker *before* any later
 /// window, so queries admitted after it can only execute once every worker engine has
-/// switched to the new snapshot.
+/// switched to the new snapshot. Before dispatching, every update already sitting in the
+/// admission queue *directly behind* the first one is drained into the same batch
+/// (update-aware admission): a burst of `n` back-to-back updates costs one window close
+/// and one worker rendezvous instead of `n`, so update-heavy traffic no longer shreds
+/// micro-batches. A query encountered while draining ends the run (admission order is
+/// preserved) and seeds the next window.
 fn batcher_loop(
     rx: Receiver<Admission>,
     batch_tx: Sender<WorkItem>,
     policy: BatchPolicy,
     workers: usize,
 ) {
-    while let Ok(first) = rx.recv() {
+    // A query popped while draining coalesced updates; it must open the next window.
+    let mut carry: Option<Submission> = None;
+    loop {
+        let first = match carry.take() {
+            Some(submission) => Admission::Query(submission),
+            None => match rx.recv() {
+                Ok(admission) => admission,
+                Err(_) => return,
+            },
+        };
         let first = match first {
             Admission::Update(request) => {
-                if !dispatch_update(&batch_tx, request, workers) {
+                let (combined, next_query) = coalesce_updates(request, &rx);
+                carry = next_query;
+                if !dispatch_update(&batch_tx, combined, workers) {
                     return;
                 }
                 continue;
@@ -475,7 +564,9 @@ fn batcher_loop(
             return;
         }
         if let Some(request) = window_closer {
-            if !dispatch_update(&batch_tx, request, workers) {
+            let (combined, next_query) = coalesce_updates(request, &rx);
+            carry = next_query;
+            if !dispatch_update(&batch_tx, combined, workers) {
                 return;
             }
         }
@@ -483,13 +574,46 @@ fn batcher_loop(
     // Submission side disconnected: dropping `batch_tx` lets the workers drain and exit.
 }
 
-/// Enqueues one rendezvous ticket per worker for an update. Returns `false` when the
-/// worker pool is gone (the rendezvous' drop abandons the handle).
-fn dispatch_update(batch_tx: &Sender<WorkItem>, request: UpdateRequest, workers: usize) -> bool {
-    let rendezvous = Arc::new(UpdateRendezvous::new(workers, request.slot));
+/// Drains every update immediately queued behind `first` into one combined batch
+/// (mutations concatenated in admission order, one completion slot per original
+/// submission). Draining stops at the first query — returned as the seed of the next
+/// admission window — or when the queue runs dry.
+fn coalesce_updates(
+    first: UpdateRequest,
+    rx: &Receiver<Admission>,
+) -> (CoalescedUpdate, Option<Submission>) {
+    let mut updates = first.updates;
+    let mut slots = vec![first.slot];
+    let mut carry = None;
+    loop {
+        match rx.try_recv() {
+            Ok(Admission::Update(request)) => {
+                updates.extend(request.updates);
+                slots.push(request.slot);
+            }
+            Ok(Admission::Query(submission)) => {
+                carry = Some(submission);
+                break;
+            }
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+        }
+    }
+    (
+        CoalescedUpdate {
+            updates: Arc::new(updates),
+            slots,
+        },
+        carry,
+    )
+}
+
+/// Enqueues one rendezvous ticket per worker for a (coalesced) update batch. Returns
+/// `false` when the worker pool is gone (the rendezvous' drop abandons every handle).
+fn dispatch_update(batch_tx: &Sender<WorkItem>, combined: CoalescedUpdate, workers: usize) -> bool {
+    let rendezvous = Arc::new(UpdateRendezvous::new(workers, combined.slots));
     for _ in 0..workers {
         let ticket = UpdateTicket {
-            updates: Arc::clone(&request.updates),
+            updates: Arc::clone(&combined.updates),
             rendezvous: Arc::clone(&rendezvous),
         };
         if batch_tx.send(WorkItem::Update(ticket)).is_err() {
@@ -557,20 +681,19 @@ fn worker_loop(
         };
 
         let exec_start = Instant::now();
-        let queries: Vec<PathQuery> = batch.iter().map(|s| s.query).collect();
-        let mut sink = CollectSink::new(queries.len());
+        let specs: Vec<QuerySpec> = batch.iter().map(|s| s.spec).collect();
         // A panicking batch (e.g. a query panicking deep in the enumeration) must not
         // kill the worker: the batch's submissions are dropped by the unwind, which
         // abandons their slots (waking the waiters), and the worker serves on with a
         // fresh engine — the cached index may be mid-mutation.
-        let run = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let outcome = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             if exec_threads > 1 {
-                engine.run_parallel_with_sink(&queries, Parallelism::Fixed(exec_threads), &mut sink)
+                engine.run_specs_parallel(&specs, Parallelism::Fixed(exec_threads))
             } else {
-                engine.run_with_sink(&queries, &mut sink)
+                engine.run_specs(&specs)
             }
         })) {
-            Ok(run) => run,
+            Ok(outcome) => outcome,
             Err(_) => {
                 drop(batch);
                 let mut fresh = Engine::new(engine.graph_arc(), engine.config());
@@ -598,13 +721,13 @@ fn worker_loop(
             max_queue_wait,
             total_queue_wait,
             exec_time,
-            run,
+            run: outcome.stats,
         });
 
-        for (submission, paths) in batch.into_iter().zip(sink.into_inner()) {
+        for (submission, response) in batch.into_iter().zip(outcome.responses) {
             let queue_wait = exec_start.saturating_duration_since(submission.submitted_at);
-            submission.slot.fulfill(QueryResult {
-                paths,
+            submission.slot.fulfill(SpecResult {
+                response,
                 queue_wait,
                 batch_size,
             });
@@ -663,17 +786,27 @@ impl PathService {
         PathService::builder().start(graph)
     }
 
-    /// Submits one query; returns a handle to wait on its result.
+    /// Submits one typed query request; returns a handle to wait on its typed result.
+    ///
+    /// The spec's [`hcsp_core::ResultMode`] decides both the response shape and how much
+    /// work the query costs: an `Exists` probe or a `FirstK` request stops the moment it
+    /// is satisfied, even mid-micro-batch next to full-enumeration queries.
+    ///
+    /// Note on `FirstK` determinism: the returned paths are the first `k` in the
+    /// engine's enumeration order *for the executed micro-batch* — a deterministic
+    /// function of the batch (and always a subset of the full result set), but batching
+    /// itself depends on arrival timing.
     ///
     /// # Panics
     ///
     /// Panics if the query's endpoints are out of range for the served graph — in the
-    /// caller's thread, exactly like the offline `BatchEngine` would, rather than poisoning
-    /// a worker that is executing other users' queries.
-    pub fn submit(&self, query: PathQuery) -> QueryHandle {
+    /// caller's thread, exactly like the offline `BatchEngine` would, rather than
+    /// poisoning a worker that is executing other users' queries.
+    pub fn submit_spec(&self, spec: QuerySpec) -> SpecHandle {
         // The vertex-count lock is held across the send: a query validated against the
         // grown count is guaranteed to be admitted *after* the update that grew it.
         let n = self.num_vertices.lock().unwrap();
+        let query = spec.query;
         assert!(
             query.source.index() < *n && query.target.index() < *n,
             "{query} endpoints out of range for a graph of {} vertices",
@@ -681,7 +814,7 @@ impl PathService {
         );
         let slot = Arc::new(ResultSlot::default());
         let submission = Submission {
-            query,
+            spec,
             submitted_at: Instant::now(),
             slot: Arc::clone(&slot),
         };
@@ -690,7 +823,20 @@ impl PathService {
             .expect("service is running")
             .send(Admission::Query(submission))
             .expect("service threads are alive");
-        QueryHandle { slot }
+        SpecHandle { slot }
+    }
+
+    /// Submits one query in `Collect` mode (the classic surface); returns a handle to
+    /// wait on its full result set. Equivalent to
+    /// `submit_spec(QuerySpec::collect(query))` with a [`QueryResult`]-shaped answer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query's endpoints are out of range for the served graph.
+    pub fn submit(&self, query: PathQuery) -> QueryHandle {
+        QueryHandle {
+            inner: self.submit_spec(QuerySpec::collect(query)),
+        }
     }
 
     /// Submits a batch of graph updates (edge insertions/deletions); returns a handle
@@ -700,8 +846,11 @@ impl PathService {
     /// open admission window closes when the update arrives, queries submitted before
     /// this call execute against the pre-update snapshot, and queries submitted after it
     /// execute against the post-update snapshot — on every worker, because the update is
-    /// a rendezvous barrier across the pool. Insertions may grow the vertex space;
-    /// queries naming the new vertices validate from the moment this call returns.
+    /// a rendezvous barrier across the pool. Updates submitted back to back (no query in
+    /// between) coalesce into one dispatched batch; every coalesced handle then reports
+    /// the *combined* batch's summary (see [`UpdateHandle::wait`]). Insertions may grow
+    /// the vertex space; queries naming the new vertices validate from the moment this
+    /// call returns.
     ///
     /// Results are exactly those of an offline engine over the corresponding snapshot:
     /// the update path changes *when* queries run, never *what* they return.
@@ -709,7 +858,7 @@ impl PathService {
         let updates: Vec<GraphUpdate> = updates.into();
         let slot = Arc::new(UpdateSlot::default());
         let request = UpdateRequest {
-            updates: Arc::new(updates),
+            updates,
             slot: Arc::clone(&slot),
         };
         // Grow the validation vertex count under the same lock that orders admission
@@ -733,6 +882,11 @@ impl PathService {
     /// Submits a sequence of queries back to back, returning one handle per query.
     pub fn submit_all(&self, queries: impl IntoIterator<Item = PathQuery>) -> Vec<QueryHandle> {
         queries.into_iter().map(|q| self.submit(q)).collect()
+    }
+
+    /// Submits a sequence of typed specs back to back, returning one handle per spec.
+    pub fn submit_specs(&self, specs: impl IntoIterator<Item = QuerySpec>) -> Vec<SpecHandle> {
+        specs.into_iter().map(|s| self.submit_spec(s)).collect()
     }
 
     /// Replays an open-loop arrival schedule: sleeps until each event's offset from now,
@@ -1094,13 +1248,151 @@ mod tests {
     }
 
     #[test]
+    fn spec_submissions_serve_typed_responses() {
+        use hcsp_core::ResultMode;
+        let graph = grid(4, 4);
+        let queries = grid_queries();
+        let specs = vec![
+            QuerySpec::exists(queries[0]),
+            QuerySpec::count(queries[1]),
+            QuerySpec::first_k(queries[2], 2),
+            QuerySpec::collect(queries[3]),
+            QuerySpec::count(queries[4]).with_path_budget(3),
+        ];
+        // One admission window for the whole set and one worker: the micro-batch is
+        // exactly `specs`, so the typed responses must equal the offline spec run.
+        let mut offline = Engine::new(graph.clone(), BatchEngine::default());
+        let expected = offline.run_specs(&specs);
+
+        let service = PathService::builder()
+            .policy(BatchPolicy::by_size(
+                specs.len(),
+                Duration::from_millis(500),
+            ))
+            .start(graph);
+        let handles = service.submit_specs(specs.clone());
+        for ((handle, spec), expected) in handles.into_iter().zip(&specs).zip(&expected.responses) {
+            let result = handle.wait();
+            assert_eq!(&result.response, expected, "{spec}");
+            match spec.mode {
+                ResultMode::Exists => assert!(matches!(
+                    result.response,
+                    hcsp_core::QueryResponse::Exists(_)
+                )),
+                ResultMode::Count => {
+                    assert!(matches!(
+                        result.response,
+                        hcsp_core::QueryResponse::Count(_)
+                    ))
+                }
+                _ => assert!(result.response.paths().is_some()),
+            }
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.num_queries, specs.len());
+    }
+
+    #[test]
+    fn queued_updates_coalesce_into_one_dispatch() {
+        // Drive the batcher loop directly with a preloaded admission queue, so the
+        // coalescing path is deterministic (no racing against live threads).
+        let (tx, rx) = mpsc::channel::<Admission>();
+        let (batch_tx, batch_rx) = mpsc::channel::<WorkItem>();
+        let query = |s: u32| Submission {
+            spec: QuerySpec::collect(PathQuery::new(s, 3u32, 2)),
+            submitted_at: Instant::now(),
+            slot: Arc::new(ResultSlot::default()),
+        };
+        let update_slots: Vec<Arc<UpdateSlot>> =
+            (0..3).map(|_| Arc::new(UpdateSlot::default())).collect();
+        tx.send(Admission::Query(query(0))).unwrap();
+        for (i, slot) in update_slots.iter().enumerate() {
+            tx.send(Admission::Update(UpdateRequest {
+                updates: vec![GraphUpdate::insert(i as u32, 3u32)],
+                slot: Arc::clone(slot),
+            }))
+            .unwrap();
+        }
+        tx.send(Admission::Query(query(1))).unwrap();
+        drop(tx);
+        let workers = 2;
+        batcher_loop(rx, batch_tx, BatchPolicy::immediate(), workers);
+
+        // Expected stream: the first query's window, ONE coalesced update (as one ticket
+        // per worker, all sharing the 3 merged mutations), then the carried query.
+        let items: Vec<WorkItem> = batch_rx.try_iter().collect();
+        assert_eq!(items.len(), 4, "batch + 2 tickets + batch");
+        assert!(matches!(&items[0], WorkItem::Batch(b) if b.len() == 1));
+        assert!(matches!(&items[3], WorkItem::Batch(b) if b.len() == 1));
+        let stats = Mutex::new(ServiceStats::default());
+        // `arrive` is a barrier across the pool: simulate the two workers concurrently.
+        std::thread::scope(|scope| {
+            for item in &items[1..3] {
+                let WorkItem::Update(ticket) = item else {
+                    panic!("expected an update ticket");
+                };
+                assert_eq!(ticket.updates.len(), 3, "all three updates in one batch");
+                let stats = &stats;
+                scope.spawn(move || {
+                    ticket
+                        .rendezvous
+                        .arrive(UpdateSummary::default(), true, stats)
+                });
+            }
+        });
+        // One dispatched batch absorbed three update() calls; every handle resolved.
+        let stats = stats.into_inner().unwrap();
+        assert_eq!(stats.update_batches, 1);
+        assert_eq!(stats.update_calls, 3);
+        for slot in update_slots {
+            let handle = UpdateHandle { slot };
+            assert!(handle.is_ready());
+            handle.wait();
+        }
+    }
+
+    #[test]
+    fn update_bursts_stay_correct_end_to_end() {
+        // A diamond built up by a burst of updates submitted without intermediate waits:
+        // whatever coalescing happens, admission order semantics must hold.
+        let graph = DiGraph::from_edge_list(4, &[(0, 1), (1, 3)]).unwrap();
+        let q = PathQuery::new(0u32, 3u32, 3);
+        let service = PathService::builder()
+            .policy(BatchPolicy::by_size(64, Duration::from_secs(30)))
+            .start(graph);
+        let before = service.submit(q);
+        let u1 = service.update(vec![GraphUpdate::insert(0u32, 2u32)]);
+        let u2 = service.update(vec![GraphUpdate::insert(2u32, 3u32)]);
+        let u3 = service.update(vec![GraphUpdate::delete(0u32, 1u32)]);
+        let after = service.submit(q);
+        let stats = service.shutdown();
+
+        assert_eq!(before.wait().paths.len(), 1, "pre-update snapshot");
+        assert_eq!(
+            after.wait().paths.len(),
+            1,
+            "post-update snapshot: 0->2->3 only"
+        );
+        u1.wait();
+        u2.wait();
+        u3.wait();
+        assert_eq!(stats.update_calls, 3);
+        assert!(
+            (1..=3).contains(&stats.update_batches),
+            "3 calls dispatch as 1..=3 batches, got {}",
+            stats.update_batches
+        );
+        assert_eq!(stats.updates_applied, 3);
+    }
+
+    #[test]
     fn abandoned_update_slot_panics_instead_of_hanging() {
         let slot = Arc::new(UpdateSlot::default());
         let handle = UpdateHandle {
             slot: Arc::clone(&slot),
         };
         assert!(!handle.is_ready());
-        let rendezvous = UpdateRendezvous::new(2, slot);
+        let rendezvous = UpdateRendezvous::new(2, vec![slot]);
         drop(rendezvous);
         assert!(handle.is_ready());
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle.wait()));
@@ -1118,10 +1410,12 @@ mod tests {
     fn dropped_submission_abandons_its_handle_instead_of_hanging() {
         let slot = Arc::new(ResultSlot::default());
         let handle = QueryHandle {
-            slot: Arc::clone(&slot),
+            inner: SpecHandle {
+                slot: Arc::clone(&slot),
+            },
         };
         let submission = Submission {
-            query: PathQuery::new(0u32, 1u32, 2),
+            spec: QuerySpec::collect(PathQuery::new(0u32, 1u32, 2)),
             submitted_at: Instant::now(),
             slot,
         };

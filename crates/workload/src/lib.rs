@@ -4,9 +4,11 @@
 //! datasets (Table I), the query-set generators used by every experiment
 //! (random reachable `(s, t, k)` pairs, similarity-controlled sets for Exp-1, and size
 //! sweeps for Exp-2), the open-loop [`arrival`] processes that turn a query set into
-//! a timed stream for the micro-batching service scenarios, and the
+//! a timed stream for the micro-batching service scenarios, the
 //! [`update_stream`](mod@update_stream) generator interleaving edge
-//! insertions/deletions with query arrivals for the evolving-graph scenarios.
+//! insertions/deletions with query arrivals for the evolving-graph scenarios, and the
+//! [`spec_gen`] generator assigning typed result modes (`Exists`/`Count`/`FirstK`/
+//! `Collect`) to a query set for the mixed-mode request/response scenarios.
 //!
 //! The real datasets (SNAP / LAW / NetworkRepository downloads, up to 1.8 B edges) are not
 //! available in this environment; [`datasets`] instead generates deterministic laptop-scale
@@ -21,10 +23,12 @@ pub mod arrival;
 pub mod datasets;
 pub mod query_gen;
 pub mod query_io;
+pub mod spec_gen;
 pub mod update_stream;
 
 pub use arrival::ArrivalProcess;
 pub use datasets::{Dataset, DatasetScale};
 pub use query_gen::{random_query_set, similar_query_set, QuerySetSpec};
 pub use query_io::{read_queries, read_queries_file, write_queries, write_queries_file};
+pub use spec_gen::{assign_modes, mixed_mode_query_set, ModeMix};
 pub use update_stream::{fold_updates, update_stream, StreamEvent, UpdateStreamSpec};

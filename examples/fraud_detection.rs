@@ -1,11 +1,15 @@
 //! Fraud detection in an e-commerce transaction network (the paper's first motivating
-//! application, after Qiu et al. [13]).
+//! application, after Qiu et al. [13]) — ported to the typed request/response API.
 //!
 //! A cycle in a transaction network is a strong fraud signal. When a new transaction
 //! `t → s` arrives, every *existing* hop-constrained simple path `s → t` closes a cycle
-//! through the new edge, so the fraud screen is exactly an HC-s-t path query per incoming
-//! transaction. Transactions arrive in bursts, so the screen is naturally a *batch* of
-//! HC-s-t path queries — the scenario BatchEnum is designed for.
+//! through the new edge — but the screen itself only needs a yes/no per transaction, not
+//! the full (potentially astronomical) path set. That is exactly
+//! [`ResultMode::Exists`]: the whole burst is screened in one mixed batch against one
+//! shared index, with zero enumeration for probes the index can answer outright. Only
+//! the *flagged* transactions then pay for evidence, and only `FirstK(3)` of it — the
+//! first few concrete cycles an analyst needs, enumerated with an early-terminating
+//! search instead of a full materialisation.
 //!
 //! ```bash
 //! cargo run --release --example fraud_detection
@@ -22,6 +26,9 @@ struct Transaction {
     from: VertexId,
     to: VertexId,
 }
+
+/// How many example cycles to materialise per flagged transaction.
+const EVIDENCE_CYCLES: usize = 3;
 
 fn main() {
     // Use the Epinions-like analog as the historical transaction network.
@@ -45,58 +52,75 @@ fn main() {
         .filter(|t| t.from != t.to)
         .collect();
 
-    // Screening transaction (from -> to) = enumerate HC paths to -> from in the existing
-    // network; each result path plus the new edge is a cycle of length <= k + 1.
-    let queries: Vec<PathQuery> = burst
+    // Screening transaction (from -> to) = "does any HC path to -> from exist in the
+    // current network?" — an existence probe, not an enumeration.
+    let screen: Vec<QuerySpec> = burst
         .iter()
-        .map(|t| PathQuery::new(t.to, t.from, hop_limit))
+        .map(|t| QuerySpec::exists(PathQuery::new(t.to, t.from, hop_limit)))
         .collect();
 
-    let engine = BatchEngine::builder()
-        .algorithm(Algorithm::BatchEnumPlus)
-        .build();
-    let outcome = engine.run(&network, &queries);
+    // A long-lived engine: the screening batch builds the shared index, the follow-up
+    // evidence batch reuses it (index_reuse() shows the hit).
+    let mut engine = Engine::new(network, BatchEngine::default());
+    let screened = engine.run_specs(&screen);
+    let flagged: Vec<usize> = (0..burst.len())
+        .filter(|&i| screened.responses[i].exists())
+        .collect();
+    println!(
+        "screened {} transactions in one Exists batch: {} flagged \
+         (search steps: {}, paths enumerated: {})",
+        burst.len(),
+        flagged.len(),
+        screened.stats.counters.expanded_vertices,
+        screened.stats.counters.produced_paths,
+    );
 
-    let mut flagged = 0usize;
-    let mut total_cycles = 0usize;
-    for (i, t) in burst.iter().enumerate() {
-        let cycles = outcome.count(i);
-        total_cycles += cycles;
-        if cycles > 0 {
-            flagged += 1;
-            if flagged <= 5 {
-                println!(
-                    "  ALERT: transaction {} -> {} closes {} cycle(s) of <= {} hops; shortest: {}",
-                    t.from,
-                    t.to,
-                    cycles,
-                    hop_limit + 1,
-                    shortest_cycle_description(&outcome, i, *t)
-                );
-            }
-        }
+    // Evidence pass: the first few concrete cycles per flagged transaction only.
+    let evidence_specs: Vec<QuerySpec> = flagged
+        .iter()
+        .map(|&i| {
+            QuerySpec::first_k(
+                PathQuery::new(burst[i].to, burst[i].from, hop_limit),
+                EVIDENCE_CYCLES,
+            )
+        })
+        .collect();
+    let evidence = engine.run_specs(&evidence_specs);
+    for (slot, &i) in flagged.iter().enumerate().take(5) {
+        let t = burst[i];
+        let cycles = evidence.responses[slot]
+            .paths()
+            .expect("FirstK responses carry paths");
+        println!(
+            "  ALERT: transaction {} -> {} closes cycles of <= {} hops; e.g. {}",
+            t.from,
+            t.to,
+            hop_limit + 1,
+            cycle_description(cycles, t),
+        );
     }
     println!(
-        "\nscreened {} transactions in a single batch: {} flagged, {} total cycles found",
-        burst.len(),
-        flagged,
-        total_cycles
+        "evidence pass: first {} cycle(s) per flagged transaction \
+         (index reuse: {} rebuild(s), {} hit(s))",
+        EVIDENCE_CYCLES,
+        engine.index_reuse().rebuilds,
+        engine.index_reuse().hits,
     );
     println!(
         "batch statistics: clusters={} shared_subqueries={} cache_splices={} time={:.3?}",
-        outcome.stats.num_clusters,
-        outcome.stats.num_shared_subqueries,
-        outcome.stats.counters.cache_splices,
-        outcome.stats.total_time()
+        evidence.stats.num_clusters,
+        evidence.stats.num_shared_subqueries,
+        evidence.stats.counters.cache_splices,
+        evidence.stats.total_time()
     );
 }
 
-/// Renders the shortest cycle a flagged transaction would close.
-fn shortest_cycle_description(outcome: &BatchOutcome, query: usize, t: Transaction) -> String {
-    let shortest = outcome.paths[query]
+/// Renders the shortest of the evidence cycles a flagged transaction would close.
+fn cycle_description(cycles: &PathSet, t: Transaction) -> String {
+    let shortest = cycles
         .iter()
         .min_by_key(|p| p.len())
-        .expect("flagged transactions have at least one path");
+        .expect("flagged transactions have at least one evidence cycle");
     let mut cycle: Vec<String> = shortest.iter().map(|v| v.to_string()).collect();
     cycle.push(t.to.to_string());
     cycle.join(" -> ")

@@ -117,11 +117,12 @@ struct FeatureSink<'a> {
 }
 
 impl PathSink for FeatureSink<'_> {
-    fn accept(&mut self, query: usize, path: &[VertexId]) {
+    fn accept(&mut self, query: usize, path: &[VertexId]) -> SinkFlow {
         let hops = path.len() - 1;
         let feature = &mut self.features[query];
         if hops < feature.paths_by_length.len() {
             feature.paths_by_length[hops] += 1;
         }
+        SinkFlow::Continue
     }
 }

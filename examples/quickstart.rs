@@ -62,6 +62,24 @@ fn main() {
         }
     }
 
+    // The typed request/response surface: one mixed-mode batch, one shared index, each
+    // query paying only for the answer shape it asked for.
+    let specs = vec![
+        QuerySpec::exists(queries[0]),     // "is there any path at all?"
+        QuerySpec::count(queries[1]),      // "how many?"
+        QuerySpec::first_k(queries[2], 2), // "show me two examples"
+        QuerySpec::collect(queries[3]),    // "give me everything"
+    ];
+    let outcome = engine.run_specs(&graph, &specs);
+    println!("\nmixed-mode batch (one shared index, per-query result modes):");
+    for (spec, response) in specs.iter().zip(&outcome.responses) {
+        match response {
+            QueryResponse::Exists(b) => println!("  {spec} -> exists: {b}"),
+            QueryResponse::Count(c) => println!("  {spec} -> count: {c}"),
+            QueryResponse::Paths(paths) => println!("  {spec} -> {} path(s)", paths.len()),
+        }
+    }
+
     // Compare all five evaluated algorithms on the same batch.
     println!("\nalgorithm comparison (same results, different work):");
     for algorithm in Algorithm::ALL {
