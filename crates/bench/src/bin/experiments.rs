@@ -217,6 +217,14 @@ fn run_perf_smoke(options: &CliOptions) {
     let mixed_out = "BENCH_mixed_rw.json";
     write_or_die(mixed_out, &mixed_document);
 
+    // Report-only epoch counters from a live service run over the delete-heavy mix:
+    // proof the snapshot machinery is exercised (not a gated number).
+    let epoch_stats = harness::service_epoch_counters(&config);
+    println!(
+        "# epoch counters: epochs_published={} batches_pinned_behind={} rebfs_avoided={}",
+        epoch_stats.epochs_published, epoch_stats.batches_pinned_behind, epoch_stats.rebfs_avoided
+    );
+
     if options.write_baseline {
         write_baseline_or_die(&options.baseline, &document);
         write_baseline_or_die(MIXED_BASELINE, &mixed_document);

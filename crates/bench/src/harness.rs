@@ -13,11 +13,12 @@ use hcsp_core::query::BatchSummary;
 use hcsp_core::similarity::{QueryNeighborhood, SimilarityMatrix};
 use hcsp_core::{
     Algorithm, BatchEngine, CountSink, Engine, EnumStats, Parallelism, PathQuery, QuerySpec,
-    ResultMode, SearchOrder, Stage,
+    ResultMode, SearchOrder, ServiceStats, Stage,
 };
 use hcsp_graph::sampling::sample_vertices;
 use hcsp_graph::DiGraph;
 use hcsp_index::BatchIndex;
+use hcsp_service::{BatchPolicy, PathService};
 use hcsp_workload::{
     fold_updates, random_query_set, similar_query_set, update_stream, Dataset, StreamEvent,
     UpdateStreamSpec,
@@ -531,11 +532,17 @@ pub fn parallel_scaling(
 /// arrivals and edge-update batches (the evolving-graph serving scenario).
 ///
 /// Consecutive queries between two update events execute as one micro-batch (mirroring
-/// the service layer, where an update closes the open admission window); updates flow
-/// through [`Engine::apply_updates`], so the numbers include incremental index
-/// maintenance and the lazy dirty-root re-BFS. Gated in CI: `perf-smoke` compares the
-/// per-dataset `qps` against the committed `bench/baseline_mixed_rw.json` with the same
-/// tolerance semantics as parallel scaling.
+/// the service layer, where each update publishes a new epoch and the next admission
+/// window pins it); updates flow through [`Engine::apply_updates`], so the numbers
+/// include incremental index maintenance and the lazy dirty-root re-BFS. Each dataset
+/// contributes two rows: the balanced mix (50% insertions) and a delete-heavy mix
+/// (`<dataset>:del`, 15% insertions) that stresses the precise delete maintenance. The
+/// `rebfs_marked` / `rebfs_avoided` columns split the roots a conservative maintainer
+/// would re-BFS (`marked + avoided`) into those the survivor scan actually marked and
+/// those it proved still supported — on the delete-heavy mix `rebfs_avoided > 0`, i.e.
+/// the precise count is strictly lower. Gated in CI: `perf-smoke` compares the per-row
+/// `qps` against the committed `bench/baseline_mixed_rw.json` with the same tolerance
+/// semantics as parallel scaling.
 ///
 /// Honesty check built in: after the stream drains, the engine's answers for a probe
 /// batch are asserted byte-identical against a fresh engine over the oracle fold of all
@@ -554,84 +561,134 @@ pub fn mixed_read_write(config: &BenchConfig) -> Table {
             "update_refreshes",
             "invalidations",
             "dirty_flushes",
+            "rebfs_marked",
+            "rebfs_avoided",
         ],
     );
+    let num_batches = (config.query_set_size / 4).max(2);
     for &dataset in &config.datasets {
         let graph = dataset.build(config.scale);
-        let spec = UpdateStreamSpec::new(
-            config.query_set_size,
-            (config.query_set_size / 4).max(2),
-            config.seed,
-        )
-        .with_hops(config.k_min, config.k_max)
-        .with_updates(4, 0.5);
-        let events = update_stream(&graph, spec);
-        if events.is_empty() {
-            continue;
-        }
-
-        let mut engine = Engine::new(graph.clone(), BatchEngine::default());
-        let mut pending: Vec<PathQuery> = Vec::new();
-        let mut query_time = Duration::ZERO;
-        let mut update_time = Duration::ZERO;
-        let mut queries = 0usize;
-        let mut update_batches = 0usize;
-        let mut mutations = 0usize;
-
-        let flush = |engine: &mut Engine, pending: &mut Vec<PathQuery>| {
-            if pending.is_empty() {
-                return Duration::ZERO;
+        let balanced = UpdateStreamSpec::new(config.query_set_size, num_batches, config.seed)
+            .with_hops(config.k_min, config.k_max)
+            .with_updates(4, 0.5);
+        let delete_heavy =
+            UpdateStreamSpec::delete_heavy(config.query_set_size, num_batches, config.seed)
+                .with_hops(config.k_min, config.k_max);
+        for (suffix, spec) in [("", balanced), (":del", delete_heavy)] {
+            let events = update_stream(&graph, spec);
+            if events.is_empty() {
+                continue;
             }
-            let mut sink = CountSink::new(pending.len());
-            let start = Instant::now();
-            engine.run_with_sink(pending, &mut sink);
-            pending.clear();
-            start.elapsed()
-        };
-        for event in &events {
-            match event {
-                StreamEvent::Query(q) => {
-                    queries += 1;
-                    pending.push(*q);
+
+            let mut engine = Engine::new(graph.clone(), BatchEngine::default());
+            let mut pending: Vec<PathQuery> = Vec::new();
+            let mut query_time = Duration::ZERO;
+            let mut update_time = Duration::ZERO;
+            let mut queries = 0usize;
+            let mut update_batches = 0usize;
+            let mut mutations = 0usize;
+            let mut rebfs_marked = 0usize;
+            let mut rebfs_avoided = 0usize;
+
+            let flush = |engine: &mut Engine, pending: &mut Vec<PathQuery>| {
+                if pending.is_empty() {
+                    return Duration::ZERO;
                 }
-                StreamEvent::Update(batch) => {
-                    query_time += flush(&mut engine, &mut pending);
-                    update_batches += 1;
-                    mutations += batch.len();
-                    let start = Instant::now();
-                    engine.apply_updates(batch);
-                    update_time += start.elapsed();
+                let mut sink = CountSink::new(pending.len());
+                let start = Instant::now();
+                engine.run_with_sink(pending, &mut sink);
+                pending.clear();
+                start.elapsed()
+            };
+            for event in &events {
+                match event {
+                    StreamEvent::Query(q) => {
+                        queries += 1;
+                        pending.push(*q);
+                    }
+                    StreamEvent::Update(batch) => {
+                        query_time += flush(&mut engine, &mut pending);
+                        update_batches += 1;
+                        mutations += batch.len();
+                        let start = Instant::now();
+                        let summary = engine.apply_updates(batch);
+                        update_time += start.elapsed();
+                        rebfs_marked += summary.dirty_roots;
+                        rebfs_avoided += summary.supported_deletes;
+                    }
                 }
             }
-        }
-        query_time += flush(&mut engine, &mut pending);
+            query_time += flush(&mut engine, &mut pending);
 
-        // Lossless check against the oracle fold of the whole stream.
-        let oracle_graph = fold_updates(&graph, &events);
-        let probe = random_query_set(&oracle_graph, config.query_spec());
-        if !probe.is_empty() {
-            let (served, _) = engine.run_counting(&probe);
-            let mut oracle = Engine::new(oracle_graph, BatchEngine::default());
-            let (expected, _) = oracle.run_counting(&probe);
-            assert_eq!(served, expected, "evolved engine drifted from the oracle");
-        }
+            // Lossless check against the oracle fold of the whole stream.
+            let oracle_graph = fold_updates(&graph, &events);
+            let probe = random_query_set(&oracle_graph, config.query_spec());
+            if !probe.is_empty() {
+                let (served, _) = engine.run_counting(&probe);
+                let mut oracle = Engine::new(oracle_graph, BatchEngine::default());
+                let (expected, _) = oracle.run_counting(&probe);
+                assert_eq!(served, expected, "evolved engine drifted from the oracle");
+            }
 
-        let reuse = engine.index_reuse();
-        let qps = queries as f64 / query_time.as_secs_f64().max(1e-9);
-        table.push_row(vec![
-            dataset.to_string(),
-            queries.to_string(),
-            update_batches.to_string(),
-            mutations.to_string(),
-            format!("{:.6}", query_time.as_secs_f64()),
-            format!("{:.6}", update_time.as_secs_f64()),
-            format!("{qps:.2}"),
-            reuse.update_refreshes.to_string(),
-            reuse.invalidations.to_string(),
-            reuse.dirty_flushes.to_string(),
-        ]);
+            let reuse = engine.index_reuse();
+            let qps = queries as f64 / query_time.as_secs_f64().max(1e-9);
+            table.push_row(vec![
+                format!("{dataset}{suffix}"),
+                queries.to_string(),
+                update_batches.to_string(),
+                mutations.to_string(),
+                format!("{:.6}", query_time.as_secs_f64()),
+                format!("{:.6}", update_time.as_secs_f64()),
+                format!("{qps:.2}"),
+                reuse.update_refreshes.to_string(),
+                reuse.invalidations.to_string(),
+                reuse.dirty_flushes.to_string(),
+                rebfs_marked.to_string(),
+                rebfs_avoided.to_string(),
+            ]);
+        }
     }
     table
+}
+
+/// Drives one dataset's delete-heavy stream through a live [`PathService`] and returns
+/// the drained [`ServiceStats`] — the source of the epoch counters `perf-smoke` prints
+/// (epochs published, batches pinned behind the tip, dirty re-BFS avoided).
+///
+/// Report-only: the counters describe the epoch machinery's behaviour on a live service
+/// — updates publish while earlier submissions are still pinned to older epochs — and
+/// are not gated against a baseline. Every query and update handle is waited on, so the
+/// stats are complete when the service shuts down.
+pub fn service_epoch_counters(config: &BenchConfig) -> ServiceStats {
+    let dataset = config.datasets[0];
+    let graph = dataset.build(config.scale);
+    let spec = UpdateStreamSpec::delete_heavy(
+        config.query_set_size,
+        (config.query_set_size / 4).max(2),
+        config.seed,
+    )
+    .with_hops(config.k_min, config.k_max);
+    let events = update_stream(&graph, spec);
+
+    let service = PathService::builder()
+        .workers(2)
+        .policy(BatchPolicy::by_size(8, Duration::from_millis(2)))
+        .start(graph);
+    let mut queries = Vec::new();
+    let mut updates = Vec::new();
+    for event in &events {
+        match event {
+            StreamEvent::Query(q) => queries.push(service.submit(*q)),
+            StreamEvent::Update(batch) => updates.push(service.update(batch.clone())),
+        }
+    }
+    for handle in updates {
+        handle.wait();
+    }
+    for handle in queries {
+        handle.wait();
+    }
+    service.shutdown()
 }
 
 /// Result modes: the early-termination payoff of the typed request/response API.
@@ -871,7 +928,9 @@ mod tests {
     fn mixed_read_write_reports_per_dataset_rows() {
         let config = test_config();
         let t = mixed_read_write(&config);
-        assert_eq!(t.len(), 2);
+        // Two rows per dataset: the balanced mix and the delete-heavy mix.
+        assert_eq!(t.len(), 4);
+        let mut delete_heavy_avoided = 0usize;
         for row in t.rows() {
             let queries: usize = row[1].parse().unwrap();
             let update_batches: usize = row[2].parse().unwrap();
@@ -893,7 +952,28 @@ mod tests {
                 refreshes > 0,
                 "the stream must exercise incremental maintenance"
             );
+            if row[0].ends_with(":del") {
+                delete_heavy_avoided += row[11].parse::<usize>().unwrap();
+            }
         }
+        // The survivor scan must beat the conservative baseline (marked + avoided)
+        // somewhere on the delete-heavy mix: precise re-BFS count strictly lower.
+        assert!(
+            delete_heavy_avoided > 0,
+            "delete-heavy rows must avoid at least one conservative re-BFS:\n{}",
+            t.to_csv()
+        );
+    }
+
+    #[test]
+    fn service_epoch_counters_reflect_the_delete_heavy_stream() {
+        let stats = service_epoch_counters(&test_config());
+        assert_eq!(stats.num_queries, 8);
+        assert!(
+            stats.epochs_published >= 1,
+            "the delete-heavy stream must publish epochs: {stats:?}"
+        );
+        assert_eq!(stats.update_batches, stats.epochs_published);
     }
 
     #[test]

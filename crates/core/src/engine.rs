@@ -7,6 +7,7 @@
 
 use crate::basic_enum::BasicEnum;
 use crate::batch_enum::{BatchEnum, DEFAULT_GAMMA};
+use crate::epoch::{Epoch, EpochAdvance};
 use crate::parallel::{
     run_pathenum_parallel, run_specs_parallel_pathenum, run_specs_parallel_with_index,
     ParallelBasicEnum, ParallelBatchEnum, Parallelism,
@@ -348,6 +349,11 @@ pub struct IndexReuse {
     pub dirty_flushes: usize,
     /// Total roots re-BFS'd across those flushes.
     pub dirty_roots_refreshed: usize,
+    /// [`Engine::advance_to_epoch`] calls that actually crossed at least one epoch.
+    pub epoch_advances: usize,
+    /// Roots hit by a deleted shortest-path edge whose re-BFS the precise survivor scan
+    /// proved unnecessary — work the conservative marking rule would have spent.
+    pub deletes_supported: usize,
 }
 
 /// What one [`Engine::apply_updates`] call did to the graph and the cached index.
@@ -366,9 +372,12 @@ pub struct UpdateSummary {
     pub new_vertices: usize,
     /// Distance entries improved/added by the incremental insert relaxation.
     pub refreshed_entries: usize,
-    /// Index roots conservatively marked dirty by deletions (re-BFS'd lazily before the
-    /// next batch runs).
+    /// Index roots marked dirty by deletions (re-BFS'd lazily before the next batch
+    /// runs) — only roots that truly lost their last equal-length shortest path.
     pub dirty_roots: usize,
+    /// Roots hit by a deleted shortest-path edge that kept an equal-length alternative:
+    /// their re-BFS was skipped by the precise survivor scan.
+    pub supported_deletes: usize,
     /// Whether the cached index was dropped instead of incrementally maintained.
     pub invalidated: bool,
 }
@@ -423,6 +432,9 @@ pub struct Engine {
     parallel_cluster_cap: Option<usize>,
     update_refresh_cap: Option<usize>,
     reuse: IndexReuse,
+    /// The epoch version [`Engine::graph`] corresponds to (0 unless the engine is driven
+    /// through the epoch protocol).
+    epoch_id: u64,
 }
 
 /// Default cap on the net edge delta of one [`Engine::apply_updates`] call above which
@@ -442,12 +454,25 @@ impl Engine {
             parallel_cluster_cap: None,
             update_refresh_cap: Some(DEFAULT_UPDATE_REFRESH_CAP),
             reuse: IndexReuse::default(),
+            epoch_id: 0,
         }
     }
 
     /// Convenience constructor with an explicit algorithm and the default γ.
     pub fn with_algorithm(graph: impl Into<Arc<DiGraph>>, algorithm: Algorithm) -> Self {
         Engine::new(graph, BatchEngine::with_algorithm(algorithm))
+    }
+
+    /// Creates an engine pinned to `epoch`'s snapshot (see [`crate::epoch`]).
+    pub fn at_epoch(epoch: &Epoch, config: BatchEngine) -> Self {
+        let mut engine = Engine::new(epoch.graph_arc(), config);
+        engine.epoch_id = epoch.id();
+        engine
+    }
+
+    /// The epoch version the engine's graph corresponds to.
+    pub fn epoch_id(&self) -> u64 {
+        self.epoch_id
     }
 
     /// The graph the engine serves.
@@ -541,7 +566,10 @@ impl Engine {
     ///
     /// * **insertions** refresh affected distance entries immediately (inserts can only
     ///   shorten bounded distances, so a seeded relaxation is exact);
-    /// * **deletions** conservatively mark affected roots dirty; the re-BFS is deferred
+    /// * **deletions** run the precise survivor scan: a root is marked dirty only when an
+    ///   affected vertex lost its last equal-length shortest-path parent (otherwise the
+    ///   map is provably intact and the re-BFS is skipped —
+    ///   [`UpdateSummary::supported_deletes`]); the re-BFS of marked roots is deferred
     ///   until the next batch runs ([`IndexReuse::dirty_flushes`]), so back-to-back
     ///   update calls coalesce their repair work;
     /// * a net delta larger than [`Engine::set_update_refresh_cap`] drops the index
@@ -601,12 +629,73 @@ impl Engine {
                 self.reuse.invalidations += 1;
                 summary.invalidated = true;
             } else {
-                summary.dirty_roots = index.note_deletions(&deleted);
+                let outcome = index.note_deletions(&self.graph, &deleted);
+                summary.dirty_roots = outcome.marked;
+                summary.supported_deletes = outcome.supported;
                 summary.refreshed_entries = index.apply_insertions(&self.graph, &inserted);
                 self.reuse.update_refreshes += 1;
+                self.reuse.deletes_supported += outcome.supported;
             }
         }
         summary
+    }
+
+    /// Advances the engine to `epoch`, maintaining the cached index incrementally.
+    ///
+    /// A no-op when already there. When the engine trails by at most the epoch's
+    /// retained delta window ([`crate::epoch::MAX_EPOCH_DELTAS`]), the missed deltas are
+    /// net-merged and absorbed exactly like one combined [`Engine::apply_updates`]
+    /// batch: precise delete marking first, then insert relaxation, against the target
+    /// snapshot. Trailing further (or a net delta over
+    /// [`Engine::set_update_refresh_cap`]) swaps the graph and drops the cached index —
+    /// always correct, just not incremental. The graph pointer afterwards is `epoch`'s
+    /// own `Arc`, so sibling engines advanced to the same epoch share one CSR.
+    pub fn advance_to_epoch(&mut self, epoch: &Epoch) -> EpochAdvance {
+        let mut advance = EpochAdvance::default();
+        if epoch.id() == self.epoch_id {
+            return advance;
+        }
+        advance.epochs_crossed = epoch.id().saturating_sub(self.epoch_id);
+        let deltas = epoch.deltas_since(self.epoch_id);
+        match (deltas, self.index.as_mut()) {
+            (Some(deltas), Some(index)) => {
+                let (inserted, deleted) = crate::epoch::merge_deltas(deltas);
+                advance.net_inserted = inserted.len();
+                advance.net_deleted = deleted.len();
+                self.graph = epoch.graph_arc();
+                let over_cap = self
+                    .update_refresh_cap
+                    .is_some_and(|cap| inserted.len() + deleted.len() > cap);
+                if over_cap {
+                    self.index = None;
+                    self.reuse.invalidations += 1;
+                    advance.invalidated = true;
+                } else {
+                    let outcome = index.note_deletions(&self.graph, &deleted);
+                    advance.dirty_roots = outcome.marked;
+                    advance.supported_deletes = outcome.supported;
+                    index.apply_insertions(&self.graph, &inserted);
+                    self.reuse.update_refreshes += 1;
+                    self.reuse.deletes_supported += outcome.supported;
+                }
+            }
+            (None, Some(_)) => {
+                // Too far behind the retained window (or handed an older epoch): no
+                // incremental route, so fall back to a plain snapshot swap.
+                self.graph = epoch.graph_arc();
+                self.index = None;
+                self.reuse.invalidations += 1;
+                advance.invalidated = true;
+            }
+            (_, None) => {
+                self.graph = epoch.graph_arc();
+            }
+        }
+        self.epoch_id = epoch.id();
+        if advance.epochs_crossed > 0 {
+            self.reuse.epoch_advances += 1;
+        }
+        advance
     }
 
     /// Makes the cached index cover `summary`, rebuilding only when the hop bound grew and

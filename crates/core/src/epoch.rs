@@ -1,0 +1,374 @@
+//! Versioned graph snapshots (epochs) for non-blocking reads over live updates.
+//!
+//! The serving layer used to rendezvous-barrier every worker on each update batch: all
+//! workers stopped, one applied the mutation, everyone resumed on the new graph. That
+//! couples read latency to writer cadence — the exact failure mode the paper's
+//! *real-time* pitch cannot afford. Epochs decouple them:
+//!
+//! * an [`EpochPublisher`] owns the write path. Each [`EpochPublisher::publish`] call
+//!   stages a [`GraphUpdate`] batch in a [`DeltaGraph`], compacts it into a fresh
+//!   immutable CSR snapshot and publishes it as the next [`Epoch`] (a no-op batch
+//!   republishes the current tip — no version bump, no window split downstream);
+//! * readers pin the tip epoch at admission time and keep executing against that
+//!   snapshot, barrier-free, even while later epochs are being built;
+//! * each epoch carries the last few net edge deltas ([`MAX_EPOCH_DELTAS`] links), so a
+//!   long-lived [`Engine`](crate::Engine) that lags a few epochs behind catches up
+//!   incrementally ([`Engine::advance_to_epoch`](crate::Engine::advance_to_epoch)) —
+//!   merging the missed deltas and maintaining its cached index exactly as one combined
+//!   [`Engine::apply_updates`](crate::Engine::apply_updates) batch would, instead of
+//!   rebuilding from scratch. An engine further behind than the retained window falls
+//!   back to an index invalidation (counted, and still correct).
+//!
+//! Snapshots are plain `Arc`s: an epoch stays alive exactly as long as some pinned batch
+//! still reads it, and dropping the last handle frees the superseded CSR.
+
+use crate::engine::UpdateSummary;
+use hcsp_graph::{DeltaGraph, DiGraph, GraphUpdate, VertexId};
+use std::sync::Arc;
+
+/// How many trailing net edge deltas each [`Epoch`] retains for incremental catch-up.
+///
+/// A reader at most this many epochs behind the tip advances by merging deltas; one
+/// further behind invalidates its cached index instead. Small by design: the service
+/// dispatches batches in admission order, so workers trail the tip by at most the few
+/// windows that were in flight when an update landed.
+pub const MAX_EPOCH_DELTAS: usize = 8;
+
+/// The net edge mutations that produced epoch `id` from epoch `id - 1`.
+#[derive(Debug)]
+pub struct EpochDelta {
+    id: u64,
+    inserted: Vec<(VertexId, VertexId)>,
+    deleted: Vec<(VertexId, VertexId)>,
+}
+
+/// An immutable, versioned snapshot of the served graph.
+///
+/// Epoch ids increase by exactly one per *effective* publish (no-op update batches do
+/// not bump the id), so `tip.id() - engine.epoch_id()` is both "how far behind" and the
+/// number of deltas a catch-up must merge.
+#[derive(Debug, Clone)]
+pub struct Epoch {
+    graph: Arc<DiGraph>,
+    id: u64,
+    /// The last ≤ [`MAX_EPOCH_DELTAS`] deltas, oldest first, ending at `id`.
+    deltas: Vec<Arc<EpochDelta>>,
+}
+
+impl Epoch {
+    /// The epoch's version number (0 for the initial snapshot).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The snapshot graph.
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// A clonable handle to the snapshot graph.
+    pub fn graph_arc(&self) -> Arc<DiGraph> {
+        Arc::clone(&self.graph)
+    }
+
+    /// The deltas a reader at `from_id` must merge to reach this epoch, oldest first —
+    /// `None` when the reader is too far behind the retained window (or ahead).
+    pub(crate) fn deltas_since(&self, from_id: u64) -> Option<&[Arc<EpochDelta>]> {
+        let behind = self.id.checked_sub(from_id)?;
+        let behind = usize::try_from(behind).ok()?;
+        if behind > self.deltas.len() {
+            return None;
+        }
+        let slice = &self.deltas[self.deltas.len() - behind..];
+        debug_assert!(
+            slice
+                .iter()
+                .zip(from_id + 1..)
+                .all(|(delta, want)| delta.id == want),
+            "epoch deltas must be consecutive versions ending at the epoch id"
+        );
+        Some(slice)
+    }
+}
+
+/// A sorted list of directed edges, as produced by delta merging.
+pub(crate) type EdgeList = Vec<(VertexId, VertexId)>;
+
+/// Merges consecutive epoch deltas into one net `(inserted, deleted)` pair, cancelling
+/// edges that were re-inserted or re-deleted across links. The result is exactly the
+/// edge-set diff between the reader's snapshot and the target snapshot, so downstream
+/// index maintenance composes as if one combined update batch had been applied.
+pub(crate) fn merge_deltas(deltas: &[Arc<EpochDelta>]) -> (EdgeList, EdgeList) {
+    let mut inserted = std::collections::BTreeSet::new();
+    let mut deleted = std::collections::BTreeSet::new();
+    for delta in deltas {
+        for &e in &delta.inserted {
+            if !deleted.remove(&e) {
+                inserted.insert(e);
+            }
+        }
+        for &e in &delta.deleted {
+            if !inserted.remove(&e) {
+                deleted.insert(e);
+            }
+        }
+    }
+    (
+        inserted.into_iter().collect(),
+        deleted.into_iter().collect(),
+    )
+}
+
+/// The single-writer publication side of the epoch protocol.
+///
+/// Owns the tip [`Epoch`] and turns [`GraphUpdate`] batches into new epochs. The
+/// publisher itself is cheap state (an `Arc` and a version counter); callers serialise
+/// writers externally (the service keeps it behind its admission lock, so updates
+/// publish in admission order).
+#[derive(Debug)]
+pub struct EpochPublisher {
+    tip: Arc<Epoch>,
+}
+
+impl EpochPublisher {
+    /// Starts the epoch sequence at version 0 over `graph`.
+    pub fn new(graph: impl Into<Arc<DiGraph>>) -> Self {
+        EpochPublisher {
+            tip: Arc::new(Epoch {
+                graph: graph.into(),
+                id: 0,
+                deltas: Vec::new(),
+            }),
+        }
+    }
+
+    /// The current tip epoch.
+    pub fn tip(&self) -> Arc<Epoch> {
+        Arc::clone(&self.tip)
+    }
+
+    /// Applies `updates` to the tip snapshot and publishes the result as the new tip.
+    ///
+    /// Returns the (possibly unchanged) tip and the same [`UpdateSummary`] accounting as
+    /// [`Engine::apply_updates`](crate::Engine::apply_updates). A batch that nets to
+    /// nothing — empty, all no-ops, or internally cancelling — republishes the current
+    /// tip without bumping the version, so readers never split a micro-batch window over
+    /// an update that changed nothing.
+    pub fn publish(&mut self, updates: &[GraphUpdate]) -> (Arc<Epoch>, UpdateSummary) {
+        let mut summary = UpdateSummary::default();
+        if updates.is_empty() {
+            return (self.tip(), summary);
+        }
+        let mut delta = DeltaGraph::new(self.tip.graph_arc());
+        for update in updates {
+            if delta.apply(update) {
+                summary.applied += 1;
+            } else {
+                summary.ignored += 1;
+            }
+        }
+        let inserted: Vec<_> = delta.added_edges().collect();
+        let deleted: Vec<_> = delta.removed_edges().collect();
+        summary.net_inserted = inserted.len();
+        summary.net_deleted = deleted.len();
+        summary.new_vertices = delta.num_vertices() - self.tip.graph.num_vertices();
+        if !delta.is_dirty() {
+            return (self.tip(), summary);
+        }
+        let link = Arc::new(EpochDelta {
+            id: self.tip.id + 1,
+            inserted,
+            deleted,
+        });
+        let mut deltas = self.tip.deltas.clone();
+        deltas.push(link);
+        if deltas.len() > MAX_EPOCH_DELTAS {
+            deltas.drain(..deltas.len() - MAX_EPOCH_DELTAS);
+        }
+        self.tip = Arc::new(Epoch {
+            graph: Arc::new(delta.compact()),
+            id: self.tip.id + 1,
+            deltas,
+        });
+        (self.tip(), summary)
+    }
+}
+
+/// What one [`Engine::advance_to_epoch`](crate::Engine::advance_to_epoch) call did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochAdvance {
+    /// How many epochs the engine crossed (0 when already at the target).
+    pub epochs_crossed: u64,
+    /// Net edges inserted across the merged deltas.
+    pub net_inserted: usize,
+    /// Net edges deleted across the merged deltas.
+    pub net_deleted: usize,
+    /// Index roots marked dirty by the precise delete pass (re-BFS'd lazily).
+    pub dirty_roots: usize,
+    /// Roots hit by a deleted shortest-path edge whose re-BFS the survivor scan skipped.
+    pub supported_deletes: usize,
+    /// Whether the cached index was dropped (too far behind, or over the refresh cap).
+    pub invalidated: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcsp_graph::generators::regular::path;
+
+    fn v(x: u32) -> VertexId {
+        VertexId(x)
+    }
+
+    #[test]
+    fn publish_bumps_the_version_only_on_effective_change() {
+        let mut publisher = EpochPublisher::new(path(4));
+        assert_eq!(publisher.tip().id(), 0);
+
+        let (tip, summary) = publisher.publish(&[GraphUpdate::insert(0u32, 2u32)]);
+        assert_eq!(tip.id(), 1);
+        assert_eq!(summary.applied, 1);
+        assert!(tip.graph().has_edge(v(0), v(2)));
+
+        // No-ops and empty batches keep the tip.
+        let (same, summary) = publisher.publish(&[GraphUpdate::insert(0u32, 2u32)]);
+        assert_eq!(same.id(), 1);
+        assert_eq!(summary.ignored, 1);
+        let (same, _) = publisher.publish(&[]);
+        assert_eq!(same.id(), 1);
+
+        // An internally cancelling batch nets to nothing.
+        let (same, summary) = publisher.publish(&[
+            GraphUpdate::insert(1u32, 3u32),
+            GraphUpdate::delete(1u32, 3u32),
+        ]);
+        assert_eq!(same.id(), 1);
+        assert_eq!(summary.applied, 2);
+        assert_eq!(summary.net_changes(), 0);
+    }
+
+    #[test]
+    fn pinned_epochs_are_immutable_snapshots() {
+        let mut publisher = EpochPublisher::new(path(3));
+        let pinned = publisher.tip();
+        publisher.publish(&[GraphUpdate::delete(0u32, 1u32)]);
+        assert!(
+            pinned.graph().has_edge(v(0), v(1)),
+            "pinned snapshot unchanged"
+        );
+        assert!(!publisher.tip().graph().has_edge(v(0), v(1)));
+    }
+
+    #[test]
+    fn deltas_since_covers_the_retained_window_exactly() {
+        let mut publisher = EpochPublisher::new(path(2));
+        for i in 0..(MAX_EPOCH_DELTAS as u32 + 3) {
+            publisher.publish(&[GraphUpdate::insert(0u32, i + 2)]);
+        }
+        let tip = publisher.tip();
+        assert_eq!(tip.id(), MAX_EPOCH_DELTAS as u64 + 3);
+        assert_eq!(tip.deltas_since(tip.id()).unwrap().len(), 0);
+        assert_eq!(tip.deltas_since(tip.id() - 2).unwrap().len(), 2);
+        let full = tip
+            .deltas_since(tip.id() - MAX_EPOCH_DELTAS as u64)
+            .unwrap();
+        assert_eq!(full.len(), MAX_EPOCH_DELTAS);
+        assert!(
+            full.windows(2).all(|w| w[1].id == w[0].id + 1),
+            "retained deltas stay consecutive"
+        );
+        // Beyond the window (or from the future) there is no incremental route.
+        assert!(tip
+            .deltas_since(tip.id() - MAX_EPOCH_DELTAS as u64 - 1)
+            .is_none());
+        assert!(tip.deltas_since(tip.id() + 1).is_none());
+    }
+
+    #[test]
+    fn advance_to_epoch_matches_a_fresh_engine_and_reuses_the_index() {
+        use crate::{BatchEngine, Engine, PathQuery};
+        use hcsp_graph::generators::regular::grid;
+
+        let mut publisher = EpochPublisher::new(grid(4, 4));
+        let mut engine = Engine::at_epoch(&publisher.tip(), BatchEngine::default());
+        assert_eq!(engine.epoch_id(), 0);
+        let queries = vec![
+            PathQuery::new(0u32, 15u32, 6),
+            PathQuery::new(5u32, 15u32, 5),
+        ];
+        engine.run(&queries);
+        assert_eq!(engine.index_reuse().rebuilds, 1);
+
+        // Two epochs land while the engine keeps its pinned snapshot.
+        publisher.publish(&[
+            GraphUpdate::insert(0u32, 10u32),
+            GraphUpdate::delete(5u32, 6u32),
+        ]);
+        publisher.publish(&[GraphUpdate::delete(0u32, 1u32)]);
+        let tip = publisher.tip();
+
+        let advance = engine.advance_to_epoch(&tip);
+        assert_eq!(advance.epochs_crossed, 2);
+        assert_eq!(advance.net_inserted, 1);
+        assert_eq!(advance.net_deleted, 2);
+        assert!(!advance.invalidated);
+        assert_eq!(engine.epoch_id(), tip.id());
+        assert_eq!(engine.index_reuse().epoch_advances, 1);
+        assert_eq!(engine.index_reuse().update_refreshes, 1);
+        assert_eq!(
+            engine.index_reuse().rebuilds,
+            1,
+            "the cached index survived"
+        );
+
+        let outcome = engine.run(&queries);
+        let expected = Engine::at_epoch(&tip, BatchEngine::default()).run(&queries);
+        assert_eq!(outcome.paths, expected.paths);
+
+        // Advancing again to the same tip is free.
+        assert_eq!(engine.advance_to_epoch(&tip), EpochAdvance::default());
+    }
+
+    #[test]
+    fn advancing_past_the_delta_window_invalidates_but_stays_correct() {
+        use crate::{BatchEngine, Engine, PathQuery};
+        use hcsp_graph::generators::regular::grid;
+
+        let mut publisher = EpochPublisher::new(grid(3, 3));
+        let mut engine = Engine::at_epoch(&publisher.tip(), BatchEngine::default());
+        let queries = vec![PathQuery::new(0u32, 8u32, 5)];
+        engine.run(&queries);
+
+        for i in 0..(MAX_EPOCH_DELTAS as u32 + 2) {
+            publisher.publish(&[GraphUpdate::insert(0u32, 9 + i)]);
+        }
+        let tip = publisher.tip();
+        let advance = engine.advance_to_epoch(&tip);
+        assert!(
+            advance.invalidated,
+            "beyond the window there is no delta route"
+        );
+        assert_eq!(engine.index_reuse().invalidations, 1);
+
+        let outcome = engine.run(&queries);
+        let expected = Engine::at_epoch(&tip, BatchEngine::default()).run(&queries);
+        assert_eq!(outcome.paths, expected.paths);
+        assert_eq!(engine.index_reuse().rebuilds, 2, "the next batch rebuilt");
+    }
+
+    #[test]
+    fn merged_deltas_cancel_across_links() {
+        let mut publisher = EpochPublisher::new(path(4));
+        let base = publisher.tip();
+        publisher.publish(&[GraphUpdate::insert(0u32, 2u32)]);
+        publisher.publish(&[
+            GraphUpdate::delete(0u32, 2u32),
+            GraphUpdate::delete(1u32, 2u32),
+        ]);
+        publisher.publish(&[GraphUpdate::insert(3u32, 0u32)]);
+        let tip = publisher.tip();
+        let (inserted, deleted) = merge_deltas(tip.deltas_since(base.id()).unwrap());
+        assert_eq!(inserted, vec![(v(3), v(0))]);
+        assert_eq!(deleted, vec![(v(1), v(2))]);
+    }
+}

@@ -53,6 +53,7 @@ pub mod clustering;
 pub mod concat;
 pub mod detection;
 pub mod engine;
+pub mod epoch;
 pub mod materialize;
 pub mod parallel;
 pub mod path;
@@ -73,6 +74,7 @@ pub use engine::{
     Algorithm, BatchEngine, BatchOutcome, Engine, IndexReuse, UpdateSummary,
     DEFAULT_UPDATE_REFRESH_CAP,
 };
+pub use epoch::{Epoch, EpochAdvance, EpochPublisher, MAX_EPOCH_DELTAS};
 pub use parallel::{ParallelBasicEnum, ParallelBatchEnum, Parallelism};
 pub use path::{Path, PathSet};
 pub use pathenum::PathEnum;

@@ -211,16 +211,24 @@ pub struct ServiceStats {
     pub num_clusters: usize,
     /// Total HC-s-t paths delivered.
     pub produced_paths: u64,
-    /// Graph-update batches applied across the worker pool (each counted once, however
-    /// many worker engines replicated it). Consecutive update submissions sitting in the
-    /// admission queue coalesce into one batch, so this can be smaller than
-    /// [`ServiceStats::update_calls`].
+    /// Graph-update batches published (each counted once, however many worker engines
+    /// later advance to the resulting epoch).
     pub update_batches: usize,
-    /// Update submissions (`PathService::update` calls) absorbed by those batches;
-    /// `update_calls − update_batches` submissions were coalesced.
+    /// Update submissions (`PathService::update` calls) absorbed by those batches. The
+    /// epoch-publishing service records one batch per call, so the two counters agree
+    /// there; a recorder that merges submissions before applying may record fewer
+    /// batches than calls.
     pub update_calls: usize,
     /// Individual edge mutations those batches applied (net of no-ops).
     pub updates_applied: usize,
+    /// Epochs published by the update path (updates that actually changed the graph).
+    pub epochs_published: usize,
+    /// Micro-batches that executed against an epoch older than the tip at completion
+    /// time — reads that proceeded, barrier-free, while a writer published behind them.
+    pub batches_pinned_behind: usize,
+    /// Delete-dirtied re-BFS runs the precise survivor scan avoided across all worker
+    /// engines (see `IndexReuse::deletes_supported`).
+    pub rebfs_avoided: usize,
 }
 
 impl ServiceStats {
@@ -237,7 +245,7 @@ impl ServiceStats {
     }
 
     /// Folds one applied graph-update batch into the aggregate; `calls` is the number of
-    /// update submissions the batch coalesced (1 when nothing was queued behind it).
+    /// update submissions the batch absorbed (1 when each call publishes on its own).
     pub fn record_update(&mut self, summary: &crate::engine::UpdateSummary, calls: usize) {
         self.update_batches += 1;
         self.update_calls += calls;

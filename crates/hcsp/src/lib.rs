@@ -70,13 +70,17 @@ pub mod workload {
 pub mod prelude {
     pub use hcsp_core::{
         Algorithm, BatchEngine, BatchOutcome, CallbackSink, CollectSink, ControlSink, CountSink,
-        Engine, EnumStats, MicroBatchStats, ParallelBasicEnum, ParallelBatchEnum, Parallelism,
-        Path, PathQuery, PathSet, PathSink, QueryResponse, QuerySpec, ResultMode, SearchBuffers,
-        SearchOrder, ServiceStats, SinkFlow, SpecOutcome, SpecSink, Stage, UpdateSummary,
+        Engine, EnumStats, Epoch, EpochAdvance, EpochPublisher, MicroBatchStats, ParallelBasicEnum,
+        ParallelBatchEnum, Parallelism, Path, PathQuery, PathSet, PathSink, QueryResponse,
+        QuerySpec, ResultMode, SearchBuffers, SearchOrder, ServiceStats, SinkFlow, SpecOutcome,
+        SpecSink, Stage, UpdateSummary, MAX_EPOCH_DELTAS,
     };
     pub use hcsp_graph::{DeltaGraph, DiGraph, Direction, GraphBuilder, GraphUpdate, VertexId};
     pub use hcsp_index::BatchIndex;
-    pub use hcsp_service::{BatchPolicy, PathService, SpecHandle, SpecResult, UpdateHandle};
+    pub use hcsp_service::{
+        Abandoned, BatchPolicy, PathService, QueryHandle, QueryResult, SpecHandle, SpecResult,
+        UpdateHandle,
+    };
 }
 
 pub use hcsp_core::{Algorithm, BatchEngine, PathQuery};

@@ -17,6 +17,31 @@ use crate::INF;
 use hcsp_graph::{DiGraph, Direction, VertexId};
 use std::time::{Duration, Instant};
 
+/// Outcome of one precise delete pass ([`DistanceIndex::note_deletions`] /
+/// [`BatchIndex::note_deletions`]).
+///
+/// `marked + supported` is what the conservative rule (dirty-mark on every
+/// `dist(r, to) == dist(r, from) + 1` hit) would have re-BFSed, so `supported` counts
+/// re-BFS work the survivor scan avoided.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeleteOutcome {
+    /// Roots newly marked dirty (an affected vertex lost its last equal-length parent).
+    pub marked: usize,
+    /// Roots hit by a deleted shortest-path edge but kept exact by a surviving
+    /// equal-length alternative — their re-BFS was skipped.
+    pub supported: usize,
+}
+
+impl DeleteOutcome {
+    /// Component-wise sum, for combining the two sides of a [`BatchIndex`].
+    fn merge(self, other: DeleteOutcome) -> DeleteOutcome {
+        DeleteOutcome {
+            marked: self.marked + other.marked,
+            supported: self.supported + other.supported,
+        }
+    }
+}
+
 /// Distances from one batch of roots, keyed by root vertex.
 ///
 /// The number of distinct roots equals the number of distinct query endpoints (at most a
@@ -116,37 +141,66 @@ impl DistanceIndex {
         improved
     }
 
-    /// Conservatively marks roots whose maps may be stale after the directed edges
-    /// `edges` were *deleted*. Returns the number of roots newly marked dirty.
+    /// Precisely marks roots whose maps are stale after the directed edges `edges` were
+    /// *deleted* from `graph` (which must already reflect the deletions).
     ///
     /// A deletion can only invalidate `dist(r, ·)` if some shortest path from `r` used the
     /// deleted edge, which requires `dist(r, to) == dist(r, from) + 1` for the oriented
-    /// traversal edge `from → to`. Marked roots keep serving their (possibly stale —
-    /// distances only ever *under*-estimate after a delete) entries until
+    /// traversal edge `from → to`. Even then the map often survives: if `to` keeps another
+    /// in-parent `u` (in the post-delete graph) with `dist(r, u) == dist(r, to) - 1`, an
+    /// equal-length alternative path exists and *every* bounded distance is preserved —
+    /// by induction on distance levels, each vertex at level `d` keeps a surviving parent
+    /// at level `d - 1`, so no re-BFS is needed. Only when a hit vertex loses its last
+    /// equal-length parent is the root marked dirty.
+    ///
+    /// Marked roots keep stale (under-estimating) entries until
     /// [`DistanceIndex::flush_dirty`] re-BFSes them; callers must flush before relying on
-    /// the index for pruning correctness.
-    pub fn note_deletions(&mut self, edges: &[(VertexId, VertexId)], dir: Direction) -> usize {
+    /// the index for pruning correctness — [`DistanceIndex::map_of`] enforces this with a
+    /// debug assertion.
+    pub fn note_deletions(
+        &mut self,
+        graph: &DiGraph,
+        edges: &[(VertexId, VertexId)],
+        dir: Direction,
+    ) -> DeleteOutcome {
+        let mut outcome = DeleteOutcome::default();
         if edges.is_empty() {
-            return 0;
+            return outcome;
         }
-        let mut newly_dirty = 0usize;
-        for (i, &root) in self.roots.iter().enumerate() {
+        'roots: for (i, &root) in self.roots.iter().enumerate() {
             if self.dirty.binary_search(&root).is_ok() {
                 continue;
             }
             let map = &self.maps[i];
-            let affected = edges.iter().any(|&edge| {
+            let mut hit = false;
+            for &edge in edges {
                 let (from, to) = Self::orient(edge, dir);
-                map.get(from)
-                    .is_some_and(|df| map.distance_or_inf(to) == df.saturating_add(1))
-            });
-            if affected {
-                let pos = self.dirty.binary_search(&root).unwrap_err();
-                self.dirty.insert(pos, root);
-                newly_dirty += 1;
+                let on_shortest = map
+                    .get(from)
+                    .is_some_and(|df| map.distance_or_inf(to) == df.saturating_add(1));
+                if !on_shortest {
+                    continue;
+                }
+                hit = true;
+                // Survivor scan: an equal-length parent of `to` left in the post-delete
+                // graph proves dist(r, to) — and hence the whole map — is unchanged.
+                let dt = map.distance_or_inf(to);
+                let survives = graph
+                    .neighbors(to, dir.reverse())
+                    .iter()
+                    .any(|&u| map.get(u) == Some(dt - 1));
+                if !survives {
+                    let pos = self.dirty.binary_search(&root).unwrap_err();
+                    self.dirty.insert(pos, root);
+                    outcome.marked += 1;
+                    continue 'roots;
+                }
+            }
+            if hit {
+                outcome.supported += 1;
             }
         }
-        newly_dirty
+        outcome
     }
 
     /// Re-BFSes every dirty root against the current `graph`, replacing their maps.
@@ -170,6 +224,11 @@ impl DistanceIndex {
     /// Number of roots currently marked dirty (awaiting a lazy re-BFS).
     pub fn num_dirty(&self) -> usize {
         self.dirty.len()
+    }
+
+    /// The roots currently marked dirty, sorted ascending.
+    pub fn dirty_roots(&self) -> &[VertexId] {
+        &self.dirty
     }
 
     /// Extends the index with any of `roots` that are not indexed yet, running one more
@@ -231,7 +290,20 @@ impl DistanceIndex {
     }
 
     /// The sparse distance map of `root`, if `root` is indexed.
+    ///
+    /// # Panics (debug builds)
+    ///
+    /// Panics if `root` is currently marked dirty: between `note_deletions` and
+    /// `flush_dirty` the map under-estimates distances, which silently breaks the
+    /// Lemma 3.1 pruning bound. Every read path (`distance`, `neighborhood`, and the
+    /// engine's O(1) `Exists` probe) funnels through here, so the unsafe window is
+    /// enforced rather than merely documented.
     pub fn map_of(&self, root: VertexId) -> Option<&SparseDistanceMap> {
+        debug_assert!(
+            self.dirty.binary_search(&root).is_err(),
+            "DistanceIndex read for root {root} inside the note_deletions -> flush_dirty \
+             window: stale distances under-estimate and break Lemma 3.1 pruning"
+        );
         self.roots.binary_search(&root).ok().map(|i| &self.maps[i])
     }
 
@@ -397,15 +469,27 @@ impl BatchIndex {
         improved
     }
 
-    /// Conservatively marks roots possibly affected by the deletion of `edges`, deferring
-    /// the re-BFS to [`BatchIndex::flush_dirty`]. Returns the number of roots marked.
+    /// Precisely marks roots invalidated by the deletion of `edges` from `graph` (which
+    /// must already reflect the deletions), deferring the re-BFS to
+    /// [`BatchIndex::flush_dirty`]. Roots whose affected vertices keep an equal-length
+    /// alternative parent are proven exact and skipped (see
+    /// [`DistanceIndex::note_deletions`]).
     ///
     /// The index is **not safe to query** between `note_deletions` and `flush_dirty`:
     /// stale entries under-estimate distances, which breaks the Lemma 3.1 pruning bound.
-    /// The serving engine flushes lazily — right before the next batch runs.
-    pub fn note_deletions(&mut self, edges: &[(VertexId, VertexId)]) -> usize {
-        self.sources.note_deletions(edges, Direction::Forward)
-            + self.targets.note_deletions(edges, Direction::Backward)
+    /// The serving engine flushes lazily — right before the next batch runs — and
+    /// [`DistanceIndex::map_of`] debug-asserts the window is respected.
+    pub fn note_deletions(
+        &mut self,
+        graph: &DiGraph,
+        edges: &[(VertexId, VertexId)],
+    ) -> DeleteOutcome {
+        self.sources
+            .note_deletions(graph, edges, Direction::Forward)
+            .merge(
+                self.targets
+                    .note_deletions(graph, edges, Direction::Backward),
+            )
     }
 
     /// Re-BFSes every dirty root of both sides against the current `graph`. Returns the
@@ -672,12 +756,19 @@ mod tests {
         }
         let g2 = delta.compact();
 
-        let marked = index.note_deletions(&deleted);
-        assert!(marked > 0, "a shortest-path edge deletion must mark roots");
-        assert_eq!(index.num_dirty(), marked, "flush is deferred");
+        let outcome = index.note_deletions(&g2, &deleted);
+        assert!(
+            outcome.marked > 0,
+            "losing the last equal-length parent must mark roots"
+        );
+        assert!(
+            outcome.supported > 0,
+            "roots with a surviving equal-length alternative skip the re-BFS"
+        );
+        assert_eq!(index.num_dirty(), outcome.marked, "flush is deferred");
 
         let refreshed = index.flush_dirty(&g2);
-        assert_eq!(refreshed, marked);
+        assert_eq!(refreshed, outcome.marked);
         assert_eq!(index.num_dirty(), 0);
         assert_matches_fresh(&g2, &index);
 
@@ -693,7 +784,10 @@ mod tests {
         // and 14 -> 15 is a last hop whose reverse orientation (15 -> 14) is exactly one
         // hop from target 15 — so only the target side can be affected; edge (1, 0) has
         // dist(0, 1) = 1 but dist(0, 0) = 0 != 2, so the source side is unaffected.
-        assert_eq!(index.note_deletions(&[(v(1), v(0))]), 0);
+        assert_eq!(
+            index.note_deletions(&g, &[(v(1), v(0))]),
+            DeleteOutcome::default()
+        );
         assert_eq!(index.num_dirty(), 0);
     }
 
@@ -731,7 +825,7 @@ mod tests {
                 assert!(delta.apply(update));
             }
             let graph = delta.compact();
-            index.note_deletions(&deleted);
+            index.note_deletions(&graph, &deleted);
             index.apply_insertions(&graph, &inserted);
             index.flush_dirty(&graph);
             assert_matches_fresh(&graph, &index);
@@ -742,20 +836,149 @@ mod tests {
     fn extend_preserves_dirty_marks_across_root_merges() {
         let g = path(8);
         let mut index = BatchIndex::build(&g, &[v(4)], &[v(7)], 7);
-        // Deleting 4 -> 5 invalidates source root 4.
-        assert_eq!(index.note_deletions(&[(v(4), v(5))]), 2);
-        assert!(index.source_index().num_dirty() > 0);
-        // Extending with new roots re-sorts the root/map arrays; the dirty set must
-        // follow the root *ids*, not their positions.
         let g2 = hcsp_graph::DiGraph::from_edge_list(
             8,
             &[(0, 1), (1, 2), (2, 3), (3, 4), (5, 6), (6, 7)],
         )
         .unwrap();
+        // Deleting 4 -> 5 severs the path with no alternative: both sides go dirty.
+        assert_eq!(index.note_deletions(&g2, &[(v(4), v(5))]).marked, 2);
+        assert!(index.source_index().num_dirty() > 0);
+        // Extending with new roots re-sorts the root/map arrays; the dirty set must
+        // follow the root *ids*, not their positions.
         index.extend(&g2, &[v(0), v(2)], &[v(7)]);
         let refreshed = index.flush_dirty(&g2);
         assert_eq!(refreshed, 2);
         assert_matches_fresh(&g2, &index);
+    }
+
+    /// A diamond with a tail: `0 -> {1, 2} -> 3 -> 4`. Vertex 3 has two equal-length
+    /// parents from source 0, so deleting one of `(1, 3)` / `(2, 3)` leaves the source
+    /// side exact while the target side (which loses its only route through the deleted
+    /// edge's tail) goes dirty.
+    fn diamond() -> hcsp_graph::DiGraph {
+        hcsp_graph::DiGraph::from_edge_list(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]).unwrap()
+    }
+
+    #[test]
+    fn surviving_equal_length_parent_skips_the_rebfs() {
+        use hcsp_graph::DeltaGraph;
+        let g = diamond();
+        let mut index = BatchIndex::build(&g, &[v(0)], &[v(4)], 4);
+        let mut delta = DeltaGraph::new(g);
+        assert!(delta.delete_edge(v(1), v(3)));
+        let g2 = delta.compact();
+
+        let outcome = index.note_deletions(&g2, &[(v(1), v(3))]);
+        // Source root 0: dist(0, 3) = 2 is hit, but parent 2 survives at distance 1.
+        // Target root 4: dist(1, 4) = 2 is hit and vertex 1 loses its only out-edge.
+        assert_eq!(
+            outcome,
+            DeleteOutcome {
+                marked: 1,
+                supported: 1
+            }
+        );
+        assert_eq!(index.source_index().num_dirty(), 0);
+        assert_eq!(index.target_index().dirty_roots(), &[v(4)]);
+
+        // The clean side stays readable inside the window; flushing restores the rest.
+        assert_eq!(index.dist_from_source(v(0), v(3)), 2);
+        assert_eq!(index.flush_dirty(&g2), 1);
+        assert_matches_fresh(&g2, &index);
+    }
+
+    #[test]
+    fn losing_the_last_equal_length_parent_marks_both_sides() {
+        use hcsp_graph::DeltaGraph;
+        let g = diamond();
+        let mut index = BatchIndex::build(&g, &[v(0)], &[v(4)], 4);
+        let mut delta = DeltaGraph::new(g);
+        assert!(delta.delete_edge(v(3), v(4)));
+        let g2 = delta.compact();
+
+        // Edge (3, 4) is the only route onto 4 in either direction: no survivors.
+        let outcome = index.note_deletions(&g2, &[(v(3), v(4))]);
+        assert_eq!(
+            outcome,
+            DeleteOutcome {
+                marked: 2,
+                supported: 0
+            }
+        );
+        assert_eq!(index.flush_dirty(&g2), 2);
+        assert_matches_fresh(&g2, &index);
+    }
+
+    /// Cross-validation against scratch BFS: for *every* single-edge deletion in a grid,
+    /// a root is marked dirty **iff** its map actually changed — the survivor scan skips
+    /// the re-BFS exactly when an equal-length alternative keeps every distance intact.
+    #[test]
+    fn delete_precision_is_exact_against_scratch_bfs() {
+        use hcsp_graph::DeltaGraph;
+        let g = grid(4, 4);
+        let sources = vec![v(0), v(5)];
+        let targets = vec![v(15), v(10)];
+        let bound = 6;
+        let clean = BatchIndex::build(&g, &sources, &targets, bound);
+
+        for edge in g.edges() {
+            let mut index = clean.clone();
+            let mut delta = DeltaGraph::new(g.clone());
+            assert!(delta.delete_edge(edge.0, edge.1));
+            let g2 = delta.compact();
+            index.note_deletions(&g2, &[edge]);
+
+            let sides = [
+                (index.source_index(), &sources, Direction::Forward),
+                (index.target_index(), &targets, Direction::Backward),
+            ];
+            for (side, roots, dir) in sides {
+                for &root in roots.iter() {
+                    let reference = bfs_distances(&g2, root, dir);
+                    let changed = g2.vertices().any(|vertex| {
+                        let expected = if reference[vertex.index()] <= bound {
+                            reference[vertex.index()]
+                        } else {
+                            UNREACHED
+                        };
+                        let old = match dir {
+                            Direction::Forward => clean.dist_from_source(root, vertex),
+                            Direction::Backward => clean.dist_to_target(vertex, root),
+                        };
+                        old != expected
+                    });
+                    assert_eq!(
+                        side.dirty_roots().contains(&root),
+                        changed,
+                        "deleting {edge:?}: root {root} ({dir:?}) marked iff its map changed"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reading_a_dirty_root_is_a_debug_panic() {
+        use hcsp_graph::DeltaGraph;
+        let g = path(4);
+        let mut index = BatchIndex::build(&g, &[v(0)], &[v(3)], 5);
+        let mut delta = DeltaGraph::new(g);
+        assert!(delta.delete_edge(v(1), v(2)));
+        let g2 = delta.compact();
+        assert!(index.note_deletions(&g2, &[(v(1), v(2))]).marked > 0);
+
+        if cfg!(debug_assertions) {
+            let probe = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                index.dist_from_source(v(0), v(3))
+            }));
+            assert!(
+                probe.is_err(),
+                "reading inside the note_deletions -> flush_dirty window must panic"
+            );
+        }
+        index.flush_dirty(&g2);
+        assert_eq!(index.dist_from_source(v(0), v(3)), INF);
     }
 
     #[test]

@@ -32,12 +32,14 @@ pub mod service;
 
 pub use policy::BatchPolicy;
 pub use service::{
-    PathService, PathServiceBuilder, QueryHandle, QueryResult, SpecHandle, SpecResult, UpdateHandle,
+    Abandoned, PathService, PathServiceBuilder, QueryHandle, QueryResult, SpecHandle, SpecResult,
+    UpdateHandle,
 };
 
-// Re-exported so service users can build typed requests, read the aggregate counters and
-// submit graph updates without naming hcsp-core / hcsp-graph.
+// Re-exported so service users can build typed requests, read the aggregate counters,
+// pin epochs and submit graph updates without naming hcsp-core / hcsp-graph.
 pub use hcsp_core::{
-    MicroBatchStats, QueryResponse, QuerySpec, ResultMode, ServiceStats, UpdateSummary,
+    Epoch, EpochPublisher, MicroBatchStats, QueryResponse, QuerySpec, ResultMode, ServiceStats,
+    UpdateSummary,
 };
 pub use hcsp_graph::GraphUpdate;

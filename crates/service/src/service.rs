@@ -1,12 +1,13 @@
 //! The long-lived serving layer: accept typed query requests one at a time, execute them
-//! in shared micro-batches.
+//! in shared micro-batches against epoch-pinned graph snapshots.
 //!
 //! ```text
-//!  submit_spec() ─► admission queue ─► batcher thread ─► micro-batch queue ─► worker pool
-//!     │             (mpsc channel)     closes windows      (mpsc channel)    one reusable
-//!     │                                by size/deadline                      Engine each
-//!     ▼                                                                           │
-//!  SpecHandle ◄──────────────────── per-query result slots ◄──────────── Engine::run_specs
+//!  submit_spec() ─► pin tip Epoch ─► admission queue ─► batcher thread ─► worker pool
+//!     │             (EpochPublisher   (mpsc channel)    closes windows    one reusable
+//!     │              behind a mutex)                    by size/deadline/ Engine each,
+//!     │                                                 epoch change      advanced to the
+//!     ▼                                                                   batch's epoch
+//!  SpecHandle ◄──────────────── per-query result slots ◄─────────── Engine::run_specs
 //! ```
 //!
 //! Every worker owns a reusable [`Engine`], so the batch index survives across
@@ -18,24 +19,42 @@
 //! full-enumeration queries. The classic [`PathService::submit`] surface remains as a
 //! `Collect`-mode wrapper.
 //!
-//! Graph updates ([`PathService::update`]) travel through the *same* admission queue as
-//! queries: an update closes the open admission window and is applied to every worker
-//! engine behind a rendezvous barrier before any later micro-batch starts, so each query
-//! executes against exactly the snapshot defined by its admission order. Consecutive
-//! updates sitting in the queue **coalesce into a single update batch** — one window
-//! close and one rendezvous however many updates arrived back to back — which keeps
-//! micro-batches large under update-heavy traffic.
+//! Graph updates ([`PathService::update`]) never block readers. An update publishes a new
+//! [`Epoch`] — an immutable snapshot with a version id — synchronously under the same
+//! admission lock queries pin the tip through, so the epoch each query sees is exactly
+//! the one defined by its admission order. Micro-batches already pinned to an older epoch
+//! keep executing against their snapshot, barrier-free, while the new epoch is served to
+//! later submissions; the batcher splits an admission window only when the *pinned epoch*
+//! of an arriving query differs from the window's (a no-op update republishes the same
+//! tip and splits nothing). Workers catch up lazily via [`Engine::advance_to_epoch`],
+//! which merges the epochs' retained edge deltas into one incremental index-maintenance
+//! step instead of rebuilding.
 
 use crate::policy::BatchPolicy;
 use hcsp_core::{
-    BatchEngine, Engine, MicroBatchStats, Parallelism, PathQuery, PathSet, QueryResponse,
-    QuerySpec, ServiceStats, UpdateSummary,
+    BatchEngine, Engine, Epoch, EpochPublisher, MicroBatchStats, Parallelism, PathQuery, PathSet,
+    QueryResponse, QuerySpec, ServiceStats, UpdateSummary,
 };
 use hcsp_graph::{DiGraph, GraphUpdate};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// The request will never be answered: the worker executing it panicked (queries) or the
+/// service failed internally (updates). Returned by the non-panicking `wait_result` /
+/// `try_wait` accessors; the plain `wait` surfaces it as a panic instead of hanging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Abandoned;
+
+impl std::fmt::Display for Abandoned {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("request abandoned: the service worker handling it panicked")
+    }
+}
+
+impl std::error::Error for Abandoned {}
 
 /// The typed answer to one served query spec.
 #[derive(Debug)]
@@ -80,8 +99,21 @@ struct ResultSlot {
 }
 
 impl ResultSlot {
+    /// Delivers the result. A slot is one-shot: fulfilling it twice (or after an
+    /// abandonment) is an invariant violation — the duplicate would silently overwrite
+    /// an answer a waiter may already have consumed — so it debug-panics and is logged
+    /// (and dropped) in release builds.
     fn fulfill(&self, result: SpecResult) {
         let mut state = self.state.lock().unwrap();
+        if !matches!(*state, SlotState::Pending) {
+            drop(state);
+            debug_assert!(
+                false,
+                "ResultSlot fulfilled twice: one-shot slots take exactly one result"
+            );
+            eprintln!("hcsp-service: ResultSlot fulfilled twice; dropping the duplicate result");
+            return;
+        }
         *state = SlotState::Ready(result);
         self.ready.notify_all();
     }
@@ -108,18 +140,39 @@ impl SpecHandle {
     /// # Panics
     ///
     /// Panics if the worker executing the spec's micro-batch panicked (the query can
-    /// never be answered; panicking here surfaces the failure instead of hanging forever).
+    /// never be answered; panicking here surfaces the failure instead of hanging
+    /// forever). Use [`SpecHandle::wait_result`] to handle that case as an error.
     pub fn wait(self) -> SpecResult {
+        self.wait_result()
+            .expect("query abandoned: the service worker executing it panicked")
+    }
+
+    /// Blocks until the spec's micro-batch has executed; returns [`Abandoned`] instead
+    /// of panicking when the worker executing it died.
+    pub fn wait_result(self) -> Result<SpecResult, Abandoned> {
         let mut state = self.slot.state.lock().unwrap();
         loop {
             match std::mem::take(&mut *state) {
-                SlotState::Ready(result) => return result,
-                SlotState::Abandoned => {
-                    panic!("query abandoned: the service worker executing it panicked")
-                }
+                SlotState::Ready(result) => return Ok(result),
+                SlotState::Abandoned => return Err(Abandoned),
                 SlotState::Pending => state = self.slot.ready.wait(state).unwrap(),
             }
         }
+    }
+
+    /// Non-blocking claim: the result (or the abandonment) if it is already decided,
+    /// otherwise the handle itself back, still waitable.
+    #[allow(clippy::result_large_err)] // Err is the handle handed back, not an error.
+    pub fn try_wait(self) -> Result<Result<SpecResult, Abandoned>, SpecHandle> {
+        {
+            let mut state = self.slot.state.lock().unwrap();
+            match std::mem::take(&mut *state) {
+                SlotState::Ready(result) => return Ok(Ok(result)),
+                SlotState::Abandoned => return Ok(Err(Abandoned)),
+                SlotState::Pending => {}
+            }
+        }
+        Err(self)
     }
 
     /// Whether the result is already available (non-blocking).
@@ -140,16 +193,26 @@ impl QueryHandle {
     /// # Panics
     ///
     /// Panics if the worker executing the query's micro-batch panicked (the query can
-    /// never be answered; panicking here surfaces the failure instead of hanging forever).
+    /// never be answered; panicking here surfaces the failure instead of hanging
+    /// forever). Use [`QueryHandle::wait_result`] to handle that case as an error.
     pub fn wait(self) -> QueryResult {
-        let result = self.inner.wait();
-        QueryResult {
-            paths: result
-                .response
-                .into_paths()
-                .expect("submit() always runs in Collect mode"),
-            queue_wait: result.queue_wait,
-            batch_size: result.batch_size,
+        self.wait_result()
+            .expect("query abandoned: the service worker executing it panicked")
+    }
+
+    /// Blocks until the query's micro-batch has executed; returns [`Abandoned`] instead
+    /// of panicking when the worker executing it died.
+    pub fn wait_result(self) -> Result<QueryResult, Abandoned> {
+        self.inner.wait_result().map(QueryResult::from_spec)
+    }
+
+    /// Non-blocking claim: the result (or the abandonment) if it is already decided,
+    /// otherwise the handle itself back, still waitable.
+    #[allow(clippy::result_large_err)] // Err is the handle handed back, not an error.
+    pub fn try_wait(self) -> Result<Result<QueryResult, Abandoned>, QueryHandle> {
+        match self.inner.try_wait() {
+            Ok(decided) => Ok(decided.map(QueryResult::from_spec)),
+            Err(inner) => Err(QueryHandle { inner }),
         }
     }
 
@@ -159,10 +222,25 @@ impl QueryHandle {
     }
 }
 
-/// One queued query spec together with its arrival time and result slot.
+impl QueryResult {
+    fn from_spec(result: SpecResult) -> QueryResult {
+        QueryResult {
+            paths: result
+                .response
+                .into_paths()
+                .expect("submit() always runs in Collect mode"),
+            queue_wait: result.queue_wait,
+            batch_size: result.batch_size,
+        }
+    }
+}
+
+/// One queued query spec together with its arrival time, pinned epoch and result slot.
 struct Submission {
     spec: QuerySpec,
     submitted_at: Instant,
+    /// The tip epoch at admission time: the snapshot this query executes against.
+    epoch: Arc<Epoch>,
     slot: Arc<ResultSlot>,
 }
 
@@ -174,19 +252,25 @@ impl Drop for Submission {
     }
 }
 
+/// One admission window's worth of submissions, all pinned to the same epoch.
+struct MicroBatch {
+    submissions: Vec<Submission>,
+    epoch: Arc<Epoch>,
+}
+
 /// Lifecycle of an update slot (mirrors [`SlotState`] for graph updates).
 #[derive(Debug, Default)]
 enum UpdateState {
-    /// The update is queued or being applied.
+    /// The update is being published.
     #[default]
     Pending,
-    /// Every worker engine has applied the update.
+    /// The update's epoch is published.
     Ready(UpdateSummary),
-    /// The update will never complete (internal failure during dispatch).
+    /// The update will never complete (internal failure while publishing).
     Abandoned,
 }
 
-/// One-shot completion slot shared between the worker pool and an [`UpdateHandle`].
+/// One-shot completion slot shared between the publish path and an [`UpdateHandle`].
 #[derive(Debug, Default)]
 struct UpdateSlot {
     state: Mutex<UpdateState>,
@@ -194,12 +278,23 @@ struct UpdateSlot {
 }
 
 impl UpdateSlot {
+    /// Delivers the summary. A slot is one-shot: a second fulfill (or one after an
+    /// abandonment) is an invariant violation — historically it was silently swallowed,
+    /// hiding double-dispatch bugs — so it debug-panics and is logged (and dropped) in
+    /// release builds.
     fn fulfill(&self, summary: UpdateSummary) {
         let mut state = self.state.lock().unwrap();
-        if matches!(*state, UpdateState::Pending) {
-            *state = UpdateState::Ready(summary);
-            self.ready.notify_all();
+        if !matches!(*state, UpdateState::Pending) {
+            drop(state);
+            debug_assert!(
+                false,
+                "UpdateSlot fulfilled twice: one-shot slots take exactly one summary"
+            );
+            eprintln!("hcsp-service: UpdateSlot fulfilled twice; dropping the duplicate summary");
+            return;
         }
+        *state = UpdateState::Ready(summary);
+        self.ready.notify_all();
     }
 
     fn abandon(&self) {
@@ -218,35 +313,51 @@ pub struct UpdateHandle {
 }
 
 impl UpdateHandle {
-    /// Blocks until every worker engine has applied the update batch and returns what
-    /// the **dispatched batch** did (from the first worker to apply it; all workers hold
-    /// identical graph replicas, so the summaries agree).
+    /// Blocks until the update's epoch is published and returns what the batch did.
     ///
-    /// Consecutive [`PathService::update`] calls sitting in the admission queue coalesce
-    /// into one dispatched batch, and every coalesced handle resolves with that batch's
-    /// *combined* summary — `applied`/`net_*` may therefore cover more mutations than
-    /// this handle's own call submitted. Per-call attribution needs a `wait()` between
-    /// the calls (which serialises them into separate batches).
-    ///
-    /// Once `wait` returns, every query submitted *after* the corresponding
-    /// [`PathService::update`] call executes against the updated graph — queries
-    /// submitted before it saw the old snapshot regardless.
+    /// Publication is synchronous with [`PathService::update`] — the handle is ready by
+    /// the time that call returns — so `wait` never blocks behind query execution: the
+    /// epoch protocol applies updates to worker engines lazily, per pinned micro-batch,
+    /// not behind a pool-wide barrier. Once `wait` returns (equivalently, once the
+    /// `update` call itself returned), every query submitted afterwards executes against
+    /// the updated snapshot; queries submitted before it keep their pinned pre-update
+    /// snapshot regardless of execution timing.
     ///
     /// # Panics
     ///
-    /// Panics if the service failed internally while dispatching the update (the update
-    /// can never complete; panicking surfaces that instead of hanging forever).
+    /// Panics if the service failed internally while publishing the update. Use
+    /// [`UpdateHandle::wait_result`] to handle that case as an error.
     pub fn wait(self) -> UpdateSummary {
+        self.wait_result()
+            .expect("update abandoned: the service failed while publishing it")
+    }
+
+    /// Blocks until the update's epoch is published; returns [`Abandoned`] instead of
+    /// panicking when the service failed internally.
+    pub fn wait_result(self) -> Result<UpdateSummary, Abandoned> {
         let mut state = self.slot.state.lock().unwrap();
         loop {
             match std::mem::take(&mut *state) {
-                UpdateState::Ready(summary) => return summary,
-                UpdateState::Abandoned => {
-                    panic!("update abandoned: the service failed while dispatching it")
-                }
+                UpdateState::Ready(summary) => return Ok(summary),
+                UpdateState::Abandoned => return Err(Abandoned),
                 UpdateState::Pending => state = self.slot.ready.wait(state).unwrap(),
             }
         }
+    }
+
+    /// Non-blocking claim: the summary (or the abandonment) if it is already decided,
+    /// otherwise the handle itself back, still waitable.
+    #[allow(clippy::result_large_err)] // Err is the handle handed back, not an error.
+    pub fn try_wait(self) -> Result<Result<UpdateSummary, Abandoned>, UpdateHandle> {
+        {
+            let mut state = self.slot.state.lock().unwrap();
+            match std::mem::take(&mut *state) {
+                UpdateState::Ready(summary) => return Ok(Ok(summary)),
+                UpdateState::Abandoned => return Ok(Err(Abandoned)),
+                UpdateState::Pending => {}
+            }
+        }
+        Err(self)
     }
 
     /// Whether the update has completed (non-blocking).
@@ -255,124 +366,34 @@ impl UpdateHandle {
     }
 }
 
-/// An update batch travelling through the admission queue.
-struct UpdateRequest {
-    updates: Vec<GraphUpdate>,
-    slot: Arc<UpdateSlot>,
+/// The service's shared epoch state: the single-writer publisher behind the admission
+/// lock, plus a lock-free mirror of the tip id so workers can cheaply detect whether a
+/// batch they just finished was pinned behind the tip.
+struct EpochCell {
+    /// Serialises publishes against tip pins: `submit_spec` reads the tip and enqueues
+    /// under this lock, `update` publishes under it, so epoch order *is* admission order.
+    publisher: Mutex<EpochPublisher>,
+    /// The tip epoch's id, mirrored on every publish (`Release`; readers `Acquire`).
+    tip_id: AtomicU64,
 }
 
-/// One or more [`UpdateRequest`]s merged into a single dispatchable batch: consecutive
-/// updates sitting in the admission queue coalesce here, so the worker pool pays one
-/// window close and one rendezvous for the whole run of updates. Every original
-/// submission keeps its own completion slot; all of them resolve with the combined
-/// batch's summary.
-struct CoalescedUpdate {
-    updates: Arc<Vec<GraphUpdate>>,
-    slots: Vec<Arc<UpdateSlot>>,
-}
-
-/// Everything that can enter the admission queue, in one serialised order: the position
-/// of an update among the queries defines which snapshot each query sees.
-enum Admission {
-    Query(Submission),
-    Update(UpdateRequest),
-}
-
-/// Rendezvous point all workers must reach before any post-update batch runs.
-///
-/// The batcher enqueues one [`WorkItem::Update`] ticket per worker. A worker that takes a
-/// ticket applies the updates to *its* engine and then blocks here until the remaining
-/// workers have done the same — because each waiting worker holds exactly one ticket and
-/// the queue is FIFO, no worker can reach a batch enqueued after the update while any
-/// pre-update batch is still executing, and no worker can take two tickets of the same
-/// update. That barrier is what makes an update a consistent snapshot boundary across a
-/// pool of replicated engines.
-struct UpdateRendezvous {
-    state: Mutex<RendezvousState>,
-    done: Condvar,
-    /// Completion slots of every coalesced update submission the batch absorbed.
-    slots: Vec<Arc<UpdateSlot>>,
-}
-
-/// Arrival bookkeeping of one update's rendezvous.
-struct RendezvousState {
-    remaining: usize,
-    /// First summary from a worker whose `apply_updates` succeeded directly.
-    trusted: Option<UpdateSummary>,
-    /// First summary from a worker that went through panic recovery — its re-apply ran
-    /// over a possibly already-swapped graph, so its `applied`/`ignored` split is not
-    /// representative. Only reported if *every* worker had to recover.
-    fallback: Option<UpdateSummary>,
-}
-
-impl UpdateRendezvous {
-    fn new(workers: usize, slots: Vec<Arc<UpdateSlot>>) -> Self {
-        UpdateRendezvous {
-            state: Mutex::new(RendezvousState {
-                remaining: workers,
-                trusted: None,
-                fallback: None,
-            }),
-            done: Condvar::new(),
-            slots,
+impl EpochCell {
+    fn new(graph: Arc<DiGraph>) -> Self {
+        let publisher = EpochPublisher::new(graph);
+        let tip_id = AtomicU64::new(publisher.tip().id());
+        EpochCell {
+            publisher: Mutex::new(publisher),
+            tip_id,
         }
     }
 
-    /// Reports this worker's application of the update and blocks until all have. The
-    /// last arrival records the agreed summary into `stats` and *then* fulfills every
-    /// coalesced handle — a caller returning from [`UpdateHandle::wait`] may immediately
-    /// snapshot [`PathService::stats`] and must see the update counted.
-    fn arrive(&self, summary: UpdateSummary, trusted: bool, stats: &Mutex<ServiceStats>) {
-        let mut state = self.state.lock().unwrap();
-        if trusted {
-            if state.trusted.is_none() {
-                state.trusted = Some(summary);
-            }
-        } else if state.fallback.is_none() {
-            state.fallback = Some(summary);
-        }
-        state.remaining -= 1;
-        if state.remaining == 0 {
-            let agreed = state
-                .trusted
-                .or(state.fallback)
-                .expect("at least one arrival recorded a summary");
-            stats
-                .lock()
-                .unwrap()
-                .record_update(&agreed, self.slots.len());
-            for slot in &self.slots {
-                slot.fulfill(agreed);
-            }
-            self.done.notify_all();
-        } else {
-            while state.remaining > 0 {
-                state = self.done.wait(state).unwrap();
-            }
-        }
+    fn tip(&self) -> Arc<Epoch> {
+        self.publisher.lock().unwrap().tip()
     }
-}
 
-impl Drop for UpdateRendezvous {
-    /// Tickets dropped undelivered (service shutting down mid-dispatch) must not leave
-    /// any coalesced update handle blocked forever.
-    fn drop(&mut self) {
-        for slot in &self.slots {
-            slot.abandon();
-        }
+    fn tip_id(&self) -> u64 {
+        self.tip_id.load(Ordering::Acquire)
     }
-}
-
-/// One ticket of an update's rendezvous (the batcher enqueues one per worker).
-struct UpdateTicket {
-    updates: Arc<Vec<GraphUpdate>>,
-    rendezvous: Arc<UpdateRendezvous>,
-}
-
-/// What the worker pool consumes: micro-batches of queries, or update tickets.
-enum WorkItem {
-    Batch(Vec<Submission>),
-    Update(UpdateTicket),
 }
 
 /// Configures and starts a [`PathService`].
@@ -449,17 +470,17 @@ impl PathServiceBuilder {
     pub fn start(self, graph: impl Into<Arc<DiGraph>>) -> PathService {
         let graph = graph.into();
         let workers = self.workers.max(1);
-        let (submit_tx, submit_rx) = mpsc::channel::<Admission>();
-        let (batch_tx, batch_rx) = mpsc::channel::<WorkItem>();
+        let epoch = Arc::new(EpochCell::new(graph));
+        let (submit_tx, submit_rx) = mpsc::channel::<Submission>();
+        let (batch_tx, batch_rx) = mpsc::channel::<MicroBatch>();
         let policy = self.policy;
-        let batcher =
-            std::thread::spawn(move || batcher_loop(submit_rx, batch_tx, policy, workers));
+        let batcher = std::thread::spawn(move || batcher_loop(submit_rx, batch_tx, policy));
 
         let batch_rx = Arc::new(Mutex::new(batch_rx));
         let stats = Arc::new(Mutex::new(ServiceStats::default()));
         let workers = (0..workers)
             .map(|_| {
-                let graph = Arc::clone(&graph);
+                let epoch = Arc::clone(&epoch);
                 let batch_rx = Arc::clone(&batch_rx);
                 let stats = Arc::clone(&stats);
                 let config = self.config;
@@ -475,7 +496,7 @@ impl PathServiceBuilder {
                 };
                 std::thread::spawn(move || {
                     worker_loop(
-                        graph,
+                        epoch,
                         config,
                         root_cap,
                         exec_threads,
@@ -488,7 +509,7 @@ impl PathServiceBuilder {
             .collect();
 
         PathService {
-            num_vertices: Mutex::new(graph.num_vertices()),
+            epoch,
             submit_tx: Some(submit_tx),
             batcher: Some(batcher),
             workers,
@@ -499,216 +520,119 @@ impl PathServiceBuilder {
 }
 
 /// Collects submissions into micro-batches according to the policy: a window opens when
-/// its first query arrives and closes at the size cap, the deadline, **or the arrival of
-/// a graph update**, whichever first.
+/// its first query arrives and closes at the size cap, the deadline, **or an epoch
+/// change**, whichever first.
 ///
-/// Updates are serialised against micro-batches by their admission order: an update
-/// closes the open window immediately (queries admitted before it execute against the
-/// old snapshot) and is dispatched as one rendezvous ticket per worker *before* any later
-/// window, so queries admitted after it can only execute once every worker engine has
-/// switched to the new snapshot. Before dispatching, every update already sitting in the
-/// admission queue *directly behind* the first one is drained into the same batch
-/// (update-aware admission): a burst of `n` back-to-back updates costs one window close
-/// and one worker rendezvous instead of `n`, so update-heavy traffic no longer shreds
-/// micro-batches. A query encountered while draining ends the run (admission order is
-/// preserved) and seeds the next window.
-fn batcher_loop(
-    rx: Receiver<Admission>,
-    batch_tx: Sender<WorkItem>,
-    policy: BatchPolicy,
-    workers: usize,
-) {
-    // A query popped while draining coalesced updates; it must open the next window.
+/// Every submission carries the epoch pinned at its admission; a window holds
+/// submissions of exactly one epoch. When an arriving submission pins a *different*
+/// epoch than the window's, the window closes (its queries execute against their pinned
+/// snapshot, undisturbed) and the newcomer seeds the next window. The batcher never sees
+/// updates at all — publication happens synchronously inside [`PathService::update`] —
+/// so a no-op update, which republishes the same tip, splits nothing.
+fn batcher_loop(rx: Receiver<Submission>, batch_tx: Sender<MicroBatch>, policy: BatchPolicy) {
+    // A submission that pinned a newer epoch than the open window; it closed that window
+    // and must open the next one.
     let mut carry: Option<Submission> = None;
     loop {
         let first = match carry.take() {
-            Some(submission) => Admission::Query(submission),
+            Some(submission) => submission,
             None => match rx.recv() {
-                Ok(admission) => admission,
+                Ok(submission) => submission,
                 Err(_) => return,
             },
         };
-        let first = match first {
-            Admission::Update(request) => {
-                let (combined, next_query) = coalesce_updates(request, &rx);
-                carry = next_query;
-                if !dispatch_update(&batch_tx, combined, workers) {
-                    return;
-                }
-                continue;
-            }
-            Admission::Query(submission) => submission,
-        };
-        let mut batch = vec![first];
-        let mut window_closer: Option<UpdateRequest> = None;
+        let epoch = Arc::clone(&first.epoch);
+        let mut submissions = vec![first];
         if !policy.is_per_query() {
             let deadline = Instant::now() + policy.max_delay;
-            while batch.len() < policy.max_batch_size {
+            while submissions.len() < policy.max_batch_size {
                 let remaining = deadline.saturating_duration_since(Instant::now());
                 if remaining.is_zero() {
                     break;
                 }
                 match rx.recv_timeout(remaining) {
-                    Ok(Admission::Query(submission)) => batch.push(submission),
-                    Ok(Admission::Update(request)) => {
-                        // The update is a snapshot boundary: the window closes here so
-                        // everything already admitted runs against the old graph.
-                        window_closer = Some(request);
-                        break;
+                    Ok(submission) => {
+                        if submission.epoch.id() != epoch.id() {
+                            // Epoch boundary: this window's queries keep their pinned
+                            // snapshot; the newcomer seeds the next window.
+                            carry = Some(submission);
+                            break;
+                        }
+                        submissions.push(submission);
                     }
                     Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
                 }
             }
         }
-        if batch_tx.send(WorkItem::Batch(batch)).is_err() {
+        if batch_tx.send(MicroBatch { submissions, epoch }).is_err() {
             return;
-        }
-        if let Some(request) = window_closer {
-            let (combined, next_query) = coalesce_updates(request, &rx);
-            carry = next_query;
-            if !dispatch_update(&batch_tx, combined, workers) {
-                return;
-            }
         }
     }
     // Submission side disconnected: dropping `batch_tx` lets the workers drain and exit.
 }
 
-/// Drains every update immediately queued behind `first` into one combined batch
-/// (mutations concatenated in admission order, one completion slot per original
-/// submission). Draining stops at the first query — returned as the seed of the next
-/// admission window — or when the queue runs dry.
-fn coalesce_updates(
-    first: UpdateRequest,
-    rx: &Receiver<Admission>,
-) -> (CoalescedUpdate, Option<Submission>) {
-    let mut updates = first.updates;
-    let mut slots = vec![first.slot];
-    let mut carry = None;
-    loop {
-        match rx.try_recv() {
-            Ok(Admission::Update(request)) => {
-                updates.extend(request.updates);
-                slots.push(request.slot);
-            }
-            Ok(Admission::Query(submission)) => {
-                carry = Some(submission);
-                break;
-            }
-            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
-        }
-    }
-    (
-        CoalescedUpdate {
-            updates: Arc::new(updates),
-            slots,
-        },
-        carry,
-    )
-}
-
-/// Enqueues one rendezvous ticket per worker for a (coalesced) update batch. Returns
-/// `false` when the worker pool is gone (the rendezvous' drop abandons every handle).
-fn dispatch_update(batch_tx: &Sender<WorkItem>, combined: CoalescedUpdate, workers: usize) -> bool {
-    let rendezvous = Arc::new(UpdateRendezvous::new(workers, combined.slots));
-    for _ in 0..workers {
-        let ticket = UpdateTicket {
-            updates: Arc::clone(&combined.updates),
-            rendezvous: Arc::clone(&rendezvous),
-        };
-        if batch_tx.send(WorkItem::Update(ticket)).is_err() {
-            return false;
-        }
-    }
-    true
-}
-
 /// Executes micro-batches on one reusable engine, routing results back per query.
-/// `exec_threads > 1` runs each micro-batch on the cluster-sharded parallel executor,
-/// with `cluster_cap` bounding the similarity clusters so cohesive batches still split
-/// into parallel units.
+///
+/// Before running a batch, the engine advances to the batch's pinned epoch
+/// ([`Engine::advance_to_epoch`]): a no-op when already there, an incremental index
+/// maintenance step when the epochs' retained deltas cover the gap, an index
+/// invalidation otherwise — never a barrier against other workers. `exec_threads > 1`
+/// runs each micro-batch on the cluster-sharded parallel executor, with `cluster_cap`
+/// bounding the similarity clusters so cohesive batches still split into parallel units.
 fn worker_loop(
-    graph: Arc<DiGraph>,
+    epoch_cell: Arc<EpochCell>,
     config: BatchEngine,
     root_cap: Option<usize>,
     exec_threads: usize,
     cluster_cap: Option<usize>,
-    batch_rx: Arc<Mutex<Receiver<WorkItem>>>,
+    batch_rx: Arc<Mutex<Receiver<MicroBatch>>>,
     stats: Arc<Mutex<ServiceStats>>,
 ) {
-    let mut engine = Engine::new(graph, config);
+    let mut engine = Engine::at_epoch(&epoch_cell.tip(), config);
     engine.set_index_root_cap(root_cap);
     engine.set_parallel_cluster_cap(cluster_cap);
     loop {
         // Hold the lock only while waiting for one item; the next worker queues on the
         // mutex, so batches spread across the pool without a work-stealing scheduler.
-        // The guard must be released *before* the item is processed — an update ticket
-        // blocks at a rendezvous that the sibling workers can only reach through this
-        // same mutex (a `match recv()` scrutinee would keep the guard alive across the
-        // arms and deadlock the pool).
         let item = { batch_rx.lock().unwrap().recv() };
         let batch = match item {
-            Ok(WorkItem::Batch(batch)) => batch,
-            Ok(WorkItem::Update(ticket)) => {
-                // Apply the update to this worker's engine replica, then wait at the
-                // rendezvous until every sibling has done the same (see
-                // `UpdateRendezvous`). A panicking apply must still arrive — a missing
-                // arrival would deadlock the whole pool — so the recovery path rebuilds
-                // a fresh engine (no cached index, nothing left to maintain) and
-                // re-applies: updates are idempotent, so re-applying over a graph the
-                // first attempt already swapped yields the same snapshot.
-                let (summary, trusted) =
-                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        engine.apply_updates(&ticket.updates)
-                    })) {
-                        Ok(summary) => (summary, true),
-                        Err(_) => {
-                            let mut fresh = Engine::new(engine.graph_arc(), engine.config());
-                            fresh.set_index_root_cap(engine.index_root_cap());
-                            fresh.set_parallel_cluster_cap(engine.parallel_cluster_cap());
-                            // The re-apply runs over a graph the first attempt may
-                            // already have swapped, so this summary's applied/ignored
-                            // split is untrustworthy — flag it as a fallback.
-                            let summary = fresh.apply_updates(&ticket.updates);
-                            engine = fresh;
-                            (summary, false)
-                        }
-                    };
-                ticket.rendezvous.arrive(summary, trusted, &stats);
-                continue;
-            }
+            Ok(batch) => batch,
             Err(_) => return,
         };
 
         let exec_start = Instant::now();
-        let specs: Vec<QuerySpec> = batch.iter().map(|s| s.spec).collect();
+        let specs: Vec<QuerySpec> = batch.submissions.iter().map(|s| s.spec).collect();
         // A panicking batch (e.g. a query panicking deep in the enumeration) must not
         // kill the worker: the batch's submissions are dropped by the unwind, which
         // abandons their slots (waking the waiters), and the worker serves on with a
-        // fresh engine — the cached index may be mid-mutation.
-        let outcome = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            if exec_threads > 1 {
+        // fresh engine at the batch's epoch — the cached index may be mid-mutation.
+        let executed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let advance = engine.advance_to_epoch(&batch.epoch);
+            let outcome = if exec_threads > 1 {
                 engine.run_specs_parallel(&specs, Parallelism::Fixed(exec_threads))
             } else {
                 engine.run_specs(&specs)
-            }
-        })) {
-            Ok(outcome) => outcome,
+            };
+            (advance, outcome)
+        }));
+        let (advance, outcome) = match executed {
+            Ok(pair) => pair,
             Err(_) => {
+                let epoch = Arc::clone(&batch.epoch);
                 drop(batch);
-                let mut fresh = Engine::new(engine.graph_arc(), engine.config());
-                fresh.set_index_root_cap(engine.index_root_cap());
-                fresh.set_parallel_cluster_cap(engine.parallel_cluster_cap());
+                let mut fresh = Engine::at_epoch(&epoch, config);
+                fresh.set_index_root_cap(root_cap);
+                fresh.set_parallel_cluster_cap(cluster_cap);
                 engine = fresh;
                 continue;
             }
         };
         let exec_time = exec_start.elapsed();
 
-        let batch_size = batch.len();
+        let batch_size = batch.submissions.len();
         let mut total_queue_wait = Duration::ZERO;
         let mut max_queue_wait = Duration::ZERO;
-        for submission in &batch {
+        for submission in &batch.submissions {
             let queue_wait = exec_start.saturating_duration_since(submission.submitted_at);
             total_queue_wait += queue_wait;
             max_queue_wait = max_queue_wait.max(queue_wait);
@@ -716,15 +640,24 @@ fn worker_loop(
 
         // Record before delivering: a caller returning from `wait()` may immediately
         // snapshot `PathService::stats()` and must see this batch counted.
-        stats.lock().unwrap().record(&MicroBatchStats {
-            batch_size,
-            max_queue_wait,
-            total_queue_wait,
-            exec_time,
-            run: outcome.stats,
-        });
+        {
+            let mut stats = stats.lock().unwrap();
+            stats.record(&MicroBatchStats {
+                batch_size,
+                max_queue_wait,
+                total_queue_wait,
+                exec_time,
+                run: outcome.stats,
+            });
+            if batch.epoch.id() < epoch_cell.tip_id() {
+                // This batch ran to completion against a superseded snapshot — the
+                // barrier-free read the epoch protocol exists for.
+                stats.batches_pinned_behind += 1;
+            }
+            stats.rebfs_avoided += advance.supported_deletes;
+        }
 
-        for (submission, response) in batch.into_iter().zip(outcome.responses) {
+        for (submission, response) in batch.submissions.into_iter().zip(outcome.responses) {
             let queue_wait = exec_start.saturating_duration_since(submission.submitted_at);
             submission.slot.fulfill(SpecResult {
                 response,
@@ -764,15 +697,22 @@ fn worker_loop(
 /// ```
 #[derive(Debug)]
 pub struct PathService {
-    /// Current vertex-space size used for endpoint validation. Grows when updates insert
-    /// edges touching new vertex ids; the mutex is held across admission sends so the
-    /// count a `submit` validated against is consistent with the admission order.
-    num_vertices: Mutex<usize>,
-    submit_tx: Option<Sender<Admission>>,
+    /// The epoch protocol state shared with the worker pool. Also the admission lock:
+    /// pinning a tip for a query and publishing a new tip for an update serialise here.
+    epoch: Arc<EpochCell>,
+    submit_tx: Option<Sender<Submission>>,
     batcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     stats: Arc<Mutex<ServiceStats>>,
     started_at: Instant,
+}
+
+impl std::fmt::Debug for EpochCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochCell")
+            .field("tip_id", &self.tip_id())
+            .finish_non_exhaustive()
+    }
 }
 
 impl PathService {
@@ -792,6 +732,9 @@ impl PathService {
     /// work the query costs: an `Exists` probe or a `FirstK` request stops the moment it
     /// is satisfied, even mid-micro-batch next to full-enumeration queries.
     ///
+    /// The query executes against the tip [`Epoch`] pinned here, at admission: updates
+    /// published later never change what it returns, and it never waits for them.
+    ///
     /// Note on `FirstK` determinism: the returned paths are the first `k` in the
     /// engine's enumeration order *for the executed micro-batch* — a deterministic
     /// function of the batch (and always a subset of the full result set), but batching
@@ -803,26 +746,30 @@ impl PathService {
     /// caller's thread, exactly like the offline `BatchEngine` would, rather than
     /// poisoning a worker that is executing other users' queries.
     pub fn submit_spec(&self, spec: QuerySpec) -> SpecHandle {
-        // The vertex-count lock is held across the send: a query validated against the
-        // grown count is guaranteed to be admitted *after* the update that grew it.
-        let n = self.num_vertices.lock().unwrap();
+        // The admission lock is held across the send: the pinned tip cannot be
+        // superseded between validation and admission, so a query validated against a
+        // grown vertex space is guaranteed to be admitted after the update that grew it.
+        let publisher = self.epoch.publisher.lock().unwrap();
+        let tip = publisher.tip();
+        let n = tip.graph().num_vertices();
         let query = spec.query;
         assert!(
-            query.source.index() < *n && query.target.index() < *n,
-            "{query} endpoints out of range for a graph of {} vertices",
-            *n
+            query.source.index() < n && query.target.index() < n,
+            "{query} endpoints out of range for a graph of {n} vertices"
         );
         let slot = Arc::new(ResultSlot::default());
         let submission = Submission {
             spec,
             submitted_at: Instant::now(),
+            epoch: tip,
             slot: Arc::clone(&slot),
         };
         self.submit_tx
             .as_ref()
             .expect("service is running")
-            .send(Admission::Query(submission))
+            .send(submission)
             .expect("service threads are alive");
+        drop(publisher);
         SpecHandle { slot }
     }
 
@@ -839,43 +786,50 @@ impl PathService {
         }
     }
 
-    /// Submits a batch of graph updates (edge insertions/deletions); returns a handle
-    /// that completes once **every** worker engine has applied them.
+    /// Applies a batch of graph updates (edge insertions/deletions) by publishing a new
+    /// [`Epoch`]; returns a handle that is already complete when this call returns.
     ///
-    /// Updates are serialised against in-flight micro-batches by admission order: the
-    /// open admission window closes when the update arrives, queries submitted before
-    /// this call execute against the pre-update snapshot, and queries submitted after it
-    /// execute against the post-update snapshot — on every worker, because the update is
-    /// a rendezvous barrier across the pool. Updates submitted back to back (no query in
-    /// between) coalesce into one dispatched batch; every coalesced handle then reports
-    /// the *combined* batch's summary (see [`UpdateHandle::wait`]). Insertions may grow
-    /// the vertex space; queries naming the new vertices validate from the moment this
-    /// call returns.
+    /// Publication is synchronous and barrier-free: the new tip is built and swapped in
+    /// under the admission lock, so queries submitted before this call keep their pinned
+    /// pre-update snapshot (and keep executing, even if their micro-batch is still
+    /// waiting or running when the epoch lands) while queries submitted after it pin the
+    /// post-update snapshot. No worker stops; worker engines advance to the new epoch
+    /// lazily, when they next pick up a batch pinned to it. Insertions may grow the
+    /// vertex space; queries naming the new vertices validate from the moment this call
+    /// returns.
     ///
     /// Results are exactly those of an offline engine over the corresponding snapshot:
-    /// the update path changes *when* queries run, never *what* they return.
+    /// the update path changes *which snapshot* a query sees (by admission order), never
+    /// *what* a given snapshot returns.
+    ///
+    /// A poisoned admission lock (a submitter panicked mid-admission, e.g. on endpoint
+    /// validation) means the epoch sequence can no longer advance consistently: the
+    /// returned handle is *abandoned* — [`UpdateHandle::wait_result`] reports
+    /// [`Abandoned`] — instead of propagating that panic into this caller.
     pub fn update(&self, updates: impl Into<Vec<GraphUpdate>>) -> UpdateHandle {
         let updates: Vec<GraphUpdate> = updates.into();
         let slot = Arc::new(UpdateSlot::default());
-        let request = UpdateRequest {
-            updates,
-            slot: Arc::clone(&slot),
+        let (summary, published) = {
+            let Ok(mut publisher) = self.epoch.publisher.lock() else {
+                slot.abandon();
+                return UpdateHandle { slot };
+            };
+            let before = publisher.tip().id();
+            let (tip, summary) = publisher.publish(&updates);
+            let published = tip.id() != before;
+            self.epoch.tip_id.store(tip.id(), Ordering::Release);
+            (summary, published)
         };
-        // Grow the validation vertex count under the same lock that orders admission
-        // (see `submit`): inserts touching new ids make those ids addressable for every
-        // submit that observes the new count.
-        let mut n = self.num_vertices.lock().unwrap();
-        for update in request.updates.iter() {
-            if let GraphUpdate::Insert(u, v) = *update {
-                *n = (*n).max(u.index() + 1).max(v.index() + 1);
+        // Record before fulfilling: a caller returning from `wait()` may immediately
+        // snapshot `PathService::stats()` and must see this update counted.
+        {
+            let mut stats = self.stats.lock().unwrap();
+            stats.record_update(&summary, 1);
+            if published {
+                stats.epochs_published += 1;
             }
         }
-        self.submit_tx
-            .as_ref()
-            .expect("service is running")
-            .send(Admission::Update(request))
-            .expect("service threads are alive");
-        drop(n);
+        slot.fulfill(summary);
         UpdateHandle { slot }
     }
 
@@ -914,6 +868,11 @@ impl PathService {
     /// A snapshot of the aggregate service statistics so far.
     pub fn stats(&self) -> ServiceStats {
         self.stats.lock().unwrap().clone()
+    }
+
+    /// The current tip epoch's version id (0 until the first effective update).
+    pub fn epoch_id(&self) -> u64 {
+        self.epoch.tip_id()
     }
 
     /// Wall-clock time since the service started (the denominator for
@@ -1131,7 +1090,7 @@ mod tests {
         let graph = DiGraph::from_edge_list(4, &[(0, 1), (1, 3)]).unwrap();
         let q = PathQuery::new(0u32, 3u32, 3);
         // A generous window: the pre-update query would otherwise wait out the deadline;
-        // the update must close the window instead.
+        // the epoch change carried by `after` must close the window instead.
         let service = PathService::builder()
             .policy(BatchPolicy::by_size(64, Duration::from_secs(30)))
             .start(graph);
@@ -1142,19 +1101,20 @@ mod tests {
         ]);
         let after = service.submit(q);
         // Shutdown flushes the (30 s) window holding `after`; the window holding
-        // `before` must already have been closed by the update itself.
+        // `before` must already have been split off by the epoch boundary.
         let stats = service.shutdown();
 
         let before = before.wait();
         assert_eq!(before.paths.len(), 1, "pre-update snapshot");
         assert_eq!(
             before.batch_size, 1,
-            "the update must have closed the first window before `after` arrived"
+            "the epoch change must have closed the first window before `after` joined it"
         );
         assert_eq!(after.wait().paths.len(), 2, "post-update snapshot");
         assert_eq!(update.wait().applied, 2);
         assert_eq!(stats.update_batches, 1);
         assert_eq!(stats.updates_applied, 2);
+        assert_eq!(stats.epochs_published, 1);
     }
 
     #[test]
@@ -1166,7 +1126,7 @@ mod tests {
             .policy(BatchPolicy::immediate())
             .start(graph);
         // Warm all workers on the old graph, then update, then hammer again: whichever
-        // worker picks a post-update query must see the new snapshot.
+        // worker picks a post-update query must advance its engine to the new epoch.
         for handle in service.submit_all(std::iter::repeat_n(q, 8)) {
             assert_eq!(handle.wait().paths.len(), 1);
         }
@@ -1181,6 +1141,7 @@ mod tests {
         }
         let stats = service.shutdown();
         assert_eq!(stats.update_batches, 1, "one update however many workers");
+        assert_eq!(stats.epochs_published, 1);
     }
 
     #[test]
@@ -1224,7 +1185,10 @@ mod tests {
         assert_eq!(summary, UpdateSummary::default());
         let handle = service.update(vec![GraphUpdate::insert(0u32, 1u32)]);
         assert_eq!(handle.wait().ignored, 1);
-        assert_eq!(service.stats().update_batches, 2);
+        let stats = service.stats();
+        assert_eq!(stats.update_batches, 2);
+        assert_eq!(stats.epochs_published, 0, "no-op updates publish no epoch");
+        assert_eq!(service.epoch_id(), 0);
         service.shutdown();
     }
 
@@ -1236,11 +1200,12 @@ mod tests {
             .start(graph);
         let query = service.submit(PathQuery::new(0u32, 3u32, 2));
         let update = service.update(vec![GraphUpdate::delete(0u32, 3u32)]);
+        // Publication is synchronous: the handle is ready before shutdown.
+        assert!(update.is_ready());
         let stats = service.shutdown();
         assert_eq!(stats.update_batches, 1);
-        assert!(update.is_ready());
         assert_eq!(update.wait().applied, 1);
-        // The query was admitted before the update: old snapshot (direct edge intact).
+        // The query pinned the pre-update epoch: old snapshot (direct edge intact).
         assert!(
             query.wait().paths.iter().any(|p| p.len() == 2),
             "direct 0 -> 3 path must exist pre-update"
@@ -1293,68 +1258,92 @@ mod tests {
     }
 
     #[test]
-    fn queued_updates_coalesce_into_one_dispatch() {
-        // Drive the batcher loop directly with a preloaded admission queue, so the
-        // coalescing path is deterministic (no racing against live threads).
-        let (tx, rx) = mpsc::channel::<Admission>();
-        let (batch_tx, batch_rx) = mpsc::channel::<WorkItem>();
-        let query = |s: u32| Submission {
-            spec: QuerySpec::collect(PathQuery::new(s, 3u32, 2)),
+    fn epoch_changes_split_admission_windows() {
+        // Drive the batcher loop directly with a preloaded queue, so window splitting is
+        // deterministic (no racing against live threads).
+        let mut publisher = EpochPublisher::new(DiGraph::from_edge_list(4, &[(0, 1)]).unwrap());
+        let e0 = publisher.tip();
+        let (e1, _) = publisher.publish(&[GraphUpdate::insert(1u32, 2u32)]);
+        assert_ne!(e0.id(), e1.id());
+
+        let submission = |s: u32, epoch: &Arc<Epoch>| Submission {
+            spec: QuerySpec::collect(PathQuery::new(s, 1u32, 2)),
             submitted_at: Instant::now(),
+            epoch: Arc::clone(epoch),
             slot: Arc::new(ResultSlot::default()),
         };
-        let update_slots: Vec<Arc<UpdateSlot>> =
-            (0..3).map(|_| Arc::new(UpdateSlot::default())).collect();
-        tx.send(Admission::Query(query(0))).unwrap();
-        for (i, slot) in update_slots.iter().enumerate() {
-            tx.send(Admission::Update(UpdateRequest {
-                updates: vec![GraphUpdate::insert(i as u32, 3u32)],
-                slot: Arc::clone(slot),
-            }))
-            .unwrap();
-        }
-        tx.send(Admission::Query(query(1))).unwrap();
+        let (tx, rx) = mpsc::channel::<Submission>();
+        let (batch_tx, batch_rx) = mpsc::channel::<MicroBatch>();
+        tx.send(submission(0, &e0)).unwrap();
+        tx.send(submission(1, &e0)).unwrap();
+        tx.send(submission(2, &e1)).unwrap();
+        tx.send(submission(3, &e1)).unwrap();
         drop(tx);
-        let workers = 2;
-        batcher_loop(rx, batch_tx, BatchPolicy::immediate(), workers);
+        batcher_loop(
+            rx,
+            batch_tx,
+            BatchPolicy::by_size(64, Duration::from_secs(30)),
+        );
 
-        // Expected stream: the first query's window, ONE coalesced update (as one ticket
-        // per worker, all sharing the 3 merged mutations), then the carried query.
-        let items: Vec<WorkItem> = batch_rx.try_iter().collect();
-        assert_eq!(items.len(), 4, "batch + 2 tickets + batch");
-        assert!(matches!(&items[0], WorkItem::Batch(b) if b.len() == 1));
-        assert!(matches!(&items[3], WorkItem::Batch(b) if b.len() == 1));
-        let stats = Mutex::new(ServiceStats::default());
-        // `arrive` is a barrier across the pool: simulate the two workers concurrently.
-        std::thread::scope(|scope| {
-            for item in &items[1..3] {
-                let WorkItem::Update(ticket) = item else {
-                    panic!("expected an update ticket");
-                };
-                assert_eq!(ticket.updates.len(), 3, "all three updates in one batch");
-                let stats = &stats;
-                scope.spawn(move || {
-                    ticket
-                        .rendezvous
-                        .arrive(UpdateSummary::default(), true, stats)
-                });
-            }
-        });
-        // One dispatched batch absorbed three update() calls; every handle resolved.
-        let stats = stats.into_inner().unwrap();
-        assert_eq!(stats.update_batches, 1);
-        assert_eq!(stats.update_calls, 3);
-        for slot in update_slots {
-            let handle = UpdateHandle { slot };
-            assert!(handle.is_ready());
-            handle.wait();
-        }
+        // Despite one window having room for all four, the epoch boundary splits them.
+        let batches: Vec<MicroBatch> = batch_rx.try_iter().collect();
+        assert_eq!(batches.len(), 2, "one window per epoch");
+        assert_eq!(batches[0].epoch.id(), e0.id());
+        assert_eq!(batches[0].submissions.len(), 2);
+        assert_eq!(batches[1].epoch.id(), e1.id());
+        assert_eq!(batches[1].submissions.len(), 2);
+    }
+
+    #[test]
+    fn pinned_batches_complete_while_updates_publish() {
+        // The MVCC headline: a query batching under a long window neither blocks an
+        // update nor is flushed by it; it completes later against its pinned snapshot.
+        let graph = grid(4, 4);
+        let q = PathQuery::new(0u32, 15u32, 6);
+        let expected_before = offline_counts(&graph, &[q])[0];
+        let service = PathService::builder()
+            .policy(BatchPolicy::by_size(64, Duration::from_secs(30)))
+            .start(graph.clone());
+
+        let pinned = service.submit(q);
+        let update = service.update(vec![GraphUpdate::delete(0u32, 1u32)]);
+        // The update completed synchronously — it did not wait for the open window...
+        let summary = update.wait();
+        assert_eq!(summary.applied, 1);
+        // ...and it did not close the window either: the pinned query is still batching.
+        assert!(
+            !pinned.is_ready(),
+            "a (no-op for readers) publish must not flush the open admission window"
+        );
+        assert_eq!(service.stats().epochs_published, 1);
+
+        // A post-update submission pins the new epoch and thereby splits the window,
+        // releasing the pinned batch to execute against its old snapshot.
+        let after = service.submit(q);
+        let pinned = pinned.wait();
+        assert_eq!(
+            pinned.paths.len() as u64,
+            expected_before,
+            "pinned snapshot"
+        );
+        assert_eq!(pinned.batch_size, 1);
+
+        let mut delta = hcsp_graph::DeltaGraph::new(graph);
+        assert!(delta.delete_edge(VertexId(0), VertexId(1)));
+        let expected_after = offline_counts(&delta.compact(), &[q])[0];
+        assert_eq!(after.wait().paths.len() as u64, expected_after);
+
+        let stats = service.shutdown();
+        assert!(
+            stats.batches_pinned_behind >= 1,
+            "the pinned batch ran behind the tip"
+        );
     }
 
     #[test]
     fn update_bursts_stay_correct_end_to_end() {
         // A diamond built up by a burst of updates submitted without intermediate waits:
-        // whatever coalescing happens, admission order semantics must hold.
+        // every publish is its own epoch; admission order semantics must hold.
         let graph = DiGraph::from_edge_list(4, &[(0, 1), (1, 3)]).unwrap();
         let q = PathQuery::new(0u32, 3u32, 3);
         let service = PathService::builder()
@@ -1373,30 +1362,120 @@ mod tests {
             1,
             "post-update snapshot: 0->2->3 only"
         );
-        u1.wait();
-        u2.wait();
-        u3.wait();
+        assert_eq!(u1.wait().applied, 1);
+        assert_eq!(u2.wait().applied, 1);
+        assert_eq!(u3.wait().applied, 1);
         assert_eq!(stats.update_calls, 3);
-        assert!(
-            (1..=3).contains(&stats.update_batches),
-            "3 calls dispatch as 1..=3 batches, got {}",
-            stats.update_batches
-        );
+        assert_eq!(stats.update_batches, 3, "synchronous publish: one per call");
         assert_eq!(stats.updates_applied, 3);
+        assert_eq!(stats.epochs_published, 3);
     }
 
     #[test]
-    fn abandoned_update_slot_panics_instead_of_hanging() {
+    fn abandoned_slots_surface_errors_instead_of_hanging() {
+        let slot = Arc::new(ResultSlot::default());
+        let handle = SpecHandle {
+            slot: Arc::clone(&slot),
+        };
+        assert!(!handle.is_ready());
+        slot.abandon();
+        assert!(handle.is_ready());
+        assert_eq!(handle.wait_result().unwrap_err(), Abandoned);
+
+        let slot = Arc::new(ResultSlot::default());
+        let handle = SpecHandle {
+            slot: Arc::clone(&slot),
+        };
+        slot.abandon();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle.wait()));
+        assert!(outcome.is_err(), "wait() must surface the abandonment");
+
         let slot = Arc::new(UpdateSlot::default());
         let handle = UpdateHandle {
             slot: Arc::clone(&slot),
         };
         assert!(!handle.is_ready());
-        let rendezvous = UpdateRendezvous::new(2, vec![slot]);
-        drop(rendezvous);
+        slot.abandon();
         assert!(handle.is_ready());
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle.wait()));
-        assert!(outcome.is_err(), "wait() must surface the abandonment");
+        assert_eq!(handle.wait_result().unwrap_err(), Abandoned);
+        assert!(!Abandoned.to_string().is_empty());
+    }
+
+    #[test]
+    fn try_wait_returns_the_handle_back_while_pending() {
+        let slot = Arc::new(ResultSlot::default());
+        let handle = SpecHandle {
+            slot: Arc::clone(&slot),
+        };
+        let handle = match handle.try_wait() {
+            Err(handle) => handle,
+            Ok(_) => panic!("slot is still pending"),
+        };
+        slot.fulfill(SpecResult {
+            response: QueryResponse::Count(7),
+            queue_wait: Duration::ZERO,
+            batch_size: 1,
+        });
+        match handle.try_wait() {
+            Ok(Ok(result)) => assert_eq!(result.response, QueryResponse::Count(7)),
+            other => panic!("expected the fulfilled result, got {other:?}"),
+        }
+
+        let slot = Arc::new(UpdateSlot::default());
+        let handle = UpdateHandle {
+            slot: Arc::clone(&slot),
+        };
+        let handle = match handle.try_wait() {
+            Err(handle) => handle,
+            Ok(_) => panic!("slot is still pending"),
+        };
+        slot.fulfill(UpdateSummary::default());
+        match handle.try_wait() {
+            Ok(Ok(summary)) => assert_eq!(summary, UpdateSummary::default()),
+            other => panic!("expected the fulfilled summary, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wait_result_works_on_a_live_service() {
+        let service = PathService::builder()
+            .policy(BatchPolicy::immediate())
+            .start(complete(4));
+        let result = service
+            .submit(PathQuery::new(0u32, 3u32, 2))
+            .wait_result()
+            .expect("service is healthy");
+        assert!(!result.paths.is_empty());
+        let summary = service
+            .update(vec![GraphUpdate::delete(0u32, 3u32)])
+            .wait_result()
+            .expect("service is healthy");
+        assert_eq!(summary.applied, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn double_fulfill_is_an_invariant_violation_in_debug() {
+        if !cfg!(debug_assertions) {
+            return; // release builds log instead of panicking
+        }
+        let slot = ResultSlot::default();
+        let result = || SpecResult {
+            response: QueryResponse::Count(0),
+            queue_wait: Duration::ZERO,
+            batch_size: 1,
+        };
+        slot.fulfill(result());
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| slot.fulfill(result())));
+        assert!(outcome.is_err(), "double fulfill must debug-panic");
+
+        let slot = UpdateSlot::default();
+        slot.fulfill(UpdateSummary::default());
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            slot.fulfill(UpdateSummary::default())
+        }));
+        assert!(outcome.is_err(), "double fulfill must debug-panic");
     }
 
     #[test]
@@ -1404,6 +1483,21 @@ mod tests {
     fn out_of_range_query_panics_at_submit() {
         let service = PathService::start(complete(4));
         let _ = service.submit(PathQuery::new(99u32, 1u32, 3));
+    }
+
+    #[test]
+    fn update_after_a_poisoned_admission_lock_is_abandoned() {
+        let service = PathService::start(complete(4));
+        // Poison the admission lock: endpoint validation panics while holding it.
+        let poisoned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            service.submit(PathQuery::new(99u32, 1u32, 3))
+        }));
+        assert!(poisoned.is_err());
+        // Updates can no longer publish consistently; the handle reports it instead of
+        // propagating the submitter's panic into this caller.
+        let handle = service.update(vec![GraphUpdate::insert(0u32, 1u32)]);
+        assert!(handle.is_ready());
+        assert_eq!(handle.wait_result(), Err(Abandoned));
     }
 
     #[test]
@@ -1417,6 +1511,7 @@ mod tests {
         let submission = Submission {
             spec: QuerySpec::collect(PathQuery::new(0u32, 1u32, 2)),
             submitted_at: Instant::now(),
+            epoch: EpochPublisher::new(DiGraph::from_edge_list(2, &[(0, 1)]).unwrap()).tip(),
             slot,
         };
         assert!(!handle.is_ready());

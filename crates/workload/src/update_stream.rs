@@ -89,6 +89,13 @@ impl UpdateStreamSpec {
         self.insert_fraction = insert_fraction.clamp(0.0, 1.0);
         self
     }
+
+    /// A delete-dominated preset (15% insertions) exercising the precise delete
+    /// maintenance path: most mutations remove edges, so index correctness hinges on
+    /// the survivor scan deciding which roots truly need a re-BFS.
+    pub fn delete_heavy(num_queries: usize, num_update_batches: usize, seed: u64) -> Self {
+        UpdateStreamSpec::new(num_queries, num_update_batches, seed).with_updates(4, 0.15)
+    }
 }
 
 /// Mutable mirror of the evolving edge set, supporting O(1) random picks of an existing
@@ -312,6 +319,31 @@ mod tests {
             StreamEvent::Update(batch) => batch.iter().all(|u| !u.is_insert()),
             StreamEvent::Query(_) => true,
         }));
+    }
+
+    #[test]
+    fn delete_heavy_preset_is_dominated_by_deletions() {
+        let g = Dataset::EP.build(DatasetScale::Tiny);
+        let spec = UpdateStreamSpec::delete_heavy(10, 8, 5).with_hops(3, 4);
+        assert_eq!(spec.insert_fraction, 0.15);
+        let events = update_stream(&g, spec);
+        let (mut inserts, mut deletes) = (0, 0);
+        for event in &events {
+            if let StreamEvent::Update(batch) = event {
+                for update in batch {
+                    if update.is_insert() {
+                        inserts += 1;
+                    } else {
+                        deletes += 1;
+                    }
+                }
+            }
+        }
+        assert!(deletes > 0);
+        assert!(
+            deletes > inserts,
+            "delete-heavy mix must be dominated by deletions ({deletes} del / {inserts} ins)"
+        );
     }
 
     #[test]
