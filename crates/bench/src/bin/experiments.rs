@@ -158,6 +158,7 @@ fn run_experiment(experiment: &str, config: &BenchConfig, options: &CliOptions) 
         }
         "mixed-rw" => harness::mixed_read_write(config),
         "result-modes" => harness::result_modes(config),
+        "storage" => harness::storage_durability(config),
         other => {
             eprintln!("error: unknown experiment {other:?}");
             print_usage();
@@ -403,6 +404,7 @@ fn parse(args: &[String]) -> Result<Parsed, String> {
                     "parallel-scaling",
                     "mixed-rw",
                     "result-modes",
+                    "storage",
                 ]
                 .into_iter()
                 .map(String::from)
@@ -435,7 +437,7 @@ fn print_usage() {
          [--threads 1,2,4] [--batches 64,256] [--repeats N] [--out FILE] [--baseline FILE] \
          [--tolerance 0.2] [--write-baseline]\n\
          experiments: table1 fig3c exp1 exp2 exp3 exp4 exp5 exp6 exp7 \
-         ablation-order ablation-cluster parallel-scaling mixed-rw result-modes \
+         ablation-order ablation-cluster parallel-scaling mixed-rw result-modes storage \
          perf-smoke all\n\
          perf-smoke: runs parallel-scaling and mixed-rw in quick mode, writes the JSON \
          artifacts (--out and BENCH_mixed_rw.json) and fails when either scenario's \

@@ -697,6 +697,87 @@ pub fn service_epoch_counters(config: &BenchConfig) -> ServiceStats {
 /// `Collect` (full enumeration, the old one-size-fits-all semantics), `Count`,
 /// `FirstK(4)` and `Exists` — through [`Engine::run_specs`], for both the per-query
 /// (`BasicEnum+`) and the sharing (`BatchEnum+`) algorithm. `expanded` is the number of
+/// Durability costs: WAL append throughput per fsync policy, checkpoint latency, and
+/// recovery (open + tail replay + fold) latency, on an in-memory vfs so the numbers
+/// isolate the storage stack's own work (framing, CRC, snapshot encode/decode) from
+/// disk variance. The `always` row is the ack-latency price of per-batch fsync; the
+/// spread to `never` bounds what group commit could recover.
+pub fn storage_durability(config: &BenchConfig) -> Table {
+    use hcsp_storage::{fold_batches, FailpointFs, FsyncPolicy, StoreOptions, UpdateStore};
+
+    let mut table = Table::new(
+        "Durability: WAL append, checkpoint and recovery timings (in-memory vfs)",
+        &[
+            "dataset",
+            "fsync",
+            "batches",
+            "updates",
+            "append_s",
+            "batches_per_s",
+            "wal_kib",
+            "checkpoint_s",
+            "open_s",
+            "replayed",
+        ],
+    );
+    for &dataset in &config.datasets {
+        let graph = dataset.build(config.scale);
+        let spec = hcsp_workload::RecoveryWorkloadSpec {
+            num_batches: (config.query_set_size * 2).max(64),
+            updates_per_batch: 8,
+            num_queries: 0,
+            seed: config.seed,
+            ..Default::default()
+        };
+        let workload = hcsp_workload::recovery_workload(&graph, spec);
+        let num_updates: usize = workload.batches.iter().map(Vec::len).sum();
+        for (label, fsync) in [
+            ("always", FsyncPolicy::Always),
+            ("every8", FsyncPolicy::EveryN(8)),
+            ("never", FsyncPolicy::Never),
+        ] {
+            let fs = FailpointFs::new();
+            let mut store =
+                UpdateStore::create(fs.as_vfs(), StoreOptions { fsync }, &graph).expect("create");
+
+            let start = Instant::now();
+            for batch in &workload.batches {
+                store.append(batch).expect("append");
+            }
+            store.sync().expect("sync");
+            let append_s = start.elapsed().as_secs_f64();
+            let wal_kib = store.tail_bytes() as f64 / 1024.0;
+            drop(store);
+
+            // Recovery with the full tail still in the log: open, replay, fold.
+            let start = Instant::now();
+            let rec = UpdateStore::open(fs.as_vfs(), StoreOptions { fsync }).expect("open");
+            let folded = fold_batches(rec.base.clone(), &rec.batches);
+            let open_s = start.elapsed().as_secs_f64();
+            let replayed = rec.report.replayed_batches;
+
+            let mut store = rec.store;
+            let start = Instant::now();
+            store.checkpoint(&folded).expect("checkpoint");
+            let checkpoint_s = start.elapsed().as_secs_f64();
+
+            table.push_row(vec![
+                dataset.to_string(),
+                label.to_string(),
+                workload.batches.len().to_string(),
+                num_updates.to_string(),
+                fmt_seconds(append_s),
+                format!("{:.0}", workload.batches.len() as f64 / append_s.max(1e-9)),
+                format!("{wal_kib:.1}"),
+                fmt_seconds(checkpoint_s),
+                fmt_seconds(open_s),
+                replayed.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
 /// DFS vertex expansions ([`EnumStats`] search steps): the hardware-independent proof
 /// that `Exists` (answered from the index) and `FirstK` (search aborted at the k-th
 /// path) are *strictly cheaper* than full enumeration, not just faster on one box.

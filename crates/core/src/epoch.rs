@@ -119,15 +119,37 @@ pub(crate) fn merge_deltas(deltas: &[Arc<EpochDelta>]) -> (EdgeList, EdgeList) {
     )
 }
 
+/// Where acknowledged update batches are made durable *before* they become visible.
+///
+/// Implemented by the storage layer's write-ahead log (the service wires an
+/// `UpdateStore` in as the sink). [`EpochPublisher::try_publish`] calls
+/// [`DurabilitySink::append`] before building the new epoch, so the log is always a
+/// superset of published state: a crash after the append replays the batch on recovery,
+/// a crash before it means the batch was never acknowledged either. Sink errors abort
+/// the publish — the tip is untouched and the caller must fail the update.
+pub trait DurabilitySink: Send {
+    /// Durably records one update batch (fsync cadence is the sink's policy).
+    fn append(&mut self, updates: &[GraphUpdate]) -> std::io::Result<()>;
+}
+
 /// The single-writer publication side of the epoch protocol.
 ///
 /// Owns the tip [`Epoch`] and turns [`GraphUpdate`] batches into new epochs. The
 /// publisher itself is cheap state (an `Arc` and a version counter); callers serialise
 /// writers externally (the service keeps it behind its admission lock, so updates
 /// publish in admission order).
-#[derive(Debug)]
 pub struct EpochPublisher {
     tip: Arc<Epoch>,
+    sink: Option<Box<dyn DurabilitySink>>,
+}
+
+impl std::fmt::Debug for EpochPublisher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochPublisher")
+            .field("tip", &self.tip)
+            .field("durable", &self.sink.is_some())
+            .finish()
+    }
 }
 
 impl EpochPublisher {
@@ -139,7 +161,18 @@ impl EpochPublisher {
                 id: 0,
                 deltas: Vec::new(),
             }),
+            sink: None,
         }
+    }
+
+    /// Attaches the durability sink every subsequent publish appends to first.
+    pub fn set_sink(&mut self, sink: Box<dyn DurabilitySink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Whether a durability sink is attached.
+    pub fn is_durable(&self) -> bool {
+        self.sink.is_some()
     }
 
     /// The current tip epoch.
@@ -149,15 +182,39 @@ impl EpochPublisher {
 
     /// Applies `updates` to the tip snapshot and publishes the result as the new tip.
     ///
+    /// Infallible wrapper over [`EpochPublisher::try_publish`] for publishers without a
+    /// durability sink (the only way the fallible variant can fail).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an attached [`DurabilitySink`] rejects the append; durable callers
+    /// must use [`EpochPublisher::try_publish`] and handle the error.
+    pub fn publish(&mut self, updates: &[GraphUpdate]) -> (Arc<Epoch>, UpdateSummary) {
+        self.try_publish(updates)
+            .expect("durability sink failed; durable callers must use try_publish")
+    }
+
+    /// Applies `updates` to the tip snapshot and publishes the result as the new tip,
+    /// appending the batch to the attached [`DurabilitySink`] first.
+    ///
     /// Returns the (possibly unchanged) tip and the same [`UpdateSummary`] accounting as
     /// [`Engine::apply_updates`](crate::Engine::apply_updates). A batch that nets to
     /// nothing — empty, all no-ops, or internally cancelling — republishes the current
     /// tip without bumping the version, so readers never split a micro-batch window over
-    /// an update that changed nothing.
-    pub fn publish(&mut self, updates: &[GraphUpdate]) -> (Arc<Epoch>, UpdateSummary) {
+    /// an update that changed nothing. (Non-empty no-op batches are still logged: whether
+    /// an update is a no-op depends on the state it replays over, and replay reapplies
+    /// the exact acknowledged sequence.) On a sink error nothing is published and the
+    /// tip is unchanged.
+    pub fn try_publish(
+        &mut self,
+        updates: &[GraphUpdate],
+    ) -> std::io::Result<(Arc<Epoch>, UpdateSummary)> {
         let mut summary = UpdateSummary::default();
         if updates.is_empty() {
-            return (self.tip(), summary);
+            return Ok((self.tip(), summary));
+        }
+        if let Some(sink) = &mut self.sink {
+            sink.append(updates)?;
         }
         let mut delta = DeltaGraph::new(self.tip.graph_arc());
         for update in updates {
@@ -173,7 +230,7 @@ impl EpochPublisher {
         summary.net_deleted = deleted.len();
         summary.new_vertices = delta.num_vertices() - self.tip.graph.num_vertices();
         if !delta.is_dirty() {
-            return (self.tip(), summary);
+            return Ok((self.tip(), summary));
         }
         let link = Arc::new(EpochDelta {
             id: self.tip.id + 1,
@@ -190,7 +247,7 @@ impl EpochPublisher {
             id: self.tip.id + 1,
             deltas,
         });
-        (self.tip(), summary)
+        Ok((self.tip(), summary))
     }
 }
 
@@ -354,6 +411,54 @@ mod tests {
         let expected = Engine::at_epoch(&tip, BatchEngine::default()).run(&queries);
         assert_eq!(outcome.paths, expected.paths);
         assert_eq!(engine.index_reuse().rebuilds, 2, "the next batch rebuilt");
+    }
+
+    #[test]
+    fn the_sink_sees_every_batch_before_it_publishes_and_can_veto() {
+        use std::sync::Mutex;
+
+        #[derive(Default)]
+        struct Recorder {
+            log: Arc<Mutex<Vec<Vec<GraphUpdate>>>>,
+            fail: Arc<std::sync::atomic::AtomicBool>,
+        }
+        impl DurabilitySink for Recorder {
+            fn append(&mut self, updates: &[GraphUpdate]) -> std::io::Result<()> {
+                if self.fail.load(std::sync::atomic::Ordering::SeqCst) {
+                    return Err(std::io::Error::other("disk gone"));
+                }
+                self.log.lock().unwrap().push(updates.to_vec());
+                Ok(())
+            }
+        }
+
+        let recorder = Recorder::default();
+        let log = Arc::clone(&recorder.log);
+        let fail = Arc::clone(&recorder.fail);
+        let mut publisher = EpochPublisher::new(path(4));
+        assert!(!publisher.is_durable());
+        publisher.set_sink(Box::new(recorder));
+        assert!(publisher.is_durable());
+
+        // Effective, no-op, and cancelling batches are all logged; the empty batch is not
+        // (nothing was acknowledged).
+        publisher
+            .try_publish(&[GraphUpdate::insert(0u32, 2u32)])
+            .unwrap();
+        publisher
+            .try_publish(&[GraphUpdate::insert(0u32, 2u32)])
+            .unwrap();
+        publisher.try_publish(&[]).unwrap();
+        assert_eq!(log.lock().unwrap().len(), 2);
+        assert_eq!(publisher.tip().id(), 1);
+
+        // A sink failure aborts the publish: tip untouched, nothing logged.
+        fail.store(true, std::sync::atomic::Ordering::SeqCst);
+        let err = publisher.try_publish(&[GraphUpdate::delete(0u32, 1u32)]);
+        assert!(err.is_err());
+        assert_eq!(publisher.tip().id(), 1);
+        assert!(publisher.tip().graph().has_edge(v(0), v(1)));
+        assert_eq!(log.lock().unwrap().len(), 2);
     }
 
     #[test]

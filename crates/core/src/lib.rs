@@ -74,7 +74,7 @@ pub use engine::{
     Algorithm, BatchEngine, BatchOutcome, Engine, IndexReuse, UpdateSummary,
     DEFAULT_UPDATE_REFRESH_CAP,
 };
-pub use epoch::{Epoch, EpochAdvance, EpochPublisher, MAX_EPOCH_DELTAS};
+pub use epoch::{DurabilitySink, Epoch, EpochAdvance, EpochPublisher, MAX_EPOCH_DELTAS};
 pub use parallel::{ParallelBasicEnum, ParallelBatchEnum, Parallelism};
 pub use path::{Path, PathSet};
 pub use pathenum::PathEnum;

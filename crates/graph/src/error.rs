@@ -24,6 +24,14 @@ pub enum GraphError {
     },
     /// The binary format header did not match.
     InvalidBinaryFormat(String),
+    /// The binary format magic matched but the version byte is one this build cannot
+    /// read — the file comes from a newer (or corrupted) writer.
+    UnsupportedVersion {
+        /// The version byte found in the file.
+        found: u8,
+        /// The version this build supports.
+        supported: u8,
+    },
     /// Underlying IO failure.
     Io(io::Error),
     /// A generator or sampler was given inconsistent parameters.
@@ -47,6 +55,10 @@ impl fmt::Display for GraphError {
                 write!(f, "cannot parse edge on line {line}: {content:?}")
             }
             GraphError::InvalidBinaryFormat(msg) => write!(f, "invalid binary graph: {msg}"),
+            GraphError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "binary graph format version {found} is not supported (this build reads version {supported})"
+            ),
             GraphError::Io(e) => write!(f, "io error: {e}"),
             GraphError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
         }

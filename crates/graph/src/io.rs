@@ -14,8 +14,14 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::path::Path;
 
-/// Magic header of the binary graph format (`HCSPGR` + format version 1).
-const BINARY_MAGIC: &[u8; 8] = b"HCSPGR\x00\x01";
+/// Magic prefix of the binary graph format (6 ASCII bytes + a reserved NUL).
+pub const BINARY_MAGIC: &[u8; 7] = b"HCSPGR\x00";
+
+/// Current version byte of the binary graph format. The magic + version pair is
+/// byte-identical to the original unversioned header, so every file written before
+/// versioning existed still loads; files from a *future* format version are rejected
+/// with [`GraphError::UnsupportedVersion`] instead of being misparsed.
+pub const BINARY_FORMAT_VERSION: u8 = 1;
 
 /// Parses a whitespace-separated edge list (`u v` per line, `#` comments ignored).
 ///
@@ -69,11 +75,12 @@ pub fn to_binary(graph: &DiGraph) -> Bytes {
     let inn = graph.in_adjacency();
     let mut buf = BytesMut::with_capacity(
         BINARY_MAGIC.len()
-            + 16
+            + 17
             + (out.offsets().len() + inn.offsets().len()) * 8
             + (out.targets().len() + inn.targets().len()) * 4,
     );
     buf.put_slice(BINARY_MAGIC);
+    buf.put_u8(BINARY_FORMAT_VERSION);
     buf.put_u64_le(graph.num_vertices() as u64);
     buf.put_u64_le(graph.num_edges() as u64);
     for adj in [out, inn] {
@@ -91,13 +98,20 @@ pub fn to_binary(graph: &DiGraph) -> Bytes {
 /// Deserialises a graph from the compact binary format.
 pub fn from_binary(mut data: &[u8]) -> Result<DiGraph> {
     let fail = |msg: &str| GraphError::InvalidBinaryFormat(msg.to_string());
-    if data.len() < BINARY_MAGIC.len() + 16 {
+    if data.len() < BINARY_MAGIC.len() + 17 {
         return Err(fail("truncated header"));
     }
     if &data[..BINARY_MAGIC.len()] != BINARY_MAGIC {
         return Err(fail("bad magic"));
     }
     data.advance(BINARY_MAGIC.len());
+    let version = data.get_u8();
+    if version != BINARY_FORMAT_VERSION {
+        return Err(GraphError::UnsupportedVersion {
+            found: version,
+            supported: BINARY_FORMAT_VERSION,
+        });
+    }
     let num_vertices = data.get_u64_le() as usize;
     let declared_edges = data.get_u64_le() as usize;
 
@@ -275,6 +289,36 @@ mod tests {
         let mut truncated = bytes.to_vec();
         truncated.truncate(bytes.len() - 3);
         assert!(from_binary(&truncated).is_err());
+    }
+
+    #[test]
+    fn binary_header_is_versioned_and_stable() {
+        let g = grid(3, 3);
+        let bytes = to_binary(&g);
+        // The versioned header is byte-identical to the original unversioned magic, so
+        // pre-versioning snapshot files stay readable. This assertion pins the bytes.
+        assert_eq!(&bytes[..8], b"HCSPGR\x00\x01");
+        assert_eq!(bytes[7], BINARY_FORMAT_VERSION);
+        assert_eq!(from_binary(&bytes).unwrap(), g);
+    }
+
+    #[test]
+    fn binary_rejects_other_versions_with_a_typed_error() {
+        let g = grid(3, 3);
+        for found in [0u8, 2, 7, 255] {
+            let mut bytes = to_binary(&g).to_vec();
+            bytes[BINARY_MAGIC.len()] = found;
+            match from_binary(&bytes).unwrap_err() {
+                GraphError::UnsupportedVersion {
+                    found: f,
+                    supported,
+                } => {
+                    assert_eq!(f, found);
+                    assert_eq!(supported, BINARY_FORMAT_VERSION);
+                }
+                other => panic!("expected UnsupportedVersion, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!   ([`hcsp_baselines`]).
 //! * [`service`] — the micro-batching serving layer: a long-lived `PathService` forming
 //!   shared batches from a query stream ([`hcsp_service`]).
+//! * [`storage`] — the durability layer: append-only update log, snapshot store,
+//!   crash-recovery, and the fail-point filesystem the crash matrix uses
+//!   ([`hcsp_storage`]).
 //! * [`workload`] — the Table I dataset analogs, query-set generators, and open-loop
 //!   arrival processes ([`hcsp_workload`]).
 //!
@@ -61,6 +64,12 @@ pub mod service {
     pub use hcsp_service::*;
 }
 
+/// Durable update log, snapshot store and crash-test harness (re-export of
+/// `hcsp-storage`).
+pub mod storage {
+    pub use hcsp_storage::*;
+}
+
 /// Dataset analogs and query generators (re-export of `hcsp-workload`).
 pub mod workload {
     pub use hcsp_workload::*;
@@ -78,7 +87,8 @@ pub mod prelude {
     pub use hcsp_graph::{DeltaGraph, DiGraph, Direction, GraphBuilder, GraphUpdate, VertexId};
     pub use hcsp_index::BatchIndex;
     pub use hcsp_service::{
-        Abandoned, BatchPolicy, PathService, QueryHandle, QueryResult, SpecHandle, SpecResult,
+        Abandoned, BatchPolicy, DurabilityOptions, FsyncPolicy, PathService, PathServiceBuilder,
+        QueryHandle, QueryResult, RecoveryReport, SpecHandle, SpecResult, StorageError,
         UpdateHandle,
     };
 }

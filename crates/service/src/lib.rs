@@ -32,8 +32,8 @@ pub mod service;
 
 pub use policy::BatchPolicy;
 pub use service::{
-    Abandoned, PathService, PathServiceBuilder, QueryHandle, QueryResult, SpecHandle, SpecResult,
-    UpdateHandle,
+    Abandoned, DurabilityOptions, PathService, PathServiceBuilder, QueryHandle, QueryResult,
+    SpecHandle, SpecResult, UpdateHandle,
 };
 
 // Re-exported so service users can build typed requests, read the aggregate counters,
@@ -43,3 +43,6 @@ pub use hcsp_core::{
     UpdateSummary,
 };
 pub use hcsp_graph::GraphUpdate;
+// Re-exported so durable-service users can pick fsync policies, read recovery reports
+// and handle storage errors without naming hcsp-storage.
+pub use hcsp_storage::{FsyncPolicy, RecoveryReport, StorageError};

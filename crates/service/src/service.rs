@@ -32,10 +32,15 @@
 
 use crate::policy::BatchPolicy;
 use hcsp_core::{
-    BatchEngine, Engine, Epoch, EpochPublisher, MicroBatchStats, Parallelism, PathQuery, PathSet,
-    QueryResponse, QuerySpec, ServiceStats, UpdateSummary,
+    BatchEngine, DurabilitySink, Engine, Epoch, EpochPublisher, MicroBatchStats, Parallelism,
+    PathQuery, PathSet, QueryResponse, QuerySpec, ServiceStats, UpdateSummary,
 };
 use hcsp_graph::{DiGraph, GraphUpdate};
+use hcsp_storage::snapshot::write_snapshot;
+use hcsp_storage::{
+    fold_batches, FsyncPolicy, RecoveryReport, StdFs, StorageError, StoreOptions, UpdateStore, Vfs,
+};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
@@ -396,6 +401,149 @@ impl EpochCell {
     }
 }
 
+/// Durability configuration for [`PathServiceBuilder::start_durable`] and
+/// [`PathServiceBuilder::open`].
+#[derive(Debug, Clone, Copy)]
+pub struct DurabilityOptions {
+    /// When acknowledged update batches are fsynced (see [`FsyncPolicy`]).
+    pub fsync: FsyncPolicy,
+    /// The background compactor checkpoints (snapshot + log truncation) once the WAL
+    /// tail exceeds this many bytes. `u64::MAX` disables background compaction;
+    /// explicit [`PathService::checkpoint`] calls still work.
+    pub compact_tail_bytes: u64,
+    /// How often the background compactor re-examines the tail size (it is also woken
+    /// eagerly by every update).
+    pub compact_check_interval: Duration,
+}
+
+impl Default for DurabilityOptions {
+    fn default() -> Self {
+        DurabilityOptions {
+            fsync: FsyncPolicy::Always,
+            compact_tail_bytes: 4 << 20,
+            compact_check_interval: Duration::from_millis(25),
+        }
+    }
+}
+
+/// The [`DurabilitySink`] adapter: appends published batches to the [`UpdateStore`].
+///
+/// Called from inside [`EpochPublisher::try_publish`] while the admission lock is held,
+/// so the lock order is always publisher → store — the same order the checkpoint path
+/// uses, which is what makes the two paths deadlock-free.
+struct WalSink {
+    store: Arc<Mutex<UpdateStore>>,
+}
+
+/// Flattens a [`StorageError`] into the `io::Error` the [`DurabilitySink`] contract
+/// carries (unwrapping a plain Io error, stringifying the structured ones).
+fn storage_to_io(e: StorageError) -> std::io::Error {
+    match e {
+        StorageError::Io(e) => e,
+        other => std::io::Error::other(other.to_string()),
+    }
+}
+
+impl DurabilitySink for WalSink {
+    fn append(&mut self, updates: &[GraphUpdate]) -> std::io::Result<()> {
+        let mut store = self
+            .store
+            .lock()
+            .map_err(|_| std::io::Error::other("update store poisoned"))?;
+        store.append(updates).map(|_| ()).map_err(storage_to_io)
+    }
+}
+
+/// The durable half of a [`PathService`]: the store, the background compactor, and what
+/// recovery found at open time.
+#[derive(Debug)]
+struct Durability {
+    store: Arc<Mutex<UpdateStore>>,
+    recovery: Option<RecoveryReport>,
+    checkpoints: Arc<AtomicU64>,
+    /// Stop flag + wakeup for the compactor (updates notify it after growing the tail).
+    signal: Arc<(Mutex<bool>, Condvar)>,
+    compactor: Option<JoinHandle<()>>,
+}
+
+/// One checkpoint pass, usable from both the background compactor and
+/// [`PathService::checkpoint`]. Takes the admission lock, then the store lock — the
+/// same order as the update path — to atomically rotate the WAL and capture the tip
+/// graph the rotation point corresponds to; the snapshot itself is written with both
+/// locks released, so queries and updates flow concurrently with the expensive part.
+/// Returns whether a checkpoint was actually installed.
+fn run_checkpoint(cell: &EpochCell, store: &Mutex<UpdateStore>) -> Result<bool, StorageError> {
+    let (ticket, graph, vfs) = {
+        let Ok(publisher) = cell.publisher.lock() else {
+            // A poisoned admission lock means the epoch sequence is broken; there is no
+            // consistent tip to snapshot. Recovery from the existing log stays correct.
+            return Ok(false);
+        };
+        let mut store = store
+            .lock()
+            .map_err(|_| StorageError::Io(std::io::Error::other("update store poisoned")))?;
+        let ticket = store.begin_checkpoint()?;
+        // Under both locks the tip graph is exactly the state after every batch before
+        // the rotation point: the pair (ticket, graph) is consistent by construction.
+        (ticket, publisher.tip().graph_arc(), store.vfs())
+    };
+    match ticket {
+        None => Ok(false),
+        Some(ticket) => {
+            write_snapshot(vfs.as_ref(), ticket.seq, &graph)?;
+            store
+                .lock()
+                .map_err(|_| StorageError::Io(std::io::Error::other("update store poisoned")))?
+                .commit_checkpoint(ticket)?;
+            Ok(true)
+        }
+    }
+}
+
+/// The background compaction job: wake on the interval (or an update's nudge), check the
+/// WAL tail against the threshold, checkpoint when it is exceeded. A storage error stops
+/// the job — the service keeps serving and appending, only automatic compaction ends
+/// (recovery replays a longer tail).
+fn compactor_loop(
+    cell: Arc<EpochCell>,
+    store: Arc<Mutex<UpdateStore>>,
+    signal: Arc<(Mutex<bool>, Condvar)>,
+    threshold: u64,
+    interval: Duration,
+    checkpoints: Arc<AtomicU64>,
+) {
+    let (stop, wake) = &*signal;
+    let mut stopped = stop.lock().unwrap();
+    loop {
+        if *stopped {
+            return;
+        }
+        stopped = wake.wait_timeout(stopped, interval).unwrap().0;
+        if *stopped {
+            return;
+        }
+        let tail = match store.lock() {
+            Ok(store) => store.tail_bytes(),
+            Err(_) => return,
+        };
+        if tail < threshold {
+            continue;
+        }
+        drop(stopped);
+        match run_checkpoint(&cell, &store) {
+            Ok(true) => {
+                checkpoints.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(false) => {}
+            Err(e) => {
+                eprintln!("hcsp-service: background checkpoint failed, compaction stops: {e}");
+                return;
+            }
+        }
+        stopped = stop.lock().unwrap();
+    }
+}
+
 /// Configures and starts a [`PathService`].
 #[derive(Debug, Clone, Copy)]
 pub struct PathServiceBuilder {
@@ -404,6 +552,7 @@ pub struct PathServiceBuilder {
     workers: usize,
     index_root_cap: Option<usize>,
     parallel_cluster_cap: Option<usize>,
+    durability: DurabilityOptions,
 }
 
 impl Default for PathServiceBuilder {
@@ -414,6 +563,7 @@ impl Default for PathServiceBuilder {
             workers: 1,
             index_root_cap: None,
             parallel_cluster_cap: None,
+            durability: DurabilityOptions::default(),
         }
     }
 }
@@ -466,11 +616,110 @@ impl PathServiceBuilder {
         self
     }
 
-    /// Starts the service over `graph`: spawns the batcher and the worker pool.
+    /// Durability configuration used by [`PathServiceBuilder::start_durable`] and
+    /// [`PathServiceBuilder::open`] (fsync policy, compaction threshold). Ignored by
+    /// the in-memory [`PathServiceBuilder::start`].
+    pub fn durability(mut self, options: DurabilityOptions) -> Self {
+        self.durability = options;
+        self
+    }
+
+    /// Starts the service over `graph` with no durability: state lives only in memory.
     pub fn start(self, graph: impl Into<Arc<DiGraph>>) -> PathService {
+        self.launch(graph.into(), None)
+    }
+
+    /// Starts a *durable* service over `graph`, initialising a new store in `dir`:
+    /// `graph` becomes snapshot 0 and every acknowledged update batch is written ahead
+    /// to the store's log, so [`PathServiceBuilder::open`] on the same directory
+    /// recovers the exact acknowledged state after any crash. Fails with
+    /// [`StorageError::AlreadyExists`] if `dir` already holds a store (open it
+    /// instead).
+    pub fn start_durable(
+        self,
+        graph: impl Into<Arc<DiGraph>>,
+        dir: impl AsRef<Path>,
+    ) -> Result<PathService, StorageError> {
+        let vfs: Arc<dyn Vfs> = Arc::new(StdFs::new(dir)?);
+        self.start_durable_vfs(graph, vfs)
+    }
+
+    /// [`PathServiceBuilder::start_durable`] over an explicit [`Vfs`] (the crash tests
+    /// pass a `FailpointFs`; production code wants the directory variant).
+    pub fn start_durable_vfs(
+        self,
+        graph: impl Into<Arc<DiGraph>>,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<PathService, StorageError> {
         let graph = graph.into();
+        let store = UpdateStore::create(
+            vfs,
+            StoreOptions {
+                fsync: self.durability.fsync,
+            },
+            &graph,
+        )?;
+        Ok(self.launch(graph, Some((store, None))))
+    }
+
+    /// Opens a durable service from an existing store directory, recovering the last
+    /// acknowledged state: the newest committed snapshot is loaded and the log tail is
+    /// replayed over it. What recovery found is reported by
+    /// [`PathService::recovery`].
+    pub fn open(self, dir: impl AsRef<Path>) -> Result<PathService, StorageError> {
+        let vfs: Arc<dyn Vfs> = Arc::new(StdFs::new(dir)?);
+        self.open_vfs(vfs)
+    }
+
+    /// [`PathServiceBuilder::open`] over an explicit [`Vfs`].
+    pub fn open_vfs(self, vfs: Arc<dyn Vfs>) -> Result<PathService, StorageError> {
+        let recovered = UpdateStore::open(
+            vfs,
+            StoreOptions {
+                fsync: self.durability.fsync,
+            },
+        )?;
+        let graph = Arc::new(fold_batches(recovered.base, &recovered.batches));
+        Ok(self.launch(graph, Some((recovered.store, Some(recovered.report)))))
+    }
+
+    /// Spawns the batcher, worker pool, and (for durable services) the WAL sink and
+    /// background compactor.
+    fn launch(
+        self,
+        graph: Arc<DiGraph>,
+        durable: Option<(UpdateStore, Option<RecoveryReport>)>,
+    ) -> PathService {
         let workers = self.workers.max(1);
         let epoch = Arc::new(EpochCell::new(graph));
+
+        let durability = durable.map(|(store, recovery)| {
+            let store = Arc::new(Mutex::new(store));
+            // Every subsequent publish appends to the WAL *before* the epoch swap.
+            epoch.publisher.lock().unwrap().set_sink(Box::new(WalSink {
+                store: Arc::clone(&store),
+            }));
+            let signal = Arc::new((Mutex::new(false), Condvar::new()));
+            let checkpoints = Arc::new(AtomicU64::new(0));
+            let compactor = (self.durability.compact_tail_bytes != u64::MAX).then(|| {
+                let cell = Arc::clone(&epoch);
+                let store = Arc::clone(&store);
+                let signal = Arc::clone(&signal);
+                let checkpoints = Arc::clone(&checkpoints);
+                let threshold = self.durability.compact_tail_bytes;
+                let interval = self.durability.compact_check_interval;
+                std::thread::spawn(move || {
+                    compactor_loop(cell, store, signal, threshold, interval, checkpoints)
+                })
+            });
+            Durability {
+                store,
+                recovery,
+                checkpoints,
+                signal,
+                compactor,
+            }
+        });
         let (submit_tx, submit_rx) = mpsc::channel::<Submission>();
         let (batch_tx, batch_rx) = mpsc::channel::<MicroBatch>();
         let policy = self.policy;
@@ -515,6 +764,7 @@ impl PathServiceBuilder {
             workers,
             stats,
             started_at: Instant::now(),
+            durability,
         }
     }
 }
@@ -705,6 +955,9 @@ pub struct PathService {
     workers: Vec<JoinHandle<()>>,
     stats: Arc<Mutex<ServiceStats>>,
     started_at: Instant,
+    /// The WAL + snapshot store and its background compactor; `None` for in-memory
+    /// services.
+    durability: Option<Durability>,
 }
 
 impl std::fmt::Debug for EpochCell {
@@ -724,6 +977,14 @@ impl PathService {
     /// Starts a service over `graph` with default engine, policy and a single worker.
     pub fn start(graph: impl Into<Arc<DiGraph>>) -> Self {
         PathService::builder().start(graph)
+    }
+
+    /// Opens a durable service from an existing store directory with default
+    /// configuration, recovering the last acknowledged state (snapshot + log-tail
+    /// replay). See [`PathServiceBuilder::open`] for the configurable variant and
+    /// [`PathService::recovery`] for what recovery found.
+    pub fn open(dir: impl AsRef<Path>) -> Result<PathService, StorageError> {
+        PathService::builder().open(dir)
     }
 
     /// Submits one typed query request; returns a handle to wait on its typed result.
@@ -815,11 +1076,27 @@ impl PathService {
                 return UpdateHandle { slot };
             };
             let before = publisher.tip().id();
-            let (tip, summary) = publisher.publish(&updates);
+            // On a durable service the publish appends to the WAL first; a sink failure
+            // means the batch was *not* acknowledged — the tip is untouched and the
+            // handle reports the abandonment. (The log write may still have partially
+            // landed: recovery treats such an un-acked batch appearing after a restart
+            // as applied, which the at-least-once contract of durable updates allows.)
+            let (tip, summary) = match publisher.try_publish(&updates) {
+                Ok(pair) => pair,
+                Err(_) => {
+                    drop(publisher);
+                    slot.abandon();
+                    return UpdateHandle { slot };
+                }
+            };
             let published = tip.id() != before;
             self.epoch.tip_id.store(tip.id(), Ordering::Release);
             (summary, published)
         };
+        // Nudge the compactor: the tail just grew.
+        if let Some(durability) = &self.durability {
+            durability.signal.1.notify_all();
+        }
         // Record before fulfilling: a caller returning from `wait()` may immediately
         // snapshot `PathService::stats()` and must see this update counted.
         {
@@ -875,6 +1152,40 @@ impl PathService {
         self.epoch.tip_id()
     }
 
+    /// Whether the service writes acknowledged updates to a durable store.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// What recovery found when this service was opened from an existing store
+    /// directory. `None` for in-memory services and for freshly created stores.
+    pub fn recovery(&self) -> Option<&RecoveryReport> {
+        self.durability.as_ref()?.recovery.as_ref()
+    }
+
+    /// Checkpoints completed so far (explicit calls plus the background compactor's).
+    pub fn checkpoints(&self) -> u64 {
+        self.durability
+            .as_ref()
+            .map_or(0, |d| d.checkpoints.load(Ordering::Relaxed))
+    }
+
+    /// Forces a checkpoint *now*: snapshot the current state, truncate the log tail.
+    /// Returns whether one was installed (`false` when nothing has changed since the
+    /// last checkpoint, or on an in-memory service). Queries and updates keep flowing
+    /// while the snapshot is written; only the WAL rotation itself holds the admission
+    /// lock.
+    pub fn checkpoint(&self) -> Result<bool, StorageError> {
+        let Some(durability) = &self.durability else {
+            return Ok(false);
+        };
+        let installed = run_checkpoint(&self.epoch, &durability.store)?;
+        if installed {
+            durability.checkpoints.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(installed)
+    }
+
     /// Wall-clock time since the service started (the denominator for
     /// [`ServiceStats::throughput_qps`]).
     pub fn uptime(&self) -> Duration {
@@ -889,6 +1200,16 @@ impl PathService {
     }
 
     fn finish(&mut self) {
+        // Stop the compactor first so no checkpoint races the shutdown.
+        if let Some(durability) = &mut self.durability {
+            if let Ok(mut stopped) = durability.signal.0.lock() {
+                *stopped = true;
+            }
+            durability.signal.1.notify_all();
+            if let Some(compactor) = durability.compactor.take() {
+                let _ = compactor.join();
+            }
+        }
         // Dropping the submission sender unblocks the batcher, which flushes its final
         // window and drops the batch sender, which drains the workers.
         self.submit_tx.take();
@@ -897,6 +1218,12 @@ impl PathService {
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        // A clean shutdown leaves the whole log on stable storage whatever the policy.
+        if let Some(durability) = &self.durability {
+            if let Ok(mut store) = durability.store.lock() {
+                let _ = store.sync();
+            }
         }
     }
 }
@@ -1537,6 +1864,170 @@ mod tests {
             .map(|h| h.wait().paths.len() as u64)
             .collect();
         assert_eq!(counts, expected);
+        service.shutdown();
+    }
+
+    fn no_compaction() -> DurabilityOptions {
+        DurabilityOptions {
+            compact_tail_bytes: u64::MAX,
+            ..DurabilityOptions::default()
+        }
+    }
+
+    fn reopen(vfs: Arc<dyn hcsp_storage::Vfs>) -> PathService {
+        PathService::builder()
+            .policy(BatchPolicy::immediate())
+            .durability(no_compaction())
+            .open_vfs(vfs)
+            .unwrap()
+    }
+
+    #[test]
+    fn durable_service_round_trips_through_reopen() {
+        use hcsp_storage::FailpointFs;
+        let fs = FailpointFs::new();
+        let graph = grid(4, 4);
+        let q = PathQuery::new(0u32, 15u32, 6);
+
+        let service = PathService::builder()
+            .policy(BatchPolicy::immediate())
+            .durability(no_compaction())
+            .start_durable_vfs(graph, fs.as_vfs())
+            .unwrap();
+        assert!(service.is_durable());
+        assert!(
+            service.recovery().is_none(),
+            "a fresh store recovered nothing"
+        );
+        service.update(vec![GraphUpdate::delete(0u32, 1u32)]).wait();
+        service.update(vec![GraphUpdate::insert(0u32, 5u32)]).wait();
+        let expected = service.submit(q).wait().paths;
+        service.shutdown();
+
+        let service = PathService::builder()
+            .policy(BatchPolicy::immediate())
+            .open_vfs(fs.as_vfs())
+            .unwrap();
+        let report = service.recovery().expect("opened from an existing store");
+        assert_eq!(report.replayed_batches, 2);
+        assert_eq!(report.replayed_updates, 2);
+        assert!(report.torn_tail.is_none());
+        assert_eq!(service.submit(q).wait().paths, expected);
+        service.shutdown();
+
+        // A second start_durable on the same directory must refuse, not wipe it.
+        assert!(matches!(
+            PathService::builder().start_durable_vfs(grid(4, 4), fs.as_vfs()),
+            Err(StorageError::AlreadyExists)
+        ));
+    }
+
+    #[test]
+    fn explicit_checkpoint_truncates_the_replay_tail() {
+        use hcsp_storage::FailpointFs;
+        let fs = FailpointFs::new();
+        let q = PathQuery::new(0u32, 3u32, 3);
+        let service = PathService::builder()
+            .policy(BatchPolicy::immediate())
+            .durability(no_compaction())
+            .start_durable_vfs(
+                DiGraph::from_edge_list(4, &[(0, 1), (1, 3)]).unwrap(),
+                fs.as_vfs(),
+            )
+            .unwrap();
+        service.update(vec![GraphUpdate::insert(0u32, 2u32)]).wait();
+        service.update(vec![GraphUpdate::insert(2u32, 3u32)]).wait();
+        assert!(service.checkpoint().unwrap());
+        assert_eq!(service.checkpoints(), 1);
+        assert!(!service.checkpoint().unwrap(), "nothing new to checkpoint");
+        service.update(vec![GraphUpdate::delete(0u32, 1u32)]).wait();
+        let expected = service.submit(q).wait().paths;
+        service.shutdown();
+
+        let service = reopen(fs.as_vfs());
+        let report = service.recovery().unwrap();
+        assert_eq!(
+            report.snapshot_batches, 2,
+            "the checkpoint absorbed two batches"
+        );
+        assert_eq!(
+            report.replayed_batches, 1,
+            "only the post-checkpoint tail replays"
+        );
+        assert_eq!(service.submit(q).wait().paths, expected);
+        service.shutdown();
+    }
+
+    #[test]
+    fn background_compactor_checkpoints_once_the_tail_grows() {
+        use hcsp_storage::FailpointFs;
+        let fs = FailpointFs::new();
+        let service = PathService::builder()
+            .policy(BatchPolicy::immediate())
+            .durability(DurabilityOptions {
+                compact_tail_bytes: 1,
+                compact_check_interval: Duration::from_millis(2),
+                ..DurabilityOptions::default()
+            })
+            .start_durable_vfs(complete(4), fs.as_vfs())
+            .unwrap();
+        service.update(vec![GraphUpdate::delete(0u32, 3u32)]).wait();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while service.checkpoints() == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(service.checkpoints() >= 1, "the compactor never woke up");
+        // Queries and further updates keep working around the background checkpoints.
+        service.update(vec![GraphUpdate::insert(0u32, 3u32)]).wait();
+        let expected = service.submit(PathQuery::new(0u32, 3u32, 2)).wait().paths;
+        service.shutdown();
+
+        let service = reopen(fs.as_vfs());
+        assert_eq!(
+            service.submit(PathQuery::new(0u32, 3u32, 2)).wait().paths,
+            expected
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn update_logged_but_unacked_recovers_as_applied() {
+        use hcsp_storage::{CrashModel, FailpointFs, KillPoint};
+        // Regression: an update whose WAL frame landed but whose in-process handle was
+        // abandoned (the process died between the log write and the ack) must resolve
+        // as *applied* after restart — the log, not the slot, is the source of truth.
+        let fs = FailpointFs::new();
+        let service = PathService::builder()
+            .policy(BatchPolicy::immediate())
+            .durability(no_compaction())
+            .start_durable_vfs(
+                DiGraph::from_edge_list(4, &[(0, 1), (1, 3)]).unwrap(),
+                fs.as_vfs(),
+            )
+            .unwrap();
+        service.update(vec![GraphUpdate::insert(0u32, 2u32)]).wait();
+
+        // Kill the *fsync* of the next append: the frame write (ops + 1) lands, the
+        // sync (ops + 2) dies, so the publish fails after the bytes reached the file.
+        fs.set_kill(KillPoint::Op(fs.ops() + 2));
+        let handle = service.update(vec![GraphUpdate::insert(2u32, 3u32)]);
+        assert_eq!(
+            handle.wait_result(),
+            Err(Abandoned),
+            "the caller was never acked"
+        );
+        drop(service); // the final sync of shutdown fails on the dead fs; ignored
+
+        // The crash happens to preserve the page cache: the logged frame survives.
+        let image = fs.crash(CrashModel::KeepAll);
+        let service = reopen(image.as_vfs());
+        assert_eq!(
+            service.recovery().unwrap().replayed_batches,
+            2,
+            "the logged-but-unacked batch replays"
+        );
+        let result = service.submit(PathQuery::new(0u32, 3u32, 3)).wait();
+        assert_eq!(result.paths.len(), 2, "0→1→3 and the recovered 0→2→3");
         service.shutdown();
     }
 

@@ -1,0 +1,93 @@
+//! Error type for the storage layer.
+
+use hcsp_graph::GraphError;
+use std::fmt;
+use std::io;
+
+/// Errors produced while creating, recovering, or writing an update store.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying VFS failure (includes injected failpoint kills).
+    Io(io::Error),
+    /// A required file is absent (e.g. opening a directory with no manifest).
+    Missing {
+        /// The file that was expected.
+        file: String,
+    },
+    /// A store directory already holds a manifest, so it cannot be re-created.
+    AlreadyExists,
+    /// A file exists but its contents are not a valid instance of its format.
+    ///
+    /// Recovery never reports this for damage a crash can cause (torn WAL tails are
+    /// dropped, orphan files are ignored); it means external corruption of a file the
+    /// write protocol had committed, e.g. a bit-rotted manifest or snapshot.
+    Corrupt {
+        /// The offending file.
+        file: String,
+        /// What failed to parse or verify.
+        detail: String,
+    },
+    /// The snapshot payload failed graph deserialisation.
+    Graph(GraphError),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "storage io error: {e}"),
+            StorageError::Missing { file } => write!(f, "missing storage file: {file}"),
+            StorageError::AlreadyExists => {
+                write!(f, "store directory already contains a manifest")
+            }
+            StorageError::Corrupt { file, detail } => {
+                write!(f, "corrupt storage file {file}: {detail}")
+            }
+            StorageError::Graph(e) => write!(f, "snapshot graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            StorageError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+impl From<GraphError> for StorageError {
+    fn from(e: GraphError) -> Self {
+        StorageError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        use std::error::Error;
+        let e = StorageError::from(io::Error::other("boom"));
+        assert!(e.to_string().contains("boom"));
+        assert!(e.source().is_some());
+        let e = StorageError::Missing {
+            file: "MANIFEST".into(),
+        };
+        assert!(e.to_string().contains("MANIFEST"));
+        let e = StorageError::Corrupt {
+            file: "wal-0.log".into(),
+            detail: "bad magic".into(),
+        };
+        assert!(e.to_string().contains("bad magic"));
+        assert!(StorageError::AlreadyExists.to_string().contains("manifest"));
+    }
+}

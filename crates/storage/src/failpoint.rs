@@ -1,0 +1,374 @@
+//! Deterministic crash injection: an in-memory [`Vfs`] that can die mid-write.
+//!
+//! [`FailpointFs`] is the substrate of the crash-matrix recovery tests. It models the
+//! two things a process death does to a storage stack:
+//!
+//! 1. **The kill itself** — a [`KillPoint`] arms the filesystem to fail at an exact
+//!    *byte offset* of the cumulative write stream (tearing the write that crosses it:
+//!    the prefix up to the offset lands in the file, the rest does not) or at an exact
+//!    *mutating-operation index* (failing that operation before it takes effect). Once a
+//!    kill triggers the filesystem is dead: every subsequent operation errors, exactly
+//!    like syscalls after `SIGKILL` never happen.
+//! 2. **What survives** — [`FailpointFs::crash`] produces the post-reboot image under a
+//!    [`CrashModel`]: [`CrashModel::DropUnsynced`] rolls every file back to its last
+//!    `sync` (the page cache was lost), [`CrashModel::KeepAll`] keeps every written byte
+//!    (the cache happened to be flushed). A correct recovery protocol must come up
+//!    consistent under *both*, for every kill point — that is the matrix the tests walk.
+//!
+//! Simplifications, documented on purpose: renames and creates are treated as durable
+//! once performed (as if the directory were fsynced immediately), while file *contents*
+//! strictly require `sync` to survive `DropUnsynced`. The store's commit points are
+//! content-then-rename, so this models the dangerous half (lost content) precisely and
+//! the benign half (lost directory entry ⇒ the old manifest stays live) conservatively.
+
+use crate::vfs::{Vfs, VfsFile};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Where the filesystem dies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum KillPoint {
+    /// Never dies.
+    #[default]
+    None,
+    /// The write that would push the cumulative written-byte counter past this offset
+    /// persists only the bytes up to it, then fails; everything after errors.
+    WriteByte(u64),
+    /// The `n`-th mutating operation (1-based: create/write/sync/rename/remove/
+    /// truncate/sync_dir) fails before taking effect; everything after errors.
+    Op(u64),
+}
+
+/// What the page cache did at the moment of the crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashModel {
+    /// Un-`sync`ed file contents are lost: each file rolls back to its synced length.
+    DropUnsynced,
+    /// Every written byte happens to survive (the kernel flushed on its own).
+    KeepAll,
+}
+
+#[derive(Debug, Clone, Default)]
+struct FileState {
+    data: Vec<u8>,
+    synced: usize,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    files: BTreeMap<String, FileState>,
+    bytes_written: u64,
+    ops: u64,
+    kill: KillPoint,
+    dead: bool,
+}
+
+impl Inner {
+    fn dead_err() -> io::Error {
+        io::Error::other("failpoint: filesystem is dead")
+    }
+
+    /// Counts one mutating operation; kills it if the op failpoint fires.
+    fn mutating_op(&mut self) -> io::Result<()> {
+        if self.dead {
+            return Err(Self::dead_err());
+        }
+        self.ops += 1;
+        if let KillPoint::Op(n) = self.kill {
+            if self.ops >= n {
+                self.dead = true;
+                return Err(Self::dead_err());
+            }
+        }
+        Ok(())
+    }
+
+    /// How many of `len` bytes the byte failpoint allows; kills after a short write.
+    fn admit_bytes(&mut self, len: usize) -> (usize, bool) {
+        match self.kill {
+            KillPoint::WriteByte(limit) if self.bytes_written + len as u64 > limit => {
+                let allowed = limit.saturating_sub(self.bytes_written) as usize;
+                self.bytes_written = limit;
+                self.dead = true;
+                (allowed, true)
+            }
+            _ => {
+                self.bytes_written += len as u64;
+                (len, false)
+            }
+        }
+    }
+}
+
+/// A deterministic, crash-injectable in-memory [`Vfs`]. Cloning shares the image.
+#[derive(Debug, Clone, Default)]
+pub struct FailpointFs {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl FailpointFs {
+    /// An empty filesystem with no kill armed.
+    pub fn new() -> FailpointFs {
+        FailpointFs::default()
+    }
+
+    /// A clonable `Arc<dyn Vfs>` view of this filesystem.
+    pub fn as_vfs(&self) -> Arc<dyn Vfs> {
+        Arc::new(self.clone())
+    }
+
+    /// Arms (or disarms, with [`KillPoint::None`]) the failpoint.
+    pub fn set_kill(&self, kill: KillPoint) {
+        self.inner.lock().unwrap().kill = kill;
+    }
+
+    /// Whether a kill has triggered.
+    pub fn is_dead(&self) -> bool {
+        self.inner.lock().unwrap().dead
+    }
+
+    /// Cumulative bytes admitted across all writes (the domain of
+    /// [`KillPoint::WriteByte`]).
+    pub fn bytes_written(&self) -> u64 {
+        self.inner.lock().unwrap().bytes_written
+    }
+
+    /// Cumulative mutating operations (the domain of [`KillPoint::Op`]).
+    pub fn ops(&self) -> u64 {
+        self.inner.lock().unwrap().ops
+    }
+
+    /// The post-reboot filesystem image under `model`: a fresh, alive [`FailpointFs`]
+    /// with no kill armed, holding what survived the crash.
+    pub fn crash(&self, model: CrashModel) -> FailpointFs {
+        let inner = self.inner.lock().unwrap();
+        let mut files = inner.files.clone();
+        if model == CrashModel::DropUnsynced {
+            for state in files.values_mut() {
+                state.data.truncate(state.synced);
+            }
+        }
+        // Everything in the image is on stable storage now.
+        for state in files.values_mut() {
+            state.synced = state.data.len();
+        }
+        FailpointFs {
+            inner: Arc::new(Mutex::new(Inner {
+                files,
+                ..Inner::default()
+            })),
+        }
+    }
+
+    /// Writes the current image to a real directory (for CI failure artifacts).
+    pub fn dump_to(&self, dir: impl AsRef<Path>) -> io::Result<()> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let inner = self.inner.lock().unwrap();
+        for (name, state) in &inner.files {
+            std::fs::write(dir.join(name), &state.data)?;
+        }
+        Ok(())
+    }
+
+    /// The names currently present, sorted.
+    pub fn file_names(&self) -> Vec<String> {
+        self.inner.lock().unwrap().files.keys().cloned().collect()
+    }
+}
+
+struct FpFile {
+    inner: Arc<Mutex<Inner>>,
+    name: String,
+}
+
+impl VfsFile for FpFile {
+    fn write_all(&mut self, data: &[u8]) -> io::Result<()> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.mutating_op()?;
+        let (allowed, killed) = inner.admit_bytes(data.len());
+        let state = inner
+            .files
+            .get_mut(&self.name)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, self.name.clone()))?;
+        state.data.extend_from_slice(&data[..allowed]);
+        if killed {
+            return Err(Inner::dead_err());
+        }
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.mutating_op()?;
+        if let Some(state) = inner.files.get_mut(&self.name) {
+            state.synced = state.data.len();
+        }
+        Ok(())
+    }
+}
+
+impl Vfs for FailpointFs {
+    fn create(&self, name: &str) -> io::Result<Box<dyn VfsFile>> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.mutating_op()?;
+        inner.files.insert(name.to_string(), FileState::default());
+        Ok(Box::new(FpFile {
+            inner: Arc::clone(&self.inner),
+            name: name.to_string(),
+        }))
+    }
+
+    fn open_append(&self, name: &str) -> io::Result<Box<dyn VfsFile>> {
+        let inner = self.inner.lock().unwrap();
+        if inner.dead {
+            return Err(Inner::dead_err());
+        }
+        if !inner.files.contains_key(name) {
+            return Err(io::Error::new(io::ErrorKind::NotFound, name.to_string()));
+        }
+        Ok(Box::new(FpFile {
+            inner: Arc::clone(&self.inner),
+            name: name.to_string(),
+        }))
+    }
+
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        let inner = self.inner.lock().unwrap();
+        if inner.dead {
+            return Err(Inner::dead_err());
+        }
+        inner
+            .files
+            .get(name)
+            .map(|s| s.data.clone())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_string()))
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        let inner = self.inner.lock().unwrap();
+        !inner.dead && inner.files.contains_key(name)
+    }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.mutating_op()?;
+        let state = inner
+            .files
+            .remove(from)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, from.to_string()))?;
+        inner.files.insert(to.to_string(), state);
+        Ok(())
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.mutating_op()?;
+        inner
+            .files
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_string()))
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.mutating_op()?;
+        let state = inner
+            .files
+            .get_mut(name)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_string()))?;
+        state.data.truncate(len as usize);
+        state.synced = state.synced.min(len as usize);
+        Ok(())
+    }
+
+    fn sync_dir(&self) -> io::Result<()> {
+        self.inner.lock().unwrap().mutating_op()
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        let inner = self.inner.lock().unwrap();
+        if inner.dead {
+            return Err(Inner::dead_err());
+        }
+        Ok(inner.files.keys().cloned().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_kill_tears_the_crossing_write() {
+        let fs = FailpointFs::new();
+        let mut f = fs.create("a").unwrap();
+        f.write_all(b"0123").unwrap();
+        fs.set_kill(KillPoint::WriteByte(6));
+        // This write crosses offset 6: bytes 4..6 land, the rest is torn off.
+        assert!(f.write_all(b"456789").is_err());
+        assert!(fs.is_dead());
+        assert!(f.write_all(b"x").is_err(), "dead fs rejects everything");
+
+        let image = fs.crash(CrashModel::KeepAll);
+        assert_eq!(image.read("a").unwrap(), b"012345");
+    }
+
+    #[test]
+    fn drop_unsynced_rolls_back_to_the_last_sync() {
+        let fs = FailpointFs::new();
+        let mut f = fs.create("a").unwrap();
+        f.write_all(b"durable").unwrap();
+        f.sync().unwrap();
+        f.write_all(b" volatile").unwrap();
+
+        let lost = fs.crash(CrashModel::DropUnsynced);
+        assert_eq!(lost.read("a").unwrap(), b"durable");
+        let lucky = fs.crash(CrashModel::KeepAll);
+        assert_eq!(lucky.read("a").unwrap(), b"durable volatile");
+    }
+
+    #[test]
+    fn op_kill_fails_the_exact_operation() {
+        let fs = FailpointFs::new();
+        let mut f = fs.create("a").unwrap(); // op 1
+        f.write_all(b"x").unwrap(); // op 2
+        fs.set_kill(KillPoint::Op(3));
+        assert!(f.sync().is_err(), "op 3 dies before taking effect");
+        let image = fs.crash(CrashModel::DropUnsynced);
+        assert_eq!(image.read("a").unwrap(), b"", "the sync never happened");
+    }
+
+    #[test]
+    fn rename_and_truncate_behave() {
+        let fs = FailpointFs::new();
+        let mut f = fs.create("t.tmp").unwrap();
+        f.write_all(b"abcdef").unwrap();
+        f.sync().unwrap();
+        fs.rename("t.tmp", "t").unwrap();
+        assert!(!fs.exists("t.tmp"));
+        fs.truncate("t", 3).unwrap();
+        assert_eq!(fs.read("t").unwrap(), b"abc");
+        assert_eq!(fs.file_names(), vec!["t".to_string()]);
+        // Truncation also clips the synced watermark.
+        let image = fs.crash(CrashModel::DropUnsynced);
+        assert_eq!(image.read("t").unwrap(), b"abc");
+    }
+
+    #[test]
+    fn crash_image_is_alive_and_independent() {
+        let fs = FailpointFs::new();
+        let mut f = fs.create("a").unwrap();
+        f.write_all(b"x").unwrap();
+        f.sync().unwrap();
+        fs.set_kill(KillPoint::Op(u64::MAX)); // armed but never reached
+        let image = fs.crash(CrashModel::DropUnsynced);
+        let mut g = image.create("b").unwrap();
+        g.write_all(b"y").unwrap();
+        assert!(image.exists("b"));
+        assert!(!fs.exists("b"), "images do not alias the crashed fs");
+    }
+}

@@ -1,0 +1,44 @@
+//! Durable update log + snapshot store for the HC-s-t-path serving stack.
+//!
+//! The serving layer (`hcsp-service`) keeps its graph state in memory as epoch-pinned
+//! immutable snapshots; this crate makes that state survive a process death. The design
+//! is a classic log-structured pair:
+//!
+//! - **WAL** ([`wal`]): every acknowledged update batch is appended to a CRC-framed,
+//!   length-prefixed log *before* it is published to queries. Fsync cadence is a policy
+//!   choice ([`FsyncPolicy`]): `Always` for zero-loss, `EveryN`/`Never` for throughput
+//!   with bounded loss.
+//! - **Snapshots** ([`snapshot`]): periodically the current graph is written as one
+//!   binary snapshot file (the same versioned format as `hcsp_graph::io`), absorbing a
+//!   prefix of the log so recovery cost stays proportional to the *tail*, not history.
+//! - **Manifest** ([`manifest`]): a tiny, atomically-replaced file naming the live
+//!   snapshot + WAL chain. Its rename is the commit point of every checkpoint.
+//! - **Store** ([`store`]): ties the three together — [`UpdateStore::create`],
+//!   [`UpdateStore::open`] (recovery), [`UpdateStore::append`], and the three-step
+//!   rotate → snapshot → commit checkpoint protocol.
+//!
+//! Everything talks to disk through the [`Vfs`] trait. [`StdFs`] is the real
+//! filesystem; [`FailpointFs`] is a deterministic in-memory filesystem that can be
+//! killed at an exact byte or operation — the engine of the crash-matrix recovery tests
+//! that sweep every kill point and assert recovered state is byte-identical to a
+//! never-crashed twin.
+
+#![warn(missing_docs)]
+
+pub mod crc32;
+pub mod error;
+pub mod failpoint;
+pub mod manifest;
+pub mod snapshot;
+pub mod store;
+pub mod vfs;
+pub mod wal;
+
+pub use error::StorageError;
+pub use failpoint::{CrashModel, FailpointFs, KillPoint};
+pub use manifest::Manifest;
+pub use store::{
+    fold_batches, CheckpointTicket, Recovered, RecoveryReport, StoreOptions, UpdateStore,
+};
+pub use vfs::{StdFs, Vfs, VfsFile};
+pub use wal::FsyncPolicy;

@@ -1,0 +1,255 @@
+//! The manifest: the single source of truth for what is live in a store directory.
+//!
+//! A store directory can accumulate snapshot files, WAL files, and temporaries in any
+//! crash-interrupted combination. The manifest names the one snapshot and the WAL chain
+//! start that together define the current state; everything else is garbage. It is
+//! replaced atomically — written to a temporary name, fsynced, renamed over `MANIFEST`,
+//! directory-fsynced — so the rename is the commit point of every checkpoint: a crash on
+//! either side of it leaves a fully consistent store.
+//!
+//! The format is a small line-oriented text file (easy to inspect in a shell) whose last
+//! line carries a CRC32 of everything above it:
+//!
+//! ```text
+//! hcsp-manifest 1
+//! snapshot 3
+//! wal-start 3
+//! snapshot-batches 57
+//! crc 0x1A2B3C4D
+//! ```
+
+use crate::crc32::crc32;
+use crate::error::StorageError;
+use crate::vfs::Vfs;
+
+/// Name of the live manifest file inside a store directory.
+pub const MANIFEST_NAME: &str = "MANIFEST";
+
+/// Temporary name a new manifest is staged under before the commit rename.
+pub const MANIFEST_TMP_NAME: &str = "MANIFEST.tmp";
+
+/// Manifest format version.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// The decoded contents of a manifest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Manifest {
+    /// Sequence number of the live snapshot file (`snapshot-<seq>.graph`), or `None`
+    /// when the store has never checkpointed and state is `base + whole WAL chain`.
+    pub snapshot: Option<u64>,
+    /// Sequence number of the first WAL file of the live chain (`wal-<seq>.log`).
+    pub wal_start: u64,
+    /// Number of update batches already folded into the snapshot: the first frame of
+    /// `wal-<wal_start>.log` logs exactly batch `snapshot_batches`.
+    pub snapshot_batches: u64,
+}
+
+impl Manifest {
+    /// The manifest of a freshly created, never-checkpointed store.
+    pub fn initial() -> Manifest {
+        Manifest {
+            snapshot: None,
+            wal_start: 0,
+            snapshot_batches: 0,
+        }
+    }
+
+    /// Serialises to the on-disk text format, CRC line included.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = format!("hcsp-manifest {MANIFEST_VERSION}\n");
+        if let Some(seq) = self.snapshot {
+            body.push_str(&format!("snapshot {seq}\n"));
+        }
+        body.push_str(&format!("wal-start {}\n", self.wal_start));
+        body.push_str(&format!("snapshot-batches {}\n", self.snapshot_batches));
+        let crc = crc32(body.as_bytes());
+        body.push_str(&format!("crc {crc:#010X}\n"));
+        body.into_bytes()
+    }
+
+    /// Parses the on-disk text format. Any deviation — bad CRC, missing field, unknown
+    /// version — is `Corrupt`: a manifest is only ever read after its commit rename, so
+    /// damage here is external, never an expected crash artefact.
+    pub fn decode(bytes: &[u8]) -> Result<Manifest, StorageError> {
+        let corrupt = |detail: String| StorageError::Corrupt {
+            file: MANIFEST_NAME.to_string(),
+            detail,
+        };
+        let text = std::str::from_utf8(bytes).map_err(|_| corrupt("not utf-8".into()))?;
+        let body_end = text
+            .rfind("crc ")
+            .ok_or_else(|| corrupt("missing crc line".into()))?;
+        let (body, crc_line) = text.split_at(body_end);
+        let declared = crc_line
+            .strip_prefix("crc 0x")
+            .and_then(|rest| u32::from_str_radix(rest.trim_end_matches('\n'), 16).ok())
+            .ok_or_else(|| corrupt("malformed crc line".into()))?;
+        if crc32(body.as_bytes()) != declared {
+            return Err(corrupt("crc mismatch".into()));
+        }
+
+        let mut lines = body.lines();
+        let header = lines.next().ok_or_else(|| corrupt("empty body".into()))?;
+        match header.strip_prefix("hcsp-manifest ") {
+            Some(v) if v == MANIFEST_VERSION.to_string() => {}
+            Some(v) => return Err(corrupt(format!("unsupported manifest version {v}"))),
+            None => return Err(corrupt("bad header line".into())),
+        }
+
+        let mut snapshot = None;
+        let mut wal_start = None;
+        let mut snapshot_batches = None;
+        for line in lines {
+            let (key, value) = line
+                .split_once(' ')
+                .ok_or_else(|| corrupt(format!("malformed line {line:?}")))?;
+            let parsed: u64 = value
+                .parse()
+                .map_err(|_| corrupt(format!("non-numeric value in line {line:?}")))?;
+            match key {
+                "snapshot" => snapshot = Some(parsed),
+                "wal-start" => wal_start = Some(parsed),
+                "snapshot-batches" => snapshot_batches = Some(parsed),
+                other => return Err(corrupt(format!("unknown key {other:?}"))),
+            }
+        }
+        Ok(Manifest {
+            snapshot,
+            wal_start: wal_start.ok_or_else(|| corrupt("missing wal-start".into()))?,
+            snapshot_batches: snapshot_batches
+                .ok_or_else(|| corrupt("missing snapshot-batches".into()))?,
+        })
+    }
+
+    /// Atomically installs `self` as the live manifest: stage under a temporary name,
+    /// fsync the bytes, rename over [`MANIFEST_NAME`], fsync the directory. The rename
+    /// is the commit point.
+    pub fn commit(&self, vfs: &dyn Vfs) -> Result<(), StorageError> {
+        let mut tmp = vfs.create(MANIFEST_TMP_NAME)?;
+        tmp.write_all(&self.encode())?;
+        tmp.sync()?;
+        drop(tmp);
+        vfs.rename(MANIFEST_TMP_NAME, MANIFEST_NAME)?;
+        vfs.sync_dir()?;
+        Ok(())
+    }
+
+    /// Loads the live manifest, or `Missing` when the directory has none.
+    pub fn load(vfs: &dyn Vfs) -> Result<Manifest, StorageError> {
+        if !vfs.exists(MANIFEST_NAME) {
+            return Err(StorageError::Missing {
+                file: MANIFEST_NAME.to_string(),
+            });
+        }
+        Manifest::decode(&vfs.read(MANIFEST_NAME)?)
+    }
+}
+
+/// Name of the snapshot file with sequence `seq`.
+pub fn snapshot_name(seq: u64) -> String {
+    format!("snapshot-{seq}.graph")
+}
+
+/// Name of the WAL file with sequence `seq`.
+pub fn wal_name(seq: u64) -> String {
+    format!("wal-{seq}.log")
+}
+
+/// Parses a file name back into `("snapshot" | "wal", seq)`, for garbage collection.
+pub fn parse_file_name(name: &str) -> Option<(&'static str, u64)> {
+    if let Some(seq) = name
+        .strip_prefix("snapshot-")
+        .and_then(|r| r.strip_suffix(".graph"))
+    {
+        return seq.parse().ok().map(|s| ("snapshot", s));
+    }
+    if let Some(seq) = name
+        .strip_prefix("wal-")
+        .and_then(|r| r.strip_suffix(".log"))
+    {
+        return seq.parse().ok().map(|s| ("wal", s));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failpoint::FailpointFs;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for m in [
+            Manifest::initial(),
+            Manifest {
+                snapshot: Some(4),
+                wal_start: 4,
+                snapshot_batches: 120,
+            },
+            Manifest {
+                snapshot: Some(0),
+                wal_start: 2,
+                snapshot_batches: 1,
+            },
+        ] {
+            assert_eq!(Manifest::decode(&m.encode()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let bytes = Manifest {
+            snapshot: Some(4),
+            wal_start: 4,
+            snapshot_batches: 9,
+        }
+        .encode();
+        for i in 0..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[i] ^= 0x01;
+            assert!(
+                Manifest::decode(&flipped).is_err(),
+                "bit flip at byte {i} went undetected"
+            );
+        }
+        assert!(Manifest::decode(b"").is_err());
+        assert!(Manifest::decode(b"hcsp-manifest 1\n").is_err());
+    }
+
+    #[test]
+    fn unknown_version_rejected() {
+        let mut body = String::from("hcsp-manifest 99\nwal-start 0\nsnapshot-batches 0\n");
+        let crc = crc32(body.as_bytes());
+        body.push_str(&format!("crc {crc:#010X}\n"));
+        let err = Manifest::decode(body.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("version 99"), "{err}");
+    }
+
+    #[test]
+    fn commit_and_load_round_trip() {
+        let fs = FailpointFs::new();
+        let vfs = fs.as_vfs();
+        assert!(matches!(
+            Manifest::load(vfs.as_ref()),
+            Err(StorageError::Missing { .. })
+        ));
+        let m = Manifest {
+            snapshot: Some(2),
+            wal_start: 2,
+            snapshot_batches: 40,
+        };
+        m.commit(vfs.as_ref()).unwrap();
+        assert_eq!(Manifest::load(vfs.as_ref()).unwrap(), m);
+        // The tmp name must not linger after a successful commit.
+        assert!(!vfs.exists(MANIFEST_TMP_NAME));
+    }
+
+    #[test]
+    fn file_names_round_trip() {
+        assert_eq!(parse_file_name(&snapshot_name(7)), Some(("snapshot", 7)));
+        assert_eq!(parse_file_name(&wal_name(0)), Some(("wal", 0)));
+        assert_eq!(parse_file_name("MANIFEST"), None);
+        assert_eq!(parse_file_name("snapshot-x.graph"), None);
+        assert_eq!(parse_file_name("wal-3.graph"), None);
+    }
+}

@@ -1,0 +1,79 @@
+//! Snapshot files: the compacted prefix of the update history.
+//!
+//! A snapshot is simply the versioned binary graph format
+//! ([`hcsp_graph::io::to_binary`]) under the name `snapshot-<seq>.graph` — the exact
+//! bytes a cold start would load, with no WAL replay needed for the batches it absorbs.
+//! Like the manifest, a snapshot is staged under a temporary name, fsynced, renamed into
+//! place and directory-fsynced, so a crash mid-write leaves at worst an orphan `.tmp`
+//! that the next open garbage-collects. A snapshot only becomes *live* when a manifest
+//! naming it commits.
+
+use crate::error::StorageError;
+use crate::manifest::snapshot_name;
+use crate::vfs::Vfs;
+use hcsp_graph::io::{from_binary, to_binary};
+use hcsp_graph::DiGraph;
+
+/// Stages and durably installs `graph` as `snapshot-<seq>.graph`.
+///
+/// The file is complete and durable when this returns, but not yet live: the caller
+/// must commit a manifest referencing `seq` to make it so.
+pub fn write_snapshot(vfs: &dyn Vfs, seq: u64, graph: &DiGraph) -> Result<(), StorageError> {
+    let name = snapshot_name(seq);
+    let tmp = format!("{name}.tmp");
+    let mut file = vfs.create(&tmp)?;
+    file.write_all(&to_binary(graph))?;
+    file.sync()?;
+    drop(file);
+    vfs.rename(&tmp, &name)?;
+    vfs.sync_dir()?;
+    Ok(())
+}
+
+/// Loads `snapshot-<seq>.graph`. The file was committed by a manifest, so absence or
+/// damage is real corruption, not a crash artefact.
+pub fn read_snapshot(vfs: &dyn Vfs, seq: u64) -> Result<DiGraph, StorageError> {
+    let name = snapshot_name(seq);
+    if !vfs.exists(&name) {
+        return Err(StorageError::Missing { file: name });
+    }
+    from_binary(&vfs.read(&name)?).map_err(StorageError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failpoint::{CrashModel, FailpointFs, KillPoint};
+
+    fn sample_graph() -> DiGraph {
+        DiGraph::from_edge_list(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap()
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let fs = FailpointFs::new();
+        let vfs = fs.as_vfs();
+        let g = sample_graph();
+        write_snapshot(vfs.as_ref(), 3, &g).unwrap();
+        assert_eq!(read_snapshot(vfs.as_ref(), 3).unwrap(), g);
+        assert!(matches!(
+            read_snapshot(vfs.as_ref(), 4),
+            Err(StorageError::Missing { .. })
+        ));
+        assert_eq!(fs.file_names(), vec!["snapshot-3.graph".to_string()]);
+    }
+
+    #[test]
+    fn crash_mid_write_leaves_only_an_orphan_tmp() {
+        let fs = FailpointFs::new();
+        let vfs = fs.as_vfs();
+        fs.set_kill(KillPoint::WriteByte(10));
+        assert!(write_snapshot(vfs.as_ref(), 0, &sample_graph()).is_err());
+        let image = fs.crash(CrashModel::KeepAll);
+        assert!(matches!(
+            read_snapshot(image.as_vfs().as_ref(), 0),
+            Err(StorageError::Missing { .. })
+        ));
+        assert_eq!(image.file_names(), vec!["snapshot-0.graph.tmp".to_string()]);
+    }
+}

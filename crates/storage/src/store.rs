@@ -1,0 +1,689 @@
+//! The durable update store: a WAL chain + snapshot + manifest under one directory.
+//!
+//! # On-disk protocol
+//!
+//! A store directory holds exactly one [`Manifest`], one live snapshot
+//! (`snapshot-<S>.graph`), and a *chain* of WAL files `wal-<S>.log, wal-<S+1>.log, …`
+//! with consecutive sequence numbers starting at the manifest's `wal_start`. Invariant:
+//! `snapshot-<S>` is the graph state with exactly the first `snapshot_batches` update
+//! batches folded in, and the first frame of `wal-<S>.log` logs batch
+//! `snapshot_batches` — so `state = snapshot ⊕ chain`, always.
+//!
+//! **Append** writes one CRC-framed batch to the newest chain file and fsyncs per
+//! [`FsyncPolicy`]. **Checkpoint** is a three-step protocol engineered so a crash
+//! anywhere leaves a consistent store:
+//!
+//! 1. *Rotate* (under the store lock): fsync and close the active WAL file, create
+//!    `wal-<S+1>.log` durably. New appends land in the new file; the state captured for
+//!    the snapshot is exactly "everything before it".
+//! 2. *Snapshot* (outside the lock): write `snapshot-<S+1>.graph` durably. Appends and
+//!    queries proceed concurrently.
+//! 3. *Commit*: atomically install a manifest naming the new pair, then garbage-collect
+//!    the superseded files. The manifest rename is the commit point — before it, the
+//!    old `snapshot ⊕ longer chain` is live; after it, the new one. Both describe the
+//!    same state.
+//!
+//! **Recovery** loads the manifest, deletes everything it does not reference (orphan
+//! `.tmp`s, superseded snapshots, pre-chain WAL files), loads the snapshot, and replays
+//! the chain. Any damage in the newest chain file — torn frame, CRC mismatch, truncated
+//! tail — classifies the rest as lost: the file is truncated back to its last intact
+//! frame and appending resumes there. Damage the protocol's fsync discipline makes
+//! impossible (a torn *middle* file, a corrupt manifest) is reported as
+//! [`StorageError::Corrupt`] instead of being silently dropped.
+
+use crate::error::StorageError;
+use crate::manifest::{parse_file_name, snapshot_name, wal_name, Manifest, MANIFEST_NAME};
+use crate::snapshot::{read_snapshot, write_snapshot};
+use crate::vfs::{Vfs, VfsFile};
+use crate::wal::{encode_frame, encode_wal_header, scan_wal, FsyncPolicy, WAL_HEADER_LEN};
+use hcsp_graph::{DeltaGraph, DiGraph, GraphUpdate};
+use std::sync::Arc;
+
+/// Tuning knobs for an [`UpdateStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct StoreOptions {
+    /// When appended batches are forced to stable storage.
+    pub fsync: FsyncPolicy,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            fsync: FsyncPolicy::Always,
+        }
+    }
+}
+
+/// What recovery found and did. Attached to every successful open for observability
+/// and asserted on by the crash-matrix tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Sequence of the snapshot that was loaded.
+    pub snapshot_seq: u64,
+    /// Batches already folded into that snapshot.
+    pub snapshot_batches: u64,
+    /// WAL chain files that contributed at least their header.
+    pub wal_files: usize,
+    /// Intact batches replayed from the chain.
+    pub replayed_batches: usize,
+    /// Individual updates inside those batches.
+    pub replayed_updates: usize,
+    /// Bytes of torn tail truncated off the newest chain file (plus any bytes of
+    /// dangling post-crash files the manifest never committed).
+    pub dropped_bytes: u64,
+    /// Why the newest chain file's tail was dropped, when it was.
+    pub torn_tail: Option<String>,
+}
+
+/// The result of [`UpdateStore::open`]: the store plus everything needed to rebuild
+/// the in-memory state it represents.
+pub struct Recovered {
+    /// The store, ready for appends.
+    pub store: UpdateStore,
+    /// The snapshot graph (state after `report.snapshot_batches` batches).
+    pub base: DiGraph,
+    /// The replayed chain batches, in order; folding them over `base` yields the
+    /// recovered state.
+    pub batches: Vec<Vec<GraphUpdate>>,
+    /// What recovery found.
+    pub report: RecoveryReport,
+}
+
+impl Recovered {
+    /// Folds the replayed batches over the snapshot, yielding the recovered graph.
+    pub fn fold(&self) -> DiGraph {
+        fold_batches(self.base.clone(), &self.batches)
+    }
+}
+
+/// Folds update batches over a base graph (replay order, idempotent).
+pub fn fold_batches(base: DiGraph, batches: &[Vec<GraphUpdate>]) -> DiGraph {
+    if batches.iter().all(|b| b.is_empty()) {
+        return base;
+    }
+    let mut delta = DeltaGraph::new(base);
+    for batch in batches {
+        for update in batch {
+            delta.apply(update);
+        }
+    }
+    delta.compact()
+}
+
+/// An in-flight checkpoint: rotation has happened, the snapshot and manifest have not.
+/// Produced by [`UpdateStore::begin_checkpoint`], consumed by
+/// [`UpdateStore::commit_checkpoint`].
+#[derive(Debug, Clone, Copy)]
+#[must_use = "a begun checkpoint must be committed (or the rotation is wasted)"]
+pub struct CheckpointTicket {
+    /// Sequence of the snapshot/WAL pair being installed.
+    pub seq: u64,
+    /// Batches the snapshot must absorb: the caller's graph must be the state after
+    /// exactly this many batches.
+    pub batches: u64,
+}
+
+/// A durable, crash-recoverable log + snapshot store for [`GraphUpdate`] batches.
+pub struct UpdateStore {
+    vfs: Arc<dyn Vfs>,
+    fsync: FsyncPolicy,
+    manifest: Manifest,
+    active: Box<dyn VfsFile>,
+    active_seq: u64,
+    next_batch_seq: u64,
+    tail_bytes: u64,
+    appends_since_sync: u32,
+}
+
+impl std::fmt::Debug for UpdateStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UpdateStore")
+            .field("fsync", &self.fsync)
+            .field("manifest", &self.manifest)
+            .field("active_seq", &self.active_seq)
+            .field("next_batch_seq", &self.next_batch_seq)
+            .field("tail_bytes", &self.tail_bytes)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Durably creates a new, empty-named WAL file and returns its open handle.
+fn create_wal(
+    vfs: &dyn Vfs,
+    seq: u64,
+    first_batch_seq: u64,
+) -> Result<Box<dyn VfsFile>, StorageError> {
+    let mut file = vfs.create(&wal_name(seq))?;
+    file.write_all(&encode_wal_header(first_batch_seq))?;
+    file.sync()?;
+    vfs.sync_dir()?;
+    Ok(file)
+}
+
+impl UpdateStore {
+    /// Initialises a store in an empty directory: snapshot 0 is `initial`, the chain
+    /// starts at `wal-0.log`, and the manifest commits the pair. Fails with
+    /// [`StorageError::AlreadyExists`] if the directory already holds a manifest.
+    pub fn create(
+        vfs: Arc<dyn Vfs>,
+        options: StoreOptions,
+        initial: &DiGraph,
+    ) -> Result<UpdateStore, StorageError> {
+        if vfs.exists(MANIFEST_NAME) {
+            return Err(StorageError::AlreadyExists);
+        }
+        write_snapshot(vfs.as_ref(), 0, initial)?;
+        let active = create_wal(vfs.as_ref(), 0, 0)?;
+        Manifest {
+            snapshot: Some(0),
+            wal_start: 0,
+            snapshot_batches: 0,
+        }
+        .commit(vfs.as_ref())?;
+        Ok(UpdateStore {
+            vfs,
+            fsync: options.fsync,
+            manifest: Manifest {
+                snapshot: Some(0),
+                wal_start: 0,
+                snapshot_batches: 0,
+            },
+            active,
+            active_seq: 0,
+            next_batch_seq: 0,
+            tail_bytes: 0,
+            appends_since_sync: 0,
+        })
+    }
+
+    /// Recovers the store from a directory: load the manifest, garbage-collect what it
+    /// does not reference, load the snapshot, replay the chain, truncate any torn tail.
+    ///
+    /// Fails with [`StorageError::Missing`] when no manifest exists (nothing was ever
+    /// created — or created-but-never-committed, in which case nothing was ever
+    /// acknowledged either).
+    pub fn open(vfs: Arc<dyn Vfs>, options: StoreOptions) -> Result<Recovered, StorageError> {
+        let manifest = Manifest::load(vfs.as_ref())?;
+
+        // Phase 1: garbage. Everything the manifest does not reference is a leftover of
+        // a crashed checkpoint (orphan tmp, uncommitted snapshot, superseded WAL) and is
+        // deleted before it can confuse anyone. Chain files (seq >= wal_start) survive.
+        let mut dropped_bytes = 0u64;
+        for name in vfs.list()? {
+            let keep = match parse_file_name(&name) {
+                Some(("snapshot", seq)) => manifest.snapshot == Some(seq),
+                Some(("wal", seq)) => seq >= manifest.wal_start,
+                _ => name == MANIFEST_NAME,
+            };
+            if !keep {
+                dropped_bytes += vfs.read(&name).map(|b| b.len() as u64).unwrap_or(0);
+                vfs.remove(&name)?;
+            }
+        }
+
+        // Phase 2: the snapshot.
+        let base = match manifest.snapshot {
+            Some(seq) => read_snapshot(vfs.as_ref(), seq)?,
+            None => DiGraph::from_edge_list(0, &[])?,
+        };
+
+        // Phase 3: the chain. Files must exist with consecutive sequences and carry
+        // consecutive batches; the first break ends the chain. Only the *newest*
+        // surviving file may be torn (older files were fsynced before their successor
+        // was created), so a torn middle file is corruption, not a crash artefact.
+        let mut batches = Vec::new();
+        let mut torn_tail = None;
+        let mut wal_files = 0usize;
+        let mut chain_seq = manifest.wal_start;
+        let mut expect_batch = manifest.snapshot_batches;
+        let mut active_seq = manifest.wal_start;
+        let mut tail_bytes = 0u64;
+        loop {
+            let name = wal_name(chain_seq);
+            if !vfs.exists(&name) {
+                if chain_seq == manifest.wal_start {
+                    // The manifest committed after this file was durably created.
+                    return Err(StorageError::Missing { file: name });
+                }
+                break;
+            }
+            let bytes = vfs.read(&name)?;
+            if chain_seq > manifest.wal_start && bytes.len() < WAL_HEADER_LEN {
+                // A rotated file whose header never finished: the checkpoint created it
+                // durably but died before writing (or syncing) the header — the manifest
+                // that would have referenced it never committed, so it is a crash
+                // artefact, not corruption. Drop it and everything after it.
+                let mut later = chain_seq;
+                while vfs.exists(&wal_name(later)) {
+                    dropped_bytes += vfs
+                        .read(&wal_name(later))
+                        .map(|b| b.len() as u64)
+                        .unwrap_or(0);
+                    vfs.remove(&wal_name(later))?;
+                    later += 1;
+                }
+                torn_tail = Some(format!(
+                    "rotated {name} lost its header in a crash ({} of {WAL_HEADER_LEN} bytes)",
+                    bytes.len()
+                ));
+                break;
+            }
+            let scan =
+                scan_wal(&bytes, Some(expect_batch)).map_err(|detail| StorageError::Corrupt {
+                    file: name.clone(),
+                    detail,
+                })?;
+            wal_files += 1;
+            active_seq = chain_seq;
+            tail_bytes += scan.valid_len - WAL_HEADER_LEN as u64;
+            expect_batch = scan.next_seq();
+            let scan_torn = scan.torn;
+            batches.extend(scan.batches);
+            if let Some(detail) = scan_torn {
+                // Drop the tail: truncate this file back to its last intact frame and
+                // discard any later chain files (they can only be dangling rotations
+                // whose manifest never committed).
+                dropped_bytes += bytes.len() as u64 - scan.valid_len;
+                vfs.truncate(&name, scan.valid_len)?;
+                let mut later = chain_seq + 1;
+                while vfs.exists(&wal_name(later)) {
+                    dropped_bytes += vfs
+                        .read(&wal_name(later))
+                        .map(|b| b.len() as u64)
+                        .unwrap_or(0);
+                    vfs.remove(&wal_name(later))?;
+                    later += 1;
+                }
+                torn_tail = Some(detail);
+                break;
+            }
+            chain_seq += 1;
+        }
+
+        let replayed_updates = batches.iter().map(Vec::len).sum();
+        let report = RecoveryReport {
+            snapshot_seq: manifest.snapshot.unwrap_or(0),
+            snapshot_batches: manifest.snapshot_batches,
+            wal_files,
+            replayed_batches: batches.len(),
+            replayed_updates,
+            dropped_bytes,
+            torn_tail,
+        };
+        let active = vfs.open_append(&wal_name(active_seq))?;
+        let store = UpdateStore {
+            vfs,
+            fsync: options.fsync,
+            manifest,
+            active,
+            active_seq,
+            next_batch_seq: expect_batch,
+            tail_bytes,
+            appends_since_sync: 0,
+        };
+        Ok(Recovered {
+            store,
+            base,
+            batches,
+            report,
+        })
+    }
+
+    /// Appends one update batch to the log, fsyncing per policy. Returns the batch
+    /// sequence the frame logs. On error the batch must be treated as *not* acknowledged
+    /// (it may or may not survive a concurrent crash).
+    pub fn append(&mut self, updates: &[GraphUpdate]) -> Result<u64, StorageError> {
+        let seq = self.next_batch_seq;
+        let frame = encode_frame(seq, updates);
+        self.active.write_all(&frame)?;
+        self.next_batch_seq += 1;
+        self.tail_bytes += frame.len() as u64;
+        self.appends_since_sync += 1;
+        let sync_now = match self.fsync {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::EveryN(n) => self.appends_since_sync >= n.max(1),
+            FsyncPolicy::Never => false,
+        };
+        if sync_now {
+            self.sync()?;
+        }
+        Ok(seq)
+    }
+
+    /// Forces everything appended so far to stable storage, regardless of policy.
+    pub fn sync(&mut self) -> Result<(), StorageError> {
+        self.active.sync()?;
+        self.appends_since_sync = 0;
+        Ok(())
+    }
+
+    /// Bytes of framed batches in the current chain (what a checkpoint would absorb).
+    pub fn tail_bytes(&self) -> u64 {
+        self.tail_bytes
+    }
+
+    /// The sequence the next appended batch will log; equivalently, the number of
+    /// batches ever appended.
+    pub fn next_batch_seq(&self) -> u64 {
+        self.next_batch_seq
+    }
+
+    /// Batches appended since the live snapshot was taken.
+    pub fn batches_since_checkpoint(&self) -> u64 {
+        self.next_batch_seq - self.manifest.snapshot_batches
+    }
+
+    /// The VFS this store writes to (for writing snapshot files outside the store lock).
+    pub fn vfs(&self) -> Arc<dyn Vfs> {
+        Arc::clone(&self.vfs)
+    }
+
+    /// Checkpoint step 1 — *rotate*: durably finish the active WAL file and start
+    /// `wal-<seq+1>`. After this returns, the state "after [`CheckpointTicket::batches`]
+    /// batches" is frozen as the snapshot target while appends continue into the new
+    /// file. Returns `None` when there is nothing to checkpoint (no batches since the
+    /// live snapshot).
+    pub fn begin_checkpoint(&mut self) -> Result<Option<CheckpointTicket>, StorageError> {
+        if self.batches_since_checkpoint() == 0 {
+            return Ok(None);
+        }
+        self.sync()?;
+        let seq = self.active_seq + 1;
+        self.active = create_wal(self.vfs.as_ref(), seq, self.next_batch_seq)?;
+        self.active_seq = seq;
+        self.tail_bytes = 0;
+        Ok(Some(CheckpointTicket {
+            seq,
+            batches: self.next_batch_seq,
+        }))
+    }
+
+    /// Checkpoint step 3 — *commit*: install the manifest naming
+    /// `snapshot-<ticket.seq>` (which the caller has already written via
+    /// [`write_snapshot`]) and the rotated chain, then garbage-collect the superseded
+    /// files. GC failures are ignored: the next open deletes orphans anyway.
+    pub fn commit_checkpoint(&mut self, ticket: CheckpointTicket) -> Result<(), StorageError> {
+        let old = self.manifest;
+        self.manifest = Manifest {
+            snapshot: Some(ticket.seq),
+            wal_start: ticket.seq,
+            snapshot_batches: ticket.batches,
+        };
+        self.manifest.commit(self.vfs.as_ref())?;
+        if let Some(seq) = old.snapshot {
+            if old.snapshot != self.manifest.snapshot {
+                let _ = self.vfs.remove(&snapshot_name(seq));
+            }
+        }
+        for seq in old.wal_start..ticket.seq {
+            let _ = self.vfs.remove(&wal_name(seq));
+        }
+        Ok(())
+    }
+
+    /// The whole checkpoint protocol inline, for callers that already hold the current
+    /// graph state and do not need the snapshot write to happen outside a lock. `graph`
+    /// must be the state after exactly [`UpdateStore::next_batch_seq`] batches.
+    pub fn checkpoint(&mut self, graph: &DiGraph) -> Result<bool, StorageError> {
+        match self.begin_checkpoint()? {
+            None => Ok(false),
+            Some(ticket) => {
+                write_snapshot(self.vfs.as_ref(), ticket.seq, graph)?;
+                self.commit_checkpoint(ticket)?;
+                Ok(true)
+            }
+        }
+    }
+
+    /// The live manifest (for tests and introspection).
+    pub fn manifest(&self) -> Manifest {
+        self.manifest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failpoint::{CrashModel, FailpointFs, KillPoint};
+
+    fn base_graph() -> DiGraph {
+        DiGraph::from_edge_list(4, &[(0, 1), (1, 2), (2, 3)]).unwrap()
+    }
+
+    fn opts(fsync: FsyncPolicy) -> StoreOptions {
+        StoreOptions { fsync }
+    }
+
+    #[test]
+    fn create_append_recover_round_trip() {
+        let fs = FailpointFs::new();
+        let mut store =
+            UpdateStore::create(fs.as_vfs(), opts(FsyncPolicy::Always), &base_graph()).unwrap();
+        assert_eq!(store.append(&[GraphUpdate::insert(3u32, 0u32)]).unwrap(), 0);
+        assert_eq!(
+            store
+                .append(&[
+                    GraphUpdate::delete(0u32, 1u32),
+                    GraphUpdate::insert(0u32, 2u32)
+                ])
+                .unwrap(),
+            1
+        );
+        drop(store);
+
+        let rec = UpdateStore::open(fs.as_vfs(), opts(FsyncPolicy::Always)).unwrap();
+        assert_eq!(rec.report.replayed_batches, 2);
+        assert_eq!(rec.report.replayed_updates, 3);
+        assert_eq!(rec.report.snapshot_batches, 0);
+        assert!(rec.report.torn_tail.is_none());
+        assert_eq!(rec.base, base_graph());
+        let folded = rec.fold();
+        assert_eq!(folded.num_edges(), 4);
+        assert_eq!(rec.store.next_batch_seq(), 2);
+    }
+
+    #[test]
+    fn open_without_manifest_is_missing() {
+        let fs = FailpointFs::new();
+        assert!(matches!(
+            UpdateStore::open(fs.as_vfs(), StoreOptions::default()),
+            Err(StorageError::Missing { .. })
+        ));
+    }
+
+    #[test]
+    fn double_create_is_rejected() {
+        let fs = FailpointFs::new();
+        let _ = UpdateStore::create(fs.as_vfs(), StoreOptions::default(), &base_graph()).unwrap();
+        assert!(matches!(
+            UpdateStore::create(fs.as_vfs(), StoreOptions::default(), &base_graph()),
+            Err(StorageError::AlreadyExists)
+        ));
+    }
+
+    #[test]
+    fn checkpoint_rotates_compacts_and_gcs() {
+        let fs = FailpointFs::new();
+        let mut store =
+            UpdateStore::create(fs.as_vfs(), opts(FsyncPolicy::Always), &base_graph()).unwrap();
+        let mut state = DeltaGraph::new(base_graph());
+        for i in 0..5u32 {
+            let update = GraphUpdate::insert(i % 4, (i + 2) % 4);
+            state.apply(&update);
+            store.append(&[update]).unwrap();
+        }
+        assert!(store.tail_bytes() > 0);
+        let compacted = state.compact();
+        assert!(store.checkpoint(&compacted).unwrap());
+        assert_eq!(store.tail_bytes(), 0);
+        assert_eq!(store.batches_since_checkpoint(), 0);
+        assert_eq!(
+            store.manifest(),
+            Manifest {
+                snapshot: Some(1),
+                wal_start: 1,
+                snapshot_batches: 5
+            }
+        );
+        // Old snapshot and WAL are gone; the new pair plus manifest remain.
+        assert_eq!(
+            fs.file_names(),
+            vec![
+                "MANIFEST".to_string(),
+                "snapshot-1.graph".into(),
+                "wal-1.log".into()
+            ]
+        );
+        // A checkpoint with nothing new is a no-op.
+        assert!(!store.checkpoint(&compacted).unwrap());
+
+        // Appends continue into the rotated file and recovery folds to the same state.
+        store.append(&[GraphUpdate::delete(0u32, 1u32)]).unwrap();
+        drop(store);
+        let rec = UpdateStore::open(fs.as_vfs(), opts(FsyncPolicy::Always)).unwrap();
+        assert_eq!(rec.report.snapshot_seq, 1);
+        assert_eq!(rec.report.snapshot_batches, 5);
+        assert_eq!(rec.report.replayed_batches, 1);
+        assert_eq!(rec.base, compacted);
+        assert_eq!(rec.store.next_batch_seq(), 6);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appending_resumes() {
+        let fs = FailpointFs::new();
+        let mut store =
+            UpdateStore::create(fs.as_vfs(), opts(FsyncPolicy::Always), &base_graph()).unwrap();
+        store.append(&[GraphUpdate::insert(0u32, 3u32)]).unwrap();
+        let intact = fs.bytes_written();
+        // Kill 5 bytes into the second append's frame.
+        fs.set_kill(KillPoint::WriteByte(intact + 5));
+        assert!(store.append(&[GraphUpdate::insert(1u32, 3u32)]).is_err());
+        drop(store);
+
+        let image = fs.crash(CrashModel::KeepAll);
+        let rec = UpdateStore::open(image.as_vfs(), opts(FsyncPolicy::Always)).unwrap();
+        assert_eq!(rec.report.replayed_batches, 1);
+        assert!(rec.report.torn_tail.is_some());
+        assert_eq!(rec.report.dropped_bytes, 5);
+        // The torn bytes are gone from the file; a fresh append lands cleanly.
+        let mut store = rec.store;
+        assert_eq!(store.append(&[GraphUpdate::insert(1u32, 3u32)]).unwrap(), 1);
+        drop(store);
+        let rec = UpdateStore::open(image.as_vfs(), opts(FsyncPolicy::Always)).unwrap();
+        assert_eq!(rec.report.replayed_batches, 2);
+        assert!(rec.report.torn_tail.is_none());
+    }
+
+    #[test]
+    fn crash_between_rotation_and_manifest_keeps_the_old_chain_live() {
+        let fs = FailpointFs::new();
+        let mut store =
+            UpdateStore::create(fs.as_vfs(), opts(FsyncPolicy::Always), &base_graph()).unwrap();
+        store.append(&[GraphUpdate::insert(0u32, 3u32)]).unwrap();
+        // Rotate but never snapshot/commit: wal-1 exists, manifest still names wal-0.
+        let ticket = store.begin_checkpoint().unwrap().unwrap();
+        assert_eq!(ticket.seq, 1);
+        store.append(&[GraphUpdate::insert(1u32, 3u32)]).unwrap();
+        drop(store);
+
+        let image = fs.crash(CrashModel::KeepAll);
+        let rec = UpdateStore::open(image.as_vfs(), opts(FsyncPolicy::Always)).unwrap();
+        // Both batches replay: one from wal-0, one from the dangling wal-1.
+        assert_eq!(rec.report.replayed_batches, 2);
+        assert_eq!(rec.report.wal_files, 2);
+        assert_eq!(rec.store.next_batch_seq(), 2);
+    }
+
+    #[test]
+    fn a_rotated_wal_that_lost_its_header_is_a_torn_tail_not_corruption() {
+        // Found by the crash matrix: a kill between `create(wal-1)` and the write (or
+        // sync) of its header leaves a durable zero-length chain file. That is a crash
+        // artefact of an uncommitted checkpoint — recovery must drop it and keep the
+        // acked prefix, not refuse to open.
+        let fs = FailpointFs::new();
+        let mut store =
+            UpdateStore::create(fs.as_vfs(), opts(FsyncPolicy::Always), &base_graph()).unwrap();
+        store.append(&[GraphUpdate::insert(0u32, 3u32)]).unwrap();
+        // Die on the header write of the rotated file: ops+1 = sync(active),
+        // ops+2 = create(wal-1), ops+3 = the header write.
+        fs.set_kill(KillPoint::Op(fs.ops() + 3));
+        assert!(store.begin_checkpoint().is_err());
+        drop(store);
+
+        for model in [CrashModel::DropUnsynced, CrashModel::KeepAll] {
+            let image = fs.crash(model);
+            let rec = UpdateStore::open(image.as_vfs(), opts(FsyncPolicy::Always)).unwrap();
+            assert_eq!(
+                rec.report.replayed_batches, 1,
+                "{model:?}: the acked batch survives"
+            );
+            assert!(
+                rec.report
+                    .torn_tail
+                    .as_deref()
+                    .unwrap_or("")
+                    .contains("lost its header"),
+                "{model:?}: {:?}",
+                rec.report.torn_tail
+            );
+            assert!(
+                !image.exists("wal-1.log"),
+                "{model:?}: the headerless file is gone"
+            );
+            // The reopened store appends to wal-0 again.
+            let mut store = rec.store;
+            store.append(&[GraphUpdate::insert(1u32, 3u32)]).unwrap();
+            let rec2 = UpdateStore::open(image.as_vfs(), opts(FsyncPolicy::Always)).unwrap();
+            assert_eq!(rec2.report.replayed_batches, 2);
+        }
+    }
+
+    #[test]
+    fn orphan_files_are_garbage_collected_on_open() {
+        let fs = FailpointFs::new();
+        let mut store =
+            UpdateStore::create(fs.as_vfs(), opts(FsyncPolicy::Always), &base_graph()).unwrap();
+        store.append(&[GraphUpdate::insert(0u32, 3u32)]).unwrap();
+        drop(store);
+        // Plant garbage a crashed checkpoint could leave behind.
+        let vfs = fs.as_vfs();
+        let mut f = vfs.create("snapshot-9.graph.tmp").unwrap();
+        f.write_all(b"partial").unwrap();
+        let mut f = vfs.create("snapshot-7.graph").unwrap();
+        f.write_all(b"uncommitted").unwrap();
+        drop(f);
+
+        let rec = UpdateStore::open(fs.as_vfs(), opts(FsyncPolicy::Always)).unwrap();
+        assert_eq!(rec.report.replayed_batches, 1);
+        assert!(rec.report.dropped_bytes >= b"partialuncommitted".len() as u64);
+        assert_eq!(
+            fs.file_names(),
+            vec![
+                "MANIFEST".to_string(),
+                "snapshot-0.graph".into(),
+                "wal-0.log".into()
+            ]
+        );
+    }
+
+    #[test]
+    fn every_n_policy_syncs_on_the_nth_append() {
+        let fs = FailpointFs::new();
+        let mut store =
+            UpdateStore::create(fs.as_vfs(), opts(FsyncPolicy::EveryN(3)), &base_graph()).unwrap();
+        let update = [GraphUpdate::insert(0u32, 3u32)];
+        store.append(&update).unwrap(); // unsynced
+        store.append(&update).unwrap(); // unsynced
+        let lossy = fs.crash(CrashModel::DropUnsynced);
+        let rec = UpdateStore::open(lossy.as_vfs(), StoreOptions::default()).unwrap();
+        assert_eq!(rec.report.replayed_batches, 0, "nothing synced yet");
+
+        store.append(&update).unwrap(); // third append: policy syncs
+        let lossy = fs.crash(CrashModel::DropUnsynced);
+        let rec = UpdateStore::open(lossy.as_vfs(), StoreOptions::default()).unwrap();
+        assert_eq!(
+            rec.report.replayed_batches, 3,
+            "the EveryN sync covers all three"
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! The storage layer's filesystem seam.
+//!
+//! Every byte the store writes goes through a [`Vfs`] — a flat, directory-rooted file
+//! namespace with the few primitives a log-structured store needs: truncating create,
+//! append, whole-file read, atomic rename, truncate, remove, list, and explicit
+//! durability points (`sync` on files, [`Vfs::sync_dir`] for the namespace itself).
+//!
+//! Two implementations exist: [`StdFs`] maps the namespace onto a real directory, and
+//! [`FailpointFs`](crate::FailpointFs) is a deterministic in-memory filesystem that can
+//! kill writes at byte granularity and simulate the page cache losing un-fsynced data —
+//! the substrate of the crash-matrix recovery tests. Everything above this trait
+//! (framing, manifest protocol, recovery) is byte-identical on both.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// A writable file handle obtained from a [`Vfs`].
+pub trait VfsFile: Send {
+    /// Appends `data` at the end of the file. Either the whole slice is reported
+    /// written, or an error is returned (a failpoint may still have persisted a prefix —
+    /// exactly like a real torn write).
+    fn write_all(&mut self, data: &[u8]) -> io::Result<()>;
+
+    /// Forces everything written so far to durable storage (fsync).
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+/// A flat file namespace rooted at one directory.
+///
+/// Implementations must make [`Vfs::rename`] atomic with respect to crashes: a reader
+/// after a crash sees either the old or the new name, never a half-renamed file.
+pub trait Vfs: Send + Sync {
+    /// Creates (or truncates) `name` and returns an append handle.
+    fn create(&self, name: &str) -> io::Result<Box<dyn VfsFile>>;
+
+    /// Opens an existing `name` for appending at its current end.
+    fn open_append(&self, name: &str) -> io::Result<Box<dyn VfsFile>>;
+
+    /// Reads the whole contents of `name`.
+    fn read(&self, name: &str) -> io::Result<Vec<u8>>;
+
+    /// Whether `name` exists.
+    fn exists(&self, name: &str) -> bool;
+
+    /// Atomically renames `from` to `to`, replacing any existing `to`.
+    fn rename(&self, from: &str, to: &str) -> io::Result<()>;
+
+    /// Removes `name`.
+    fn remove(&self, name: &str) -> io::Result<()>;
+
+    /// Truncates `name` to `len` bytes (used to drop a torn WAL tail).
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()>;
+
+    /// Forces the directory itself (its name → file mapping) to durable storage.
+    fn sync_dir(&self) -> io::Result<()>;
+
+    /// Lists the names in the namespace, in unspecified order.
+    fn list(&self) -> io::Result<Vec<String>>;
+}
+
+/// The real-filesystem [`Vfs`]: a directory on disk.
+#[derive(Debug)]
+pub struct StdFs {
+    root: PathBuf,
+}
+
+impl StdFs {
+    /// Opens (creating if needed) the directory at `root`.
+    pub fn new(root: impl AsRef<Path>) -> io::Result<StdFs> {
+        let root = root.as_ref().to_path_buf();
+        fs::create_dir_all(&root)?;
+        Ok(StdFs { root })
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+}
+
+struct StdFile {
+    file: fs::File,
+}
+
+impl VfsFile for StdFile {
+    fn write_all(&mut self, data: &[u8]) -> io::Result<()> {
+        self.file.write_all(data)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_all()
+    }
+}
+
+impl Vfs for StdFs {
+    fn create(&self, name: &str) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(StdFile {
+            file: fs::File::create(self.path(name))?,
+        }))
+    }
+
+    fn open_append(&self, name: &str) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(StdFile {
+            file: fs::OpenOptions::new().append(true).open(self.path(name))?,
+        }))
+    }
+
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        fs::read(self.path(name))
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.path(name).exists()
+    }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        fs::rename(self.path(from), self.path(to))
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        fs::remove_file(self.path(name))
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()> {
+        let file = fs::OpenOptions::new().write(true).open(self.path(name))?;
+        file.set_len(len)
+    }
+
+    fn sync_dir(&self) -> io::Result<()> {
+        // Directory fsync is what makes creates/renames durable on POSIX systems.
+        // Some platforms refuse to open directories; degrade gracefully there.
+        match fs::File::open(&self.root) {
+            Ok(dir) => dir.sync_all().or(Ok(())),
+            Err(_) => Ok(()),
+        }
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if let Ok(name) = entry.file_name().into_string() {
+                names.push(name);
+            }
+        }
+        Ok(names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("hcsp_storage_vfs_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn std_fs_round_trips_files() {
+        let root = temp_root("roundtrip");
+        let vfs = StdFs::new(&root).unwrap();
+        {
+            let mut f = vfs.create("a.bin").unwrap();
+            f.write_all(b"hello").unwrap();
+            f.sync().unwrap();
+        }
+        {
+            let mut f = vfs.open_append("a.bin").unwrap();
+            f.write_all(b" world").unwrap();
+        }
+        assert_eq!(vfs.read("a.bin").unwrap(), b"hello world");
+        assert!(vfs.exists("a.bin"));
+
+        vfs.truncate("a.bin", 5).unwrap();
+        assert_eq!(vfs.read("a.bin").unwrap(), b"hello");
+
+        vfs.rename("a.bin", "b.bin").unwrap();
+        assert!(!vfs.exists("a.bin"));
+        assert_eq!(vfs.read("b.bin").unwrap(), b"hello");
+        assert_eq!(vfs.list().unwrap(), vec!["b.bin".to_string()]);
+        vfs.sync_dir().unwrap();
+
+        vfs.remove("b.bin").unwrap();
+        assert!(vfs.list().unwrap().is_empty());
+        let _ = fs::remove_dir_all(&root);
+    }
+}

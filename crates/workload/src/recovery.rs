@@ -1,0 +1,222 @@
+//! Deterministic workloads for crash-recovery testing.
+//!
+//! The crash matrix (`tests/integration_recovery.rs` in the umbrella crate) replays the
+//! same sequence of update batches into a durable service twice — once through a
+//! fail-point filesystem that is killed at a chosen byte or operation, once un-crashed —
+//! and asserts the recovered service answers a reference query set byte-identically to
+//! the twin serving the same acknowledged prefix. Everything here is a pure function of
+//! the seed so a failing `(seed, kill point)` pair reproduces exactly.
+//!
+//! Queries are drawn reachable against *every* prefix state of the batch sequence, not
+//! just the final one: a crash can recover any acknowledged prefix, and the oracle only
+//! has discriminating power at a kill point if some query has a non-empty answer on the
+//! state recovered there.
+
+use crate::update_stream::{update_stream, StreamEvent, UpdateStreamSpec};
+use hcsp_core::PathQuery;
+use hcsp_graph::traversal::VisitScratch;
+use hcsp_graph::{DeltaGraph, DiGraph, GraphUpdate};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Parameters of a deterministic crash-recovery workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryWorkloadSpec {
+    /// Number of update batches to feed the service before/around the kill point.
+    pub num_batches: usize,
+    /// Edge mutations per batch.
+    pub updates_per_batch: usize,
+    /// Fraction of mutations that are insertions, in `[0, 1]`.
+    pub insert_fraction: f64,
+    /// Total reference queries, spread across the prefix states.
+    pub num_queries: usize,
+    /// Smallest hop constraint (inclusive).
+    pub k_min: u32,
+    /// Largest hop constraint (inclusive).
+    pub k_max: u32,
+    /// RNG seed; batches and queries are both pure functions of it.
+    pub seed: u64,
+}
+
+impl Default for RecoveryWorkloadSpec {
+    fn default() -> Self {
+        RecoveryWorkloadSpec {
+            num_batches: 6,
+            updates_per_batch: 4,
+            insert_fraction: 0.5,
+            num_queries: 12,
+            k_min: 3,
+            k_max: 5,
+            seed: 42,
+        }
+    }
+}
+
+impl RecoveryWorkloadSpec {
+    /// Creates a spec with the default shape and the given seed.
+    pub fn seeded(seed: u64) -> Self {
+        RecoveryWorkloadSpec {
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// A generated crash-recovery workload: the update batches to feed the service and the
+/// reference queries the oracle compares across the crashed/un-crashed twins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryWorkload {
+    /// Update batches, in submission order. May hold fewer than `num_batches` entries on
+    /// degenerate graphs (no mutable edge).
+    pub batches: Vec<Vec<GraphUpdate>>,
+    /// Reference queries; each was drawn reachable on one of the prefix states.
+    pub queries: Vec<PathQuery>,
+}
+
+/// Generates the deterministic workload for `graph` under `spec`.
+///
+/// Batches reuse the [`update_stream`] generator (with no interleaved queries), so
+/// deletions always target edges present at that point of the sequence and insertions
+/// never duplicate an edge — every batch applies cleanly in order. Queries are then
+/// drawn reachable-within-`k` against each prefix state `s_0..=s_B`, distributing
+/// `num_queries` round-robin across the `B + 1` states.
+pub fn recovery_workload(graph: &DiGraph, spec: RecoveryWorkloadSpec) -> RecoveryWorkload {
+    let stream_spec = UpdateStreamSpec {
+        num_queries: 0,
+        num_update_batches: spec.num_batches,
+        updates_per_batch: spec.updates_per_batch,
+        insert_fraction: spec.insert_fraction,
+        k_min: spec.k_min,
+        k_max: spec.k_max,
+        seed: spec.seed,
+    };
+    let batches: Vec<Vec<GraphUpdate>> = update_stream(graph, stream_spec)
+        .into_iter()
+        .filter_map(|event| match event {
+            StreamEvent::Update(batch) => Some(batch),
+            StreamEvent::Query(_) => None,
+        })
+        .collect();
+
+    // A distinct RNG stream from the batch generator, so adding queries never perturbs
+    // the batch contents for a given seed.
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x0BAC_1E55);
+    let mut scratch = VisitScratch::new();
+    let mut delta = DeltaGraph::new(graph.clone());
+    let mut snapshot = graph.clone();
+    let states = batches.len() + 1;
+    let mut queries = Vec::with_capacity(spec.num_queries);
+    for state in 0..states {
+        if state > 0 {
+            for update in &batches[state - 1] {
+                delta.apply(update);
+            }
+            snapshot = delta.compact();
+        }
+        // Distributes num_queries across the states, earlier states getting the
+        // remainder: the per-state counts sum exactly to num_queries.
+        let want = (spec.num_queries + states - 1 - state) / states;
+        for _ in 0..want {
+            if let Some((query, _)) = crate::query_gen::draw_reachable_query(
+                &snapshot,
+                spec.k_min,
+                spec.k_max,
+                &mut rng,
+                &mut scratch,
+            ) {
+                queries.push(query);
+            }
+        }
+    }
+    RecoveryWorkload { batches, queries }
+}
+
+/// Folds a prefix of the workload's batches into the graph state a correct engine must
+/// serve after acknowledging them — the oracle view for a kill point at which exactly
+/// `prefix` batches were made durable.
+pub fn state_after(graph: &DiGraph, batches: &[Vec<GraphUpdate>], prefix: usize) -> DiGraph {
+    let mut delta = DeltaGraph::new(graph.clone());
+    for batch in &batches[..prefix.min(batches.len())] {
+        for update in batch {
+            delta.apply(update);
+        }
+    }
+    delta.compact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{Dataset, DatasetScale};
+
+    #[test]
+    fn workloads_are_deterministic_per_seed() {
+        let g = Dataset::EP.build(DatasetScale::Tiny);
+        let a = recovery_workload(&g, RecoveryWorkloadSpec::seeded(7));
+        let b = recovery_workload(&g, RecoveryWorkloadSpec::seeded(7));
+        assert_eq!(a, b);
+        let c = recovery_workload(&g, RecoveryWorkloadSpec::seeded(8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn batches_apply_cleanly_and_queries_hit_the_requested_count() {
+        let g = Dataset::WT.build(DatasetScale::Tiny);
+        let spec = RecoveryWorkloadSpec {
+            num_batches: 5,
+            num_queries: 11,
+            ..RecoveryWorkloadSpec::seeded(3)
+        };
+        let w = recovery_workload(&g, spec);
+        assert_eq!(w.batches.len(), 5);
+        assert_eq!(w.queries.len(), 11);
+        let mut delta = DeltaGraph::new(g.clone());
+        for (i, batch) in w.batches.iter().enumerate() {
+            assert_eq!(batch.len(), spec.updates_per_batch);
+            for update in batch {
+                assert!(delta.apply(update), "batch {i}: {update} must apply");
+            }
+        }
+        // The full-prefix fold agrees with the incremental application.
+        assert_eq!(
+            state_after(&g, &w.batches, w.batches.len()),
+            delta.compact()
+        );
+    }
+
+    #[test]
+    fn state_after_walks_the_prefix_lattice() {
+        let g = Dataset::EP.build(DatasetScale::Tiny);
+        let w = recovery_workload(&g, RecoveryWorkloadSpec::seeded(1));
+        assert_eq!(state_after(&g, &w.batches, 0), g);
+        let mut prev = g.clone();
+        let mut changed = 0;
+        for prefix in 1..=w.batches.len() {
+            let state = state_after(&g, &w.batches, prefix);
+            if state != prev {
+                changed += 1;
+            }
+            prev = state;
+        }
+        assert!(
+            changed > 0,
+            "the batch sequence must actually move the graph"
+        );
+        // Out-of-range prefixes clamp to the full fold.
+        assert_eq!(state_after(&g, &w.batches, usize::MAX), prev);
+    }
+
+    #[test]
+    fn queries_are_admissible_on_every_prefix_state() {
+        // Reference queries must *run* (endpoints in range, k within bounds) on every
+        // recoverable state, even those drawn against a different prefix: the vertex set
+        // never changes, only edges do.
+        let g = Dataset::EP.build(DatasetScale::Tiny);
+        let w = recovery_workload(&g, RecoveryWorkloadSpec::seeded(5));
+        let n = g.num_vertices();
+        for q in &w.queries {
+            assert!(q.source.index() < n && q.target.index() < n);
+            assert!(q.hop_limit >= 3 && q.hop_limit <= 5);
+        }
+    }
+}
