@@ -1081,6 +1081,9 @@ impl PathService {
             // handle reports the abandonment. (The log write may still have partially
             // landed: recovery treats such an un-acked batch appearing after a restart
             // as applied, which the at-least-once contract of durable updates allows.)
+            // The store also poisons itself on the first write failure, so every later
+            // update is likewise abandoned — never acknowledged on top of a torn tail —
+            // until the service is reopened. Queries keep serving throughout.
             let (tip, summary) = match publisher.try_publish(&updates) {
                 Ok(pair) => pair,
                 Err(_) => {
@@ -2028,6 +2031,55 @@ mod tests {
         );
         let result = service.submit(PathQuery::new(0u32, 3u32, 3)).wait();
         assert_eq!(result.paths.len(), 2, "0→1→3 and the recovered 0→2→3");
+        service.shutdown();
+    }
+
+    #[test]
+    fn a_sink_write_failure_latches_updates_until_restart() {
+        use hcsp_storage::{FailpointFs, KillPoint};
+        // Regression: a transient short write tears the active WAL but the process
+        // lives on. The store must poison itself so no later update is acknowledged
+        // after the garbage (recovery would silently drop it as torn tail); the
+        // service keeps serving reads and refuses writes until reopened.
+        let fs = FailpointFs::new();
+        let service = PathService::builder()
+            .policy(BatchPolicy::immediate())
+            .durability(no_compaction())
+            .start_durable_vfs(
+                DiGraph::from_edge_list(4, &[(0, 1), (1, 3)]).unwrap(),
+                fs.as_vfs(),
+            )
+            .unwrap();
+        service.update(vec![GraphUpdate::insert(0u32, 2u32)]).wait();
+
+        fs.set_kill(KillPoint::TransientWriteByte(fs.bytes_written() + 5));
+        let torn = service.update(vec![GraphUpdate::insert(2u32, 3u32)]);
+        assert_eq!(
+            torn.wait_result(),
+            Err(Abandoned),
+            "the torn write is unacked"
+        );
+        // The filesystem recovered, but the store is latched: no further update may
+        // be acknowledged on top of the torn tail.
+        let refused = service.update(vec![GraphUpdate::delete(0u32, 1u32)]);
+        assert_eq!(refused.wait_result(), Err(Abandoned));
+        // Reads keep serving the last acknowledged state.
+        let result = service.submit(PathQuery::new(0u32, 3u32, 3)).wait();
+        assert_eq!(
+            result.paths.len(),
+            1,
+            "only 0→1→3; neither failed update landed"
+        );
+        service.shutdown();
+
+        // A restart truncates the torn tail and the service accepts updates again.
+        let service = reopen(fs.as_vfs());
+        let report = service.recovery().unwrap();
+        assert_eq!(report.replayed_batches, 1, "the acked update survives");
+        assert!(report.torn_tail.is_some());
+        service.update(vec![GraphUpdate::insert(2u32, 3u32)]).wait();
+        let result = service.submit(PathQuery::new(0u32, 3u32, 3)).wait();
+        assert_eq!(result.paths.len(), 2, "0→1→3 and the new 0→2→3");
         service.shutdown();
     }
 

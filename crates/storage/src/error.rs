@@ -29,6 +29,13 @@ pub enum StorageError {
     },
     /// The snapshot payload failed graph deserialisation.
     Graph(GraphError),
+    /// A previous append or fsync failed, so the active WAL tail may hold torn or
+    /// duplicate frame bytes; the store refuses every further write until it is
+    /// reopened (recovery truncates the tail back to the last intact frame).
+    Poisoned {
+        /// The failure that poisoned the store.
+        detail: String,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -43,6 +50,9 @@ impl fmt::Display for StorageError {
                 write!(f, "corrupt storage file {file}: {detail}")
             }
             StorageError::Graph(e) => write!(f, "snapshot graph error: {e}"),
+            StorageError::Poisoned { detail } => {
+                write!(f, "store poisoned by an earlier write failure: {detail}")
+            }
         }
     }
 }
@@ -89,5 +99,10 @@ mod tests {
         };
         assert!(e.to_string().contains("bad magic"));
         assert!(StorageError::AlreadyExists.to_string().contains("manifest"));
+        let e = StorageError::Poisoned {
+            detail: "fsync failed".into(),
+        };
+        assert!(e.to_string().contains("poisoned"));
+        assert!(e.to_string().contains("fsync failed"));
     }
 }

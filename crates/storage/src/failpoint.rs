@@ -8,7 +8,10 @@
 //!    the prefix up to the offset lands in the file, the rest does not) or at an exact
 //!    *mutating-operation index* (failing that operation before it takes effect). Once a
 //!    kill triggers the filesystem is dead: every subsequent operation errors, exactly
-//!    like syscalls after `SIGKILL` never happen.
+//!    like syscalls after `SIGKILL` never happen. The exception is
+//!    [`KillPoint::TransientWriteByte`], which tears one write and then lets the
+//!    filesystem live on — the shape of a transient `ENOSPC`/`EIO`, used to test that
+//!    the store latches itself closed after a failed append.
 //! 2. **What survives** — [`FailpointFs::crash`] produces the post-reboot image under a
 //!    [`CrashModel`]: [`CrashModel::DropUnsynced`] rolls every file back to its last
 //!    `sync` (the page cache was lost), [`CrashModel::KeepAll`] keeps every written byte
@@ -39,6 +42,12 @@ pub enum KillPoint {
     /// The `n`-th mutating operation (1-based: create/write/sync/rename/remove/
     /// truncate/sync_dir) fails before taking effect; everything after errors.
     Op(u64),
+    /// Like [`KillPoint::WriteByte`], but the filesystem *survives*: the crossing write
+    /// persists a prefix and reports an error, then the failpoint disarms and every
+    /// later operation succeeds. Models a transient `ENOSPC`/`EIO` short write — the
+    /// case a store must latch itself against, since the torn bytes stay in the file
+    /// while the process keeps running.
+    TransientWriteByte(u64),
 }
 
 /// What the page cache did at the moment of the crash.
@@ -85,18 +94,28 @@ impl Inner {
         Ok(())
     }
 
-    /// How many of `len` bytes the byte failpoint allows; kills after a short write.
-    fn admit_bytes(&mut self, len: usize) -> (usize, bool) {
+    /// How many of `len` bytes the byte failpoint allows; kills (or transiently fails)
+    /// after a short write.
+    fn admit_bytes(&mut self, len: usize) -> (usize, Option<io::Error>) {
         match self.kill {
             KillPoint::WriteByte(limit) if self.bytes_written + len as u64 > limit => {
                 let allowed = limit.saturating_sub(self.bytes_written) as usize;
                 self.bytes_written = limit;
                 self.dead = true;
-                (allowed, true)
+                (allowed, Some(Self::dead_err()))
+            }
+            KillPoint::TransientWriteByte(limit) if self.bytes_written + len as u64 > limit => {
+                let allowed = limit.saturating_sub(self.bytes_written) as usize;
+                self.bytes_written = limit;
+                self.kill = KillPoint::None;
+                (
+                    allowed,
+                    Some(io::Error::other("failpoint: transient short write")),
+                )
             }
             _ => {
                 self.bytes_written += len as u64;
-                (len, false)
+                (len, None)
             }
         }
     }
@@ -188,16 +207,16 @@ impl VfsFile for FpFile {
     fn write_all(&mut self, data: &[u8]) -> io::Result<()> {
         let mut inner = self.inner.lock().unwrap();
         inner.mutating_op()?;
-        let (allowed, killed) = inner.admit_bytes(data.len());
+        let (allowed, failed) = inner.admit_bytes(data.len());
         let state = inner
             .files
             .get_mut(&self.name)
             .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, self.name.clone()))?;
         state.data.extend_from_slice(&data[..allowed]);
-        if killed {
-            return Err(Inner::dead_err());
+        match failed {
+            Some(err) => Err(err),
+            None => Ok(()),
         }
-        Ok(())
     }
 
     fn sync(&mut self) -> io::Result<()> {
@@ -329,6 +348,20 @@ mod tests {
         assert_eq!(lost.read("a").unwrap(), b"durable");
         let lucky = fs.crash(CrashModel::KeepAll);
         assert_eq!(lucky.read("a").unwrap(), b"durable volatile");
+    }
+
+    #[test]
+    fn transient_byte_kill_tears_one_write_and_survives() {
+        let fs = FailpointFs::new();
+        let mut f = fs.create("a").unwrap();
+        f.write_all(b"0123").unwrap();
+        fs.set_kill(KillPoint::TransientWriteByte(6));
+        // This write crosses offset 6: bytes 4..6 land, the write errors...
+        assert!(f.write_all(b"456789").is_err());
+        // ...but the filesystem lives on, with the torn prefix in the file.
+        assert!(!fs.is_dead());
+        f.write_all(b"X").unwrap();
+        assert_eq!(fs.read("a").unwrap(), b"012345X");
     }
 
     #[test]

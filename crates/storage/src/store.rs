@@ -28,14 +28,25 @@
 //! the chain. Any damage in the newest chain file — torn frame, CRC mismatch, truncated
 //! tail — classifies the rest as lost: the file is truncated back to its last intact
 //! frame and appending resumes there. Damage the protocol's fsync discipline makes
-//! impossible (a torn *middle* file, a corrupt manifest) is reported as
-//! [`StorageError::Corrupt`] instead of being silently dropped.
+//! impossible (a torn *middle* file — one whose successor was durably rotated with an
+//! intact header — or a corrupt manifest) is reported as [`StorageError::Corrupt`]
+//! instead of being silently dropped.
+//!
+//! **Failure latch.** A failed append or fsync may leave torn or duplicate frame bytes
+//! in the active file; if later appends were allowed to land after that garbage, a
+//! subsequent *acknowledged* batch would be silently dropped at recovery (the scan
+//! classifies everything from the first bad frame onward as torn tail). So the first
+//! write failure *poisons* the store: every further [`UpdateStore::append`],
+//! [`UpdateStore::sync`], or checkpoint call fails with [`StorageError::Poisoned`]
+//! until the store is reopened, which truncates the damage away.
 
 use crate::error::StorageError;
 use crate::manifest::{parse_file_name, snapshot_name, wal_name, Manifest, MANIFEST_NAME};
 use crate::snapshot::{read_snapshot, write_snapshot};
 use crate::vfs::{Vfs, VfsFile};
-use crate::wal::{encode_frame, encode_wal_header, scan_wal, FsyncPolicy, WAL_HEADER_LEN};
+use crate::wal::{
+    decode_wal_header, encode_frame, encode_wal_header, scan_wal, FsyncPolicy, WAL_HEADER_LEN,
+};
 use hcsp_graph::{DeltaGraph, DiGraph, GraphUpdate};
 use std::sync::Arc;
 
@@ -133,6 +144,9 @@ pub struct UpdateStore {
     next_batch_seq: u64,
     tail_bytes: u64,
     appends_since_sync: u32,
+    /// Set on the first append/fsync failure; while set, every write path is rejected
+    /// with [`StorageError::Poisoned`] (the active tail may hold garbage bytes).
+    poisoned: Option<String>,
 }
 
 impl std::fmt::Debug for UpdateStore {
@@ -143,6 +157,7 @@ impl std::fmt::Debug for UpdateStore {
             .field("active_seq", &self.active_seq)
             .field("next_batch_seq", &self.next_batch_seq)
             .field("tail_bytes", &self.tail_bytes)
+            .field("poisoned", &self.poisoned)
             .finish_non_exhaustive()
     }
 }
@@ -193,6 +208,7 @@ impl UpdateStore {
             next_batch_seq: 0,
             tail_bytes: 0,
             appends_since_sync: 0,
+            poisoned: None,
         })
     }
 
@@ -280,6 +296,23 @@ impl UpdateStore {
             let scan_torn = scan.torn;
             batches.extend(scan.batches);
             if let Some(detail) = scan_torn {
+                // A torn file is only a crash artefact when it is the *newest* chain
+                // file: rotation fsyncs a file completely before its successor's header
+                // is written. A torn file whose successor carries an intact header is
+                // therefore external damage to committed data — report it, don't drop
+                // acknowledged batches.
+                let successor = wal_name(chain_seq + 1);
+                if let Ok(next_bytes) = vfs.read(&successor) {
+                    if decode_wal_header(&next_bytes).is_ok() {
+                        return Err(StorageError::Corrupt {
+                            file: name,
+                            detail: format!(
+                                "torn middle file ({detail}), but {successor} was \
+                                 durably rotated after it"
+                            ),
+                        });
+                    }
+                }
                 // Drop the tail: truncate this file back to its last intact frame and
                 // discard any later chain files (they can only be dangling rotations
                 // whose manifest never committed).
@@ -320,6 +353,7 @@ impl UpdateStore {
             next_batch_seq: expect_batch,
             tail_bytes,
             appends_since_sync: 0,
+            poisoned: None,
         };
         Ok(Recovered {
             store,
@@ -329,13 +363,45 @@ impl UpdateStore {
         })
     }
 
+    /// Rejects the call when an earlier write failure poisoned the store.
+    fn check_poisoned(&self) -> Result<(), StorageError> {
+        match &self.poisoned {
+            Some(detail) => Err(StorageError::Poisoned {
+                detail: detail.clone(),
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// Latches a write failure: the active tail may now hold torn/duplicate frame
+    /// bytes, so every further write is rejected until the store is reopened (recovery
+    /// truncates the tail back to its last intact frame).
+    fn poison(&mut self, what: &str, err: &StorageError) {
+        if self.poisoned.is_none() {
+            self.poisoned = Some(format!("{what}: {err}"));
+        }
+    }
+
+    /// Whether a write failure has poisoned the store (see [`StorageError::Poisoned`]).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.is_some()
+    }
+
     /// Appends one update batch to the log, fsyncing per policy. Returns the batch
     /// sequence the frame logs. On error the batch must be treated as *not* acknowledged
-    /// (it may or may not survive a concurrent crash).
+    /// (it may or may not survive a concurrent crash), and the store is *poisoned*:
+    /// the file tail may hold the torn frame, so all further appends fail with
+    /// [`StorageError::Poisoned`] until the store is reopened — otherwise a later
+    /// acknowledged batch would land after the garbage and be dropped at recovery.
     pub fn append(&mut self, updates: &[GraphUpdate]) -> Result<u64, StorageError> {
+        self.check_poisoned()?;
         let seq = self.next_batch_seq;
         let frame = encode_frame(seq, updates);
-        self.active.write_all(&frame)?;
+        if let Err(e) = self.active.write_all(&frame) {
+            let e = StorageError::from(e);
+            self.poison("append write failed", &e);
+            return Err(e);
+        }
         self.next_batch_seq += 1;
         self.tail_bytes += frame.len() as u64;
         self.appends_since_sync += 1;
@@ -351,8 +417,15 @@ impl UpdateStore {
     }
 
     /// Forces everything appended so far to stable storage, regardless of policy.
+    /// A failed fsync also poisons the store: the kernel may have dropped dirty pages,
+    /// so nothing written since the last successful sync can be trusted.
     pub fn sync(&mut self) -> Result<(), StorageError> {
-        self.active.sync()?;
+        self.check_poisoned()?;
+        if let Err(e) = self.active.sync() {
+            let e = StorageError::from(e);
+            self.poison("wal fsync failed", &e);
+            return Err(e);
+        }
         self.appends_since_sync = 0;
         Ok(())
     }
@@ -384,6 +457,7 @@ impl UpdateStore {
     /// file. Returns `None` when there is nothing to checkpoint (no batches since the
     /// live snapshot).
     pub fn begin_checkpoint(&mut self) -> Result<Option<CheckpointTicket>, StorageError> {
+        self.check_poisoned()?;
         if self.batches_since_checkpoint() == 0 {
             return Ok(None);
         }
@@ -403,13 +477,16 @@ impl UpdateStore {
     /// [`write_snapshot`]) and the rotated chain, then garbage-collect the superseded
     /// files. GC failures are ignored: the next open deletes orphans anyway.
     pub fn commit_checkpoint(&mut self, ticket: CheckpointTicket) -> Result<(), StorageError> {
-        let old = self.manifest;
-        self.manifest = Manifest {
+        self.check_poisoned()?;
+        let new = Manifest {
             snapshot: Some(ticket.seq),
             wal_start: ticket.seq,
             snapshot_batches: ticket.batches,
         };
-        self.manifest.commit(self.vfs.as_ref())?;
+        // Install on disk first: if the commit fails, the in-memory manifest must keep
+        // describing what is actually live (the old snapshot + longer chain).
+        new.commit(self.vfs.as_ref())?;
+        let old = std::mem::replace(&mut self.manifest, new);
         if let Some(seq) = old.snapshot {
             if old.snapshot != self.manifest.snapshot {
                 let _ = self.vfs.remove(&snapshot_name(seq));
@@ -572,6 +649,106 @@ mod tests {
         let rec = UpdateStore::open(image.as_vfs(), opts(FsyncPolicy::Always)).unwrap();
         assert_eq!(rec.report.replayed_batches, 2);
         assert!(rec.report.torn_tail.is_none());
+    }
+
+    #[test]
+    fn a_failed_append_poisons_the_store_until_reopen() {
+        // Regression (review): a transient short write leaves torn frame bytes in the
+        // active WAL while the process lives on. Without the poison latch the next
+        // append would land *after* the garbage, be acknowledged and fsynced, and then
+        // be silently dropped at recovery as part of the torn tail.
+        let fs = FailpointFs::new();
+        let mut store =
+            UpdateStore::create(fs.as_vfs(), opts(FsyncPolicy::Always), &base_graph()).unwrap();
+        store.append(&[GraphUpdate::insert(0u32, 3u32)]).unwrap();
+        fs.set_kill(KillPoint::TransientWriteByte(fs.bytes_written() + 5));
+        assert!(matches!(
+            store.append(&[GraphUpdate::insert(1u32, 3u32)]),
+            Err(StorageError::Io(_))
+        ));
+        assert!(!fs.is_dead(), "the filesystem survived the short write");
+        assert!(store.is_poisoned());
+
+        // Every write path is latched shut — nothing may land after the torn bytes.
+        for result in [
+            store.append(&[GraphUpdate::insert(2u32, 3u32)]).map(|_| ()),
+            store.sync(),
+            store.begin_checkpoint().map(|_| ()),
+            store.checkpoint(&base_graph()).map(|_| ()),
+        ] {
+            assert!(matches!(result, Err(StorageError::Poisoned { .. })));
+        }
+        drop(store);
+
+        // Reopen truncates the torn tail; the acked batch survives and appending works.
+        let rec = UpdateStore::open(fs.as_vfs(), opts(FsyncPolicy::Always)).unwrap();
+        assert_eq!(rec.report.replayed_batches, 1);
+        assert!(rec.report.torn_tail.is_some());
+        let mut store = rec.store;
+        assert!(!store.is_poisoned());
+        assert_eq!(store.append(&[GraphUpdate::insert(1u32, 3u32)]).unwrap(), 1);
+        drop(store);
+        let rec = UpdateStore::open(fs.as_vfs(), opts(FsyncPolicy::Always)).unwrap();
+        assert_eq!(rec.report.replayed_batches, 2);
+        assert!(rec.report.torn_tail.is_none());
+    }
+
+    #[test]
+    fn a_failed_fsync_poisons_the_store() {
+        let fs = FailpointFs::new();
+        let mut store =
+            UpdateStore::create(fs.as_vfs(), opts(FsyncPolicy::Always), &base_graph()).unwrap();
+        store.append(&[GraphUpdate::insert(0u32, 3u32)]).unwrap();
+        // The frame write (ops + 1) lands; the fsync (ops + 2) dies.
+        fs.set_kill(KillPoint::Op(fs.ops() + 2));
+        assert!(matches!(
+            store.append(&[GraphUpdate::insert(1u32, 3u32)]),
+            Err(StorageError::Io(_))
+        ));
+        assert!(store.is_poisoned());
+        assert!(matches!(
+            store.append(&[GraphUpdate::insert(2u32, 3u32)]),
+            Err(StorageError::Poisoned { .. })
+        ));
+    }
+
+    #[test]
+    fn an_externally_corrupted_middle_wal_file_is_corruption_not_a_torn_tail() {
+        // Regression (review): a torn *middle* chain file whose successor was durably
+        // rotated holds acknowledged batches — recovery must refuse to open rather
+        // than silently truncate it and delete the intact successors.
+        let fs = FailpointFs::new();
+        let mut store =
+            UpdateStore::create(fs.as_vfs(), opts(FsyncPolicy::Always), &base_graph()).unwrap();
+        store.append(&[GraphUpdate::insert(0u32, 3u32)]).unwrap();
+        // Rotate without committing: the chain is wal-0 (sealed), wal-1 (active).
+        let _ticket = store.begin_checkpoint().unwrap().unwrap();
+        store.append(&[GraphUpdate::insert(1u32, 3u32)]).unwrap();
+        drop(store);
+
+        // Bit-rot the sealed middle file's frame payload.
+        let vfs = fs.as_vfs();
+        let mut bytes = vfs.read("wal-0.log").unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        let mut f = vfs.create("wal-0.log").unwrap();
+        f.write_all(&bytes).unwrap();
+        drop(f);
+
+        let err = match UpdateStore::open(fs.as_vfs(), opts(FsyncPolicy::Always)) {
+            Err(err) => err,
+            Ok(_) => panic!("recovery must refuse a corrupted middle file"),
+        };
+        match err {
+            StorageError::Corrupt { file, detail } => {
+                assert_eq!(file, "wal-0.log");
+                assert!(detail.contains("wal-1.log"), "{detail}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        // Nothing was destroyed: both chain files are still there for forensics.
+        assert!(fs.as_vfs().exists("wal-0.log"));
+        assert!(fs.as_vfs().exists("wal-1.log"));
     }
 
     #[test]

@@ -128,14 +128,19 @@ impl Vfs for StdFs {
 
     fn truncate(&self, name: &str, len: u64) -> io::Result<()> {
         let file = fs::OpenOptions::new().write(true).open(self.path(name))?;
-        file.set_len(len)
+        file.set_len(len)?;
+        // Make the truncation itself durable: recovery relies on it to drop a torn
+        // tail, and a crash before the next fsync must not resurrect the bytes.
+        file.sync_all()
     }
 
     fn sync_dir(&self) -> io::Result<()> {
         // Directory fsync is what makes creates/renames durable on POSIX systems.
-        // Some platforms refuse to open directories; degrade gracefully there.
+        // Some platforms refuse to *open* directories; degrade gracefully on that —
+        // but a failed fsync of an opened directory is a real I/O error and must
+        // propagate (it can mean a manifest commit never reached stable storage).
         match fs::File::open(&self.root) {
-            Ok(dir) => dir.sync_all().or(Ok(())),
+            Ok(dir) => dir.sync_all(),
             Err(_) => Ok(()),
         }
     }
