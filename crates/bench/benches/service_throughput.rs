@@ -38,7 +38,8 @@ fn policies(num_queries: usize) -> Vec<(&'static str, BatchPolicy)> {
 fn serve_stream(graph: &Arc<DiGraph>, queries: &[PathQuery], policy: BatchPolicy) -> u64 {
     let service = PathService::builder()
         .policy(policy)
-        .start(Arc::clone(graph));
+        .start(Arc::clone(graph))
+        .expect("an ephemeral service start cannot fail");
     let handles = service.submit_all(queries.iter().copied());
     let total: u64 = handles
         .into_iter()
@@ -62,7 +63,8 @@ fn bench_service_throughput(c: &mut Criterion) {
     for (name, policy) in policies(queries.len()) {
         let service = PathService::builder()
             .policy(policy)
-            .start(Arc::clone(&graph));
+            .start(Arc::clone(&graph))
+            .expect("an ephemeral service start cannot fail");
         let handles = service.submit_all(queries.iter().copied());
         for h in handles {
             h.wait();

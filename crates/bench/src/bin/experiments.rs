@@ -16,7 +16,9 @@
 //! ```
 //!
 //! Experiments: `table1`, `fig3c`, `exp1` … `exp7`, `ablation-order`, `ablation-cluster`,
-//! `parallel-scaling`, `mixed-rw`, `result-modes`, `all`, plus the `perf-smoke` gate
+//! `parallel-scaling`, `mixed-rw`, `result-modes`, `storage`, `server-latency` (drives a
+//! live TCP server with the load generator and writes `BENCH_server_latency.json`),
+//! `all`, plus the `perf-smoke` gate
 //! (parallel scaling **and** mixed read/write, each against its committed baseline).
 //! Options: `--scale
 //! tiny|small|medium|large`, `--datasets A,B,...`, `--queries N`, `--kmin K`, `--kmax K`,
@@ -159,6 +161,15 @@ fn run_experiment(experiment: &str, config: &BenchConfig, options: &CliOptions) 
         "mixed-rw" => harness::mixed_read_write(config),
         "result-modes" => harness::result_modes(config),
         "storage" => harness::storage_durability(config),
+        "server-latency" => {
+            let table = harness::server_latency(config);
+            let document = format!(
+                "{{\"bench\":\"server_latency\",\"schema_version\":1,{}",
+                &table.to_json()[1..]
+            );
+            write_or_die("BENCH_server_latency.json", &document);
+            table
+        }
         other => {
             eprintln!("error: unknown experiment {other:?}");
             print_usage();
@@ -405,6 +416,7 @@ fn parse(args: &[String]) -> Result<Parsed, String> {
                     "mixed-rw",
                     "result-modes",
                     "storage",
+                    "server-latency",
                 ]
                 .into_iter()
                 .map(String::from)
@@ -438,7 +450,7 @@ fn print_usage() {
          [--tolerance 0.2] [--write-baseline]\n\
          experiments: table1 fig3c exp1 exp2 exp3 exp4 exp5 exp6 exp7 \
          ablation-order ablation-cluster parallel-scaling mixed-rw result-modes storage \
-         perf-smoke all\n\
+         server-latency perf-smoke all\n\
          perf-smoke: runs parallel-scaling and mixed-rw in quick mode, writes the JSON \
          artifacts (--out and BENCH_mixed_rw.json) and fails when either scenario's \
          throughput regresses more than --tolerance against its committed baseline \

@@ -673,7 +673,8 @@ pub fn service_epoch_counters(config: &BenchConfig) -> ServiceStats {
     let service = PathService::builder()
         .workers(2)
         .policy(BatchPolicy::by_size(8, Duration::from_millis(2)))
-        .start(graph);
+        .start(graph)
+        .expect("an ephemeral service start cannot fail");
     let mut queries = Vec::new();
     let mut updates = Vec::new();
     for event in &events {
@@ -933,6 +934,109 @@ pub fn ablation_clustering(config: &BenchConfig) -> Table {
             fmt_seconds(aggressive),
             stats.num_clusters.to_string(),
         ]);
+    }
+    table
+}
+
+/// End-to-end server latency per batch policy: a [`hcsp_server::PathServer`] on
+/// loopback, driven by the crate's own open-loop load generator over one pipelined
+/// connection, with a mixed statement stream (`PATHS … LIMIT`, `EXISTS`, `COUNT`, and
+/// interleaved `INSERT`/`DELETE EDGE` pairs).
+///
+/// The per-request latency is *send instant → terminal response frame*, so it prices
+/// the whole serving path — framing, parse, admission, the batch-formation wait, the
+/// shared execution, and the response stream. The policy axis reproduces the paper's
+/// central trade-off at the wire: `immediate` is the real-time regime (no admission
+/// wait, no sharing), `by_size(8, 2ms)` holds arrivals back for up to the window to
+/// execute them as one shared micro-batch — p50 pays the window, p99 and qps gain from
+/// the sharing.
+pub fn server_latency(config: &BenchConfig) -> Table {
+    use hcsp_server::{run_load, PathServer, Reply, ServerConfig};
+    use hcsp_workload::ArrivalProcess;
+    use std::sync::Arc;
+
+    let mut table = Table::new(
+        "Server latency: end-to-end TCP percentiles per batch policy (Poisson arrivals)",
+        &[
+            "dataset", "policy", "requests", "p50_ms", "p99_ms", "qps", "errors",
+        ],
+    );
+    let policies: [(&str, BatchPolicy); 2] = [
+        ("immediate", BatchPolicy::immediate()),
+        (
+            "by_size(8,2ms)",
+            BatchPolicy::by_size(8, Duration::from_millis(2)),
+        ),
+    ];
+    for &dataset in &config.datasets {
+        let graph = dataset.build(config.scale);
+        let queries = random_query_set(&graph, config.query_spec());
+        if queries.is_empty() {
+            continue;
+        }
+        // Edges to churn: each becomes a DELETE immediately followed by the matching
+        // INSERT, so the graph always returns to its base state between measurements.
+        let churn: Vec<(u32, u32)> = graph
+            .edges()
+            .step_by((graph.num_edges() / 8).max(1))
+            .map(|(u, v)| (u.0, v.0))
+            .collect();
+        let mut statements = Vec::new();
+        let mut churn_iter = churn.iter().cycle();
+        for (i, q) in queries
+            .iter()
+            .cycle()
+            .take(queries.len().max(64))
+            .enumerate()
+        {
+            let (s, t, k) = (q.source.0, q.target.0, q.hop_limit);
+            statements.push(match i % 4 {
+                0 => format!("PATHS FROM {s} TO {t} WITHIN {k} LIMIT 4"),
+                1 => format!("EXISTS FROM {s} TO {t} WITHIN {k}"),
+                _ => format!("COUNT FROM {s} TO {t} WITHIN {k} LIMIT 64"),
+            });
+            if i % 8 == 3 {
+                let &(u, v) = churn_iter.next().expect("cycle never ends");
+                statements.push(format!("DELETE EDGE {u} {v}"));
+                statements.push(format!("INSERT EDGE {u} {v}"));
+            }
+        }
+        let arrivals = ArrivalProcess::Poisson { rate_qps: 400.0 };
+        for (name, policy) in &policies {
+            let service = Arc::new(
+                PathService::builder()
+                    .workers(2)
+                    .policy(*policy)
+                    .start(graph.clone())
+                    .expect("an ephemeral service start cannot fail"),
+            );
+            let server = PathServer::bind(
+                Arc::clone(&service),
+                ("127.0.0.1", 0),
+                ServerConfig::default(),
+            )
+            .expect("bind loopback");
+            let report = run_load(server.local_addr(), &statements, &arrivals, config.seed)
+                .expect("load run against a live server");
+            let errors = report
+                .replies
+                .iter()
+                .filter(|r| matches!(r, Reply::Error { .. }))
+                .count();
+            table.push_row(vec![
+                dataset.to_string(),
+                (*name).to_string(),
+                report.replies.len().to_string(),
+                format!("{:.3}", report.p50().as_secs_f64() * 1e3),
+                format!("{:.3}", report.p99().as_secs_f64() * 1e3),
+                format!("{:.1}", report.qps()),
+                errors.to_string(),
+            ]);
+            server.shutdown();
+            Arc::try_unwrap(service)
+                .expect("the shut-down server held the last other reference")
+                .shutdown();
+        }
     }
     table
 }

@@ -223,6 +223,11 @@ pub struct ServiceStats {
     pub updates_applied: usize,
     /// Epochs published by the update path (updates that actually changed the graph).
     pub epochs_published: usize,
+    /// WAL fsyncs performed by the group-commit path of a durable service, each
+    /// covering every update batch appended in its admission window. Under
+    /// concurrent updates this stays below `update_batches` — the gap is fsyncs
+    /// saved by sharing; zero for in-memory services and non-`Always` policies.
+    pub group_commit_batches: u64,
     /// Micro-batches that executed against an epoch older than the tip at completion
     /// time — reads that proceeded, barrier-free, while a writer published behind them.
     pub batches_pinned_behind: usize,

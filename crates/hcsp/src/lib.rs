@@ -18,6 +18,8 @@
 //!   ([`hcsp_storage`]).
 //! * [`workload`] — the Table I dataset analogs, query-set generators, and open-loop
 //!   arrival processes ([`hcsp_workload`]).
+//! * [`server`] — the network front-end: CRC-framed wire protocol, text query
+//!   language, TCP server and load-generator client ([`hcsp_server`]).
 //!
 //! ## Quickstart
 //!
@@ -75,6 +77,12 @@ pub mod workload {
     pub use hcsp_workload::*;
 }
 
+/// Network front-end: wire protocol, query language, TCP server and client
+/// (re-export of `hcsp-server`).
+pub mod server {
+    pub use hcsp_server::*;
+}
+
 /// The most commonly used items, for `use hcsp::prelude::*`.
 pub mod prelude {
     pub use hcsp_core::{
@@ -86,10 +94,11 @@ pub mod prelude {
     };
     pub use hcsp_graph::{DeltaGraph, DiGraph, Direction, GraphBuilder, GraphUpdate, VertexId};
     pub use hcsp_index::BatchIndex;
+    pub use hcsp_server::{Client, PathServer, Reply, ServerConfig};
     pub use hcsp_service::{
-        Abandoned, BatchPolicy, DurabilityOptions, FsyncPolicy, PathService, PathServiceBuilder,
-        QueryHandle, QueryResult, RecoveryReport, SpecHandle, SpecResult, StorageError,
-        UpdateHandle,
+        Abandoned, AdmissionError, BatchPolicy, DurabilityBackend, DurabilityOptions, FsyncPolicy,
+        PathService, PathServiceBuilder, QueryHandle, QueryResult, RecoveryReport, SpecHandle,
+        SpecResult, StorageError, UpdateHandle,
     };
 }
 

@@ -1,0 +1,127 @@
+//! A blocking client for the wire protocol: connect, send statements, read replies.
+//!
+//! [`Client::request`] is the simple synchronous surface (one statement, one decoded
+//! [`Reply`]). The split [`Client::send`] / [`Client::recv`] pair pipelines: send
+//! several statements before reading any reply — the server answers each connection's
+//! requests in order, so replies come back FIFO. [`Client::request_raw`] returns the
+//! raw frame payload bytes, which the integration suite compares byte-for-byte against
+//! an in-process oracle.
+
+use crate::frame::{
+    client_handshake, read_frame, write_frame, ErrorCode, FrameError, Request, Response,
+    MAX_FRAME_LEN,
+};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// The decoded answer to one statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// Answer to `EXISTS`.
+    Exists(bool),
+    /// Answer to `COUNT`.
+    Count(u64),
+    /// Answer to `PATHS` (the streamed chunks, reassembled).
+    Paths(Vec<Vec<u32>>),
+    /// Answer to `INSERT`/`DELETE`.
+    Update {
+        /// Updates that changed the graph.
+        applied: u64,
+        /// No-op updates.
+        ignored: u64,
+    },
+    /// The server refused or failed the request; the connection stays usable.
+    Error {
+        /// Why.
+        code: ErrorCode,
+        /// The server's diagnosis.
+        message: String,
+    },
+}
+
+/// A blocking protocol client over one TCP connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+    max_frame_len: usize,
+}
+
+impl Client {
+    /// Connects to a [`crate::PathServer`] and performs the protocol handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let mut stream = TcpStream::connect(addr)?;
+        client_handshake(&mut stream)?;
+        let write_half = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer: BufWriter::new(write_half),
+            next_id: 1,
+            max_frame_len: MAX_FRAME_LEN,
+        })
+    }
+
+    /// Sends one statement without waiting for its reply; returns the request id.
+    /// Replies to pipelined statements arrive in send order via [`Client::recv`].
+    pub fn send(&mut self, statement: &str) -> Result<u64, FrameError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let request = Request::Statement {
+            id,
+            text: statement.to_string(),
+        };
+        write_frame(&mut self.writer, &request.encode())?;
+        self.writer.flush()?;
+        Ok(id)
+    }
+
+    /// Reads the next reply: all frames up to and including the terminal one, decoded
+    /// and reassembled. Returns the request id the reply answers.
+    pub fn recv(&mut self) -> Result<(u64, Reply), FrameError> {
+        let mut paths: Vec<Vec<u32>> = Vec::new();
+        loop {
+            let payload = read_frame(&mut self.reader, self.max_frame_len)?;
+            let response = Response::decode(&payload)?;
+            let id = response.id();
+            match response {
+                Response::Exists { exists, .. } => return Ok((id, Reply::Exists(exists))),
+                Response::Count { count, .. } => return Ok((id, Reply::Count(count))),
+                Response::PathChunk { paths: chunk, .. } => paths.extend(chunk),
+                Response::PathsDone { total, .. } => {
+                    debug_assert_eq!(paths.len() as u64, total, "chunk totals disagree");
+                    return Ok((id, Reply::Paths(std::mem::take(&mut paths))));
+                }
+                Response::UpdateDone {
+                    applied, ignored, ..
+                } => return Ok((id, Reply::Update { applied, ignored })),
+                Response::Error { code, message, .. } => {
+                    return Ok((id, Reply::Error { code, message }))
+                }
+            }
+        }
+    }
+
+    /// Sends one statement and blocks for its decoded reply.
+    pub fn request(&mut self, statement: &str) -> Result<Reply, FrameError> {
+        let sent = self.send(statement)?;
+        let (id, reply) = self.recv()?;
+        debug_assert_eq!(id, sent, "server answered out of order");
+        Ok(reply)
+    }
+
+    /// Sends one statement and returns the *raw payload bytes* of every response frame
+    /// up to and including the terminal one — the byte-identity surface the
+    /// integration suite compares against an in-process oracle.
+    pub fn request_raw(&mut self, statement: &str) -> Result<Vec<Vec<u8>>, FrameError> {
+        self.send(statement)?;
+        let mut payloads = Vec::new();
+        loop {
+            let payload = read_frame(&mut self.reader, self.max_frame_len)?;
+            let done = Response::decode(&payload)?.is_terminal();
+            payloads.push(payload);
+            if done {
+                return Ok(payloads);
+            }
+        }
+    }
+}

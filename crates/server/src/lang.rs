@@ -1,0 +1,516 @@
+//! The text query language: a hand-rolled tokenizer and recursive-descent parser for
+//! the statements the server accepts, plus the compiler from the typed AST into the
+//! service's [`QuerySpec`]/[`GraphUpdate`] requests.
+//!
+//! Grammar (keywords case-insensitive, vertices decimal `u32`):
+//!
+//! ```text
+//! statement :=   PATHS  FROM v TO v WITHIN k [LIMIT n]
+//!              | EXISTS FROM v TO v WITHIN k
+//!              | COUNT  FROM v TO v WITHIN k [LIMIT n]
+//!              | INSERT EDGE v v
+//!              | DELETE EDGE v v
+//! ```
+//!
+//! `PATHS … LIMIT n` compiles to a `FirstK(n)` spec, plain `PATHS` to `Collect`,
+//! `COUNT … LIMIT n` to a path-budgeted count. `EXISTS` takes no `LIMIT` (it answers
+//! after the first witness regardless), and `LIMIT 0` is rejected at parse time — both
+//! would otherwise silently mean something else.
+//!
+//! [`Statement`]'s `Display` renders the canonical form (uppercase keywords, single
+//! spaces), and `parse(s.to_string())` round-trips for every valid statement — the
+//! property the `prop_server` suite pins down.
+
+use hcsp_core::{PathQuery, QuerySpec};
+use hcsp_graph::{GraphUpdate, VertexId};
+use std::fmt;
+
+/// Where in the statement a parse error was detected (byte offset).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the offending token (or end of input).
+    pub position: usize,
+    /// What the parser expected or found.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A parsed statement: either a query to plan or a graph update to apply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Statement {
+    /// A hop-constrained path query.
+    Query(QueryStatement),
+    /// A single-edge graph mutation.
+    Update(UpdateStatement),
+}
+
+/// The query half of the language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryStatement {
+    /// Which answer shape the client asked for.
+    pub verb: QueryVerb,
+    /// Source vertex `s`.
+    pub source: u32,
+    /// Target vertex `t`.
+    pub target: u32,
+    /// Hop constraint `k`.
+    pub within: u32,
+    /// Optional result cap (`None` for unbounded; never `Some(0)`).
+    pub limit: Option<u64>,
+}
+
+/// The verb of a [`QueryStatement`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryVerb {
+    /// Enumerate the paths themselves.
+    Paths,
+    /// Ask only whether any path exists.
+    Exists,
+    /// Ask only how many paths exist.
+    Count,
+}
+
+/// The update half of the language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateStatement {
+    /// Insert or delete.
+    pub op: UpdateOp,
+    /// Edge source.
+    pub source: u32,
+    /// Edge target.
+    pub target: u32,
+}
+
+/// The operation of an [`UpdateStatement`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateOp {
+    /// `INSERT EDGE u v`.
+    Insert,
+    /// `DELETE EDGE u v`.
+    Delete,
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Query(q) => {
+                let verb = match q.verb {
+                    QueryVerb::Paths => "PATHS",
+                    QueryVerb::Exists => "EXISTS",
+                    QueryVerb::Count => "COUNT",
+                };
+                write!(
+                    f,
+                    "{verb} FROM {} TO {} WITHIN {}",
+                    q.source, q.target, q.within
+                )?;
+                if let Some(limit) = q.limit {
+                    write!(f, " LIMIT {limit}")?;
+                }
+                Ok(())
+            }
+            Statement::Update(u) => {
+                let op = match u.op {
+                    UpdateOp::Insert => "INSERT",
+                    UpdateOp::Delete => "DELETE",
+                };
+                write!(f, "{op} EDGE {} {}", u.source, u.target)
+            }
+        }
+    }
+}
+
+impl std::str::FromStr for Statement {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Statement, ParseError> {
+        parse(s)
+    }
+}
+
+impl QueryStatement {
+    /// Compiles the query into the engine's typed request.
+    pub fn to_spec(&self) -> QuerySpec {
+        let query = PathQuery::new(self.source, self.target, self.within);
+        match (self.verb, self.limit) {
+            (QueryVerb::Paths, Some(k)) => QuerySpec::first_k(query, k as usize),
+            (QueryVerb::Paths, None) => QuerySpec::collect(query),
+            (QueryVerb::Exists, _) => QuerySpec::exists(query),
+            (QueryVerb::Count, Some(budget)) => QuerySpec::count(query).with_path_budget(budget),
+            (QueryVerb::Count, None) => QuerySpec::count(query),
+        }
+    }
+}
+
+impl UpdateStatement {
+    /// Compiles the update into the graph's typed delta.
+    pub fn to_update(&self) -> GraphUpdate {
+        let (u, v) = (VertexId(self.source), VertexId(self.target));
+        match self.op {
+            UpdateOp::Insert => GraphUpdate::Insert(u, v),
+            UpdateOp::Delete => GraphUpdate::Delete(u, v),
+        }
+    }
+}
+
+/// One token with the byte offset it started at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Word(String),
+    Number(u64),
+}
+
+struct Tokenizer<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Tokenizer<'a> {
+    fn new(input: &'a str) -> Self {
+        Tokenizer { input, pos: 0 }
+    }
+
+    fn next_token(&mut self) -> Result<Option<(usize, Token)>, ParseError> {
+        let bytes = self.input.as_bytes();
+        while self.pos < bytes.len() && bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+        if self.pos >= bytes.len() {
+            return Ok(None);
+        }
+        let start = self.pos;
+        let c = bytes[self.pos];
+        if c.is_ascii_digit() {
+            while self.pos < bytes.len() && bytes[self.pos].is_ascii_digit() {
+                self.pos += 1;
+            }
+            let raw = &self.input[start..self.pos];
+            let value = raw.parse::<u64>().map_err(|_| ParseError {
+                position: start,
+                message: format!("number `{raw}` does not fit in 64 bits"),
+            })?;
+            Ok(Some((start, Token::Number(value))))
+        } else if c.is_ascii_alphabetic() {
+            while self.pos < bytes.len() && bytes[self.pos].is_ascii_alphabetic() {
+                self.pos += 1;
+            }
+            Ok(Some((
+                start,
+                Token::Word(self.input[start..self.pos].to_ascii_uppercase()),
+            )))
+        } else {
+            Err(ParseError {
+                position: start,
+                message: format!(
+                    "unexpected character `{}`",
+                    &self.input[start..].chars().next().expect("non-empty")
+                ),
+            })
+        }
+    }
+}
+
+struct Parser {
+    tokens: Vec<(usize, Token)>,
+    cursor: usize,
+    end: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&(usize, Token)> {
+        self.tokens.get(self.cursor)
+    }
+
+    fn here(&self) -> usize {
+        self.peek().map_or(self.end, |(pos, _)| *pos)
+    }
+
+    fn expect_keyword(&mut self, keyword: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some((_, Token::Word(w))) if w == keyword => {
+                self.cursor += 1;
+                Ok(())
+            }
+            Some((pos, token)) => Err(ParseError {
+                position: *pos,
+                message: format!("expected `{keyword}`, found {}", describe(token)),
+            }),
+            None => Err(ParseError {
+                position: self.end,
+                message: format!("expected `{keyword}`, found end of statement"),
+            }),
+        }
+    }
+
+    fn expect_vertex(&mut self, what: &str) -> Result<u32, ParseError> {
+        match self.peek() {
+            Some((pos, Token::Number(n))) => {
+                let pos = *pos;
+                let n = *n;
+                self.cursor += 1;
+                u32::try_from(n).map_err(|_| ParseError {
+                    position: pos,
+                    message: format!("{what} `{n}` does not fit in a 32-bit vertex id"),
+                })
+            }
+            Some((pos, token)) => Err(ParseError {
+                position: *pos,
+                message: format!("expected a {what}, found {}", describe(token)),
+            }),
+            None => Err(ParseError {
+                position: self.end,
+                message: format!("expected a {what}, found end of statement"),
+            }),
+        }
+    }
+
+    fn expect_end(&self) -> Result<(), ParseError> {
+        match self.peek() {
+            None => Ok(()),
+            Some((pos, token)) => Err(ParseError {
+                position: *pos,
+                message: format!("unexpected {} after the statement", describe(token)),
+            }),
+        }
+    }
+}
+
+fn describe(token: &Token) -> String {
+    match token {
+        Token::Word(w) => format!("`{w}`"),
+        Token::Number(n) => format!("number `{n}`"),
+    }
+}
+
+/// Parses one statement of the language.
+pub fn parse(input: &str) -> Result<Statement, ParseError> {
+    let mut tokenizer = Tokenizer::new(input);
+    let mut tokens = Vec::new();
+    while let Some(token) = tokenizer.next_token()? {
+        tokens.push(token);
+    }
+    let mut parser = Parser {
+        tokens,
+        cursor: 0,
+        end: input.len(),
+    };
+    let statement = match parser.peek() {
+        Some((_, Token::Word(w))) => match w.as_str() {
+            "PATHS" => parse_query(&mut parser, QueryVerb::Paths)?,
+            "EXISTS" => parse_query(&mut parser, QueryVerb::Exists)?,
+            "COUNT" => parse_query(&mut parser, QueryVerb::Count)?,
+            "INSERT" => parse_update(&mut parser, UpdateOp::Insert)?,
+            "DELETE" => parse_update(&mut parser, UpdateOp::Delete)?,
+            other => {
+                return Err(ParseError {
+                    position: parser.here(),
+                    message: format!(
+                        "expected `PATHS`, `EXISTS`, `COUNT`, `INSERT` or `DELETE`, found `{other}`"
+                    ),
+                })
+            }
+        },
+        Some((pos, token)) => {
+            return Err(ParseError {
+                position: *pos,
+                message: format!("expected a statement keyword, found {}", describe(token)),
+            })
+        }
+        None => {
+            return Err(ParseError {
+                position: parser.end,
+                message: "empty statement".to_string(),
+            })
+        }
+    };
+    parser.expect_end()?;
+    Ok(statement)
+}
+
+fn parse_query(parser: &mut Parser, verb: QueryVerb) -> Result<Statement, ParseError> {
+    parser.cursor += 1; // the verb keyword, already matched
+    parser.expect_keyword("FROM")?;
+    let source = parser.expect_vertex("source vertex")?;
+    parser.expect_keyword("TO")?;
+    let target = parser.expect_vertex("target vertex")?;
+    parser.expect_keyword("WITHIN")?;
+    let within = parser.expect_vertex("hop bound")?;
+    let limit = match parser.peek() {
+        Some((pos, Token::Word(w))) if w == "LIMIT" => {
+            let limit_pos = *pos;
+            if verb == QueryVerb::Exists {
+                return Err(ParseError {
+                    position: limit_pos,
+                    message: "`EXISTS` takes no `LIMIT` (it stops at the first witness)"
+                        .to_string(),
+                });
+            }
+            parser.cursor += 1;
+            match parser.peek() {
+                Some((pos, Token::Number(0))) => {
+                    return Err(ParseError {
+                        position: *pos,
+                        message: "`LIMIT 0` is not a query; ask `EXISTS` or `COUNT` instead"
+                            .to_string(),
+                    })
+                }
+                Some((_, Token::Number(n))) => {
+                    let n = *n;
+                    parser.cursor += 1;
+                    Some(n)
+                }
+                Some((pos, token)) => {
+                    return Err(ParseError {
+                        position: *pos,
+                        message: format!("expected a limit, found {}", describe(token)),
+                    })
+                }
+                None => {
+                    return Err(ParseError {
+                        position: parser.end,
+                        message: "expected a limit, found end of statement".to_string(),
+                    })
+                }
+            }
+        }
+        _ => None,
+    };
+    Ok(Statement::Query(QueryStatement {
+        verb,
+        source,
+        target,
+        within,
+        limit,
+    }))
+}
+
+fn parse_update(parser: &mut Parser, op: UpdateOp) -> Result<Statement, ParseError> {
+    parser.cursor += 1; // the op keyword, already matched
+    parser.expect_keyword("EDGE")?;
+    let source = parser.expect_vertex("edge source")?;
+    let target = parser.expect_vertex("edge target")?;
+    Ok(Statement::Update(UpdateStatement { op, source, target }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcsp_core::ResultMode;
+
+    fn q(input: &str) -> QueryStatement {
+        match parse(input).unwrap() {
+            Statement::Query(q) => q,
+            other => panic!("expected a query, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn the_five_statement_forms_parse() {
+        assert_eq!(
+            q("PATHS FROM 0 TO 5 WITHIN 4"),
+            QueryStatement {
+                verb: QueryVerb::Paths,
+                source: 0,
+                target: 5,
+                within: 4,
+                limit: None,
+            }
+        );
+        assert_eq!(q("paths from 0 to 5 within 4 limit 10").limit, Some(10));
+        assert_eq!(q("EXISTS FROM 1 TO 2 WITHIN 3").verb, QueryVerb::Exists);
+        assert_eq!(q("COUNT FROM 1 TO 2 WITHIN 3 LIMIT 7").limit, Some(7));
+        assert_eq!(
+            parse("INSERT EDGE 3 4").unwrap(),
+            Statement::Update(UpdateStatement {
+                op: UpdateOp::Insert,
+                source: 3,
+                target: 4,
+            })
+        );
+        assert_eq!(
+            parse("delete edge 4 3").unwrap(),
+            Statement::Update(UpdateStatement {
+                op: UpdateOp::Delete,
+                source: 4,
+                target: 3,
+            })
+        );
+    }
+
+    #[test]
+    fn display_is_canonical_and_round_trips() {
+        for input in [
+            "  paths   from 0 to 5 within 4  ",
+            "EXISTS FROM 1 TO 2 WITHIN 3",
+            "count from 9 to 8 within 7 limit 6",
+            "Insert Edge 3 4",
+        ] {
+            let parsed = parse(input).unwrap();
+            assert_eq!(parse(&parsed.to_string()).unwrap(), parsed);
+        }
+        assert_eq!(
+            parse("  paths   from 0 to 5 within 4 limit 2 ")
+                .unwrap()
+                .to_string(),
+            "PATHS FROM 0 TO 5 WITHIN 4 LIMIT 2"
+        );
+    }
+
+    #[test]
+    fn compile_picks_the_result_mode_from_verb_and_limit() {
+        assert_eq!(
+            q("PATHS FROM 0 TO 5 WITHIN 4").to_spec().mode,
+            ResultMode::Collect
+        );
+        assert_eq!(
+            q("PATHS FROM 0 TO 5 WITHIN 4 LIMIT 3").to_spec().mode,
+            ResultMode::FirstK(3)
+        );
+        assert_eq!(
+            q("EXISTS FROM 0 TO 5 WITHIN 4").to_spec().mode,
+            ResultMode::Exists
+        );
+        let counted = q("COUNT FROM 0 TO 5 WITHIN 4 LIMIT 9").to_spec();
+        assert_eq!(counted.mode, ResultMode::Count);
+        assert_eq!(counted.path_budget, Some(9));
+    }
+
+    #[test]
+    fn errors_point_at_the_offending_byte() {
+        let err = parse("PATHS FROM 0 TO x WITHIN 4").unwrap_err();
+        assert_eq!(err.position, 16);
+        assert!(err.message.contains("target vertex"), "{}", err.message);
+
+        let err = parse("EXISTS FROM 0 TO 1 WITHIN 2 LIMIT 3").unwrap_err();
+        assert!(err.message.contains("no `LIMIT`"), "{}", err.message);
+
+        let err = parse("PATHS FROM 0 TO 1 WITHIN 2 LIMIT 0").unwrap_err();
+        assert!(err.message.contains("LIMIT 0"), "{}", err.message);
+
+        let err = parse("PATHS FROM 0 TO 1").unwrap_err();
+        assert!(err.message.contains("WITHIN"), "{}", err.message);
+
+        assert!(parse("").is_err());
+        assert!(parse("PATHS FROM 0 TO 1 WITHIN 2 EXTRA").is_err());
+        assert!(parse("PATHS FROM 0 TO 1 WITHIN 2 # comment").is_err());
+        assert!(parse("DROP TABLE paths").is_err());
+    }
+
+    #[test]
+    fn vertex_ids_must_fit_in_u32() {
+        let err = parse("PATHS FROM 4294967296 TO 1 WITHIN 2").unwrap_err();
+        assert!(err.message.contains("32-bit"), "{}", err.message);
+        // But limits are u64 and may exceed it.
+        assert_eq!(
+            q("PATHS FROM 0 TO 1 WITHIN 2 LIMIT 4294967296").limit,
+            Some(1 << 32)
+        );
+    }
+}

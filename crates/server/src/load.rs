@@ -1,0 +1,135 @@
+//! An open-loop load generator for the wire protocol.
+//!
+//! [`run_load`] replays a list of statements against a server over one pipelined
+//! connection, pacing sends with an [`ArrivalProcess`] schedule (the same open-loop
+//! model the in-process service experiments use). A sender thread writes statements at
+//! their scheduled offsets while the receiver decodes replies FIFO; each request's
+//! latency is *send instant → terminal response frame*, so it includes queueing in the
+//! server's admission window — the quantity the batch-policy experiments trade off.
+
+use crate::client::Reply;
+use crate::frame::{client_handshake, read_frame, write_frame, FrameError, Request, Response};
+use hcsp_workload::ArrivalProcess;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// The outcome of one load run: per-request latencies (request order) and replies.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Per-request latency, send to terminal frame, in request order.
+    pub latencies: Vec<Duration>,
+    /// Per-request decoded reply, in request order.
+    pub replies: Vec<Reply>,
+    /// Wall-clock span of the whole run (first send to last reply).
+    pub elapsed: Duration,
+}
+
+impl LoadReport {
+    /// The `q`-quantile latency (nearest-rank on the sorted latencies), `0.0 ≤ q ≤ 1.0`.
+    pub fn percentile(&self, q: f64) -> Duration {
+        if self.latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// Median latency.
+    pub fn p50(&self) -> Duration {
+        self.percentile(0.50)
+    }
+
+    /// 99th-percentile latency.
+    pub fn p99(&self) -> Duration {
+        self.percentile(0.99)
+    }
+
+    /// Completed requests per second over the run.
+    pub fn qps(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.replies.len() as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Replays `statements` against the server at `addr`, pacing sends with `arrivals`.
+///
+/// Opens one connection; a sender thread sleeps each statement to its scheduled offset
+/// and records the send instant, while the calling thread receives replies in order.
+/// Returns once every reply has arrived.
+pub fn run_load(
+    addr: impl ToSocketAddrs,
+    statements: &[String],
+    arrivals: &ArrivalProcess,
+    seed: u64,
+) -> Result<LoadReport, FrameError> {
+    let mut stream = TcpStream::connect(addr).map_err(FrameError::Io)?;
+    client_handshake(&mut stream).map_err(FrameError::Io)?;
+    let write_half = stream.try_clone().map_err(FrameError::Io)?;
+    let offsets = arrivals.offsets(statements.len(), seed);
+    let to_send: Vec<String> = statements.to_vec();
+
+    let (sent_tx, sent_rx) = std::sync::mpsc::channel::<Instant>();
+    let sender = std::thread::spawn(move || -> Result<(), FrameError> {
+        let mut writer = BufWriter::new(write_half);
+        let start = Instant::now();
+        for (i, (statement, offset)) in to_send.iter().zip(offsets).enumerate() {
+            if let Some(wait) = offset.checked_sub(start.elapsed()) {
+                std::thread::sleep(wait);
+            }
+            let request = Request::Statement {
+                id: i as u64 + 1,
+                text: statement.clone(),
+            };
+            write_frame(&mut writer, &request.encode())?;
+            writer.flush()?;
+            // An open-loop arrival "happens" when its bytes hit the socket.
+            if sent_tx.send(Instant::now()).is_err() {
+                return Ok(()); // the receiver bailed; stop offering load
+            }
+        }
+        Ok(())
+    });
+
+    let mut reader = BufReader::new(stream);
+    let mut latencies = Vec::with_capacity(statements.len());
+    let mut replies = Vec::with_capacity(statements.len());
+    let run_start = Instant::now();
+    let result = (|| -> Result<(), FrameError> {
+        for _ in 0..statements.len() {
+            let sent_at = sent_rx
+                .recv()
+                .expect("the sender records an instant per request");
+            let mut paths: Vec<Vec<u32>> = Vec::new();
+            let reply = loop {
+                let payload = read_frame(&mut reader, crate::frame::MAX_FRAME_LEN)?;
+                match Response::decode(&payload)? {
+                    Response::Exists { exists, .. } => break Reply::Exists(exists),
+                    Response::Count { count, .. } => break Reply::Count(count),
+                    Response::PathChunk { paths: chunk, .. } => paths.extend(chunk),
+                    Response::PathsDone { .. } => break Reply::Paths(std::mem::take(&mut paths)),
+                    Response::UpdateDone {
+                        applied, ignored, ..
+                    } => break Reply::Update { applied, ignored },
+                    Response::Error { code, message, .. } => break Reply::Error { code, message },
+                }
+            };
+            latencies.push(sent_at.elapsed());
+            replies.push(reply);
+        }
+        Ok(())
+    })();
+    drop(sent_rx);
+    let sender_result = sender.join().expect("load sender must not panic");
+    result?;
+    sender_result?;
+    Ok(LoadReport {
+        latencies,
+        replies,
+        elapsed: run_start.elapsed(),
+    })
+}

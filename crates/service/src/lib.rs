@@ -32,8 +32,8 @@ pub mod service;
 
 pub use policy::BatchPolicy;
 pub use service::{
-    Abandoned, DurabilityOptions, PathService, PathServiceBuilder, QueryHandle, QueryResult,
-    SpecHandle, SpecResult, UpdateHandle,
+    Abandoned, AdmissionError, DurabilityBackend, DurabilityOptions, PathService,
+    PathServiceBuilder, QueryHandle, QueryResult, SpecHandle, SpecResult, UpdateHandle,
 };
 
 // Re-exported so service users can build typed requests, read the aggregate counters,

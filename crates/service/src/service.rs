@@ -53,6 +53,52 @@ use std::time::{Duration, Instant};
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Abandoned;
 
+/// Why a request was refused *at admission* — before it ever reached the queue.
+///
+/// Returned by the fallible submission surface ([`PathService::try_submit`],
+/// [`PathService::try_submit_spec`], [`PathService::try_update`]). The panicking
+/// wrappers ([`PathService::submit`] and friends) turn these into panics; a network
+/// front-end maps them to protocol error frames instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The query names a vertex outside the served graph's vertex space.
+    InvalidEndpoint {
+        /// The offending query.
+        query: PathQuery,
+        /// The vertex-space size of the tip snapshot the query was validated against.
+        num_vertices: usize,
+    },
+    /// The service is shutting down: the admission queue no longer accepts requests.
+    ShuttingDown,
+    /// The service can no longer admit this kind of request consistently: the admission
+    /// lock is poisoned, or (for updates on a durable service) the update store latched
+    /// itself after a write failure and refuses to acknowledge further batches until the
+    /// service is reopened. Queries may keep serving the last consistent state.
+    Poisoned,
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::InvalidEndpoint {
+                query,
+                num_vertices,
+            } => write!(
+                f,
+                "{query} endpoints out of range for a graph of {num_vertices} vertices"
+            ),
+            AdmissionError::ShuttingDown => {
+                f.write_str("service is shutting down: request refused at admission")
+            }
+            AdmissionError::Poisoned => f.write_str(
+                "service admission is poisoned: the request cannot be accepted consistently",
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
 impl std::fmt::Display for Abandoned {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str("request abandoned: the service worker handling it panicked")
@@ -401,10 +447,42 @@ impl EpochCell {
     }
 }
 
-/// Durability configuration for [`PathServiceBuilder::start_durable`] and
-/// [`PathServiceBuilder::open`].
-#[derive(Debug, Clone, Copy)]
+/// Where a durable service keeps its update log and snapshots.
+///
+/// The backend is part of [`DurabilityOptions`], so one builder entry point —
+/// [`PathServiceBuilder::start`] — covers the whole spectrum from purely in-memory
+/// serving to a crash-test filesystem.
+#[derive(Clone, Default)]
+pub enum DurabilityBackend {
+    /// No durability: state lives only in memory (the default).
+    #[default]
+    Ephemeral,
+    /// A fresh [`UpdateStore`] in this directory; the started graph becomes snapshot 0.
+    /// Starting fails with [`StorageError::AlreadyExists`] if the directory already
+    /// holds a store (open it with [`PathServiceBuilder::open`] instead).
+    Directory(std::path::PathBuf),
+    /// A fresh [`UpdateStore`] over an explicit [`Vfs`] (the crash tests pass a
+    /// `FailpointFs`; production code wants [`DurabilityBackend::Directory`]).
+    Vfs(Arc<dyn Vfs>),
+}
+
+impl std::fmt::Debug for DurabilityBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurabilityBackend::Ephemeral => f.write_str("Ephemeral"),
+            DurabilityBackend::Directory(dir) => f.debug_tuple("Directory").field(dir).finish(),
+            DurabilityBackend::Vfs(_) => f.write_str("Vfs(..)"),
+        }
+    }
+}
+
+/// Durability configuration for [`PathServiceBuilder::start`] and
+/// [`PathServiceBuilder::open`]: where the store lives ([`DurabilityBackend`]), when it
+/// fsyncs, and when the background compactor checkpoints.
+#[derive(Debug, Clone)]
 pub struct DurabilityOptions {
+    /// Where the update log and snapshots live (default: no durability at all).
+    pub backend: DurabilityBackend,
     /// When acknowledged update batches are fsynced (see [`FsyncPolicy`]).
     pub fsync: FsyncPolicy,
     /// The background compactor checkpoints (snapshot + log truncation) once the WAL
@@ -419,9 +497,138 @@ pub struct DurabilityOptions {
 impl Default for DurabilityOptions {
     fn default() -> Self {
         DurabilityOptions {
+            backend: DurabilityBackend::Ephemeral,
             fsync: FsyncPolicy::Always,
             compact_tail_bytes: 4 << 20,
             compact_check_interval: Duration::from_millis(25),
+        }
+    }
+}
+
+impl DurabilityOptions {
+    /// Options for a store rooted in `dir` (see [`DurabilityBackend::Directory`]).
+    pub fn directory(dir: impl Into<std::path::PathBuf>) -> Self {
+        DurabilityOptions {
+            backend: DurabilityBackend::Directory(dir.into()),
+            ..DurabilityOptions::default()
+        }
+    }
+
+    /// Options for a store over an explicit [`Vfs`] (see [`DurabilityBackend::Vfs`]).
+    pub fn vfs(vfs: Arc<dyn Vfs>) -> Self {
+        DurabilityOptions {
+            backend: DurabilityBackend::Vfs(vfs),
+            ..DurabilityOptions::default()
+        }
+    }
+
+    /// Sets the fsync policy.
+    pub fn fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.fsync = policy;
+        self
+    }
+
+    /// Sets the background-compaction threshold (`u64::MAX` disables it).
+    pub fn compact_tail_bytes(mut self, bytes: u64) -> Self {
+        self.compact_tail_bytes = bytes;
+        self
+    }
+
+    /// Sets how often the background compactor re-examines the WAL tail.
+    pub fn compact_check_interval(mut self, interval: Duration) -> Self {
+        self.compact_check_interval = interval;
+        self
+    }
+}
+
+/// Shared state of the group-commit protocol (only instantiated for durable services
+/// with [`FsyncPolicy::Always`]).
+///
+/// Under plain `Always`, every update batch pays its own fsync *inside* the admission
+/// lock — co-arriving updates serialise behind each other's sync. Group commit moves the
+/// fsync out of the lock: the sink appends the frame unsynced (recording the batch
+/// sequence as `appended`), and each updater then asks the committer to make the log
+/// durable *through its own sequence*. The first such caller becomes the syncer for
+/// everything appended so far; callers whose sequence is already covered by a completed
+/// (or in-flight) sync just wait — one fsync acknowledges the whole co-arriving window.
+#[derive(Debug, Default)]
+struct GroupCommitter {
+    state: Mutex<GroupState>,
+    done: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct GroupState {
+    /// Highest batch sequence appended (exclusive: `next_batch_seq` after the append).
+    appended: u64,
+    /// Highest batch sequence made durable (exclusive).
+    synced: u64,
+    /// The sequence bound (exclusive) an in-flight fsync will cover, if one is running.
+    syncing: Option<u64>,
+    /// A sync failed: the store is poisoned, nothing past `synced` will ever be durable.
+    failed: bool,
+    /// Completed group fsyncs (mirrored into [`ServiceStats::group_commit_batches`]).
+    fsyncs: u64,
+}
+
+impl GroupCommitter {
+    /// Records that the frame for batch `seq` reached the (unsynced) log.
+    fn note_appended(&self, seq: u64) {
+        let mut state = self.state.lock().unwrap();
+        state.appended = state.appended.max(seq + 1);
+    }
+
+    /// Blocks until every batch below `target` (exclusive) is durable, performing the
+    /// fsync if no in-flight sync already covers it. Returns whether this caller's
+    /// window is durable, and the number of group fsyncs this call completed (0 when it
+    /// rode on someone else's).
+    fn sync_through(&self, target: u64, store: &Mutex<UpdateStore>) -> (bool, u64) {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if state.synced >= target {
+                return (true, 0);
+            }
+            if state.failed {
+                return (false, 0);
+            }
+            match state.syncing {
+                // An in-flight sync covers us: wait for it to land.
+                Some(bound) if bound >= target => {
+                    state = self.done.wait(state).unwrap();
+                }
+                // No sync in flight (or one that started before our append): become the
+                // syncer for everything appended so far.
+                _ if state.syncing.is_none() => {
+                    let goal = state.appended;
+                    state.syncing = Some(goal);
+                    drop(state);
+                    let outcome = match store.lock() {
+                        Ok(mut store) => store.sync().map_err(|_| ()),
+                        Err(_) => Err(()),
+                    };
+                    state = self.state.lock().unwrap();
+                    state.syncing = None;
+                    match outcome {
+                        Ok(()) => {
+                            state.synced = state.synced.max(goal);
+                            state.fsyncs += 1;
+                            self.done.notify_all();
+                            if state.synced >= target {
+                                return (true, 1);
+                            }
+                        }
+                        Err(()) => {
+                            state.failed = true;
+                            self.done.notify_all();
+                            return (false, 0);
+                        }
+                    }
+                }
+                // A sync that won't cover us is in flight: wait for the slot.
+                _ => {
+                    state = self.done.wait(state).unwrap();
+                }
+            }
         }
     }
 }
@@ -430,9 +637,12 @@ impl Default for DurabilityOptions {
 ///
 /// Called from inside [`EpochPublisher::try_publish`] while the admission lock is held,
 /// so the lock order is always publisher → store — the same order the checkpoint path
-/// uses, which is what makes the two paths deadlock-free.
+/// uses, which is what makes the two paths deadlock-free. With a [`GroupCommitter`]
+/// attached (durable + [`FsyncPolicy::Always`]) the append is *unsynced*: the fsync
+/// happens outside the admission lock, shared across co-arriving updates.
 struct WalSink {
     store: Arc<Mutex<UpdateStore>>,
+    group: Option<Arc<GroupCommitter>>,
 }
 
 /// Flattens a [`StorageError`] into the `io::Error` the [`DurabilitySink`] contract
@@ -450,7 +660,14 @@ impl DurabilitySink for WalSink {
             .store
             .lock()
             .map_err(|_| std::io::Error::other("update store poisoned"))?;
-        store.append(updates).map(|_| ()).map_err(storage_to_io)
+        match &self.group {
+            Some(group) => {
+                let seq = store.append_unsynced(updates).map_err(storage_to_io)?;
+                group.note_appended(seq);
+                Ok(())
+            }
+            None => store.append(updates).map(|_| ()).map_err(storage_to_io),
+        }
     }
 }
 
@@ -461,6 +678,8 @@ struct Durability {
     store: Arc<Mutex<UpdateStore>>,
     recovery: Option<RecoveryReport>,
     checkpoints: Arc<AtomicU64>,
+    /// The group-commit protocol state; `Some` iff the fsync policy is `Always`.
+    group: Option<Arc<GroupCommitter>>,
     /// Stop flag + wakeup for the compactor (updates notify it after growing the tail).
     signal: Arc<(Mutex<bool>, Condvar)>,
     compactor: Option<JoinHandle<()>>,
@@ -545,7 +764,7 @@ fn compactor_loop(
 }
 
 /// Configures and starts a [`PathService`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct PathServiceBuilder {
     config: BatchEngine,
     policy: BatchPolicy,
@@ -616,42 +835,42 @@ impl PathServiceBuilder {
         self
     }
 
-    /// Durability configuration used by [`PathServiceBuilder::start_durable`] and
-    /// [`PathServiceBuilder::open`] (fsync policy, compaction threshold). Ignored by
-    /// the in-memory [`PathServiceBuilder::start`].
+    /// The durability configuration applied by [`PathServiceBuilder::start`] and
+    /// [`PathServiceBuilder::open`]: backend (ephemeral / directory / explicit [`Vfs`]),
+    /// fsync policy, compaction thresholds. The default is fully ephemeral.
     pub fn durability(mut self, options: DurabilityOptions) -> Self {
         self.durability = options;
         self
     }
 
-    /// Starts the service over `graph` with no durability: state lives only in memory.
-    pub fn start(self, graph: impl Into<Arc<DiGraph>>) -> PathService {
-        self.launch(graph.into(), None)
-    }
-
-    /// Starts a *durable* service over `graph`, initialising a new store in `dir`:
-    /// `graph` becomes snapshot 0 and every acknowledged update batch is written ahead
-    /// to the store's log, so [`PathServiceBuilder::open`] on the same directory
-    /// recovers the exact acknowledged state after any crash. Fails with
-    /// [`StorageError::AlreadyExists`] if `dir` already holds a store (open it
+    /// Starts the service over `graph`, durable or not according to the configured
+    /// [`DurabilityOptions::backend`].
+    ///
+    /// With the default [`DurabilityBackend::Ephemeral`] this cannot fail (state lives
+    /// only in memory). With a directory or [`Vfs`] backend a fresh [`UpdateStore`] is
+    /// initialised there: `graph` becomes snapshot 0 and every acknowledged update batch
+    /// is written ahead to the store's log, so [`PathServiceBuilder::open`] on the same
+    /// backend recovers the exact acknowledged state after any crash. Fails with
+    /// [`StorageError::AlreadyExists`] if the backend already holds a store (open it
     /// instead).
-    pub fn start_durable(
-        self,
-        graph: impl Into<Arc<DiGraph>>,
-        dir: impl AsRef<Path>,
-    ) -> Result<PathService, StorageError> {
-        let vfs: Arc<dyn Vfs> = Arc::new(StdFs::new(dir)?);
-        self.start_durable_vfs(graph, vfs)
+    pub fn start(self, graph: impl Into<Arc<DiGraph>>) -> Result<PathService, StorageError> {
+        let graph = graph.into();
+        match self.durability.backend.clone() {
+            DurabilityBackend::Ephemeral => Ok(self.launch(graph, None)),
+            DurabilityBackend::Directory(dir) => {
+                let vfs: Arc<dyn Vfs> = Arc::new(StdFs::new(dir)?);
+                self.start_on_vfs(graph, vfs)
+            }
+            DurabilityBackend::Vfs(vfs) => self.start_on_vfs(graph, vfs),
+        }
     }
 
-    /// [`PathServiceBuilder::start_durable`] over an explicit [`Vfs`] (the crash tests
-    /// pass a `FailpointFs`; production code wants the directory variant).
-    pub fn start_durable_vfs(
+    /// The durable arm of [`PathServiceBuilder::start`]: create a fresh store on `vfs`.
+    fn start_on_vfs(
         self,
-        graph: impl Into<Arc<DiGraph>>,
+        graph: Arc<DiGraph>,
         vfs: Arc<dyn Vfs>,
     ) -> Result<PathService, StorageError> {
-        let graph = graph.into();
         let store = UpdateStore::create(
             vfs,
             StoreOptions {
@@ -660,6 +879,34 @@ impl PathServiceBuilder {
             &graph,
         )?;
         Ok(self.launch(graph, Some((store, None))))
+    }
+
+    /// Starts a *durable* service over `graph`, initialising a new store in `dir`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure `durability(DurabilityOptions::directory(dir))` and call `start`"
+    )]
+    pub fn start_durable(
+        mut self,
+        graph: impl Into<Arc<DiGraph>>,
+        dir: impl AsRef<Path>,
+    ) -> Result<PathService, StorageError> {
+        self.durability.backend = DurabilityBackend::Directory(dir.as_ref().to_path_buf());
+        self.start(graph)
+    }
+
+    /// Starts a *durable* service over `graph` on an explicit [`Vfs`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure `durability(DurabilityOptions::vfs(vfs))` and call `start`"
+    )]
+    pub fn start_durable_vfs(
+        mut self,
+        graph: impl Into<Arc<DiGraph>>,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<PathService, StorageError> {
+        self.durability.backend = DurabilityBackend::Vfs(vfs);
+        self.start(graph)
     }
 
     /// Opens a durable service from an existing store directory, recovering the last
@@ -695,9 +942,15 @@ impl PathServiceBuilder {
 
         let durability = durable.map(|(store, recovery)| {
             let store = Arc::new(Mutex::new(store));
+            // Under `Always`, co-arriving updates share one WAL fsync (group commit);
+            // the sink then appends unsynced and each updater syncs through its own
+            // sequence outside the admission lock.
+            let group = matches!(self.durability.fsync, FsyncPolicy::Always)
+                .then(|| Arc::new(GroupCommitter::default()));
             // Every subsequent publish appends to the WAL *before* the epoch swap.
             epoch.publisher.lock().unwrap().set_sink(Box::new(WalSink {
                 store: Arc::clone(&store),
+                group: group.clone(),
             }));
             let signal = Arc::new((Mutex::new(false), Condvar::new()));
             let checkpoints = Arc::new(AtomicU64::new(0));
@@ -716,6 +969,7 @@ impl PathServiceBuilder {
                 store,
                 recovery,
                 checkpoints,
+                group,
                 signal,
                 compactor,
             }
@@ -933,7 +1187,8 @@ fn worker_loop(
 /// let graph = DiGraph::from_edge_list(4, &[(0, 1), (1, 3), (0, 2), (2, 3)]).unwrap();
 /// let service = PathService::builder()
 ///     .policy(BatchPolicy::by_size(8, Duration::from_millis(2)))
-///     .start(graph);
+///     .start(graph)
+///     .unwrap();
 ///
 /// // Queries are submitted one at a time; each handle waits for its own result.
 /// let handle = service.submit(PathQuery::new(0u32, 3u32, 3));
@@ -976,7 +1231,9 @@ impl PathService {
 
     /// Starts a service over `graph` with default engine, policy and a single worker.
     pub fn start(graph: impl Into<Arc<DiGraph>>) -> Self {
-        PathService::builder().start(graph)
+        PathService::builder()
+            .start(graph)
+            .expect("an ephemeral service start cannot fail")
     }
 
     /// Opens a durable service from an existing store directory with default
@@ -1003,21 +1260,39 @@ impl PathService {
     ///
     /// # Panics
     ///
-    /// Panics if the query's endpoints are out of range for the served graph — in the
-    /// caller's thread, exactly like the offline `BatchEngine` would, rather than
-    /// poisoning a worker that is executing other users' queries.
+    /// Panics if admission refuses the spec — out-of-range endpoints (in the caller's
+    /// thread, exactly like the offline `BatchEngine` would, rather than poisoning a
+    /// worker that is executing other users' queries), a shutting-down service, or a
+    /// poisoned admission lock. Use [`PathService::try_submit_spec`] to handle those
+    /// cases as errors; a thin `expect`-style wrapper is all this method is.
     pub fn submit_spec(&self, spec: QuerySpec) -> SpecHandle {
+        match self.try_submit_spec(spec) {
+            Ok(handle) => handle,
+            Err(refusal) => panic!("{refusal}"),
+        }
+    }
+
+    /// Fallible twin of [`PathService::submit_spec`]: refuses the spec with an
+    /// [`AdmissionError`] instead of panicking.
+    ///
+    /// This is the surface a network front-end uses — an invalid query from one client
+    /// must become an error *response*, never a panic inside the serving process.
+    pub fn try_submit_spec(&self, spec: QuerySpec) -> Result<SpecHandle, AdmissionError> {
         // The admission lock is held across the send: the pinned tip cannot be
         // superseded between validation and admission, so a query validated against a
         // grown vertex space is guaranteed to be admitted after the update that grew it.
-        let publisher = self.epoch.publisher.lock().unwrap();
+        let Ok(publisher) = self.epoch.publisher.lock() else {
+            return Err(AdmissionError::Poisoned);
+        };
         let tip = publisher.tip();
-        let n = tip.graph().num_vertices();
+        let num_vertices = tip.graph().num_vertices();
         let query = spec.query;
-        assert!(
-            query.source.index() < n && query.target.index() < n,
-            "{query} endpoints out of range for a graph of {n} vertices"
-        );
+        if query.source.index() >= num_vertices || query.target.index() >= num_vertices {
+            return Err(AdmissionError::InvalidEndpoint {
+                query,
+                num_vertices,
+            });
+        }
         let slot = Arc::new(ResultSlot::default());
         let submission = Submission {
             spec,
@@ -1025,13 +1300,15 @@ impl PathService {
             epoch: tip,
             slot: Arc::clone(&slot),
         };
-        self.submit_tx
-            .as_ref()
-            .expect("service is running")
-            .send(submission)
-            .expect("service threads are alive");
+        let Some(tx) = self.submit_tx.as_ref() else {
+            return Err(AdmissionError::ShuttingDown);
+        };
+        if tx.send(submission).is_err() {
+            // The batcher is gone; the returned submission's Drop abandoned the slot.
+            return Err(AdmissionError::ShuttingDown);
+        }
         drop(publisher);
-        SpecHandle { slot }
+        Ok(SpecHandle { slot })
     }
 
     /// Submits one query in `Collect` mode (the classic surface); returns a handle to
@@ -1040,11 +1317,19 @@ impl PathService {
     ///
     /// # Panics
     ///
-    /// Panics if the query's endpoints are out of range for the served graph.
+    /// Panics if admission refuses the query (see [`PathService::submit_spec`]); use
+    /// [`PathService::try_submit`] to handle refusal as an error.
     pub fn submit(&self, query: PathQuery) -> QueryHandle {
         QueryHandle {
             inner: self.submit_spec(QuerySpec::collect(query)),
         }
+    }
+
+    /// Fallible twin of [`PathService::submit`]: refuses the query with an
+    /// [`AdmissionError`] instead of panicking.
+    pub fn try_submit(&self, query: PathQuery) -> Result<QueryHandle, AdmissionError> {
+        self.try_submit_spec(QuerySpec::collect(query))
+            .map(|inner| QueryHandle { inner })
     }
 
     /// Applies a batch of graph updates (edge insertions/deletions) by publishing a new
@@ -1063,54 +1348,99 @@ impl PathService {
     /// the update path changes *which snapshot* a query sees (by admission order), never
     /// *what* a given snapshot returns.
     ///
-    /// A poisoned admission lock (a submitter panicked mid-admission, e.g. on endpoint
-    /// validation) means the epoch sequence can no longer advance consistently: the
-    /// returned handle is *abandoned* — [`UpdateHandle::wait_result`] reports
-    /// [`Abandoned`] — instead of propagating that panic into this caller.
+    /// A poisoned admission lock or a durability failure means the batch was *not*
+    /// acknowledged: the returned handle is *abandoned* — [`UpdateHandle::wait_result`]
+    /// reports [`Abandoned`] — instead of propagating a panic into this caller. Use
+    /// [`PathService::try_update`] to observe the refusal as an [`AdmissionError`].
     pub fn update(&self, updates: impl Into<Vec<GraphUpdate>>) -> UpdateHandle {
-        let updates: Vec<GraphUpdate> = updates.into();
-        let slot = Arc::new(UpdateSlot::default());
-        let (summary, published) = {
-            let Ok(mut publisher) = self.epoch.publisher.lock() else {
+        match self.try_update(updates) {
+            Ok(handle) => handle,
+            Err(_) => {
+                let slot = Arc::new(UpdateSlot::default());
                 slot.abandon();
-                return UpdateHandle { slot };
+                UpdateHandle { slot }
+            }
+        }
+    }
+
+    /// Fallible twin of [`PathService::update`]: refuses the batch with an
+    /// [`AdmissionError`] when it cannot be acknowledged.
+    ///
+    /// [`AdmissionError::Poisoned`] covers both a poisoned admission lock and a durable
+    /// store that failed a write or fsync: in either case nothing past the last
+    /// acknowledged batch will ever be durable, so no later update may be acknowledged
+    /// until the service is reopened. (The failed batch's log write may still have
+    /// partially landed: recovery treats such an un-acked batch appearing after a
+    /// restart as applied, which the at-least-once contract of durable updates allows.)
+    /// Queries keep serving the last acknowledged state throughout.
+    ///
+    /// On a durable service with [`FsyncPolicy::Always`], co-arriving updates share one
+    /// WAL fsync (*group commit*): the frame is appended under the admission lock, the
+    /// fsync happens outside it, batched across every update appended in the window.
+    /// The new epoch becomes visible to queries when this call publishes it; the call
+    /// returns — acknowledging durability — only after the covering fsync lands.
+    pub fn try_update(
+        &self,
+        updates: impl Into<Vec<GraphUpdate>>,
+    ) -> Result<UpdateHandle, AdmissionError> {
+        let updates: Vec<GraphUpdate> = updates.into();
+        let (summary, published, group_target) = {
+            let Ok(mut publisher) = self.epoch.publisher.lock() else {
+                return Err(AdmissionError::Poisoned);
             };
             let before = publisher.tip().id();
             // On a durable service the publish appends to the WAL first; a sink failure
-            // means the batch was *not* acknowledged — the tip is untouched and the
-            // handle reports the abandonment. (The log write may still have partially
-            // landed: recovery treats such an un-acked batch appearing after a restart
-            // as applied, which the at-least-once contract of durable updates allows.)
-            // The store also poisons itself on the first write failure, so every later
-            // update is likewise abandoned — never acknowledged on top of a torn tail —
-            // until the service is reopened. Queries keep serving throughout.
+            // means the batch was *not* acknowledged — the tip is untouched.
             let (tip, summary) = match publisher.try_publish(&updates) {
                 Ok(pair) => pair,
-                Err(_) => {
-                    drop(publisher);
-                    slot.abandon();
-                    return UpdateHandle { slot };
-                }
+                Err(_) => return Err(AdmissionError::Poisoned),
             };
             let published = tip.id() != before;
             self.epoch.tip_id.store(tip.id(), Ordering::Release);
-            (summary, published)
+            // Group-commit window bound: everything appended up to now (including this
+            // batch) is what our covering fsync must reach. Read under the admission
+            // lock so the bound is exact. Empty batches never touch the sink.
+            let group_target = match (&self.durability, updates.is_empty()) {
+                (Some(durability), false) => durability
+                    .group
+                    .as_ref()
+                    .map(|group| (Arc::clone(group), group.state.lock().unwrap().appended)),
+                _ => None,
+            };
+            (summary, published, group_target)
         };
         // Nudge the compactor: the tail just grew.
         if let Some(durability) = &self.durability {
             durability.signal.1.notify_all();
         }
+        // The fsync happens here, *outside* the admission lock: co-arriving updates
+        // append under the lock and share whichever single fsync covers them all.
+        let mut group_fsyncs = 0;
+        if let Some((group, target)) = group_target {
+            let store = &self
+                .durability
+                .as_ref()
+                .expect("group commit implies a durable service")
+                .store;
+            let (durable, fsyncs) = group.sync_through(target, store);
+            group_fsyncs = fsyncs;
+            if !durable {
+                return Err(AdmissionError::Poisoned);
+            }
+        }
         // Record before fulfilling: a caller returning from `wait()` may immediately
         // snapshot `PathService::stats()` and must see this update counted.
+        let slot = Arc::new(UpdateSlot::default());
         {
             let mut stats = self.stats.lock().unwrap();
             stats.record_update(&summary, 1);
+            stats.group_commit_batches += group_fsyncs;
             if published {
                 stats.epochs_published += 1;
             }
         }
         slot.fulfill(summary);
-        UpdateHandle { slot }
+        Ok(UpdateHandle { slot })
     }
 
     /// Submits a sequence of queries back to back, returning one handle per query.
@@ -1270,7 +1600,8 @@ mod tests {
                 queries.len(),
                 Duration::from_millis(200),
             ))
-            .start(graph);
+            .start(graph)
+            .unwrap();
         let handles = service.submit_all(queries.clone());
         for (handle, (query, expected)) in handles.into_iter().zip(queries.iter().zip(&expected)) {
             let result = handle.wait();
@@ -1293,7 +1624,8 @@ mod tests {
 
         let service = PathService::builder()
             .policy(BatchPolicy::immediate())
-            .start(graph);
+            .start(graph)
+            .unwrap();
         let handles = service.submit_all(queries.clone());
         let counts: Vec<u64> = handles
             .into_iter()
@@ -1313,7 +1645,8 @@ mod tests {
         // A generous deadline: dispatch must be triggered by the size cap, not time.
         let service = PathService::builder()
             .policy(BatchPolicy::by_size(2, Duration::from_secs(30)))
-            .start(graph);
+            .start(graph)
+            .unwrap();
         let handles = service.submit_all(grid_queries().into_iter().take(4));
         for handle in handles {
             let result = handle.wait();
@@ -1334,7 +1667,8 @@ mod tests {
         let service = PathService::builder()
             .workers(3)
             .policy(BatchPolicy::by_size(3, Duration::from_millis(50)))
-            .start(graph);
+            .start(graph)
+            .unwrap();
         let handles = service.submit_all(queries);
         let counts: Vec<u64> = handles
             .into_iter()
@@ -1359,7 +1693,7 @@ mod tests {
             if let Some(cap) = explicit_cap {
                 builder = builder.parallel_cluster_cap(cap);
             }
-            let service = builder.start(graph.clone());
+            let service = builder.start(graph.clone()).unwrap();
             let handles = service.submit_all(queries.clone());
             let counts: Vec<u64> = handles
                 .into_iter()
@@ -1380,7 +1714,8 @@ mod tests {
         let graph = complete(5);
         let service = PathService::builder()
             .policy(BatchPolicy::by_size(64, Duration::from_millis(500)))
-            .start(graph);
+            .start(graph)
+            .unwrap();
         let handles = service.submit_all((0..8).map(|i| PathQuery::new(i % 4, 4u32, 3)));
         // Shut down immediately: every already-submitted query must still be answered.
         let stats = service.shutdown();
@@ -1423,7 +1758,8 @@ mod tests {
         // the epoch change carried by `after` must close the window instead.
         let service = PathService::builder()
             .policy(BatchPolicy::by_size(64, Duration::from_secs(30)))
-            .start(graph);
+            .start(graph)
+            .unwrap();
         let before = service.submit(q);
         let update = service.update(vec![
             GraphUpdate::insert(0u32, 2u32),
@@ -1454,7 +1790,8 @@ mod tests {
         let service = PathService::builder()
             .workers(4)
             .policy(BatchPolicy::immediate())
-            .start(graph);
+            .start(graph)
+            .unwrap();
         // Warm all workers on the old graph, then update, then hammer again: whichever
         // worker picks a post-update query must advance its engine to the new epoch.
         for handle in service.submit_all(std::iter::repeat_n(q, 8)) {
@@ -1480,7 +1817,8 @@ mod tests {
         let q = PathQuery::new(0u32, 15u32, 6);
         let service = PathService::builder()
             .policy(BatchPolicy::immediate())
-            .start(graph.clone());
+            .start(graph.clone())
+            .unwrap();
         let expected_before = offline_counts(&graph, &[q])[0];
         assert_eq!(service.submit(q).wait().paths.len() as u64, expected_before);
 
@@ -1499,7 +1837,8 @@ mod tests {
         let graph = DiGraph::from_edge_list(2, &[(0, 1)]).unwrap();
         let service = PathService::builder()
             .policy(BatchPolicy::immediate())
-            .start(graph);
+            .start(graph)
+            .unwrap();
         service.update(vec![GraphUpdate::insert(1u32, 2u32)]).wait();
         // Vertex 2 did not exist at start; after the update it is addressable.
         let result = service.submit(PathQuery::new(0u32, 2u32, 2)).wait();
@@ -1527,7 +1866,8 @@ mod tests {
         let graph = complete(4);
         let service = PathService::builder()
             .policy(BatchPolicy::by_size(64, Duration::from_millis(500)))
-            .start(graph);
+            .start(graph)
+            .unwrap();
         let query = service.submit(PathQuery::new(0u32, 3u32, 2));
         let update = service.update(vec![GraphUpdate::delete(0u32, 3u32)]);
         // Publication is synchronous: the handle is ready before shutdown.
@@ -1564,7 +1904,8 @@ mod tests {
                 specs.len(),
                 Duration::from_millis(500),
             ))
-            .start(graph);
+            .start(graph)
+            .unwrap();
         let handles = service.submit_specs(specs.clone());
         for ((handle, spec), expected) in handles.into_iter().zip(&specs).zip(&expected.responses) {
             let result = handle.wait();
@@ -1633,7 +1974,8 @@ mod tests {
         let expected_before = offline_counts(&graph, &[q])[0];
         let service = PathService::builder()
             .policy(BatchPolicy::by_size(64, Duration::from_secs(30)))
-            .start(graph.clone());
+            .start(graph.clone())
+            .unwrap();
 
         let pinned = service.submit(q);
         let update = service.update(vec![GraphUpdate::delete(0u32, 1u32)]);
@@ -1678,7 +2020,8 @@ mod tests {
         let q = PathQuery::new(0u32, 3u32, 3);
         let service = PathService::builder()
             .policy(BatchPolicy::by_size(64, Duration::from_secs(30)))
-            .start(graph);
+            .start(graph)
+            .unwrap();
         let before = service.submit(q);
         let u1 = service.update(vec![GraphUpdate::insert(0u32, 2u32)]);
         let u2 = service.update(vec![GraphUpdate::insert(2u32, 3u32)]);
@@ -1770,7 +2113,8 @@ mod tests {
     fn wait_result_works_on_a_live_service() {
         let service = PathService::builder()
             .policy(BatchPolicy::immediate())
-            .start(complete(4));
+            .start(complete(4))
+            .unwrap();
         let result = service
             .submit(PathQuery::new(0u32, 3u32, 2))
             .wait_result()
@@ -1816,18 +2160,166 @@ mod tests {
     }
 
     #[test]
-    fn update_after_a_poisoned_admission_lock_is_abandoned() {
+    fn invalid_submission_no_longer_poisons_the_service() {
         let service = PathService::start(complete(4));
-        // Poison the admission lock: endpoint validation panics while holding it.
-        let poisoned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        // The panicking wrapper validates via the fallible path and panics only after
+        // the admission lock is released, so one caller's bad query cannot take the
+        // whole service down with a poisoned lock.
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             service.submit(PathQuery::new(99u32, 1u32, 3))
         }));
-        assert!(poisoned.is_err());
-        // Updates can no longer publish consistently; the handle reports it instead of
-        // propagating the submitter's panic into this caller.
-        let handle = service.update(vec![GraphUpdate::insert(0u32, 1u32)]);
-        assert!(handle.is_ready());
-        assert_eq!(handle.wait_result(), Err(Abandoned));
+        assert!(panicked.is_err());
+        // Both updates and queries keep flowing afterwards.
+        let summary = service.update(vec![GraphUpdate::insert(0u32, 1u32)]).wait();
+        assert_eq!(summary.ignored, 1, "the edge already exists");
+        let result = service.submit(PathQuery::new(0u32, 3u32, 2)).wait();
+        assert!(!result.paths.is_empty());
+        service.shutdown();
+    }
+
+    #[test]
+    fn try_submit_reports_invalid_endpoints_instead_of_panicking() {
+        let service = PathService::start(complete(4));
+        let err = service
+            .try_submit(PathQuery::new(99u32, 1u32, 3))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            AdmissionError::InvalidEndpoint {
+                query: PathQuery::new(99u32, 1u32, 3),
+                num_vertices: 4,
+            }
+        );
+        assert!(err.to_string().contains("endpoints out of range"));
+        // A valid query right after still serves.
+        let handle = service.try_submit(PathQuery::new(0u32, 3u32, 2)).unwrap();
+        assert!(!handle.wait().paths.is_empty());
+        service.shutdown();
+    }
+
+    #[test]
+    fn try_submit_spec_validates_against_the_grown_vertex_space() {
+        let service = PathService::start(DiGraph::from_edge_list(2, &[(0, 1)]).unwrap());
+        assert!(matches!(
+            service.try_submit_spec(QuerySpec::exists(PathQuery::new(0u32, 4u32, 3))),
+            Err(AdmissionError::InvalidEndpoint {
+                num_vertices: 2,
+                ..
+            })
+        ));
+        // An insert growing the vertex space makes the same spec admissible.
+        service
+            .try_update(vec![GraphUpdate::insert(1u32, 4u32)])
+            .unwrap()
+            .wait();
+        let handle = service
+            .try_submit_spec(QuerySpec::exists(PathQuery::new(0u32, 4u32, 3)))
+            .unwrap();
+        assert_eq!(handle.wait().response, QueryResponse::Exists(true));
+        service.shutdown();
+    }
+
+    #[test]
+    fn try_update_succeeds_and_reports_the_summary() {
+        let service = PathService::start(complete(4));
+        let handle = service
+            .try_update(vec![GraphUpdate::delete(0u32, 3u32)])
+            .unwrap();
+        assert_eq!(handle.wait().applied, 1);
+        // An empty batch is trivially acknowledged without publishing anything.
+        let handle = service.try_update(Vec::new()).unwrap();
+        assert_eq!(handle.wait().applied, 0);
+        assert_eq!(service.epoch_id(), 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn group_commit_counts_fsyncs_and_acknowledges_durably() {
+        use hcsp_storage::FailpointFs;
+        let fs = FailpointFs::new();
+        let service = PathService::builder()
+            .policy(BatchPolicy::immediate())
+            .durability(durable(fs.as_vfs()))
+            .start(complete(4))
+            .unwrap();
+        // Sequential updates cannot share a window: one group fsync each.
+        service.update(vec![GraphUpdate::delete(0u32, 3u32)]).wait();
+        service.update(vec![GraphUpdate::insert(0u32, 3u32)]).wait();
+        let stats = service.stats();
+        assert_eq!(stats.update_batches, 2);
+        assert_eq!(stats.group_commit_batches, 2);
+        service.shutdown();
+    }
+
+    #[test]
+    fn concurrent_updates_share_group_fsyncs() {
+        use hcsp_storage::FailpointFs;
+        let fs = FailpointFs::new();
+        let service = Arc::new(
+            PathService::builder()
+                .policy(BatchPolicy::immediate())
+                .durability(durable(fs.as_vfs()))
+                .start(complete(4))
+                .unwrap(),
+        );
+        let threads = 8;
+        let per_thread = 16;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let service = Arc::clone(&service);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        let (u, v) = ((t % 4) as u32, ((t + i + 1) % 4) as u32);
+                        let update = if i % 2 == 0 {
+                            GraphUpdate::delete(u, v)
+                        } else {
+                            GraphUpdate::insert(u, v)
+                        };
+                        service.try_update(vec![update]).unwrap().wait();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = service.stats();
+        assert_eq!(stats.update_batches, threads * per_thread);
+        // Every acknowledged batch was covered by some group fsync, and sharing can
+        // never *exceed* one fsync per batch.
+        assert!(stats.group_commit_batches >= 1);
+        assert!(stats.group_commit_batches <= (threads * per_thread) as u64);
+    }
+
+    #[test]
+    fn non_always_policies_do_not_group_commit() {
+        use hcsp_storage::FailpointFs;
+        let fs = FailpointFs::new();
+        let service = PathService::builder()
+            .policy(BatchPolicy::immediate())
+            .durability(durable(fs.as_vfs()).fsync(FsyncPolicy::EveryN(4)))
+            .start(complete(4))
+            .unwrap();
+        service.update(vec![GraphUpdate::delete(0u32, 3u32)]).wait();
+        assert_eq!(service.stats().group_commit_batches, 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn deprecated_start_entry_points_still_work() {
+        #![allow(deprecated)]
+        use hcsp_storage::FailpointFs;
+        let fs = FailpointFs::new();
+        let service = PathService::builder()
+            .policy(BatchPolicy::immediate())
+            .start_durable_vfs(complete(4), fs.as_vfs())
+            .unwrap();
+        assert!(service.is_durable());
+        service.update(vec![GraphUpdate::delete(0u32, 3u32)]).wait();
+        service.shutdown();
+        let reopened = PathService::builder().open_vfs(fs.as_vfs()).unwrap();
+        assert_eq!(reopened.recovery().unwrap().replayed_batches, 1);
+        reopened.shutdown();
     }
 
     #[test]
@@ -1860,7 +2352,8 @@ mod tests {
         let service = PathService::builder()
             .index_root_cap(2)
             .policy(BatchPolicy::immediate())
-            .start(graph);
+            .start(graph)
+            .unwrap();
         let handles = service.submit_all(queries.clone());
         let counts: Vec<u64> = handles
             .into_iter()
@@ -1870,17 +2363,14 @@ mod tests {
         service.shutdown();
     }
 
-    fn no_compaction() -> DurabilityOptions {
-        DurabilityOptions {
-            compact_tail_bytes: u64::MAX,
-            ..DurabilityOptions::default()
-        }
+    fn durable(vfs: Arc<dyn hcsp_storage::Vfs>) -> DurabilityOptions {
+        DurabilityOptions::vfs(vfs).compact_tail_bytes(u64::MAX)
     }
 
     fn reopen(vfs: Arc<dyn hcsp_storage::Vfs>) -> PathService {
         PathService::builder()
             .policy(BatchPolicy::immediate())
-            .durability(no_compaction())
+            .durability(DurabilityOptions::default().compact_tail_bytes(u64::MAX))
             .open_vfs(vfs)
             .unwrap()
     }
@@ -1894,8 +2384,8 @@ mod tests {
 
         let service = PathService::builder()
             .policy(BatchPolicy::immediate())
-            .durability(no_compaction())
-            .start_durable_vfs(graph, fs.as_vfs())
+            .durability(durable(fs.as_vfs()))
+            .start(graph)
             .unwrap();
         assert!(service.is_durable());
         assert!(
@@ -1918,9 +2408,11 @@ mod tests {
         assert_eq!(service.submit(q).wait().paths, expected);
         service.shutdown();
 
-        // A second start_durable on the same directory must refuse, not wipe it.
+        // A second durable start on the same directory must refuse, not wipe it.
         assert!(matches!(
-            PathService::builder().start_durable_vfs(grid(4, 4), fs.as_vfs()),
+            PathService::builder()
+                .durability(DurabilityOptions::vfs(fs.as_vfs()))
+                .start(grid(4, 4)),
             Err(StorageError::AlreadyExists)
         ));
     }
@@ -1932,11 +2424,8 @@ mod tests {
         let q = PathQuery::new(0u32, 3u32, 3);
         let service = PathService::builder()
             .policy(BatchPolicy::immediate())
-            .durability(no_compaction())
-            .start_durable_vfs(
-                DiGraph::from_edge_list(4, &[(0, 1), (1, 3)]).unwrap(),
-                fs.as_vfs(),
-            )
+            .durability(durable(fs.as_vfs()))
+            .start(DiGraph::from_edge_list(4, &[(0, 1), (1, 3)]).unwrap())
             .unwrap();
         service.update(vec![GraphUpdate::insert(0u32, 2u32)]).wait();
         service.update(vec![GraphUpdate::insert(2u32, 3u32)]).wait();
@@ -1967,12 +2456,12 @@ mod tests {
         let fs = FailpointFs::new();
         let service = PathService::builder()
             .policy(BatchPolicy::immediate())
-            .durability(DurabilityOptions {
-                compact_tail_bytes: 1,
-                compact_check_interval: Duration::from_millis(2),
-                ..DurabilityOptions::default()
-            })
-            .start_durable_vfs(complete(4), fs.as_vfs())
+            .durability(
+                DurabilityOptions::vfs(fs.as_vfs())
+                    .compact_tail_bytes(1)
+                    .compact_check_interval(Duration::from_millis(2)),
+            )
+            .start(complete(4))
             .unwrap();
         service.update(vec![GraphUpdate::delete(0u32, 3u32)]).wait();
         let deadline = Instant::now() + Duration::from_secs(10);
@@ -2002,11 +2491,8 @@ mod tests {
         let fs = FailpointFs::new();
         let service = PathService::builder()
             .policy(BatchPolicy::immediate())
-            .durability(no_compaction())
-            .start_durable_vfs(
-                DiGraph::from_edge_list(4, &[(0, 1), (1, 3)]).unwrap(),
-                fs.as_vfs(),
-            )
+            .durability(durable(fs.as_vfs()))
+            .start(DiGraph::from_edge_list(4, &[(0, 1), (1, 3)]).unwrap())
             .unwrap();
         service.update(vec![GraphUpdate::insert(0u32, 2u32)]).wait();
 
@@ -2044,11 +2530,8 @@ mod tests {
         let fs = FailpointFs::new();
         let service = PathService::builder()
             .policy(BatchPolicy::immediate())
-            .durability(no_compaction())
-            .start_durable_vfs(
-                DiGraph::from_edge_list(4, &[(0, 1), (1, 3)]).unwrap(),
-                fs.as_vfs(),
-            )
+            .durability(durable(fs.as_vfs()))
+            .start(DiGraph::from_edge_list(4, &[(0, 1), (1, 3)]).unwrap())
             .unwrap();
         service.update(vec![GraphUpdate::insert(0u32, 2u32)]).wait();
 
@@ -2088,7 +2571,8 @@ mod tests {
         let graph = complete(4);
         let service = PathService::builder()
             .policy(BatchPolicy::by_size(2, Duration::from_millis(40)))
-            .start(graph);
+            .start(graph)
+            .unwrap();
         let a = service.submit(PathQuery::new(0u32, 3u32, 2));
         let ra = a.wait();
         // The lone query waited out (most of) the 40 ms window.

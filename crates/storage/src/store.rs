@@ -394,6 +394,24 @@ impl UpdateStore {
     /// [`StorageError::Poisoned`] until the store is reopened — otherwise a later
     /// acknowledged batch would land after the garbage and be dropped at recovery.
     pub fn append(&mut self, updates: &[GraphUpdate]) -> Result<u64, StorageError> {
+        let seq = self.append_unsynced(updates)?;
+        let sync_now = match self.fsync {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::EveryN(n) => self.appends_since_sync >= n.max(1),
+            FsyncPolicy::Never => false,
+        };
+        if sync_now {
+            self.sync()?;
+        }
+        Ok(seq)
+    }
+
+    /// Appends one update batch to the log *without* consulting the fsync policy: the
+    /// frame reaches the file, not stable storage. The caller owns making it durable
+    /// via [`UpdateStore::sync`] before acknowledging the batch — the group-commit path
+    /// of the service layer uses this to share one fsync across co-arriving batches.
+    /// Poisoning on failure works exactly like [`UpdateStore::append`].
+    pub fn append_unsynced(&mut self, updates: &[GraphUpdate]) -> Result<u64, StorageError> {
         self.check_poisoned()?;
         let seq = self.next_batch_seq;
         let frame = encode_frame(seq, updates);
@@ -405,14 +423,6 @@ impl UpdateStore {
         self.next_batch_seq += 1;
         self.tail_bytes += frame.len() as u64;
         self.appends_since_sync += 1;
-        let sync_now = match self.fsync {
-            FsyncPolicy::Always => true,
-            FsyncPolicy::EveryN(n) => self.appends_since_sync >= n.max(1),
-            FsyncPolicy::Never => false,
-        };
-        if sync_now {
-            self.sync()?;
-        }
         Ok(seq)
     }
 

@@ -42,16 +42,24 @@ impl ArrivalProcess {
     /// Assigns an arrival offset to every query, in order. Offsets are non-decreasing and
     /// start at zero; for a fixed process and seed the schedule is fully deterministic.
     pub fn schedule(&self, queries: &[PathQuery], seed: u64) -> Vec<(Duration, PathQuery)> {
+        self.offsets(queries.len(), seed)
+            .into_iter()
+            .zip(queries.iter().copied())
+            .collect()
+    }
+
+    /// The bare arrival offsets for `count` items — the same deterministic schedule as
+    /// [`ArrivalProcess::schedule`] without tying it to [`PathQuery`] values, so callers
+    /// can pace anything (the network front-end paces query-language statements with it).
+    pub fn offsets(&self, count: usize, seed: u64) -> Vec<Duration> {
         let mut rng = StdRng::seed_from_u64(seed ^ 0xA881_7A1E);
         let mut offset = Duration::ZERO;
-        queries
-            .iter()
-            .enumerate()
-            .map(|(i, &query)| {
+        (0..count)
+            .map(|i| {
                 if i > 0 {
                     offset += self.next_gap(i, &mut rng);
                 }
-                (offset, query)
+                offset
             })
             .collect()
     }
@@ -164,6 +172,14 @@ mod tests {
                 Duration::from_millis(2)
             ]
         );
+    }
+
+    #[test]
+    fn offsets_match_the_schedule() {
+        let q = queries(32);
+        let p = ArrivalProcess::Poisson { rate_qps: 2000.0 };
+        assert_eq!(p.offsets(q.len(), 9), offsets(&p.schedule(&q, 9)));
+        assert!(p.offsets(0, 9).is_empty());
     }
 
     #[test]

@@ -28,7 +28,8 @@ fn main() {
     let probe = PathQuery::new(0u32, 7u32, 4);
 
     let service = PathService::builder()
-        .start_durable(graph.clone(), &dir)
+        .durability(DurabilityOptions::directory(&dir))
+        .start(graph.clone())
         .expect("create durable service");
     let before = service.submit(probe).wait().paths.len();
 

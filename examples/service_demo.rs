@@ -30,7 +30,10 @@ fn main() {
             BatchPolicy::by_size(16, Duration::from_millis(5)),
         ),
     ] {
-        let service = PathService::builder().policy(policy).start(graph.clone());
+        let service = PathService::builder()
+            .policy(policy)
+            .start(graph.clone())
+            .unwrap();
         let handles = service.replay(schedule.iter().cloned());
         let total_paths: usize = handles.into_iter().map(|h| h.wait().paths.len()).sum();
         let uptime = service.uptime();

@@ -199,7 +199,8 @@ fn route_swap_updates_never_tear_under_concurrent_readers() {
     let service = hcsp::service::PathService::builder()
         .workers(2)
         .policy(BatchPolicy::by_size(4, Duration::from_millis(1)))
-        .start(graph);
+        .start(graph)
+        .unwrap();
 
     let results: Vec<QueryResult> = std::thread::scope(|scope| {
         let service = &service;

@@ -74,16 +74,28 @@ fn durable_builder(fsync: FsyncPolicy, algorithm: Algorithm) -> PathServiceBuild
         .engine(BatchEngine::with_algorithm(algorithm))
         .workers(1)
         .policy(BatchPolicy::immediate())
-        .durability(DurabilityOptions {
-            fsync,
-            compact_tail_bytes: u64::MAX,
-            compact_check_interval: Duration::from_millis(5),
-        })
+        .durability(durable_options(fsync))
+}
+
+/// The matrix's durability options minus a backend (`open_vfs` supplies the image).
+fn durable_options(fsync: FsyncPolicy) -> DurabilityOptions {
+    DurabilityOptions::default()
+        .fsync(fsync)
+        .compact_tail_bytes(u64::MAX)
+        .compact_check_interval(Duration::from_millis(5))
+}
+
+/// The same options bound to a live [`FailpointFs`], for creating a fresh store on it.
+fn durable_vfs_options(fsync: FsyncPolicy, fs: &FailpointFs) -> DurabilityOptions {
+    DurabilityOptions::vfs(fs.as_vfs())
+        .fsync(fsync)
+        .compact_tail_bytes(u64::MAX)
+        .compact_check_interval(Duration::from_millis(5))
 }
 
 /// What the driver observed before the filesystem (possibly) died.
 struct DriveLog {
-    /// Whether `start_durable_vfs` (the store `create`) succeeded.
+    /// Whether the durable `start` (the store `create`) succeeded.
     create_ok: bool,
     /// Batches whose `UpdateHandle` resolved `Ok` — the acknowledged prefix.
     acked: usize,
@@ -95,17 +107,19 @@ struct DriveLog {
 /// (the armed kill). Every batch is awaited before the next is submitted, so the
 /// acked prefix is exact and the op stream is deterministic.
 fn drive(fs: &FailpointFs, fsync: FsyncPolicy, algorithm: Algorithm, sc: &Scenario) -> DriveLog {
-    let service =
-        match durable_builder(fsync, algorithm).start_durable_vfs(sc.graph.clone(), fs.as_vfs()) {
-            Ok(service) => service,
-            Err(_) => {
-                return DriveLog {
-                    create_ok: false,
-                    acked: 0,
-                    checkpointed: 0,
-                }
+    let service = match durable_builder(fsync, algorithm)
+        .durability(durable_vfs_options(fsync, fs))
+        .start(sc.graph.clone())
+    {
+        Ok(service) => service,
+        Err(_) => {
+            return DriveLog {
+                create_ok: false,
+                acked: 0,
+                checkpointed: 0,
             }
-        };
+        }
+    };
     let mut log = DriveLog {
         create_ok: true,
         acked: 0,
@@ -224,7 +238,8 @@ fn verify_recovery(
         .engine(BatchEngine::with_algorithm(algorithm))
         .workers(1)
         .policy(BatchPolicy::immediate())
-        .start(expected);
+        .start(expected)
+        .unwrap();
     for query in &sc.workload.queries {
         let got = recovered.submit(*query).wait().paths;
         let want = twin.submit(*query).wait().paths;
@@ -367,7 +382,8 @@ fn all_five_algorithms_agree_after_recovery() {
         // the crash, checkpointing at the same positions, fed exactly `r` batches.
         let twin_fs = FailpointFs::new();
         let twin = durable_builder(fsync, algorithm)
-            .start_durable_vfs(sc.graph.clone(), twin_fs.as_vfs())
+            .durability(durable_vfs_options(fsync, &twin_fs))
+            .start(sc.graph.clone())
             .expect("twin create");
         for (i, batch) in sc.workload.batches[..r].iter().enumerate() {
             twin.update(batch.clone()).wait();
@@ -397,12 +413,13 @@ fn crash_with_background_compaction_active_recovers_every_acked_batch() {
     let service = PathService::builder()
         .workers(1)
         .policy(BatchPolicy::immediate())
-        .durability(DurabilityOptions {
-            fsync: FsyncPolicy::Always,
-            compact_tail_bytes: 1,
-            compact_check_interval: Duration::from_millis(1),
-        })
-        .start_durable_vfs(sc.graph.clone(), fs.as_vfs())
+        .durability(
+            DurabilityOptions::vfs(fs.as_vfs())
+                .fsync(FsyncPolicy::Always)
+                .compact_tail_bytes(1)
+                .compact_check_interval(Duration::from_millis(1)),
+        )
+        .start(sc.graph.clone())
         .expect("create");
     for batch in &sc.workload.batches {
         service.update(batch.clone()).wait();
@@ -434,7 +451,8 @@ fn crash_with_background_compaction_active_recovers_every_acked_batch() {
     let twin = PathService::builder()
         .workers(1)
         .policy(BatchPolicy::immediate())
-        .start(expected);
+        .start(expected)
+        .unwrap();
     for query in &sc.workload.queries {
         let got = recovered.submit(*query).wait().paths;
         let want = twin.submit(*query).wait().paths;

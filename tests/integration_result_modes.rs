@@ -227,7 +227,8 @@ fn mixed_mode_batches_are_lossless_through_the_service() {
         let service = PathService::builder()
             .policy(policy)
             .workers(workers)
-            .start(graph.clone());
+            .start(graph.clone())
+            .unwrap();
         let handles = service.submit_specs(specs.clone());
         for ((handle, spec), full) in handles.into_iter().zip(&specs).zip(&reference.paths) {
             let result = handle.wait();

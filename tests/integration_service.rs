@@ -53,7 +53,10 @@ fn service_is_lossless_under_every_batching_policy() {
         ),
     ];
     for (name, policy) in policies {
-        let service = PathService::builder().policy(policy).start(graph.clone());
+        let service = PathService::builder()
+            .policy(policy)
+            .start(graph.clone())
+            .unwrap();
         let handles = service.submit_all(queries.iter().copied());
         for (i, handle) in handles.into_iter().enumerate() {
             let result = handle.wait();
@@ -81,7 +84,8 @@ fn zero_deadline_degenerates_to_per_query_execution() {
 
     let service = PathService::builder()
         .policy(BatchPolicy::new(64, Duration::ZERO))
-        .start(graph);
+        .start(graph)
+        .unwrap();
     let handles = service.submit_all(queries.iter().copied());
     for (i, handle) in handles.into_iter().enumerate() {
         let result = handle.wait();
@@ -109,7 +113,8 @@ fn replayed_poisson_stream_is_lossless_with_multiple_workers() {
     let service = PathService::builder()
         .workers(2)
         .policy(BatchPolicy::by_size(6, Duration::from_millis(5)))
-        .start(graph);
+        .start(graph)
+        .unwrap();
     let handles = service.replay(schedule);
     for (i, handle) in handles.into_iter().enumerate() {
         assert_eq!(canonical(&handle.wait().paths), reference[i]);
@@ -126,7 +131,8 @@ fn service_stats_expose_micro_batch_counters() {
             queries.len(),
             Duration::from_millis(200),
         ))
-        .start(graph);
+        .start(graph)
+        .unwrap();
     let handles = service.submit_all(queries.iter().copied());
     for handle in handles {
         handle.wait();

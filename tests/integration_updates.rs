@@ -102,7 +102,8 @@ fn service_stream_is_lossless(workers: usize, exec_threads: usize) {
     let service = PathService::builder()
         .workers(workers)
         .policy(BatchPolicy::by_size(4, Duration::from_millis(5)).with_exec_threads(exec_threads))
-        .start(graph.clone());
+        .start(graph.clone())
+        .unwrap();
 
     // Submit the whole stream in admission order, recording each query's expected
     // answer from an offline engine over the snapshot it was admitted under.

@@ -1,0 +1,211 @@
+//! Property-based tests of the network front-end (proptest): the query language's
+//! parse ↔ display round-trip, and the wire framing's damage behaviour, mirroring the
+//! WAL framing properties of `prop_wal.rs`.
+//!
+//! The framing invariant: for **any** response sequence and **any** damage to the
+//! encoded byte stream — truncation at an arbitrary offset, a single flipped bit — the
+//! frame reader either reports an error or returns an *exact prefix* of the original
+//! frames. It never invents or alters a frame, and it never resumes past damage: like
+//! the WAL, the stream has no resynchronisation points, which is why the server closes
+//! a connection after the first damaged frame.
+
+use hcsp::server::{parse, read_frame_opt, write_frame, Response, Statement, MAX_FRAME_LEN};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Query language: parse(display(ast)) == ast, for every valid statement.
+// ---------------------------------------------------------------------------
+
+fn statement_strategy() -> impl Strategy<Value = String> {
+    // One flat tuple covers both statement families: tags 0..=2 are the query verbs,
+    // 3..=4 the update ops.
+    (
+        0u8..=4,
+        0u32..=u32::MAX,
+        0u32..=u32::MAX,
+        0u32..64,
+        0u64..10_000,
+    )
+        .prop_map(|(tag, s, t, k, limit)| match tag {
+            // EXISTS takes no LIMIT; elsewhere LIMIT 0 is a parse error.
+            0 if limit > 0 => format!("PATHS FROM {s} TO {t} WITHIN {k} LIMIT {limit}"),
+            0 => format!("PATHS FROM {s} TO {t} WITHIN {k}"),
+            1 => format!("EXISTS FROM {s} TO {t} WITHIN {k}"),
+            2 if limit > 0 => format!("COUNT FROM {s} TO {t} WITHIN {k} LIMIT {limit}"),
+            2 => format!("COUNT FROM {s} TO {t} WITHIN {k}"),
+            3 => format!("INSERT EDGE {s} {t}"),
+            _ => format!("DELETE EDGE {s} {t}"),
+        })
+}
+
+/// Re-spells a canonical statement with random case and random extra whitespace,
+/// which must parse to the same AST.
+fn mangle(canonical: &str, case_seed: u64, pad_seed: u64) -> String {
+    let mut out = String::new();
+    for (i, word) in canonical.split(' ').enumerate() {
+        for _ in 0..(pad_seed >> (i % 16) & 0x3) {
+            out.push(' ');
+        }
+        if i > 0 {
+            out.push(' ');
+        }
+        for (j, c) in word.chars().enumerate() {
+            if case_seed >> ((i + j) % 32) & 1 == 1 {
+                out.extend(c.to_lowercase());
+            } else {
+                out.push(c);
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Wire framing: encode a stream of response frames, damage it, read it back.
+// ---------------------------------------------------------------------------
+
+fn response_strategy() -> impl Strategy<Value = Response> {
+    // One flat tuple per frame: a variant tag, an id, two u64 payload words and a
+    // path set (only used by the variant that needs each piece).
+    (
+        0u8..=4,
+        0u64..=u64::MAX,
+        0u64..=u64::MAX,
+        0u64..=u64::MAX,
+        proptest::collection::vec(proptest::collection::vec(0u32..=u32::MAX, 1..=6), 0..=4),
+    )
+        .prop_map(|(tag, id, a, b, paths)| match tag {
+            0 => Response::Exists {
+                id,
+                exists: a & 1 == 1,
+            },
+            1 => Response::Count { id, count: a },
+            2 => Response::PathChunk { id, paths },
+            3 => Response::PathsDone { id, total: a },
+            _ => Response::UpdateDone {
+                id,
+                applied: a,
+                ignored: b,
+            },
+        })
+}
+
+fn frames_strategy() -> impl Strategy<Value = Vec<Response>> {
+    proptest::collection::vec(response_strategy(), 1..=10)
+}
+
+/// Encodes a whole frame stream and returns the byte offsets of each frame boundary
+/// (`boundaries[i]` = end of frame `i`; starts with offset 0).
+fn encode_stream(frames: &[Response]) -> (Vec<u8>, Vec<usize>) {
+    let mut bytes = Vec::new();
+    let mut boundaries = vec![0];
+    for frame in frames {
+        write_frame(&mut bytes, &frame.encode()).expect("writing to a Vec cannot fail");
+        boundaries.push(bytes.len());
+    }
+    (bytes, boundaries)
+}
+
+/// Reads frames until an error or EOF; returns the decoded prefix and whether the
+/// stream ended cleanly (EOF at a frame boundary) or in an error.
+fn read_stream(bytes: &[u8]) -> (Vec<Response>, bool) {
+    let mut cursor = bytes;
+    let mut decoded = Vec::new();
+    loop {
+        match read_frame_opt(&mut cursor, MAX_FRAME_LEN) {
+            Ok(Some(payload)) => match Response::decode(&payload) {
+                Ok(frame) => decoded.push(frame),
+                Err(_) => return (decoded, false),
+            },
+            Ok(None) => return (decoded, true),
+            Err(_) => return (decoded, false),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, .. ProptestConfig::default() })]
+
+    /// Every valid statement round-trips: parse → display → parse is the identity, and
+    /// the displayed form is the canonical fixed point.
+    #[test]
+    fn statements_round_trip_through_display(text in statement_strategy()) {
+        let ast = parse(&text).expect("generated statements are valid");
+        let canonical = ast.to_string();
+        let reparsed = parse(&canonical).expect("canonical form parses");
+        prop_assert_eq!(&reparsed, &ast);
+        prop_assert_eq!(reparsed.to_string(), canonical);
+    }
+
+    /// Keyword case and extra whitespace are immaterial: any re-spelling of a valid
+    /// statement parses to the same AST.
+    #[test]
+    fn case_and_whitespace_do_not_change_the_ast(
+        text in statement_strategy(),
+        case_seed in 0u64..=u64::MAX,
+        pad_seed in 0u64..=u64::MAX,
+    ) {
+        let ast = parse(&text).expect("generated statements are valid");
+        let mangled = mangle(&ast.to_string(), case_seed, pad_seed);
+        prop_assert_eq!(parse(&mangled).expect("mangled spelling still parses"), ast);
+    }
+
+    /// The parser never panics, whatever bytes arrive — it answers `Ok` or `Err`.
+    #[test]
+    fn arbitrary_input_never_panics_the_parser(
+        bytes in proptest::collection::vec(0u8..=255, 0..=64),
+    ) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _: Result<Statement, _> = parse(&text);
+    }
+
+    /// An undamaged stream round-trips exactly: every frame, in order, clean EOF.
+    #[test]
+    fn undamaged_streams_round_trip_exactly(frames in frames_strategy()) {
+        let (bytes, _) = encode_stream(&frames);
+        let (decoded, clean) = read_stream(&bytes);
+        prop_assert!(clean, "an undamaged stream ends cleanly");
+        prop_assert_eq!(decoded, frames);
+    }
+
+    /// Truncation at *any* offset yields exactly the frames that fit whole, and ends
+    /// cleanly iff the cut lands on a frame boundary.
+    #[test]
+    fn any_truncation_yields_the_exact_frame_prefix(
+        frames in frames_strategy(),
+        cut_pick in 0.0f64..1.0,
+    ) {
+        let (bytes, boundaries) = encode_stream(&frames);
+        let cut = (cut_pick * bytes.len() as f64) as usize;
+        let (decoded, clean) = read_stream(&bytes[..cut]);
+        let intact = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+        prop_assert_eq!(decoded.len(), intact);
+        prop_assert_eq!(&decoded[..], &frames[..intact]);
+        prop_assert_eq!(clean, cut == boundaries[intact], "cut at {}", cut);
+    }
+
+    /// Flipping a single bit anywhere never misparses: the reader returns an exact
+    /// prefix that stops before the damaged frame (CRC32 detects every single-bit
+    /// payload error; length-prefix damage surfaces as a too-large, truncated or
+    /// CRC-failed read).
+    #[test]
+    fn a_single_bit_flip_never_misparses(
+        frames in frames_strategy(),
+        bit_pick in 0.0f64..1.0,
+    ) {
+        let (bytes, boundaries) = encode_stream(&frames);
+        let bit = (bit_pick * (bytes.len() * 8) as f64) as usize;
+        let mut damaged = bytes.clone();
+        damaged[bit / 8] ^= 1 << (bit % 8);
+        let (decoded, clean) = read_stream(&damaged);
+        // The flip lands in exactly one frame; everything before it is an exact
+        // prefix, and the stream must NOT read to a clean end-of-stream.
+        let hit = boundaries.iter().filter(|&&b| b <= bit / 8).count() - 1;
+        prop_assert!(decoded.len() <= hit + 1);
+        prop_assert_eq!(&decoded[..], &frames[..decoded.len()]);
+        prop_assert!(
+            !clean || decoded.len() < frames.len(),
+            "damage must never round-trip as a full clean stream"
+        );
+    }
+}
