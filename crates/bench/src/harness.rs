@@ -12,8 +12,8 @@ use hcsp_core::materialize::materialize_batch;
 use hcsp_core::query::BatchSummary;
 use hcsp_core::similarity::{QueryNeighborhood, SimilarityMatrix};
 use hcsp_core::{
-    Algorithm, BatchEngine, CountSink, Engine, EnumStats, Parallelism, PathQuery, QuerySpec,
-    ResultMode, SearchOrder, ServiceStats, Stage,
+    Algorithm, BatchEngine, CountSink, Engine, EnumStats, ExpansionMode, Parallelism, PathQuery,
+    QuerySpec, ResultMode, SearchOrder, ServiceStats, SplitPolicy, Stage,
 };
 use hcsp_graph::sampling::sample_vertices;
 use hcsp_graph::DiGraph;
@@ -450,6 +450,8 @@ pub fn parallel_scaling(
             "speedup",
             "sharing_ratio",
             "paths",
+            "clusters",
+            "shards",
         ],
     );
     for &dataset in &config.datasets {
@@ -458,24 +460,20 @@ pub fn parallel_scaling(
             let spec = hcsp_workload::QuerySetSpec::new(batch, config.seed)
                 .with_hops(config.k_min, config.k_max);
             // A mildly similar set: sharing exists inside clusters, but the batch still
-            // splits into many clusters — the parallel units the shards are built from.
-            // (Higher similarity collapses the batch into one cluster, which measures
-            // sequential sharing, not scaling.)
+            // splits into several clusters — the parallel units the shards are built
+            // from. When clustering nevertheless collapses a batch below the worker
+            // count (the one-giant-cluster regime), `SplitPolicy::Auto` splits the big
+            // clusters into sub-clusters (sharing kept within a sub-cluster, parallel
+            // slack across them); the `clusters`/`shards` columns record both sides.
             let queries = similar_query_set(&graph, spec, 0.2);
             if queries.is_empty() {
                 continue;
             }
-            // The analog graphs are dense enough that clustering collapses a whole batch
-            // into one or two clusters — maximal sharing, but a single cluster is a
-            // single parallel unit. The scaling runs therefore cap the cluster size at 8
-            // queries (sharing kept within a sub-cluster, parallel slack across them);
-            // see `ParallelBatchEnum::max_cluster_size`.
-            let cluster_cap = Some(8);
             let engine_config = BatchEngine::default();
             let mut engine = Engine::new(graph.clone(), engine_config);
             let (reference_counts, _) = engine.run_counting(&queries);
 
-            let mut measured: Vec<(usize, f64, f64, usize)> = Vec::new();
+            let mut measured: Vec<(usize, f64, f64, usize, usize, usize)> = Vec::new();
             for &threads in thread_counts {
                 let mut seconds = f64::INFINITY;
                 let mut outcome = None;
@@ -483,7 +481,7 @@ pub fn parallel_scaling(
                     // A fresh engine per run: every run pays the full index build, so the
                     // thread counts compare end-to-end work, not cache luck.
                     let mut engine = Engine::new(graph.clone(), engine_config);
-                    engine.set_parallel_cluster_cap(cluster_cap);
+                    engine.set_parallel_split_policy(SplitPolicy::Auto);
                     let start = Instant::now();
                     let run =
                         engine.run_batch_parallel(&queries, Parallelism::Fixed(threads.max(1)));
@@ -498,6 +496,8 @@ pub fn parallel_scaling(
                     seconds,
                     outcome.stats.sharing_ratio(),
                     outcome.total(),
+                    outcome.stats.num_clusters,
+                    outcome.stats.num_shards,
                 ));
             }
 
@@ -510,7 +510,7 @@ pub fn parallel_scaling(
                 .or(measured.first())
                 .map(|&(_, seconds, ..)| seconds)
                 .unwrap_or(1.0);
-            for (threads, seconds, sharing_ratio, total_paths) in measured {
+            for (threads, seconds, sharing_ratio, total_paths, clusters, shards) in measured {
                 let qps = queries.len() as f64 / seconds.max(1e-9);
                 table.push_row(vec![
                     dataset.to_string(),
@@ -521,9 +521,84 @@ pub fn parallel_scaling(
                     format!("{:.3}", base / seconds.max(1e-9)),
                     format!("{sharing_ratio:.3}"),
                     total_paths.to_string(),
+                    clusters.to_string(),
+                    shards.to_string(),
                 ]);
             }
         }
+    }
+    table
+}
+
+/// Frontier vs recursive expansion: end-to-end throughput of the two execution engines
+/// on the identical batch (the data series behind `BENCH_frontier.json`).
+///
+/// Both engines run `BatchEnum+` on the same sharing-heavy query set, best-of-`repeats`;
+/// `qps` is the frontier engine's throughput (the default engine, and the number the
+/// perf gate compares against `bench/baseline_frontier.json`). Honesty checks built in:
+/// the two engines must agree on the result counts *and* on every traversal counter —
+/// the frontier engine is a pure execution-strategy change, so a speedup from different
+/// work would be a correctness bug, not a win.
+pub fn frontier_comparison(config: &BenchConfig, repeats: usize) -> Table {
+    let mut table = Table::new(
+        "Frontier vs recursive expansion: BatchEnum+ throughput per engine",
+        &[
+            "dataset",
+            "queries",
+            "recursive_s",
+            "frontier_s",
+            "qps",
+            "recursive_qps",
+            "speedup",
+            "expanded",
+        ],
+    );
+    for &dataset in &config.datasets {
+        let graph = dataset.build(config.scale);
+        let queries = similar_query_set(&graph, config.query_spec(), 0.5);
+        if queries.is_empty() {
+            continue;
+        }
+        let run = |mode: ExpansionMode| {
+            let engine = BatchEngine::builder()
+                .algorithm(Algorithm::BatchEnumPlus)
+                .gamma(0.5)
+                .expansion_mode(mode)
+                .build();
+            let mut seconds = f64::INFINITY;
+            let mut result = None;
+            for _ in 0..repeats.max(1) {
+                let mut sink = CountSink::new(queries.len());
+                let start = Instant::now();
+                let stats = engine.run_with_sink(&graph, &queries, &mut sink);
+                seconds = seconds.min(start.elapsed().as_secs_f64());
+                result = Some((sink.total(), stats));
+            }
+            let (total, stats) = result.expect("at least one repeat");
+            (seconds, total, stats)
+        };
+        let (recursive_s, recursive_total, recursive_stats) = run(ExpansionMode::Recursive);
+        let (frontier_s, frontier_total, frontier_stats) = run(ExpansionMode::Frontier);
+        assert_eq!(
+            frontier_total, recursive_total,
+            "the engines must agree on result counts"
+        );
+        assert_eq!(
+            frontier_stats.counters, recursive_stats.counters,
+            "the engines must agree on every traversal counter"
+        );
+        let qps = queries.len() as f64 / frontier_s.max(1e-9);
+        let recursive_qps = queries.len() as f64 / recursive_s.max(1e-9);
+        table.push_row(vec![
+            dataset.to_string(),
+            queries.len().to_string(),
+            format!("{recursive_s:.6}"),
+            format!("{frontier_s:.6}"),
+            format!("{qps:.2}"),
+            format!("{recursive_qps:.2}"),
+            format!("{:.3}", recursive_s / frontier_s.max(1e-9)),
+            frontier_stats.counters.expanded_vertices.to_string(),
+        ]);
     }
     table
 }
@@ -1176,9 +1251,39 @@ mod tests {
             assert!(speedup > 0.0);
             let sharing: f64 = row[6].parse().unwrap();
             assert!((0.0..=1.0).contains(&sharing));
+            let clusters: usize = row[8].parse().unwrap();
+            let shards: usize = row[9].parse().unwrap();
+            assert!(clusters >= 1);
+            assert!(shards >= 1);
+            if threads > 1 {
+                // The Auto split policy guarantees parallel slack: even a batch that
+                // clustering collapses into one giant cluster is split into more than
+                // one effective shard.
+                assert!(
+                    shards > 1,
+                    "multi-threaded rows must plan more than one shard: {row:?}"
+                );
+            }
         }
         // The threads=1 rows are the speedup reference.
         assert_eq!(t.rows()[0][5], "1.000");
+    }
+
+    #[test]
+    fn frontier_comparison_reports_matching_engines() {
+        let t = frontier_comparison(&test_config(), 2);
+        assert_eq!(t.len(), 2);
+        for row in t.rows() {
+            let qps: f64 = row[4].parse().unwrap();
+            let recursive_qps: f64 = row[5].parse().unwrap();
+            assert!(qps > 0.0, "frontier throughput must be positive: {row:?}");
+            assert!(recursive_qps > 0.0);
+            let expanded: u64 = row[7].parse().unwrap();
+            assert!(
+                expanded > 0,
+                "the workload must do real search work: {row:?}"
+            );
+        }
     }
 
     #[test]

@@ -16,8 +16,8 @@
 //!   ever append after the current level's range, so no per-level allocation is needed.
 //! * **Half-search path sets** — the forward/backward prefix sets of a query, cleared
 //!   (capacity retained) between queries instead of reallocated.
-//! * **Join scratch** — the sorted join-vertex table and the assembly buffer of the `⊕`
-//!   concatenation (see [`JoinScratch`]).
+//! * **Join scratch** — the bucketed join-vertex table and the assembly buffer of the
+//!   `⊕` concatenation (see [`JoinScratch`]).
 //!
 //! Buffers are deliberately `!Sync`-by-use: every worker thread owns its own
 //! `SearchBuffers`, which is what the cluster-sharded parallel executor
@@ -73,14 +73,43 @@ impl VisitMarks {
 /// Reusable scratch state of the `⊕` join (see [`crate::concat::concatenate_scratch`]).
 ///
 /// The join indexes the backward prefix set by its end (join) vertex. A per-call hash map
-/// would pay an allocation per bucket; the scratch instead keeps one flat, sorted
-/// `(join_vertex, path index)` table and one assembly buffer, both reused across joins.
+/// would pay an allocation per bucket; the scratch instead keeps a CSR-style bucket table
+/// built once per backward set: the sorted distinct end vertices, one contiguous run of
+/// `(path index, hops)` entries per end vertex, and offsets delimiting the runs. A
+/// forward prefix then binary-searches `ends` once and sweeps its run without any
+/// per-candidate comparisons or suffix-length fetches. All buffers are reused across
+/// joins; only capacity growth ever allocates.
 #[derive(Debug, Default, Clone)]
 pub struct JoinScratch {
-    /// `(end vertex, backward path index)` pairs, sorted by end vertex (ties by index).
+    /// Sorted distinct end (join) vertices of the prepared backward set.
+    pub(crate) ends: Vec<VertexId>,
+    /// CSR offsets into `entries`: bucket `b` spans `entries[offsets[b]..offsets[b + 1]]`.
+    pub(crate) offsets: Vec<u32>,
+    /// `(backward path index, backward hops)` entries, bucket by bucket; index-ascending
+    /// within each bucket, which pins the emission order.
+    pub(crate) entries: Vec<(u32, u32)>,
+    /// Sort scratch of [`crate::concat::prepare_suffixes`].
     pub(crate) pairs: Vec<(VertexId, u32)>,
     /// Assembly buffer for one joined path.
     pub(crate) assembled: Vec<VertexId>,
+}
+
+/// One open level of the frontier traversal: a contiguous candidate run
+/// `candidates[start..end]` with `cursor` marking the next candidate to take.
+///
+/// The frontier engine replaces the recursion stack of the DFS with a `Vec<LevelRun>`:
+/// descending pushes a run, exhausting a run pops it. Because deeper runs only ever
+/// append after `end`, truncating the arena back to `start` on pop reclaims the space
+/// with no per-level allocation — the same discipline the recursive engine applies
+/// implicitly through its call stack.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LevelRun {
+    /// First candidate of this level in the arena.
+    pub(crate) start: usize,
+    /// Next candidate to expand (`start..=end`).
+    pub(crate) cursor: usize,
+    /// One past the last candidate of this level.
+    pub(crate) end: usize,
 }
 
 /// Per-thread reusable buffers of the enumeration hot path.
@@ -97,6 +126,14 @@ pub struct SearchBuffers {
     pub(crate) marks: VisitMarks,
     /// Flat candidate arena shared by all open recursion levels.
     pub(crate) candidates: Vec<VertexId>,
+    /// Open levels of the iterative frontier traversal (empty while the recursive
+    /// engine runs; it keeps its levels on the call stack).
+    pub(crate) levels: Vec<LevelRun>,
+    /// Sort keys parallel to `candidates`: `(dist_towards_anchor, degree)` per
+    /// candidate, filled by the frontier fill pass so ordering never re-derives them.
+    pub(crate) cand_keys: Vec<(u32, u32)>,
+    /// Reusable `(dist, degree, vertex)` triples for the keyed candidate sort.
+    pub(crate) sort_buf: Vec<(u32, u32, VertexId)>,
     /// Reusable forward half-search prefix set.
     pub(crate) forward: PathSet,
     /// Reusable backward half-search prefix set.
@@ -125,7 +162,28 @@ impl SearchBuffers {
     pub(crate) fn begin_traversal(&mut self, graph: &DiGraph) {
         self.stack.clear();
         self.candidates.clear();
+        self.levels.clear();
+        self.cand_keys.clear();
         self.marks.reset(graph.num_vertices());
+    }
+
+    /// Sorts the candidate run `candidates[start..end]` by its precomputed
+    /// `(dist, degree)` keys, ties broken by vertex id — the exact total order of
+    /// [`SearchOrder::DistanceThenDegree`](crate::search_order::SearchOrder), but over
+    /// keys recorded during the fill pass instead of re-derived per candidate.
+    pub(crate) fn sort_run_by_keys(&mut self, start: usize, end: usize) {
+        self.sort_buf.clear();
+        self.sort_buf.extend(
+            self.candidates[start..end]
+                .iter()
+                .zip(&self.cand_keys[start..end])
+                .map(|(&w, &(d, deg))| (d, deg, w)),
+        );
+        self.sort_buf.sort_unstable();
+        for (i, &(d, deg, w)) in self.sort_buf.iter().enumerate() {
+            self.candidates[start + i] = w;
+            self.cand_keys[start + i] = (d, deg);
+        }
     }
 }
 
@@ -186,11 +244,19 @@ mod tests {
         let mut buffers = SearchBuffers::for_graph(&g);
         buffers.stack.push(v(0));
         buffers.candidates.extend([v(1), v(2)]);
+        buffers.cand_keys.extend([(1, 2), (1, 2)]);
+        buffers.levels.push(LevelRun {
+            start: 0,
+            cursor: 0,
+            end: 2,
+        });
         buffers.marks.mark(v(0));
         let stack_cap = buffers.stack.capacity();
         buffers.begin_traversal(&g);
         assert!(buffers.stack.is_empty());
         assert!(buffers.candidates.is_empty());
+        assert!(buffers.levels.is_empty());
+        assert!(buffers.cand_keys.is_empty());
         assert!(!buffers.marks.contains(v(0)));
         assert!(buffers.stack.capacity() >= stack_cap);
     }

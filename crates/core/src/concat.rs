@@ -43,16 +43,38 @@ pub struct JoinStats {
     pub produced: usize,
 }
 
-/// Indexes the backward prefix set for joining: fills the scratch's flat
-/// `(end vertex, path index)` table, sorted by end vertex (ties by index, which pins the
-/// emission order).
+/// Indexes the backward prefix set for joining: builds the scratch's CSR-style bucket
+/// table — sorted distinct end vertices, and per end vertex one contiguous run of
+/// `(path index, hops)` entries, index-ascending (which pins the emission order).
+///
+/// Precomputing the hop count per entry lets [`join_prefix`] sweep a bucket without
+/// touching the suffix storage for candidates the split test rejects.
 pub fn prepare_suffixes(backward: &PathSet, scratch: &mut JoinScratch) {
-    scratch.pairs.clear();
+    let JoinScratch {
+        ends,
+        offsets,
+        entries,
+        pairs,
+        ..
+    } = scratch;
+    pairs.clear();
     for (idx, suffix) in backward.iter().enumerate() {
         let join_vertex = *suffix.last().expect("paths are non-empty");
-        scratch.pairs.push((join_vertex, idx as u32));
+        pairs.push((join_vertex, idx as u32));
     }
-    scratch.pairs.sort_unstable();
+    pairs.sort_unstable();
+    ends.clear();
+    offsets.clear();
+    entries.clear();
+    for &(end, idx) in pairs.iter() {
+        if ends.last() != Some(&end) {
+            ends.push(end);
+            offsets.push(entries.len() as u32);
+        }
+        let hops = (backward.get(idx as usize).len() - 1) as u32;
+        entries.push((idx, hops));
+    }
+    offsets.push(entries.len() as u32);
 }
 
 /// Joins one forward prefix against a backward set prepared by [`prepare_suffixes`],
@@ -72,23 +94,30 @@ pub fn join_prefix<F>(
 where
     F: FnMut(&[VertexId]) -> SinkFlow,
 {
-    let JoinScratch { pairs, assembled } = scratch;
+    let JoinScratch {
+        ends,
+        offsets,
+        entries,
+        assembled,
+        ..
+    } = scratch;
     let join_vertex = *prefix.last().expect("paths are non-empty");
-    let range_start = pairs.partition_point(|&(v, _)| v < join_vertex);
+    let Ok(bucket) = ends.binary_search(&join_vertex) else {
+        return SinkFlow::Continue;
+    };
+    let run = &entries[offsets[bucket] as usize..offsets[bucket + 1] as usize];
+    stats.candidate_pairs += run.len();
     let forward_hops = (prefix.len() - 1) as u32;
-    for &(_, suffix_idx) in pairs[range_start..]
-        .iter()
-        .take_while(|&&(v, _)| v == join_vertex)
-    {
-        let suffix = backward.get(suffix_idx as usize);
-        stats.candidate_pairs += 1;
-        let backward_hops = (suffix.len() - 1) as u32;
+    for &(suffix_idx, backward_hops) in run {
         let total = forward_hops + backward_hops;
-        let canonical = forward_hops >= backward_hops && forward_hops - backward_hops <= 1;
+        // `fwd − bwd ∈ {0, 1}` as a single unsigned compare: a wrapped (negative)
+        // difference lands far above 1.
+        let canonical = forward_hops.wrapping_sub(backward_hops) <= 1;
         if !canonical || total > hop_limit {
             stats.rejected_split += 1;
             continue;
         }
+        let suffix = backward.get(suffix_idx as usize);
         assembled.clear();
         assembled.extend_from_slice(prefix);
         // The suffix is oriented from t towards the join vertex; skip the shared join
@@ -138,9 +167,9 @@ where
 /// non-`Continue` [`SinkFlow`] verdict from `emit` aborts the remaining join work (the
 /// sink has everything it needs for this query).
 ///
-/// The backward side is indexed by a flat `(end vertex, path index)` table sorted by end
-/// vertex (ties by index); each forward prefix then binary-searches its join-vertex
-/// range, in the forward set's insertion (= DFS discovery) order.
+/// The backward side is indexed once into a CSR-style bucket table keyed by end vertex;
+/// each forward prefix then binary-searches its join-vertex bucket and sweeps one
+/// contiguous run, in the forward set's insertion (= DFS discovery) order.
 pub fn concatenate_scratch<F>(
     forward: &PathSet,
     backward: &PathSet,

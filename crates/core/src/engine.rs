@@ -10,11 +10,12 @@ use crate::batch_enum::{BatchEnum, DEFAULT_GAMMA};
 use crate::epoch::{Epoch, EpochAdvance};
 use crate::parallel::{
     run_pathenum_parallel, run_specs_parallel_pathenum, run_specs_parallel_with_index,
-    ParallelBasicEnum, ParallelBatchEnum, Parallelism,
+    ParallelBasicEnum, ParallelBatchEnum, Parallelism, SplitPolicy,
 };
 use crate::path::PathSet;
 use crate::pathenum::PathEnum;
 use crate::query::{BatchSummary, PathQuery};
+use crate::search::ExpansionMode;
 use crate::search_order::SearchOrder;
 use crate::sink::{CollectSink, CountSink, PathSink};
 use crate::spec::{QuerySpec, ResultMode, RoutedSink, SpecOutcome, SpecSink};
@@ -85,6 +86,7 @@ impl fmt::Display for Algorithm {
 pub struct BatchEngine {
     algorithm: Algorithm,
     gamma: f64,
+    mode: ExpansionMode,
 }
 
 impl Default for BatchEngine {
@@ -92,6 +94,7 @@ impl Default for BatchEngine {
         BatchEngine {
             algorithm: Algorithm::BatchEnumPlus,
             gamma: DEFAULT_GAMMA,
+            mode: ExpansionMode::default(),
         }
     }
 }
@@ -101,6 +104,7 @@ impl Default for BatchEngine {
 pub struct BatchEngineBuilder {
     algorithm: Option<Algorithm>,
     gamma: Option<f64>,
+    mode: Option<ExpansionMode>,
 }
 
 impl BatchEngineBuilder {
@@ -116,11 +120,19 @@ impl BatchEngineBuilder {
         self
     }
 
+    /// Selects the half-search expansion mode (default: the frontier engine; the
+    /// recursive oracle exists for cross-validation and A/B benchmarking).
+    pub fn expansion_mode(mut self, mode: ExpansionMode) -> Self {
+        self.mode = Some(mode);
+        self
+    }
+
     /// Finalises the engine.
     pub fn build(self) -> BatchEngine {
         BatchEngine {
             algorithm: self.algorithm.unwrap_or(Algorithm::BatchEnumPlus),
             gamma: self.gamma.unwrap_or(DEFAULT_GAMMA).clamp(0.0, 1.0),
+            mode: self.mode.unwrap_or_default(),
         }
     }
 }
@@ -157,6 +169,7 @@ impl BatchEngine {
         BatchEngine {
             algorithm,
             gamma: DEFAULT_GAMMA,
+            mode: ExpansionMode::default(),
         }
     }
 
@@ -170,6 +183,11 @@ impl BatchEngine {
         self.gamma
     }
 
+    /// The configured half-search expansion mode.
+    pub fn expansion_mode(&self) -> ExpansionMode {
+        self.mode
+    }
+
     /// Runs the batch, streaming every result path into a caller-provided sink.
     pub fn run_with_sink<S: PathSink>(
         &self,
@@ -178,14 +196,17 @@ impl BatchEngine {
         sink: &mut S,
     ) -> EnumStats {
         match self.algorithm {
-            Algorithm::PathEnum => {
-                PathEnum::new(self.algorithm.search_order()).run_batch(graph, queries, sink)
-            }
+            Algorithm::PathEnum => PathEnum::new(self.algorithm.search_order())
+                .with_mode(self.mode)
+                .run_batch(graph, queries, sink),
             Algorithm::BasicEnum | Algorithm::BasicEnumPlus => {
-                BasicEnum::new(self.algorithm.search_order()).run_batch(graph, queries, sink)
+                BasicEnum::new(self.algorithm.search_order())
+                    .with_mode(self.mode)
+                    .run_batch(graph, queries, sink)
             }
             Algorithm::BatchEnum | Algorithm::BatchEnumPlus => {
                 BatchEnum::new(self.algorithm.search_order(), self.gamma)
+                    .with_mode(self.mode)
                     .run_batch(graph, queries, sink)
             }
         }
@@ -228,7 +249,9 @@ impl BatchEngine {
             // per-query pipeline (quota-aware, so bounded modes still short-circuit).
             Algorithm::PathEnum => {
                 let queries: Vec<PathQuery> = specs.iter().map(|s| s.query).collect();
-                PathEnum::new(self.algorithm.search_order()).run_batch(graph, &queries, &mut sink)
+                PathEnum::new(self.algorithm.search_order())
+                    .with_mode(self.mode)
+                    .run_batch(graph, &queries, &mut sink)
             }
             _ => {
                 let start = Instant::now();
@@ -305,15 +328,12 @@ fn run_specs_with_index(
     let mut routed = RoutedSink::new(sink, &route);
     let mut stats = match config.algorithm() {
         Algorithm::PathEnum => unreachable!("PathEnum specs run without a shared index"),
-        Algorithm::BasicEnum | Algorithm::BasicEnumPlus => {
-            BasicEnum::new(order).run_batch_with_index(graph, index, &live_queries, &mut routed)
-        }
-        _ => BatchEnum::new(order, config.gamma()).run_batch_with_index(
-            graph,
-            index,
-            &live_queries,
-            &mut routed,
-        ),
+        Algorithm::BasicEnum | Algorithm::BasicEnumPlus => BasicEnum::new(order)
+            .with_mode(config.expansion_mode())
+            .run_batch_with_index(graph, index, &live_queries, &mut routed),
+        _ => BatchEnum::new(order, config.gamma())
+            .with_mode(config.expansion_mode())
+            .run_batch_with_index(graph, index, &live_queries, &mut routed),
     };
     stats.num_queries = specs.len();
     stats
@@ -429,7 +449,7 @@ pub struct Engine {
     graph: Arc<DiGraph>,
     index: Option<BatchIndex>,
     index_root_cap: Option<usize>,
-    parallel_cluster_cap: Option<usize>,
+    parallel_split: SplitPolicy,
     update_refresh_cap: Option<usize>,
     reuse: IndexReuse,
     /// The epoch version [`Engine::graph`] corresponds to (0 unless the engine is driven
@@ -451,7 +471,7 @@ impl Engine {
             graph: graph.into(),
             index: None,
             index_root_cap: None,
-            parallel_cluster_cap: None,
+            parallel_split: SplitPolicy::Never,
             update_refresh_cap: Some(DEFAULT_UPDATE_REFRESH_CAP),
             reuse: IndexReuse::default(),
             epoch_id: 0,
@@ -531,17 +551,29 @@ impl Engine {
         self.index_root_cap
     }
 
-    /// Caps the similarity-cluster size used by the *parallel* run paths (see
-    /// [`ParallelBatchEnum::max_cluster_size`]): oversized clusters split into bounded
-    /// sub-clusters, trading cross-split sharing for parallel slack and a bounded shared
-    /// cache. `None` (default) never splits; sequential runs are unaffected either way.
-    pub fn set_parallel_cluster_cap(&mut self, cap: Option<usize>) {
-        self.parallel_cluster_cap = cap.filter(|&c| c > 0);
+    /// Selects the intra-cluster work-splitting policy of the *parallel* run paths (see
+    /// [`ParallelBatchEnum::split`](ParallelBatchEnum)): oversized clusters split into
+    /// bounded sub-clusters, trading cross-split sharing for parallel slack and a
+    /// bounded shared cache. [`SplitPolicy::Never`] (default) never splits; sequential
+    /// runs are unaffected either way.
+    pub fn set_parallel_split_policy(&mut self, split: SplitPolicy) {
+        self.parallel_split = split;
     }
 
-    /// The configured parallel cluster cap, if any.
+    /// The configured intra-cluster split policy.
+    pub fn parallel_split_policy(&self) -> SplitPolicy {
+        self.parallel_split
+    }
+
+    /// Compat wrapper over [`Engine::set_parallel_split_policy`]: `Some(c > 0)` caps
+    /// clusters at `c` queries, `Some(0)` and `None` never split.
+    pub fn set_parallel_cluster_cap(&mut self, cap: Option<usize>) {
+        self.parallel_split = SplitPolicy::from_cap(cap);
+    }
+
+    /// The configured parallel cluster cap, if the policy is a fixed cap.
     pub fn parallel_cluster_cap(&self) -> Option<usize> {
-        self.parallel_cluster_cap
+        self.parallel_split.cap()
     }
 
     /// Caps the net edge delta one [`Engine::apply_updates`] call maintains
@@ -774,22 +806,25 @@ impl Engine {
             return EnumStats::new(0);
         }
         let order = self.config.algorithm().search_order();
+        let mode = self.config.expansion_mode();
         match self.config.algorithm() {
             // The real-time baseline: per-query index by definition, nothing cached.
-            Algorithm::PathEnum => PathEnum::new(order).run_batch(&self.graph, queries, sink),
+            Algorithm::PathEnum => {
+                PathEnum::new(order)
+                    .with_mode(mode)
+                    .run_batch(&self.graph, queries, sink)
+            }
             algorithm => {
                 let summary = BatchSummary::of(queries);
                 let prep_time = self.ensure_index(&summary);
                 let index = self.index.as_ref().expect("ensured above");
                 let mut stats = match algorithm {
                     Algorithm::BasicEnum | Algorithm::BasicEnumPlus => BasicEnum::new(order)
+                        .with_mode(mode)
                         .run_batch_with_index(&self.graph, index, queries, sink),
-                    _ => BatchEnum::new(order, self.config.gamma()).run_batch_with_index(
-                        &self.graph,
-                        index,
-                        queries,
-                        sink,
-                    ),
+                    _ => BatchEnum::new(order, self.config.gamma())
+                        .with_mode(mode)
+                        .run_batch_with_index(&self.graph, index, queries, sink),
                 };
                 stats.add_stage(Stage::BuildIndex, prep_time);
                 stats
@@ -816,24 +851,26 @@ impl Engine {
             return EnumStats::new(0);
         }
         let order = self.config.algorithm().search_order();
+        let mode = self.config.expansion_mode();
         match self.config.algorithm() {
             // The real-time baseline: per-query index by definition, nothing cached; the
             // per-query index builds simply spread over the workers.
             Algorithm::PathEnum => {
-                run_pathenum_parallel(&self.graph, queries, order, parallelism, sink)
+                run_pathenum_parallel(&self.graph, queries, order, mode, parallelism, sink)
             }
             algorithm => {
                 let summary = BatchSummary::of(queries);
                 let prep_time = self.ensure_index(&summary);
                 let index = self.index.as_ref().expect("ensured above");
                 let mut stats = match algorithm {
-                    Algorithm::BasicEnum | Algorithm::BasicEnumPlus => ParallelBasicEnum::new(
-                        order,
-                        parallelism,
-                    )
-                    .run_batch_with_index(&self.graph, index, queries, sink),
+                    Algorithm::BasicEnum | Algorithm::BasicEnumPlus => {
+                        ParallelBasicEnum::new(order, parallelism)
+                            .with_mode(mode)
+                            .run_batch_with_index(&self.graph, index, queries, sink)
+                    }
                     _ => ParallelBatchEnum::new(order, self.config.gamma(), parallelism)
-                        .with_max_cluster_size(self.parallel_cluster_cap)
+                        .with_mode(mode)
+                        .with_split_policy(self.parallel_split)
                         .run_batch_with_index(&self.graph, index, queries, sink),
                 };
                 stats.add_stage(Stage::BuildIndex, prep_time);
@@ -935,10 +972,11 @@ impl Engine {
             };
         }
         let order = self.config.algorithm().search_order();
+        let mode = self.config.expansion_mode();
         match self.config.algorithm() {
             Algorithm::PathEnum => {
                 let (responses, stats) =
-                    run_specs_parallel_pathenum(&self.graph, specs, order, parallelism);
+                    run_specs_parallel_pathenum(&self.graph, specs, order, mode, parallelism);
                 SpecOutcome { responses, stats }
             }
             algorithm => {
@@ -957,12 +995,13 @@ impl Engine {
                     index,
                     &live,
                     order,
+                    mode,
                     self.config.gamma(),
                     shared,
                     if shared {
-                        self.parallel_cluster_cap
+                        self.parallel_split
                     } else {
-                        None
+                        SplitPolicy::Never
                     },
                     parallelism,
                 );
@@ -1016,6 +1055,35 @@ mod tests {
         assert_eq!(BatchEngine::builder().gamma(7.0).build().gamma(), 1.0);
         let default_engine = BatchEngine::default();
         assert_eq!(default_engine.algorithm(), Algorithm::BatchEnumPlus);
+        assert_eq!(default_engine.expansion_mode(), ExpansionMode::Frontier);
+        let recursive = BatchEngine::builder()
+            .expansion_mode(ExpansionMode::Recursive)
+            .build();
+        assert_eq!(recursive.expansion_mode(), ExpansionMode::Recursive);
+    }
+
+    #[test]
+    fn expansion_modes_are_byte_identical_for_every_algorithm() {
+        let g = grid(4, 4);
+        let queries = vec![
+            PathQuery::new(0u32, 15u32, 6),
+            PathQuery::new(1u32, 15u32, 6),
+            PathQuery::new(0u32, 11u32, 5),
+        ];
+        for algorithm in Algorithm::ALL {
+            let frontier = BatchEngine::builder().algorithm(algorithm).build();
+            let recursive = BatchEngine::builder()
+                .algorithm(algorithm)
+                .expansion_mode(ExpansionMode::Recursive)
+                .build();
+            let f = frontier.run(&g, &queries);
+            let r = recursive.run(&g, &queries);
+            assert_eq!(f.paths, r.paths, "{algorithm}: same paths, same order");
+            assert_eq!(
+                f.stats.counters, r.stats.counters,
+                "{algorithm}: same counters"
+            );
+        }
     }
 
     #[test]
@@ -1351,6 +1419,14 @@ mod tests {
         assert_eq!(counts, expected_counts);
         capped.set_parallel_cluster_cap(Some(0));
         assert_eq!(capped.parallel_cluster_cap(), None);
+        assert_eq!(capped.parallel_split_policy(), SplitPolicy::Never);
+        // The Auto policy stays lossless on counts too.
+        capped.set_parallel_split_policy(SplitPolicy::Auto);
+        assert_eq!(capped.parallel_split_policy(), SplitPolicy::Auto);
+        assert_eq!(capped.parallel_cluster_cap(), None);
+        let auto = capped.run_batch_parallel(&queries, Parallelism::Fixed(2));
+        let auto_counts: Vec<usize> = auto.paths.iter().map(PathSet::len).collect();
+        assert_eq!(auto_counts, expected_counts);
     }
 
     #[test]

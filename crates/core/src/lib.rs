@@ -75,10 +75,11 @@ pub use engine::{
     DEFAULT_UPDATE_REFRESH_CAP,
 };
 pub use epoch::{DurabilitySink, Epoch, EpochAdvance, EpochPublisher, MAX_EPOCH_DELTAS};
-pub use parallel::{ParallelBasicEnum, ParallelBatchEnum, Parallelism};
+pub use parallel::{ParallelBasicEnum, ParallelBatchEnum, Parallelism, SplitPolicy};
 pub use path::{Path, PathSet};
 pub use pathenum::PathEnum;
 pub use query::{BatchSummary, HcsQuery, PathQuery, QueryId};
+pub use search::{ExpansionMode, SearchContext};
 pub use search_order::SearchOrder;
 pub use sink::{CallbackSink, CollectSink, ControlSink, CountSink, PathSink, SinkFlow};
 pub use spec::{QueryResponse, QuerySpec, ResultMode, SpecOutcome, SpecSink};

@@ -38,6 +38,7 @@ use crate::buffers::SearchBuffers;
 use crate::clustering::cluster_queries;
 use crate::pathenum::PathEnum;
 use crate::query::{BatchSummary, PathQuery, QueryId};
+use crate::search::ExpansionMode;
 use crate::search_order::SearchOrder;
 use crate::similarity::{QueryNeighborhood, SimilarityMatrix};
 use crate::sink::{CollectSink, PathSink, SinkFlow};
@@ -70,6 +71,71 @@ impl Parallelism {
                 .map(|n| n.get())
                 .unwrap_or(1),
             Parallelism::Fixed(n) => n.max(1),
+        }
+    }
+}
+
+/// How the parallel runners split oversized similarity clusters — the intra-cluster
+/// work-splitting knob.
+///
+/// A similarity cluster is both the sharing unit and the parallel unit: queries in one
+/// cluster share computation, clusters parallelise embarrassingly. Dense graphs (or a
+/// low γ) can collapse a whole batch into a **single giant cluster** — maximal sharing,
+/// zero parallel slack: the batch runs on one worker while the rest idle. Splitting such
+/// a cluster into consecutive sub-clusters restores slack at the cost of the sharing
+/// across the split; results stay lossless per query, but the per-query path *order*
+/// matches a sequential run over the same split clusters, not the unsplit run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplitPolicy {
+    /// Never split. Preserves the byte-identical-to-sequential guarantee (the default).
+    #[default]
+    Never,
+    /// Split every cluster larger than this many queries into consecutive sub-clusters
+    /// of at most that size (a value of 0 behaves like [`SplitPolicy::Never`]).
+    Cap(usize),
+    /// Split only when the batch would otherwise under-occupy the pool: if the cluster
+    /// count already reaches the worker count nothing is split, otherwise clusters are
+    /// capped at `max(1, ⌈|Q| / (2 · workers)⌉)` — roughly two sub-clusters per worker,
+    /// enough slack for stealing without shredding the sharing into singletons.
+    Auto,
+}
+
+impl SplitPolicy {
+    /// The compat mapping of the old `max_cluster_size: Option<usize>` knob:
+    /// `Some(c > 0)` caps at `c`, `Some(0)` and `None` never split.
+    pub fn from_cap(cap: Option<usize>) -> Self {
+        match cap.filter(|&c| c > 0) {
+            Some(c) => SplitPolicy::Cap(c),
+            None => SplitPolicy::Never,
+        }
+    }
+
+    /// The explicit cap, when the policy is a fixed one (`Cap(0)` reads as `None`).
+    pub fn cap(self) -> Option<usize> {
+        match self {
+            SplitPolicy::Cap(c) if c > 0 => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Applies the policy to freshly formed clusters, given the resolved worker count
+    /// and the batch size.
+    fn apply(
+        self,
+        clusters: Vec<Vec<QueryId>>,
+        workers: usize,
+        num_queries: usize,
+    ) -> Vec<Vec<QueryId>> {
+        match self {
+            SplitPolicy::Never | SplitPolicy::Cap(0) => clusters,
+            SplitPolicy::Cap(cap) => split_clusters(clusters, cap),
+            SplitPolicy::Auto => {
+                if clusters.len() >= workers.max(1) {
+                    return clusters;
+                }
+                let cap = num_queries.div_ceil(workers.max(1) * 2).max(1);
+                split_clusters(clusters, cap)
+            }
         }
     }
 }
@@ -119,26 +185,24 @@ fn split_clusters(clusters: Vec<Vec<QueryId>>, cap: usize) -> Vec<Vec<QueryId>> 
 }
 
 /// The similarity-clustering front of every sharing-mode parallel run: neighbourhoods
-/// from the index, pairwise similarity, γ-threshold clustering, then the optional
-/// cluster-size split. One helper on purpose — plain-batch and spec-mode parallel
+/// from the index, pairwise similarity, γ-threshold clustering, then the configured
+/// [`SplitPolicy`]. One helper on purpose — plain-batch and spec-mode parallel
 /// execution must cluster identically, or their "same clusters as sequential"
 /// equivalences silently diverge.
-fn cluster_with_cap(
+fn cluster_with_policy(
     index: &BatchIndex,
     queries: &[PathQuery],
     gamma: f64,
-    max_cluster_size: Option<usize>,
+    split: SplitPolicy,
+    workers: usize,
 ) -> Vec<Vec<QueryId>> {
     let neighborhoods: Vec<QueryNeighborhood> = queries
         .iter()
         .map(|q| QueryNeighborhood::from_index(index, q))
         .collect();
     let matrix = SimilarityMatrix::compute(&neighborhoods);
-    let mut clusters = cluster_queries(&matrix, gamma);
-    if let Some(cap) = max_cluster_size.filter(|&c| c > 0) {
-        clusters = split_clusters(clusters, cap);
-    }
-    clusters
+    let clusters = cluster_queries(&matrix, gamma);
+    split.apply(clusters, workers, queries.len())
 }
 
 /// The work-stealing deque set: one deque of shard ids per worker.
@@ -181,7 +245,10 @@ impl ShardDeques {
 type ClusterResult = (usize, CollectSink, EnumStats);
 
 /// Runs `exec` once per cluster across a work-stealing worker pool and returns the
-/// per-cluster results **sorted by cluster index** — the deterministic merge order.
+/// per-cluster results **sorted by cluster index** — the deterministic merge order —
+/// together with the number of shards the scheduler planned (the *effective* parallel
+/// slack: 1 means the whole batch was one steal unit, however many workers were asked
+/// for).
 ///
 /// `make_sink` builds the cluster's local sink (query ids are cluster offsets, not batch
 /// ids); `exec` receives the cluster index, that sink, and the worker's reusable
@@ -193,7 +260,7 @@ fn execute_sharded_with<L, M, F>(
     workers: usize,
     make_sink: M,
     exec: F,
-) -> Vec<(usize, L, EnumStats)>
+) -> (Vec<(usize, L, EnumStats)>, usize)
 where
     L: Send,
     M: Fn(usize) -> L + Sync,
@@ -230,14 +297,19 @@ where
         }
     });
 
+    let num_shards = shards.len();
     let mut results = collected.into_inner();
     results.sort_by_key(|&(cluster_idx, _, _)| cluster_idx);
-    results
+    (results, num_shards)
 }
 
 /// [`execute_sharded_with`] specialised to local [`CollectSink`]s (the classic
 /// collect-everything runs).
-fn execute_sharded<F>(clusters: &[Vec<QueryId>], workers: usize, exec: F) -> Vec<ClusterResult>
+fn execute_sharded<F>(
+    clusters: &[Vec<QueryId>],
+    workers: usize,
+    exec: F,
+) -> (Vec<ClusterResult>, usize)
 where
     F: Fn(usize, &mut CollectSink, &mut SearchBuffers) -> EnumStats + Sync,
 {
@@ -333,6 +405,7 @@ pub(crate) fn run_specs_parallel_pathenum(
     graph: &DiGraph,
     specs: &[QuerySpec],
     order: SearchOrder,
+    mode: ExpansionMode,
     parallelism: Parallelism,
 ) -> (Vec<QueryResponse>, EnumStats) {
     let mut stats = EnumStats::new(specs.len());
@@ -343,8 +416,8 @@ pub(crate) fn run_specs_parallel_pathenum(
     }
     let start = Instant::now();
     let clusters: Vec<Vec<QueryId>> = (0..specs.len()).map(|q| vec![q]).collect();
-    let per_query = PathEnum::new(order);
-    let results = execute_sharded_with(
+    let per_query = PathEnum::new(order).with_mode(mode);
+    let (results, num_shards) = execute_sharded_with(
         &clusters,
         parallelism.workers(),
         |ci| SpecSink::new(&specs[ci..=ci]),
@@ -362,6 +435,7 @@ pub(crate) fn run_specs_parallel_pathenum(
         },
     );
     merge_spec_results(&clusters, results, &mut stats, &mut responses);
+    stats.num_shards = num_shards;
     stats.add_stage(Stage::Enumeration, start.elapsed());
     let responses = responses
         .into_iter()
@@ -374,7 +448,7 @@ pub(crate) fn run_specs_parallel_pathenum(
 ///
 /// `shared = false` runs the `BasicEnum` shape (one query per cluster, no sharing);
 /// `shared = true` clusters by neighbourhood similarity exactly like the sequential
-/// `BatchEnum` (γ, then the optional `max_cluster_size` split) and evaluates each
+/// `BatchEnum` (γ, then the configured [`SplitPolicy`]) and evaluates each
 /// cluster's full shared pipeline on the worker pool. Each worker drives a local
 /// [`SpecSink`] over its cluster's specs, so a query's early termination — join
 /// short-circuits, dropped cluster work — happens inside the worker, and the responses
@@ -386,9 +460,10 @@ pub(crate) fn run_specs_parallel_with_index(
     index: &BatchIndex,
     specs: &[QuerySpec],
     order: SearchOrder,
+    mode: ExpansionMode,
     gamma: f64,
     shared: bool,
-    max_cluster_size: Option<usize>,
+    split: SplitPolicy,
     parallelism: Parallelism,
 ) -> (Vec<QueryResponse>, EnumStats) {
     let mut stats = EnumStats::new(specs.len());
@@ -400,7 +475,7 @@ pub(crate) fn run_specs_parallel_with_index(
     let start = Instant::now();
     let queries: Vec<PathQuery> = specs.iter().map(|s| s.query).collect();
     let clusters: Vec<Vec<QueryId>> = if shared {
-        cluster_with_cap(index, &queries, gamma, max_cluster_size)
+        cluster_with_policy(index, &queries, gamma, split, parallelism.workers())
     } else {
         (0..specs.len()).map(|q| vec![q]).collect()
     };
@@ -408,9 +483,9 @@ pub(crate) fn run_specs_parallel_with_index(
     stats.add_stage(Stage::ClusterQuery, start.elapsed());
 
     let start = Instant::now();
-    let per_query = PathEnum::new(order);
-    let sequential = BatchEnum::new(order, 1.0);
-    let results = execute_sharded_with(
+    let per_query = PathEnum::new(order).with_mode(mode);
+    let sequential = BatchEnum::new(order, 1.0).with_mode(mode);
+    let (results, num_shards) = execute_sharded_with(
         &clusters,
         parallelism.workers(),
         |ci| {
@@ -439,6 +514,7 @@ pub(crate) fn run_specs_parallel_with_index(
         },
     );
     merge_spec_results(&clusters, results, &mut stats, &mut responses);
+    stats.num_shards = num_shards;
     stats.add_stage(Stage::Enumeration, start.elapsed());
     let responses = responses
         .into_iter()
@@ -456,6 +532,8 @@ pub(crate) fn run_specs_parallel_with_index(
 pub struct ParallelBasicEnum {
     /// Neighbour expansion order for the per-query searches.
     pub order: SearchOrder,
+    /// Half-search expansion mechanics (frontier engine vs recursive oracle).
+    pub mode: ExpansionMode,
     /// Worker thread count.
     pub parallelism: Parallelism,
 }
@@ -464,6 +542,7 @@ impl Default for ParallelBasicEnum {
     fn default() -> Self {
         ParallelBasicEnum {
             order: SearchOrder::default(),
+            mode: ExpansionMode::default(),
             parallelism: Parallelism::Auto,
         }
     }
@@ -472,7 +551,17 @@ impl Default for ParallelBasicEnum {
 impl ParallelBasicEnum {
     /// Creates the runner with an explicit search order and worker count.
     pub fn new(order: SearchOrder, parallelism: Parallelism) -> Self {
-        ParallelBasicEnum { order, parallelism }
+        ParallelBasicEnum {
+            order,
+            mode: ExpansionMode::default(),
+            parallelism,
+        }
+    }
+
+    /// Selects the half-search expansion mode (builder style).
+    pub fn with_mode(mut self, mode: ExpansionMode) -> Self {
+        self.mode = mode;
+        self
     }
 
     /// Processes the batch, streaming results (in query order) into `sink`.
@@ -518,21 +607,23 @@ impl ParallelBasicEnum {
         // Every query is its own "cluster": no sharing, maximal parallel slack.
         let start = Instant::now();
         let clusters: Vec<Vec<QueryId>> = (0..queries.len()).map(|q| vec![q]).collect();
-        let per_query = PathEnum::new(self.order);
-        let results = execute_sharded(&clusters, self.parallelism.workers(), |ci, local, buf| {
-            let mut cluster_stats = EnumStats::new(1);
-            per_query.run_with_index_buffered(
-                graph,
-                index,
-                &queries[ci],
-                0,
-                local,
-                &mut cluster_stats,
-                buf,
-            );
-            cluster_stats
-        });
+        let per_query = PathEnum::new(self.order).with_mode(self.mode);
+        let (results, num_shards) =
+            execute_sharded(&clusters, self.parallelism.workers(), |ci, local, buf| {
+                let mut cluster_stats = EnumStats::new(1);
+                per_query.run_with_index_buffered(
+                    graph,
+                    index,
+                    &queries[ci],
+                    0,
+                    local,
+                    &mut cluster_stats,
+                    buf,
+                );
+                cluster_stats
+            });
         merge_results(&clusters, results, &mut stats, sink);
+        stats.num_shards = num_shards;
         stats.add_stage(Stage::Enumeration, start.elapsed());
         sink.finish();
         stats
@@ -547,6 +638,7 @@ pub(crate) fn run_pathenum_parallel<S: PathSink>(
     graph: &DiGraph,
     queries: &[PathQuery],
     order: SearchOrder,
+    mode: ExpansionMode,
     parallelism: Parallelism,
     sink: &mut S,
 ) -> EnumStats {
@@ -558,16 +650,18 @@ pub(crate) fn run_pathenum_parallel<S: PathSink>(
     }
     let start = Instant::now();
     let clusters: Vec<Vec<QueryId>> = (0..queries.len()).map(|q| vec![q]).collect();
-    let per_query = PathEnum::new(order);
-    let results = execute_sharded(&clusters, parallelism.workers(), |ci, local, buf| {
-        let mut cluster_stats = EnumStats::new(1);
-        per_query.run_single_buffered(graph, &queries[ci], 0, local, &mut cluster_stats, buf);
-        cluster_stats
-    });
+    let per_query = PathEnum::new(order).with_mode(mode);
+    let (results, num_shards) =
+        execute_sharded(&clusters, parallelism.workers(), |ci, local, buf| {
+            let mut cluster_stats = EnumStats::new(1);
+            per_query.run_single_buffered(graph, &queries[ci], 0, local, &mut cluster_stats, buf);
+            cluster_stats
+        });
     // The per-query index builds happen inside the workers, so they are part of the
     // parallel region's wall-clock below; they are not reported as a separate BuildIndex
     // stage to keep the stage times a wall-clock decomposition (no double counting).
     merge_results(&clusters, results, &mut stats, sink);
+    stats.num_shards = num_shards;
     stats.add_stage(Stage::Enumeration, start.elapsed());
     sink.finish();
     stats
@@ -581,49 +675,63 @@ pub(crate) fn run_pathenum_parallel<S: PathSink>(
 pub struct ParallelBatchEnum {
     /// Neighbour expansion order.
     pub order: SearchOrder,
+    /// Half-search expansion mechanics (frontier engine vs recursive oracle).
+    pub mode: ExpansionMode,
     /// Clustering threshold γ.
     pub gamma: f64,
     /// Worker thread count.
     pub parallelism: Parallelism,
-    /// Optional cap on the size of one similarity cluster (the sharing *and* parallel
-    /// unit). Dense graphs can collapse a whole batch into a single cluster, which is
-    /// maximal sharing but zero parallel slack (one cluster = one worker) and an
-    /// unbounded shared-cache footprint. A cap splits oversized clusters into
-    /// consecutive sub-clusters of at most this many queries: sharing is kept within a
-    /// sub-cluster and given up across the split. Results stay lossless per query, but
-    /// with a cap the per-query path *order* matches a sequential run over the same
-    /// split clusters, not the uncapped sequential run. `None` (default) never splits
-    /// and preserves the byte-identical guarantee.
-    pub max_cluster_size: Option<usize>,
+    /// Intra-cluster work splitting (see [`SplitPolicy`]). Dense graphs can collapse a
+    /// whole batch into a single cluster, which is maximal sharing but zero parallel
+    /// slack (one cluster = one worker) and an unbounded shared-cache footprint.
+    /// Splitting keeps sharing within a sub-cluster and gives it up across the split.
+    /// Results stay lossless per query, but with any splitting the per-query path
+    /// *order* matches a sequential run over the same split clusters, not the unsplit
+    /// sequential run. [`SplitPolicy::Never`] (default) preserves the byte-identical
+    /// guarantee.
+    pub split: SplitPolicy,
 }
 
 impl Default for ParallelBatchEnum {
     fn default() -> Self {
         ParallelBatchEnum {
             order: SearchOrder::default(),
+            mode: ExpansionMode::default(),
             gamma: crate::batch_enum::DEFAULT_GAMMA,
             parallelism: Parallelism::Auto,
-            max_cluster_size: None,
+            split: SplitPolicy::Never,
         }
     }
 }
 
 impl ParallelBatchEnum {
-    /// Creates the runner (no cluster-size cap).
+    /// Creates the runner (no cluster splitting).
     pub fn new(order: SearchOrder, gamma: f64, parallelism: Parallelism) -> Self {
         ParallelBatchEnum {
             order,
+            mode: ExpansionMode::default(),
             gamma,
             parallelism,
-            max_cluster_size: None,
+            split: SplitPolicy::Never,
         }
     }
 
-    /// Returns the runner with a cluster-size cap (see
-    /// [`ParallelBatchEnum::max_cluster_size`]; values of 0 are treated as `None`).
-    pub fn with_max_cluster_size(mut self, cap: Option<usize>) -> Self {
-        self.max_cluster_size = cap.filter(|&c| c > 0);
+    /// Selects the half-search expansion mode (builder style).
+    pub fn with_mode(mut self, mode: ExpansionMode) -> Self {
+        self.mode = mode;
         self
+    }
+
+    /// Returns the runner with the given intra-cluster split policy.
+    pub fn with_split_policy(mut self, split: SplitPolicy) -> Self {
+        self.split = split;
+        self
+    }
+
+    /// Compat wrapper over [`ParallelBatchEnum::with_split_policy`]: `Some(c > 0)` caps
+    /// clusters at `c` queries, `Some(0)` and `None` never split.
+    pub fn with_max_cluster_size(self, cap: Option<usize>) -> Self {
+        self.with_split_policy(SplitPolicy::from_cap(cap))
     }
 
     /// Processes the batch, streaming results into `sink`.
@@ -667,10 +775,16 @@ impl ParallelBatchEnum {
             return stats;
         }
 
-        // Clustering is identical to the sequential BatchEnum; the optional cap then
-        // splits oversized clusters into bounded, consecutive sub-clusters.
+        // Clustering is identical to the sequential BatchEnum; the split policy then
+        // breaks oversized clusters into bounded, consecutive sub-clusters.
         let start = Instant::now();
-        let clusters = cluster_with_cap(index, queries, self.gamma, self.max_cluster_size);
+        let clusters = cluster_with_policy(
+            index,
+            queries,
+            self.gamma,
+            self.split,
+            self.parallelism.workers(),
+        );
         stats.num_clusters = clusters.len();
         stats.add_stage(Stage::ClusterQuery, start.elapsed());
 
@@ -679,13 +793,15 @@ impl ParallelBatchEnum {
         // worker keeps the cluster as a single group (it has already been formed by the
         // outer clustering) without re-clustering cost.
         let start = Instant::now();
-        let sequential = BatchEnum::new(self.order, 1.0);
-        let results = execute_sharded(&clusters, self.parallelism.workers(), |ci, local, buf| {
-            let cluster_queries_list: Vec<PathQuery> =
-                clusters[ci].iter().map(|&qid| queries[qid]).collect();
-            sequential.run_cluster_for_parallel(graph, index, &cluster_queries_list, local, buf)
-        });
+        let sequential = BatchEnum::new(self.order, 1.0).with_mode(self.mode);
+        let (results, num_shards) =
+            execute_sharded(&clusters, self.parallelism.workers(), |ci, local, buf| {
+                let cluster_queries_list: Vec<PathQuery> =
+                    clusters[ci].iter().map(|&qid| queries[qid]).collect();
+                sequential.run_cluster_for_parallel(graph, index, &cluster_queries_list, local, buf)
+            });
         merge_results(&clusters, results, &mut stats, sink);
+        stats.num_shards = num_shards;
         stats.add_stage(Stage::Enumeration, start.elapsed());
         sink.finish();
         stats
@@ -925,8 +1041,63 @@ mod tests {
         assert!(capped_stats.num_clusters >= queries.len() / 2);
 
         // A zero cap means "no cap".
-        assert_eq!(capped.with_max_cluster_size(Some(0)).max_cluster_size, None);
-        assert_eq!(ParallelBatchEnum::default().max_cluster_size, None);
+        assert_eq!(
+            capped.with_max_cluster_size(Some(0)).split,
+            SplitPolicy::Never
+        );
+        assert_eq!(capped.with_max_cluster_size(None).split, SplitPolicy::Never);
+        assert_eq!(capped.split, SplitPolicy::Cap(2));
+        assert_eq!(ParallelBatchEnum::default().split, SplitPolicy::Never);
+    }
+
+    #[test]
+    fn auto_split_policy_restores_parallel_slack_on_one_giant_cluster() {
+        let g = complete(8);
+        // All-pairs-style queries over a complete graph collapse into one similarity
+        // cluster at a permissive γ: the regime Auto exists for.
+        let queries: Vec<PathQuery> = (1..8).map(|i| PathQuery::new(0u32, i as u32, 3)).collect();
+        let reference = reference_counts(&g, &queries);
+
+        let never = ParallelBatchEnum::new(SearchOrder::VertexId, 0.1, Parallelism::Fixed(4));
+        let mut sink = CountSink::new(queries.len());
+        let never_stats = never.run_batch(&g, &queries, &mut sink);
+        assert_eq!(sink.counts(), reference);
+        assert_eq!(never_stats.num_clusters, 1, "the regime under test");
+        assert_eq!(never_stats.num_shards, 1, "one cluster = one steal unit");
+
+        let auto = never.with_split_policy(SplitPolicy::Auto);
+        let mut sink = CountSink::new(queries.len());
+        let auto_stats = auto.run_batch(&g, &queries, &mut sink);
+        assert_eq!(sink.counts(), reference, "splitting must be lossless");
+        assert!(
+            auto_stats.num_shards > 1,
+            "Auto must restore >1 effective shard, got {}",
+            auto_stats.num_shards
+        );
+        assert!(auto_stats.num_clusters > never_stats.num_clusters);
+    }
+
+    #[test]
+    fn auto_split_policy_leaves_well_clustered_batches_alone() {
+        let clusters = vec![vec![0, 1, 2], vec![3, 4], vec![5, 6, 7]];
+        // Already >= workers clusters: untouched.
+        assert_eq!(
+            SplitPolicy::Auto.apply(clusters.clone(), 3, 8),
+            clusters.clone()
+        );
+        // Fewer clusters than workers: capped at ⌈8 / (2·8)⌉ = 1.
+        let split = SplitPolicy::Auto.apply(clusters.clone(), 8, 8);
+        assert_eq!(split.len(), 8);
+        assert!(split.iter().all(|c| c.len() == 1));
+        // Never and Cap(0) are identity; from_cap maps the legacy knob.
+        assert_eq!(SplitPolicy::Never.apply(clusters.clone(), 8, 8), clusters);
+        assert_eq!(SplitPolicy::from_cap(Some(3)), SplitPolicy::Cap(3));
+        assert_eq!(SplitPolicy::from_cap(Some(0)), SplitPolicy::Never);
+        assert_eq!(SplitPolicy::from_cap(None), SplitPolicy::Never);
+        assert_eq!(SplitPolicy::Cap(3).cap(), Some(3));
+        assert_eq!(SplitPolicy::Cap(0).cap(), None);
+        assert_eq!(SplitPolicy::Auto.cap(), None);
+        assert_eq!(SplitPolicy::default(), SplitPolicy::Never);
     }
 
     #[test]

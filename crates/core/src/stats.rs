@@ -88,6 +88,11 @@ pub struct EnumStats {
     pub num_shared_subqueries: usize,
     /// Peak number of HC-s path results resident in the cache at any point.
     pub peak_cached_results: usize,
+    /// Effective shards the parallel scheduler planned (0 for sequential runs). A batch
+    /// whose clusters all collapse into one steal unit reports 1 here regardless of the
+    /// worker count — the signal the intra-cluster split policy exists to fix.
+    #[serde(default)]
+    pub num_shards: usize,
 }
 
 impl EnumStats {
@@ -155,6 +160,7 @@ impl EnumStats {
         self.num_clusters += other.num_clusters;
         self.num_shared_subqueries += other.num_shared_subqueries;
         self.peak_cached_results = self.peak_cached_results.max(other.peak_cached_results);
+        self.num_shards = self.num_shards.max(other.num_shards);
     }
 }
 
@@ -327,6 +333,7 @@ mod tests {
         b.counters.produced_paths = 4;
         b.num_shared_subqueries = 6;
         b.peak_cached_results = 9;
+        b.num_shards = 7;
 
         a.merge(&b);
         assert_eq!(a.stage_time(Stage::Enumeration), Duration::from_millis(30));
@@ -334,6 +341,7 @@ mod tests {
         assert_eq!(a.counters.produced_paths, 7);
         assert_eq!(a.num_shared_subqueries, 6);
         assert_eq!(a.peak_cached_results, 9);
+        assert_eq!(a.num_shards, 7, "effective shards merge via max");
     }
 
     #[test]

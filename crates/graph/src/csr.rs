@@ -16,6 +16,21 @@ use crate::vertex::VertexId;
 pub struct CsrAdjacency {
     offsets: Vec<u64>,
     targets: Vec<VertexId>,
+    /// Degree (in this adjacency direction) of each entry of `targets`, kept parallel to
+    /// it: `target_degrees[i] == degree(targets[i])`. The cache-conscious hot array of
+    /// the frontier filter pass — the `DistanceThenDegree` sort key reads the degree of
+    /// every surviving candidate, and reading it from the slice being scanned costs one
+    /// sequential stream instead of a dependent `offsets[w] / offsets[w+1]` gather per
+    /// neighbour.
+    target_degrees: Vec<u32>,
+}
+
+/// Computes the parallel per-target degree array from a finished `offsets`/`targets` pair.
+fn inline_degrees(offsets: &[u64], targets: &[VertexId]) -> Vec<u32> {
+    targets
+        .iter()
+        .map(|t| (offsets[t.index() + 1] - offsets[t.index()]) as u32)
+        .collect()
 }
 
 impl CsrAdjacency {
@@ -36,7 +51,12 @@ impl CsrAdjacency {
             targets.extend_from_slice(list);
             offsets.push(targets.len() as u64);
         }
-        CsrAdjacency { offsets, targets }
+        let target_degrees = inline_degrees(&offsets, &targets);
+        CsrAdjacency {
+            offsets,
+            targets,
+            target_degrees,
+        }
     }
 
     /// Builds a CSR structure directly from an edge list using counting sort.
@@ -78,9 +98,11 @@ impl CsrAdjacency {
             }
             offsets.push(dedup_targets.len() as u64);
         }
+        let target_degrees = inline_degrees(&offsets, &dedup_targets);
         CsrAdjacency {
             offsets,
             targets: dedup_targets,
+            target_degrees,
         }
     }
 
@@ -108,6 +130,17 @@ impl CsrAdjacency {
     #[inline]
     pub fn degree(&self, v: VertexId) -> usize {
         (self.offsets[v.index() + 1] - self.offsets[v.index()]) as usize
+    }
+
+    /// The degrees of `v`'s neighbours, parallel to [`CsrAdjacency::neighbors`]:
+    /// `neighbor_degrees(v)[i] == degree(neighbors(v)[i])`.
+    ///
+    /// One contiguous read per frontier fill pass; see the `target_degrees` field.
+    #[inline]
+    pub fn neighbor_degrees(&self, v: VertexId) -> &[u32] {
+        let start = self.offsets[v.index()] as usize;
+        let end = self.offsets[v.index() + 1] as usize;
+        &self.target_degrees[start..end]
     }
 
     /// Whether the edge `(u, v)` exists in this adjacency direction.
@@ -145,13 +178,24 @@ impl CsrAdjacency {
         if offsets.windows(2).any(|w| w[0] > w[1]) {
             return None;
         }
-        Some(CsrAdjacency { offsets, targets })
+        if targets.iter().any(|t| t.index() + 1 >= offsets.len()) {
+            return None;
+        }
+        // The binary format carries only offsets + targets; the hot degree array is
+        // derived, so the on-disk format needs no change.
+        let target_degrees = inline_degrees(&offsets, &targets);
+        Some(CsrAdjacency {
+            offsets,
+            targets,
+            target_degrees,
+        })
     }
 
-    /// Approximate heap footprint in bytes (offsets + targets).
+    /// Approximate heap footprint in bytes (offsets + targets + inline degrees).
     pub fn heap_bytes(&self) -> usize {
         self.offsets.len() * std::mem::size_of::<u64>()
             + self.targets.len() * std::mem::size_of::<VertexId>()
+            + self.target_degrees.len() * std::mem::size_of::<u32>()
     }
 }
 
@@ -216,8 +260,43 @@ mod tests {
     }
 
     #[test]
-    fn heap_bytes_counts_both_arrays() {
+    fn heap_bytes_counts_all_arrays() {
+        // 3 offsets (u64) + 1 target (u32) + 1 inline degree (u32).
         let csr = CsrAdjacency::from_edges(2, &[(v(0), v(1))]);
-        assert_eq!(csr.heap_bytes(), 3 * 8 + 4);
+        assert_eq!(csr.heap_bytes(), 3 * 8 + 4 + 4);
+    }
+
+    #[test]
+    fn neighbor_degrees_mirror_the_neighbor_slice() {
+        let edges = vec![
+            (v(0), v(1)),
+            (v(0), v(2)),
+            (v(1), v(2)),
+            (v(2), v(0)),
+            (v(2), v(1)),
+        ];
+        for csr in [
+            CsrAdjacency::from_edges(3, &edges),
+            CsrAdjacency::from_raw_parts(
+                CsrAdjacency::from_edges(3, &edges).offsets().to_vec(),
+                CsrAdjacency::from_edges(3, &edges).targets().to_vec(),
+            )
+            .unwrap(),
+        ] {
+            for u in 0..3 {
+                let u = v(u);
+                let degrees: Vec<u32> = csr
+                    .neighbors(u)
+                    .iter()
+                    .map(|&w| csr.degree(w) as u32)
+                    .collect();
+                assert_eq!(csr.neighbor_degrees(u), degrees.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn from_raw_parts_rejects_out_of_range_targets() {
+        assert!(CsrAdjacency::from_raw_parts(vec![0, 1], vec![v(7)]).is_none());
     }
 }

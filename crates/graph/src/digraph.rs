@@ -168,6 +168,20 @@ impl DiGraph {
         }
     }
 
+    /// Degrees of `v`'s neighbours in the given direction, parallel to
+    /// [`DiGraph::neighbors`]: `neighbor_degrees(v, d)[i] == degree(neighbors(v, d)[i], d)`.
+    ///
+    /// The frontier fill pass zips this with the neighbour slice so the
+    /// `DistanceThenDegree` sort key is one sequential read instead of a per-neighbour
+    /// offset gather.
+    #[inline]
+    pub fn neighbor_degrees(&self, v: VertexId, dir: Direction) -> &[u32] {
+        match dir {
+            Direction::Forward => self.out.neighbor_degrees(v),
+            Direction::Backward => self.inn.neighbor_degrees(v),
+        }
+    }
+
     /// Whether the directed edge `(u, v)` exists in `G`.
     #[inline]
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
@@ -247,6 +261,17 @@ mod tests {
         assert_eq!(g.degree(v(3), Direction::Backward), 2);
         assert_eq!(Direction::Forward.reverse(), Direction::Backward);
         assert_eq!(Direction::Backward.reverse(), Direction::Forward);
+    }
+
+    #[test]
+    fn neighbor_degrees_follow_direction() {
+        let g = diamond();
+        // Forward: neighbours of 0 are [1, 2] with out-degrees [1, 1]; 1's neighbour 3
+        // has out-degree 0.
+        assert_eq!(g.neighbor_degrees(v(0), Direction::Forward), &[1, 1]);
+        assert_eq!(g.neighbor_degrees(v(1), Direction::Forward), &[0]);
+        // Backward: neighbours of 3 are [1, 2] with in-degrees [1, 1].
+        assert_eq!(g.neighbor_degrees(v(3), Direction::Backward), &[1, 1]);
     }
 
     #[test]

@@ -356,6 +356,26 @@ pub struct IndexStats {
     pub stored_entries: usize,
 }
 
+/// A distance view pre-resolved to one anchor's sparse map; see
+/// [`BatchIndex::anchor_view`].
+///
+/// `None` means the anchor is not indexed (every distance is `INF`), which happens only
+/// for queries whose endpoints were absent from the batch the index was built for.
+#[derive(Debug, Clone, Copy)]
+pub struct AnchorDistances<'a> {
+    map: Option<&'a SparseDistanceMap>,
+}
+
+impl AnchorDistances<'_> {
+    /// Bounded distance between `v` and the pre-resolved anchor (`INF` when out of range
+    /// or the anchor is not indexed). Equals `dist_towards(dir, v, anchor)` for the
+    /// `(dir, anchor)` pair the view was created with.
+    #[inline]
+    pub fn dist(&self, v: VertexId) -> u32 {
+        self.map.map_or(INF, |m| m.distance_or_inf(v))
+    }
+}
+
 /// The complete two-sided index for a batch: source side (`dist_G(s, ·)`) and target side
 /// (`dist_G(·, t)`).
 #[derive(Debug, Clone, Default)]
@@ -406,6 +426,22 @@ impl BatchIndex {
             Direction::Forward => self.dist_to_target(v, anchor),
             Direction::Backward => self.dist_from_source(anchor, v),
         }
+    }
+
+    /// Pre-resolves the distance map consulted by [`BatchIndex::dist_towards`] for one
+    /// `(direction, anchor)` pair.
+    ///
+    /// A half search queries the *same* anchor for every scanned edge; resolving the
+    /// anchor's sparse map once per traversal replaces the per-edge root binary search
+    /// with a direct map probe. The view borrows the index, so it naturally cannot
+    /// outlive an index mutation.
+    #[inline]
+    pub fn anchor_view(&self, dir: Direction, anchor: VertexId) -> AnchorDistances<'_> {
+        let map = match dir {
+            Direction::Forward => self.targets.map_of(anchor),
+            Direction::Backward => self.sources.map_of(anchor),
+        };
+        AnchorDistances { map }
     }
 
     /// Γ(q): vertices reachable from `s` within `k` hops on `G`.
@@ -575,6 +611,21 @@ mod tests {
         let index = BatchIndex::build(&g, &[v(0)], &[v(4)], 10);
         assert_eq!(index.dist_towards(Direction::Forward, v(1), v(4)), 3);
         assert_eq!(index.dist_towards(Direction::Backward, v(1), v(0)), 1);
+    }
+
+    #[test]
+    fn anchor_view_matches_dist_towards() {
+        let g = grid(4, 4);
+        let index = BatchIndex::build(&g, &[v(0)], &[v(15)], 6);
+        for (dir, anchor) in [(Direction::Forward, v(15)), (Direction::Backward, v(0))] {
+            let view = index.anchor_view(dir, anchor);
+            for vertex in g.vertices() {
+                assert_eq!(view.dist(vertex), index.dist_towards(dir, vertex, anchor));
+            }
+        }
+        // An unindexed anchor resolves to the always-INF view.
+        let empty = index.anchor_view(Direction::Forward, v(3));
+        assert_eq!(empty.dist(v(0)), INF);
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod distance_index;
 pub mod msbfs;
 pub mod sparse_map;
 
-pub use distance_index::{BatchIndex, DeleteOutcome, DistanceIndex, IndexStats};
+pub use distance_index::{AnchorDistances, BatchIndex, DeleteOutcome, DistanceIndex, IndexStats};
 pub use msbfs::{multi_source_bfs, MsBfsResult};
 pub use sparse_map::SparseDistanceMap;
 

@@ -1,0 +1,163 @@
+//! Property-based equivalence of the frontier (batch-DFS) and recursive expansion
+//! engines.
+//!
+//! The frontier engine is a pure execution-strategy change: for any graph, any batch,
+//! any algorithm (and thereby both search orders — the `+` variants order candidates by
+//! `DistanceThenDegree`, the others by `Degree`), any worker count, and any sink verdict
+//! sequence, it must be *byte-identical* to the recursive engine — same paths, same
+//! emission order, same traversal counters, same abort points.
+
+use hcsp::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Strategy: a random directed graph with 2..=28 vertices and a moderate edge budget.
+fn graph_strategy() -> impl Strategy<Value = DiGraph> {
+    (2usize..=28).prop_flat_map(|n| {
+        let max_edges = (n * (n - 1)).min(120);
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_edges)
+            .prop_map(move |edges| DiGraph::from_edge_list(n, &edges).expect("edges in range"))
+    })
+}
+
+/// Strategy: a batch of 1..=6 queries on a graph with `n` vertices.
+fn query_batch_strategy(n: usize) -> impl Strategy<Value = Vec<PathQuery>> {
+    proptest::collection::vec((0..n as u32, 0..n as u32, 1u32..=6), 1..=6).prop_map(|qs| {
+        qs.into_iter()
+            .map(|(s, t, k)| PathQuery::new(s, t, k))
+            .collect()
+    })
+}
+
+/// Strategy: a graph plus a query batch on it.
+fn workload_strategy() -> impl Strategy<Value = (DiGraph, Vec<PathQuery>)> {
+    graph_strategy().prop_flat_map(|g| {
+        let n = g.num_vertices();
+        (Just(g), query_batch_strategy(n))
+    })
+}
+
+fn engine_with(mode: ExpansionMode, algorithm: Algorithm) -> BatchEngine {
+    BatchEngine::builder()
+        .algorithm(algorithm)
+        .expansion_mode(mode)
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    /// Sequential batches: identical paths (content *and* order) and identical traversal
+    /// counters for every algorithm.
+    #[test]
+    fn frontier_matches_recursive_sequentially((graph, queries) in workload_strategy()) {
+        for algorithm in Algorithm::ALL {
+            let rec = engine_with(ExpansionMode::Recursive, algorithm).run(&graph, &queries);
+            let fr = engine_with(ExpansionMode::Frontier, algorithm).run(&graph, &queries);
+            prop_assert_eq!(&fr.paths, &rec.paths, "paths of {}", algorithm);
+            prop_assert_eq!(fr.stats.counters, rec.stats.counters, "counters of {}", algorithm);
+            prop_assert_eq!(fr.stats.num_clusters, rec.stats.num_clusters, "clusters of {}", algorithm);
+            prop_assert_eq!(
+                fr.stats.num_shared_subqueries,
+                rec.stats.num_shared_subqueries,
+                "shared subqueries of {}", algorithm
+            );
+        }
+    }
+
+    /// Mid-enumeration sink verdicts: a sink that answers `SkipQuery` after a per-query
+    /// quota and `Stop` after a batch-wide budget must observe the identical accept
+    /// sequence and leave identical counters — the abort lands mid-frontier-run instead
+    /// of mid-recursion, and the work done up to the verdict must match exactly.
+    #[test]
+    fn sink_aborts_land_identically(
+        (graph, queries) in workload_strategy(),
+        per_query in 1u64..4,
+        total in 1usize..6,
+    ) {
+        for algorithm in Algorithm::ALL {
+            let run = |mode: ExpansionMode| {
+                let mut seen: Vec<(usize, Vec<VertexId>)> = Vec::new();
+                let mut per: Vec<u64> = vec![0; queries.len()];
+                let mut accepted = 0usize;
+                let stats = {
+                    let mut sink = ControlSink::new(|q, p: &[VertexId]| {
+                        seen.push((q, p.to_vec()));
+                        accepted += 1;
+                        per[q] += 1;
+                        if accepted >= total {
+                            SinkFlow::Stop
+                        } else if per[q] >= per_query {
+                            SinkFlow::SkipQuery
+                        } else {
+                            SinkFlow::Continue
+                        }
+                    });
+                    engine_with(mode, algorithm).run_with_sink(&graph, &queries, &mut sink)
+                };
+                (seen, stats)
+            };
+            let (rec_seen, rec_stats) = run(ExpansionMode::Recursive);
+            let (fr_seen, fr_stats) = run(ExpansionMode::Frontier);
+            prop_assert_eq!(&fr_seen, &rec_seen, "abort sequence of {}", algorithm);
+            prop_assert_eq!(fr_stats.counters, rec_stats.counters, "abort counters of {}", algorithm);
+        }
+    }
+
+    /// Typed mixed-mode batches (`Exists` / `Count` / `FirstK` / `Collect`): identical
+    /// responses under both engines, including the early-terminating modes.
+    #[test]
+    fn spec_responses_match_across_modes((graph, queries) in workload_strategy()) {
+        let specs: Vec<QuerySpec> = queries
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| match i % 4 {
+                0 => QuerySpec::exists(q),
+                1 => QuerySpec::count(q),
+                2 => QuerySpec::first_k(q, 2),
+                _ => QuerySpec::collect(q),
+            })
+            .collect();
+        for algorithm in Algorithm::ALL {
+            let rec = engine_with(ExpansionMode::Recursive, algorithm).run_specs(&graph, &specs);
+            let fr = engine_with(ExpansionMode::Frontier, algorithm).run_specs(&graph, &specs);
+            prop_assert_eq!(&fr.responses, &rec.responses, "responses of {}", algorithm);
+            prop_assert_eq!(fr.stats.counters, rec.stats.counters, "spec counters of {}", algorithm);
+        }
+    }
+}
+
+proptest! {
+    // The parallel sweep runs 5 algorithms × 3 worker counts × 2 engines per case; fewer
+    // cases keep the thread churn bounded while still crossing the interesting regimes.
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    /// Parallel batches on 1, 2 and 4 workers: identical paths and counters, and a shard
+    /// plan that does not depend on the expansion mode.
+    #[test]
+    fn frontier_matches_recursive_in_parallel((graph, queries) in workload_strategy()) {
+        let graph = Arc::new(graph);
+        for algorithm in Algorithm::ALL {
+            for workers in [1usize, 2, 4] {
+                let mut rec_engine =
+                    Engine::new(graph.clone(), engine_with(ExpansionMode::Recursive, algorithm));
+                let mut fr_engine =
+                    Engine::new(graph.clone(), engine_with(ExpansionMode::Frontier, algorithm));
+                let rec = rec_engine.run_batch_parallel(&queries, Parallelism::Fixed(workers));
+                let fr = fr_engine.run_batch_parallel(&queries, Parallelism::Fixed(workers));
+                prop_assert_eq!(
+                    &fr.paths, &rec.paths,
+                    "paths of {} on {} workers", algorithm, workers
+                );
+                prop_assert_eq!(
+                    fr.stats.counters, rec.stats.counters,
+                    "counters of {} on {} workers", algorithm, workers
+                );
+                prop_assert_eq!(
+                    fr.stats.num_shards, rec.stats.num_shards,
+                    "shard plan of {} on {} workers", algorithm, workers
+                );
+            }
+        }
+    }
+}
