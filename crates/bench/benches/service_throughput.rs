@@ -14,6 +14,9 @@
 //! The report also prints each policy's measured sharing ratio and mean batch size once,
 //! so throughput differences can be attributed to batch formation rather than noise.
 
+// Stdout is this bench's report channel: criterion harnesses print their summaries.
+#![allow(clippy::print_stdout)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hcsp_bench::BenchConfig;
 use hcsp_core::PathQuery;

@@ -28,6 +28,9 @@
 //! available through the `HCSP_BENCH_*` environment variables, and the gate tolerance
 //! through `HCSP_PERF_TOLERANCE`).
 
+// Stdout is the product here: this binary exists to print result tables.
+#![allow(clippy::print_stdout)]
+
 use hcsp_bench::report::Table;
 use hcsp_bench::{compare_throughput, harness, parse_json, BenchConfig};
 use hcsp_workload::{Dataset, DatasetScale};
@@ -163,6 +166,7 @@ fn run_experiment(experiment: &str, config: &BenchConfig, options: &CliOptions) 
         "mixed-rw" => harness::mixed_read_write(config),
         "result-modes" => harness::result_modes(config),
         "storage" => harness::storage_durability(config),
+        "counters" => harness::instrumentation_counters(config),
         "server-latency" => {
             let table = harness::server_latency(config);
             let document = format!(
@@ -438,6 +442,7 @@ fn parse(args: &[String]) -> Result<Parsed, String> {
                     "mixed-rw",
                     "result-modes",
                     "storage",
+                    "counters",
                     "server-latency",
                 ]
                 .into_iter()
@@ -472,7 +477,7 @@ fn print_usage() {
          [--tolerance 0.2] [--write-baseline]\n\
          experiments: table1 fig3c exp1 exp2 exp3 exp4 exp5 exp6 exp7 \
          ablation-order ablation-cluster parallel-scaling frontier mixed-rw result-modes \
-         storage server-latency perf-smoke all\n\
+         storage counters server-latency perf-smoke all\n\
          perf-smoke: runs parallel-scaling, mixed-rw and frontier in quick mode, writes \
          the JSON artifacts (--out, BENCH_mixed_rw.json and BENCH_frontier.json) and \
          fails when any scenario's throughput regresses more than --tolerance against \

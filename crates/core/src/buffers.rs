@@ -54,18 +54,21 @@ impl VisitMarks {
     /// Marks `v` as a member of the current prefix.
     #[inline]
     pub fn mark(&mut self, v: VertexId) {
+        // lint:allow(panic-free-hot-path) v.index() < stamps.len(): reset() sized the table to the graph
         self.stamps[v.index()] = self.epoch;
     }
 
     /// Unmarks `v` (on DFS backtrack).
     #[inline]
     pub fn unmark(&mut self, v: VertexId) {
+        // lint:allow(panic-free-hot-path) v was marked first, so reset() already covered its index
         self.stamps[v.index()] = 0;
     }
 
     /// Whether `v` is on the current prefix.
     #[inline]
     pub fn contains(&self, v: VertexId) -> bool {
+        // lint:allow(panic-free-hot-path) v.index() < stamps.len(): reset() sized the table to the graph
         self.stamps[v.index()] == self.epoch
     }
 }
@@ -174,14 +177,18 @@ impl SearchBuffers {
     pub(crate) fn sort_run_by_keys(&mut self, start: usize, end: usize) {
         self.sort_buf.clear();
         self.sort_buf.extend(
+            // lint:allow(panic-free-hot-path) start..end is a level run the fill pass recorded
             self.candidates[start..end]
                 .iter()
+                // lint:allow(panic-free-hot-path) cand_keys grows in lockstep with candidates
                 .zip(&self.cand_keys[start..end])
                 .map(|(&w, &(d, deg))| (d, deg, w)),
         );
         self.sort_buf.sort_unstable();
         for (i, &(d, deg, w)) in self.sort_buf.iter().enumerate() {
+            // lint:allow(panic-free-hot-path) sort_buf holds exactly end - start entries
             self.candidates[start + i] = w;
+            // lint:allow(panic-free-hot-path) same run as the line above
             self.cand_keys[start + i] = (d, deg);
         }
     }

@@ -59,6 +59,7 @@ pub fn prepare_suffixes(backward: &PathSet, scratch: &mut JoinScratch) {
     } = scratch;
     pairs.clear();
     for (idx, suffix) in backward.iter().enumerate() {
+        // lint:allow(panic-free-hot-path) PathSet stores no empty paths: every entry has a last vertex
         let join_vertex = *suffix.last().expect("paths are non-empty");
         pairs.push((join_vertex, idx as u32));
     }
@@ -101,10 +102,12 @@ where
         assembled,
         ..
     } = scratch;
+    // lint:allow(panic-free-hot-path) the DFS always passes a prefix with at least the source vertex
     let join_vertex = *prefix.last().expect("paths are non-empty");
     let Ok(bucket) = ends.binary_search(&join_vertex) else {
         return SinkFlow::Continue;
     };
+    // lint:allow(panic-free-hot-path) bucket < ends.len() = offsets.len() - 1; offsets delimit entries
     let run = &entries[offsets[bucket] as usize..offsets[bucket + 1] as usize];
     stats.candidate_pairs += run.len();
     let forward_hops = (prefix.len() - 1) as u32;
@@ -122,6 +125,7 @@ where
         assembled.extend_from_slice(prefix);
         // The suffix is oriented from t towards the join vertex; skip the shared join
         // vertex and append the rest reversed.
+        // lint:allow(panic-free-hot-path) suffix.len() >= 1 (no empty paths), so the range end is in bounds
         assembled.extend(suffix[..suffix.len() - 1].iter().rev().copied());
         if !vertices_are_distinct(assembled) {
             stats.rejected_not_simple += 1;

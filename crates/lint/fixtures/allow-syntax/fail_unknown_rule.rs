@@ -1,0 +1,4 @@
+fn f(x: Option<u32>) -> u32 {
+    // lint:allow(no-such-rule) the rule id is misspelled, so this suppresses nothing
+    x.unwrap_or(0)
+}

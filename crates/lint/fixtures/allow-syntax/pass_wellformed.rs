@@ -1,0 +1,4 @@
+fn f(v: &[u32]) -> u32 {
+    // lint:allow(panic-free-hot-path) v is never empty: the dispatcher rejects empty arenas
+    v[0]
+}

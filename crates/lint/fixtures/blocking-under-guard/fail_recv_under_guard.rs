@@ -1,0 +1,7 @@
+// Lexed as-if at crates/service/src/fixture.rs: the admission guard is still
+// live when the thread parks on the channel.
+fn worker(cell: &EpochCell, rx: &Receiver<Job>) {
+    let publisher = cell.publisher.lock().unwrap();
+    let job = rx.recv().unwrap();
+    publisher.apply(job);
+}

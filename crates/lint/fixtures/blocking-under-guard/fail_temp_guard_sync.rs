@@ -1,0 +1,5 @@
+// A tracked guard chained into a temporary is live to the end of the
+// statement — long enough to cover the fsync.
+fn checkpoint(cell: &EpochCell) {
+    cell.publisher.lock().unwrap().store().sync_all().unwrap();
+}

@@ -1,0 +1,8 @@
+// The guard is explicitly dropped before the blocking call: legal.
+fn worker(cell: &EpochCell, rx: &Receiver<Job>) {
+    let publisher = cell.publisher.lock().unwrap();
+    let tip = publisher.tip();
+    drop(publisher);
+    let job = rx.recv().unwrap();
+    consume(tip, job);
+}

@@ -1,0 +1,4 @@
+// The counter is maintained — but nothing in bench ever reports it.
+fn tally(c: &mut SearchCounters) {
+    c.expanded_vertices += 1;
+}

@@ -1,0 +1,6 @@
+// Mapped to crates/core/src/stats.rs by the fixture harness.
+#[derive(Default)]
+pub struct SearchCounters {
+    /// Vertices popped from the frontier.
+    pub expanded_vertices: u64,
+}

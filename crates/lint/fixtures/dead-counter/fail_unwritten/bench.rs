@@ -1,0 +1,3 @@
+fn report(c: &SearchCounters) -> u64 {
+    c.expanded_vertices
+}

@@ -1,0 +1,3 @@
+fn rows(c: &SearchCounters) -> Vec<String> {
+    vec![c.expanded_vertices.to_string(), c.produced_paths.to_string()]
+}

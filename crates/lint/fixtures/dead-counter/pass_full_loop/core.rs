@@ -1,0 +1,4 @@
+fn tally(c: &mut SearchCounters, emitted: u64) {
+    c.expanded_vertices += 1;
+    c.produced_paths = emitted;
+}

@@ -1,0 +1,5 @@
+#[derive(Default)]
+pub struct SearchCounters {
+    pub expanded_vertices: u64,
+    pub produced_paths: u64,
+}

@@ -1,0 +1,4 @@
+// An internal caller still on the deprecated shim.
+fn boot(builder: PathServiceBuilder, store: UpdateLogStore) -> PathService {
+    builder.start_durable(complete(2), store)
+}

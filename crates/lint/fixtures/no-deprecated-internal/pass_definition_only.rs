@@ -1,0 +1,7 @@
+// The shim's own definition is allowed to exist (external callers may still
+// be mid-migration); only internal *uses* are denied.
+impl PathServiceBuilder {
+    pub fn start_durable(self, workers: WorkerConfig, store: UpdateLogStore) -> PathService {
+        self.durability(DurabilityOptions::store(store)).start(workers)
+    }
+}

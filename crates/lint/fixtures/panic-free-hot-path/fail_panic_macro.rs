@@ -1,0 +1,6 @@
+fn advance(depth: u32, budget: u32) -> u32 {
+    if depth > budget {
+        unreachable!("hop bound is checked at admission");
+    }
+    depth + 1
+}

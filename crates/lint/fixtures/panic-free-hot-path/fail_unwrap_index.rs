@@ -1,0 +1,6 @@
+// Lexed as-if at crates/core/src/search.rs: both the unwrap and the direct
+// index are denied in the enumeration kernel.
+fn step(arena: &[u32], cursor: Option<usize>) -> u32 {
+    let i = cursor.unwrap();
+    arena[i]
+}

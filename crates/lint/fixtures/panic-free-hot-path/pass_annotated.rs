@@ -1,0 +1,24 @@
+// Every exception carries its proof obligation in the annotation.
+fn step(arena: &[u32], cursor: Option<usize>) -> u32 {
+    // lint:allow(panic-free-hot-path) cursor is Some: the caller seeds it before the loop
+    let i = cursor.unwrap();
+    // lint:allow(panic-free-hot-path) i < arena.len(): cursor indexes the same arena
+    arena[i]
+}
+
+fn step_checked(arena: &[u32], cursor: Option<usize>) -> u32 {
+    match cursor.and_then(|i| arena.get(i)) {
+        Some(v) => *v,
+        None => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        let v = vec![1u32];
+        assert_eq!(v[0], 1);
+        v.first().unwrap();
+    }
+}

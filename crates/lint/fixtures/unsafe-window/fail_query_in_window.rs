@@ -1,0 +1,6 @@
+// `ensure_index` runs while the deletion window is still open: the distance
+// index under-estimates and the hop bound silently admits dead paths.
+fn apply(index: &mut Index, engine: &mut Engine, deleted: &[u32]) {
+    index.note_deletions(deleted);
+    engine.ensure_index(0);
+}

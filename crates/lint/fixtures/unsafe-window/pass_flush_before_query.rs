@@ -1,0 +1,6 @@
+// The window closes before the query entry: legal.
+fn apply(index: &mut Index, engine: &mut Engine, deleted: &[u32]) {
+    index.note_deletions(deleted);
+    index.flush_dirty();
+    engine.ensure_index(0);
+}

@@ -1,0 +1,6 @@
+// Leaving the window open at function end is the documented lazy-repair
+// pattern: `ensure_index` flushes before the next batch runs.
+fn apply(index: &mut Index, deleted: &[u32]) {
+    index.note_deletions(deleted);
+    index.mark_epoch_dirty();
+}

@@ -1,0 +1,399 @@
+//! A hand-rolled Rust lexer, just deep enough for invariant linting.
+//!
+//! The linter never needs a real parse tree: every rule works on a flat token
+//! stream with line numbers, plus the `// lint:allow(...)` comments the rules
+//! honour. What the lexer must get *exactly* right is what is and is not code:
+//! strings, raw strings, char literals vs lifetimes, nested block comments —
+//! a `note_deletions` inside a string or a doc comment must never trigger a
+//! rule, and a `[` inside a `vec![...]` macro body must still look like one.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`fn`, `let`, `publisher`, ...).
+    Ident(String),
+    /// A single punctuation character (`{`, `.`, `[`, `!`, ...). Compound
+    /// operators arrive as consecutive tokens (`+=` is `+` then `=`).
+    Punct(char),
+    /// Any literal: string, raw string, char, byte string, or number. The
+    /// content is deliberately dropped — literals are opaque to every rule.
+    Lit,
+    /// A lifetime or loop label (`'a`, `'outer`). Kept distinct from [`Tok::Lit`]
+    /// so a label never hides a following token.
+    Lifetime,
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// One `// lint:allow(<rule>) <reason>` comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    pub line: u32,
+    /// The rule id inside the parentheses, verbatim.
+    pub rule: String,
+    /// The trimmed text after the closing parenthesis; the linter requires it
+    /// to be non-empty (an allow without a written rationale is itself an
+    /// error).
+    pub reason: String,
+}
+
+/// A fully lexed source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub allows: Vec<Allow>,
+}
+
+impl Lexed {
+    /// The identifier text of token `i`, if it is an identifier.
+    pub fn ident(&self, i: usize) -> Option<&str> {
+        match self.tokens.get(i)?.tok {
+            Tok::Ident(ref s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether token `i` is the punctuation character `c`.
+    pub fn is_punct(&self, i: usize, c: char) -> bool {
+        matches!(self.tokens.get(i), Some(Token { tok: Tok::Punct(p), .. }) if *p == c)
+    }
+}
+
+/// The marker that introduces an allow comment.
+const ALLOW_MARKER: &str = "lint:allow";
+
+/// Lexes `src` into tokens and allow-comments.
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                // Doc comments (`///`, `//!`) *mention* the annotation syntax;
+                // only plain `//` comments carry a live allow.
+                let is_doc = text.starts_with("///") || text.starts_with("//!");
+                if !is_doc {
+                    if let Some(allow) = parse_allow(text, line) {
+                        out.allows.push(allow);
+                    }
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Nested block comments, line-accurate.
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                out.tokens.push(Token {
+                    tok: Tok::Lit,
+                    line,
+                });
+                i = skip_string(bytes, i + 1, &mut line);
+            }
+            '\'' => {
+                // Lifetime/label (`'a`) vs char literal (`'a'`, `'\n'`).
+                let next = bytes.get(i + 1).copied();
+                let is_lifetime = match next {
+                    Some(b'\\') => false,
+                    Some(c) if (c as char).is_alphanumeric() || c == b'_' => {
+                        // `'a'` is a char literal; `'a` followed by anything
+                        // but a quote is a lifetime. Multi-char lifetimes
+                        // (`'outer`) always are.
+                        bytes.get(i + 2) != Some(&b'\'')
+                    }
+                    _ => false,
+                };
+                if is_lifetime {
+                    out.tokens.push(Token {
+                        tok: Tok::Lifetime,
+                        line,
+                    });
+                    i += 1;
+                    while i < bytes.len()
+                        && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                } else {
+                    out.tokens.push(Token {
+                        tok: Tok::Lit,
+                        line,
+                    });
+                    i += 1;
+                    while i < bytes.len() {
+                        match bytes[i] {
+                            b'\\' => i += 2,
+                            b'\'' => {
+                                i += 1;
+                                break;
+                            }
+                            b'\n' => {
+                                // Tolerate a malformed literal: never scan past
+                                // the line under a broken quote.
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                }
+            }
+            c if c.is_ascii_digit() => {
+                out.tokens.push(Token {
+                    tok: Tok::Lit,
+                    line,
+                });
+                i += 1;
+                while i < bytes.len() {
+                    let b = bytes[i];
+                    if (b as char).is_ascii_alphanumeric() || b == b'_' {
+                        i += 1;
+                    } else if b == b'.'
+                        && bytes
+                            .get(i + 1)
+                            .is_some_and(|n| (*n as char).is_ascii_digit())
+                    {
+                        // `1.5` continues the literal; `0..n` does not.
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                // Raw/byte string prefixes: `r"..."`, `r#"..."#`, `br"..."`, `b"..."`.
+                if word.bytes().all(|b| matches!(b, b'r' | b'b' | b'c'))
+                    && matches!(bytes.get(i), Some(b'"') | Some(b'#'))
+                    && word.contains('r')
+                {
+                    let mut hashes = 0usize;
+                    while bytes.get(i) == Some(&b'#') {
+                        hashes += 1;
+                        i += 1;
+                    }
+                    if bytes.get(i) == Some(&b'"') {
+                        i += 1;
+                        out.tokens.push(Token {
+                            tok: Tok::Lit,
+                            line,
+                        });
+                        'raw: while i < bytes.len() {
+                            if bytes[i] == b'\n' {
+                                line += 1;
+                                i += 1;
+                            } else if bytes[i] == b'"' {
+                                let mut j = i + 1;
+                                let mut seen = 0usize;
+                                while seen < hashes && bytes.get(j) == Some(&b'#') {
+                                    seen += 1;
+                                    j += 1;
+                                }
+                                i = j;
+                                if seen == hashes {
+                                    break 'raw;
+                                }
+                            } else {
+                                i += 1;
+                            }
+                        }
+                    } else {
+                        // `r#ident` raw identifier: emit the identifier itself.
+                        let id_start = i;
+                        while i < bytes.len()
+                            && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
+                        {
+                            i += 1;
+                        }
+                        out.tokens.push(Token {
+                            tok: Tok::Ident(src[id_start..i].to_string()),
+                            line,
+                        });
+                    }
+                } else if word == "b" && bytes.get(i) == Some(&b'"') {
+                    out.tokens.push(Token {
+                        tok: Tok::Lit,
+                        line,
+                    });
+                    i = skip_string(bytes, i + 1, &mut line);
+                } else {
+                    out.tokens.push(Token {
+                        tok: Tok::Ident(word.to_string()),
+                        line,
+                    });
+                }
+            }
+            c => {
+                out.tokens.push(Token {
+                    tok: Tok::Punct(c),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Consumes a (non-raw) string literal body starting just after the opening
+/// quote; returns the index just past the closing quote.
+fn skip_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Parses `lint:allow(<rule>) <reason>` out of one line-comment's text.
+fn parse_allow(comment: &str, line: u32) -> Option<Allow> {
+    let at = comment.find(ALLOW_MARKER)?;
+    let rest = &comment[at + ALLOW_MARKER.len()..];
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    let reason = rest[close + 1..].trim().to_string();
+    Some(Allow { line, rule, reason })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_identifiers() {
+        let src = r##"
+            // note_deletions in a comment
+            /* note_deletions in a block /* nested */ comment */
+            let x = "note_deletions in a string";
+            let y = r#"note_deletions raw "quoted" string"#;
+            let z = 'n';
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"note_deletions".to_string()));
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_constructs() {
+        let src = "/* a\nb */\nfoo\n\"x\ny\"\nbar";
+        let lexed = lex(src);
+        let foo = lexed
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("foo".into()))
+            .unwrap();
+        let bar = lexed
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("bar".into()))
+            .unwrap();
+        assert_eq!(foo.line, 3);
+        assert_eq!(bar.line, 6);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) { 'outer: loop { break 'outer; } }");
+        assert!(lexed.tokens.iter().any(|t| t.tok == Tok::Lifetime));
+        // The `str` after `&'a` must survive as an identifier.
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.tok == Tok::Ident("str".into())));
+    }
+
+    #[test]
+    fn char_literals_consume_their_quotes() {
+        let ids = idents("let c = 'x'; let esc = '\\n'; after();");
+        assert!(ids.contains(&"after".to_string()));
+        assert!(!ids.contains(&"x".to_string()));
+    }
+
+    #[test]
+    fn numeric_literals_do_not_swallow_ranges() {
+        let lexed = lex("for i in 0..10 { a[i]; } let f = 1.5e3;");
+        let dots = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.tok == Tok::Punct('.'))
+            .count();
+        assert_eq!(dots, 2, "the `..` of the range survives");
+    }
+
+    #[test]
+    fn doc_comments_never_carry_allows() {
+        let src = "//! docs may show `// lint:allow(unsafe-window) like this`\n/// and here: lint:allow(dead-counter) example\n// lint:allow(unsafe-window) a real one\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 1);
+        assert_eq!(lexed.allows[0].line, 3);
+    }
+
+    #[test]
+    fn allow_comments_are_collected_with_reasons() {
+        let src = "\n// lint:allow(panic-free-hot-path) arena index is bounds-checked above\nlet x = v[i];\n// lint:allow(unsafe-window)\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 2);
+        assert_eq!(lexed.allows[0].line, 2);
+        assert_eq!(lexed.allows[0].rule, "panic-free-hot-path");
+        assert!(lexed.allows[0].reason.contains("bounds-checked"));
+        assert_eq!(lexed.allows[1].rule, "unsafe-window");
+        assert!(lexed.allows[1].reason.is_empty());
+    }
+}

@@ -1,0 +1,96 @@
+//! The `hcsp-lint` driver.
+//!
+//! ```text
+//! cargo run -p hcsp-lint --            # advisory: print findings, exit 0
+//! cargo run -p hcsp-lint -- --deny     # CI mode: exit 1 on any finding
+//! cargo run -p hcsp-lint -- --rules    # print the rule catalogue
+//! ```
+//!
+//! Everything goes to stderr: diagnostics are for humans and CI logs, and the
+//! workspace denies `clippy::print_stdout` in binaries that are not reports.
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hcsp_lint::{lint_workspace, rules};
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--rules" => {
+                for (code, id, summary) in rules::CATALOGUE {
+                    eprintln!("{code} {id:<24} {summary}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: hcsp-lint [--deny] [--rules] [--root <workspace>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("hcsp-lint: no workspace root found (run from the repo, or pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    match lint_workspace(&root) {
+        Ok((nfiles, diags)) => {
+            for d in &diags {
+                eprintln!("{d}");
+            }
+            eprintln!(
+                "hcsp-lint: {} file(s) checked, {} finding(s){}",
+                nfiles,
+                diags.len(),
+                if deny { " [deny]" } else { "" }
+            );
+            if diags.is_empty() || !deny {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("hcsp-lint: io error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Ascends from the current directory to the first one whose `Cargo.toml`
+/// declares a `[workspace]` — which is where `cargo run -p` starts us anyway.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! L6 `no-deprecated-internal`: the `start_durable` / `start_durable_vfs`
+//! shims exist only for external callers mid-migration; inside the workspace
+//! everything goes through `PathServiceBuilder::durability(..).start(..)`.
+//! `#[deprecated]` alone does not fire for same-crate callers (rustc
+//! suppresses the lint inside the deprecated item's crate unless the caller
+//! opts in), so the invariant needs its own rule. Applies to test code too —
+//! tests are exactly where stale idioms hide.
+
+use crate::lexer::Tok;
+use crate::{Diagnostic, SourceFile};
+
+const DEPRECATED: [&str; 2] = ["start_durable", "start_durable_vfs"];
+
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let lexed = &file.lexed;
+    for i in 0..lexed.tokens.len() {
+        let Tok::Ident(word) = &lexed.tokens[i].tok else {
+            continue;
+        };
+        if !DEPRECATED.contains(&word.as_str()) {
+            continue;
+        }
+        // The definition itself (`pub fn start_durable(...)`) is allowed to
+        // exist; everything else — `.start_durable(`, `Builder::start_durable`,
+        // a re-export — counts as an internal caller.
+        if lexed.ident(i.wrapping_sub(1)) == Some("fn") {
+            continue;
+        }
+        out.push(file.diag(
+            super::NO_DEPRECATED_INTERNAL,
+            lexed.tokens[i].line,
+            format!(
+                "internal use of deprecated `{word}`; build the service with \
+                 `PathServiceBuilder::durability(..).start(..)` instead"
+            ),
+        ));
+    }
+    out
+}

@@ -1,0 +1,75 @@
+//! L3 `ack-after-durability`: an acknowledgement must never precede the
+//! durability work it claims. In `crates/service` and `crates/storage`, any
+//! function that both talks to the WAL (`append`/`sync`/`try_publish`/...) and
+//! fulfils a completion slot (`fulfill`) must do so in that source order —
+//! the fsync-strictly-before-ack discipline PR 7/8 established (an acked
+//! update batch must be recoverable after any crash).
+//!
+//! Functions that fulfil without touching durability at all (query-result
+//! delivery in the worker loop) are out of scope: result slots carry computed
+//! answers, not durable state.
+
+use crate::lexer::Tok;
+use crate::scan::{functions, is_call};
+use crate::{Diagnostic, SourceFile};
+
+/// Calls that advance durable state. `try_publish`/`publish` count because the
+/// epoch publisher appends to the WAL through its sink before swapping tips.
+const DURABILITY: [&str; 6] = [
+    "append",
+    "append_unsynced",
+    "sync",
+    "sync_through",
+    "try_publish",
+    "publish",
+];
+
+const FULFIL: [&str; 1] = ["fulfill"];
+
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    if !file.path.contains("crates/service/") && !file.path.contains("crates/storage/") {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let lexed = &file.lexed;
+    for f in functions(lexed) {
+        if file.mask[f.body_start] {
+            continue; // test code exercises slots directly
+        }
+        if FULFIL.contains(&f.name.as_str()) || f.name == "abandon" {
+            continue; // the slot primitives themselves
+        }
+        let mut first_durability: Option<usize> = None;
+        let mut fulfils: Vec<usize> = Vec::new();
+        for i in f.body_start..=f.body_end {
+            let Tok::Ident(word) = &lexed.tokens[i].tok else {
+                continue;
+            };
+            if !is_call(lexed, i) {
+                continue;
+            }
+            if DURABILITY.contains(&word.as_str()) && first_durability.is_none() {
+                first_durability = Some(i);
+            } else if FULFIL.contains(&word.as_str()) {
+                fulfils.push(i);
+            }
+        }
+        let Some(first) = first_durability else {
+            continue; // no durability interaction: out of scope
+        };
+        for fulfil in fulfils {
+            if fulfil < first {
+                out.push(file.diag(
+                    super::ACK_AFTER_DURABILITY,
+                    lexed.tokens[fulfil].line,
+                    format!(
+                        "`fulfill` before the first durability call (line {}) in `{}`; an \
+                         acknowledgement must follow the WAL append/sync it claims",
+                        lexed.tokens[first].line, f.name
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}

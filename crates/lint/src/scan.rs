@@ -1,0 +1,236 @@
+//! Structural passes over the flat token stream: function bodies, `#[cfg(test)]`
+//! regions, and small helpers the rules share.
+
+use crate::lexer::{Lexed, Tok};
+
+/// One `fn` item: its name and the token range of its body (inclusive of the
+/// braces), discovered by brace matching.
+#[derive(Debug, Clone)]
+pub struct Function {
+    pub name: String,
+    /// Index of the `{` token opening the body.
+    pub body_start: usize,
+    /// Index of the matching `}` token.
+    pub body_end: usize,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+}
+
+/// Extracts every `fn` item with a body. Trait-method declarations (ending in
+/// `;` before any `{`) and `fn` pointer types (`fn(` with no name) are skipped.
+/// Nested functions are reported as their own entries (their tokens also lie
+/// inside the enclosing body's range; rules tolerate the overlap).
+pub fn functions(lexed: &Lexed) -> Vec<Function> {
+    let toks = &lexed.tokens;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if lexed.ident(i) == Some("fn") {
+            let Some(name) = lexed.ident(i + 1) else {
+                i += 1;
+                continue; // `fn(` pointer type
+            };
+            let name = name.to_string();
+            let line = toks[i].line;
+            // Scan forward for the body `{`, giving up at a top-level `;`
+            // (a bodiless trait method). Angle brackets in generics and
+            // parenthesised argument lists may contain anything except braces.
+            let mut j = i + 2;
+            let mut body = None;
+            let mut depth = 0i32; // (), [] nesting; `{` at depth 0 is the body
+            while j < toks.len() {
+                match toks[j].tok {
+                    Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+                    Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+                    Tok::Punct('{') if depth == 0 => {
+                        body = Some(j);
+                        break;
+                    }
+                    Tok::Punct(';') if depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(start) = body {
+                if let Some(end) = matching_brace(lexed, start) {
+                    out.push(Function {
+                        name,
+                        body_start: start,
+                        body_end: end,
+                        line,
+                    });
+                }
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// The index of the `}` matching the `{` at `open`.
+pub fn matching_brace(lexed: &Lexed, open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, t) in lexed.tokens.iter().enumerate().skip(open) {
+        match t.tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// A boolean mask over the token stream: `true` for tokens inside a
+/// `#[cfg(test)] mod ... { }` block or a `#[test]`-attributed function.
+/// Production-path rules consult it so test code stays free to `unwrap`.
+pub fn test_region_mask(lexed: &Lexed) -> Vec<bool> {
+    let toks = &lexed.tokens;
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        let is_cfg_test = lexed.is_punct(i, '#')
+            && lexed.is_punct(i + 1, '[')
+            && lexed.ident(i + 2) == Some("cfg")
+            && lexed.is_punct(i + 3, '(')
+            && lexed.ident(i + 4) == Some("test")
+            && lexed.is_punct(i + 5, ')')
+            && lexed.is_punct(i + 6, ']');
+        let is_test_attr = lexed.is_punct(i, '#')
+            && lexed.is_punct(i + 1, '[')
+            && lexed.ident(i + 2) == Some("test")
+            && lexed.is_punct(i + 3, ']');
+        if is_cfg_test || is_test_attr {
+            // Mark everything up to the end of the attributed item's block.
+            let attr_end = if is_cfg_test { i + 6 } else { i + 3 };
+            let mut j = attr_end + 1;
+            // Skip further attributes between this one and the item.
+            while lexed.is_punct(j, '#') && lexed.is_punct(j + 1, '[') {
+                let mut depth = 0i32;
+                while j < toks.len() {
+                    match toks[j].tok {
+                        Tok::Punct('[') => depth += 1,
+                        Tok::Punct(']') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                j += 1;
+            }
+            // Find the item's opening brace (for `mod m { .. }` / `fn f() { .. }`).
+            let mut k = j;
+            let mut found = None;
+            while k < toks.len() && k < j + 64 {
+                match toks[k].tok {
+                    Tok::Punct('{') => {
+                        found = Some(k);
+                        break;
+                    }
+                    Tok::Punct(';') => break, // `#[cfg(test)] mod tests;` — out-of-line
+                    _ => {}
+                }
+                k += 1;
+            }
+            if let Some(open) = found {
+                if let Some(close) = matching_brace(lexed, open) {
+                    for m in mask.iter_mut().take(close + 1).skip(i) {
+                        *m = true;
+                    }
+                    i = close + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Whether the identifier at `i` is a *call*: followed by `(`, optionally
+/// through a turbofish (`::<T>(`).
+pub fn is_call(lexed: &Lexed, i: usize) -> bool {
+    if lexed.is_punct(i + 1, '(') {
+        return true;
+    }
+    // `name::<..>(` — rare in this codebase but cheap to honour.
+    if lexed.is_punct(i + 1, ':') && lexed.is_punct(i + 2, ':') && lexed.is_punct(i + 3, '<') {
+        let mut depth = 0i32;
+        for j in i + 3..lexed.tokens.len().min(i + 64) {
+            match lexed.tokens[j].tok {
+                Tok::Punct('<') => depth += 1,
+                Tok::Punct('>') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return lexed.is_punct(j + 1, '(');
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn functions_are_found_with_bodies() {
+        let src = "impl Foo { fn a(&self) -> u32 { 1 } }\ntrait T { fn decl(&self); }\nfn top<F: Fn(u32)>(f: F) { f(2) }";
+        let lexed = lex(src);
+        let fns = functions(&lexed);
+        let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["a", "top"],
+            "decl has no body; Fn(u32) is a bound"
+        );
+    }
+
+    #[test]
+    fn cfg_test_mod_is_masked() {
+        let src =
+            "fn live() { x() }\n#[cfg(test)]\nmod tests {\n fn t() { y() } }\nfn after() { z() }";
+        let lexed = lex(src);
+        let mask = test_region_mask(&lexed);
+        let pos = |name: &str| {
+            lexed
+                .tokens
+                .iter()
+                .position(|t| t.tok == Tok::Ident(name.into()))
+                .unwrap()
+        };
+        assert!(!mask[pos("x")]);
+        assert!(mask[pos("y")]);
+        assert!(!mask[pos("z")]);
+    }
+
+    #[test]
+    fn test_attr_fn_is_masked() {
+        let src = "#[test]\nfn t() { boom() }\nfn live() { ok() }";
+        let lexed = lex(src);
+        let mask = test_region_mask(&lexed);
+        let pos = |name: &str| {
+            lexed
+                .tokens
+                .iter()
+                .position(|t| t.tok == Tok::Ident(name.into()))
+                .unwrap()
+        };
+        assert!(mask[pos("boom")]);
+        assert!(!mask[pos("ok")]);
+    }
+}

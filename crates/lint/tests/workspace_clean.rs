@@ -1,0 +1,26 @@
+//! The meta-test: the live workspace must lint clean. This is the same check
+//! CI runs via `cargo run -p hcsp-lint -- --deny`, wired into `cargo test` so
+//! a violation fails the ordinary test suite too, with the diagnostics in the
+//! assertion message.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let (nfiles, diags) = hcsp_lint::lint_workspace(&root).expect("workspace sources readable");
+    assert!(
+        nfiles > 50,
+        "only {nfiles} files found — workspace root misdetected?"
+    );
+    assert!(
+        diags.is_empty(),
+        "the workspace has {} lint finding(s):\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -181,6 +181,7 @@ impl ResultSlot {
 
 /// A claim on the typed result of one submitted [`QuerySpec`].
 #[derive(Debug)]
+#[must_use = "dropping one silently abandons the result; call wait() or try_wait()"]
 pub struct SpecHandle {
     slot: Arc<ResultSlot>,
 }
@@ -234,6 +235,7 @@ impl SpecHandle {
 
 /// A claim on the result of one submitted `Collect`-mode query (wraps a [`SpecHandle`]).
 #[derive(Debug)]
+#[must_use = "dropping one silently abandons the result; call wait() or try_wait()"]
 pub struct QueryHandle {
     inner: SpecHandle,
 }
@@ -359,6 +361,7 @@ impl UpdateSlot {
 
 /// A claim on the completion of one [`PathService::update`] call.
 #[derive(Debug)]
+#[must_use = "dropping one loses the durability acknowledgement; call wait() or try_wait()"]
 pub struct UpdateHandle {
     slot: Arc<UpdateSlot>,
 }
@@ -2312,6 +2315,7 @@ mod tests {
         let fs = FailpointFs::new();
         let service = PathService::builder()
             .policy(BatchPolicy::immediate())
+            // lint:allow(no-deprecated-internal) regression coverage for the shim itself
             .start_durable_vfs(complete(4), fs.as_vfs())
             .unwrap();
         assert!(service.is_durable());

@@ -10,6 +10,9 @@
 //! cargo run --release --example biological_pathways
 //! ```
 
+// Stdout is the product here: examples narrate what they compute.
+#![allow(clippy::print_stdout)]
+
 use hcsp::prelude::*;
 use hcsp::workload::{Dataset, DatasetScale};
 

@@ -9,6 +9,9 @@
 //! cargo run --release --example durable_service
 //! ```
 
+// Stdout is the product here: examples narrate what they compute.
+#![allow(clippy::print_stdout)]
+
 use hcsp::prelude::*;
 use hcsp::workload::{Dataset, DatasetScale};
 

@@ -15,6 +15,9 @@
 //! cargo run --release --example fraud_detection
 //! ```
 
+// Stdout is the product here: examples narrate what they compute.
+#![allow(clippy::print_stdout)]
+
 use hcsp::prelude::*;
 use hcsp::workload::{Dataset, DatasetScale};
 use rand::rngs::StdRng;

@@ -11,6 +11,9 @@
 //! cargo run --release --example knowledge_graph
 //! ```
 
+// Stdout is the product here: examples narrate what they compute.
+#![allow(clippy::print_stdout)]
+
 use hcsp::prelude::*;
 use hcsp::workload::{Dataset, DatasetScale};
 

@@ -4,6 +4,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
+// Stdout is the product here: examples narrate what they compute.
+#![allow(clippy::print_stdout)]
+
 use hcsp::prelude::*;
 
 fn main() {

@@ -6,6 +6,9 @@
 //! cargo run --example server_demo
 //! ```
 
+// Stdout is the product here: examples narrate what they compute.
+#![allow(clippy::print_stdout)]
+
 use hcsp::prelude::*;
 use hcsp::server::run_load;
 use hcsp::workload::ArrivalProcess;

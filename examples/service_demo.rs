@@ -5,6 +5,9 @@
 //! cargo run --release --example service_demo
 //! ```
 
+// Stdout is the product here: examples narrate what they compute.
+#![allow(clippy::print_stdout)]
+
 use hcsp::prelude::*;
 use hcsp::workload::{similar_query_set, ArrivalProcess, Dataset, DatasetScale, QuerySetSpec};
 use std::time::Duration;

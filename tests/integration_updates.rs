@@ -122,7 +122,9 @@ fn service_stream_is_lossless(workers: usize, exec_threads: usize) {
                 expectations.push((service.submit(*q), *q, expected.paths));
             }
             StreamEvent::Update(batch) => {
-                service.update(batch.clone());
+                // Fire-and-forget: queue order alone guarantees the update lands
+                // before any later query, and shutdown() drains everything.
+                let _ = service.update(batch.clone());
                 for update in batch {
                     oracle.apply(update);
                 }
